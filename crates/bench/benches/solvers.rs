@@ -1,0 +1,110 @@
+//! Solver micro-benches: the ablation comparisons DESIGN.md calls out
+//! (GTH vs LU vs power iteration; closed forms vs numeric chains; exact
+//! scenario enumeration vs Monte Carlo).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use uavail_linalg::Matrix;
+use uavail_markov::{BirthDeath, Ctmc, SteadyStateMethod};
+use uavail_profile::ProfileGraph;
+use uavail_queueing::{BirthDeathQueue, MMcK};
+
+/// A birth–death availability generator with n+1 states.
+fn farm_generator(n: usize) -> Matrix {
+    let lambda = 1e-3;
+    let mu = 1.0;
+    let mut q = Matrix::zeros(n + 1, n + 1);
+    for i in 1..=n {
+        q[(i, i - 1)] = i as f64 * lambda;
+        q[(i, i)] -= i as f64 * lambda;
+        q[(i - 1, i)] = mu;
+        q[(i - 1, i - 1)] -= mu;
+    }
+    q
+}
+
+fn bench_steady_state_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("steady_state");
+    for n in [8usize, 32, 128] {
+        let chain = Ctmc::from_generator(farm_generator(n)).unwrap();
+        group.bench_with_input(BenchmarkId::new("gth", n), &chain, |b, chain| {
+            b.iter(|| black_box(chain.steady_state_with(SteadyStateMethod::Gth).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("lu", n), &chain, |b, chain| {
+            b.iter(|| {
+                black_box(
+                    chain
+                        .steady_state_with(SteadyStateMethod::DirectLu)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_birth_death_closed_form(c: &mut Criterion) {
+    let mut group = c.benchmark_group("birth_death");
+    for n in [10usize, 100, 1000] {
+        let bd = BirthDeath::new(vec![1.0; n], vec![2.0; n]).unwrap();
+        group.bench_with_input(BenchmarkId::new("closed_form", n), &bd, |b, bd| {
+            b.iter(|| black_box(bd.steady_state()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_queueing_formulas(c: &mut Criterion) {
+    c.bench_function("queueing/mmck_loss_c4_k10", |b| {
+        let q = MMcK::new(100.0, 100.0, 4, 10).unwrap();
+        b.iter(|| black_box(q.loss_probability()))
+    });
+    c.bench_function("queueing/general_birth_death_equivalent", |b| {
+        let q = BirthDeathQueue::mmck(100.0, 100.0, 4, 10).unwrap();
+        b.iter(|| black_box(q.full_probability()))
+    });
+}
+
+fn profile_graph() -> ProfileGraph {
+    let mut g = ProfileGraph::new(vec!["Home", "Browse", "Search", "Book", "Pay"]).unwrap();
+    g.set_start_transition("Home", 0.6).unwrap();
+    g.set_start_transition("Browse", 0.4).unwrap();
+    g.set_transition("Home", Some("Browse"), 0.3).unwrap();
+    g.set_transition("Home", Some("Search"), 0.4).unwrap();
+    g.set_transition("Home", None, 0.3).unwrap();
+    g.set_transition("Browse", Some("Home"), 0.2).unwrap();
+    g.set_transition("Browse", Some("Search"), 0.3).unwrap();
+    g.set_transition("Browse", None, 0.5).unwrap();
+    g.set_transition("Search", Some("Book"), 0.3).unwrap();
+    g.set_transition("Search", None, 0.7).unwrap();
+    g.set_transition("Book", Some("Search"), 0.2).unwrap();
+    g.set_transition("Book", Some("Pay"), 0.5).unwrap();
+    g.set_transition("Book", None, 0.3).unwrap();
+    g.set_transition("Pay", None, 1.0).unwrap();
+    g.validated().unwrap()
+}
+
+fn bench_scenario_enumeration(c: &mut Criterion) {
+    let g = profile_graph();
+    c.bench_function("profile/exact_scenario_classes", |b| {
+        b.iter(|| black_box(g.scenario_class_probabilities(1e-12).unwrap()))
+    });
+    c.bench_function("profile/monte_carlo_10k_sessions", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            black_box(g.monte_carlo_scenarios(&mut rng, 10_000).unwrap())
+        })
+    });
+}
+
+criterion_group!(
+    solvers,
+    bench_steady_state_methods,
+    bench_birth_death_closed_form,
+    bench_queueing_formulas,
+    bench_scenario_enumeration
+);
+criterion_main!(solvers);

@@ -1,0 +1,96 @@
+//! Criterion benches for the paper's tables: each bench regenerates the
+//! analytics behind one table (see DESIGN.md experiment index E1–E8).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use uavail_travel::evaluation::table8;
+use uavail_travel::functions::TaFunction;
+use uavail_travel::user::{class_a, class_b};
+use uavail_travel::{
+    services, webservice, Architecture, TaParameters, TravelAgencyModel,
+};
+
+fn bench_table1_scenario_queries(c: &mut Criterion) {
+    let a = class_a();
+    let b = class_b();
+    c.bench_function("table1/category_grouping", |bench| {
+        bench.iter(|| {
+            let ca = a.table().by_category("Search", "Book", "Pay");
+            let cb = b.table().by_category("Search", "Book", "Pay");
+            black_box((ca, cb))
+        })
+    });
+}
+
+fn bench_table3_table4_services(c: &mut Criterion) {
+    let p = TaParameters::paper_defaults();
+    c.bench_function("table3/external_services", |bench| {
+        bench.iter(|| {
+            let f = services::flight(black_box(&p)).unwrap();
+            let h = services::hotel(black_box(&p)).unwrap();
+            let cr = services::car(black_box(&p)).unwrap();
+            black_box((f, h, cr))
+        })
+    });
+    c.bench_function("table4/internal_services", |bench| {
+        bench.iter(|| {
+            let a = services::application(&p, Architecture::paper_reference()).unwrap();
+            let d = services::database(&p, Architecture::paper_reference()).unwrap();
+            black_box((a, d))
+        })
+    });
+}
+
+fn bench_table5_web_service(c: &mut Criterion) {
+    let p = TaParameters::paper_defaults();
+    c.bench_function("table5/basic_eq2", |bench| {
+        bench.iter(|| black_box(webservice::basic_availability(&p).unwrap()))
+    });
+    c.bench_function("table5/redundant_perfect_eq5", |bench| {
+        bench.iter(|| black_box(webservice::redundant_perfect_availability(&p).unwrap()))
+    });
+    c.bench_function("table5/redundant_imperfect_eq9", |bench| {
+        bench.iter(|| black_box(webservice::redundant_imperfect_availability(&p).unwrap()))
+    });
+}
+
+fn bench_table6_functions(c: &mut Criterion) {
+    let model = TravelAgencyModel::new(
+        TaParameters::paper_defaults(),
+        Architecture::paper_reference(),
+    )
+    .unwrap();
+    c.bench_function("table6/all_function_availabilities", |bench| {
+        bench.iter(|| {
+            for f in TaFunction::all() {
+                black_box(model.function_availability(f).unwrap());
+            }
+        })
+    });
+}
+
+fn bench_table8_user_sweep(c: &mut Criterion) {
+    c.bench_function("table8/full_sweep", |bench| {
+        bench.iter(|| black_box(table8().unwrap()))
+    });
+    let model = TravelAgencyModel::new(
+        TaParameters::paper_defaults(),
+        Architecture::paper_reference(),
+    )
+    .unwrap();
+    let a = class_a();
+    c.bench_function("table8/single_user_availability", |bench| {
+        bench.iter(|| black_box(model.user_availability(&a).unwrap()))
+    });
+}
+
+criterion_group!(
+    tables,
+    bench_table1_scenario_queries,
+    bench_table3_table4_services,
+    bench_table5_web_service,
+    bench_table6_functions,
+    bench_table8_user_sweep
+);
+criterion_main!(tables);

@@ -1,0 +1,721 @@
+//! Regenerates every table and figure of the DSN 2003 travel-agency paper.
+//!
+//! ```text
+//! reproduce [ARTIFACT] [--csv]
+//!
+//! ARTIFACT: table1 table2 table3 table4 table5 table6 table7 table8
+//!           fig11 fig12 fig13 revenue capacity ablation validate all
+//! ```
+
+use std::process::ExitCode;
+
+use uavail_bench::{render, PAPER_A_WS, PAPER_TABLE8};
+use uavail_core::downtime::HOURS_PER_YEAR;
+use uavail_travel::evaluation::{
+    figure11, figure12, figure13, figure_grid, min_web_servers_for, revenue_analysis, table8,
+    FigurePoint,
+};
+use uavail_travel::functions::{self, TaFunction};
+use uavail_travel::report::{fmt_availability, fmt_unavailability, Table};
+use uavail_travel::sim_validation::{compressed_parameters, validate_web_service};
+use uavail_travel::user::{class_a, class_b};
+use uavail_travel::{
+    services, webservice, Architecture, Coverage, TaParameters, TravelAgencyModel, TravelError,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    let artifact = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+    match run(artifact, csv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("reproduce: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type ArtifactFn = fn(bool) -> Result<(), TravelError>;
+
+fn run(artifact: &str, csv: bool) -> Result<(), TravelError> {
+    let known: &[(&str, ArtifactFn)] = &[
+        ("table1", print_table1),
+        ("table2", print_table2),
+        ("table3", print_table3),
+        ("table4", print_table4),
+        ("table5", print_table5),
+        ("table6", print_table6),
+        ("table7", print_table7),
+        ("table8", print_table8),
+        ("fig11", print_fig11),
+        ("fig12", print_fig12),
+        ("fig13", print_fig13),
+        ("revenue", print_revenue),
+        ("capacity", print_capacity),
+        ("ablation", print_ablation),
+        ("deadline", print_deadline),
+        ("maintenance", print_maintenance),
+        ("multisite", print_multisite),
+        ("ramp", print_ramp),
+        ("fit", print_fit),
+        ("fta", print_fta),
+        ("mttf", print_mttf),
+        ("validate", print_validate),
+        ("session", print_session),
+    ];
+    if artifact == "all" {
+        for (name, f) in known {
+            if *name == "validate" || *name == "session" {
+                // Simulations take tens of seconds; only on request.
+                println!("(skipping `{name}` in `all`; run `reproduce {name}`)\n");
+                continue;
+            }
+            f(csv)?;
+            println!();
+        }
+        return Ok(());
+    }
+    match known.iter().find(|(name, _)| *name == artifact) {
+        Some((_, f)) => f(csv),
+        None => {
+            eprintln!(
+                "unknown artifact {artifact:?}; expected one of: \
+                 table1..table8, fig11, fig12, fig13, revenue, capacity, ablation, validate, all"
+            );
+            Ok(())
+        }
+    }
+}
+
+fn print_table1(csv: bool) -> Result<(), TravelError> {
+    let mut t = Table::new(
+        "Table 1 — user scenario probabilities (%)",
+        vec!["scenario", "class A", "class B"],
+    );
+    let a = class_a();
+    let b = class_b();
+    for (sa, sb) in a.table().scenarios().iter().zip(b.table().scenarios()) {
+        t.add_row(vec![
+            sa.label.clone(),
+            format!("{:.1}", sa.probability * 100.0),
+            format!("{:.1}", sb.probability * 100.0),
+        ]);
+    }
+    print!("{}", render(&t, csv));
+    Ok(())
+}
+
+fn print_table2(csv: bool) -> Result<(), TravelError> {
+    let mut t = Table::new(
+        "Table 2 — mapping between functions and services",
+        vec!["function", "services"],
+    );
+    for (f, svcs) in functions::service_mapping() {
+        t.add_row(vec![f.name().to_string(), svcs.join(", ")]);
+    }
+    print!("{}", render(&t, csv));
+    Ok(())
+}
+
+fn print_table3(csv: bool) -> Result<(), TravelError> {
+    let mut t = Table::new(
+        "Table 3 — external service availability (A_sys = 0.9)",
+        vec!["N_F = N_H = N_C", "A(Flight)=A(Hotel)=A(Car)", "A(Payment)"],
+    );
+    for n in [1usize, 2, 3, 4, 5, 10] {
+        let p = TaParameters::paper_defaults().with_reservation_systems(n);
+        t.add_row(vec![
+            n.to_string(),
+            fmt_availability(services::flight(&p)?),
+            fmt_availability(services::payment(&p)),
+        ]);
+    }
+    print!("{}", render(&t, csv));
+    Ok(())
+}
+
+fn print_table4(csv: bool) -> Result<(), TravelError> {
+    let p = TaParameters::paper_defaults();
+    let mut t = Table::new(
+        "Table 4 — application and database service availability",
+        vec!["service", "basic", "redundant"],
+    );
+    t.add_row(vec![
+        "A(AS)".into(),
+        fmt_availability(services::application(&p, Architecture::Basic)?),
+        fmt_availability(services::application(&p, Architecture::paper_reference())?),
+    ]);
+    t.add_row(vec![
+        "A(DS)".into(),
+        fmt_availability(services::database(&p, Architecture::Basic)?),
+        fmt_availability(services::database(&p, Architecture::paper_reference())?),
+    ]);
+    print!("{}", render(&t, csv));
+    Ok(())
+}
+
+fn print_table5(csv: bool) -> Result<(), TravelError> {
+    let p = TaParameters::paper_defaults();
+    let mut t = Table::new(
+        "Table 5 — web service availability (reference parameters)",
+        vec!["model", "A(WS)", "unavailability"],
+    );
+    let basic = webservice::basic_availability(&p)?;
+    let perfect = webservice::redundant_perfect_availability(&p)?;
+    let imperfect = webservice::redundant_imperfect_availability(&p)?;
+    for (name, a) in [
+        ("basic (eq. 2)", basic),
+        ("redundant, perfect coverage (eq. 5)", perfect),
+        ("redundant, imperfect coverage (eq. 9)", imperfect),
+    ] {
+        t.add_row(vec![
+            name.into(),
+            format!("{a:.9}"),
+            fmt_unavailability(1.0 - a),
+        ]);
+    }
+    print!("{}", render(&t, csv));
+    println!(
+        "paper A(WS) = {PAPER_A_WS:.9}; reproduced = {imperfect:.9} \
+         (delta {:.1e})",
+        (imperfect - PAPER_A_WS).abs()
+    );
+    Ok(())
+}
+
+fn print_table6(csv: bool) -> Result<(), TravelError> {
+    let model = TravelAgencyModel::new(
+        TaParameters::paper_defaults(),
+        Architecture::paper_reference(),
+    )?;
+    let mut t = Table::new(
+        "Table 6 — function availabilities (reference architecture)",
+        vec!["function", "availability", "downtime (h/yr)"],
+    );
+    for f in TaFunction::all() {
+        let a = model.function_availability(f)?;
+        t.add_row(vec![
+            f.name().to_string(),
+            fmt_availability(a),
+            format!("{:.1}", (1.0 - a) * HOURS_PER_YEAR),
+        ]);
+    }
+    print!("{}", render(&t, csv));
+    Ok(())
+}
+
+fn print_table7(csv: bool) -> Result<(), TravelError> {
+    let p = TaParameters::paper_defaults();
+    let mut t = Table::new("Table 7 — model parameters", vec!["parameter", "value"]);
+    let rows: Vec<(&str, String)> = vec![
+        ("A_net = A_LAN", format!("{}", p.a_net)),
+        ("A(C_AS) = A(C_DS)", format!("{}", p.a_cas)),
+        ("A(Disk)", format!("{}", p.a_disk)),
+        ("A_PS = A_Fi = A_Hi = A_Ci", format!("{}", p.a_payment)),
+        ("q23 / q24 / q45 / q47", format!("{} / {} / {} / {}", p.q23, p.q24, p.q45, p.q47)),
+        ("N_W", format!("{}", p.web_servers)),
+        ("lambda (1/h)", format!("{}", p.failure_rate_per_hour)),
+        ("mu (1/h)", format!("{}", p.repair_rate_per_hour)),
+        ("c", format!("{}", p.coverage)),
+        ("beta (1/h)", format!("{}", p.reconfiguration_rate_per_hour)),
+        ("alpha (1/s)", format!("{}", p.arrival_rate_per_second)),
+        ("nu (1/s)", format!("{}", p.service_rate_per_second)),
+        ("K", format!("{}", p.buffer_size)),
+        (
+            "A(WS) (computed)",
+            format!("{:.9}", webservice::redundant_imperfect_availability(&p)?),
+        ),
+    ];
+    for (k, v) in rows {
+        t.add_row(vec![k.into(), v]);
+    }
+    print!("{}", render(&t, csv));
+    Ok(())
+}
+
+fn print_table8(csv: bool) -> Result<(), TravelError> {
+    let rows = table8()?;
+    let mut t = Table::new(
+        "Table 8 — user availability vs N_F = N_H = N_C",
+        vec![
+            "N",
+            "A(A users)",
+            "paper A",
+            "A(B users)",
+            "paper B",
+        ],
+    );
+    for (row, (n, pa, pb)) in rows.iter().zip(PAPER_TABLE8) {
+        assert_eq!(row.reservation_systems, n);
+        t.add_row(vec![
+            n.to_string(),
+            fmt_availability(row.class_a),
+            fmt_availability(pa),
+            fmt_availability(row.class_b),
+            fmt_availability(pb),
+        ]);
+    }
+    print!("{}", render(&t, csv));
+    Ok(())
+}
+
+fn figure_table(title: &str, points: &[FigurePoint], csv: bool) {
+    let (lambdas, alphas) = figure_grid();
+    let mut headers = vec!["N_W".to_string()];
+    for &l in &lambdas {
+        for &a in &alphas {
+            headers.push(format!("l={l:.0e},a={a:.0}"));
+        }
+    }
+    let mut t = Table::new(title, headers);
+    for nw in 1..=10usize {
+        let mut row = vec![nw.to_string()];
+        for &l in &lambdas {
+            for &a in &alphas {
+                let p = points
+                    .iter()
+                    .find(|p| {
+                        p.web_servers == nw
+                            && p.failure_rate_per_hour == l
+                            && p.arrival_rate_per_second == a
+                    })
+                    .expect("full grid");
+                row.push(fmt_unavailability(p.unavailability));
+            }
+        }
+        t.add_row(row);
+    }
+    print!("{}", render(&t, csv));
+}
+
+fn print_fig11(csv: bool) -> Result<(), TravelError> {
+    let points = figure11()?;
+    figure_table(
+        "Figure 11 — web service unavailability vs N_W (perfect coverage)",
+        &points,
+        csv,
+    );
+    Ok(())
+}
+
+fn print_fig12(csv: bool) -> Result<(), TravelError> {
+    let points = figure12()?;
+    figure_table(
+        "Figure 12 — web service unavailability vs N_W (imperfect coverage)",
+        &points,
+        csv,
+    );
+    Ok(())
+}
+
+fn print_fig13(csv: bool) -> Result<(), TravelError> {
+    for class in [class_a(), class_b()] {
+        let breakdown = figure13(&class)?;
+        let mut t = Table::new(
+            format!(
+                "Figure 13 — unavailability by scenario category, class {}",
+                breakdown.class_name
+            ),
+            vec!["category", "unavailability", "downtime (h/yr)"],
+        );
+        for (cat, u, hours) in &breakdown.categories {
+            t.add_row(vec![
+                cat.to_string(),
+                fmt_unavailability(*u),
+                format!("{hours:.1}"),
+            ]);
+        }
+        t.add_row(vec![
+            "total".into(),
+            fmt_unavailability(breakdown.total_unavailability),
+            format!("{:.1}", breakdown.total_unavailability * HOURS_PER_YEAR),
+        ]);
+        print!("{}", render(&t, csv));
+        println!();
+    }
+    Ok(())
+}
+
+fn print_revenue(csv: bool) -> Result<(), TravelError> {
+    let mut t = Table::new(
+        "Section 5.2 — revenue loss (100 tx/s, $100/tx)",
+        vec![
+            "class",
+            "SC4 downtime (h/yr)",
+            "lost transactions",
+            "lost revenue ($)",
+        ],
+    );
+    for class in [class_a(), class_b()] {
+        let r = revenue_analysis(&class)?;
+        t.add_row(vec![
+            r.class_name.clone(),
+            format!("{:.1}", r.sc4_downtime_hours),
+            format!("{:.3e}", r.lost_transactions),
+            format!("{:.3e}", r.lost_revenue),
+        ]);
+    }
+    print!("{}", render(&t, csv));
+    Ok(())
+}
+
+fn print_capacity(csv: bool) -> Result<(), TravelError> {
+    let mut t = Table::new(
+        "Section 5.1 — minimum N_W for unavailability < 1e-5 (imperfect coverage)",
+        vec!["lambda (1/h)", "alpha (1/s)", "min N_W"],
+    );
+    for lambda in [1e-2, 1e-3, 1e-4] {
+        for alpha in [50.0, 100.0, 150.0] {
+            let n = min_web_servers_for(1e-5, lambda, alpha, 10)?;
+            t.add_row(vec![
+                format!("{lambda:.0e}"),
+                format!("{alpha:.0}"),
+                n.map(|v| v.to_string()).unwrap_or_else(|| "-".into()),
+            ]);
+        }
+    }
+    print!("{}", render(&t, csv));
+    Ok(())
+}
+
+fn print_ablation(csv: bool) -> Result<(), TravelError> {
+    // Ablation 1: coverage sweep at N_W = 8 shows why imperfect coverage
+    // reverses the redundancy benefit.
+    let mut t = Table::new(
+        "Ablation — coverage sweep (N_W = 8, lambda = 1e-2/h, alpha = 50/s)",
+        vec!["coverage c", "A(WS)", "unavailability"],
+    );
+    for c in [1.0, 0.999, 0.99, 0.98, 0.95, 0.9] {
+        let p = TaParameters::builder()
+            .web_servers(8)
+            .failure_rate_per_hour(1e-2)
+            .arrival_rate_per_second(50.0)
+            .coverage(c)
+            .build()?;
+        let a = webservice::redundant_imperfect_availability(&p)?;
+        t.add_row(vec![
+            format!("{c}"),
+            format!("{a:.9}"),
+            fmt_unavailability(1.0 - a),
+        ]);
+    }
+    print!("{}", render(&t, csv));
+    println!();
+
+    // Ablation 2: architecture comparison at user level.
+    let mut t = Table::new(
+        "Ablation — architecture comparison (user level)",
+        vec!["architecture", "A(user, class A)", "A(user, class B)"],
+    );
+    for arch in [
+        Architecture::Basic,
+        Architecture::Redundant(Coverage::Perfect),
+        Architecture::Redundant(Coverage::Imperfect),
+    ] {
+        let model = TravelAgencyModel::new(TaParameters::paper_defaults(), arch)?;
+        t.add_row(vec![
+            arch.to_string(),
+            fmt_availability(model.user_availability(&class_a())?),
+            fmt_availability(model.user_availability(&class_b())?),
+        ]);
+    }
+    print!("{}", render(&t, csv));
+    println!();
+
+    // Ablation 3: most influential resources (exact dual-number
+    // sensitivities), the paper's "first order" observation.
+    let model = TravelAgencyModel::new(
+        TaParameters::paper_defaults(),
+        Architecture::paper_reference(),
+    )?;
+    let h = model.hierarchical(&class_a())?;
+    let ranked = h.ranked_sensitivities("user", uavail_core::Level::Resource)?;
+    let mut t = Table::new(
+        "Ablation — dA(user)/dA(resource), class A (exact, dual numbers)",
+        vec!["resource", "sensitivity"],
+    );
+    for (name, d) in ranked {
+        t.add_row(vec![name, format!("{d:.5}")]);
+    }
+    print!("{}", render(&t, csv));
+    Ok(())
+}
+
+fn print_deadline(csv: bool) -> Result<(), TravelError> {
+    // The paper's future-work measure: requests failing when slower than τ.
+    let p = TaParameters::paper_defaults();
+    let mut t = Table::new(
+        "Extension — deadline-based web availability (reference parameters)",
+        vec!["deadline (s)", "A(WS | deadline)", "classical A(WS)"],
+    );
+    let sweep = uavail_travel::extensions::deadline_sweep(
+        &p,
+        &[0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0],
+    )?;
+    for point in sweep {
+        t.add_row(vec![
+            format!("{}", point.deadline),
+            format!("{:.9}", point.availability),
+            format!("{:.9}", point.classical_availability),
+        ]);
+    }
+    print!("{}", render(&t, csv));
+    let strict =
+        uavail_travel::extensions::min_web_servers_for_deadline(1e-3, 0.1, &p, 10)?;
+    println!(
+        "min N_W for unavailability < 1e-3 under a 100 ms deadline: {}",
+        strict
+            .map(|v| v.to_string())
+            .unwrap_or_else(|| "-".into())
+    );
+    Ok(())
+}
+
+fn print_maintenance(csv: bool) -> Result<(), TravelError> {
+    use uavail_travel::maintenance::{web_availability, RepairStrategy};
+    // Visible failure dynamics so strategies separate.
+    let p = TaParameters::builder()
+        .failure_rate_per_hour(1e-2)
+        .web_servers(6)
+        .build()?;
+    let mut t = Table::new(
+        "Ablation — maintenance strategies (N_W = 6, lambda = 1e-2/h)",
+        vec!["strategy", "A(WS)", "unavailability"],
+    );
+    let strategies = [
+        RepairStrategy::SharedImmediate,
+        RepairStrategy::DedicatedImmediate,
+        RepairStrategy::Deferred { start_below: 4 },
+        RepairStrategy::Deferred { start_below: 2 },
+        RepairStrategy::Deferred { start_below: 1 },
+    ];
+    for s in strategies {
+        let a = web_availability(&p, s)?;
+        t.add_row(vec![
+            s.to_string(),
+            format!("{a:.9}"),
+            fmt_unavailability(1.0 - a),
+        ]);
+    }
+    print!("{}", render(&t, csv));
+    Ok(())
+}
+
+fn print_multisite(csv: bool) -> Result<(), TravelError> {
+    use uavail_travel::multisite::MultiSiteModel;
+    let mut t = Table::new(
+        "Extension — geographically distributed sites (§3.3 option)",
+        vec!["sites", "A(user, class A)", "A(user, class B)"],
+    );
+    for sites in 1..=5usize {
+        let m = MultiSiteModel::new(
+            TaParameters::paper_defaults(),
+            Architecture::paper_reference(),
+            sites,
+        )?;
+        t.add_row(vec![
+            sites.to_string(),
+            fmt_availability(m.user_availability(&class_a())?),
+            fmt_availability(m.user_availability(&class_b())?),
+        ]);
+    }
+    print!("{}", render(&t, csv));
+    println!("(conservative composition: per-site platform folded into one factor)");
+    Ok(())
+}
+
+fn print_ramp(csv: bool) -> Result<(), TravelError> {
+    use uavail_travel::transient::user_availability_ramp;
+    let mut t = Table::new(
+        "Extension — transient user availability after deployment (µ = 1/h)",
+        vec!["t (h)", "A(user, class A)", "A(user, class B)"],
+    );
+    let ts = [0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 24.0];
+    let params = TaParameters::paper_defaults();
+    let ramp_a = user_availability_ramp(
+        &class_a(),
+        &params,
+        Architecture::paper_reference(),
+        1.0,
+        &ts,
+    )?;
+    let ramp_b = user_availability_ramp(
+        &class_b(),
+        &params,
+        Architecture::paper_reference(),
+        1.0,
+        &ts,
+    )?;
+    for (pa, pb) in ramp_a.iter().zip(&ramp_b) {
+        t.add_row(vec![
+            format!("{}", pa.t_hours),
+            fmt_availability(pa.availability),
+            fmt_availability(pb.availability),
+        ]);
+    }
+    print!("{}", render(&t, csv));
+    Ok(())
+}
+
+fn print_fit(csv: bool) -> Result<(), TravelError> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use uavail_travel::fig2::fit_to_table;
+    let mut t = Table::new(
+        "Extension — Figure 2 transition probabilities fitted to Table 1",
+        vec!["parameter", "class A", "class B"],
+    );
+    let mut rng = StdRng::seed_from_u64(20240601);
+    let (fit_a, err_a) = fit_to_table(&mut rng, class_a().table(), 300, 80)?;
+    let (fit_b, err_b) = fit_to_table(&mut rng, class_b().table(), 300, 80)?;
+    let rows: [(&str, f64, f64); 8] = [
+        ("P(Start -> Home)", fit_a.start_home, fit_b.start_home),
+        ("P(Home -> Browse)", fit_a.home_browse, fit_b.home_browse),
+        ("P(Home -> Search)", fit_a.home_search, fit_b.home_search),
+        ("P(Browse -> Home)", fit_a.browse_home, fit_b.browse_home),
+        ("P(Browse -> Search)", fit_a.browse_search, fit_b.browse_search),
+        ("P(Search -> Book)", fit_a.search_book, fit_b.search_book),
+        ("P(Book -> Search)", fit_a.book_search, fit_b.book_search),
+        ("P(Book -> Pay)", fit_a.book_pay, fit_b.book_pay),
+    ];
+    for (name, a, b) in rows {
+        t.add_row(vec![name.into(), format!("{a:.4}"), format!("{b:.4}")]);
+    }
+    print!("{}", render(&t, csv));
+    println!("squared fit error: class A {err_a:.2e}, class B {err_b:.2e}");
+    Ok(())
+}
+
+fn print_fta(csv: bool) -> Result<(), TravelError> {
+    use uavail_travel::fta::{failure_probabilities, function_fault_tree};
+    let p = TaParameters::paper_defaults().with_reservation_systems(2);
+    let arch = Architecture::paper_reference();
+    let tree = function_fault_tree(TaFunction::Pay, &p, arch)?;
+    let q = failure_probabilities(&p, arch)?;
+    let mut t = Table::new(
+        "Fault-tree analysis — top event: a Pay transaction fails (structural)",
+        vec!["quantity", "value"],
+    );
+    t.add_row(vec![
+        "top-event probability".into(),
+        format!("{:.6}", tree.top_event_probability(&q)?),
+    ]);
+    let mut spof = tree.single_points_of_failure();
+    spof.sort();
+    t.add_row(vec!["single points of failure".into(), spof.join(", ")]);
+    t.add_row(vec![
+        "minimal cut sets".into(),
+        tree.minimal_cut_sets().len().to_string(),
+    ]);
+    print!("{}", render(&t, csv));
+    println!();
+    let mut imp = Table::new(
+        "Fussell-Vesely importance (top 5 basic events)",
+        vec!["event", "fussell-vesely", "birnbaum"],
+    );
+    let mut reports = tree.importance(&q)?;
+    reports.sort_by(|a, b| b.fussell_vesely.partial_cmp(&a.fussell_vesely).unwrap());
+    for r in reports.iter().take(5) {
+        imp.add_row(vec![
+            r.name.clone(),
+            format!("{:.4}", r.fussell_vesely),
+            format!("{:.4}", r.birnbaum),
+        ]);
+    }
+    print!("{}", render(&imp, csv));
+    Ok(())
+}
+
+fn print_mttf(csv: bool) -> Result<(), TravelError> {
+    let mut t = Table::new(
+        "Web-service MTTF (hours from all-up to service-down)",
+        vec!["N_W", "coverage", "MTTF (h)", "MTTF (years)"],
+    );
+    for nw in [2usize, 4, 6] {
+        for c in [1.0, 0.98, 0.9] {
+            let p = TaParameters::builder()
+                .web_servers(nw)
+                .coverage(c)
+                .build()?;
+            let mttf = webservice::mean_time_to_web_down(&p)?;
+            t.add_row(vec![
+                nw.to_string(),
+                format!("{c}"),
+                format!("{mttf:.3e}"),
+                format!("{:.2e}", mttf / 8760.0),
+            ]);
+        }
+    }
+    print!("{}", render(&t, csv));
+    Ok(())
+}
+
+fn print_session(csv: bool) -> Result<(), TravelError> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let params = TaParameters::paper_defaults();
+    let mut t = Table::new(
+        "Validation — equation (10) vs end-to-end session simulation",
+        vec!["class", "analytic A(user)", "simulated", "99.99% CI"],
+    );
+    for class in [class_a(), class_b()] {
+        let mut rng = StdRng::seed_from_u64(20240601);
+        let obs = uavail_travel::session_sim::simulate_user_availability(
+            &mut rng,
+            &class,
+            &params,
+            Architecture::paper_reference(),
+            200_000,
+        )?;
+        let (lo, hi) = obs.confidence_interval(3.9);
+        t.add_row(vec![
+            class.name().to_string(),
+            format!("{:.5}", obs.analytic),
+            format!("{:.5}", obs.availability()),
+            format!("[{lo:.5}, {hi:.5}]"),
+        ]);
+    }
+    print!("{}", render(&t, csv));
+    Ok(())
+}
+
+fn print_validate(csv: bool) -> Result<(), TravelError> {
+    let params = compressed_parameters();
+    let report = validate_web_service(&params, 30_000.0, 20240601)?;
+    let mut t = Table::new(
+        "Validation — analytic (eq. 9) vs joint discrete-event simulation",
+        vec!["quantity", "value"],
+    );
+    t.add_row(vec![
+        "analytic unavailability".into(),
+        fmt_unavailability(report.analytic_unavailability),
+    ]);
+    t.add_row(vec![
+        "simulated unavailability".into(),
+        fmt_unavailability(report.simulated_unavailability),
+    ]);
+    t.add_row(vec![
+        "simulation 99.99% CI".into(),
+        format!(
+            "[{}, {}]",
+            fmt_unavailability(report.confidence_interval.0),
+            fmt_unavailability(report.confidence_interval.1)
+        ),
+    ]);
+    t.add_row(vec!["requests simulated".into(), report.arrivals.to_string()]);
+    t.add_row(vec![
+        "time-scale separation".into(),
+        format!("{:.0}x", report.separation_ratio),
+    ]);
+    t.add_row(vec![
+        "agreement (15% slack)".into(),
+        report.agrees(0.15).to_string(),
+    ]);
+    print!("{}", render(&t, csv));
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! # uavail-bench
+//!
+//! Reproduction harness for the DSN 2003 travel-agency paper: the
+//! `reproduce` binary regenerates every table and figure, and the Criterion
+//! benches (`tables`, `figures`, `solvers`) time the underlying analytics.
+//!
+//! ```text
+//! cargo run -p uavail-bench --bin reproduce            # everything
+//! cargo run -p uavail-bench --bin reproduce table8     # one artifact
+//! cargo run -p uavail-bench --bin reproduce fig12 --csv
+//! cargo bench -p uavail-bench
+//! ```
+
+use uavail_travel::report::Table;
+
+/// Paper-published Table 8 values `(N, class A, class B)` used for the
+/// side-by-side comparison columns.
+pub const PAPER_TABLE8: [(usize, f64, f64); 6] = [
+    (1, 0.84235, 0.76875),
+    (2, 0.96509, 0.95529),
+    (3, 0.97867, 0.97593),
+    (4, 0.98004, 0.97802),
+    (5, 0.98018, 0.97822),
+    (10, 0.98020, 0.97825),
+];
+
+/// The paper's headline web-service availability (Table 7).
+pub const PAPER_A_WS: f64 = 0.999995587;
+
+/// Renders a table as ASCII or CSV depending on the flag.
+pub fn render(table: &Table, csv: bool) -> String {
+    if csv {
+        table.to_csv()
+    } else {
+        table.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_modes() {
+        let mut t = Table::new("x", vec!["a"]);
+        t.add_row(vec!["1".into()]);
+        assert!(render(&t, false).contains("== x =="));
+        assert!(render(&t, true).starts_with("a\n"));
+    }
+
+    #[test]
+    fn paper_constants_sane() {
+        // Rows must be sorted by N and probabilities valid.
+        for w in PAPER_TABLE8.windows(2) {
+            assert!(w[1].0 > w[0].0);
+        }
+        for (_, a, b) in PAPER_TABLE8 {
+            assert!((0.0..=1.0).contains(&a) && (0.0..=1.0).contains(&b));
+        }
+        const { assert!(PAPER_A_WS > 0.99999 && PAPER_A_WS < 1.0) };
+    }
+}

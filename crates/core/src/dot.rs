@@ -1,0 +1,80 @@
+//! Graphviz DOT export for interaction diagrams.
+
+use std::fmt::Write as _;
+
+use crate::interaction::InteractionDiagram;
+
+impl InteractionDiagram {
+    /// Renders the diagram in Graphviz DOT format: Begin/End as double
+    /// circles, stages as boxes labeled with the services they use, edges
+    /// labeled with branch probabilities.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use uavail_core::InteractionDiagram;
+    ///
+    /// # fn main() -> Result<(), uavail_core::CoreError> {
+    /// let mut d = InteractionDiagram::new();
+    /// let s = d.add_stage(vec!["WS"]);
+    /// d.connect_begin(s, 1.0)?;
+    /// d.connect_end(s, 1.0)?;
+    /// let dot = d.to_dot();
+    /// assert!(dot.contains("Begin"));
+    /// assert!(dot.contains("WS"));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        out.push_str("digraph interaction {\n  rankdir=LR;\n");
+        out.push_str("  \"Begin\" [shape=doublecircle];\n");
+        out.push_str("  \"End\" [shape=doublecircle];\n");
+        for (i, services) in self.stage_services().iter().enumerate() {
+            let label = if services.is_empty() {
+                format!("stage {i}")
+            } else {
+                services.join(" + ")
+            };
+            let _ = writeln!(out, "  \"s{i}\" [shape=box, label={label:?}];");
+        }
+        for (to, p) in self.begin_edge_list() {
+            let _ = writeln!(out, "  \"Begin\" -> \"s{to}\" [label=\"{p}\"];");
+        }
+        for (from, to, p) in self.edge_list() {
+            match to {
+                Some(to) => {
+                    let _ = writeln!(out, "  \"s{from}\" -> \"s{to}\" [label=\"{p}\"];");
+                }
+                None => {
+                    let _ = writeln!(out, "  \"s{from}\" -> \"End\" [label=\"{p}\"];");
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::InteractionDiagram;
+
+    #[test]
+    fn dot_structure() {
+        let mut d = InteractionDiagram::new();
+        let ws = d.add_stage(vec!["WS"]);
+        let fork = d.add_stage(vec!["Flight", "Hotel"]);
+        d.connect_begin(ws, 1.0).unwrap();
+        d.connect(ws, fork, 0.7).unwrap();
+        d.connect_end(ws, 0.3).unwrap();
+        d.connect_end(fork, 1.0).unwrap();
+        let dot = d.to_dot();
+        assert!(dot.starts_with("digraph interaction {"));
+        assert!(dot.contains("\"s1\" [shape=box, label=\"Flight + Hotel\"];"));
+        assert!(dot.contains("\"Begin\" -> \"s0\" [label=\"1\"];"));
+        assert!(dot.contains("\"s0\" -> \"s1\" [label=\"0.7\"];"));
+        assert!(dot.contains("\"s0\" -> \"End\" [label=\"0.3\"];"));
+        assert!(dot.contains("\"s1\" -> \"End\" [label=\"1\"];"));
+    }
+}

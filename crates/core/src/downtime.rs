@@ -1,0 +1,237 @@
+//! Downtime and business-impact conversions.
+//!
+//! The paper reports unavailability as hours of downtime per year
+//! (Section 5.2: "173 hours per year for class A users") and converts it
+//! into lost transactions and lost revenue ("5.7 million transactions …
+//! 570 million dollars"). This module provides those conversions.
+
+use std::fmt;
+
+use crate::CoreError;
+
+/// Hours in a (non-leap) year, the paper's implicit convention.
+pub const HOURS_PER_YEAR: f64 = 8760.0;
+
+/// Seconds in a year under the same convention.
+pub const SECONDS_PER_YEAR: f64 = HOURS_PER_YEAR * 3600.0;
+
+fn check_availability(a: f64) -> Result<(), CoreError> {
+    if a.is_finite() && (0.0..=1.0).contains(&a) {
+        Ok(())
+    } else {
+        Err(CoreError::InvalidProbability {
+            context: "availability".into(),
+            value: a,
+        })
+    }
+}
+
+/// Downtime per year implied by a steady-state availability.
+///
+/// # Errors
+///
+/// [`CoreError::InvalidProbability`] for an availability outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use uavail_core::downtime::hours_per_year;
+///
+/// # fn main() -> Result<(), uavail_core::CoreError> {
+/// // "five nines" is about 5.3 minutes a year.
+/// let h = hours_per_year(0.99999)?;
+/// assert!((h * 60.0 - 5.256).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn hours_per_year(availability: f64) -> Result<f64, CoreError> {
+    check_availability(availability)?;
+    Ok((1.0 - availability) * HOURS_PER_YEAR)
+}
+
+/// Minutes of downtime per year.
+///
+/// # Errors
+///
+/// As for [`hours_per_year`].
+pub fn minutes_per_year(availability: f64) -> Result<f64, CoreError> {
+    Ok(hours_per_year(availability)? * 60.0)
+}
+
+/// The availability matching a downtime budget in minutes per year —
+/// the inverse of [`minutes_per_year`], used for requirements like the
+/// paper's "unavailability lower than 5 min/year".
+///
+/// # Errors
+///
+/// [`CoreError::InvalidProbability`] for a negative budget or one
+/// exceeding a full year.
+pub fn availability_for_minutes_per_year(minutes: f64) -> Result<f64, CoreError> {
+    let total = HOURS_PER_YEAR * 60.0;
+    if !(minutes.is_finite() && (0.0..=total).contains(&minutes)) {
+        return Err(CoreError::InvalidProbability {
+            context: "downtime budget in minutes".into(),
+            value: minutes,
+        });
+    }
+    Ok(1.0 - minutes / total)
+}
+
+/// Number of "nines" of an availability (`0.999 → 3.0`), a common
+/// shorthand; `availability = 1` maps to infinity.
+///
+/// # Errors
+///
+/// As for [`hours_per_year`].
+pub fn nines(availability: f64) -> Result<f64, CoreError> {
+    check_availability(availability)?;
+    Ok(-(1.0 - availability).log10())
+}
+
+/// The revenue-loss model of Section 5.2.
+///
+/// # Examples
+///
+/// ```
+/// use uavail_core::downtime::RevenueModel;
+///
+/// # fn main() -> Result<(), uavail_core::CoreError> {
+/// // The paper's numbers: 100 transactions/s, $100 each.
+/// let model = RevenueModel::new(100.0, 100.0)?;
+/// let loss = model.annual_loss(0.98)?;
+/// // 2% of a year of transactions.
+/// assert!((loss.lost_transactions - 0.02 * 100.0 * 8760.0 * 3600.0).abs() < 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RevenueModel {
+    transactions_per_second: f64,
+    revenue_per_transaction: f64,
+}
+
+/// Annual business impact of an availability level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnnualLoss {
+    /// Transactions lost per year.
+    pub lost_transactions: f64,
+    /// Revenue lost per year (same currency as the model's
+    /// revenue-per-transaction).
+    pub lost_revenue: f64,
+    /// Downtime in hours per year.
+    pub downtime_hours: f64,
+}
+
+impl RevenueModel {
+    /// Creates the model from a transaction rate (per second) and an
+    /// average revenue per transaction.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidProbability`] (reused for domain violations)
+    /// when either argument is non-positive or non-finite.
+    pub fn new(
+        transactions_per_second: f64,
+        revenue_per_transaction: f64,
+    ) -> Result<Self, CoreError> {
+        for (name, v) in [
+            ("transactions_per_second", transactions_per_second),
+            ("revenue_per_transaction", revenue_per_transaction),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(CoreError::InvalidProbability {
+                    context: name.to_string(),
+                    value: v,
+                });
+            }
+        }
+        Ok(RevenueModel {
+            transactions_per_second,
+            revenue_per_transaction,
+        })
+    }
+
+    /// Annual loss at a given availability.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidProbability`] for an availability outside
+    /// `[0, 1]`.
+    pub fn annual_loss(&self, availability: f64) -> Result<AnnualLoss, CoreError> {
+        check_availability(availability)?;
+        let unavailability = 1.0 - availability;
+        let lost_transactions =
+            unavailability * self.transactions_per_second * SECONDS_PER_YEAR;
+        Ok(AnnualLoss {
+            lost_transactions,
+            lost_revenue: lost_transactions * self.revenue_per_transaction,
+            downtime_hours: unavailability * HOURS_PER_YEAR,
+        })
+    }
+}
+
+impl fmt::Display for AnnualLoss {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.1} h/yr downtime, {:.2e} lost transactions, {:.2e} lost revenue",
+            self.downtime_hours, self.lost_transactions, self.lost_revenue
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn downtime_conversions() {
+        assert!((hours_per_year(0.0).unwrap() - 8760.0).abs() < 1e-9);
+        assert_eq!(hours_per_year(1.0).unwrap(), 0.0);
+        assert!((minutes_per_year(0.5).unwrap() - 8760.0 * 30.0).abs() < 1e-6);
+        assert!(hours_per_year(1.5).is_err());
+        assert!(hours_per_year(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn budget_round_trip() {
+        let a = availability_for_minutes_per_year(5.0).unwrap();
+        assert!((minutes_per_year(a).unwrap() - 5.0).abs() < 1e-9);
+        assert!(availability_for_minutes_per_year(-1.0).is_err());
+    }
+
+    #[test]
+    fn nines_scale() {
+        assert!((nines(0.999).unwrap() - 3.0).abs() < 1e-9);
+        assert!((nines(0.99999).unwrap() - 5.0).abs() < 1e-9);
+        assert!(nines(1.0).unwrap().is_infinite());
+    }
+
+    #[test]
+    fn paper_revenue_numbers() {
+        // Section 5.2: 16 h/yr of SC4 downtime for class A at 100 tx/s and
+        // $100/tx is ~5.7M transactions and ~$570M.
+        let model = RevenueModel::new(100.0, 100.0).unwrap();
+        let sc4_unavailability = 16.0 / HOURS_PER_YEAR;
+        let loss = model.annual_loss(1.0 - sc4_unavailability).unwrap();
+        assert!((loss.lost_transactions - 5.76e6).abs() < 0.01e6);
+        assert!((loss.lost_revenue - 5.76e8).abs() < 0.01e8);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(RevenueModel::new(0.0, 100.0).is_err());
+        assert!(RevenueModel::new(100.0, -1.0).is_err());
+        let m = RevenueModel::new(1.0, 1.0).unwrap();
+        assert!(m.annual_loss(2.0).is_err());
+    }
+
+    #[test]
+    fn display_contains_units() {
+        let m = RevenueModel::new(10.0, 5.0).unwrap();
+        let loss = m.annual_loss(0.99).unwrap();
+        let s = loss.to_string();
+        assert!(s.contains("h/yr"));
+        assert!(s.contains("lost revenue"));
+    }
+}

@@ -1,0 +1,242 @@
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A forward-mode dual number `value + ε·derivative` (`ε² = 0`).
+///
+/// Evaluating an availability expression over duals — with the seed
+/// derivative 1 on one parameter — yields the *exact* partial derivative of
+/// the result with respect to that parameter, with no finite-difference
+/// truncation error. This is how [`crate::HierarchicalModel::sensitivity`]
+/// computes the influence rankings the paper derives by inspection
+/// ("the availabilities of the LAN, the net and the web service are the
+/// most influential ones").
+///
+/// # Examples
+///
+/// ```
+/// use uavail_core::Dual;
+///
+/// // d/dx (x * x) at x = 3 is 6.
+/// let x = Dual::variable(3.0);
+/// let y = x * x;
+/// assert_eq!(y.value(), 9.0);
+/// assert_eq!(y.derivative(), 6.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Dual {
+    value: f64,
+    derivative: f64,
+}
+
+impl Dual {
+    /// A constant (derivative 0).
+    pub fn constant(value: f64) -> Self {
+        Dual {
+            value,
+            derivative: 0.0,
+        }
+    }
+
+    /// The differentiation variable (derivative 1).
+    pub fn variable(value: f64) -> Self {
+        Dual {
+            value,
+            derivative: 1.0,
+        }
+    }
+
+    /// Creates a dual with explicit parts.
+    pub fn new(value: f64, derivative: f64) -> Self {
+        Dual { value, derivative }
+    }
+
+    /// The primal value.
+    pub fn value(self) -> f64 {
+        self.value
+    }
+
+    /// The derivative part.
+    pub fn derivative(self) -> f64 {
+        self.derivative
+    }
+
+    /// Natural exponential.
+    pub fn exp(self) -> Self {
+        let e = self.value.exp();
+        Dual {
+            value: e,
+            derivative: self.derivative * e,
+        }
+    }
+
+    /// Natural logarithm.
+    pub fn ln(self) -> Self {
+        Dual {
+            value: self.value.ln(),
+            derivative: self.derivative / self.value,
+        }
+    }
+
+    /// Integer power.
+    pub fn powi(self, n: i32) -> Self {
+        Dual {
+            value: self.value.powi(n),
+            derivative: n as f64 * self.value.powi(n - 1) * self.derivative,
+        }
+    }
+}
+
+impl From<f64> for Dual {
+    fn from(v: f64) -> Self {
+        Dual::constant(v)
+    }
+}
+
+impl Add for Dual {
+    type Output = Dual;
+    fn add(self, rhs: Dual) -> Dual {
+        Dual {
+            value: self.value + rhs.value,
+            derivative: self.derivative + rhs.derivative,
+        }
+    }
+}
+
+impl Sub for Dual {
+    type Output = Dual;
+    fn sub(self, rhs: Dual) -> Dual {
+        Dual {
+            value: self.value - rhs.value,
+            derivative: self.derivative - rhs.derivative,
+        }
+    }
+}
+
+impl Mul for Dual {
+    type Output = Dual;
+    fn mul(self, rhs: Dual) -> Dual {
+        Dual {
+            value: self.value * rhs.value,
+            derivative: self.value * rhs.derivative + self.derivative * rhs.value,
+        }
+    }
+}
+
+impl Div for Dual {
+    type Output = Dual;
+    fn div(self, rhs: Dual) -> Dual {
+        Dual {
+            value: self.value / rhs.value,
+            derivative: (self.derivative * rhs.value - self.value * rhs.derivative)
+                / (rhs.value * rhs.value),
+        }
+    }
+}
+
+impl Neg for Dual {
+    type Output = Dual;
+    fn neg(self) -> Dual {
+        Dual {
+            value: -self.value,
+            derivative: -self.derivative,
+        }
+    }
+}
+
+/// The scalar abstraction availability expressions evaluate over: plain
+/// numbers for values, [`Dual`] for values-with-derivatives.
+///
+/// This trait is sealed in spirit — it exists to let one evaluator serve
+/// both number types, not as a public extension point.
+pub trait Scalar:
+    Copy
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + From<f64>
+{
+    /// The multiplicative identity.
+    fn one() -> Self;
+    /// The additive identity.
+    fn zero() -> Self;
+}
+
+impl Scalar for f64 {
+    fn one() -> Self {
+        1.0
+    }
+    fn zero() -> Self {
+        0.0
+    }
+}
+
+impl Scalar for Dual {
+    fn one() -> Self {
+        Dual::constant(1.0)
+    }
+    fn zero() -> Self {
+        Dual::constant(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_rules() {
+        let x = Dual::variable(2.0);
+        let c = Dual::constant(3.0);
+        assert_eq!((x + c).derivative(), 1.0);
+        assert_eq!((x - c).derivative(), 1.0);
+        assert_eq!((c - x).derivative(), -1.0);
+        assert_eq!((x * c).derivative(), 3.0);
+        assert_eq!((x * x).derivative(), 4.0);
+        assert_eq!((-x).derivative(), -1.0);
+    }
+
+    #[test]
+    fn quotient_rule() {
+        // d/dx (1 / x) = -1 / x^2 at x = 2: -0.25.
+        let x = Dual::variable(2.0);
+        let y = Dual::constant(1.0) / x;
+        assert!((y.derivative() + 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn chain_rule_through_exp_ln() {
+        // d/dx exp(ln(x) * 2) = 2x at x = 3.
+        let x = Dual::variable(3.0);
+        let y = (x.ln() * Dual::constant(2.0)).exp();
+        assert!((y.value() - 9.0).abs() < 1e-12);
+        assert!((y.derivative() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn powi_matches_repeated_multiplication() {
+        let x = Dual::variable(1.5);
+        let by_powi = x.powi(3);
+        let by_mul = x * x * x;
+        assert!((by_powi.value() - by_mul.value()).abs() < 1e-15);
+        assert!((by_powi.derivative() - by_mul.derivative()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn availability_like_expression() {
+        // A = p * (1 - (1 - q)^2) with q the variable, p = 0.9, q = 0.8:
+        // dA/dq = p * 2 (1 - q) = 0.36.
+        let p = Dual::constant(0.9);
+        let q = Dual::variable(0.8);
+        let one = Dual::constant(1.0);
+        let a = p * (one - (one - q) * (one - q));
+        assert!((a.derivative() - 0.36).abs() < 1e-15);
+    }
+
+    #[test]
+    fn scalar_trait_identities() {
+        assert_eq!(<f64 as Scalar>::one(), 1.0);
+        assert_eq!(Dual::zero().value(), 0.0);
+        let from: Dual = 0.5f64.into();
+        assert_eq!(from.value(), 0.5);
+        assert_eq!(from.derivative(), 0.0);
+    }
+}

@@ -1,0 +1,80 @@
+use std::fmt;
+
+/// Errors produced by the hierarchical modeling framework.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A referenced quantity is not defined in the model.
+    Undefined {
+        /// The missing name.
+        name: String,
+    },
+    /// A quantity was defined twice.
+    Redefined {
+        /// The duplicated name.
+        name: String,
+    },
+    /// A value is not a probability (outside `[0, 1]` or non-finite).
+    InvalidProbability {
+        /// Where the value appeared.
+        context: String,
+        /// The offending value.
+        value: f64,
+    },
+    /// Definitions form a reference cycle, or a definition references a
+    /// quantity at the same or a higher level.
+    BadDependency {
+        /// Explanation.
+        reason: String,
+    },
+    /// An interaction diagram is structurally invalid (unreachable End,
+    /// cyclic, dangling branch probabilities).
+    BadDiagram {
+        /// Explanation.
+        reason: String,
+    },
+    /// A weighted sum's weights are invalid (negative, or not summing to
+    /// at most one).
+    BadWeights {
+        /// Explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Undefined { name } => write!(f, "undefined quantity {name:?}"),
+            CoreError::Redefined { name } => write!(f, "quantity {name:?} defined twice"),
+            CoreError::InvalidProbability { context, value } => {
+                write!(f, "invalid probability {value} in {context}")
+            }
+            CoreError::BadDependency { reason } => write!(f, "bad dependency: {reason}"),
+            CoreError::BadDiagram { reason } => write!(f, "bad interaction diagram: {reason}"),
+            CoreError::BadWeights { reason } => write!(f, "bad weights: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(CoreError::Undefined { name: "x".into() }.to_string().contains('x'));
+        assert!(CoreError::BadDiagram {
+            reason: "cycle".into()
+        }
+        .to_string()
+        .contains("cycle"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

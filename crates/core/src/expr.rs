@@ -1,0 +1,481 @@
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::dual::{Dual, Scalar};
+use crate::CoreError;
+
+/// An algebraic availability expression over named quantities.
+///
+/// `AvailExpr` is the lingua franca of the framework: service formulas
+/// (Tables 3–5), function formulas (Table 6) and the user-level equation
+/// (10) are all expressions of this type. The constructors mirror the
+/// idioms of availability modeling:
+///
+/// * [`AvailExpr::product`] — series use of several quantities,
+/// * [`AvailExpr::parallel`] — `1 − Π(1 − A_i)` redundancy,
+/// * [`AvailExpr::k_of_n`] — voting redundancy over identical quantities,
+/// * [`AvailExpr::weighted_sum`] — scenario mixtures `Σ q_i · A_i`,
+/// * [`AvailExpr::complement`] — unavailability `1 − A`.
+///
+/// Expressions evaluate over `f64` ([`AvailExpr::eval`]) or dual numbers
+/// ([`AvailExpr::eval_partial`] for exact sensitivities).
+///
+/// # Examples
+///
+/// Table 3's external flight service with `n` independent systems:
+///
+/// ```
+/// use std::collections::HashMap;
+/// use uavail_core::AvailExpr;
+///
+/// # fn main() -> Result<(), uavail_core::CoreError> {
+/// let flight = AvailExpr::parallel(vec![
+///     AvailExpr::param("AF"),
+///     AvailExpr::param("KLM"),
+/// ]);
+/// let mut env = HashMap::new();
+/// env.insert("AF".to_string(), 0.9);
+/// env.insert("KLM".to_string(), 0.9);
+/// assert!((flight.eval(&env)? - 0.99).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum AvailExpr {
+    /// A literal probability.
+    Const(f64),
+    /// A named quantity resolved from the evaluation environment.
+    Param(String),
+    /// Product of sub-expressions (series composition).
+    Product(Vec<AvailExpr>),
+    /// `1 − Π(1 − child)` (parallel redundancy).
+    Parallel(Vec<AvailExpr>),
+    /// At least `k` of the children available (voting redundancy).
+    KOfN(usize, Vec<AvailExpr>),
+    /// `Σ w_i · child_i` (scenario mixture; weights validated at build).
+    WeightedSum(Vec<(f64, AvailExpr)>),
+    /// `1 − child` (unavailability).
+    Complement(Box<AvailExpr>),
+}
+
+impl AvailExpr {
+    /// A literal constant.
+    pub fn constant(v: f64) -> Self {
+        AvailExpr::Const(v)
+    }
+
+    /// A named quantity.
+    pub fn param(name: impl Into<String>) -> Self {
+        AvailExpr::Param(name.into())
+    }
+
+    /// Series composition: product of the children.
+    pub fn product(children: Vec<AvailExpr>) -> Self {
+        AvailExpr::Product(children)
+    }
+
+    /// Parallel redundancy: `1 − Π(1 − child)`.
+    pub fn parallel(children: Vec<AvailExpr>) -> Self {
+        AvailExpr::Parallel(children)
+    }
+
+    /// Voting redundancy: at least `k` of the children available
+    /// (children treated as independent).
+    pub fn k_of_n(k: usize, children: Vec<AvailExpr>) -> Self {
+        AvailExpr::KOfN(k, children)
+    }
+
+    /// Scenario mixture `Σ w_i · child_i`.
+    pub fn weighted_sum(terms: Vec<(f64, AvailExpr)>) -> Self {
+        AvailExpr::WeightedSum(terms)
+    }
+
+    /// Unavailability `1 − child`.
+    pub fn complement(child: AvailExpr) -> Self {
+        AvailExpr::Complement(Box::new(child))
+    }
+
+    /// All parameter names referenced by this expression, sorted.
+    pub fn parameters(&self) -> Vec<String> {
+        let mut set = BTreeSet::new();
+        self.collect_params(&mut set);
+        set.into_iter().collect()
+    }
+
+    fn collect_params(&self, out: &mut BTreeSet<String>) {
+        match self {
+            AvailExpr::Const(_) => {}
+            AvailExpr::Param(name) => {
+                out.insert(name.clone());
+            }
+            AvailExpr::Product(ch) | AvailExpr::Parallel(ch) | AvailExpr::KOfN(_, ch) => {
+                for c in ch {
+                    c.collect_params(out);
+                }
+            }
+            AvailExpr::WeightedSum(terms) => {
+                for (_, c) in terms {
+                    c.collect_params(out);
+                }
+            }
+            AvailExpr::Complement(c) => c.collect_params(out),
+        }
+    }
+
+    /// Structural validation: constants and weights are probabilities,
+    /// k-of-n thresholds feasible, no empty composite.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidProbability`] for out-of-range constants.
+    /// * [`CoreError::BadWeights`] for negative weights or a weight sum
+    ///   exceeding `1 + 1e-9`.
+    /// * [`CoreError::BadDiagram`] for empty composites or infeasible
+    ///   k-of-n thresholds.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        match self {
+            AvailExpr::Const(v) => {
+                if !(v.is_finite() && (0.0..=1.0).contains(v)) {
+                    return Err(CoreError::InvalidProbability {
+                        context: "constant expression".into(),
+                        value: *v,
+                    });
+                }
+            }
+            AvailExpr::Param(_) => {}
+            AvailExpr::Product(ch) | AvailExpr::Parallel(ch) => {
+                if ch.is_empty() {
+                    return Err(CoreError::BadDiagram {
+                        reason: "empty product/parallel".into(),
+                    });
+                }
+                for c in ch {
+                    c.validate()?;
+                }
+            }
+            AvailExpr::KOfN(k, ch) => {
+                if ch.is_empty() || *k == 0 || *k > ch.len() {
+                    return Err(CoreError::BadDiagram {
+                        reason: format!("k-of-n with k = {k} over {} children", ch.len()),
+                    });
+                }
+                for c in ch {
+                    c.validate()?;
+                }
+            }
+            AvailExpr::WeightedSum(terms) => {
+                if terms.is_empty() {
+                    return Err(CoreError::BadWeights {
+                        reason: "empty weighted sum".into(),
+                    });
+                }
+                let mut total = 0.0;
+                for (w, c) in terms {
+                    if !(w.is_finite() && *w >= 0.0) {
+                        return Err(CoreError::BadWeights {
+                            reason: format!("negative or non-finite weight {w}"),
+                        });
+                    }
+                    total += w;
+                    c.validate()?;
+                }
+                if total > 1.0 + 1e-9 {
+                    return Err(CoreError::BadWeights {
+                        reason: format!("weights sum to {total} > 1"),
+                    });
+                }
+            }
+            AvailExpr::Complement(c) => c.validate()?,
+        }
+        Ok(())
+    }
+
+    /// Generic evaluation over any [`Scalar`] with a parameter-resolution
+    /// callback.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the resolver's errors (typically
+    /// [`CoreError::Undefined`]).
+    pub fn eval_with<S: Scalar>(
+        &self,
+        resolve: &mut dyn FnMut(&str) -> Result<S, CoreError>,
+    ) -> Result<S, CoreError> {
+        Ok(match self {
+            AvailExpr::Const(v) => S::from(*v),
+            AvailExpr::Param(name) => resolve(name)?,
+            AvailExpr::Product(ch) => {
+                let mut acc = S::one();
+                for c in ch {
+                    acc = acc * c.eval_with(resolve)?;
+                }
+                acc
+            }
+            AvailExpr::Parallel(ch) => {
+                let mut acc = S::one();
+                for c in ch {
+                    acc = acc * (S::one() - c.eval_with(resolve)?);
+                }
+                S::one() - acc
+            }
+            AvailExpr::KOfN(k, ch) => {
+                // dp[j] = P(exactly j of the processed children work).
+                let mut dp: Vec<S> = vec![S::zero(); ch.len() + 1];
+                dp[0] = S::one();
+                for (processed, c) in ch.iter().enumerate() {
+                    let p = c.eval_with(resolve)?;
+                    for j in (0..=processed).rev() {
+                        let w = dp[j];
+                        dp[j + 1] = dp[j + 1] + w * p;
+                        dp[j] = w * (S::one() - p);
+                    }
+                }
+                let mut acc = S::zero();
+                for d in dp.iter().skip(*k) {
+                    acc = acc + *d;
+                }
+                acc
+            }
+            AvailExpr::WeightedSum(terms) => {
+                let mut acc = S::zero();
+                for (w, c) in terms {
+                    acc = acc + S::from(*w) * c.eval_with(resolve)?;
+                }
+                acc
+            }
+            AvailExpr::Complement(c) => S::one() - c.eval_with(resolve)?,
+        })
+    }
+
+    /// Evaluates over an environment of named values.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Undefined`] for parameters missing from `env`.
+    pub fn eval(
+        &self,
+        env: &std::collections::HashMap<String, f64>,
+    ) -> Result<f64, CoreError> {
+        self.eval_with(&mut |name| {
+            env.get(name)
+                .copied()
+                .ok_or_else(|| CoreError::Undefined { name: name.into() })
+        })
+    }
+
+    /// Evaluates the value and the exact partial derivative with respect to
+    /// `with_respect_to` via dual numbers.
+    ///
+    /// Returns `(value, ∂value/∂param)`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Undefined`] for parameters missing from `env`.
+    pub fn eval_partial(
+        &self,
+        env: &std::collections::HashMap<String, f64>,
+        with_respect_to: &str,
+    ) -> Result<(f64, f64), CoreError> {
+        let result: Dual = self.eval_with(&mut |name| {
+            let v = env
+                .get(name)
+                .copied()
+                .ok_or_else(|| CoreError::Undefined { name: name.into() })?;
+            Ok(if name == with_respect_to {
+                Dual::variable(v)
+            } else {
+                Dual::constant(v)
+            })
+        })?;
+        Ok((result.value(), result.derivative()))
+    }
+}
+
+impl fmt::Display for AvailExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AvailExpr::Const(v) => write!(f, "{v}"),
+            AvailExpr::Param(name) => write!(f, "A({name})"),
+            AvailExpr::Product(ch) => {
+                write!(f, "(")?;
+                for (i, c) in ch.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " * ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, ")")
+            }
+            AvailExpr::Parallel(ch) => {
+                write!(f, "par(")?;
+                for (i, c) in ch.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, ")")
+            }
+            AvailExpr::KOfN(k, ch) => {
+                write!(f, "{k}-of-{}(", ch.len())?;
+                for (i, c) in ch.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, ")")
+            }
+            AvailExpr::WeightedSum(terms) => {
+                write!(f, "[")?;
+                for (i, (w, c)) in terms.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " + ")?;
+                    }
+                    write!(f, "{w}*{c}")?;
+                }
+                write!(f, "]")
+            }
+            AvailExpr::Complement(c) => write!(f, "(1 - {c})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn env(entries: &[(&str, f64)]) -> HashMap<String, f64> {
+        entries.iter().map(|(n, v)| (n.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn basic_evaluation() {
+        let e = AvailExpr::product(vec![
+            AvailExpr::param("a"),
+            AvailExpr::parallel(vec![AvailExpr::param("b"), AvailExpr::param("c")]),
+        ]);
+        let v = e.eval(&env(&[("a", 0.9), ("b", 0.5), ("c", 0.5)])).unwrap();
+        assert!((v - 0.9 * 0.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn missing_parameter() {
+        let e = AvailExpr::param("ghost");
+        assert!(matches!(
+            e.eval(&HashMap::new()),
+            Err(CoreError::Undefined { .. })
+        ));
+    }
+
+    #[test]
+    fn k_of_n_evaluation() {
+        let e = AvailExpr::k_of_n(
+            2,
+            vec![
+                AvailExpr::param("a"),
+                AvailExpr::param("b"),
+                AvailExpr::param("c"),
+            ],
+        );
+        let p = 0.9;
+        let v = e.eval(&env(&[("a", p), ("b", p), ("c", p)])).unwrap();
+        let expected = 3.0 * p * p * (1.0 - p) + p * p * p;
+        assert!((v - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn weighted_sum_mixture() {
+        // The Browse-function shape: q23 + A(AS)(q45 + q47 A(DS)).
+        let e = AvailExpr::weighted_sum(vec![
+            (0.2, AvailExpr::constant(1.0)),
+            (
+                0.8,
+                AvailExpr::product(vec![
+                    AvailExpr::param("as"),
+                    AvailExpr::weighted_sum(vec![
+                        (0.4, AvailExpr::constant(1.0)),
+                        (0.6, AvailExpr::param("ds")),
+                    ]),
+                ]),
+            ),
+        ]);
+        let v = e.eval(&env(&[("as", 0.99), ("ds", 0.98)])).unwrap();
+        let expected = 0.2 + 0.8 * 0.99 * (0.4 + 0.6 * 0.98);
+        assert!((v - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn complement() {
+        let e = AvailExpr::complement(AvailExpr::param("a"));
+        assert!((e.eval(&env(&[("a", 0.25)])).unwrap() - 0.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn validation_rules() {
+        assert!(AvailExpr::constant(1.5).validate().is_err());
+        assert!(AvailExpr::product(vec![]).validate().is_err());
+        assert!(AvailExpr::k_of_n(3, vec![AvailExpr::param("a")])
+            .validate()
+            .is_err());
+        assert!(
+            AvailExpr::weighted_sum(vec![(0.7, AvailExpr::constant(1.0))])
+                .validate()
+                .is_ok()
+        );
+        assert!(
+            AvailExpr::weighted_sum(vec![(1.3, AvailExpr::constant(1.0))])
+                .validate()
+                .is_err()
+        );
+        assert!(
+            AvailExpr::weighted_sum(vec![(-0.1, AvailExpr::constant(1.0))])
+                .validate()
+                .is_err()
+        );
+        assert!(AvailExpr::weighted_sum(vec![]).validate().is_err());
+    }
+
+    #[test]
+    fn parameters_collected_sorted_unique() {
+        let e = AvailExpr::product(vec![
+            AvailExpr::param("z"),
+            AvailExpr::param("a"),
+            AvailExpr::param("z"),
+        ]);
+        assert_eq!(e.parameters(), vec!["a".to_string(), "z".to_string()]);
+    }
+
+    #[test]
+    fn dual_partial_matches_hand_derivative() {
+        // A = x * (1 - (1-y)(1-y)), dA/dy = x * 2(1-y).
+        let e = AvailExpr::product(vec![
+            AvailExpr::param("x"),
+            AvailExpr::parallel(vec![AvailExpr::param("y"), AvailExpr::param("y")]),
+        ]);
+        let (v, d) = e
+            .eval_partial(&env(&[("x", 0.9), ("y", 0.8)]), "y")
+            .unwrap();
+        assert!((v - 0.9 * (1.0 - 0.04)).abs() < 1e-15);
+        assert!((d - 0.9 * 2.0 * 0.2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn dual_partial_of_unused_param_is_zero() {
+        let e = AvailExpr::param("a");
+        let (_, d) = e.eval_partial(&env(&[("a", 0.5), ("b", 0.5)]), "b").unwrap();
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn display_round_trips_structure() {
+        let e = AvailExpr::product(vec![
+            AvailExpr::param("lan"),
+            AvailExpr::complement(AvailExpr::param("x")),
+        ]);
+        let s = e.to_string();
+        assert!(s.contains("A(lan)"));
+        assert!(s.contains("1 - A(x)"));
+    }
+}

@@ -1,0 +1,492 @@
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::dual::Dual;
+use crate::{AvailExpr, CoreError};
+
+/// The four abstraction levels of the framework (Figure 1 of the paper).
+///
+/// Levels are ordered: `Resource < Service < Function < User`. A
+/// definition may reference quantities at its own or any lower level (the
+/// paper's function formulas reference the LAN resource directly, skipping
+/// the service level), but never a higher one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// Hardware/software components and black-box external systems.
+    Resource,
+    /// Internal and external services (web, application, database,
+    /// reservation systems, payment).
+    Service,
+    /// User-visible functions (Home, Browse, Search, Book, Pay).
+    Function,
+    /// The user-perceived measure over the operational profile.
+    User,
+}
+
+impl Level {
+    /// All levels, bottom-up.
+    pub fn all() -> [Level; 4] {
+        [Level::Resource, Level::Service, Level::Function, Level::User]
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Level::Resource => "resource",
+            Level::Service => "service",
+            Level::Function => "function",
+            Level::User => "user",
+        };
+        f.write_str(s)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Definition {
+    /// A directly supplied availability (a measured or externally solved
+    /// quantity — e.g. the output of a Markov model).
+    Value(f64),
+    /// A derived quantity.
+    Expr(AvailExpr),
+}
+
+/// A four-level hierarchical availability model (the paper's Figure 1).
+///
+/// Quantities are defined bottom-up by name; expression definitions may
+/// reference previously defined quantities at the same or lower levels.
+/// [`HierarchicalModel::evaluate`] computes every quantity;
+/// [`HierarchicalModel::sensitivity`] differentiates any quantity with
+/// respect to any other exactly, via dual numbers.
+///
+/// See the [crate documentation](crate) for an example.
+#[derive(Debug, Clone, Default)]
+pub struct HierarchicalModel {
+    names: Vec<String>,
+    index: HashMap<String, usize>,
+    levels: Vec<Level>,
+    defs: Vec<Definition>,
+}
+
+impl HierarchicalModel {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        HierarchicalModel::default()
+    }
+
+    /// Number of defined quantities.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the model has no definitions.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Names defined at the given level, in definition order.
+    pub fn names_at(&self, level: Level) -> Vec<&str> {
+        self.names
+            .iter()
+            .zip(&self.levels)
+            .filter(|(_, l)| **l == level)
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+
+    fn check_new_name(&self, name: &str) -> Result<(), CoreError> {
+        if self.index.contains_key(name) {
+            return Err(CoreError::Redefined { name: name.into() });
+        }
+        Ok(())
+    }
+
+    /// Defines a directly supplied availability value.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::Redefined`] for duplicate names.
+    /// * [`CoreError::InvalidProbability`] for values outside `[0, 1]`.
+    pub fn define_value(
+        &mut self,
+        name: impl Into<String>,
+        level: Level,
+        value: f64,
+    ) -> Result<(), CoreError> {
+        let name = name.into();
+        self.check_new_name(&name)?;
+        if !(value.is_finite() && (0.0..=1.0).contains(&value)) {
+            return Err(CoreError::InvalidProbability {
+                context: format!("definition of {name:?}"),
+                value,
+            });
+        }
+        self.index.insert(name.clone(), self.names.len());
+        self.names.push(name);
+        self.levels.push(level);
+        self.defs.push(Definition::Value(value));
+        Ok(())
+    }
+
+    /// Defines a derived quantity.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::Redefined`] for duplicate names.
+    /// * Expression validation errors (see [`AvailExpr::validate`]).
+    /// * [`CoreError::Undefined`] when the expression references a name not
+    ///   yet defined (definitions are bottom-up, which also rules out
+    ///   cycles).
+    /// * [`CoreError::BadDependency`] when a referenced quantity lives at a
+    ///   higher level than this definition.
+    pub fn define_expr(
+        &mut self,
+        name: impl Into<String>,
+        level: Level,
+        expr: AvailExpr,
+    ) -> Result<(), CoreError> {
+        let name = name.into();
+        self.check_new_name(&name)?;
+        expr.validate()?;
+        for dep in expr.parameters() {
+            let idx = self
+                .index
+                .get(&dep)
+                .copied()
+                .ok_or(CoreError::Undefined { name: dep.clone() })?;
+            if self.levels[idx] > level {
+                return Err(CoreError::BadDependency {
+                    reason: format!(
+                        "{name:?} at level {level} references {dep:?} at higher level {}",
+                        self.levels[idx]
+                    ),
+                });
+            }
+        }
+        self.index.insert(name.clone(), self.names.len());
+        self.names.push(name);
+        self.levels.push(level);
+        self.defs.push(Definition::Expr(expr));
+        Ok(())
+    }
+
+    /// Replaces the value of an existing [`define_value`] quantity —
+    /// the primitive behind parameter sweeps.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::Undefined`] for unknown names.
+    /// * [`CoreError::BadDependency`] when the name is expression-defined.
+    /// * [`CoreError::InvalidProbability`] for values outside `[0, 1]`.
+    ///
+    /// [`define_value`]: HierarchicalModel::define_value
+    pub fn set_value(&mut self, name: &str, value: f64) -> Result<(), CoreError> {
+        let idx = self
+            .index
+            .get(name)
+            .copied()
+            .ok_or_else(|| CoreError::Undefined { name: name.into() })?;
+        match &mut self.defs[idx] {
+            Definition::Value(v) => {
+                if !(value.is_finite() && (0.0..=1.0).contains(&value)) {
+                    return Err(CoreError::InvalidProbability {
+                        context: format!("set_value of {name:?}"),
+                        value,
+                    });
+                }
+                *v = value;
+                Ok(())
+            }
+            Definition::Expr(_) => Err(CoreError::BadDependency {
+                reason: format!("{name:?} is expression-defined; redefine the expression"),
+            }),
+        }
+    }
+
+    /// Evaluates every quantity bottom-up.
+    ///
+    /// # Errors
+    ///
+    /// Propagates expression-evaluation failures (which cannot occur for a
+    /// model built exclusively through the checked `define_*` methods).
+    pub fn evaluate(&self) -> Result<Evaluation, CoreError> {
+        let mut values: Vec<f64> = Vec::with_capacity(self.defs.len());
+        for def in &self.defs {
+            let v = match def {
+                Definition::Value(v) => *v,
+                Definition::Expr(e) => e.eval_with(&mut |name| {
+                    let idx = self
+                        .index
+                        .get(name)
+                        .copied()
+                        .ok_or_else(|| CoreError::Undefined { name: name.into() })?;
+                    Ok(values[idx])
+                })?,
+            };
+            values.push(v);
+        }
+        Ok(Evaluation {
+            names: self.names.clone(),
+            index: self.index.clone(),
+            levels: self.levels.clone(),
+            values,
+        })
+    }
+
+    /// Exact partial derivative `∂target/∂param`, treating `param` as an
+    /// independent input at its current value (its own definition held
+    /// fixed).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Undefined`] for unknown names.
+    pub fn sensitivity(&self, target: &str, param: &str) -> Result<f64, CoreError> {
+        let target_idx = self
+            .index
+            .get(target)
+            .copied()
+            .ok_or_else(|| CoreError::Undefined { name: target.into() })?;
+        let param_idx = self
+            .index
+            .get(param)
+            .copied()
+            .ok_or_else(|| CoreError::Undefined { name: param.into() })?;
+        let mut duals: Vec<Dual> = Vec::with_capacity(self.defs.len());
+        for (i, def) in self.defs.iter().enumerate() {
+            let mut d = match def {
+                Definition::Value(v) => Dual::constant(*v),
+                Definition::Expr(e) => e.eval_with(&mut |name| {
+                    let idx = self
+                        .index
+                        .get(name)
+                        .copied()
+                        .ok_or_else(|| CoreError::Undefined { name: name.into() })?;
+                    Ok(duals[idx])
+                })?,
+            };
+            if i == param_idx {
+                // Seed: treat this quantity as the differentiation variable.
+                d = Dual::new(d.value(), 1.0);
+            }
+            duals.push(d);
+        }
+        Ok(duals[target_idx].derivative())
+    }
+
+    /// Sensitivities of `target` to every quantity at `level`, ranked by
+    /// decreasing absolute derivative — the paper's "most influential
+    /// availabilities" analysis, computed exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Undefined`] for an unknown target.
+    pub fn ranked_sensitivities(
+        &self,
+        target: &str,
+        level: Level,
+    ) -> Result<Vec<(String, f64)>, CoreError> {
+        let mut out = Vec::new();
+        for name in self.names_at(level) {
+            let d = self.sensitivity(target, name)?;
+            out.push((name.to_string(), d));
+        }
+        out.sort_by(|a, b| {
+            b.1.abs()
+                .partial_cmp(&a.1.abs())
+                .expect("finite sensitivities")
+        });
+        Ok(out)
+    }
+}
+
+/// The result of evaluating a [`HierarchicalModel`]: every quantity's
+/// availability, queryable by name or level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    names: Vec<String>,
+    index: HashMap<String, usize>,
+    levels: Vec<Level>,
+    values: Vec<f64>,
+}
+
+impl Evaluation {
+    /// The availability of a quantity.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Undefined`] for unknown names.
+    pub fn value(&self, name: &str) -> Result<f64, CoreError> {
+        self.index
+            .get(name)
+            .map(|&i| self.values[i])
+            .ok_or_else(|| CoreError::Undefined { name: name.into() })
+    }
+
+    /// All `(name, availability)` pairs at a level, in definition order.
+    pub fn at_level(&self, level: Level) -> Vec<(&str, f64)> {
+        self.names
+            .iter()
+            .zip(&self.levels)
+            .zip(&self.values)
+            .filter(|((_, l), _)| **l == level)
+            .map(|((n, _), v)| (n.as_str(), *v))
+            .collect()
+    }
+}
+
+impl fmt::Display for Evaluation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for level in Level::all() {
+            let rows = self.at_level(level);
+            if rows.is_empty() {
+                continue;
+            }
+            writeln!(f, "[{level} level]")?;
+            for (name, v) in rows {
+                writeln!(f, "  A({name}) = {v:.9}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_model() -> HierarchicalModel {
+        let mut m = HierarchicalModel::new();
+        m.define_value("host", Level::Resource, 0.99).unwrap();
+        m.define_value("lan", Level::Resource, 0.999).unwrap();
+        m.define_expr(
+            "web",
+            Level::Service,
+            AvailExpr::product(vec![AvailExpr::param("host"), AvailExpr::param("lan")]),
+        )
+        .unwrap();
+        m.define_expr(
+            "home",
+            Level::Function,
+            AvailExpr::param("web"),
+        )
+        .unwrap();
+        m.define_expr(
+            "user",
+            Level::User,
+            AvailExpr::weighted_sum(vec![(1.0, AvailExpr::param("home"))]),
+        )
+        .unwrap();
+        m
+    }
+
+    #[test]
+    fn bottom_up_evaluation() {
+        let m = small_model();
+        let eval = m.evaluate().unwrap();
+        let expected = 0.99 * 0.999;
+        assert!((eval.value("web").unwrap() - expected).abs() < 1e-15);
+        assert!((eval.value("user").unwrap() - expected).abs() < 1e-15);
+        assert!(eval.value("nope").is_err());
+    }
+
+    #[test]
+    fn at_level_grouping() {
+        let eval = small_model().evaluate().unwrap();
+        assert_eq!(eval.at_level(Level::Resource).len(), 2);
+        assert_eq!(eval.at_level(Level::Service).len(), 1);
+        assert_eq!(eval.at_level(Level::User).len(), 1);
+        let display = eval.to_string();
+        assert!(display.contains("[resource level]"));
+        assert!(display.contains("A(user)"));
+    }
+
+    #[test]
+    fn duplicate_and_undefined_rejected() {
+        let mut m = small_model();
+        assert!(matches!(
+            m.define_value("host", Level::Resource, 0.5),
+            Err(CoreError::Redefined { .. })
+        ));
+        assert!(matches!(
+            m.define_expr("x", Level::Service, AvailExpr::param("ghost")),
+            Err(CoreError::Undefined { .. })
+        ));
+        assert!(matches!(
+            m.define_value("bad", Level::Resource, 1.5),
+            Err(CoreError::InvalidProbability { .. })
+        ));
+    }
+
+    #[test]
+    fn level_ordering_enforced() {
+        let mut m = small_model();
+        // A service referencing a function is upside-down.
+        assert!(matches!(
+            m.define_expr("svc2", Level::Service, AvailExpr::param("home")),
+            Err(CoreError::BadDependency { .. })
+        ));
+        // Function referencing resources directly is fine (paper does it).
+        assert!(m
+            .define_expr("fn2", Level::Function, AvailExpr::param("lan"))
+            .is_ok());
+    }
+
+    #[test]
+    fn set_value_sweeps() {
+        let mut m = small_model();
+        m.set_value("host", 0.5).unwrap();
+        let eval = m.evaluate().unwrap();
+        assert!((eval.value("user").unwrap() - 0.5 * 0.999).abs() < 1e-15);
+        assert!(m.set_value("web", 0.5).is_err()); // expr-defined
+        assert!(m.set_value("ghost", 0.5).is_err());
+        assert!(m.set_value("host", 2.0).is_err());
+    }
+
+    #[test]
+    fn sensitivity_chain_rule() {
+        let m = small_model();
+        // d(user)/d(host) = lan = 0.999.
+        let d = m.sensitivity("user", "host").unwrap();
+        assert!((d - 0.999).abs() < 1e-15);
+        // d(user)/d(web) = 1.
+        let d = m.sensitivity("user", "web").unwrap();
+        assert!((d - 1.0).abs() < 1e-15);
+        // d(user)/d(user) = 1.
+        assert_eq!(m.sensitivity("user", "user").unwrap(), 1.0);
+        assert!(m.sensitivity("user", "ghost").is_err());
+    }
+
+    #[test]
+    fn ranked_sensitivities_order() {
+        let mut m = HierarchicalModel::new();
+        m.define_value("critical", Level::Resource, 0.9).unwrap();
+        m.define_value("redundant", Level::Resource, 0.9).unwrap();
+        m.define_expr(
+            "system",
+            Level::User,
+            AvailExpr::product(vec![
+                AvailExpr::param("critical"),
+                AvailExpr::parallel(vec![
+                    AvailExpr::param("redundant"),
+                    AvailExpr::param("redundant"),
+                ]),
+            ]),
+        )
+        .unwrap();
+        let ranked = m.ranked_sensitivities("system", Level::Resource).unwrap();
+        assert_eq!(ranked[0].0, "critical");
+        // d/d(critical) = 1 - 0.01 = 0.99;
+        assert!((ranked[0].1 - 0.99).abs() < 1e-12);
+        // d/d(redundant) = 0.9 * 2 * (1 - 0.9) = 0.18.
+        assert!((ranked[1].1 - 0.18).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_model() {
+        let m = HierarchicalModel::new();
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+        let eval = m.evaluate().unwrap();
+        assert!(eval.at_level(Level::Resource).is_empty());
+    }
+}

@@ -1,0 +1,272 @@
+//! Algebraic simplification of availability expressions.
+//!
+//! Machine-generated expressions (compiled interaction diagrams, the
+//! equation-(10) scenario expansion) accumulate structural noise: nested
+//! products, unit constants, single-child composites, duplicate
+//! weighted-sum terms. [`AvailExpr::simplify`] normalizes them without
+//! changing the evaluated value — verified by property test.
+
+use std::collections::BTreeMap;
+
+use crate::AvailExpr;
+
+impl AvailExpr {
+    /// Returns an algebraically equivalent, structurally smaller
+    /// expression:
+    ///
+    /// * products/parallels are flattened and their constants folded;
+    /// * `1`-factors (products) and `0`-terms (parallels) are dropped;
+    /// * single-child composites collapse;
+    /// * weighted-sum terms with identical bodies merge their weights and
+    ///   zero-weight terms vanish;
+    /// * double complements cancel.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use uavail_core::AvailExpr;
+    ///
+    /// let noisy = AvailExpr::product(vec![
+    ///     AvailExpr::constant(1.0),
+    ///     AvailExpr::product(vec![AvailExpr::param("a"), AvailExpr::constant(0.5)]),
+    /// ]);
+    /// let clean = noisy.simplify();
+    /// assert_eq!(clean.parameters(), vec!["a".to_string()]);
+    /// ```
+    pub fn simplify(&self) -> AvailExpr {
+        match self {
+            AvailExpr::Const(_) | AvailExpr::Param(_) => self.clone(),
+            AvailExpr::Product(children) => {
+                let mut constant = 1.0;
+                let mut rest: Vec<AvailExpr> = Vec::new();
+                for child in children {
+                    match child.simplify() {
+                        AvailExpr::Const(v) => constant *= v,
+                        AvailExpr::Product(grandchildren) => {
+                            for g in grandchildren {
+                                match g {
+                                    AvailExpr::Const(v) => constant *= v,
+                                    other => rest.push(other),
+                                }
+                            }
+                        }
+                        other => rest.push(other),
+                    }
+                }
+                if constant == 0.0 {
+                    return AvailExpr::Const(0.0);
+                }
+                if (constant - 1.0).abs() > 0.0 {
+                    rest.insert(0, AvailExpr::Const(constant));
+                }
+                match rest.len() {
+                    0 => AvailExpr::Const(1.0),
+                    1 => rest.pop().expect("one element"),
+                    _ => AvailExpr::Product(rest),
+                }
+            }
+            AvailExpr::Parallel(children) => {
+                let mut rest: Vec<AvailExpr> = Vec::new();
+                for child in children {
+                    match child.simplify() {
+                        // A certain branch makes the whole parallel certain.
+                        AvailExpr::Const(v) if v >= 1.0 => return AvailExpr::Const(1.0),
+                        // A never-working branch contributes nothing.
+                        AvailExpr::Const(v) if v <= 0.0 => {}
+                        AvailExpr::Parallel(grandchildren) => rest.extend(grandchildren),
+                        other => rest.push(other),
+                    }
+                }
+                match rest.len() {
+                    0 => AvailExpr::Const(0.0),
+                    1 => rest.pop().expect("one element"),
+                    _ => AvailExpr::Parallel(rest),
+                }
+            }
+            AvailExpr::KOfN(k, children) => {
+                let simplified: Vec<AvailExpr> =
+                    children.iter().map(AvailExpr::simplify).collect();
+                if *k == 1 {
+                    return AvailExpr::Parallel(simplified).simplify();
+                }
+                if *k == simplified.len() {
+                    return AvailExpr::Product(simplified).simplify();
+                }
+                AvailExpr::KOfN(*k, simplified)
+            }
+            AvailExpr::WeightedSum(terms) => {
+                // Merge identical bodies; drop zero weights.
+                let mut merged: BTreeMap<String, (f64, AvailExpr)> = BTreeMap::new();
+                for (w, child) in terms {
+                    if *w == 0.0 {
+                        continue;
+                    }
+                    let body = child.simplify();
+                    let key = format!("{body}");
+                    merged
+                        .entry(key)
+                        .and_modify(|(acc, _)| *acc += w)
+                        .or_insert((*w, body));
+                }
+                let rest: Vec<(f64, AvailExpr)> = merged.into_values().collect();
+                match rest.len() {
+                    0 => AvailExpr::Const(0.0),
+                    1 if (rest[0].0 - 1.0).abs() < 1e-15 => rest.into_iter().next().expect("one").1,
+                    _ => AvailExpr::WeightedSum(rest),
+                }
+            }
+            AvailExpr::Complement(inner) => match inner.simplify() {
+                AvailExpr::Const(v) => AvailExpr::Const(1.0 - v),
+                AvailExpr::Complement(inner2) => *inner2,
+                other => AvailExpr::Complement(Box::new(other)),
+            },
+        }
+    }
+
+    /// Number of nodes in the expression tree — a size metric for
+    /// simplification tests and diagnostics.
+    pub fn node_count(&self) -> usize {
+        match self {
+            AvailExpr::Const(_) | AvailExpr::Param(_) => 1,
+            AvailExpr::Product(ch) | AvailExpr::Parallel(ch) | AvailExpr::KOfN(_, ch) => {
+                1 + ch.iter().map(AvailExpr::node_count).sum::<usize>()
+            }
+            AvailExpr::WeightedSum(terms) => {
+                1 + terms.iter().map(|(_, c)| c.node_count()).sum::<usize>()
+            }
+            AvailExpr::Complement(c) => 1 + c.node_count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn env(entries: &[(&str, f64)]) -> HashMap<String, f64> {
+        entries.iter().map(|(n, v)| (n.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn folds_constants_in_products() {
+        let e = AvailExpr::product(vec![
+            AvailExpr::constant(0.5),
+            AvailExpr::constant(0.5),
+            AvailExpr::param("a"),
+        ]);
+        let s = e.simplify();
+        assert_eq!(s.node_count(), 3); // Product(Const, Param)
+        let v = s.eval(&env(&[("a", 0.8)])).unwrap();
+        assert!((v - 0.2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn unit_product_disappears() {
+        let e = AvailExpr::product(vec![AvailExpr::constant(1.0), AvailExpr::param("a")]);
+        assert_eq!(e.simplify(), AvailExpr::param("a"));
+        let e = AvailExpr::product(vec![AvailExpr::constant(1.0)]);
+        assert_eq!(e.simplify(), AvailExpr::constant(1.0));
+    }
+
+    #[test]
+    fn zero_annihilates_product() {
+        let e = AvailExpr::product(vec![AvailExpr::constant(0.0), AvailExpr::param("a")]);
+        assert_eq!(e.simplify(), AvailExpr::constant(0.0));
+    }
+
+    #[test]
+    fn nested_products_flatten() {
+        let e = AvailExpr::product(vec![
+            AvailExpr::param("a"),
+            AvailExpr::product(vec![
+                AvailExpr::param("b"),
+                AvailExpr::product(vec![AvailExpr::param("c")]),
+            ]),
+        ]);
+        let s = e.simplify();
+        assert_eq!(s.node_count(), 4); // Product(a, b, c)
+    }
+
+    #[test]
+    fn parallel_rules() {
+        let e = AvailExpr::parallel(vec![
+            AvailExpr::constant(0.0),
+            AvailExpr::param("a"),
+        ]);
+        assert_eq!(e.simplify(), AvailExpr::param("a"));
+        let e = AvailExpr::parallel(vec![
+            AvailExpr::constant(1.0),
+            AvailExpr::param("a"),
+        ]);
+        assert_eq!(e.simplify(), AvailExpr::constant(1.0));
+    }
+
+    #[test]
+    fn k_of_n_degenerate_cases() {
+        let ch = vec![AvailExpr::param("a"), AvailExpr::param("b")];
+        let one_of = AvailExpr::k_of_n(1, ch.clone()).simplify();
+        assert!(matches!(one_of, AvailExpr::Parallel(_)));
+        let all_of = AvailExpr::k_of_n(2, ch).simplify();
+        assert!(matches!(all_of, AvailExpr::Product(_)));
+    }
+
+    #[test]
+    fn weighted_sum_merging() {
+        let e = AvailExpr::weighted_sum(vec![
+            (0.2, AvailExpr::param("a")),
+            (0.3, AvailExpr::param("a")),
+            (0.0, AvailExpr::param("b")),
+            (0.5, AvailExpr::param("c")),
+        ]);
+        let s = e.simplify();
+        if let AvailExpr::WeightedSum(terms) = &s {
+            assert_eq!(terms.len(), 2);
+        } else {
+            panic!("expected weighted sum, got {s}");
+        }
+        let v = s.eval(&env(&[("a", 1.0), ("c", 0.0)])).unwrap();
+        assert!((v - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn full_weight_single_term_collapses() {
+        let e = AvailExpr::weighted_sum(vec![(1.0, AvailExpr::param("a"))]);
+        assert_eq!(e.simplify(), AvailExpr::param("a"));
+    }
+
+    #[test]
+    fn double_complement_cancels() {
+        let e = AvailExpr::complement(AvailExpr::complement(AvailExpr::param("a")));
+        assert_eq!(e.simplify(), AvailExpr::param("a"));
+        let e = AvailExpr::complement(AvailExpr::constant(0.3));
+        assert_eq!(e.simplify(), AvailExpr::constant(0.7));
+    }
+
+    #[test]
+    fn simplify_preserves_value_on_nested_example() {
+        let e = AvailExpr::weighted_sum(vec![
+            (
+                0.4,
+                AvailExpr::product(vec![
+                    AvailExpr::constant(1.0),
+                    AvailExpr::parallel(vec![
+                        AvailExpr::param("x"),
+                        AvailExpr::constant(0.0),
+                    ]),
+                ]),
+            ),
+            (
+                0.6,
+                AvailExpr::k_of_n(
+                    2,
+                    vec![AvailExpr::param("x"), AvailExpr::param("y")],
+                ),
+            ),
+        ]);
+        let s = e.simplify();
+        assert!(s.node_count() < e.node_count());
+        let values = env(&[("x", 0.7), ("y", 0.9)]);
+        assert!((e.eval(&values).unwrap() - s.eval(&values).unwrap()).abs() < 1e-15);
+    }
+}

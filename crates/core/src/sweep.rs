@@ -1,0 +1,189 @@
+//! Parameter-sweep and tornado-analysis utilities.
+//!
+//! Every figure in the paper's evaluation section is a parameter sweep
+//! (web-server count, failure rate, arrival rate, number of reservation
+//! systems). This module provides small, composable helpers for generating
+//! sweep grids and running sensitivity studies over arbitrary models.
+
+use crate::CoreError;
+
+/// A single point of a sweep: the swept value and the measured output.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// The swept parameter value.
+    pub x: f64,
+    /// The measured output.
+    pub y: f64,
+}
+
+/// Runs `f` over the given parameter values, collecting `(x, f(x))`.
+///
+/// # Errors
+///
+/// Propagates the first error from `f`.
+///
+/// # Examples
+///
+/// ```
+/// use uavail_core::sweep::sweep;
+///
+/// # fn main() -> Result<(), uavail_core::CoreError> {
+/// let points = sweep(&[1.0, 2.0, 3.0], |x| Ok(x * x))?;
+/// assert_eq!(points[2].y, 9.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn sweep(
+    values: &[f64],
+    mut f: impl FnMut(f64) -> Result<f64, CoreError>,
+) -> Result<Vec<SweepPoint>, CoreError> {
+    values
+        .iter()
+        .map(|&x| Ok(SweepPoint { x, y: f(x)? }))
+        .collect()
+}
+
+/// Logarithmically spaced grid from `start` to `end` (inclusive), the
+/// natural axis for failure-rate sweeps like the paper's
+/// `λ ∈ {10⁻², 10⁻³, 10⁻⁴}`.
+///
+/// # Errors
+///
+/// [`CoreError::BadWeights`] (domain reuse) when endpoints are
+/// non-positive or `points < 2`.
+pub fn log_grid(start: f64, end: f64, points: usize) -> Result<Vec<f64>, CoreError> {
+    if !(start.is_finite() && end.is_finite() && start > 0.0 && end > 0.0) {
+        return Err(CoreError::BadWeights {
+            reason: format!("log grid endpoints must be positive, got {start}..{end}"),
+        });
+    }
+    if points < 2 {
+        return Err(CoreError::BadWeights {
+            reason: "log grid needs at least 2 points".into(),
+        });
+    }
+    let (ls, le) = (start.ln(), end.ln());
+    Ok((0..points)
+        .map(|i| (ls + (le - ls) * i as f64 / (points - 1) as f64).exp())
+        .collect())
+}
+
+/// Linearly spaced grid from `start` to `end` (inclusive).
+///
+/// # Errors
+///
+/// [`CoreError::BadWeights`] when `points < 2` or the endpoints are not
+/// finite.
+pub fn linear_grid(start: f64, end: f64, points: usize) -> Result<Vec<f64>, CoreError> {
+    if !(start.is_finite() && end.is_finite()) {
+        return Err(CoreError::BadWeights {
+            reason: "linear grid endpoints must be finite".into(),
+        });
+    }
+    if points < 2 {
+        return Err(CoreError::BadWeights {
+            reason: "linear grid needs at least 2 points".into(),
+        });
+    }
+    Ok((0..points)
+        .map(|i| start + (end - start) * i as f64 / (points - 1) as f64)
+        .collect())
+}
+
+/// One bar of a tornado diagram: how far the output moves when one
+/// parameter swings across its plausible range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TornadoBar {
+    /// Parameter name.
+    pub name: String,
+    /// Output at the low end of the parameter range.
+    pub low_output: f64,
+    /// Output at the high end of the parameter range.
+    pub high_output: f64,
+}
+
+impl TornadoBar {
+    /// Total output swing of this bar.
+    pub fn swing(&self) -> f64 {
+        (self.high_output - self.low_output).abs()
+    }
+}
+
+/// Builds a tornado diagram: for each `(name, low, high)` parameter range,
+/// evaluates `f(name, value)` at both ends while other parameters stay at
+/// their baseline (handled inside `f`), and ranks bars by swing.
+///
+/// # Errors
+///
+/// Propagates the first error from `f`.
+pub fn tornado(
+    ranges: &[(&str, f64, f64)],
+    mut f: impl FnMut(&str, f64) -> Result<f64, CoreError>,
+) -> Result<Vec<TornadoBar>, CoreError> {
+    let mut bars = Vec::with_capacity(ranges.len());
+    for &(name, low, high) in ranges {
+        bars.push(TornadoBar {
+            name: name.to_string(),
+            low_output: f(name, low)?,
+            high_output: f(name, high)?,
+        });
+    }
+    bars.sort_by(|a, b| {
+        b.swing()
+            .partial_cmp(&a.swing())
+            .expect("finite tornado outputs")
+    });
+    Ok(bars)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_collects_points() {
+        let pts = sweep(&[0.0, 0.5, 1.0], |x| Ok(1.0 - x)).unwrap();
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[1], SweepPoint { x: 0.5, y: 0.5 });
+    }
+
+    #[test]
+    fn sweep_propagates_errors() {
+        let result = sweep(&[1.0], |_| {
+            Err(CoreError::BadWeights {
+                reason: "boom".into(),
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn log_grid_endpoints_and_spacing() {
+        let g = log_grid(1e-4, 1e-2, 3).unwrap();
+        assert!((g[0] - 1e-4).abs() < 1e-18);
+        assert!((g[1] - 1e-3).abs() < 1e-12);
+        assert!((g[2] - 1e-2).abs() < 1e-12);
+        assert!(log_grid(0.0, 1.0, 3).is_err());
+        assert!(log_grid(1.0, 2.0, 1).is_err());
+    }
+
+    #[test]
+    fn linear_grid_endpoints() {
+        let g = linear_grid(0.0, 10.0, 5).unwrap();
+        assert_eq!(g, vec![0.0, 2.5, 5.0, 7.5, 10.0]);
+        assert!(linear_grid(f64::NAN, 1.0, 2).is_err());
+        assert!(linear_grid(0.0, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn tornado_ranks_by_swing() {
+        // Output = value for "big", value/10 for "small".
+        let bars = tornado(&[("small", 0.0, 1.0), ("big", 0.0, 1.0)], |name, v| {
+            Ok(if name == "big" { v } else { v / 10.0 })
+        })
+        .unwrap();
+        assert_eq!(bars[0].name, "big");
+        assert!((bars[0].swing() - 1.0).abs() < 1e-15);
+        assert!((bars[1].swing() - 0.1).abs() < 1e-15);
+    }
+}

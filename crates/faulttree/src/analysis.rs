@@ -1,0 +1,302 @@
+//! Qualitative (minimal cut sets) and quantitative (importance) fault-tree
+//! analysis.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::tree::{FaultTree, FtNode};
+use crate::FaultTreeError;
+
+type EventSet = BTreeSet<usize>;
+
+fn minimize(sets: Vec<EventSet>) -> Vec<EventSet> {
+    let mut sorted = sets;
+    sorted.sort_by_key(|s| s.len());
+    let mut result: Vec<EventSet> = Vec::new();
+    for s in sorted {
+        if !result.iter().any(|r| r.is_subset(&s)) {
+            result.push(s);
+        }
+    }
+    result
+}
+
+fn cross_union(groups: &[Vec<EventSet>]) -> Vec<EventSet> {
+    let mut acc: Vec<EventSet> = vec![EventSet::new()];
+    for group in groups {
+        let mut next = Vec::with_capacity(acc.len() * group.len());
+        for base in &acc {
+            for s in group {
+                let mut merged = base.clone();
+                merged.extend(s.iter().copied());
+                next.push(merged);
+            }
+        }
+        acc = minimize(next);
+    }
+    acc
+}
+
+fn choose_and_cross(groups: &[Vec<EventSet>], k: usize) -> Vec<EventSet> {
+    let n = groups.len();
+    let mut result = Vec::new();
+    let mut indices: Vec<usize> = (0..k).collect();
+    loop {
+        let chosen: Vec<Vec<EventSet>> = indices.iter().map(|&i| groups[i].clone()).collect();
+        result.extend(cross_union(&chosen));
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return minimize(result);
+            }
+            i -= 1;
+            if indices[i] != i + n - k {
+                indices[i] += 1;
+                for j in (i + 1)..k {
+                    indices[j] = indices[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// MOCUS-style top-down cut-set generation: a cut set is a set of basic
+/// events whose joint occurrence triggers the node.
+fn cut_sets(node: &FtNode) -> Vec<EventSet> {
+    match node {
+        FtNode::Basic(id) => vec![EventSet::from([*id])],
+        // OR: any input's cut set cuts the output.
+        FtNode::Or(ch) => {
+            let mut all = Vec::new();
+            for c in ch {
+                all.extend(cut_sets(c));
+            }
+            minimize(all)
+        }
+        // AND: need one cut set from every input simultaneously.
+        FtNode::And(ch) => {
+            let groups: Vec<Vec<EventSet>> = ch.iter().map(cut_sets).collect();
+            cross_union(&groups)
+        }
+        FtNode::Vote(k, ch) => {
+            let groups: Vec<Vec<EventSet>> = ch.iter().map(cut_sets).collect();
+            choose_and_cross(&groups, *k)
+        }
+    }
+}
+
+/// Importance measures for one basic event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FtImportance {
+    /// Basic-event name.
+    pub name: String,
+    /// Birnbaum importance `∂Q_top/∂q_i`.
+    pub birnbaum: f64,
+    /// Fussell–Vesely importance: probability that some cut set containing
+    /// this event is failed, given the top event occurs (computed by the
+    /// standard upper-bound approximation over minimal cut sets).
+    pub fussell_vesely: f64,
+}
+
+impl FaultTree {
+    /// Minimal cut sets as sorted vectors of event names.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use uavail_faulttree::{and_gate, basic_event, or_gate, FaultTree};
+    ///
+    /// # fn main() -> Result<(), uavail_faulttree::FaultTreeError> {
+    /// let t = FaultTree::new(or_gate(vec![
+    ///     basic_event("net"),
+    ///     and_gate(vec![basic_event("l1"), basic_event("l2")]),
+    /// ]))?;
+    /// let cuts = t.minimal_cut_sets();
+    /// assert!(cuts.contains(&vec!["net".to_string()]));
+    /// assert!(cuts.contains(&vec!["l1".to_string(), "l2".to_string()]));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn minimal_cut_sets(&self) -> Vec<Vec<String>> {
+        cut_sets(&self.root)
+            .into_iter()
+            .map(|s| {
+                let mut names: Vec<String> =
+                    s.into_iter().map(|id| self.events[id].clone()).collect();
+                names.sort();
+                names
+            })
+            .collect()
+    }
+
+    /// Single points of failure: size-1 minimal cut sets.
+    pub fn single_points_of_failure(&self) -> Vec<String> {
+        self.minimal_cut_sets()
+            .into_iter()
+            .filter(|s| s.len() == 1)
+            .map(|mut s| s.remove(0))
+            .collect()
+    }
+
+    /// Importance measures for every basic event at the given failure
+    /// probabilities, sorted by decreasing Birnbaum importance.
+    ///
+    /// # Errors
+    ///
+    /// As for [`FaultTree::resolve_probabilities`].
+    pub fn importance(
+        &self,
+        probs: &HashMap<String, f64>,
+    ) -> Result<Vec<FtImportance>, FaultTreeError> {
+        let q = self.resolve_probabilities(probs)?;
+        let top = self.top_event_probability_dense(&q);
+        let cuts = cut_sets(&self.root);
+        let mut reports = Vec::with_capacity(self.num_events());
+        for (i, name) in self.event_names().iter().enumerate() {
+            let mut hi = q.clone();
+            hi[i] = 1.0;
+            let mut lo = q.clone();
+            lo[i] = 0.0;
+            let birnbaum =
+                self.top_event_probability_dense(&hi) - self.top_event_probability_dense(&lo);
+            // FV upper bound: 1 - Π (1 - P(cut)) over cuts containing i.
+            let mut complement = 1.0;
+            for cut in cuts.iter().filter(|c| c.contains(&i)) {
+                let p_cut: f64 = cut.iter().map(|&e| q[e]).product();
+                complement *= 1.0 - p_cut;
+            }
+            let fussell_vesely = if top > 0.0 {
+                (1.0 - complement) / top
+            } else {
+                0.0
+            };
+            reports.push(FtImportance {
+                name: name.clone(),
+                birnbaum,
+                fussell_vesely,
+            });
+        }
+        reports.sort_by(|a, b| {
+            b.birnbaum
+                .partial_cmp(&a.birnbaum)
+                .expect("finite importance values")
+        });
+        Ok(reports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{and_gate, basic_event, or_gate, vote_gate};
+
+    fn q(entries: &[(&str, f64)]) -> HashMap<String, f64> {
+        entries.iter().map(|(n, p)| (n.to_string(), *p)).collect()
+    }
+
+    fn sorted(mut v: Vec<Vec<String>>) -> Vec<Vec<String>> {
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn cut_sets_simple_or() {
+        let t = FaultTree::new(or_gate(vec![basic_event("a"), basic_event("b")])).unwrap();
+        assert_eq!(
+            sorted(t.minimal_cut_sets()),
+            vec![vec!["a".to_string()], vec!["b".to_string()]]
+        );
+        let mut spof = t.single_points_of_failure();
+        spof.sort();
+        assert_eq!(spof, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn cut_sets_and_of_ors() {
+        // AND(OR(a,b), OR(c,d)): cuts {a,c},{a,d},{b,c},{b,d}.
+        let t = FaultTree::new(and_gate(vec![
+            or_gate(vec![basic_event("a"), basic_event("b")]),
+            or_gate(vec![basic_event("c"), basic_event("d")]),
+        ]))
+        .unwrap();
+        assert_eq!(t.minimal_cut_sets().len(), 4);
+        assert!(t.single_points_of_failure().is_empty());
+    }
+
+    #[test]
+    fn cut_sets_absorb_supersets() {
+        // OR(a, AND(a, b)): minimal cut is just {a}.
+        let t = FaultTree::new(or_gate(vec![
+            basic_event("a"),
+            and_gate(vec![basic_event("a"), basic_event("b")]),
+        ]))
+        .unwrap();
+        assert_eq!(t.minimal_cut_sets(), vec![vec!["a".to_string()]]);
+    }
+
+    #[test]
+    fn vote_gate_cut_sets() {
+        let t = FaultTree::new(vote_gate(
+            2,
+            vec![basic_event("a"), basic_event("b"), basic_event("c")],
+        ))
+        .unwrap();
+        assert_eq!(t.minimal_cut_sets().len(), 3);
+    }
+
+    #[test]
+    fn cut_sets_characterize_evaluation() {
+        let t = FaultTree::new(or_gate(vec![
+            and_gate(vec![basic_event("a"), basic_event("b")]),
+            and_gate(vec![basic_event("b"), basic_event("c")]),
+            basic_event("d"),
+        ]))
+        .unwrap();
+        let cuts = t.minimal_cut_sets();
+        let names = t.event_names().to_vec();
+        for mask in 0..16u32 {
+            let state: Vec<bool> = (0..4).map(|i| mask & (1 << i) != 0).collect();
+            let top = t.evaluate(&state);
+            let cut_hit = cuts.iter().any(|cut| {
+                cut.iter().all(|c| {
+                    let idx = names.iter().position(|n| n == c).unwrap();
+                    state[idx]
+                })
+            });
+            assert_eq!(top, cut_hit, "mask {mask}");
+        }
+    }
+
+    #[test]
+    fn birnbaum_for_or_gate() {
+        // Q = q_a + q_b - q_a q_b: dQ/dq_a = 1 - q_b.
+        let t = FaultTree::new(or_gate(vec![basic_event("a"), basic_event("b")])).unwrap();
+        let reports = t.importance(&q(&[("a", 0.1), ("b", 0.3)])).unwrap();
+        let a = reports.iter().find(|r| r.name == "a").unwrap();
+        assert!((a.birnbaum - 0.7).abs() < 1e-15);
+    }
+
+    #[test]
+    fn fussell_vesely_of_spof_is_high() {
+        let t = FaultTree::new(or_gate(vec![
+            basic_event("spof"),
+            and_gate(vec![basic_event("r1"), basic_event("r2")]),
+        ]))
+        .unwrap();
+        let reports = t
+            .importance(&q(&[("spof", 0.01), ("r1", 0.01), ("r2", 0.01)]))
+            .unwrap();
+        let spof = reports.iter().find(|r| r.name == "spof").unwrap();
+        let r1 = reports.iter().find(|r| r.name == "r1").unwrap();
+        assert!(spof.fussell_vesely > 0.9);
+        assert!(r1.fussell_vesely < 0.1);
+        assert_eq!(reports[0].name, "spof");
+    }
+
+    #[test]
+    fn zero_probability_degenerate() {
+        let t = FaultTree::new(basic_event("a")).unwrap();
+        let reports = t.importance(&q(&[("a", 0.0)])).unwrap();
+        assert_eq!(reports[0].fussell_vesely, 0.0);
+    }
+}

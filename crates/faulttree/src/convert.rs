@@ -1,0 +1,185 @@
+//! Structural duality between reliability block diagrams and fault trees.
+//!
+//! An RBD describes *success* (the system works); a fault tree describes
+//! *failure* (the top event occurs). They are De Morgan duals:
+//!
+//! * series (all must work) ↔ OR gate (any failure fails the system);
+//! * parallel (one suffices) ↔ AND gate (all must fail);
+//! * k-of-n success ↔ (n − k + 1)-of-n failure;
+//! * a component ↔ its basic failure event.
+//!
+//! These conversions let each analysis use the engine that suits it —
+//! cut sets from the tree, importance from the diagram — while tests
+//! guarantee `A_rbd(p) = 1 − Q_ft(1 − p)`.
+
+use uavail_rbd::BlockSpec;
+
+use crate::{FaultTree, FaultTreeError, FtSpec};
+
+/// Converts an RBD structure into its dual fault-tree structure.
+///
+/// Constant blocks map to degenerate gates: a perfect block (`true`) never
+/// fails — represented as an impossible vote over its own basic event is
+/// not expressible, so constants are rejected.
+///
+/// # Errors
+///
+/// [`FaultTreeError::EmptyGate`] (reused) when the spec contains a
+/// [`BlockSpec::Constant`], which has no basic-event dual.
+///
+/// # Examples
+///
+/// ```
+/// use uavail_faulttree::convert::fault_tree_of;
+/// use uavail_rbd::{component, parallel, series};
+///
+/// # fn main() -> Result<(), uavail_faulttree::FaultTreeError> {
+/// let tree = fault_tree_of(&series(vec![
+///     component("lan"),
+///     parallel(vec![component("ws1"), component("ws2")]),
+/// ]))?;
+/// let mut spof = tree.single_points_of_failure();
+/// spof.sort();
+/// assert_eq!(spof, vec!["lan"]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn fault_tree_of(spec: &BlockSpec) -> Result<FaultTree, FaultTreeError> {
+    FaultTree::new(dual_spec(spec)?)
+}
+
+fn dual_spec(spec: &BlockSpec) -> Result<FtSpec, FaultTreeError> {
+    Ok(match spec {
+        BlockSpec::Component(name) => FtSpec::Basic(name.clone()),
+        BlockSpec::Series(ch) => FtSpec::Or(
+            ch.iter().map(dual_spec).collect::<Result<_, _>>()?,
+        ),
+        BlockSpec::Parallel(ch) => FtSpec::And(
+            ch.iter().map(dual_spec).collect::<Result<_, _>>()?,
+        ),
+        BlockSpec::KOfN(k, ch) => FtSpec::Vote(
+            ch.len() + 1 - k,
+            ch.iter().map(dual_spec).collect::<Result<_, _>>()?,
+        ),
+        BlockSpec::Constant(_) => {
+            return Err(FaultTreeError::EmptyGate {
+                kind: "constant block (no fault-tree dual)",
+            })
+        }
+    })
+}
+
+/// Converts a fault-tree structure back into its dual RBD structure.
+pub fn block_spec_of(spec: &FtSpec) -> BlockSpec {
+    match spec {
+        FtSpec::Basic(name) => BlockSpec::Component(name.clone()),
+        FtSpec::Or(ch) => BlockSpec::Series(ch.iter().map(block_spec_of).collect()),
+        FtSpec::And(ch) => BlockSpec::Parallel(ch.iter().map(block_spec_of).collect()),
+        FtSpec::Vote(k, ch) => {
+            BlockSpec::KOfN(ch.len() + 1 - k, ch.iter().map(block_spec_of).collect())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use uavail_rbd::{component, constant, k_of_n, parallel, series, BlockDiagram};
+
+    fn avail(entries: &[(&str, f64)]) -> HashMap<String, f64> {
+        entries.iter().map(|(n, p)| (n.to_string(), *p)).collect()
+    }
+
+    #[test]
+    fn duality_on_series_parallel() {
+        let spec = series(vec![
+            component("a"),
+            parallel(vec![component("b"), component("c")]),
+        ]);
+        let rbd = BlockDiagram::new(spec.clone()).unwrap();
+        let tree = fault_tree_of(&spec).unwrap();
+        let a = avail(&[("a", 0.95), ("b", 0.8), ("c", 0.7)]);
+        let mut q = HashMap::new();
+        for (k, v) in &a {
+            q.insert(k.clone(), 1.0 - v);
+        }
+        let availability = rbd.availability(&a).unwrap();
+        let top = tree.top_event_probability(&q).unwrap();
+        assert!((availability - (1.0 - top)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duality_on_k_of_n() {
+        let spec = k_of_n(2, vec![component("a"), component("b"), component("c")]);
+        let rbd = BlockDiagram::new(spec.clone()).unwrap();
+        let tree = fault_tree_of(&spec).unwrap();
+        // 2-of-3 success fails when 2 of 3 fail: vote threshold 2.
+        let a = avail(&[("a", 0.9), ("b", 0.85), ("c", 0.6)]);
+        let mut q = HashMap::new();
+        for (k, v) in &a {
+            q.insert(k.clone(), 1.0 - v);
+        }
+        assert!(
+            (rbd.availability(&a).unwrap()
+                - (1.0 - tree.top_event_probability(&q).unwrap()))
+            .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let spec = series(vec![
+            component("x"),
+            k_of_n(2, vec![component("y"), component("z"), component("w")]),
+        ]);
+        let tree_spec = dual_spec(&spec).unwrap();
+        let back = block_spec_of(&tree_spec);
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn cut_sets_equal_across_engines() {
+        let spec = series(vec![
+            component("lan"),
+            parallel(vec![component("ws1"), component("ws2")]),
+        ]);
+        let rbd = BlockDiagram::new(spec.clone()).unwrap();
+        let tree = fault_tree_of(&spec).unwrap();
+        let mut a = rbd.minimal_cut_sets();
+        let mut b = tree.minimal_cut_sets();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn constants_rejected() {
+        assert!(fault_tree_of(&constant(true)).is_err());
+        assert!(fault_tree_of(&series(vec![component("a"), constant(false)])).is_err());
+    }
+
+    #[test]
+    fn to_spec_round_trip_through_diagram() {
+        let spec = parallel(vec![
+            series(vec![component("a"), component("b")]),
+            component("c"),
+        ]);
+        let rbd = BlockDiagram::new(spec.clone()).unwrap();
+        assert_eq!(rbd.to_spec(), spec);
+        // Convert the reconstructed spec and check duality numerically.
+        let tree = fault_tree_of(&rbd.to_spec()).unwrap();
+        let a = avail(&[("a", 0.9), ("b", 0.8), ("c", 0.5)]);
+        let mut q = HashMap::new();
+        for (k, v) in &a {
+            q.insert(k.clone(), 1.0 - v);
+        }
+        assert!(
+            (rbd.availability(&a).unwrap()
+                - (1.0 - tree.top_event_probability(&q).unwrap()))
+            .abs()
+                < 1e-12
+        );
+    }
+}

@@ -1,0 +1,71 @@
+use std::fmt;
+
+/// Errors produced by fault-tree construction and analysis.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FaultTreeError {
+    /// A gate has no inputs.
+    EmptyGate {
+        /// Gate kind ("and", "or", "vote").
+        kind: &'static str,
+    },
+    /// A voting gate has an infeasible threshold.
+    BadThreshold {
+        /// Required failed inputs.
+        k: usize,
+        /// Available inputs.
+        n: usize,
+    },
+    /// A basic event has no probability in the supplied map.
+    MissingProbability {
+        /// Event name.
+        name: String,
+    },
+    /// A probability is outside `[0, 1]` or non-finite.
+    InvalidProbability {
+        /// Event name.
+        name: String,
+        /// Offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for FaultTreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultTreeError::EmptyGate { kind } => write!(f, "{kind} gate has no inputs"),
+            FaultTreeError::BadThreshold { k, n } => {
+                write!(f, "vote threshold {k} infeasible for {n} inputs")
+            }
+            FaultTreeError::MissingProbability { name } => {
+                write!(f, "no probability supplied for basic event {name:?}")
+            }
+            FaultTreeError::InvalidProbability { name, value } => {
+                write!(f, "probability {value} for basic event {name:?} not in [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultTreeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(FaultTreeError::EmptyGate { kind: "and" }
+            .to_string()
+            .contains("and"));
+        assert!(FaultTreeError::BadThreshold { k: 4, n: 2 }
+            .to_string()
+            .contains('4'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FaultTreeError>();
+    }
+}

@@ -1,0 +1,45 @@
+//! # uavail-faulttree
+//!
+//! Fault-tree analysis: top-event probability, minimal cut sets, and
+//! importance measures.
+//!
+//! Fault trees are the failure-space dual of reliability block diagrams and
+//! are listed by the paper (Section 2) among the techniques available for
+//! each modeling level. The crate supports AND / OR / k-of-n voting gates
+//! over named basic events, exact top-event probability for independent
+//! events (Shannon conditioning handles repeated events), qualitative
+//! analysis via minimal cut sets, and Birnbaum / Fussell–Vesely importance.
+//!
+//! # Examples
+//!
+//! "The travel-agency site is unreachable if the Internet link fails OR
+//! both redundant LAN switches fail":
+//!
+//! ```
+//! use uavail_faulttree::{basic_event, and_gate, or_gate, FaultTree};
+//! use std::collections::HashMap;
+//!
+//! # fn main() -> Result<(), uavail_faulttree::FaultTreeError> {
+//! let tree = FaultTree::new(or_gate(vec![
+//!     basic_event("net"),
+//!     and_gate(vec![basic_event("lan1"), basic_event("lan2")]),
+//! ]))?;
+//! let mut q = HashMap::new();
+//! q.insert("net".to_string(), 0.0034);   // failure probabilities
+//! q.insert("lan1".to_string(), 0.01);
+//! q.insert("lan2".to_string(), 0.01);
+//! let top = tree.top_event_probability(&q)?;
+//! let expected = 1.0 - (1.0 - 0.0034) * (1.0 - 0.01f64 * 0.01);
+//! assert!((top - expected).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+mod analysis;
+pub mod convert;
+mod error;
+mod tree;
+
+pub use analysis::FtImportance;
+pub use error::FaultTreeError;
+pub use tree::{and_gate, basic_event, or_gate, vote_gate, FaultTree, FtSpec};

@@ -1,0 +1,400 @@
+use std::collections::HashMap;
+
+use crate::FaultTreeError;
+
+/// Structural specification of a fault tree (failure space: `true` means
+/// *failed*).
+///
+/// Build specs with [`basic_event`], [`and_gate`], [`or_gate`] and
+/// [`vote_gate`], then validate into a [`FaultTree`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FtSpec {
+    /// A named basic event (a component failure).
+    Basic(String),
+    /// Output fails iff **all** inputs fail (redundancy).
+    And(Vec<FtSpec>),
+    /// Output fails iff **any** input fails (series dependency).
+    Or(Vec<FtSpec>),
+    /// Output fails iff at least `k` inputs fail.
+    Vote(usize, Vec<FtSpec>),
+}
+
+/// A named basic event.
+pub fn basic_event(name: impl Into<String>) -> FtSpec {
+    FtSpec::Basic(name.into())
+}
+
+/// An AND gate: fails only when every input fails.
+pub fn and_gate(inputs: Vec<FtSpec>) -> FtSpec {
+    FtSpec::And(inputs)
+}
+
+/// An OR gate: fails when any input fails.
+pub fn or_gate(inputs: Vec<FtSpec>) -> FtSpec {
+    FtSpec::Or(inputs)
+}
+
+/// A k-of-n voting gate: fails when at least `k` inputs fail.
+pub fn vote_gate(k: usize, inputs: Vec<FtSpec>) -> FtSpec {
+    FtSpec::Vote(k, inputs)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum FtNode {
+    Basic(usize),
+    And(Vec<FtNode>),
+    Or(Vec<FtNode>),
+    Vote(usize, Vec<FtNode>),
+}
+
+/// A validated fault tree over named, independent basic events.
+///
+/// See the [crate documentation](crate) for an overview and example.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultTree {
+    pub(crate) root: FtNode,
+    pub(crate) events: Vec<String>,
+    pub(crate) index: HashMap<String, usize>,
+}
+
+impl FaultTree {
+    /// Validates a spec into a fault tree.
+    ///
+    /// # Errors
+    ///
+    /// * [`FaultTreeError::EmptyGate`] for gates without inputs.
+    /// * [`FaultTreeError::BadThreshold`] for infeasible voting thresholds.
+    pub fn new(spec: FtSpec) -> Result<Self, FaultTreeError> {
+        let mut events = Vec::new();
+        let mut index = HashMap::new();
+        let root = Self::lower(&spec, &mut events, &mut index)?;
+        Ok(FaultTree {
+            root,
+            events,
+            index,
+        })
+    }
+
+    fn lower(
+        spec: &FtSpec,
+        events: &mut Vec<String>,
+        index: &mut HashMap<String, usize>,
+    ) -> Result<FtNode, FaultTreeError> {
+        match spec {
+            FtSpec::Basic(name) => {
+                let id = *index.entry(name.clone()).or_insert_with(|| {
+                    events.push(name.clone());
+                    events.len() - 1
+                });
+                Ok(FtNode::Basic(id))
+            }
+            FtSpec::And(inputs) => {
+                if inputs.is_empty() {
+                    return Err(FaultTreeError::EmptyGate { kind: "and" });
+                }
+                Ok(FtNode::And(
+                    inputs
+                        .iter()
+                        .map(|i| Self::lower(i, events, index))
+                        .collect::<Result<_, _>>()?,
+                ))
+            }
+            FtSpec::Or(inputs) => {
+                if inputs.is_empty() {
+                    return Err(FaultTreeError::EmptyGate { kind: "or" });
+                }
+                Ok(FtNode::Or(
+                    inputs
+                        .iter()
+                        .map(|i| Self::lower(i, events, index))
+                        .collect::<Result<_, _>>()?,
+                ))
+            }
+            FtSpec::Vote(k, inputs) => {
+                if inputs.is_empty() {
+                    return Err(FaultTreeError::EmptyGate { kind: "vote" });
+                }
+                if *k == 0 || *k > inputs.len() {
+                    return Err(FaultTreeError::BadThreshold {
+                        k: *k,
+                        n: inputs.len(),
+                    });
+                }
+                Ok(FtNode::Vote(
+                    *k,
+                    inputs
+                        .iter()
+                        .map(|i| Self::lower(i, events, index))
+                        .collect::<Result<_, _>>()?,
+                ))
+            }
+        }
+    }
+
+    /// Names of all basic events, in first-appearance order.
+    pub fn event_names(&self) -> &[String] {
+        &self.events
+    }
+
+    /// Number of distinct basic events.
+    pub fn num_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Resolves event failure probabilities from a name-keyed map into
+    /// dense order.
+    ///
+    /// # Errors
+    ///
+    /// * [`FaultTreeError::MissingProbability`] for uncovered events.
+    /// * [`FaultTreeError::InvalidProbability`] for values outside `[0, 1]`.
+    pub fn resolve_probabilities(
+        &self,
+        probs: &HashMap<String, f64>,
+    ) -> Result<Vec<f64>, FaultTreeError> {
+        self.events
+            .iter()
+            .map(|name| {
+                let p = *probs
+                    .get(name)
+                    .ok_or_else(|| FaultTreeError::MissingProbability { name: name.clone() })?;
+                if !(p.is_finite() && (0.0..=1.0).contains(&p)) {
+                    return Err(FaultTreeError::InvalidProbability {
+                        name: name.clone(),
+                        value: p,
+                    });
+                }
+                Ok(p)
+            })
+            .collect()
+    }
+
+    /// Exact top-event (system failure) probability for independent basic
+    /// events with the given failure probabilities. Repeated events are
+    /// handled exactly via Shannon conditioning.
+    ///
+    /// # Errors
+    ///
+    /// As for [`FaultTree::resolve_probabilities`].
+    pub fn top_event_probability(
+        &self,
+        probs: &HashMap<String, f64>,
+    ) -> Result<f64, FaultTreeError> {
+        let q = self.resolve_probabilities(probs)?;
+        Ok(self.top_event_probability_dense(&q))
+    }
+
+    /// Exact top-event probability with dense (first-appearance order)
+    /// failure probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch; use
+    /// [`FaultTree::top_event_probability`] for the checked variant.
+    pub fn top_event_probability_dense(&self, probs: &[f64]) -> f64 {
+        assert_eq!(probs.len(), self.num_events(), "probability length mismatch");
+        let mut counts = vec![0usize; self.num_events()];
+        Self::count(&self.root, &mut counts);
+        let mut assignment: Vec<Option<bool>> = vec![None; self.num_events()];
+        self.conditioned(probs, &counts, &mut assignment)
+    }
+
+    fn count(node: &FtNode, counts: &mut [usize]) {
+        match node {
+            FtNode::Basic(id) => counts[*id] += 1,
+            FtNode::And(ch) | FtNode::Or(ch) | FtNode::Vote(_, ch) => {
+                for c in ch {
+                    Self::count(c, counts);
+                }
+            }
+        }
+    }
+
+    fn conditioned(
+        &self,
+        probs: &[f64],
+        counts: &[usize],
+        assignment: &mut Vec<Option<bool>>,
+    ) -> f64 {
+        if let Some(pivot) =
+            (0..counts.len()).find(|&i| counts[i] > 1 && assignment[i].is_none())
+        {
+            assignment[pivot] = Some(true);
+            let failed = self.conditioned(probs, counts, assignment);
+            assignment[pivot] = Some(false);
+            let ok = self.conditioned(probs, counts, assignment);
+            assignment[pivot] = None;
+            return probs[pivot] * failed + (1.0 - probs[pivot]) * ok;
+        }
+        Self::eval(&self.root, probs, assignment)
+    }
+
+    fn eval(node: &FtNode, probs: &[f64], assignment: &[Option<bool>]) -> f64 {
+        match node {
+            FtNode::Basic(id) => match assignment[*id] {
+                Some(true) => 1.0,
+                Some(false) => 0.0,
+                None => probs[*id],
+            },
+            FtNode::And(ch) => ch.iter().map(|c| Self::eval(c, probs, assignment)).product(),
+            FtNode::Or(ch) => {
+                1.0 - ch
+                    .iter()
+                    .map(|c| 1.0 - Self::eval(c, probs, assignment))
+                    .product::<f64>()
+            }
+            FtNode::Vote(k, ch) => {
+                let mut dp = vec![0.0; ch.len() + 1];
+                dp[0] = 1.0;
+                for (processed, c) in ch.iter().enumerate() {
+                    let p = Self::eval(c, probs, assignment);
+                    for j in (0..=processed).rev() {
+                        let w = dp[j];
+                        dp[j + 1] += w * p;
+                        dp[j] = w * (1.0 - p);
+                    }
+                }
+                dp[*k..].iter().sum()
+            }
+        }
+    }
+
+    /// Evaluates the tree on a concrete failure state: `state[i]` is `true`
+    /// when basic event `i` (dense order) has occurred. Returns whether the
+    /// top event occurs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn evaluate(&self, state: &[bool]) -> bool {
+        assert_eq!(state.len(), self.num_events(), "state length mismatch");
+        Self::eval_bool(&self.root, state)
+    }
+
+    fn eval_bool(node: &FtNode, state: &[bool]) -> bool {
+        match node {
+            FtNode::Basic(id) => state[*id],
+            FtNode::And(ch) => ch.iter().all(|c| Self::eval_bool(c, state)),
+            FtNode::Or(ch) => ch.iter().any(|c| Self::eval_bool(c, state)),
+            FtNode::Vote(k, ch) => {
+                ch.iter().filter(|c| Self::eval_bool(c, state)).count() >= *k
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(entries: &[(&str, f64)]) -> HashMap<String, f64> {
+        entries.iter().map(|(n, p)| (n.to_string(), *p)).collect()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(matches!(
+            FaultTree::new(and_gate(vec![])),
+            Err(FaultTreeError::EmptyGate { kind: "and" })
+        ));
+        assert!(matches!(
+            FaultTree::new(vote_gate(3, vec![basic_event("a")])),
+            Err(FaultTreeError::BadThreshold { .. })
+        ));
+    }
+
+    #[test]
+    fn or_gate_is_series_failure() {
+        let t = FaultTree::new(or_gate(vec![basic_event("a"), basic_event("b")])).unwrap();
+        let p = t
+            .top_event_probability(&q(&[("a", 0.1), ("b", 0.2)]))
+            .unwrap();
+        assert!((p - (1.0 - 0.9 * 0.8)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn and_gate_is_redundancy() {
+        let t = FaultTree::new(and_gate(vec![basic_event("a"), basic_event("b")])).unwrap();
+        let p = t
+            .top_event_probability(&q(&[("a", 0.1), ("b", 0.2)]))
+            .unwrap();
+        assert!((p - 0.02).abs() < 1e-15);
+    }
+
+    #[test]
+    fn vote_gate_two_of_three() {
+        let t = FaultTree::new(vote_gate(
+            2,
+            vec![basic_event("a"), basic_event("b"), basic_event("c")],
+        ))
+        .unwrap();
+        let qf = 0.1;
+        let p = t
+            .top_event_probability(&q(&[("a", qf), ("b", qf), ("c", qf)]))
+            .unwrap();
+        let expected = 3.0 * qf * qf * (1.0 - qf) + qf.powi(3);
+        assert!((p - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn repeated_event_exact() {
+        // Top = OR(power, AND(power, backup)): equals P(power fails).
+        let t = FaultTree::new(or_gate(vec![
+            basic_event("power"),
+            and_gate(vec![basic_event("power"), basic_event("backup")]),
+        ]))
+        .unwrap();
+        let p = t
+            .top_event_probability(&q(&[("power", 0.05), ("backup", 0.5)]))
+            .unwrap();
+        assert!((p - 0.05).abs() < 1e-15);
+    }
+
+    #[test]
+    fn probability_matches_enumeration() {
+        let t = FaultTree::new(or_gate(vec![
+            and_gate(vec![basic_event("a"), basic_event("b")]),
+            and_gate(vec![basic_event("c"), basic_event("a")]),
+            basic_event("d"),
+        ]))
+        .unwrap();
+        let probs = [0.1, 0.3, 0.5, 0.05];
+        let mut expected = 0.0;
+        for mask in 0..16u32 {
+            let state: Vec<bool> = (0..4).map(|i| mask & (1 << i) != 0).collect();
+            if t.evaluate(&state) {
+                let mut w = 1.0;
+                for i in 0..4 {
+                    w *= if state[i] { probs[i] } else { 1.0 - probs[i] };
+                }
+                expected += w;
+            }
+        }
+        assert!((t.top_event_probability_dense(&probs) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_and_invalid_probabilities() {
+        let t = FaultTree::new(basic_event("a")).unwrap();
+        assert!(matches!(
+            t.top_event_probability(&HashMap::new()),
+            Err(FaultTreeError::MissingProbability { .. })
+        ));
+        assert!(matches!(
+            t.top_event_probability(&q(&[("a", -0.1)])),
+            Err(FaultTreeError::InvalidProbability { .. })
+        ));
+    }
+
+    #[test]
+    fn event_names_dedup() {
+        let t = FaultTree::new(or_gate(vec![
+            basic_event("x"),
+            basic_event("x"),
+            basic_event("y"),
+        ]))
+        .unwrap();
+        assert_eq!(t.num_events(), 2);
+        assert_eq!(t.event_names(), &["x".to_string(), "y".to_string()]);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for `uavail-faulttree`.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use uavail_faulttree::{and_gate, basic_event, or_gate, vote_gate, FaultTree, FtSpec};
+
+fn spec_strategy() -> impl Strategy<Value = FtSpec> {
+    let leaf = (0usize..6).prop_map(|i| basic_event(format!("e{i}")));
+    leaf.prop_recursive(3, 20, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..4).prop_map(and_gate),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(or_gate),
+            (prop::collection::vec(inner, 1..4), any::<u8>()).prop_map(|(ch, raw)| {
+                let k = (raw as usize % ch.len()) + 1;
+                vote_gate(k, ch)
+            }),
+        ]
+    })
+}
+
+fn prob_map(tree: &FaultTree, values: &[f64]) -> HashMap<String, f64> {
+    tree.event_names()
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.clone(), values[i % values.len()]))
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn top_event_probability_is_probability(
+        spec in spec_strategy(),
+        values in prop::collection::vec(0.0f64..=1.0, 6)
+    ) {
+        let tree = FaultTree::new(spec).unwrap();
+        let q = prob_map(&tree, &values);
+        let top = tree.top_event_probability(&q).unwrap();
+        prop_assert!((-1e-12..=1.0 + 1e-12).contains(&top));
+    }
+
+    #[test]
+    fn top_event_matches_enumeration(
+        spec in spec_strategy(),
+        values in prop::collection::vec(0.05f64..0.95, 6)
+    ) {
+        let tree = FaultTree::new(spec).unwrap();
+        let n = tree.num_events();
+        prop_assume!(n <= 6);
+        let dense: Vec<f64> = (0..n).map(|i| values[i]).collect();
+        let mut expected = 0.0;
+        for mask in 0..(1u32 << n) {
+            let state: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+            if tree.evaluate(&state) {
+                let mut w = 1.0;
+                for i in 0..n {
+                    w *= if state[i] { dense[i] } else { 1.0 - dense[i] };
+                }
+                expected += w;
+            }
+        }
+        let top = tree.top_event_probability_dense(&dense);
+        prop_assert!((top - expected).abs() < 1e-9, "{top} vs {expected}");
+    }
+
+    #[test]
+    fn top_event_monotone_in_failure_probabilities(
+        spec in spec_strategy(),
+        values in prop::collection::vec(0.1f64..0.8, 6),
+        which in 0usize..6
+    ) {
+        let tree = FaultTree::new(spec).unwrap();
+        let n = tree.num_events();
+        prop_assume!(n > 0);
+        let dense: Vec<f64> = (0..n).map(|i| values[i]).collect();
+        let mut bumped = dense.clone();
+        bumped[which % n] = (bumped[which % n] + 0.1).min(1.0);
+        prop_assert!(
+            tree.top_event_probability_dense(&bumped)
+                >= tree.top_event_probability_dense(&dense) - 1e-12
+        );
+    }
+
+    #[test]
+    fn cut_sets_characterize_top_event(spec in spec_strategy()) {
+        let tree = FaultTree::new(spec).unwrap();
+        let n = tree.num_events();
+        prop_assume!(n <= 6 && n > 0);
+        let cuts = tree.minimal_cut_sets();
+        let names = tree.event_names().to_vec();
+        let pos = |c: &String| names.iter().position(|x| x == c).unwrap();
+        for mask in 0..(1u32 << n) {
+            let state: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+            let top = tree.evaluate(&state);
+            let cut_hit = cuts
+                .iter()
+                .any(|cut| cut.iter().all(|c| state[pos(c)]));
+            prop_assert_eq!(top, cut_hit);
+        }
+    }
+
+    #[test]
+    fn birnbaum_is_partial_derivative(
+        spec in spec_strategy(),
+        values in prop::collection::vec(0.2f64..0.8, 6)
+    ) {
+        let tree = FaultTree::new(spec).unwrap();
+        prop_assume!(tree.num_events() > 0);
+        let q = prob_map(&tree, &values);
+        let reports = tree.importance(&q).unwrap();
+        let h = 1e-5;
+        for r in reports {
+            let base = q[&r.name];
+            let mut up = q.clone();
+            up.insert(r.name.clone(), base + h);
+            let mut down = q.clone();
+            down.insert(r.name.clone(), base - h);
+            let fd = (tree.top_event_probability(&up).unwrap()
+                - tree.top_event_probability(&down).unwrap())
+                / (2.0 * h);
+            prop_assert!((fd - r.birnbaum).abs() < 1e-7, "{fd} vs {}", r.birnbaum);
+        }
+    }
+}

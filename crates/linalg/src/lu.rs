@@ -1,0 +1,338 @@
+use crate::{LinalgError, Matrix};
+
+/// LU decomposition with partial (row) pivoting: `P·A = L·U`.
+///
+/// The decomposition is computed once and can then be reused to solve many
+/// right-hand sides, compute the determinant, or form the explicit inverse —
+/// exactly the access pattern of Markov-reward solvers that repeatedly solve
+/// against the same fundamental matrix.
+///
+/// # Examples
+///
+/// ```
+/// use uavail_linalg::{Lu, Matrix};
+///
+/// # fn main() -> Result<(), uavail_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]])?;
+/// let lu = Lu::new(&a)?;
+/// let x = lu.solve(&[3.0, 5.0])?;
+/// assert!((x[0] - 0.8).abs() < 1e-12);
+/// assert!((x[1] - 1.4).abs() < 1e-12);
+/// assert!((lu.determinant() - 5.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Combined L (strictly lower, unit diagonal implied) and U (upper).
+    factors: Matrix,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (+1.0 or -1.0), used by the determinant.
+    sign: f64,
+}
+
+/// Pivot magnitudes below this threshold are treated as singular.
+const SINGULARITY_THRESHOLD: f64 = 1e-300;
+
+impl Lu {
+    /// Factorizes the square matrix `a`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] if `a` is not square.
+    /// * [`LinalgError::Empty`] if `a` has zero size.
+    /// * [`LinalgError::Singular`] if a pivot underflows to zero, meaning the
+    ///   matrix is singular to working precision.
+    pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(LinalgError::Empty);
+        }
+        let mut f = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+
+        for k in 0..n {
+            // Partial pivoting: find the largest |entry| in column k at or
+            // below the diagonal.
+            let mut pivot_row = k;
+            let mut pivot_val = f[(k, k)].abs();
+            for r in (k + 1)..n {
+                let v = f[(r, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < SINGULARITY_THRESHOLD {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if pivot_row != k {
+                for c in 0..n {
+                    let tmp = f[(k, c)];
+                    f[(k, c)] = f[(pivot_row, c)];
+                    f[(pivot_row, c)] = tmp;
+                }
+                perm.swap(k, pivot_row);
+                sign = -sign;
+            }
+            let pivot = f[(k, k)];
+            for r in (k + 1)..n {
+                let m = f[(r, k)] / pivot;
+                f[(r, k)] = m;
+                if m != 0.0 {
+                    for c in (k + 1)..n {
+                        let u = f[(k, c)];
+                        f[(r, c)] -= m * u;
+                    }
+                }
+            }
+        }
+        Ok(Lu {
+            factors: f,
+            perm,
+            sign,
+        })
+    }
+
+    /// Dimension of the factorized matrix.
+    pub fn dim(&self) -> usize {
+        self.factors.rows()
+    }
+
+    /// Solves `A·x = b` for `x` using the stored factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                operation: "lu_solve",
+                left: (n, n),
+                right: (b.len(), 1),
+            });
+        }
+        // Apply the permutation, then forward- and back-substitute.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for r in 1..n {
+            let mut sum = x[r];
+            for c in 0..r {
+                sum -= self.factors[(r, c)] * x[c];
+            }
+            x[r] = sum;
+        }
+        for r in (0..n).rev() {
+            let mut sum = x[r];
+            for c in (r + 1)..n {
+                sum -= self.factors[(r, c)] * x[c];
+            }
+            x[r] = sum / self.factors[(r, r)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `xᵀ·A = bᵀ` (equivalently `Aᵀ·x = b`), the orientation used by
+    /// stationary-distribution equations `π·Q = 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.len() != self.dim()`.
+    pub fn solve_transposed(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                operation: "lu_solve_transposed",
+                left: (n, n),
+                right: (b.len(), 1),
+            });
+        }
+        // P·A = L·U  =>  Aᵀ·x = b  <=>  Uᵀ·(Lᵀ·(P·x)) = b.
+        let mut y = b.to_vec();
+        // Forward substitution with Uᵀ (lower triangular with diagonal).
+        for r in 0..n {
+            let mut sum = y[r];
+            for c in 0..r {
+                sum -= self.factors[(c, r)] * y[c];
+            }
+            y[r] = sum / self.factors[(r, r)];
+        }
+        // Back substitution with Lᵀ (unit upper triangular).
+        for r in (0..n).rev() {
+            let mut sum = y[r];
+            for c in (r + 1)..n {
+                sum -= self.factors[(c, r)] * y[c];
+            }
+            y[r] = sum;
+        }
+        // Undo the permutation: y = P·x, so x[perm[i]] = y[i].
+        let mut x = vec![0.0; n];
+        for (i, &p) in self.perm.iter().enumerate() {
+            x[p] = y[i];
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the original matrix.
+    pub fn determinant(&self) -> f64 {
+        let mut det = self.sign;
+        for i in 0..self.dim() {
+            det *= self.factors[(i, i)];
+        }
+        det
+    }
+
+    /// Explicit inverse of the original matrix.
+    ///
+    /// Prefer [`Lu::solve`] when only products with the inverse are needed;
+    /// the explicit inverse is provided for fundamental-matrix computations
+    /// `N = (I - Q)^{-1}` where all entries are themselves meaningful
+    /// (expected visit counts).
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from the per-column solves (none expected for a
+    /// successfully constructed factorization).
+    pub fn inverse(&self) -> Result<Matrix, LinalgError> {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for c in 0..n {
+            e[c] = 1.0;
+            let col = self.solve(&e)?;
+            e[c] = 0.0;
+            for r in 0..n {
+                inv[(r, c)] = col[r];
+            }
+        }
+        Ok(inv)
+    }
+}
+
+/// Convenience one-shot solve of `A·x = b`.
+///
+/// # Errors
+///
+/// Propagates factorization and shape errors from [`Lu`].
+///
+/// # Examples
+///
+/// ```
+/// use uavail_linalg::Matrix;
+///
+/// # fn main() -> Result<(), uavail_linalg::LinalgError> {
+/// let a = Matrix::identity(2);
+/// let x = uavail_linalg::solve(&a, &[7.0, 8.0])?;
+/// assert_eq!(x, vec![7.0, 8.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    Lu::new(a)?.solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
+        let ax = a.mul_vec(x).unwrap();
+        ax.iter()
+            .zip(b)
+            .map(|(l, r)| (l - r).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn solves_small_system() {
+        let a = Matrix::from_rows(&[&[3.0, 2.0, -1.0], &[2.0, -2.0, 4.0], &[-1.0, 0.5, -1.0]])
+            .unwrap();
+        let b = [1.0, -2.0, 0.0];
+        let lu = Lu::new(&a).unwrap();
+        let x = lu.solve(&b).unwrap();
+        // Known solution x = (1, -2, -2).
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] + 2.0).abs() < 1e-12);
+        assert!((x[2] + 2.0).abs() < 1e-12);
+        assert!(residual(&a, &x, &b) < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let x = Lu::new(&a).unwrap().solve(&[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn detects_singularity() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(Lu::new(&a), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(Lu::new(&a), Err(LinalgError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn determinant_with_permutation_sign() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let lu = Lu::new(&a).unwrap();
+        assert!((lu.determinant() + 1.0).abs() < 1e-14);
+        let b = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 3.0]]).unwrap();
+        assert!((Lu::new(&b).unwrap().determinant() - 6.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn inverse_matches_identity() {
+        let a = Matrix::from_rows(&[&[4.0, 7.0], &[2.0, 6.0]]).unwrap();
+        let inv = Lu::new(&a).unwrap().inverse().unwrap();
+        let prod = a.mul_matrix(&inv).unwrap();
+        let diff = prod.sub_matrix(&Matrix::identity(2)).unwrap();
+        assert!(diff.max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn transposed_solve_matches_explicit_transpose() {
+        let a = Matrix::from_rows(&[&[3.0, 1.0, 0.0], &[1.0, 4.0, 2.0], &[0.5, 0.0, 5.0]])
+            .unwrap();
+        let b = [1.0, 2.0, 3.0];
+        let lu = Lu::new(&a).unwrap();
+        let x = lu.solve_transposed(&b).unwrap();
+        let at = a.transpose();
+        let x_ref = Lu::new(&at).unwrap().solve(&b).unwrap();
+        for (l, r) in x.iter().zip(&x_ref) {
+            assert!((l - r).abs() < 1e-12, "{l} vs {r}");
+        }
+    }
+
+    #[test]
+    fn solve_rejects_wrong_length() {
+        let lu = Lu::new(&Matrix::identity(3)).unwrap();
+        assert!(lu.solve(&[1.0]).is_err());
+        assert!(lu.solve_transposed(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn convenience_solve() {
+        let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 4.0]]).unwrap();
+        let x = super::solve(&a, &[2.0, 8.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn ill_conditioned_but_solvable() {
+        // Rates spanning ~8 orders of magnitude, like availability models.
+        let a = Matrix::from_rows(&[&[1e-8, 1.0], &[1.0, 1.0]]).unwrap();
+        let b = [1.0, 2.0];
+        let x = super::solve(&a, &b).unwrap();
+        assert!(residual(&a, &x, &b) < 1e-9);
+    }
+}

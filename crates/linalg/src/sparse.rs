@@ -1,0 +1,387 @@
+use crate::{LinalgError, Matrix};
+
+/// A `(row, col, value)` coordinate entry used to assemble sparse matrices.
+///
+/// # Examples
+///
+/// ```
+/// use uavail_linalg::Triplet;
+/// let t = Triplet::new(0, 1, 2.5);
+/// assert_eq!(t.row, 0);
+/// assert_eq!(t.value, 2.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Triplet {
+    /// Row index.
+    pub row: usize,
+    /// Column index.
+    pub col: usize,
+    /// Entry value.
+    pub value: f64,
+}
+
+impl Triplet {
+    /// Creates a new coordinate entry.
+    pub fn new(row: usize, col: usize, value: f64) -> Self {
+        Triplet { row, col, value }
+    }
+}
+
+/// Compressed sparse row (CSR) matrix of `f64` values.
+///
+/// Large Markov generators are sparse — a birth–death availability model has
+/// O(n) non-zeros — so iterative solvers in [`crate::iterative`] operate on
+/// this format. Duplicate coordinates passed to [`CsrMatrix::from_triplets`]
+/// are summed, the usual assembly convention.
+///
+/// # Examples
+///
+/// ```
+/// use uavail_linalg::{CsrMatrix, Triplet};
+///
+/// # fn main() -> Result<(), uavail_linalg::LinalgError> {
+/// let m = CsrMatrix::from_triplets(
+///     2,
+///     2,
+///     &[Triplet::new(0, 0, 1.0), Triplet::new(0, 1, 2.0), Triplet::new(1, 1, 3.0)],
+/// )?;
+/// assert_eq!(m.mul_vec(&[1.0, 1.0])?, vec![3.0, 3.0]);
+/// assert_eq!(m.nnz(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    /// Index into `col_indices`/`values` where each row starts; length `rows + 1`.
+    row_offsets: Vec<usize>,
+    col_indices: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Assembles a CSR matrix from coordinate triplets, summing duplicates.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::Empty`] when either dimension is zero.
+    /// * [`LinalgError::InvalidInput`] when an index is out of bounds or a
+    ///   value is not finite.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: &[Triplet],
+    ) -> Result<Self, LinalgError> {
+        if rows == 0 || cols == 0 {
+            return Err(LinalgError::Empty);
+        }
+        for (i, t) in triplets.iter().enumerate() {
+            if t.row >= rows || t.col >= cols {
+                return Err(LinalgError::InvalidInput {
+                    reason: format!(
+                        "triplet {i} at ({}, {}) out of bounds for {rows}x{cols}",
+                        t.row, t.col
+                    ),
+                });
+            }
+            if !t.value.is_finite() {
+                return Err(LinalgError::InvalidInput {
+                    reason: format!("triplet {i} has non-finite value"),
+                });
+            }
+        }
+        // Counting sort by row, then sort each row's columns and merge dups.
+        let mut sorted: Vec<Triplet> = triplets.to_vec();
+        sorted.sort_by_key(|t| (t.row, t.col));
+
+        let mut row_offsets = vec![0usize; rows + 1];
+        let mut col_indices = Vec::with_capacity(sorted.len());
+        let mut values = Vec::with_capacity(sorted.len());
+        let mut iter = sorted.into_iter().peekable();
+        for r in 0..rows {
+            while let Some(&t) = iter.peek() {
+                if t.row != r {
+                    break;
+                }
+                iter.next();
+                // Merge a duplicate coordinate into the entry just pushed,
+                // provided that entry belongs to the current row.
+                let row_has_entries = values.len() > row_offsets[r];
+                if row_has_entries && col_indices.last() == Some(&t.col) {
+                    *values.last_mut().expect("non-empty") += t.value;
+                } else {
+                    col_indices.push(t.col);
+                    values.push(t.value);
+                }
+            }
+            row_offsets[r + 1] = values.len();
+        }
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            row_offsets,
+            col_indices,
+            values,
+        })
+    }
+
+    /// Converts a dense matrix, dropping entries with absolute value below
+    /// `drop_tol`.
+    pub fn from_dense(m: &Matrix, drop_tol: f64) -> Self {
+        let mut row_offsets = vec![0usize; m.rows() + 1];
+        let mut col_indices = Vec::new();
+        let mut values = Vec::new();
+        for r in 0..m.rows() {
+            for c in 0..m.cols() {
+                let v = m[(r, c)];
+                if v.abs() > drop_tol {
+                    col_indices.push(c);
+                    values.push(v);
+                }
+            }
+            row_offsets[r + 1] = values.len();
+        }
+        CsrMatrix {
+            rows: m.rows(),
+            cols: m.cols(),
+            row_offsets,
+            col_indices,
+            values,
+        }
+    }
+
+    /// Converts back to a dense matrix.
+    pub fn to_dense(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for k in self.row_offsets[r]..self.row_offsets[r + 1] {
+                out[(r, self.col_indices[k])] += self.values[k];
+            }
+        }
+        out
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of explicitly stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns the stored entry at `(row, col)`, or `0.0` when absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        let lo = self.row_offsets[row];
+        let hi = self.row_offsets[row + 1];
+        match self.col_indices[lo..hi].binary_search(&col) {
+            Ok(k) => self.values[lo + k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterates over stored entries of row `r` as `(col, value)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row_entries(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        assert!(r < self.rows, "row index out of bounds");
+        let lo = self.row_offsets[r];
+        let hi = self.row_offsets[r + 1];
+        self.col_indices[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Matrix–vector product `self * x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if x.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                operation: "csr_mul_vec",
+                left: self.shape(),
+                right: (x.len(), 1),
+            });
+        }
+        let mut out = vec![0.0; self.rows];
+        for r in 0..self.rows {
+            let mut sum = 0.0;
+            for k in self.row_offsets[r]..self.row_offsets[r + 1] {
+                sum += self.values[k] * x[self.col_indices[k]];
+            }
+            out[r] = sum;
+        }
+        Ok(out)
+    }
+
+    /// Row-vector product `x * self` — the Markov stationary orientation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when `x.len() != self.rows()`.
+    pub fn vec_mul(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if x.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                operation: "csr_vec_mul",
+                left: (1, x.len()),
+                right: self.shape(),
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let a = x[r];
+            if a == 0.0 {
+                continue;
+            }
+            for k in self.row_offsets[r]..self.row_offsets[r + 1] {
+                out[self.col_indices[k]] += a * self.values[k];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns the transpose as a new CSR matrix.
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut counts = vec![0usize; self.cols + 1];
+        for &c in &self.col_indices {
+            counts[c + 1] += 1;
+        }
+        for i in 0..self.cols {
+            counts[i + 1] += counts[i];
+        }
+        let row_offsets = counts.clone();
+        let mut col_indices = vec![0usize; self.nnz()];
+        let mut values = vec![0.0; self.nnz()];
+        let mut next = counts;
+        for r in 0..self.rows {
+            for k in self.row_offsets[r]..self.row_offsets[r + 1] {
+                let c = self.col_indices[k];
+                let dst = next[c];
+                col_indices[dst] = r;
+                values[dst] = self.values[k];
+                next[c] += 1;
+            }
+        }
+        CsrMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            row_offsets,
+            col_indices,
+            values,
+        }
+    }
+
+    /// Extracts the diagonal as a vector (zero where absent).
+    pub fn diagonal(&self) -> Vec<f64> {
+        let n = self.rows.min(self.cols);
+        (0..n).map(|i| self.get(i, i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        CsrMatrix::from_triplets(
+            3,
+            3,
+            &[
+                Triplet::new(0, 0, 1.0),
+                Triplet::new(0, 2, 2.0),
+                Triplet::new(1, 1, 3.0),
+                Triplet::new(2, 0, 4.0),
+                Triplet::new(2, 2, 5.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn assembly_and_access() {
+        let m = sample();
+        assert_eq!(m.nnz(), 5);
+        assert_eq!(m.get(0, 2), 2.0);
+        assert_eq!(m.get(0, 1), 0.0);
+        assert_eq!(m.diagonal(), vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let m = CsrMatrix::from_triplets(
+            1,
+            1,
+            &[Triplet::new(0, 0, 1.0), Triplet::new(0, 0, 2.5)],
+        )
+        .unwrap();
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(0, 0), 3.5);
+    }
+
+    #[test]
+    fn out_of_bounds_triplet_rejected() {
+        let err = CsrMatrix::from_triplets(1, 1, &[Triplet::new(0, 1, 1.0)]).unwrap_err();
+        assert!(matches!(err, LinalgError::InvalidInput { .. }));
+    }
+
+    #[test]
+    fn matvec_left_and_right() {
+        let m = sample();
+        assert_eq!(m.mul_vec(&[1.0, 1.0, 1.0]).unwrap(), vec![3.0, 3.0, 9.0]);
+        assert_eq!(m.vec_mul(&[1.0, 1.0, 1.0]).unwrap(), vec![5.0, 3.0, 7.0]);
+        assert!(m.mul_vec(&[1.0]).is_err());
+        assert!(m.vec_mul(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let m = sample();
+        let d = m.to_dense();
+        assert_eq!(d[(2, 0)], 4.0);
+        let back = CsrMatrix::from_dense(&d, 0.0);
+        assert_eq!(back.to_dense(), d);
+    }
+
+    #[test]
+    fn transpose_matches_dense_transpose() {
+        let m = sample();
+        assert_eq!(m.transpose().to_dense(), m.to_dense().transpose());
+    }
+
+    #[test]
+    fn row_entries_iteration() {
+        let m = sample();
+        let row0: Vec<(usize, f64)> = m.row_entries(0).collect();
+        assert_eq!(row0, vec![(0, 1.0), (2, 2.0)]);
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(matches!(
+            CsrMatrix::from_triplets(0, 3, &[]),
+            Err(LinalgError::Empty)
+        ));
+    }
+}

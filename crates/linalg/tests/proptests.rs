@@ -1,0 +1,105 @@
+//! Property-based tests for `uavail-linalg`: algebraic identities that must
+//! hold for arbitrary well-formed inputs.
+
+use proptest::prelude::*;
+use uavail_linalg::iterative::{gauss_seidel, jacobi, IterOptions};
+use uavail_linalg::vector::max_abs_diff;
+use uavail_linalg::{CsrMatrix, Lu, Matrix, Triplet};
+
+/// Strategy: an n×n matrix with entries in [-10, 10], made strictly
+/// diagonally dominant so LU and the iterative methods are all applicable.
+fn diag_dominant_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-10.0f64..10.0, n * n).prop_map(move |mut data| {
+        for i in 0..n {
+            let row_sum: f64 = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| data[i * n + j].abs())
+                .sum();
+            data[i * n + i] = row_sum + 1.0 + data[i * n + i].abs();
+        }
+        Matrix::from_vec(n, n, data).expect("valid shape")
+    })
+}
+
+fn vector(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-100.0f64..100.0, n)
+}
+
+proptest! {
+    #[test]
+    fn lu_solve_has_small_residual(
+        (a, b) in (2usize..7).prop_flat_map(|n| (diag_dominant_matrix(n), vector(n)))
+    ) {
+        let lu = Lu::new(&a).expect("diag dominant is nonsingular");
+        let x = lu.solve(&b).unwrap();
+        let ax = a.mul_vec(&x).unwrap();
+        prop_assert!(max_abs_diff(&ax, &b) < 1e-8);
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity(
+        a in (2usize..6).prop_flat_map(diag_dominant_matrix)
+    ) {
+        let inv = Lu::new(&a).unwrap().inverse().unwrap();
+        let prod = a.mul_matrix(&inv).unwrap();
+        let diff = prod.sub_matrix(&Matrix::identity(a.rows())).unwrap();
+        prop_assert!(diff.max_abs() < 1e-8);
+    }
+
+    #[test]
+    fn transposed_solve_agrees_with_transpose(
+        (a, b) in (2usize..6).prop_flat_map(|n| (diag_dominant_matrix(n), vector(n)))
+    ) {
+        let lu = Lu::new(&a).unwrap();
+        let x1 = lu.solve_transposed(&b).unwrap();
+        let x2 = Lu::new(&a.transpose()).unwrap().solve(&b).unwrap();
+        prop_assert!(max_abs_diff(&x1, &x2) < 1e-8);
+    }
+
+    #[test]
+    fn iterative_methods_agree_with_lu(
+        (a, b) in (2usize..6).prop_flat_map(|n| (diag_dominant_matrix(n), vector(n)))
+    ) {
+        let x_direct = Lu::new(&a).unwrap().solve(&b).unwrap();
+        let sparse = CsrMatrix::from_dense(&a, 0.0);
+        let opts = IterOptions::new().tolerance(1e-13).max_iterations(200_000);
+        let x_j = jacobi(&sparse, &b, opts).unwrap().x;
+        let x_gs = gauss_seidel(&sparse, &b, opts).unwrap().x;
+        prop_assert!(max_abs_diff(&x_direct, &x_j) < 1e-6);
+        prop_assert!(max_abs_diff(&x_direct, &x_gs) < 1e-6);
+    }
+
+    #[test]
+    fn csr_roundtrip_preserves_matvec(
+        (a, x) in (2usize..8).prop_flat_map(|n| (diag_dominant_matrix(n), vector(n)))
+    ) {
+        let sparse = CsrMatrix::from_dense(&a, 0.0);
+        let dense_result = a.mul_vec(&x).unwrap();
+        let sparse_result = sparse.mul_vec(&x).unwrap();
+        prop_assert!(max_abs_diff(&dense_result, &sparse_result) < 1e-9);
+    }
+
+    #[test]
+    fn csr_transpose_is_involution(
+        entries in prop::collection::vec((0usize..5, 0usize..5, -10.0f64..10.0), 1..20)
+    ) {
+        let triplets: Vec<Triplet> = entries
+            .iter()
+            .map(|&(r, c, v)| Triplet::new(r, c, v))
+            .collect();
+        let m = CsrMatrix::from_triplets(5, 5, &triplets).unwrap();
+        prop_assert_eq!(m.transpose().transpose().to_dense(), m.to_dense());
+    }
+
+    #[test]
+    fn determinant_of_product_is_product_of_determinants(
+        (a, b) in (2usize..5).prop_flat_map(|n| (diag_dominant_matrix(n), diag_dominant_matrix(n)))
+    ) {
+        let da = Lu::new(&a).unwrap().determinant();
+        let db = Lu::new(&b).unwrap().determinant();
+        let dab = Lu::new(&a.mul_matrix(&b).unwrap()).unwrap().determinant();
+        // Relative comparison: determinants can be large.
+        let scale = dab.abs().max(1.0);
+        prop_assert!(((da * db - dab) / scale).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,103 @@
+use std::fmt;
+
+use uavail_linalg::LinalgError;
+
+/// Errors produced by Markov-chain construction and analysis.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MarkovError {
+    /// A row of a DTMC transition matrix does not sum to one.
+    NotStochastic {
+        /// Offending row.
+        row: usize,
+        /// Actual row sum.
+        sum: f64,
+    },
+    /// A probability or rate is negative or non-finite.
+    InvalidValue {
+        /// Where the value was found.
+        context: String,
+        /// The offending value.
+        value: f64,
+    },
+    /// A state index is out of range for the chain.
+    UnknownState {
+        /// The offending index.
+        index: usize,
+        /// Number of states in the chain.
+        states: usize,
+    },
+    /// The chain (or a required subset of it) is empty.
+    EmptyChain,
+    /// The chain is reducible where irreducibility is required, or the
+    /// requested analysis needs absorbing states that do not exist.
+    BadStructure {
+        /// Explanation of the structural problem.
+        reason: String,
+    },
+    /// An underlying linear-algebra operation failed.
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for MarkovError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarkovError::NotStochastic { row, sum } => {
+                write!(f, "row {row} sums to {sum}, expected 1")
+            }
+            MarkovError::InvalidValue { context, value } => {
+                write!(f, "invalid value {value} in {context}")
+            }
+            MarkovError::UnknownState { index, states } => {
+                write!(f, "state index {index} out of range for {states}-state chain")
+            }
+            MarkovError::EmptyChain => write!(f, "chain has no states"),
+            MarkovError::BadStructure { reason } => write!(f, "bad chain structure: {reason}"),
+            MarkovError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MarkovError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MarkovError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for MarkovError {
+    fn from(e: LinalgError) -> Self {
+        MarkovError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(MarkovError::NotStochastic { row: 2, sum: 0.9 }
+            .to_string()
+            .contains("row 2"));
+        assert!(MarkovError::EmptyChain.to_string().contains("no states"));
+        let wrapped = MarkovError::from(LinalgError::Empty);
+        assert!(wrapped.to_string().contains("linear algebra"));
+    }
+
+    #[test]
+    fn source_chain() {
+        use std::error::Error;
+        let wrapped = MarkovError::from(LinalgError::Empty);
+        assert!(wrapped.source().is_some());
+        assert!(MarkovError::EmptyChain.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MarkovError>();
+    }
+}

@@ -1,0 +1,182 @@
+//! Grassmann–Taksar–Heyman (GTH) steady-state algorithm.
+//!
+//! GTH computes the stationary vector of an irreducible CTMC generator (or
+//! DTMC transition matrix) using only additions, multiplications and
+//! divisions of non-negative quantities — no subtractions — which makes it
+//! numerically robust for the stiff chains that arise in availability
+//! modeling, where failure rates (1e-4/h) and repair rates (1/h) or request
+//! rates (100/s = 360000/h) coexist in one generator.
+
+use uavail_linalg::Matrix;
+
+use crate::MarkovError;
+
+/// Computes the stationary distribution of an irreducible CTMC with
+/// generator `q` (square, rows summing to zero, non-negative off-diagonals)
+/// using the GTH algorithm.
+///
+/// The same routine solves DTMCs: pass `P - I` as the generator.
+///
+/// # Errors
+///
+/// * [`MarkovError::EmptyChain`] for a 0×0 input.
+/// * [`MarkovError::Linalg`] for a non-square input.
+/// * [`MarkovError::BadStructure`] when the chain is reducible (a pivot
+///   vanishes, meaning some state cannot reach the remaining states).
+///
+/// # Examples
+///
+/// ```
+/// use uavail_linalg::Matrix;
+/// use uavail_markov::gth_steady_state;
+///
+/// # fn main() -> Result<(), uavail_markov::MarkovError> {
+/// // Two-state availability model: failure rate 0.01, repair rate 1.
+/// let q = Matrix::from_rows(&[&[-0.01, 0.01], &[1.0, -1.0]])?;
+/// let pi = gth_steady_state(&q)?;
+/// assert!((pi[0] - 1.0 / 1.01).abs() < 1e-14);
+/// # Ok(())
+/// # }
+/// ```
+pub fn gth_steady_state(q: &Matrix) -> Result<Vec<f64>, MarkovError> {
+    if !q.is_square() {
+        return Err(MarkovError::Linalg(uavail_linalg::LinalgError::NotSquare {
+            shape: q.shape(),
+        }));
+    }
+    let n = q.rows();
+    if n == 0 {
+        return Err(MarkovError::EmptyChain);
+    }
+    if n == 1 {
+        return Ok(vec![1.0]);
+    }
+
+    // Work on a copy; the algorithm eliminates states n-1, n-2, ..., 1.
+    let mut a = q.clone();
+    for k in (1..n).rev() {
+        // s = total rate out of state k toward states 0..k (the "south" block).
+        let s: f64 = (0..k).map(|j| a[(k, j)]).sum();
+        if s <= 0.0 || !s.is_finite() {
+            return Err(MarkovError::BadStructure {
+                reason: format!(
+                    "state {k} has no transitions to lower-numbered states; \
+                     chain is reducible or generator is malformed"
+                ),
+            });
+        }
+        // Fold state k into the remaining chain.
+        for i in 0..k {
+            let factor = a[(i, k)] / s;
+            if factor != 0.0 {
+                for j in 0..k {
+                    if i != j {
+                        let add = factor * a[(k, j)];
+                        a[(i, j)] += add;
+                    }
+                }
+            }
+        }
+    }
+
+    // Back-substitution: unnormalized stationary weights.
+    let mut pi = vec![0.0; n];
+    pi[0] = 1.0;
+    for k in 1..n {
+        let s: f64 = (0..k).map(|j| a[(k, j)]).sum();
+        let mut num = 0.0;
+        for i in 0..k {
+            num += pi[i] * a[(i, k)];
+        }
+        pi[k] = num / s;
+    }
+    let total: f64 = pi.iter().sum();
+    for v in pi.iter_mut() {
+        *v /= total;
+    }
+    Ok(pi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_state_model() {
+        let q = Matrix::from_rows(&[&[-2.0, 2.0], &[3.0, -3.0]]).unwrap();
+        let pi = gth_steady_state(&q).unwrap();
+        assert!((pi[0] - 0.6).abs() < 1e-14);
+        assert!((pi[1] - 0.4).abs() < 1e-14);
+    }
+
+    #[test]
+    fn three_state_cycle() {
+        // Cyclic chain 0 -> 1 -> 2 -> 0 with unit rates: uniform stationary.
+        let q = Matrix::from_rows(&[
+            &[-1.0, 1.0, 0.0],
+            &[0.0, -1.0, 1.0],
+            &[1.0, 0.0, -1.0],
+        ])
+        .unwrap();
+        let pi = gth_steady_state(&q).unwrap();
+        for v in pi {
+            assert!((v - 1.0 / 3.0).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn stiff_availability_chain() {
+        // Rates spanning 9 orders of magnitude: GTH must stay accurate.
+        let lambda = 1e-6;
+        let mu = 1e3;
+        let q = Matrix::from_rows(&[&[-lambda, lambda], &[mu, -mu]]).unwrap();
+        let pi = gth_steady_state(&q).unwrap();
+        let expected_up = mu / (mu + lambda);
+        let expected_down = lambda / (mu + lambda);
+        assert!((pi[0] - expected_up).abs() < 1e-15);
+        // The tiny probability must carry full *relative* accuracy — the
+        // whole point of GTH's subtraction-free elimination.
+        assert!(((pi[1] - expected_down) / expected_down).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reducible_chain_detected() {
+        // State 1 cannot reach state 0.
+        let q = Matrix::from_rows(&[&[-1.0, 1.0], &[0.0, 0.0]]).unwrap();
+        assert!(matches!(
+            gth_steady_state(&q),
+            Err(MarkovError::BadStructure { .. })
+        ));
+    }
+
+    #[test]
+    fn singleton_chain() {
+        let q = Matrix::from_rows(&[&[0.0]]).unwrap();
+        assert_eq!(gth_steady_state(&q).unwrap(), vec![1.0]);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let q = Matrix::zeros(2, 3);
+        assert!(gth_steady_state(&q).is_err());
+    }
+
+    #[test]
+    fn agrees_with_detailed_balance_birth_death() {
+        // Birth-death: lambda_i = 2, mu_i = 5, 4 states.
+        let q = Matrix::from_rows(&[
+            &[-2.0, 2.0, 0.0, 0.0],
+            &[5.0, -7.0, 2.0, 0.0],
+            &[0.0, 5.0, -7.0, 2.0],
+            &[0.0, 0.0, 5.0, -5.0],
+        ])
+        .unwrap();
+        let pi = gth_steady_state(&q).unwrap();
+        let rho: f64 = 2.0 / 5.0;
+        let weights: Vec<f64> = (0..4).map(|i| rho.powi(i)).collect();
+        let total: f64 = weights.iter().sum();
+        for (p, w) in pi.iter().zip(&weights) {
+            assert!((p - w / total).abs() < 1e-14);
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Markov reward models — the "performability" bridge between availability
+//! and performance (Meyer 1980, 1982), as used by the paper's composite
+//! web-service model.
+//!
+//! A reward model attaches a real-valued reward rate to every state of a
+//! solved Markov chain. For the travel agency, the reward of a state with
+//! `i` operational web servers is the fraction of requests *served*,
+//! `1 - p_K(i)`; the expected steady-state reward is then exactly the
+//! user-visible web-service availability of equations (5) and (9).
+
+use crate::{Ctmc, MarkovError};
+
+/// A reward structure over a chain's state space.
+///
+/// # Examples
+///
+/// ```
+/// use uavail_markov::{CtmcBuilder, reward::RewardModel};
+///
+/// # fn main() -> Result<(), uavail_markov::MarkovError> {
+/// let mut b = CtmcBuilder::new();
+/// let up = b.add_state("up");
+/// let down = b.add_state("down");
+/// b.add_transition(up, down, 1.0)?;
+/// b.add_transition(down, up, 3.0)?;
+/// let chain = b.build()?;
+/// // Reward 1 when up, 0 when down: expected reward = availability = 0.75.
+/// let model = RewardModel::new(vec![1.0, 0.0])?;
+/// let a = model.steady_state_reward(&chain)?;
+/// assert!((a - 0.75).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RewardModel {
+    rates: Vec<f64>,
+}
+
+impl RewardModel {
+    /// Creates a reward model from per-state reward rates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::InvalidValue`] for non-finite rates and
+    /// [`MarkovError::EmptyChain`] for an empty vector.
+    pub fn new(rates: Vec<f64>) -> Result<Self, MarkovError> {
+        if rates.is_empty() {
+            return Err(MarkovError::EmptyChain);
+        }
+        if let Some((i, &v)) = rates.iter().enumerate().find(|(_, v)| !v.is_finite()) {
+            return Err(MarkovError::InvalidValue {
+                context: format!("reward rate for state {i}"),
+                value: v,
+            });
+        }
+        Ok(RewardModel { rates })
+    }
+
+    /// Builds a binary (0/1) reward model from a predicate over state
+    /// indices — the usual shape for availability ("reward 1 iff the state
+    /// is operational").
+    pub fn indicator(num_states: usize, is_rewarded: impl Fn(usize) -> bool) -> Self {
+        RewardModel {
+            rates: (0..num_states)
+                .map(|i| if is_rewarded(i) { 1.0 } else { 0.0 })
+                .collect(),
+        }
+    }
+
+    /// Number of states covered.
+    pub fn num_states(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// The reward rate vector.
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// Expected steady-state reward `Σ_i π_i · r_i` for the given chain.
+    ///
+    /// # Errors
+    ///
+    /// * [`MarkovError::BadStructure`] when the chain size differs from the
+    ///   reward vector, or the chain is reducible.
+    pub fn steady_state_reward(&self, chain: &Ctmc) -> Result<f64, MarkovError> {
+        if chain.num_states() != self.rates.len() {
+            return Err(MarkovError::BadStructure {
+                reason: format!(
+                    "reward model covers {} states but chain has {}",
+                    self.rates.len(),
+                    chain.num_states()
+                ),
+            });
+        }
+        let pi = chain.steady_state()?;
+        Ok(pi.iter().zip(&self.rates).map(|(p, r)| p * r).sum())
+    }
+
+    /// Expected reward against an externally computed distribution, e.g. a
+    /// transient distribution or a closed-form birth–death solution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::BadStructure`] on length mismatch.
+    pub fn expected_reward(&self, distribution: &[f64]) -> Result<f64, MarkovError> {
+        if distribution.len() != self.rates.len() {
+            return Err(MarkovError::BadStructure {
+                reason: format!(
+                    "distribution over {} states but reward model covers {}",
+                    distribution.len(),
+                    self.rates.len()
+                ),
+            });
+        }
+        Ok(distribution
+            .iter()
+            .zip(&self.rates)
+            .map(|(p, r)| p * r)
+            .sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CtmcBuilder;
+
+    fn three_state() -> Ctmc {
+        // 2 up -> 1 up -> 0 up, repairs back up.
+        let mut b = CtmcBuilder::new();
+        let s2 = b.add_state("2");
+        let s1 = b.add_state("1");
+        let s0 = b.add_state("0");
+        b.add_transition(s2, s1, 0.2).unwrap();
+        b.add_transition(s1, s0, 0.1).unwrap();
+        b.add_transition(s1, s2, 1.0).unwrap();
+        b.add_transition(s0, s1, 1.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(RewardModel::new(vec![]).is_err());
+        assert!(RewardModel::new(vec![f64::NAN]).is_err());
+        assert!(RewardModel::new(vec![1.0, 0.5]).is_ok());
+    }
+
+    #[test]
+    fn indicator_reward_equals_state_probability_sum() {
+        let chain = three_state();
+        let pi = chain.steady_state().unwrap();
+        let model = RewardModel::indicator(3, |i| i < 2);
+        let reward = model.steady_state_reward(&chain).unwrap();
+        assert!((reward - (pi[0] + pi[1])).abs() < 1e-14);
+    }
+
+    #[test]
+    fn graded_reward() {
+        let chain = three_state();
+        let pi = chain.steady_state().unwrap();
+        // Capacity-proportional reward: 1.0, 0.5, 0.0.
+        let model = RewardModel::new(vec![1.0, 0.5, 0.0]).unwrap();
+        let reward = model.steady_state_reward(&chain).unwrap();
+        assert!((reward - (pi[0] + 0.5 * pi[1])).abs() < 1e-14);
+    }
+
+    #[test]
+    fn size_mismatch() {
+        let chain = three_state();
+        let model = RewardModel::new(vec![1.0, 0.0]).unwrap();
+        assert!(model.steady_state_reward(&chain).is_err());
+        assert!(model.expected_reward(&[0.5, 0.25, 0.25]).is_err());
+    }
+
+    #[test]
+    fn expected_reward_external_distribution() {
+        let model = RewardModel::new(vec![2.0, 4.0]).unwrap();
+        assert_eq!(model.expected_reward(&[0.5, 0.5]).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn accessors() {
+        let model = RewardModel::new(vec![1.0, 0.0]).unwrap();
+        assert_eq!(model.num_states(), 2);
+        assert_eq!(model.rates(), &[1.0, 0.0]);
+    }
+}

@@ -1,0 +1,245 @@
+//! Transient reward analysis: point availability curves and interval
+//! (cumulative) availability via uniformization.
+//!
+//! Steady-state availability hides the ramp: a freshly deployed system has
+//! availability 1 and degrades toward the steady state. These functions
+//! quantify that transient, which matters for short campaigns and for
+//! maintenance-window planning.
+
+use uavail_linalg::vector::is_probability_vector;
+
+use crate::{Ctmc, MarkovError};
+
+/// Point "availability" at times `ts`: the probability of being in a
+/// rewarded state at each time, starting from `initial`.
+///
+/// `reward` gives each state's weight (1 for up states, 0 for down in the
+/// availability use; any bounded reward works).
+///
+/// # Errors
+///
+/// * [`MarkovError::InvalidValue`] for a malformed initial distribution,
+///   negative times, or a reward vector of the wrong length.
+///
+/// # Examples
+///
+/// ```
+/// use uavail_markov::{transient, CtmcBuilder};
+///
+/// # fn main() -> Result<(), uavail_markov::MarkovError> {
+/// let mut b = CtmcBuilder::new();
+/// let up = b.add_state("up");
+/// let down = b.add_state("down");
+/// b.add_transition(up, down, 0.5)?;
+/// b.add_transition(down, up, 2.0)?;
+/// let chain = b.build()?;
+/// let curve = transient::point_availability(
+///     &chain, &[1.0, 0.0], &[1.0, 0.0], &[0.0, 10.0])?;
+/// assert!((curve[0] - 1.0).abs() < 1e-12);           // starts up
+/// assert!((curve[1] - 0.8).abs() < 1e-6);            // -> mu/(l+mu)
+/// # Ok(())
+/// # }
+/// ```
+pub fn point_availability(
+    chain: &Ctmc,
+    initial: &[f64],
+    reward: &[f64],
+    ts: &[f64],
+) -> Result<Vec<f64>, MarkovError> {
+    check_reward(chain, reward)?;
+    let mut out = Vec::with_capacity(ts.len());
+    for &t in ts {
+        let dist = chain.transient(initial, t)?;
+        out.push(dist.iter().zip(reward).map(|(p, r)| p * r).sum());
+    }
+    Ok(out)
+}
+
+/// Interval availability: the expected fraction of `[0, t]` spent in
+/// rewarded states, `1/t · E[∫₀ᵗ r(X_s) ds]`, computed by the
+/// uniformization integral
+/// `∫₀ᵗ v·Pᵏ pois_k(Λs) ds = Σ_k v·Pᵏ · (1/Λ)·P(Pois(Λt) > k)`.
+///
+/// Returns the full expected accumulated reward divided by `t`; for
+/// `t == 0` the instantaneous reward of the initial distribution is
+/// returned.
+///
+/// # Errors
+///
+/// As for [`point_availability`].
+///
+/// # Examples
+///
+/// ```
+/// use uavail_markov::{transient, CtmcBuilder};
+///
+/// # fn main() -> Result<(), uavail_markov::MarkovError> {
+/// let mut b = CtmcBuilder::new();
+/// let up = b.add_state("up");
+/// let down = b.add_state("down");
+/// b.add_transition(up, down, 0.5)?;
+/// b.add_transition(down, up, 2.0)?;
+/// let chain = b.build()?;
+/// // Interval availability exceeds the steady state when starting up.
+/// let ia = transient::interval_availability(&chain, &[1.0, 0.0], &[1.0, 0.0], 2.0)?;
+/// assert!(ia > 0.8 && ia <= 1.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn interval_availability(
+    chain: &Ctmc,
+    initial: &[f64],
+    reward: &[f64],
+    t: f64,
+) -> Result<f64, MarkovError> {
+    check_reward(chain, reward)?;
+    let n = chain.num_states();
+    if initial.len() != n || !is_probability_vector(initial, 1e-9) {
+        return Err(MarkovError::InvalidValue {
+            context: "initial distribution".into(),
+            value: initial.iter().sum(),
+        });
+    }
+    if !(t.is_finite() && t >= 0.0) {
+        return Err(MarkovError::InvalidValue {
+            context: "horizon".into(),
+            value: t,
+        });
+    }
+    if t == 0.0 {
+        return Ok(initial.iter().zip(reward).map(|(p, r)| p * r).sum());
+    }
+    let max_exit = (0..n)
+        .map(|i| -chain.generator()[(i, i)])
+        .fold(0.0, f64::max);
+    if max_exit == 0.0 {
+        return Ok(initial.iter().zip(reward).map(|(p, r)| p * r).sum());
+    }
+    let lambda = max_exit * 1.02;
+    let p = chain.uniformized(Some(lambda))?;
+    let lt = lambda * t;
+
+    // Poisson tail probabilities P(Pois(lt) > k), computed iteratively.
+    // accumulated = Σ_k (v Pᵏ · reward) · (1/Λ) · tail_k.
+    let mut v = initial.to_vec();
+    let mut accumulated = 0.0;
+    let mut log_pmf = -lt; // log pois_0
+    let mut cdf = (-lt).exp();
+    let mut tail = 1.0 - cdf;
+    let k_max = (lt + 10.0 * lt.sqrt() + 50.0) as usize;
+    for k in 0..=k_max {
+        let reward_k: f64 = v.iter().zip(reward).map(|(pv, r)| pv * r).sum();
+        accumulated += reward_k * tail / lambda;
+        if tail < 1e-14 {
+            break;
+        }
+        // Advance to k + 1.
+        log_pmf += lt.ln() - ((k + 1) as f64).ln();
+        cdf += log_pmf.exp();
+        tail = (1.0 - cdf).max(0.0);
+        v = p.vec_mul(&v)?;
+    }
+    Ok(accumulated / t)
+}
+
+fn check_reward(chain: &Ctmc, reward: &[f64]) -> Result<(), MarkovError> {
+    if reward.len() != chain.num_states() {
+        return Err(MarkovError::InvalidValue {
+            context: "reward vector length".into(),
+            value: reward.len() as f64,
+        });
+    }
+    if let Some(&bad) = reward.iter().find(|v| !v.is_finite()) {
+        return Err(MarkovError::InvalidValue {
+            context: "reward rate".into(),
+            value: bad,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CtmcBuilder;
+
+    fn two_state(lambda: f64, mu: f64) -> Ctmc {
+        let mut b = CtmcBuilder::new();
+        let up = b.add_state("up");
+        let down = b.add_state("down");
+        b.add_transition(up, down, lambda).unwrap();
+        b.add_transition(down, up, mu).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn point_availability_closed_form() {
+        // A(t) = mu/(l+mu) + l/(l+mu) e^{-(l+mu)t}.
+        let (l, mu) = (0.4, 1.6);
+        let chain = two_state(l, mu);
+        let ts = [0.0, 0.25, 1.0, 4.0];
+        let curve =
+            point_availability(&chain, &[1.0, 0.0], &[1.0, 0.0], &ts).unwrap();
+        for (&t, &a) in ts.iter().zip(&curve) {
+            let expected = mu / (l + mu) + l / (l + mu) * (-(l + mu) * t).exp();
+            assert!((a - expected).abs() < 1e-9, "t={t}: {a} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn interval_availability_closed_form() {
+        // IA(t) = mu/(l+mu) + l/((l+mu)^2 t) (1 - e^{-(l+mu)t}).
+        let (l, mu) = (0.5, 1.5);
+        let chain = two_state(l, mu);
+        for &t in &[0.1, 1.0, 5.0, 50.0] {
+            let ia =
+                interval_availability(&chain, &[1.0, 0.0], &[1.0, 0.0], t).unwrap();
+            let s = l + mu;
+            let expected = mu / s + l / (s * s * t) * (1.0 - (-s * t).exp());
+            assert!((ia - expected).abs() < 1e-8, "t={t}: {ia} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn interval_availability_limits() {
+        let chain = two_state(1.0, 3.0);
+        // t -> 0: starts at 1 (system begins up).
+        let small = interval_availability(&chain, &[1.0, 0.0], &[1.0, 0.0], 1e-6).unwrap();
+        assert!((small - 1.0).abs() < 1e-4);
+        // t -> inf: converges to the steady state 0.75.
+        let large = interval_availability(&chain, &[1.0, 0.0], &[1.0, 0.0], 1e4).unwrap();
+        assert!((large - 0.75).abs() < 1e-3);
+        // Exact t = 0.
+        let zero = interval_availability(&chain, &[0.0, 1.0], &[1.0, 0.0], 0.0).unwrap();
+        assert_eq!(zero, 0.0);
+    }
+
+    #[test]
+    fn interval_availability_monotone_decreasing_from_up() {
+        let chain = two_state(0.8, 1.2);
+        let mut prev = 1.0;
+        for &t in &[0.1, 0.5, 1.0, 2.0, 10.0] {
+            let ia =
+                interval_availability(&chain, &[1.0, 0.0], &[1.0, 0.0], t).unwrap();
+            assert!(ia <= prev + 1e-12, "t={t}");
+            prev = ia;
+        }
+    }
+
+    #[test]
+    fn validation() {
+        let chain = two_state(1.0, 1.0);
+        assert!(point_availability(&chain, &[1.0, 0.0], &[1.0], &[1.0]).is_err());
+        assert!(point_availability(&chain, &[1.0, 0.0], &[1.0, f64::NAN], &[1.0]).is_err());
+        assert!(interval_availability(&chain, &[0.5, 0.4], &[1.0, 0.0], 1.0).is_err());
+        assert!(interval_availability(&chain, &[1.0, 0.0], &[1.0, 0.0], -1.0).is_err());
+    }
+
+    #[test]
+    fn general_reward_rates_supported() {
+        // Reward 2.0 in up, 0.5 in down: long-run average 2*0.75 + 0.5*0.25.
+        let chain = two_state(0.5, 1.5);
+        let ia = interval_availability(&chain, &[1.0, 0.0], &[2.0, 0.5], 1e4).unwrap();
+        assert!((ia - (2.0 * 0.75 + 0.5 * 0.25)).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,84 @@
+//! Graphviz DOT export for operational-profile graphs.
+
+use std::fmt::Write as _;
+
+use crate::ProfileGraph;
+
+impl ProfileGraph {
+    /// Renders the profile graph in Graphviz DOT format — Start/Exit as
+    /// double circles, functions as boxes, edges labeled with their
+    /// probabilities (zero-probability edges omitted).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use uavail_profile::ProfileGraph;
+    ///
+    /// # fn main() -> Result<(), uavail_profile::ProfileError> {
+    /// let mut g = ProfileGraph::new(vec!["Home"])?;
+    /// g.set_start_transition("Home", 1.0)?;
+    /// g.set_transition("Home", None, 1.0)?;
+    /// let dot = g.validated()?.to_dot();
+    /// assert!(dot.starts_with("digraph"));
+    /// assert!(dot.contains("\"Start\" -> \"Home\""));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        out.push_str("digraph operational_profile {\n");
+        out.push_str("  rankdir=LR;\n");
+        out.push_str("  \"Start\" [shape=doublecircle];\n");
+        out.push_str("  \"Exit\" [shape=doublecircle];\n");
+        for name in self.function_names() {
+            let _ = writeln!(out, "  {name:?} [shape=box];");
+        }
+        for (j, name) in self.function_names().iter().enumerate() {
+            let p = self.start_probability(j);
+            if p > 0.0 {
+                let _ = writeln!(out, "  \"Start\" -> {name:?} [label=\"{p}\"];");
+            }
+        }
+        for (i, from) in self.function_names().iter().enumerate() {
+            for (j, to) in self.function_names().iter().enumerate() {
+                let p = self.transition_probability(i, j);
+                if p > 0.0 {
+                    let _ = writeln!(out, "  {from:?} -> {to:?} [label=\"{p}\"];");
+                }
+            }
+            let p = self.exit_probability(i);
+            if p > 0.0 {
+                let _ = writeln!(out, "  {from:?} -> \"Exit\" [label=\"{p}\"];");
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ProfileGraph;
+
+    fn graph() -> ProfileGraph {
+        let mut g = ProfileGraph::new(vec!["Home", "Search"]).unwrap();
+        g.set_start_transition("Home", 1.0).unwrap();
+        g.set_transition("Home", Some("Search"), 0.5).unwrap();
+        g.set_transition("Home", None, 0.5).unwrap();
+        g.set_transition("Search", None, 1.0).unwrap();
+        g.validated().unwrap()
+    }
+
+    #[test]
+    fn dot_structure() {
+        let dot = graph().to_dot();
+        assert!(dot.starts_with("digraph operational_profile {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert!(dot.contains("\"Home\" [shape=box];"));
+        assert!(dot.contains("\"Start\" -> \"Home\" [label=\"1\"];"));
+        assert!(dot.contains("\"Home\" -> \"Search\" [label=\"0.5\"];"));
+        assert!(dot.contains("\"Search\" -> \"Exit\" [label=\"1\"];"));
+        // Zero-probability edges omitted.
+        assert!(!dot.contains("\"Search\" -> \"Home\""));
+    }
+}

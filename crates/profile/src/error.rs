@@ -1,0 +1,101 @@
+use std::fmt;
+
+use uavail_markov::MarkovError;
+
+/// Errors produced by operational-profile construction and analysis.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ProfileError {
+    /// A referenced function name is not part of the profile.
+    UnknownFunction {
+        /// The offending name.
+        name: String,
+    },
+    /// A probability is negative, above one, or non-finite.
+    InvalidProbability {
+        /// Where the probability was supplied.
+        context: String,
+        /// The offending value.
+        value: f64,
+    },
+    /// Outgoing probabilities of a node do not sum to one.
+    UnnormalizedNode {
+        /// The node ("Start" or a function name).
+        node: String,
+        /// The actual sum.
+        sum: f64,
+    },
+    /// The profile has no functions.
+    Empty,
+    /// Sessions are not guaranteed to terminate (Exit unreachable from some
+    /// function that is itself reachable).
+    NonTerminating {
+        /// Explanation.
+        reason: String,
+    },
+    /// An underlying Markov computation failed.
+    Markov(MarkovError),
+    /// A scenario table row is inconsistent (duplicate scenario, bad
+    /// probability, or the table does not sum to one).
+    BadTable {
+        /// Explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileError::UnknownFunction { name } => {
+                write!(f, "unknown function {name:?}")
+            }
+            ProfileError::InvalidProbability { context, value } => {
+                write!(f, "invalid probability {value} for {context}")
+            }
+            ProfileError::UnnormalizedNode { node, sum } => {
+                write!(f, "outgoing probabilities of {node:?} sum to {sum}, expected 1")
+            }
+            ProfileError::Empty => write!(f, "profile has no functions"),
+            ProfileError::NonTerminating { reason } => {
+                write!(f, "sessions may never terminate: {reason}")
+            }
+            ProfileError::Markov(e) => write!(f, "markov analysis failed: {e}"),
+            ProfileError::BadTable { reason } => write!(f, "bad scenario table: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProfileError::Markov(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MarkovError> for ProfileError {
+    fn from(e: MarkovError) -> Self {
+        ProfileError::Markov(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        assert!(ProfileError::Empty.to_string().contains("no functions"));
+        let wrapped = ProfileError::from(MarkovError::EmptyChain);
+        assert!(wrapped.source().is_some());
+        assert!(ProfileError::Empty.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ProfileError>();
+    }
+}

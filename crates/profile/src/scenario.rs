@@ -1,0 +1,299 @@
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ProfileError;
+
+/// One user execution scenario: a class of sessions identified by the set
+/// of functions invoked (the paper's Table 1 rows).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Human-readable label, e.g. `"St-Ho-{Se-Bo}*-Pa-Ex"`.
+    pub label: String,
+    /// Names of the functions invoked in this scenario.
+    pub functions: Vec<String>,
+    /// Activation probability `π_i` of the scenario.
+    pub probability: f64,
+}
+
+impl Scenario {
+    /// Creates a scenario row.
+    pub fn new<S: Into<String>>(
+        label: impl Into<String>,
+        functions: Vec<S>,
+        probability: f64,
+    ) -> Self {
+        Scenario {
+            label: label.into(),
+            functions: functions.into_iter().map(Into::into).collect(),
+            probability,
+        }
+    }
+
+    /// Whether this scenario invokes the named function.
+    pub fn invokes(&self, function: &str) -> bool {
+        self.functions.iter().any(|f| f == function)
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({:.1}%)", self.label, self.probability * 100.0)
+    }
+}
+
+/// The paper's four scenario categories (Section 5.2, Figure 13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ScenarioCategory {
+    /// SC1 — information-only sessions: neither Search, Book nor Pay.
+    Sc1InformationOnly,
+    /// SC2 — Search invoked, but neither Book nor Pay.
+    Sc2SearchOnly,
+    /// SC3 — Book invoked, but not Pay.
+    Sc3BookWithoutPay,
+    /// SC4 — the session reaches Pay.
+    Sc4Pay,
+}
+
+impl ScenarioCategory {
+    /// Classifies a scenario given the names of the Search, Book and Pay
+    /// functions in the profile at hand.
+    pub fn classify(scenario: &Scenario, search: &str, book: &str, pay: &str) -> Self {
+        if scenario.invokes(pay) {
+            ScenarioCategory::Sc4Pay
+        } else if scenario.invokes(book) {
+            ScenarioCategory::Sc3BookWithoutPay
+        } else if scenario.invokes(search) {
+            ScenarioCategory::Sc2SearchOnly
+        } else {
+            ScenarioCategory::Sc1InformationOnly
+        }
+    }
+
+    /// All categories in SC1..SC4 order.
+    pub fn all() -> [ScenarioCategory; 4] {
+        [
+            ScenarioCategory::Sc1InformationOnly,
+            ScenarioCategory::Sc2SearchOnly,
+            ScenarioCategory::Sc3BookWithoutPay,
+            ScenarioCategory::Sc4Pay,
+        ]
+    }
+}
+
+impl fmt::Display for ScenarioCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ScenarioCategory::Sc1InformationOnly => "SC1 (Home/Browse only)",
+            ScenarioCategory::Sc2SearchOnly => "SC2 (Search, no Book/Pay)",
+            ScenarioCategory::Sc3BookWithoutPay => "SC3 (Book, no Pay)",
+            ScenarioCategory::Sc4Pay => "SC4 (Pay)",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A validated table of user execution scenarios — the operational profile
+/// in the directly specified form the paper's Table 1 uses.
+///
+/// # Examples
+///
+/// ```
+/// use uavail_profile::{Scenario, ScenarioTable};
+///
+/// # fn main() -> Result<(), uavail_profile::ProfileError> {
+/// let table = ScenarioTable::new(vec![
+///     Scenario::new("St-Ho-Ex", vec!["Home"], 0.4),
+///     Scenario::new("St-Ho-Se-Ex", vec!["Home", "Search"], 0.6),
+/// ])?;
+/// assert!((table.probability_where(|s| s.invokes("Search")) - 0.6).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioTable {
+    scenarios: Vec<Scenario>,
+}
+
+impl ScenarioTable {
+    /// Validates and wraps a list of scenarios.
+    ///
+    /// # Errors
+    ///
+    /// [`ProfileError::BadTable`] when the table is empty, contains an
+    /// invalid probability, duplicates a label, or the probabilities do not
+    /// sum to one (tolerance `1e-6`, accommodating the paper's rounded
+    /// percentages).
+    pub fn new(scenarios: Vec<Scenario>) -> Result<Self, ProfileError> {
+        if scenarios.is_empty() {
+            return Err(ProfileError::BadTable {
+                reason: "no scenarios".into(),
+            });
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut total = 0.0;
+        for s in &scenarios {
+            if !(s.probability.is_finite() && (0.0..=1.0).contains(&s.probability)) {
+                return Err(ProfileError::BadTable {
+                    reason: format!(
+                        "scenario {:?} has invalid probability {}",
+                        s.label, s.probability
+                    ),
+                });
+            }
+            if !seen.insert(s.label.clone()) {
+                return Err(ProfileError::BadTable {
+                    reason: format!("duplicate scenario label {:?}", s.label),
+                });
+            }
+            total += s.probability;
+        }
+        if (total - 1.0).abs() > 1e-6 {
+            return Err(ProfileError::BadTable {
+                reason: format!("scenario probabilities sum to {total}, expected 1"),
+            });
+        }
+        Ok(ScenarioTable { scenarios })
+    }
+
+    /// The scenarios, in the order supplied.
+    pub fn scenarios(&self) -> &[Scenario] {
+        &self.scenarios
+    }
+
+    /// Number of scenarios.
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// Whether the table is empty (never true for a validated table).
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+
+    /// Total probability of scenarios matching a predicate.
+    pub fn probability_where(&self, predicate: impl Fn(&Scenario) -> bool) -> f64 {
+        self.scenarios
+            .iter()
+            .filter(|s| predicate(s))
+            .map(|s| s.probability)
+            .sum()
+    }
+
+    /// Groups scenario probability mass by the paper's SC1–SC4 categories.
+    ///
+    /// `search`, `book` and `pay` name the functions that define the
+    /// category boundaries in this profile.
+    pub fn by_category(
+        &self,
+        search: &str,
+        book: &str,
+        pay: &str,
+    ) -> HashMap<ScenarioCategory, f64> {
+        let mut out: HashMap<ScenarioCategory, f64> = HashMap::new();
+        for s in &self.scenarios {
+            let cat = ScenarioCategory::classify(s, search, book, pay);
+            *out.entry(cat).or_insert(0.0) += s.probability;
+        }
+        out
+    }
+
+    /// Expected value of a per-scenario function, weighted by scenario
+    /// probability — the shape of the paper's user-availability equation
+    /// (10): `A(user) = Σ_i π_i A(scenario_i)`.
+    pub fn weighted_sum(&self, value: impl Fn(&Scenario) -> f64) -> f64 {
+        self.scenarios
+            .iter()
+            .map(|s| s.probability * value(s))
+            .sum()
+    }
+}
+
+impl fmt::Display for ScenarioTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in &self.scenarios {
+            writeln!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> ScenarioTable {
+        ScenarioTable::new(vec![
+            Scenario::new("s1", vec!["Home"], 0.3),
+            Scenario::new("s2", vec!["Home", "Search"], 0.4),
+            Scenario::new("s3", vec!["Home", "Search", "Book"], 0.2),
+            Scenario::new("s4", vec!["Home", "Search", "Book", "Pay"], 0.1),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(ScenarioTable::new(vec![]).is_err());
+        assert!(ScenarioTable::new(vec![Scenario::new("a", vec!["f"], 0.5)]).is_err());
+        assert!(ScenarioTable::new(vec![
+            Scenario::new("a", vec!["f"], 0.5),
+            Scenario::new("a", vec!["f"], 0.5),
+        ])
+        .is_err());
+        assert!(ScenarioTable::new(vec![Scenario::new("a", vec!["f"], 1.5)]).is_err());
+        assert!(ScenarioTable::new(vec![Scenario::new("a", vec!["f"], 1.0)]).is_ok());
+    }
+
+    #[test]
+    fn probability_queries() {
+        let t = table();
+        assert!((t.probability_where(|s| s.invokes("Search")) - 0.7).abs() < 1e-12);
+        assert!((t.probability_where(|s| s.invokes("Pay")) - 0.1).abs() < 1e-12);
+        assert!((t.probability_where(|_| true) - 1.0).abs() < 1e-12);
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn categories() {
+        let t = table();
+        let cats = t.by_category("Search", "Book", "Pay");
+        assert!((cats[&ScenarioCategory::Sc1InformationOnly] - 0.3).abs() < 1e-12);
+        assert!((cats[&ScenarioCategory::Sc2SearchOnly] - 0.4).abs() < 1e-12);
+        assert!((cats[&ScenarioCategory::Sc3BookWithoutPay] - 0.2).abs() < 1e-12);
+        assert!((cats[&ScenarioCategory::Sc4Pay] - 0.1).abs() < 1e-12);
+        let total: f64 = cats.values().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_sum_is_expectation() {
+        let t = table();
+        // Value = number of functions: 1*0.3 + 2*0.4 + 3*0.2 + 4*0.1 = 2.1
+        let v = t.weighted_sum(|s| s.functions.len() as f64);
+        assert!((v - 2.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classification_precedence() {
+        // Pay dominates Book dominates Search.
+        let s = Scenario::new("x", vec!["Search", "Book", "Pay"], 1.0);
+        assert_eq!(
+            ScenarioCategory::classify(&s, "Search", "Book", "Pay"),
+            ScenarioCategory::Sc4Pay
+        );
+        let s = Scenario::new("x", vec!["Browse"], 1.0);
+        assert_eq!(
+            ScenarioCategory::classify(&s, "Search", "Book", "Pay"),
+            ScenarioCategory::Sc1InformationOnly
+        );
+    }
+
+    #[test]
+    fn display_forms() {
+        let s = Scenario::new("St-Ho-Ex", vec!["Home"], 0.25);
+        assert_eq!(s.to_string(), "St-Ho-Ex (25.0%)");
+        assert!(ScenarioCategory::Sc4Pay.to_string().contains("SC4"));
+        assert_eq!(ScenarioCategory::all().len(), 4);
+    }
+}

@@ -1,0 +1,219 @@
+use crate::{check_rate, QueueingError};
+
+/// A finite queue with fully state-dependent arrival and service rates.
+///
+/// `arrival_rates[n]` is the arrival rate when `n` customers are present
+/// (`n = 0..K`); `service_rates[n]` is the total service rate when `n + 1`
+/// customers are present. Every Markovian queue in this crate is a special
+/// case, which makes this type the reference implementation the closed
+/// forms are tested against.
+///
+/// # Examples
+///
+/// Balking customers — arrival rate halves with each customer present:
+///
+/// ```
+/// use uavail_queueing::BirthDeathQueue;
+///
+/// # fn main() -> Result<(), uavail_queueing::QueueingError> {
+/// let arrivals = vec![8.0, 4.0, 2.0, 1.0];
+/// let services = vec![5.0, 5.0, 5.0, 5.0];
+/// let q = BirthDeathQueue::new(arrivals, services)?;
+/// let dist = q.state_distribution();
+/// assert_eq!(dist.len(), 5);
+/// assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BirthDeathQueue {
+    arrival_rates: Vec<f64>,
+    service_rates: Vec<f64>,
+}
+
+impl BirthDeathQueue {
+    /// Creates a state-dependent queue with capacity
+    /// `K = arrival_rates.len()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueingError::InvalidParameter`] when the vectors are
+    /// empty, differ in length, or contain non-positive rates.
+    pub fn new(arrival_rates: Vec<f64>, service_rates: Vec<f64>) -> Result<Self, QueueingError> {
+        if arrival_rates.is_empty() {
+            return Err(QueueingError::InvalidParameter {
+                name: "arrival_rates",
+                value: 0.0,
+                requirement: "non-empty",
+            });
+        }
+        if arrival_rates.len() != service_rates.len() {
+            return Err(QueueingError::InvalidParameter {
+                name: "service_rates",
+                value: service_rates.len() as f64,
+                requirement: "same length as arrival_rates",
+            });
+        }
+        for &r in &arrival_rates {
+            check_rate("arrival_rates[..]", r)?;
+        }
+        for &r in &service_rates {
+            check_rate("service_rates[..]", r)?;
+        }
+        Ok(BirthDeathQueue {
+            arrival_rates,
+            service_rates,
+        })
+    }
+
+    /// Builds the M/M/c/K special case: arrivals at `α` in every state,
+    /// total service rate `min(n, c)·ν` with `n` customers present.
+    ///
+    /// # Errors
+    ///
+    /// As for [`BirthDeathQueue::new`]; additionally rejects `servers == 0`
+    /// or `capacity < servers`.
+    pub fn mmck(
+        arrival_rate: f64,
+        service_rate: f64,
+        servers: usize,
+        capacity: usize,
+    ) -> Result<Self, QueueingError> {
+        check_rate("arrival_rate", arrival_rate)?;
+        check_rate("service_rate", service_rate)?;
+        if servers == 0 || capacity < servers {
+            return Err(QueueingError::InvalidParameter {
+                name: "servers/capacity",
+                value: servers as f64,
+                requirement: "servers >= 1 and capacity >= servers",
+            });
+        }
+        let arrival_rates = vec![arrival_rate; capacity];
+        let service_rates: Vec<f64> = (1..=capacity)
+            .map(|n| n.min(servers) as f64 * service_rate)
+            .collect();
+        BirthDeathQueue::new(arrival_rates, service_rates)
+    }
+
+    /// System capacity `K`.
+    pub fn capacity(&self) -> usize {
+        self.arrival_rates.len()
+    }
+
+    /// Steady-state distribution over `0..=K` customers via the product
+    /// formula with running normalization.
+    pub fn state_distribution(&self) -> Vec<f64> {
+        let k = self.capacity();
+        let mut log_weights = Vec::with_capacity(k + 1);
+        log_weights.push(0.0f64);
+        for n in 0..k {
+            let prev = log_weights[n];
+            log_weights.push(prev + self.arrival_rates[n].ln() - self.service_rates[n].ln());
+        }
+        let max = log_weights
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let weights: Vec<f64> = log_weights.iter().map(|lw| (lw - max).exp()).collect();
+        let total: f64 = weights.iter().sum();
+        weights.into_iter().map(|w| w / total).collect()
+    }
+
+    /// Probability that an arriving customer is blocked. With
+    /// state-dependent arrivals PASTA does not apply directly; blocking is
+    /// the arrival-rate-weighted probability of finding the system full:
+    /// `λ_K·p_K / Σ_n λ_n·p_n` where `λ_K = 0` conceptually — here we
+    /// report the *time-stationary* full probability `p_K`, which is what
+    /// the paper's `p_K` denotes for its constant-rate queues.
+    pub fn full_probability(&self) -> f64 {
+        *self
+            .state_distribution()
+            .last()
+            .expect("distribution non-empty")
+    }
+
+    /// Mean number of customers in the system.
+    pub fn mean_customers(&self) -> f64 {
+        self.state_distribution()
+            .iter()
+            .enumerate()
+            .map(|(n, p)| n as f64 * p)
+            .sum()
+    }
+
+    /// Effective (accepted) arrival rate `Σ_{n<K} λ_n·p_n`.
+    pub fn effective_arrival_rate(&self) -> f64 {
+        let dist = self.state_distribution();
+        self.arrival_rates
+            .iter()
+            .enumerate()
+            .map(|(n, &l)| l * dist[n])
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MM1K, MMcK};
+
+    #[test]
+    fn validation() {
+        assert!(BirthDeathQueue::new(vec![], vec![]).is_err());
+        assert!(BirthDeathQueue::new(vec![1.0], vec![1.0, 2.0]).is_err());
+        assert!(BirthDeathQueue::new(vec![0.0], vec![1.0]).is_err());
+        assert!(BirthDeathQueue::mmck(1.0, 1.0, 0, 5).is_err());
+        assert!(BirthDeathQueue::mmck(1.0, 1.0, 3, 2).is_err());
+    }
+
+    #[test]
+    fn reproduces_mm1k() {
+        for &(a, v, k) in &[(50.0, 100.0, 10usize), (100.0, 100.0, 10), (130.0, 100.0, 7)] {
+            let general = BirthDeathQueue::mmck(a, v, 1, k).unwrap();
+            let closed = MM1K::new(a, v, k).unwrap();
+            assert!(
+                (general.full_probability() - closed.loss_probability()).abs() < 1e-12,
+                "a={a} k={k}"
+            );
+            assert!((general.mean_customers() - closed.mean_customers()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn reproduces_mmck() {
+        for &(a, v, c, k) in &[
+            (100.0, 100.0, 4usize, 10usize),
+            (50.0, 100.0, 2, 10),
+            (150.0, 100.0, 3, 12),
+        ] {
+            let general = BirthDeathQueue::mmck(a, v, c, k).unwrap();
+            let closed = MMcK::new(a, v, c, k).unwrap();
+            assert!(
+                (general.full_probability() - closed.loss_probability()).abs() < 1e-12,
+                "c={c}"
+            );
+        }
+    }
+
+    #[test]
+    fn balking_reduces_occupancy() {
+        let constant =
+            BirthDeathQueue::new(vec![5.0; 4], vec![5.0; 4]).unwrap();
+        let balking =
+            BirthDeathQueue::new(vec![5.0, 2.5, 1.25, 0.625], vec![5.0; 4]).unwrap();
+        assert!(balking.mean_customers() < constant.mean_customers());
+    }
+
+    #[test]
+    fn effective_rate_bounded_by_offered() {
+        let q = BirthDeathQueue::mmck(100.0, 50.0, 2, 5).unwrap();
+        let eff = q.effective_arrival_rate();
+        assert!(eff < 100.0 && eff > 0.0);
+        // Conservation: accepted rate = service completion rate.
+        let dist = q.state_distribution();
+        let completions: f64 = (1..=5)
+            .map(|n| dist[n] * (n.min(2) as f64 * 50.0))
+            .sum();
+        assert!((eff - completions).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,218 @@
+//! Erlang B and Erlang C formulas via numerically stable recurrences.
+//!
+//! Both formulas are evaluated with the classic recurrence
+//! `B(0, a) = 1`, `B(c, a) = a·B(c-1, a) / (c + a·B(c-1, a))`,
+//! which avoids factorials and powers entirely and is accurate for
+//! hundreds of servers.
+
+use crate::QueueingError;
+
+/// Erlang B — blocking probability of an M/M/c/c loss system with offered
+/// load `a` Erlangs (no waiting room at all).
+///
+/// This is the limiting case of the paper's web-farm model with `K = c`:
+/// a request that finds every operational server busy is lost immediately.
+///
+/// # Errors
+///
+/// Returns [`QueueingError::InvalidParameter`] when `servers == 0` or
+/// `offered_load` is not finite and positive.
+///
+/// # Examples
+///
+/// ```
+/// use uavail_queueing::erlang::erlang_b;
+///
+/// # fn main() -> Result<(), uavail_queueing::QueueingError> {
+/// // Classic traffic-engineering value: B(5, 3) ≈ 0.11005.
+/// let b = erlang_b(5, 3.0)?;
+/// assert!((b - 0.11005).abs() < 1e-4);
+/// # Ok(())
+/// # }
+/// ```
+pub fn erlang_b(servers: usize, offered_load: f64) -> Result<f64, QueueingError> {
+    if servers == 0 {
+        return Err(QueueingError::InvalidParameter {
+            name: "servers",
+            value: 0.0,
+            requirement: "at least 1",
+        });
+    }
+    if !(offered_load.is_finite() && offered_load > 0.0) {
+        return Err(QueueingError::InvalidParameter {
+            name: "offered_load",
+            value: offered_load,
+            requirement: "finite and > 0",
+        });
+    }
+    let mut b = 1.0f64;
+    for c in 1..=servers {
+        b = offered_load * b / (c as f64 + offered_load * b);
+    }
+    Ok(b)
+}
+
+/// Erlang C — probability of waiting in an M/M/c queue with offered load
+/// `a` Erlangs. Requires `a < c` (stability).
+///
+/// # Errors
+///
+/// * [`QueueingError::InvalidParameter`] as for [`erlang_b`].
+/// * [`QueueingError::Unstable`] when `offered_load >= servers`.
+///
+/// # Examples
+///
+/// ```
+/// use uavail_queueing::erlang::erlang_c;
+///
+/// # fn main() -> Result<(), uavail_queueing::QueueingError> {
+/// let c = erlang_c(3, 2.0)?;
+/// assert!((c - 4.0 / 9.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn erlang_c(servers: usize, offered_load: f64) -> Result<f64, QueueingError> {
+    let b = erlang_b(servers, offered_load)?;
+    let c = servers as f64;
+    if offered_load >= c {
+        return Err(QueueingError::Unstable {
+            utilization: offered_load / c,
+        });
+    }
+    let rho = offered_load / c;
+    Ok(b / (1.0 - rho * (1.0 - b)))
+}
+
+/// Smallest number of servers such that Erlang B blocking does not exceed
+/// `target` for the given offered load — the standard dimensioning query.
+///
+/// # Errors
+///
+/// Returns [`QueueingError::InvalidParameter`] for a `target` outside
+/// `(0, 1)` or an invalid load.
+///
+/// # Examples
+///
+/// ```
+/// use uavail_queueing::erlang::{dimension_servers, erlang_b};
+///
+/// # fn main() -> Result<(), uavail_queueing::QueueingError> {
+/// let c = dimension_servers(10.0, 0.01)?;
+/// assert!(erlang_b(c, 10.0)? <= 0.01);
+/// assert!(erlang_b(c - 1, 10.0)? > 0.01);
+/// # Ok(())
+/// # }
+/// ```
+pub fn dimension_servers(offered_load: f64, target: f64) -> Result<usize, QueueingError> {
+    if !(target > 0.0 && target < 1.0) {
+        return Err(QueueingError::InvalidParameter {
+            name: "target",
+            value: target,
+            requirement: "strictly between 0 and 1",
+        });
+    }
+    if !(offered_load.is_finite() && offered_load > 0.0) {
+        return Err(QueueingError::InvalidParameter {
+            name: "offered_load",
+            value: offered_load,
+            requirement: "finite and > 0",
+        });
+    }
+    // Run the recurrence until it drops below the target.
+    let mut b = 1.0f64;
+    let mut c = 0usize;
+    loop {
+        c += 1;
+        b = offered_load * b / (c as f64 + offered_load * b);
+        if b <= target {
+            return Ok(c);
+        }
+        // Safety bound: blocking is monotone decreasing in c and already
+        // astronomically small beyond this.
+        if c > 10_000_000 {
+            return Err(QueueingError::InvalidParameter {
+                name: "offered_load",
+                value: offered_load,
+                requirement: "dimensionable (load too large)",
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erlang_b_base_cases() {
+        // One server: B = a / (1 + a).
+        assert!((erlang_b(1, 2.0).unwrap() - 2.0 / 3.0).abs() < 1e-15);
+        // B decreases in c.
+        let mut prev = 1.0;
+        for c in 1..=20 {
+            let b = erlang_b(c, 5.0).unwrap();
+            assert!(b < prev);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn erlang_b_matches_direct_formula() {
+        // B(c, a) = (a^c/c!) / sum_{k<=c} a^k/k!
+        let a = 4.0f64;
+        let c = 6usize;
+        let mut terms = Vec::new();
+        let mut t = 1.0;
+        terms.push(t);
+        for k in 1..=c {
+            t *= a / k as f64;
+            terms.push(t);
+        }
+        let direct = terms[c] / terms.iter().sum::<f64>();
+        assert!((erlang_b(c, a).unwrap() - direct).abs() < 1e-14);
+    }
+
+    #[test]
+    fn erlang_c_stability_check() {
+        assert!(matches!(
+            erlang_c(2, 2.0),
+            Err(QueueingError::Unstable { .. })
+        ));
+        assert!(erlang_c(3, 2.999).is_ok());
+    }
+
+    #[test]
+    fn erlang_c_exceeds_erlang_b() {
+        // Waiting is more likely than blocking for the same (c, a).
+        for &(c, a) in &[(2usize, 1.0f64), (5, 3.5), (10, 8.0)] {
+            assert!(erlang_c(c, a).unwrap() > erlang_b(c, a).unwrap());
+        }
+    }
+
+    #[test]
+    fn dimensioning_round_trip() {
+        for &(a, t) in &[(1.0, 0.05), (20.0, 0.001), (100.0, 0.01)] {
+            let c = dimension_servers(a, t).unwrap();
+            assert!(erlang_b(c, a).unwrap() <= t);
+            if c > 1 {
+                assert!(erlang_b(c - 1, a).unwrap() > t);
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_inputs() {
+        assert!(erlang_b(0, 1.0).is_err());
+        assert!(erlang_b(1, -1.0).is_err());
+        assert!(erlang_b(1, f64::NAN).is_err());
+        assert!(dimension_servers(1.0, 0.0).is_err());
+        assert!(dimension_servers(1.0, 1.0).is_err());
+        assert!(dimension_servers(-2.0, 0.5).is_err());
+    }
+
+    #[test]
+    fn large_server_count_is_stable() {
+        let b = erlang_b(500, 450.0).unwrap();
+        assert!(b.is_finite() && b > 0.0 && b < 1.0);
+    }
+}

@@ -1,0 +1,65 @@
+use std::fmt;
+
+/// Errors produced by queueing-model construction.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum QueueingError {
+    /// A parameter violated its domain requirement.
+    InvalidParameter {
+        /// Parameter name as it appears in the constructor.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+        /// The violated requirement, e.g. `"finite and > 0"`.
+        requirement: &'static str,
+    },
+    /// The queue is unstable (utilization ≥ 1) where stability is required
+    /// — only infinite-buffer models reject this; finite-buffer models are
+    /// always stable.
+    Unstable {
+        /// Offered utilization `λ / (c·µ)`.
+        utilization: f64,
+    },
+}
+
+impl fmt::Display for QueueingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueueingError::InvalidParameter {
+                name,
+                value,
+                requirement,
+            } => write!(f, "parameter {name} = {value} must be {requirement}"),
+            QueueingError::Unstable { utilization } => write!(
+                f,
+                "queue is unstable: utilization {utilization} >= 1 requires a finite buffer"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QueueingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = QueueingError::InvalidParameter {
+            name: "arrival_rate",
+            value: -1.0,
+            requirement: "finite and > 0",
+        };
+        assert_eq!(e.to_string(), "parameter arrival_rate = -1 must be finite and > 0");
+        assert!(QueueingError::Unstable { utilization: 1.2 }
+            .to_string()
+            .contains("unstable"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QueueingError>();
+    }
+}

@@ -1,0 +1,129 @@
+use crate::{check_rate, QueueingError};
+
+/// The M/G/1 queue via the Pollaczek–Khinchine formulas.
+///
+/// Poisson arrivals at rate `α`; generally distributed service times given
+/// by their mean and squared coefficient of variation (SCV). This supports
+/// the paper's future-work extension — studying how response-time
+/// variability (not just buffer overflow) degrades user-perceived quality —
+/// without committing to exponential service.
+///
+/// # Examples
+///
+/// ```
+/// use uavail_queueing::MG1;
+///
+/// # fn main() -> Result<(), uavail_queueing::QueueingError> {
+/// // Deterministic service (SCV = 0) halves the M/M/1 queueing delay.
+/// let md1 = MG1::new(50.0, 0.01, 0.0)?;
+/// let mm1 = MG1::new(50.0, 0.01, 1.0)?;
+/// assert!((md1.mean_waiting_time() - 0.5 * mm1.mean_waiting_time()).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MG1 {
+    arrival_rate: f64,
+    mean_service_time: f64,
+    scv: f64,
+}
+
+impl MG1 {
+    /// Creates a stable M/G/1 model.
+    ///
+    /// `scv` is the squared coefficient of variation of the service time:
+    /// 0 for deterministic, 1 for exponential, >1 for heavy-tailed.
+    ///
+    /// # Errors
+    ///
+    /// * [`QueueingError::InvalidParameter`] for non-positive rate/mean or
+    ///   negative/non-finite `scv`.
+    /// * [`QueueingError::Unstable`] when `ρ = α·E[S] ≥ 1`.
+    pub fn new(arrival_rate: f64, mean_service_time: f64, scv: f64) -> Result<Self, QueueingError> {
+        check_rate("arrival_rate", arrival_rate)?;
+        check_rate("mean_service_time", mean_service_time)?;
+        if !(scv.is_finite() && scv >= 0.0) {
+            return Err(QueueingError::InvalidParameter {
+                name: "scv",
+                value: scv,
+                requirement: "finite and >= 0",
+            });
+        }
+        let rho = arrival_rate * mean_service_time;
+        if rho >= 1.0 {
+            return Err(QueueingError::Unstable { utilization: rho });
+        }
+        Ok(MG1 {
+            arrival_rate,
+            mean_service_time,
+            scv,
+        })
+    }
+
+    /// Utilization `ρ = α·E[S]`.
+    pub fn rho(&self) -> f64 {
+        self.arrival_rate * self.mean_service_time
+    }
+
+    /// Mean waiting time (Pollaczek–Khinchine):
+    /// `Wq = ρ (1 + SCV) E[S] / (2 (1 - ρ))`.
+    pub fn mean_waiting_time(&self) -> f64 {
+        let rho = self.rho();
+        rho * (1.0 + self.scv) * self.mean_service_time / (2.0 * (1.0 - rho))
+    }
+
+    /// Mean response time `W = Wq + E[S]`.
+    pub fn mean_response_time(&self) -> f64 {
+        self.mean_waiting_time() + self.mean_service_time
+    }
+
+    /// Mean number in system (Little's law).
+    pub fn mean_customers(&self) -> f64 {
+        self.arrival_rate * self.mean_response_time()
+    }
+
+    /// Mean queue length (Little's law on the waiting room).
+    pub fn mean_queue_length(&self) -> f64 {
+        self.arrival_rate * self.mean_waiting_time()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MM1;
+
+    #[test]
+    fn exponential_case_matches_mm1() {
+        let mg1 = MG1::new(50.0, 0.01, 1.0).unwrap();
+        let mm1 = MM1::new(50.0, 100.0).unwrap();
+        assert!((mg1.mean_waiting_time() - mm1.mean_waiting_time()).abs() < 1e-12);
+        assert!((mg1.mean_response_time() - mm1.mean_response_time()).abs() < 1e-12);
+        assert!((mg1.mean_customers() - mm1.mean_customers()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variability_increases_delay() {
+        let det = MG1::new(50.0, 0.01, 0.0).unwrap();
+        let exp = MG1::new(50.0, 0.01, 1.0).unwrap();
+        let heavy = MG1::new(50.0, 0.01, 4.0).unwrap();
+        assert!(det.mean_waiting_time() < exp.mean_waiting_time());
+        assert!(exp.mean_waiting_time() < heavy.mean_waiting_time());
+    }
+
+    #[test]
+    fn stability_and_validation() {
+        assert!(matches!(
+            MG1::new(100.0, 0.01, 1.0),
+            Err(QueueingError::Unstable { .. })
+        ));
+        assert!(MG1::new(1.0, 0.5, -0.1).is_err());
+        assert!(MG1::new(0.0, 0.5, 1.0).is_err());
+    }
+
+    #[test]
+    fn littles_law_consistency() {
+        let q = MG1::new(30.0, 0.02, 2.0).unwrap();
+        assert!((q.mean_customers() - q.mean_queue_length() - q.rho()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,272 @@
+use crate::{check_rate, QueueingError};
+
+/// The M/M/c/K queue — equation (3) of the paper.
+///
+/// Poisson arrivals at rate `α`, `c` identical exponential servers each at
+/// rate `ν`, and at most `K` customers in the system (in service plus
+/// waiting). The paper uses this model for the redundant web-server farm:
+/// when `i` of the `N_W` servers are operational, request losses follow
+/// an M/M/i/K queue and `p_K(i)` is its blocking probability.
+///
+/// Requires `K ≥ c` (every server must be usable).
+///
+/// # Examples
+///
+/// ```
+/// use uavail_queueing::MMcK;
+///
+/// # fn main() -> Result<(), uavail_queueing::QueueingError> {
+/// // Four operational servers, full offered load, buffer 10 (paper Table 7).
+/// let q = MMcK::new(100.0, 100.0, 4, 10)?;
+/// let p = q.loss_probability();
+/// assert!(p > 3.0e-6 && p < 4.0e-6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MMcK {
+    arrival_rate: f64,
+    service_rate: f64,
+    servers: usize,
+    capacity: usize,
+}
+
+impl MMcK {
+    /// Creates an M/M/c/K model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueingError::InvalidParameter`] for non-positive rates,
+    /// `servers == 0`, or `capacity < servers`.
+    pub fn new(
+        arrival_rate: f64,
+        service_rate: f64,
+        servers: usize,
+        capacity: usize,
+    ) -> Result<Self, QueueingError> {
+        check_rate("arrival_rate", arrival_rate)?;
+        check_rate("service_rate", service_rate)?;
+        if servers == 0 {
+            return Err(QueueingError::InvalidParameter {
+                name: "servers",
+                value: 0.0,
+                requirement: "at least 1",
+            });
+        }
+        if capacity < servers {
+            return Err(QueueingError::InvalidParameter {
+                name: "capacity",
+                value: capacity as f64,
+                requirement: "at least the number of servers",
+            });
+        }
+        Ok(MMcK {
+            arrival_rate,
+            service_rate,
+            servers,
+            capacity,
+        })
+    }
+
+    /// Arrival rate `α`.
+    pub fn arrival_rate(&self) -> f64 {
+        self.arrival_rate
+    }
+
+    /// Per-server service rate `ν`.
+    pub fn service_rate(&self) -> f64 {
+        self.service_rate
+    }
+
+    /// Number of servers `c`.
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// System capacity `K`.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Offered load in Erlangs, `a = α / ν` (the paper's ρ).
+    pub fn offered_load(&self) -> f64 {
+        self.arrival_rate / self.service_rate
+    }
+
+    /// Per-server utilization `α / (c·ν)`.
+    pub fn utilization(&self) -> f64 {
+        self.arrival_rate / (self.servers as f64 * self.service_rate)
+    }
+
+    /// Full steady-state distribution `p_0 ..= p_K`.
+    ///
+    /// Computed by the birth–death recurrence
+    /// `p_{n+1} = p_n · a / min(n + 1, c)` with running normalization, which
+    /// is numerically stable for any load (including the paper's `ρ = 1`
+    /// and overload cases).
+    pub fn state_distribution(&self) -> Vec<f64> {
+        let a = self.offered_load();
+        let c = self.servers;
+        let k = self.capacity;
+        let mut weights = Vec::with_capacity(k + 1);
+        let mut w = 1.0f64;
+        let mut max = 1.0f64;
+        weights.push(w);
+        for n in 0..k {
+            let effective_servers = (n + 1).min(c) as f64;
+            w *= a / effective_servers;
+            weights.push(w);
+            max = max.max(w);
+        }
+        let total: f64 = weights.iter().map(|v| v / max).sum();
+        weights.into_iter().map(|v| (v / max) / total).collect()
+    }
+
+    /// Blocking probability `p_K` — equation (3) of the paper
+    /// (`p_K(i)` with `i = self.servers()`).
+    ///
+    /// By PASTA this equals the long-run fraction of lost requests.
+    pub fn loss_probability(&self) -> f64 {
+        *self
+            .state_distribution()
+            .last()
+            .expect("distribution is non-empty")
+    }
+
+    /// Probability an arriving (accepted or not) customer must wait —
+    /// all servers busy.
+    pub fn wait_probability(&self) -> f64 {
+        self.state_distribution()[self.servers..].iter().sum()
+    }
+
+    /// Effective throughput `α (1 - p_K)`.
+    pub fn throughput(&self) -> f64 {
+        self.arrival_rate * (1.0 - self.loss_probability())
+    }
+
+    /// Mean number of customers in the system.
+    pub fn mean_customers(&self) -> f64 {
+        self.state_distribution()
+            .iter()
+            .enumerate()
+            .map(|(n, p)| n as f64 * p)
+            .sum()
+    }
+
+    /// Mean response time of accepted customers (Little's law).
+    pub fn mean_response_time(&self) -> f64 {
+        self.mean_customers() / self.throughput()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MM1K;
+
+    #[test]
+    fn validation() {
+        assert!(MMcK::new(1.0, 1.0, 0, 5).is_err());
+        assert!(MMcK::new(1.0, 1.0, 4, 3).is_err());
+        assert!(MMcK::new(-1.0, 1.0, 1, 5).is_err());
+        assert!(MMcK::new(1.0, 0.0, 1, 5).is_err());
+    }
+
+    #[test]
+    fn single_server_reduces_to_mm1k() {
+        for &(a, v, k) in &[(50.0, 100.0, 10usize), (100.0, 100.0, 10), (150.0, 100.0, 10)] {
+            let mmck = MMcK::new(a, v, 1, k).unwrap();
+            let mm1k = MM1K::new(a, v, k).unwrap();
+            assert!(
+                (mmck.loss_probability() - mm1k.loss_probability()).abs() < 1e-12,
+                "a={a}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_parameters_c4_k10_full_load() {
+        // Hand-computed: a = 1, c = 4, K = 10 => p_K ≈ 3.737e-6.
+        let q = MMcK::new(100.0, 100.0, 4, 10).unwrap();
+        let p = q.loss_probability();
+        assert!((p - 3.737e-6).abs() < 0.01e-6, "got {p}");
+    }
+
+    #[test]
+    fn distribution_is_probability() {
+        let q = MMcK::new(120.0, 50.0, 3, 12).unwrap();
+        let dist = q.state_distribution();
+        assert_eq!(dist.len(), 13);
+        let sum: f64 = dist.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(dist.iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn explicit_formula_cross_check() {
+        // Direct evaluation of the textbook formula for a moderate case.
+        let (alpha, nu, c, k) = (80.0f64, 30.0f64, 4usize, 9usize);
+        let a = alpha / nu;
+        let mut z = 0.0;
+        let mut fact = 1.0;
+        for n in 0..=k {
+            if n > 0 {
+                fact *= n as f64;
+            }
+            let w = if n <= c {
+                a.powi(n as i32) / fact
+            } else {
+                let cf: f64 = (1..=c).map(|x| x as f64).product();
+                a.powi(n as i32) / (cf * (c as f64).powi((n - c) as i32))
+            };
+            z += w;
+        }
+        let cf: f64 = (1..=c).map(|x| x as f64).product();
+        let pk = a.powi(k as i32) / (cf * (c as f64).powi((k - c) as i32)) / z;
+        let q = MMcK::new(alpha, nu, c, k).unwrap();
+        assert!((q.loss_probability() - pk).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_servers_less_loss() {
+        let base = MMcK::new(100.0, 100.0, 1, 10).unwrap().loss_probability();
+        let mut prev = base;
+        for c in 2..=6 {
+            let p = MMcK::new(100.0, 100.0, c, 10).unwrap().loss_probability();
+            assert!(p < prev, "c={c}: {p} !< {prev}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn wait_probability_bounds() {
+        let q = MMcK::new(100.0, 100.0, 4, 10).unwrap();
+        let wait = q.wait_probability();
+        assert!(wait > 0.0 && wait < 1.0);
+        assert!(q.loss_probability() <= wait);
+    }
+
+    #[test]
+    fn throughput_and_response_time() {
+        let q = MMcK::new(200.0, 100.0, 2, 8).unwrap();
+        assert!(q.throughput() < 200.0);
+        // Response time at least one mean service time.
+        assert!(q.mean_response_time() >= 1.0 / 100.0 - 1e-12);
+    }
+
+    #[test]
+    fn accessors() {
+        let q = MMcK::new(100.0, 50.0, 3, 9).unwrap();
+        assert_eq!(q.servers(), 3);
+        assert_eq!(q.capacity(), 9);
+        assert!((q.offered_load() - 2.0).abs() < 1e-15);
+        assert!((q.utilization() - 2.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn heavy_overload_mass_at_capacity() {
+        let q = MMcK::new(1000.0, 10.0, 2, 6).unwrap();
+        // a = 100, so nearly every arrival is blocked.
+        assert!(q.loss_probability() > 0.9);
+    }
+}

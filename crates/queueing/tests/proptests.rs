@@ -1,0 +1,126 @@
+//! Property-based tests for `uavail-queueing`: structural identities across
+//! the whole model family.
+
+use proptest::prelude::*;
+use uavail_queueing::{BirthDeathQueue, MM1, MM1K, MMc, MMcK};
+
+proptest! {
+    #[test]
+    fn mm1k_distribution_is_probability(
+        alpha in 0.1f64..500.0,
+        nu in 0.1f64..500.0,
+        k in 1usize..60
+    ) {
+        let q = MM1K::new(alpha, nu, k).unwrap();
+        let dist = q.state_distribution();
+        prop_assert_eq!(dist.len(), k + 1);
+        let sum: f64 = dist.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-10);
+        prop_assert!(dist.iter().all(|&p| (0.0..=1.0 + 1e-12).contains(&p)));
+        prop_assert!((dist[k] - q.loss_probability()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn mmck_reduces_to_mm1k_for_one_server(
+        alpha in 0.1f64..300.0,
+        nu in 0.1f64..300.0,
+        k in 1usize..40
+    ) {
+        let a = MMcK::new(alpha, nu, 1, k).unwrap().loss_probability();
+        let b = MM1K::new(alpha, nu, k).unwrap().loss_probability();
+        prop_assert!((a - b).abs() < 1e-10);
+    }
+
+    #[test]
+    fn loss_monotone_decreasing_in_servers(
+        alpha in 1.0f64..300.0,
+        nu in 1.0f64..300.0,
+        c in 1usize..8
+    ) {
+        let k = c + 8;
+        let p1 = MMcK::new(alpha, nu, c, k).unwrap().loss_probability();
+        let p2 = MMcK::new(alpha, nu, c + 1, k).unwrap().loss_probability();
+        prop_assert!(p2 <= p1 + 1e-12);
+    }
+
+    #[test]
+    fn loss_monotone_decreasing_in_buffer(
+        alpha in 1.0f64..200.0,
+        nu in 1.0f64..200.0,
+        k in 2usize..30
+    ) {
+        let p1 = MM1K::new(alpha, nu, k).unwrap().loss_probability();
+        let p2 = MM1K::new(alpha, nu, k + 1).unwrap().loss_probability();
+        prop_assert!(p2 <= p1 + 1e-12);
+    }
+
+    #[test]
+    fn loss_monotone_increasing_in_load(
+        nu in 1.0f64..100.0,
+        k in 1usize..25,
+        base in 0.1f64..0.9,
+    ) {
+        let a1 = base * nu;
+        let a2 = (base + 0.1) * nu;
+        let p1 = MM1K::new(a1, nu, k).unwrap().loss_probability();
+        let p2 = MM1K::new(a2, nu, k).unwrap().loss_probability();
+        prop_assert!(p2 >= p1 - 1e-12);
+    }
+
+    #[test]
+    fn general_birth_death_matches_mmck(
+        alpha in 0.5f64..200.0,
+        nu in 0.5f64..200.0,
+        c in 1usize..6,
+        extra in 0usize..10
+    ) {
+        let k = c + extra;
+        let general = BirthDeathQueue::mmck(alpha, nu, c, k).unwrap();
+        let closed = MMcK::new(alpha, nu, c, k).unwrap();
+        prop_assert!((general.full_probability() - closed.loss_probability()).abs() < 1e-10);
+        prop_assert!((general.mean_customers() - closed.mean_customers()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn finite_buffer_converges_to_infinite(
+        alpha in 1.0f64..50.0,
+        factor in 1.5f64..5.0
+    ) {
+        // Stable queue: nu = factor * alpha > alpha.
+        let nu = alpha * factor;
+        let finite = MM1K::new(alpha, nu, 300).unwrap();
+        let infinite = MM1::new(alpha, nu).unwrap();
+        prop_assert!((finite.mean_customers() - infinite.mean_customers()).abs() < 1e-6);
+        prop_assert!(finite.loss_probability() < 1e-12);
+    }
+
+    #[test]
+    fn mmc_wait_probability_in_unit_interval(
+        nu in 1.0f64..50.0,
+        c in 1usize..10,
+        util in 0.05f64..0.95
+    ) {
+        let alpha = util * c as f64 * nu;
+        let q = MMc::new(alpha, nu, c).unwrap();
+        let w = q.wait_probability();
+        prop_assert!((0.0..=1.0).contains(&w));
+        prop_assert!(q.mean_response_time() >= 1.0 / nu - 1e-12);
+    }
+
+    #[test]
+    fn throughput_conservation(
+        alpha in 1.0f64..200.0,
+        nu in 1.0f64..200.0,
+        c in 1usize..5,
+        extra in 0usize..8
+    ) {
+        // Accepted arrivals must equal service completions in steady state.
+        let k = c + extra;
+        let q = MMcK::new(alpha, nu, c, k).unwrap();
+        let dist = q.state_distribution();
+        let completions: f64 = (1..=k)
+            .map(|n| dist[n] * n.min(c) as f64 * nu)
+            .sum();
+        prop_assert!((q.throughput() - completions).abs() / q.throughput() < 1e-8);
+    }
+}

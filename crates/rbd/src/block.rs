@@ -1,0 +1,534 @@
+use std::collections::HashMap;
+
+use crate::RbdError;
+
+/// Structural specification of a reliability block diagram.
+///
+/// Build specs with the free functions [`component`], [`series`],
+/// [`parallel`], [`k_of_n`] and [`constant`], then validate into a
+/// [`BlockDiagram`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BlockSpec {
+    /// A named basic component.
+    Component(String),
+    /// All children must work.
+    Series(Vec<BlockSpec>),
+    /// At least one child must work.
+    Parallel(Vec<BlockSpec>),
+    /// At least `k` children must work.
+    KOfN(usize, Vec<BlockSpec>),
+    /// A block that always works (`true`) or never works (`false`);
+    /// useful for conditioning and for modeling ideal subsystems.
+    Constant(bool),
+}
+
+/// A named basic component.
+pub fn component(name: impl Into<String>) -> BlockSpec {
+    BlockSpec::Component(name.into())
+}
+
+/// A series arrangement: works iff every child works.
+pub fn series(children: Vec<BlockSpec>) -> BlockSpec {
+    BlockSpec::Series(children)
+}
+
+/// A parallel arrangement: works iff at least one child works.
+pub fn parallel(children: Vec<BlockSpec>) -> BlockSpec {
+    BlockSpec::Parallel(children)
+}
+
+/// A k-of-n arrangement: works iff at least `k` children work.
+pub fn k_of_n(k: usize, children: Vec<BlockSpec>) -> BlockSpec {
+    BlockSpec::KOfN(k, children)
+}
+
+/// A constant block (perfect or failed).
+pub fn constant(works: bool) -> BlockSpec {
+    BlockSpec::Constant(works)
+}
+
+/// Internal representation with components resolved to dense indices.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Node {
+    Component(usize),
+    Series(Vec<Node>),
+    Parallel(Vec<Node>),
+    KOfN(usize, Vec<Node>),
+    Constant(bool),
+}
+
+/// A validated reliability block diagram over named, independent components.
+///
+/// See the [crate documentation](crate) for an overview and example.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockDiagram {
+    pub(crate) root: Node,
+    pub(crate) components: Vec<String>,
+    pub(crate) index: HashMap<String, usize>,
+}
+
+impl BlockDiagram {
+    /// Validates a spec into a diagram.
+    ///
+    /// # Errors
+    ///
+    /// * [`RbdError::EmptyBlock`] for structural nodes without children.
+    /// * [`RbdError::BadThreshold`] for infeasible k-of-n thresholds
+    ///   (`k == 0` or `k > n`).
+    pub fn new(spec: BlockSpec) -> Result<Self, RbdError> {
+        let mut components = Vec::new();
+        let mut index = HashMap::new();
+        let root = Self::lower(&spec, &mut components, &mut index)?;
+        Ok(BlockDiagram {
+            root,
+            components,
+            index,
+        })
+    }
+
+    fn lower(
+        spec: &BlockSpec,
+        components: &mut Vec<String>,
+        index: &mut HashMap<String, usize>,
+    ) -> Result<Node, RbdError> {
+        match spec {
+            BlockSpec::Component(name) => {
+                let id = *index.entry(name.clone()).or_insert_with(|| {
+                    components.push(name.clone());
+                    components.len() - 1
+                });
+                Ok(Node::Component(id))
+            }
+            BlockSpec::Series(children) => {
+                if children.is_empty() {
+                    return Err(RbdError::EmptyBlock { kind: "series" });
+                }
+                let nodes = children
+                    .iter()
+                    .map(|c| Self::lower(c, components, index))
+                    .collect::<Result<_, _>>()?;
+                Ok(Node::Series(nodes))
+            }
+            BlockSpec::Parallel(children) => {
+                if children.is_empty() {
+                    return Err(RbdError::EmptyBlock { kind: "parallel" });
+                }
+                let nodes = children
+                    .iter()
+                    .map(|c| Self::lower(c, components, index))
+                    .collect::<Result<_, _>>()?;
+                Ok(Node::Parallel(nodes))
+            }
+            BlockSpec::KOfN(k, children) => {
+                if children.is_empty() {
+                    return Err(RbdError::EmptyBlock { kind: "k-of-n" });
+                }
+                if *k == 0 || *k > children.len() {
+                    return Err(RbdError::BadThreshold {
+                        k: *k,
+                        n: children.len(),
+                    });
+                }
+                let nodes = children
+                    .iter()
+                    .map(|c| Self::lower(c, components, index))
+                    .collect::<Result<_, _>>()?;
+                Ok(Node::KOfN(*k, nodes))
+            }
+            BlockSpec::Constant(b) => Ok(Node::Constant(*b)),
+        }
+    }
+
+    /// Names of all components, in first-appearance order.
+    pub fn component_names(&self) -> &[String] {
+        &self.components
+    }
+
+    /// Reconstructs the public structural specification of this diagram
+    /// (useful for transformations, e.g. converting to a fault tree).
+    pub fn to_spec(&self) -> BlockSpec {
+        Self::raise(&self.root, &self.components)
+    }
+
+    fn raise(node: &Node, components: &[String]) -> BlockSpec {
+        match node {
+            Node::Component(id) => BlockSpec::Component(components[*id].clone()),
+            Node::Series(ch) => {
+                BlockSpec::Series(ch.iter().map(|c| Self::raise(c, components)).collect())
+            }
+            Node::Parallel(ch) => {
+                BlockSpec::Parallel(ch.iter().map(|c| Self::raise(c, components)).collect())
+            }
+            Node::KOfN(k, ch) => BlockSpec::KOfN(
+                *k,
+                ch.iter().map(|c| Self::raise(c, components)).collect(),
+            ),
+            Node::Constant(b) => BlockSpec::Constant(*b),
+        }
+    }
+
+    /// Number of distinct components.
+    pub fn num_components(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Resolves probabilities from a name-keyed map into the dense order
+    /// used internally.
+    ///
+    /// # Errors
+    ///
+    /// * [`RbdError::MissingProbability`] when a component has no entry.
+    /// * [`RbdError::InvalidProbability`] for values outside `[0, 1]`.
+    pub fn resolve_probabilities(
+        &self,
+        probs: &HashMap<String, f64>,
+    ) -> Result<Vec<f64>, RbdError> {
+        self.components
+            .iter()
+            .map(|name| {
+                let p = *probs
+                    .get(name)
+                    .ok_or_else(|| RbdError::MissingProbability { name: name.clone() })?;
+                if !(p.is_finite() && (0.0..=1.0).contains(&p)) {
+                    return Err(RbdError::InvalidProbability {
+                        name: name.clone(),
+                        value: p,
+                    });
+                }
+                Ok(p)
+            })
+            .collect()
+    }
+
+    /// Exact system availability for independent components with the given
+    /// per-component availabilities.
+    ///
+    /// Repeated components (the same name appearing at several places in
+    /// the diagram) are handled exactly via Shannon conditioning, so shared
+    /// infrastructure like the paper's LAN — which appears in every
+    /// function — is never double-counted.
+    ///
+    /// # Errors
+    ///
+    /// As for [`BlockDiagram::resolve_probabilities`].
+    pub fn availability(&self, probs: &HashMap<String, f64>) -> Result<f64, RbdError> {
+        let p = self.resolve_probabilities(probs)?;
+        Ok(self.availability_dense(&p))
+    }
+
+    /// Exact availability with probabilities supplied in dense
+    /// (first-appearance) order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probs.len() != self.num_components()`; use
+    /// [`BlockDiagram::availability`] for the checked, name-keyed variant.
+    pub fn availability_dense(&self, probs: &[f64]) -> f64 {
+        assert_eq!(
+            probs.len(),
+            self.num_components(),
+            "probability vector length mismatch"
+        );
+        // Shannon conditioning on components that appear more than once.
+        let mut counts = vec![0usize; self.num_components()];
+        Self::count_occurrences(&self.root, &mut counts);
+        let mut assignment: Vec<Option<bool>> = vec![None; self.num_components()];
+        self.conditioned_availability(probs, &counts, &mut assignment)
+    }
+
+    fn count_occurrences(node: &Node, counts: &mut [usize]) {
+        match node {
+            Node::Component(id) => counts[*id] += 1,
+            Node::Series(ch) | Node::Parallel(ch) | Node::KOfN(_, ch) => {
+                for c in ch {
+                    Self::count_occurrences(c, counts);
+                }
+            }
+            Node::Constant(_) => {}
+        }
+    }
+
+    fn conditioned_availability(
+        &self,
+        probs: &[f64],
+        counts: &[usize],
+        assignment: &mut Vec<Option<bool>>,
+    ) -> f64 {
+        // Pivot on the first still-unassigned repeated component.
+        if let Some(pivot) = (0..counts.len())
+            .find(|&i| counts[i] > 1 && assignment[i].is_none())
+        {
+            assignment[pivot] = Some(true);
+            let up = self.conditioned_availability(probs, counts, assignment);
+            assignment[pivot] = Some(false);
+            let down = self.conditioned_availability(probs, counts, assignment);
+            assignment[pivot] = None;
+            return probs[pivot] * up + (1.0 - probs[pivot]) * down;
+        }
+        Self::eval_node(&self.root, probs, assignment)
+    }
+
+    fn eval_node(node: &Node, probs: &[f64], assignment: &[Option<bool>]) -> f64 {
+        match node {
+            Node::Component(id) => match assignment[*id] {
+                Some(true) => 1.0,
+                Some(false) => 0.0,
+                None => probs[*id],
+            },
+            Node::Series(ch) => ch
+                .iter()
+                .map(|c| Self::eval_node(c, probs, assignment))
+                .product(),
+            Node::Parallel(ch) => {
+                1.0 - ch
+                    .iter()
+                    .map(|c| 1.0 - Self::eval_node(c, probs, assignment))
+                    .product::<f64>()
+            }
+            Node::KOfN(k, ch) => {
+                // Dynamic program over "number of working children".
+                // dp[j] = P(exactly j of the children processed so far work).
+                let mut dp = vec![0.0; ch.len() + 1];
+                dp[0] = 1.0;
+                for (processed, c) in ch.iter().enumerate() {
+                    let p = Self::eval_node(c, probs, assignment);
+                    for j in (0..=processed).rev() {
+                        let w = dp[j];
+                        dp[j + 1] += w * p;
+                        dp[j] = w * (1.0 - p);
+                    }
+                }
+                dp[*k..].iter().sum()
+            }
+            Node::Constant(b) => {
+                if *b {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Evaluates the structure function: does the system work when
+    /// `state[i]` tells whether component `i` (dense order) works?
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RbdError::StateLengthMismatch`] on length mismatch.
+    pub fn structure_function(&self, state: &[bool]) -> Result<bool, RbdError> {
+        if state.len() != self.num_components() {
+            return Err(RbdError::StateLengthMismatch {
+                got: state.len(),
+                expected: self.num_components(),
+            });
+        }
+        Ok(Self::eval_structure(&self.root, state))
+    }
+
+    fn eval_structure(node: &Node, state: &[bool]) -> bool {
+        match node {
+            Node::Component(id) => state[*id],
+            Node::Series(ch) => ch.iter().all(|c| Self::eval_structure(c, state)),
+            Node::Parallel(ch) => ch.iter().any(|c| Self::eval_structure(c, state)),
+            Node::KOfN(k, ch) => {
+                ch.iter().filter(|c| Self::eval_structure(c, state)).count() >= *k
+            }
+            Node::Constant(b) => *b,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probs(entries: &[(&str, f64)]) -> HashMap<String, f64> {
+        entries
+            .iter()
+            .map(|(n, p)| (n.to_string(), *p))
+            .collect()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(matches!(
+            BlockDiagram::new(series(vec![])),
+            Err(RbdError::EmptyBlock { kind: "series" })
+        ));
+        assert!(matches!(
+            BlockDiagram::new(parallel(vec![])),
+            Err(RbdError::EmptyBlock { .. })
+        ));
+        assert!(matches!(
+            BlockDiagram::new(k_of_n(3, vec![component("a"), component("b")])),
+            Err(RbdError::BadThreshold { k: 3, n: 2 })
+        ));
+        assert!(matches!(
+            BlockDiagram::new(k_of_n(0, vec![component("a")])),
+            Err(RbdError::BadThreshold { .. })
+        ));
+    }
+
+    #[test]
+    fn series_availability_is_product() {
+        let d = BlockDiagram::new(series(vec![component("a"), component("b")])).unwrap();
+        let a = d.availability(&probs(&[("a", 0.9), ("b", 0.8)])).unwrap();
+        assert!((a - 0.72).abs() < 1e-15);
+    }
+
+    #[test]
+    fn parallel_availability_is_complement_product() {
+        let d = BlockDiagram::new(parallel(vec![component("a"), component("b")])).unwrap();
+        let a = d.availability(&probs(&[("a", 0.9), ("b", 0.8)])).unwrap();
+        assert!((a - 0.98).abs() < 1e-15);
+    }
+
+    #[test]
+    fn two_of_three_majority() {
+        let d = BlockDiagram::new(k_of_n(
+            2,
+            vec![component("a"), component("b"), component("c")],
+        ))
+        .unwrap();
+        let a = d
+            .availability(&probs(&[("a", 0.9), ("b", 0.9), ("c", 0.9)]))
+            .unwrap();
+        // 3 p^2 (1-p) + p^3
+        let expected = 3.0 * 0.81 * 0.1 + 0.729;
+        assert!((a - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn k_of_n_with_heterogeneous_children() {
+        let d = BlockDiagram::new(k_of_n(
+            2,
+            vec![component("a"), component("b"), component("c")],
+        ))
+        .unwrap();
+        let (pa, pb, pc) = (0.9, 0.8, 0.7);
+        let a = d
+            .availability(&probs(&[("a", pa), ("b", pb), ("c", pc)]))
+            .unwrap();
+        let expected = pa * pb * pc
+            + pa * pb * (1.0 - pc)
+            + pa * (1.0 - pb) * pc
+            + (1.0 - pa) * pb * pc;
+        assert!((a - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn repeated_component_handled_exactly() {
+        // System: lan in series with (lan in parallel with b).
+        // Naive product would double-count lan. Exact availability:
+        // P(lan) * P(lan or b | lan known)... conditioning gives:
+        // p_lan * 1 (inner parallel contains working lan) = p_lan.
+        let d = BlockDiagram::new(series(vec![
+            component("lan"),
+            parallel(vec![component("lan"), component("b")]),
+        ]))
+        .unwrap();
+        let a = d
+            .availability(&probs(&[("lan", 0.9), ("b", 0.5)]))
+            .unwrap();
+        assert!((a - 0.9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn bridge_structure_via_conditioning() {
+        // Classic 5-component bridge network, all p = 0.9; exact system
+        // reliability = 2p^2 + 2p^3 - 5p^4 + 2p^5 = 0.97848.
+        // Express via pivot on the bridge element e:
+        //   works = (e AND series-parallel-1) OR (NOT e AND ...) — instead
+        // encode as paths: {a,c}, {b,d}, {a,e,d}, {b,e,c}.
+        let spec = parallel(vec![
+            series(vec![component("a"), component("c")]),
+            series(vec![component("b"), component("d")]),
+            series(vec![component("a"), component("e"), component("d")]),
+            series(vec![component("b"), component("e"), component("c")]),
+        ]);
+        let d = BlockDiagram::new(spec).unwrap();
+        let p = 0.9;
+        let a = d
+            .availability(&probs(&[("a", p), ("b", p), ("c", p), ("d", p), ("e", p)]))
+            .unwrap();
+        let expected = 2.0 * p * p + 2.0 * p.powi(3) - 5.0 * p.powi(4) + 2.0 * p.powi(5);
+        assert!((a - expected).abs() < 1e-12, "{a} vs {expected}");
+    }
+
+    #[test]
+    fn constants() {
+        let d = BlockDiagram::new(series(vec![component("a"), constant(true)])).unwrap();
+        let a = d.availability(&probs(&[("a", 0.7)])).unwrap();
+        assert!((a - 0.7).abs() < 1e-15);
+        let d = BlockDiagram::new(parallel(vec![component("a"), constant(false)])).unwrap();
+        let a = d.availability(&probs(&[("a", 0.7)])).unwrap();
+        assert!((a - 0.7).abs() < 1e-15);
+    }
+
+    #[test]
+    fn probability_validation() {
+        let d = BlockDiagram::new(component("a")).unwrap();
+        assert!(matches!(
+            d.availability(&HashMap::new()),
+            Err(RbdError::MissingProbability { .. })
+        ));
+        assert!(matches!(
+            d.availability(&probs(&[("a", 1.5)])),
+            Err(RbdError::InvalidProbability { .. })
+        ));
+        assert!(matches!(
+            d.availability(&probs(&[("a", f64::NAN)])),
+            Err(RbdError::InvalidProbability { .. })
+        ));
+    }
+
+    #[test]
+    fn structure_function_consistency() {
+        let d = BlockDiagram::new(series(vec![
+            component("a"),
+            parallel(vec![component("b"), component("c")]),
+        ]))
+        .unwrap();
+        assert!(d.structure_function(&[true, true, false]).unwrap());
+        assert!(d.structure_function(&[true, false, true]).unwrap());
+        assert!(!d.structure_function(&[false, true, true]).unwrap());
+        assert!(!d.structure_function(&[true, false, false]).unwrap());
+        assert!(d.structure_function(&[true, true]).is_err());
+    }
+
+    #[test]
+    fn availability_equals_expectation_of_structure_function() {
+        // Exhaustive check on a 4-component diagram.
+        let d = BlockDiagram::new(parallel(vec![
+            series(vec![component("a"), component("b")]),
+            series(vec![component("c"), component("d")]),
+        ]))
+        .unwrap();
+        let p = [0.9, 0.7, 0.6, 0.8];
+        let mut expected = 0.0;
+        for mask in 0..16u32 {
+            let state: Vec<bool> = (0..4).map(|i| mask & (1 << i) != 0).collect();
+            if d.structure_function(&state).unwrap() {
+                let mut weight = 1.0;
+                for i in 0..4 {
+                    weight *= if state[i] { p[i] } else { 1.0 - p[i] };
+                }
+                expected += weight;
+            }
+        }
+        assert!((d.availability_dense(&p) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn component_names_in_first_appearance_order() {
+        let d = BlockDiagram::new(series(vec![
+            component("x"),
+            component("y"),
+            component("x"),
+        ]))
+        .unwrap();
+        assert_eq!(d.component_names(), &["x".to_string(), "y".to_string()]);
+        assert_eq!(d.num_components(), 2);
+    }
+}

@@ -1,0 +1,97 @@
+//! Graphviz DOT export for reliability block diagrams (rendered as their
+//! structure tree).
+
+use std::fmt::Write as _;
+
+use crate::block::{BlockDiagram, Node};
+
+impl BlockDiagram {
+    /// Renders the diagram's structure tree in Graphviz DOT format:
+    /// composite nodes (series / parallel / k-of-n) as ellipses, components
+    /// as boxes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use uavail_rbd::{component, parallel, series, BlockDiagram};
+    ///
+    /// # fn main() -> Result<(), uavail_rbd::RbdError> {
+    /// let d = BlockDiagram::new(series(vec![
+    ///     component("lan"),
+    ///     parallel(vec![component("ws1"), component("ws2")]),
+    /// ]))?;
+    /// let dot = d.to_dot();
+    /// assert!(dot.contains("series"));
+    /// assert!(dot.contains("lan"));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        out.push_str("digraph rbd {\n");
+        let mut counter = 0usize;
+        self.write_node(&self.root, &mut out, &mut counter);
+        out.push_str("}\n");
+        out
+    }
+
+    fn write_node(&self, node: &Node, out: &mut String, counter: &mut usize) -> usize {
+        let id = *counter;
+        *counter += 1;
+        match node {
+            Node::Component(c) => {
+                let name = &self.components[*c];
+                let _ = writeln!(out, "  n{id} [shape=box, label={name:?}];");
+            }
+            Node::Series(ch) => {
+                let _ = writeln!(out, "  n{id} [label=\"series\"];");
+                for c in ch {
+                    let child = self.write_node(c, out, counter);
+                    let _ = writeln!(out, "  n{id} -> n{child};");
+                }
+            }
+            Node::Parallel(ch) => {
+                let _ = writeln!(out, "  n{id} [label=\"parallel\"];");
+                for c in ch {
+                    let child = self.write_node(c, out, counter);
+                    let _ = writeln!(out, "  n{id} -> n{child};");
+                }
+            }
+            Node::KOfN(k, ch) => {
+                let _ = writeln!(out, "  n{id} [label=\"{k}-of-{}\"];", ch.len());
+                for c in ch {
+                    let child = self.write_node(c, out, counter);
+                    let _ = writeln!(out, "  n{id} -> n{child};");
+                }
+            }
+            Node::Constant(b) => {
+                let _ = writeln!(out, "  n{id} [shape=box, label=\"const {b}\"];");
+            }
+        }
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{component, constant, k_of_n, parallel, series, BlockDiagram};
+
+    #[test]
+    fn dot_structure() {
+        let d = BlockDiagram::new(series(vec![
+            component("a"),
+            k_of_n(2, vec![component("b"), component("c"), component("d")]),
+            parallel(vec![component("e"), constant(true)]),
+        ]))
+        .unwrap();
+        let dot = d.to_dot();
+        assert!(dot.starts_with("digraph rbd {"));
+        assert!(dot.contains("label=\"series\""));
+        assert!(dot.contains("label=\"2-of-3\""));
+        assert!(dot.contains("label=\"parallel\""));
+        assert!(dot.contains("label=\"a\""));
+        assert!(dot.contains("const true"));
+        // Root connects to its three children.
+        assert_eq!(dot.matches("n0 -> ").count(), 3);
+    }
+}

@@ -1,0 +1,83 @@
+use std::fmt;
+
+/// Errors produced by block-diagram construction and evaluation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RbdError {
+    /// A structural node has no children.
+    EmptyBlock {
+        /// The node kind ("series", "parallel", "k-of-n").
+        kind: &'static str,
+    },
+    /// A k-of-n node has an infeasible threshold.
+    BadThreshold {
+        /// Required successes.
+        k: usize,
+        /// Available children.
+        n: usize,
+    },
+    /// An availability was requested for a component the probability map
+    /// does not cover.
+    MissingProbability {
+        /// The component name.
+        name: String,
+    },
+    /// A probability is outside `[0, 1]` or non-finite.
+    InvalidProbability {
+        /// The component name.
+        name: String,
+        /// The offending value.
+        value: f64,
+    },
+    /// A state vector had the wrong length.
+    StateLengthMismatch {
+        /// Supplied length.
+        got: usize,
+        /// Number of components in the diagram.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for RbdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RbdError::EmptyBlock { kind } => write!(f, "{kind} block has no children"),
+            RbdError::BadThreshold { k, n } => {
+                write!(f, "k-of-n threshold {k} infeasible for {n} children")
+            }
+            RbdError::MissingProbability { name } => {
+                write!(f, "no probability supplied for component {name:?}")
+            }
+            RbdError::InvalidProbability { name, value } => {
+                write!(f, "probability {value} for component {name:?} not in [0, 1]")
+            }
+            RbdError::StateLengthMismatch { got, expected } => {
+                write!(f, "state vector length {got}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RbdError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(RbdError::EmptyBlock { kind: "series" }
+            .to_string()
+            .contains("series"));
+        assert!(RbdError::BadThreshold { k: 3, n: 2 }.to_string().contains('3'));
+        assert!(RbdError::MissingProbability { name: "ws".into() }
+            .to_string()
+            .contains("ws"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RbdError>();
+    }
+}

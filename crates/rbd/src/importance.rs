@@ -1,0 +1,171 @@
+//! Component importance measures.
+//!
+//! Importance measures rank components by how much they influence system
+//! availability — exactly the question the paper's sensitivity analyses
+//! answer empirically ("the availabilities of the LAN, the net and the web
+//! service are the most influential ones"). Because system availability is
+//! multilinear in each component availability, the Birnbaum measure is an
+//! exact partial derivative computed by two evaluations.
+
+use std::collections::HashMap;
+
+use crate::{BlockDiagram, RbdError};
+
+/// Importance measures for one component.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImportanceReport {
+    /// Component name.
+    pub name: String,
+    /// Birnbaum importance `∂A_sys/∂A_i = A(p_i = 1) − A(p_i = 0)`.
+    pub birnbaum: f64,
+    /// Improvement potential `A(p_i = 1) − A(p)`: gain from making the
+    /// component perfect.
+    pub improvement_potential: f64,
+    /// Risk-achievement worth `U(p_i = 0) / U(p)`: how much worse
+    /// unavailability gets if the component is lost for good.
+    pub risk_achievement_worth: f64,
+    /// Criticality importance `birnbaum · (1 − p_i) / U(p)`: probability the
+    /// component is the cause, given the system is down.
+    pub criticality: f64,
+}
+
+impl BlockDiagram {
+    /// Computes importance measures for every component at the given
+    /// operating point.
+    ///
+    /// Results are sorted by decreasing Birnbaum importance.
+    ///
+    /// # Errors
+    ///
+    /// As for [`BlockDiagram::availability`]; additionally the degenerate
+    /// case of a system that is down with probability 0 yields
+    /// `risk_achievement_worth`/`criticality` of `f64::INFINITY`-free
+    /// values by convention (`0.0`).
+    pub fn importance(
+        &self,
+        probs: &HashMap<String, f64>,
+    ) -> Result<Vec<ImportanceReport>, RbdError> {
+        let base_probs = self.resolve_probabilities(probs)?;
+        let base_avail = self.availability_dense(&base_probs);
+        let base_unavail = 1.0 - base_avail;
+        let mut reports = Vec::with_capacity(self.num_components());
+        for (i, name) in self.component_names().iter().enumerate() {
+            let mut up = base_probs.clone();
+            up[i] = 1.0;
+            let a_up = self.availability_dense(&up);
+            let mut down = base_probs.clone();
+            down[i] = 0.0;
+            let a_down = self.availability_dense(&down);
+            let birnbaum = a_up - a_down;
+            let improvement_potential = a_up - base_avail;
+            let risk_achievement_worth = if base_unavail > 0.0 {
+                (1.0 - a_down) / base_unavail
+            } else {
+                0.0
+            };
+            let criticality = if base_unavail > 0.0 {
+                birnbaum * (1.0 - base_probs[i]) / base_unavail
+            } else {
+                0.0
+            };
+            reports.push(ImportanceReport {
+                name: name.clone(),
+                birnbaum,
+                improvement_potential,
+                risk_achievement_worth,
+                criticality,
+            });
+        }
+        reports.sort_by(|a, b| {
+            b.birnbaum
+                .partial_cmp(&a.birnbaum)
+                .expect("importance values are finite")
+        });
+        Ok(reports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{component, parallel, series};
+
+    fn probs(entries: &[(&str, f64)]) -> HashMap<String, f64> {
+        entries.iter().map(|(n, p)| (n.to_string(), *p)).collect()
+    }
+
+    #[test]
+    fn series_importance_favors_weakest_partner_product() {
+        // Birnbaum of a in series(a, b) is p_b: the better the partner, the
+        // more a matters.
+        let d = BlockDiagram::new(series(vec![component("a"), component("b")])).unwrap();
+        let reports = d.importance(&probs(&[("a", 0.9), ("b", 0.8)])).unwrap();
+        let a = reports.iter().find(|r| r.name == "a").unwrap();
+        let b = reports.iter().find(|r| r.name == "b").unwrap();
+        assert!((a.birnbaum - 0.8).abs() < 1e-15);
+        assert!((b.birnbaum - 0.9).abs() < 1e-15);
+        // Sorted by decreasing Birnbaum: b first.
+        assert_eq!(reports[0].name, "b");
+    }
+
+    #[test]
+    fn parallel_importance_favors_failing_partner() {
+        // Birnbaum of a in parallel(a, b) is 1 - p_b.
+        let d = BlockDiagram::new(parallel(vec![component("a"), component("b")])).unwrap();
+        let reports = d.importance(&probs(&[("a", 0.9), ("b", 0.8)])).unwrap();
+        let a = reports.iter().find(|r| r.name == "a").unwrap();
+        assert!((a.birnbaum - 0.2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn improvement_potential_consistency() {
+        let d = BlockDiagram::new(series(vec![
+            component("spof"),
+            parallel(vec![component("r1"), component("r2")]),
+        ]))
+        .unwrap();
+        let p = probs(&[("spof", 0.95), ("r1", 0.9), ("r2", 0.9)]);
+        let base = d.availability(&p).unwrap();
+        let reports = d.importance(&p).unwrap();
+        for r in &reports {
+            let mut boosted = p.clone();
+            boosted.insert(r.name.clone(), 1.0);
+            let improved = d.availability(&boosted).unwrap();
+            assert!((r.improvement_potential - (improved - base)).abs() < 1e-12);
+        }
+        // The single point of failure dominates.
+        assert_eq!(reports[0].name, "spof");
+    }
+
+    #[test]
+    fn criticality_is_conditional_cause_probability() {
+        let d = BlockDiagram::new(series(vec![component("a"), component("b")])).unwrap();
+        let p = probs(&[("a", 0.9), ("b", 0.9)]);
+        let reports = d.importance(&p).unwrap();
+        for r in &reports {
+            assert!(r.criticality >= 0.0 && r.criticality <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn perfect_system_degenerate_measures() {
+        let d = BlockDiagram::new(component("a")).unwrap();
+        let reports = d.importance(&probs(&[("a", 1.0)])).unwrap();
+        assert_eq!(reports[0].risk_achievement_worth, 0.0);
+        assert_eq!(reports[0].criticality, 0.0);
+    }
+
+    #[test]
+    fn raw_of_redundant_component_is_modest() {
+        let d = BlockDiagram::new(series(vec![
+            component("spof"),
+            parallel(vec![component("r1"), component("r2")]),
+        ]))
+        .unwrap();
+        let p = probs(&[("spof", 0.99), ("r1", 0.99), ("r2", 0.99)]);
+        let reports = d.importance(&p).unwrap();
+        let spof = reports.iter().find(|r| r.name == "spof").unwrap();
+        let r1 = reports.iter().find(|r| r.name == "r1").unwrap();
+        assert!(spof.risk_achievement_worth > r1.risk_achievement_worth);
+    }
+}

@@ -1,0 +1,292 @@
+//! Minimal path sets and minimal cut sets.
+//!
+//! A *path set* is a set of components whose joint functioning guarantees
+//! the system functions; a *cut set* is a set whose joint failure
+//! guarantees system failure. Minimal sets (no proper subset qualifies) are
+//! the standard qualitative output of an RBD/fault-tree analysis: they name
+//! the single points of failure (size-1 cut sets — the paper's LAN and
+//! Internet connectivity) and the redundancy structure.
+
+use std::collections::BTreeSet;
+
+use crate::block::{BlockDiagram, Node};
+
+type ComponentSet = BTreeSet<usize>;
+
+/// Removes non-minimal sets (supersets of another set).
+fn minimize(sets: Vec<ComponentSet>) -> Vec<ComponentSet> {
+    let mut sorted = sets;
+    sorted.sort_by_key(|s| s.len());
+    let mut result: Vec<ComponentSet> = Vec::new();
+    for s in sorted {
+        if !result.iter().any(|r| r.is_subset(&s)) {
+            result.push(s);
+        }
+    }
+    result
+}
+
+/// Cartesian combination: every way of picking one set from each group,
+/// unioned.
+fn cross_union(groups: &[Vec<ComponentSet>]) -> Vec<ComponentSet> {
+    let mut acc: Vec<ComponentSet> = vec![ComponentSet::new()];
+    for group in groups {
+        let mut next = Vec::with_capacity(acc.len() * group.len());
+        for base in &acc {
+            for s in group {
+                let mut merged = base.clone();
+                merged.extend(s.iter().copied());
+                next.push(merged);
+            }
+        }
+        acc = minimize(next);
+    }
+    acc
+}
+
+/// All ways of choosing `k` groups out of `groups` and combining them.
+fn choose_and_cross(groups: &[Vec<ComponentSet>], k: usize) -> Vec<ComponentSet> {
+    let n = groups.len();
+    let mut result = Vec::new();
+    let mut indices: Vec<usize> = (0..k).collect();
+    loop {
+        let chosen: Vec<Vec<ComponentSet>> =
+            indices.iter().map(|&i| groups[i].clone()).collect();
+        result.extend(cross_union(&chosen));
+        // Advance the combination.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return minimize(result);
+            }
+            i -= 1;
+            if indices[i] != i + n - k {
+                indices[i] += 1;
+                for j in (i + 1)..k {
+                    indices[j] = indices[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+fn path_sets(node: &Node) -> Vec<ComponentSet> {
+    match node {
+        Node::Component(id) => vec![ComponentSet::from([*id])],
+        Node::Series(ch) => {
+            let groups: Vec<Vec<ComponentSet>> = ch.iter().map(path_sets).collect();
+            cross_union(&groups)
+        }
+        Node::Parallel(ch) => {
+            let mut all = Vec::new();
+            for c in ch {
+                all.extend(path_sets(c));
+            }
+            minimize(all)
+        }
+        Node::KOfN(k, ch) => {
+            let groups: Vec<Vec<ComponentSet>> = ch.iter().map(path_sets).collect();
+            choose_and_cross(&groups, *k)
+        }
+        Node::Constant(true) => vec![ComponentSet::new()],
+        Node::Constant(false) => vec![],
+    }
+}
+
+fn cut_sets(node: &Node) -> Vec<ComponentSet> {
+    match node {
+        Node::Component(id) => vec![ComponentSet::from([*id])],
+        // Duality: series cuts = union of child cuts; parallel cuts =
+        // cross product of child cuts.
+        Node::Series(ch) => {
+            let mut all = Vec::new();
+            for c in ch {
+                all.extend(cut_sets(c));
+            }
+            minimize(all)
+        }
+        Node::Parallel(ch) => {
+            let groups: Vec<Vec<ComponentSet>> = ch.iter().map(cut_sets).collect();
+            cross_union(&groups)
+        }
+        Node::KOfN(k, ch) => {
+            // k-of-n fails when more than n - k children fail, i.e. any
+            // (n - k + 1) children fail together.
+            let groups: Vec<Vec<ComponentSet>> = ch.iter().map(cut_sets).collect();
+            choose_and_cross(&groups, ch.len() - k + 1)
+        }
+        Node::Constant(true) => vec![],
+        Node::Constant(false) => vec![ComponentSet::new()],
+    }
+}
+
+impl BlockDiagram {
+    /// Minimal path sets, as sorted vectors of component names.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use uavail_rbd::{component, parallel, series, BlockDiagram};
+    ///
+    /// # fn main() -> Result<(), uavail_rbd::RbdError> {
+    /// let d = BlockDiagram::new(series(vec![
+    ///     component("lan"),
+    ///     parallel(vec![component("ws1"), component("ws2")]),
+    /// ]))?;
+    /// let paths = d.minimal_path_sets();
+    /// assert_eq!(paths.len(), 2); // {lan, ws1}, {lan, ws2}
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn minimal_path_sets(&self) -> Vec<Vec<String>> {
+        path_sets(&self.root)
+            .into_iter()
+            .map(|s| self.name_set(s))
+            .collect()
+    }
+
+    /// Minimal cut sets, as sorted vectors of component names.
+    ///
+    /// Size-1 cut sets are the system's single points of failure.
+    pub fn minimal_cut_sets(&self) -> Vec<Vec<String>> {
+        cut_sets(&self.root)
+            .into_iter()
+            .map(|s| self.name_set(s))
+            .collect()
+    }
+
+    /// Names of all single points of failure (size-1 minimal cut sets).
+    pub fn single_points_of_failure(&self) -> Vec<String> {
+        self.minimal_cut_sets()
+            .into_iter()
+            .filter(|s| s.len() == 1)
+            .map(|mut s| s.remove(0))
+            .collect()
+    }
+
+    fn name_set(&self, set: ComponentSet) -> Vec<String> {
+        let mut names: Vec<String> = set
+            .into_iter()
+            .map(|id| self.components[id].clone())
+            .collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{component, k_of_n, parallel, series, BlockDiagram};
+
+    fn sorted(mut sets: Vec<Vec<String>>) -> Vec<Vec<String>> {
+        sets.sort();
+        sets
+    }
+
+    fn names(sets: &[&[&str]]) -> Vec<Vec<String>> {
+        let mut v: Vec<Vec<String>> = sets
+            .iter()
+            .map(|s| s.iter().map(|x| x.to_string()).collect())
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn series_paths_and_cuts() {
+        let d = BlockDiagram::new(series(vec![component("a"), component("b")])).unwrap();
+        assert_eq!(sorted(d.minimal_path_sets()), names(&[&["a", "b"]]));
+        assert_eq!(sorted(d.minimal_cut_sets()), names(&[&["a"], &["b"]]));
+        assert_eq!(d.single_points_of_failure().len(), 2);
+    }
+
+    #[test]
+    fn parallel_paths_and_cuts() {
+        let d = BlockDiagram::new(parallel(vec![component("a"), component("b")])).unwrap();
+        assert_eq!(sorted(d.minimal_path_sets()), names(&[&["a"], &["b"]]));
+        assert_eq!(sorted(d.minimal_cut_sets()), names(&[&["a", "b"]]));
+        assert!(d.single_points_of_failure().is_empty());
+    }
+
+    #[test]
+    fn series_parallel_mix() {
+        // lan -- (ws1 | ws2) -- as
+        let d = BlockDiagram::new(series(vec![
+            component("lan"),
+            parallel(vec![component("ws1"), component("ws2")]),
+            component("as"),
+        ]))
+        .unwrap();
+        assert_eq!(
+            sorted(d.minimal_path_sets()),
+            names(&[&["as", "lan", "ws1"], &["as", "lan", "ws2"]])
+        );
+        assert_eq!(
+            sorted(d.minimal_cut_sets()),
+            names(&[&["as"], &["lan"], &["ws1", "ws2"]])
+        );
+        let mut spofs = d.single_points_of_failure();
+        spofs.sort();
+        assert_eq!(spofs, vec!["as", "lan"]);
+    }
+
+    #[test]
+    fn two_of_three_sets() {
+        let d = BlockDiagram::new(k_of_n(
+            2,
+            vec![component("a"), component("b"), component("c")],
+        ))
+        .unwrap();
+        assert_eq!(
+            sorted(d.minimal_path_sets()),
+            names(&[&["a", "b"], &["a", "c"], &["b", "c"]])
+        );
+        // Fails when any 2 fail.
+        assert_eq!(
+            sorted(d.minimal_cut_sets()),
+            names(&[&["a", "b"], &["a", "c"], &["b", "c"]])
+        );
+    }
+
+    #[test]
+    fn bridge_path_sets_minimized() {
+        let spec = parallel(vec![
+            series(vec![component("a"), component("c")]),
+            series(vec![component("b"), component("d")]),
+            series(vec![component("a"), component("e"), component("d")]),
+            series(vec![component("b"), component("e"), component("c")]),
+        ]);
+        let d = BlockDiagram::new(spec).unwrap();
+        assert_eq!(d.minimal_path_sets().len(), 4);
+        // Known bridge cut sets: {a,b}, {c,d}, {a,d,e}, {b,c,e}.
+        assert_eq!(
+            sorted(d.minimal_cut_sets()),
+            names(&[&["a", "b"], &["a", "d", "e"], &["b", "c", "e"], &["c", "d"]])
+        );
+    }
+
+    #[test]
+    fn cut_sets_predict_structure_function() {
+        // For every state: system fails iff some minimal cut set is fully
+        // failed.
+        let d = BlockDiagram::new(series(vec![
+            parallel(vec![component("a"), component("b")]),
+            parallel(vec![component("c"), component("d")]),
+        ]))
+        .unwrap();
+        let cuts = d.minimal_cut_sets();
+        let names: Vec<String> = d.component_names().to_vec();
+        for mask in 0..16u32 {
+            let state: Vec<bool> = (0..4).map(|i| mask & (1 << i) != 0).collect();
+            let works = d.structure_function(&state).unwrap();
+            let cut_active = cuts.iter().any(|cut| {
+                cut.iter().all(|c| {
+                    let idx = names.iter().position(|n| n == c).unwrap();
+                    !state[idx]
+                })
+            });
+            assert_eq!(works, !cut_active, "mask {mask}");
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests for `uavail-rbd`.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use uavail_rbd::{component, k_of_n, parallel, series, BlockDiagram, BlockSpec};
+
+/// Strategy: random diagram over components c0..c5 (repetition allowed),
+/// depth-bounded.
+fn spec_strategy() -> impl Strategy<Value = BlockSpec> {
+    let leaf = (0usize..6).prop_map(|i| component(format!("c{i}")));
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..4).prop_map(series),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(parallel),
+            (prop::collection::vec(inner, 1..4), any::<u8>()).prop_map(|(ch, raw)| {
+                let k = (raw as usize % ch.len()) + 1;
+                k_of_n(k, ch)
+            }),
+        ]
+    })
+}
+
+fn prob_map(names: &[String], values: &[f64]) -> HashMap<String, f64> {
+    names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.clone(), values[i % values.len()]))
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn availability_in_unit_interval(
+        spec in spec_strategy(),
+        values in prop::collection::vec(0.0f64..=1.0, 6)
+    ) {
+        let d = BlockDiagram::new(spec).unwrap();
+        let probs = prob_map(d.component_names(), &values);
+        let a = d.availability(&probs).unwrap();
+        prop_assert!((-1e-12..=1.0 + 1e-12).contains(&a), "a = {a}");
+    }
+
+    #[test]
+    fn availability_equals_enumeration(
+        spec in spec_strategy(),
+        values in prop::collection::vec(0.05f64..0.95, 6)
+    ) {
+        let d = BlockDiagram::new(spec).unwrap();
+        let n = d.num_components();
+        prop_assume!(n <= 6);
+        let dense: Vec<f64> = (0..n).map(|i| values[i]).collect();
+        // Brute-force expectation of the structure function.
+        let mut expected = 0.0;
+        for mask in 0..(1u32 << n) {
+            let state: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+            if d.structure_function(&state).unwrap() {
+                let mut w = 1.0;
+                for i in 0..n {
+                    w *= if state[i] { dense[i] } else { 1.0 - dense[i] };
+                }
+                expected += w;
+            }
+        }
+        let a = d.availability_dense(&dense);
+        prop_assert!((a - expected).abs() < 1e-9, "{a} vs {expected}");
+    }
+
+    #[test]
+    fn availability_monotone_in_each_component(
+        spec in spec_strategy(),
+        values in prop::collection::vec(0.1f64..0.9, 6),
+        bump_idx in 0usize..6
+    ) {
+        let d = BlockDiagram::new(spec).unwrap();
+        let n = d.num_components();
+        prop_assume!(n > 0);
+        let dense: Vec<f64> = (0..n).map(|i| values[i]).collect();
+        let mut bumped = dense.clone();
+        let idx = bump_idx % n;
+        bumped[idx] = (bumped[idx] + 0.1).min(1.0);
+        // Structure functions built from series/parallel/k-of-n are coherent:
+        // availability is non-decreasing in every component availability.
+        prop_assert!(d.availability_dense(&bumped) >= d.availability_dense(&dense) - 1e-12);
+    }
+
+    #[test]
+    fn path_and_cut_sets_characterize_structure(
+        spec in spec_strategy()
+    ) {
+        let d = BlockDiagram::new(spec).unwrap();
+        let n = d.num_components();
+        prop_assume!(n <= 6 && n > 0);
+        let names = d.component_names().to_vec();
+        let paths = d.minimal_path_sets();
+        let cuts = d.minimal_cut_sets();
+        let pos = |c: &String| names.iter().position(|x| x == c).unwrap();
+        for mask in 0..(1u32 << n) {
+            let state: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+            let works = d.structure_function(&state).unwrap();
+            let some_path_up = paths
+                .iter()
+                .any(|p| p.iter().all(|c| state[pos(c)]));
+            let some_cut_down = cuts
+                .iter()
+                .any(|cset| cset.iter().all(|c| !state[pos(c)]));
+            prop_assert_eq!(works, some_path_up);
+            prop_assert_eq!(works, !some_cut_down);
+        }
+    }
+
+    #[test]
+    fn birnbaum_matches_finite_difference(
+        spec in spec_strategy(),
+        values in prop::collection::vec(0.2f64..0.8, 6)
+    ) {
+        let d = BlockDiagram::new(spec).unwrap();
+        let names = d.component_names().to_vec();
+        prop_assume!(!names.is_empty());
+        let probs = prob_map(&names, &values);
+        let reports = d.importance(&probs).unwrap();
+        // Multilinearity: A(p + h e_i) - A(p - h e_i) = 2 h Birnbaum_i.
+        let h = 0.01;
+        for r in reports {
+            let mut up = probs.clone();
+            let mut down = probs.clone();
+            let p = probs[&r.name];
+            up.insert(r.name.clone(), p + h);
+            down.insert(r.name.clone(), p - h);
+            let fd = (d.availability(&up).unwrap() - d.availability(&down).unwrap())
+                / (2.0 * h);
+            prop_assert!((fd - r.birnbaum).abs() < 1e-8, "{} vs {}", fd, r.birnbaum);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+use std::fmt;
+
+/// Errors produced by simulation construction and execution.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A parameter violated its domain requirement.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+        /// The violated requirement.
+        requirement: &'static str,
+    },
+    /// The requested horizon or sample count produced no observations.
+    NoObservations,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidParameter {
+                name,
+                value,
+                requirement,
+            } => write!(f, "parameter {name} = {value} must be {requirement}"),
+            SimError::NoObservations => write!(f, "simulation produced no observations"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Validates that a rate is finite and strictly positive.
+pub(crate) fn check_rate(name: &'static str, value: f64) -> Result<(), SimError> {
+    if value.is_finite() && value > 0.0 {
+        Ok(())
+    } else {
+        Err(SimError::InvalidParameter {
+            name,
+            value,
+            requirement: "finite and > 0",
+        })
+    }
+}
+
+/// Validates that a probability lies in `[0, 1]`.
+pub(crate) fn check_probability(name: &'static str, value: f64) -> Result<(), SimError> {
+    if value.is_finite() && (0.0..=1.0).contains(&value) {
+        Ok(())
+    } else {
+        Err(SimError::InvalidParameter {
+            name,
+            value,
+            requirement: "within [0, 1]",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = SimError::InvalidParameter {
+            name: "lambda",
+            value: -1.0,
+            requirement: "finite and > 0",
+        };
+        assert!(e.to_string().contains("lambda"));
+        assert!(SimError::NoObservations.to_string().contains("no observations"));
+    }
+
+    #[test]
+    fn validators() {
+        assert!(check_rate("x", 1.0).is_ok());
+        assert!(check_rate("x", 0.0).is_err());
+        assert!(check_probability("p", 0.5).is_ok());
+        assert!(check_probability("p", 1.1).is_err());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,344 @@
+use rand::Rng;
+
+use crate::error::{check_probability, check_rate};
+use crate::rng::{bernoulli, exponential, weighted_index};
+use crate::stats::Proportion;
+use crate::SimError;
+
+/// Joint performance–availability simulation of the paper's redundant
+/// web-server farm (Figures 9–10 plus the M/M/i/K request model).
+///
+/// The simulation runs the *complete* continuous-time model — request
+/// arrivals/service, server failures with coverage, shared repair, and
+/// manual reconfiguration — with no quasi-steady-state separation. The
+/// observed request-loss fraction therefore validates both the composite
+/// equations (5) / (9) *and* the separation assumption they rest on.
+///
+/// States mirror Figure 10: `i` operational servers, with a reconfiguration
+/// ("y") flag during which the web service is down. Requests queue in a
+/// buffer of size `K`; an arrival is lost when the buffer is full, no
+/// server is operational, or the system is reconfiguring.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FarmSimulation {
+    servers: usize,
+    failure_rate: f64,
+    repair_rate: f64,
+    coverage: f64,
+    reconfiguration_rate: f64,
+    arrival_rate: f64,
+    service_rate: f64,
+    capacity: usize,
+}
+
+/// Result of a [`FarmSimulation`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FarmObservation {
+    /// Requests offered.
+    pub arrivals: u64,
+    /// Requests lost (buffer full, all servers down, or reconfiguring).
+    pub losses: u64,
+    /// Time spent with `i` operational servers (outside reconfiguration),
+    /// indexed by `i = 0..=servers`.
+    pub operational_time: Vec<f64>,
+    /// Total time spent in reconfiguration states.
+    pub reconfiguration_time: f64,
+    /// Total simulated time.
+    pub horizon: f64,
+}
+
+impl FarmObservation {
+    /// Observed fraction of lost requests — the empirical counterpart of
+    /// the paper's web-service *unavailability*.
+    pub fn loss_fraction(&self) -> f64 {
+        Proportion::new(self.losses, self.arrivals).estimate()
+    }
+
+    /// Empirical web-service availability `1 - loss_fraction()`.
+    pub fn availability(&self) -> f64 {
+        1.0 - self.loss_fraction()
+    }
+
+    /// Binomial confidence interval on the loss fraction.
+    pub fn loss_confidence_interval(&self, z: f64) -> (f64, f64) {
+        Proportion::new(self.losses, self.arrivals).confidence_interval(z)
+    }
+
+    /// Empirical state distribution over `i = 0..=servers` operational
+    /// servers plus one final entry for the aggregated reconfiguration
+    /// states — comparable with the Figure 9/10 steady-state solutions.
+    pub fn state_distribution(&self) -> Vec<f64> {
+        let mut out: Vec<f64> = self
+            .operational_time
+            .iter()
+            .map(|t| t / self.horizon)
+            .collect();
+        out.push(self.reconfiguration_time / self.horizon);
+        out
+    }
+}
+
+impl FarmSimulation {
+    /// Creates the simulation.
+    ///
+    /// `coverage = 1.0` reproduces the perfect-coverage model of Figure 9;
+    /// lower values enable the uncovered-failure path of Figure 10 with
+    /// mean manual-reconfiguration time `1 / reconfiguration_rate`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] for non-positive rates or
+    /// counts, coverage outside `[0, 1]`, or `capacity < servers`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        servers: usize,
+        failure_rate: f64,
+        repair_rate: f64,
+        coverage: f64,
+        reconfiguration_rate: f64,
+        arrival_rate: f64,
+        service_rate: f64,
+        capacity: usize,
+    ) -> Result<Self, SimError> {
+        if servers == 0 {
+            return Err(SimError::InvalidParameter {
+                name: "servers",
+                value: 0.0,
+                requirement: "at least 1",
+            });
+        }
+        check_rate("failure_rate", failure_rate)?;
+        check_rate("repair_rate", repair_rate)?;
+        check_probability("coverage", coverage)?;
+        check_rate("reconfiguration_rate", reconfiguration_rate)?;
+        check_rate("arrival_rate", arrival_rate)?;
+        check_rate("service_rate", service_rate)?;
+        if capacity < servers {
+            return Err(SimError::InvalidParameter {
+                name: "capacity",
+                value: capacity as f64,
+                requirement: "at least the number of servers",
+            });
+        }
+        Ok(FarmSimulation {
+            servers,
+            failure_rate,
+            repair_rate,
+            coverage,
+            reconfiguration_rate,
+            arrival_rate,
+            service_rate,
+            capacity,
+        })
+    }
+
+    /// Runs the joint model for `horizon` time units starting with all
+    /// servers up and an empty buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] for a non-positive horizon
+    /// and [`SimError::NoObservations`] when no arrival occurred.
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        horizon: f64,
+    ) -> Result<FarmObservation, SimError> {
+        if !(horizon.is_finite() && horizon > 0.0) {
+            return Err(SimError::InvalidParameter {
+                name: "horizon",
+                value: horizon,
+                requirement: "finite and > 0",
+            });
+        }
+        let n = self.servers;
+        let mut t = 0.0;
+        let mut operational = n;
+        let mut reconfiguring = false;
+        let mut in_system = 0usize;
+
+        let mut arrivals = 0u64;
+        let mut losses = 0u64;
+        let mut operational_time = vec![0.0; n + 1];
+        let mut reconfiguration_time = 0.0;
+
+        // Event indices in the rate race.
+        const ARRIVAL: usize = 0;
+        const DEPARTURE: usize = 1;
+        const FAILURE: usize = 2;
+        const REPAIR: usize = 3;
+        const RECONFIG_END: usize = 4;
+
+        while t < horizon {
+            let busy = in_system.min(operational);
+            let rates = [
+                self.arrival_rate,
+                if !reconfiguring && operational > 0 {
+                    busy as f64 * self.service_rate
+                } else {
+                    0.0
+                },
+                if !reconfiguring && operational > 0 {
+                    operational as f64 * self.failure_rate
+                } else {
+                    0.0
+                },
+                if !reconfiguring && operational < n {
+                    self.repair_rate
+                } else {
+                    0.0
+                },
+                if reconfiguring {
+                    self.reconfiguration_rate
+                } else {
+                    0.0
+                },
+            ];
+            let total: f64 = rates.iter().sum();
+            let dt = exponential(rng, total);
+            let step_end = (t + dt).min(horizon);
+            if reconfiguring {
+                reconfiguration_time += step_end - t;
+            } else {
+                operational_time[operational] += step_end - t;
+            }
+            t += dt;
+            if t >= horizon {
+                break;
+            }
+            match weighted_index(rng, &rates).expect("total rate is positive") {
+                ARRIVAL => {
+                    arrivals += 1;
+                    let service_up = !reconfiguring && operational > 0;
+                    if !service_up || in_system >= self.capacity {
+                        losses += 1;
+                    } else {
+                        in_system += 1;
+                    }
+                }
+                DEPARTURE => {
+                    debug_assert!(in_system > 0);
+                    in_system -= 1;
+                }
+                FAILURE => {
+                    if bernoulli(rng, self.coverage) {
+                        operational -= 1;
+                    } else {
+                        reconfiguring = true;
+                    }
+                }
+                REPAIR => {
+                    operational += 1;
+                }
+                RECONFIG_END => {
+                    reconfiguring = false;
+                    // The failed server that triggered the reconfiguration
+                    // is disconnected once manual intervention completes.
+                    operational -= 1;
+                }
+                _ => unreachable!("rate race has five outcomes"),
+            }
+        }
+        if arrivals == 0 {
+            return Err(SimError::NoObservations);
+        }
+        Ok(FarmObservation {
+            arrivals,
+            losses,
+            operational_time,
+            reconfiguration_time,
+            horizon,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn validation() {
+        assert!(FarmSimulation::new(0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1).is_err());
+        assert!(FarmSimulation::new(2, 0.0, 1.0, 1.0, 1.0, 1.0, 1.0, 2).is_err());
+        assert!(FarmSimulation::new(2, 1.0, 1.0, 1.5, 1.0, 1.0, 1.0, 2).is_err());
+        assert!(FarmSimulation::new(2, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1).is_err());
+        let sim = FarmSimulation::new(2, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 2).unwrap();
+        assert!(sim.run(&mut StdRng::seed_from_u64(0), -1.0).is_err());
+    }
+
+    #[test]
+    fn perfect_coverage_state_distribution_matches_birth_death() {
+        // Time-scale-compressed parameters so failures are frequent.
+        let (n, lambda, mu) = (3usize, 0.2, 1.0);
+        let sim = FarmSimulation::new(n, lambda, mu, 1.0, 10.0, 5.0, 5.0, 6).unwrap();
+        let mut rng = StdRng::seed_from_u64(77);
+        let obs = sim.run(&mut rng, 200_000.0).unwrap();
+        let dist = obs.state_distribution();
+        // Analytic: Pi_i = (1/i!)(mu/lambda)^i Pi_0.
+        let ratio: f64 = mu / lambda;
+        let mut weights = vec![1.0];
+        let mut fact = 1.0;
+        for i in 1..=n {
+            fact *= i as f64;
+            weights.push(ratio.powi(i as i32) / fact);
+        }
+        let z: f64 = weights.iter().sum();
+        for i in 0..=n {
+            let expected = weights[i] / z;
+            assert!(
+                (dist[i] - expected).abs() < 0.01,
+                "state {i}: sim {} vs analytic {expected}",
+                dist[i]
+            );
+        }
+        // No reconfiguration time under perfect coverage.
+        assert_eq!(obs.reconfiguration_time, 0.0);
+    }
+
+    #[test]
+    fn loss_fraction_with_always_up_servers_matches_queue_formula() {
+        // Failure rate so small no failure occurs: pure M/M/c/K behaviour.
+        let sim =
+            FarmSimulation::new(2, 1e-12, 1.0, 1.0, 1.0, 15.0, 10.0, 4).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let obs = sim.run(&mut rng, 30_000.0).unwrap();
+        // M/M/2/4 with a = 1.5.
+        let a: f64 = 1.5;
+        let mut w = 1.0;
+        let mut weights = vec![1.0];
+        for m in 0..4usize {
+            w *= a / ((m + 1).min(2)) as f64;
+            weights.push(w);
+        }
+        let z: f64 = weights.iter().sum();
+        let expected = weights[4] / z;
+        let (lo, hi) = obs.loss_confidence_interval(4.0);
+        assert!(
+            lo <= expected && expected <= hi,
+            "expected {expected}, got {} in [{lo}, {hi}]",
+            obs.loss_fraction()
+        );
+    }
+
+    #[test]
+    fn imperfect_coverage_creates_reconfiguration_downtime() {
+        let sim = FarmSimulation::new(3, 0.5, 1.0, 0.5, 2.0, 5.0, 5.0, 6).unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        let obs = sim.run(&mut rng, 50_000.0).unwrap();
+        assert!(obs.reconfiguration_time > 0.0);
+        // Reconfiguration periods add losses compared to perfect coverage.
+        let perfect = FarmSimulation::new(3, 0.5, 1.0, 1.0, 2.0, 5.0, 5.0, 6).unwrap();
+        let obs_perfect = perfect.run(&mut StdRng::seed_from_u64(13), 50_000.0).unwrap();
+        assert!(obs.loss_fraction() > obs_perfect.loss_fraction());
+    }
+
+    #[test]
+    fn state_distribution_sums_to_one() {
+        let sim = FarmSimulation::new(2, 0.3, 1.0, 0.8, 3.0, 4.0, 4.0, 5).unwrap();
+        let mut rng = StdRng::seed_from_u64(31);
+        let obs = sim.run(&mut rng, 20_000.0).unwrap();
+        let total: f64 = obs.state_distribution().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,124 @@
+//! Sampling helpers for event-driven simulation.
+
+use rand::Rng;
+
+/// Samples an exponential inter-event time with the given rate using
+/// inversion: `-ln(1 - U) / rate`.
+///
+/// # Panics
+///
+/// Panics (via `debug_assert!`) when `rate` is not strictly positive in
+/// debug builds; callers validate rates at model construction time.
+///
+/// # Examples
+///
+/// ```
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let sum: f64 = (0..10_000)
+///     .map(|_| uavail_sim::rng::exponential(&mut rng, 2.0))
+///     .sum();
+/// // Mean should be 1/2.
+/// assert!((sum / 10_000.0 - 0.5).abs() < 0.05);
+/// ```
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    debug_assert!(rate > 0.0, "exponential rate must be positive");
+    let u: f64 = rng.random();
+    // 1 - u in (0, 1]: ln never sees zero.
+    -(1.0 - u).ln() / rate
+}
+
+/// Bernoulli draw with success probability `p`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let hits = (0..10_000)
+///     .filter(|_| uavail_sim::rng::bernoulli(&mut rng, 0.25))
+///     .count();
+/// assert!((hits as f64 / 10_000.0 - 0.25).abs() < 0.02);
+/// ```
+pub fn bernoulli<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
+    debug_assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+    rng.random::<f64>() < p
+}
+
+/// Picks an index from a slice of non-negative weights, proportionally.
+/// Returns `None` when all weights are zero.
+///
+/// # Examples
+///
+/// ```
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let idx = uavail_sim::rng::weighted_index(&mut rng, &[0.0, 1.0, 0.0]);
+/// assert_eq!(idx, Some(1));
+/// ```
+pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> Option<usize> {
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let mut u: f64 = rng.random::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if u < w {
+            return Some(i);
+        }
+        u -= w;
+    }
+    // Numerical slack: return the last positive-weight index.
+    weights.iter().rposition(|&w| w > 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exponential_mean_and_positivity() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| exponential(&mut rng, 4.0)).collect();
+        assert!(samples.iter().all(|&x| x >= 0.0));
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_memoryless_quartiles() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 100_000;
+        let median_count = (0..n)
+            .filter(|_| exponential(&mut rng, 1.0) < std::f64::consts::LN_2)
+            .count();
+        assert!((median_count as f64 / n as f64 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn weighted_index_distribution() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let weights = [1.0, 3.0];
+        let n = 100_000;
+        let ones = (0..n)
+            .filter(|_| weighted_index(&mut rng, &weights) == Some(1))
+            .count();
+        assert!((ones as f64 / n as f64 - 0.75).abs() < 0.01);
+    }
+
+    #[test]
+    fn weighted_index_degenerate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(weighted_index(&mut rng, &[0.0, 0.0]), None);
+        assert_eq!(weighted_index(&mut rng, &[]), None);
+    }
+}

@@ -1,0 +1,278 @@
+//! Online statistics for simulation output analysis.
+
+/// Welford's online mean/variance accumulator.
+///
+/// # Examples
+///
+/// ```
+/// use uavail_sim::stats::OnlineStats;
+///
+/// let mut s = OnlineStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.count(), 8);
+/// assert!((s.mean() - 5.0).abs() < 1e-12);
+/// assert!((s.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats::default()
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (divides by `n`).
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance (divides by `n - 1`; 0 when fewer than two points).
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Standard error of the mean.
+    pub fn standard_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.sample_variance() / self.count as f64).sqrt()
+        }
+    }
+
+    /// Normal-approximation confidence half-width at the given z quantile
+    /// (e.g. 1.96 for 95%).
+    pub fn confidence_half_width(&self, z: f64) -> f64 {
+        z * self.standard_error()
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let new_mean =
+            self.mean + delta * other.count as f64 / total as f64;
+        self.m2 += other.m2
+            + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        self.mean = new_mean;
+        self.count = total;
+    }
+}
+
+/// A binomial proportion with a normal-approximation confidence interval.
+///
+/// # Examples
+///
+/// ```
+/// use uavail_sim::stats::Proportion;
+///
+/// let p = Proportion::new(90, 100);
+/// assert!((p.estimate() - 0.9).abs() < 1e-12);
+/// let (lo, hi) = p.confidence_interval(1.96);
+/// assert!(lo < 0.9 && 0.9 < hi);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Proportion {
+    successes: u64,
+    trials: u64,
+}
+
+impl Proportion {
+    /// Creates a proportion observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `successes > trials`.
+    pub fn new(successes: u64, trials: u64) -> Self {
+        assert!(successes <= trials, "successes exceed trials");
+        Proportion { successes, trials }
+    }
+
+    /// Number of successes.
+    pub fn successes(&self) -> u64 {
+        self.successes
+    }
+
+    /// Number of trials.
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// Point estimate (0 for zero trials).
+    pub fn estimate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.trials as f64
+        }
+    }
+
+    /// Wald interval clamped to `[0, 1]`.
+    pub fn confidence_interval(&self, z: f64) -> (f64, f64) {
+        let p = self.estimate();
+        if self.trials == 0 {
+            return (0.0, 1.0);
+        }
+        let half = z * (p * (1.0 - p) / self.trials as f64).sqrt();
+        ((p - half).max(0.0), (p + half).min(1.0))
+    }
+}
+
+/// Splits a series into `batches` equal batches and returns the batch-mean
+/// statistics — the standard way to build confidence intervals on
+/// autocorrelated simulation output.
+///
+/// Returns `None` when there are fewer observations than batches.
+///
+/// # Examples
+///
+/// ```
+/// use uavail_sim::stats::batch_means;
+///
+/// let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
+/// let stats = batch_means(&data, 10).unwrap();
+/// assert_eq!(stats.count(), 10);
+/// assert!((stats.mean() - 49.5).abs() < 1e-9);
+/// ```
+pub fn batch_means(series: &[f64], batches: usize) -> Option<OnlineStats> {
+    if batches == 0 || series.len() < batches {
+        return None;
+    }
+    let batch_size = series.len() / batches;
+    let mut stats = OnlineStats::new();
+    for b in 0..batches {
+        let chunk = &series[b * batch_size..(b + 1) * batch_size];
+        let mean = chunk.iter().sum::<f64>() / chunk.len() as f64;
+        stats.push(mean);
+    }
+    Some(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_against_two_pass() {
+        let data = [1.5, 2.5, 3.5, -1.0, 0.0, 10.0];
+        let mut s = OnlineStats::new();
+        for &x in &data {
+            s.push(x);
+        }
+        let mean: f64 = data.iter().sum::<f64>() / data.len() as f64;
+        let var: f64 =
+            data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
+        assert!((s.mean() - mean).abs() < 1e-12);
+        assert!((s.sample_variance() - var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_single_pass() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin()).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &data[..37] {
+            a.push(x);
+        }
+        for &x in &data[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-12);
+        assert!((a.sample_variance() - whole.sample_variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let mut a = OnlineStats::new();
+        a.push(1.0);
+        let before = a;
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, before);
+        let mut e = OnlineStats::new();
+        e.merge(&a);
+        assert_eq!(e, a);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.standard_error(), 0.0);
+        assert_eq!(s.population_variance(), 0.0);
+    }
+
+    #[test]
+    fn proportion_interval_shrinks_with_trials() {
+        let small = Proportion::new(9, 10).confidence_interval(1.96);
+        let large = Proportion::new(9_000, 10_000).confidence_interval(1.96);
+        assert!(large.1 - large.0 < small.1 - small.0);
+    }
+
+    #[test]
+    fn proportion_degenerate() {
+        assert_eq!(Proportion::new(0, 0).estimate(), 0.0);
+        assert_eq!(Proportion::new(0, 0).confidence_interval(1.96), (0.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "successes exceed trials")]
+    fn proportion_validates() {
+        let _ = Proportion::new(2, 1);
+    }
+
+    #[test]
+    fn batch_means_bounds() {
+        assert!(batch_means(&[1.0], 2).is_none());
+        assert!(batch_means(&[1.0, 2.0], 0).is_none());
+        let s = batch_means(&[1.0, 2.0, 3.0, 4.0], 2).unwrap();
+        assert_eq!(s.count(), 2);
+        assert!((s.mean() - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for `uavail-sim`: statistics invariants and
+//! simulator sanity under random parameters.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use uavail_sim::stats::{batch_means, OnlineStats, Proportion};
+use uavail_sim::{AlternatingRenewal, EventQueue, QueueSimulation};
+
+proptest! {
+    #[test]
+    fn welford_matches_two_pass(data in prop::collection::vec(-1e4f64..1e4, 2..200)) {
+        let mut s = OnlineStats::new();
+        for &x in &data {
+            s.push(x);
+        }
+        let mean: f64 = data.iter().sum::<f64>() / data.len() as f64;
+        let var: f64 = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+            / (data.len() - 1) as f64;
+        prop_assert!((s.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
+        prop_assert!((s.sample_variance() - var).abs() < 1e-5 * var.max(1.0));
+    }
+
+    #[test]
+    fn merge_order_independent(
+        a in prop::collection::vec(-100f64..100.0, 1..50),
+        b in prop::collection::vec(-100f64..100.0, 1..50)
+    ) {
+        let mut sa = OnlineStats::new();
+        for &x in &a { sa.push(x); }
+        let mut sb = OnlineStats::new();
+        for &x in &b { sb.push(x); }
+        let mut ab = sa;
+        ab.merge(&sb);
+        let mut ba = sb;
+        ba.merge(&sa);
+        prop_assert!((ab.mean() - ba.mean()).abs() < 1e-9);
+        prop_assert!((ab.sample_variance() - ba.sample_variance()).abs() < 1e-8);
+        prop_assert_eq!(ab.count(), (a.len() + b.len()) as u64);
+    }
+
+    #[test]
+    fn proportion_interval_contains_estimate(successes in 0u64..1000, extra in 0u64..1000) {
+        let trials = successes + extra;
+        prop_assume!(trials > 0);
+        let p = Proportion::new(successes, trials);
+        let (lo, hi) = p.confidence_interval(1.96);
+        prop_assert!(lo <= p.estimate() && p.estimate() <= hi);
+        prop_assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+    }
+
+    #[test]
+    fn batch_means_mean_equals_series_mean(
+        data in prop::collection::vec(-10f64..10.0, 10..100),
+        batches in 2usize..6
+    ) {
+        prop_assume!(data.len() % batches == 0);
+        let stats = batch_means(&data, batches).unwrap();
+        let mean: f64 = data.iter().sum::<f64>() / data.len() as f64;
+        prop_assert!((stats.mean() - mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn event_queue_pops_sorted(times in prop::collection::vec(0.0f64..1e6, 1..100)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(t, i);
+        }
+        let mut last = f64::NEG_INFINITY;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn renewal_availability_within_bounds(
+        lambda in 0.01f64..2.0,
+        mu in 0.01f64..2.0,
+        seed in 0u64..1000
+    ) {
+        let sim = AlternatingRenewal::new(lambda, mu).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let obs = sim.run(&mut rng, 200.0).unwrap();
+        prop_assert!((0.0..=1.0).contains(&obs.availability));
+    }
+
+    #[test]
+    fn queue_simulation_conserves_customers(
+        alpha in 1.0f64..50.0,
+        nu in 1.0f64..50.0,
+        servers in 1usize..4,
+        extra in 0usize..6,
+        seed in 0u64..100
+    ) {
+        let capacity = servers + extra;
+        let sim = QueueSimulation::new(alpha, nu, servers, capacity).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let obs = sim.run(&mut rng, 2_000).unwrap();
+        prop_assert_eq!(obs.arrivals, 2_000);
+        prop_assert!(obs.losses <= obs.arrivals);
+        prop_assert!(obs.mean_customers >= 0.0);
+        prop_assert!(obs.mean_customers <= capacity as f64 + 1e-9);
+    }
+}

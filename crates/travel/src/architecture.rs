@@ -1,0 +1,76 @@
+use std::fmt;
+
+/// Coverage assumption for the redundant web-server farm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Coverage {
+    /// Every failure is detected and reconfigured automatically
+    /// (Figure 9).
+    Perfect,
+    /// A fraction `1 − c` of failures requires manual reconfiguration
+    /// (Figure 10). The paper's reference setting.
+    #[default]
+    Imperfect,
+}
+
+impl fmt::Display for Coverage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Coverage::Perfect => f.write_str("perfect coverage"),
+            Coverage::Imperfect => f.write_str("imperfect coverage"),
+        }
+    }
+}
+
+/// The two candidate TA architectures of Figures 7 and 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Architecture {
+    /// Figure 7: one dedicated host per server, no redundancy anywhere.
+    Basic,
+    /// Figure 8: a web farm of `N_W` servers, duplicated application and
+    /// database servers, mirrored disks.
+    Redundant(Coverage),
+}
+
+impl Architecture {
+    /// The paper's reference configuration: redundant with imperfect
+    /// coverage.
+    pub fn paper_reference() -> Self {
+        Architecture::Redundant(Coverage::Imperfect)
+    }
+
+    /// Whether this architecture replicates the internal servers.
+    pub fn is_redundant(&self) -> bool {
+        matches!(self, Architecture::Redundant(_))
+    }
+}
+
+impl fmt::Display for Architecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Architecture::Basic => f.write_str("basic architecture"),
+            Architecture::Redundant(c) => write!(f, "redundant architecture ({c})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_is_redundant_imperfect() {
+        let a = Architecture::paper_reference();
+        assert!(a.is_redundant());
+        assert_eq!(a, Architecture::Redundant(Coverage::Imperfect));
+        assert!(!Architecture::Basic.is_redundant());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Architecture::Basic.to_string(), "basic architecture");
+        assert!(Architecture::Redundant(Coverage::Perfect)
+            .to_string()
+            .contains("perfect"));
+        assert_eq!(Coverage::default(), Coverage::Imperfect);
+    }
+}

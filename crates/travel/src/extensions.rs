@@ -1,0 +1,211 @@
+//! The paper's future-work extension, implemented: response-time-threshold
+//! failures.
+//!
+//! Section 6 of the paper proposes extending the user-perceived measure so
+//! that a request also counts as failed "when the response time exceeds an
+//! acceptable threshold". This module provides that measure for the web
+//! service: a request succeeds only if it is (a) accepted into the buffer
+//! and (b) served within the deadline `τ`. The per-state success
+//! probability becomes `(1 − p_K(i)) · (1 − P(T_i > τ))` with the exact
+//! FCFS response-time tail from `uavail-queueing`.
+
+use uavail_core::composite::{composite_availability, CompositeState};
+use uavail_queueing::MMcK;
+
+use crate::{webservice, TaParameters, TravelError};
+
+/// Web-service availability under a response-time deadline `τ` (seconds),
+/// redundant farm with imperfect coverage — the deadline-extended
+/// equation (9).
+///
+/// With `deadline = ∞` this equals
+/// [`webservice::redundant_imperfect_availability`]; with `deadline = 0`
+/// it is 0 (no request can be served instantly).
+///
+/// # Errors
+///
+/// * [`TravelError::InvalidParameter`] for a negative or NaN deadline.
+/// * Propagated solver failures.
+pub fn deadline_availability(
+    params: &TaParameters,
+    deadline: f64,
+) -> Result<f64, TravelError> {
+    if deadline.is_nan() || deadline < 0.0 {
+        return Err(TravelError::InvalidParameter {
+            name: "deadline",
+            value: deadline,
+            requirement: "finite and >= 0 (or +inf)",
+        });
+    }
+    params.validate()?;
+    let (op, y) = webservice::farm_distribution_imperfect(params)?;
+    let mut states = Vec::with_capacity(op.len() + y.len());
+    states.push(CompositeState::new(op[0], 0.0));
+    for (i, &p) in op.iter().enumerate().skip(1) {
+        let queue = MMcK::new(
+            params.arrival_rate_per_second,
+            params.service_rate_per_second,
+            i,
+            params.buffer_size,
+        )?;
+        let success = if deadline.is_infinite() {
+            1.0 - queue.loss_probability()
+        } else {
+            1.0 - queue.deadline_miss_probability(deadline)
+        };
+        states.push(CompositeState::new(p, success));
+    }
+    for &p in &y {
+        states.push(CompositeState::new(p, 0.0));
+    }
+    Ok(composite_availability(&states)?)
+}
+
+/// One row of a deadline sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeadlinePoint {
+    /// Deadline `τ` in seconds.
+    pub deadline: f64,
+    /// Deadline-extended web-service availability.
+    pub availability: f64,
+    /// The classical (buffer-loss only) availability, for comparison.
+    pub classical_availability: f64,
+}
+
+/// Sweeps the deadline-extended availability over `deadlines` (seconds).
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn deadline_sweep(
+    params: &TaParameters,
+    deadlines: &[f64],
+) -> Result<Vec<DeadlinePoint>, TravelError> {
+    let classical = webservice::redundant_imperfect_availability(params)?;
+    deadlines
+        .iter()
+        .map(|&d| {
+            Ok(DeadlinePoint {
+                deadline: d,
+                availability: deadline_availability(params, d)?,
+                classical_availability: classical,
+            })
+        })
+        .collect()
+}
+
+/// The smallest number of web servers (up to `max_servers`) meeting an
+/// unavailability target under the deadline-extended measure — the
+/// capacity-planning question §5.1 asks, with the stricter definition of
+/// failure.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn min_web_servers_for_deadline(
+    target_unavailability: f64,
+    deadline: f64,
+    base: &TaParameters,
+    max_servers: usize,
+) -> Result<Option<usize>, TravelError> {
+    for nw in 1..=max_servers {
+        let mut params = base.clone();
+        params.web_servers = nw;
+        params.buffer_size = base.buffer_size.max(nw);
+        params.validate()?;
+        let a = deadline_availability(&params, deadline)?;
+        if 1.0 - a < target_unavailability {
+            return Ok(Some(nw));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> TaParameters {
+        TaParameters::paper_defaults()
+    }
+
+    #[test]
+    fn infinite_deadline_recovers_classical_measure() {
+        let p = params();
+        let classical = webservice::redundant_imperfect_availability(&p).unwrap();
+        let extended = deadline_availability(&p, f64::INFINITY).unwrap();
+        assert!((classical - extended).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_deadline_means_no_service() {
+        let a = deadline_availability(&params(), 0.0).unwrap();
+        assert!(a < 1e-12);
+    }
+
+    #[test]
+    fn extended_measure_is_monotone_in_deadline() {
+        let p = params();
+        let sweep = deadline_sweep(&p, &[0.01, 0.05, 0.1, 0.5, 1.0]).unwrap();
+        for w in sweep.windows(2) {
+            assert!(w[1].availability >= w[0].availability);
+        }
+        // Always at most the classical availability.
+        for point in &sweep {
+            assert!(point.availability <= point.classical_availability + 1e-12);
+        }
+    }
+
+    #[test]
+    fn generous_deadline_approaches_classical() {
+        // At rho = 1 response times are long, so use 10 s (1000 mean
+        // service times) for near-complete coverage.
+        let p = params();
+        let point = deadline_sweep(&p, &[10.0]).unwrap()[0];
+        assert!(
+            point.classical_availability - point.availability < 1e-4,
+            "gap {}",
+            point.classical_availability - point.availability
+        );
+    }
+
+    #[test]
+    fn deadline_capacity_planning_needs_more_servers() {
+        // A deadline makes the same target need at least as many servers
+        // as the classical measure.
+        let base = params();
+        let classical = crate::evaluation::min_web_servers_for(1e-3, 1e-4, 100.0, 10)
+            .unwrap()
+            .expect("attainable classically");
+        let strict = min_web_servers_for_deadline(1e-3, 0.1, &base, 10)
+            .unwrap()
+            .expect("attainable with a lenient deadline");
+        assert!(strict >= classical, "strict {strict} vs classical {classical}");
+    }
+
+    #[test]
+    fn invalid_deadline_rejected() {
+        assert!(deadline_availability(&params(), -1.0).is_err());
+        assert!(deadline_availability(&params(), f64::NAN).is_err());
+    }
+
+    #[test]
+    fn deadline_measure_dominated_by_queueing_at_high_load() {
+        // Two servers at 75% utilization: waiting is common, so a tight
+        // deadline (two mean service times) dwarfs the classical
+        // buffer-loss unavailability.
+        let p = TaParameters::builder()
+            .web_servers(2)
+            .arrival_rate_per_second(150.0)
+            .build()
+            .unwrap();
+        let classical = webservice::redundant_imperfect_availability(&p).unwrap();
+        let extended = deadline_availability(&p, 0.02).unwrap();
+        let classical_u = 1.0 - classical;
+        let extended_u = 1.0 - extended;
+        assert!(
+            extended_u > 3.0 * classical_u,
+            "extended {extended_u:.3e} vs classical {classical_u:.3e}"
+        );
+    }
+}

@@ -1,0 +1,369 @@
+//! The Figure 2 operational-profile graph: structure, construction and
+//! fitting.
+//!
+//! The paper presents the profile graph (Figure 2) but publishes only the
+//! derived scenario probabilities (Table 1). This module closes the loop:
+//! it encodes the Figure 2 *structure* — which transitions exist — and fits
+//! the transition probabilities `p_ij` to a target scenario table by
+//! direct search, recovering a concrete graph whose exact scenario-class
+//! probabilities (computed by `uavail-profile`'s taboo-chain algorithm)
+//! match the published table.
+
+use rand::Rng;
+
+use uavail_profile::{ProfileGraph, ScenarioTable};
+
+use crate::functions::TaFunction;
+use crate::TravelError;
+
+/// Free transition probabilities of the Figure 2 graph.
+///
+/// The structure is fixed: Start → {Home, Browse}; Home → {Browse, Search,
+/// Exit}; Browse → {Home, Search, Exit}; Search → {Book, Exit};
+/// Book → {Search, Pay, Exit}; Pay → Exit. Each node's outgoing
+/// probabilities must sum to one; the *last* alternative of each node is
+/// implied (`1 − rest`), so the parameter vector has 9 free entries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig2Probabilities {
+    /// `P(Start → Home)`; Start → Browse is the complement.
+    pub start_home: f64,
+    /// `P(Home → Browse)`.
+    pub home_browse: f64,
+    /// `P(Home → Search)`; Home → Exit is the complement.
+    pub home_search: f64,
+    /// `P(Browse → Home)`.
+    pub browse_home: f64,
+    /// `P(Browse → Search)`; Browse → Exit is the complement.
+    pub browse_search: f64,
+    /// `P(Search → Book)`; Search → Exit is the complement.
+    pub search_book: f64,
+    /// `P(Book → Search)` (the `{Se-Bo}*` cycle).
+    pub book_search: f64,
+    /// `P(Book → Pay)`; Book → Exit is the complement.
+    pub book_pay: f64,
+    /// Unused degree of freedom kept for future structure variants.
+    pub reserved: f64,
+}
+
+impl Fig2Probabilities {
+    /// Validates the node-level constraints.
+    ///
+    /// # Errors
+    ///
+    /// [`TravelError::InvalidParameter`] when any probability is outside
+    /// `[0, 1]` or a node's outgoing probabilities exceed one.
+    pub fn validate(&self) -> Result<(), TravelError> {
+        let entries = [
+            ("start_home", self.start_home, 1.0),
+            ("home_browse + home_search", self.home_browse + self.home_search, 1.0),
+            ("browse_home + browse_search", self.browse_home + self.browse_search, 1.0),
+            ("search_book", self.search_book, 1.0),
+            ("book_search + book_pay", self.book_search + self.book_pay, 1.0),
+        ];
+        for (name, v, cap) in entries {
+            if !(v.is_finite() && (0.0..=cap + 1e-12).contains(&v)) {
+                let _ = name;
+                return Err(TravelError::InvalidParameter {
+                    name: "fig2 probabilities",
+                    value: v,
+                    requirement: "each node's outgoing probabilities within [0, 1]",
+                });
+            }
+        }
+        for v in [
+            self.start_home,
+            self.home_browse,
+            self.home_search,
+            self.browse_home,
+            self.browse_search,
+            self.search_book,
+            self.book_search,
+            self.book_pay,
+        ] {
+            if !(v.is_finite() && (0.0..=1.0).contains(&v)) {
+                return Err(TravelError::InvalidParameter {
+                    name: "fig2 probabilities",
+                    value: v,
+                    requirement: "within [0, 1]",
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the concrete profile graph.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation failures from this type and from
+    /// [`ProfileGraph`].
+    pub fn to_graph(&self) -> Result<ProfileGraph, TravelError> {
+        self.validate()?;
+        let mut g = ProfileGraph::new(
+            TaFunction::all().iter().map(|f| f.name()).collect::<Vec<_>>(),
+        )?;
+        let eps_free = |v: f64| v.clamp(0.0, 1.0);
+        g.set_start_transition("Home", eps_free(self.start_home))?;
+        g.set_start_transition("Browse", eps_free(1.0 - self.start_home))?;
+        g.set_transition("Home", Some("Browse"), eps_free(self.home_browse))?;
+        g.set_transition("Home", Some("Search"), eps_free(self.home_search))?;
+        g.set_transition(
+            "Home",
+            None,
+            eps_free(1.0 - self.home_browse - self.home_search),
+        )?;
+        g.set_transition("Browse", Some("Home"), eps_free(self.browse_home))?;
+        g.set_transition("Browse", Some("Search"), eps_free(self.browse_search))?;
+        g.set_transition(
+            "Browse",
+            None,
+            eps_free(1.0 - self.browse_home - self.browse_search),
+        )?;
+        g.set_transition("Search", Some("Book"), eps_free(self.search_book))?;
+        g.set_transition("Search", None, eps_free(1.0 - self.search_book))?;
+        g.set_transition("Book", Some("Search"), eps_free(self.book_search))?;
+        g.set_transition("Book", Some("Pay"), eps_free(self.book_pay))?;
+        g.set_transition(
+            "Book",
+            None,
+            eps_free(1.0 - self.book_search - self.book_pay),
+        )?;
+        g.set_transition("Pay", None, 1.0)?;
+        Ok(g.validated()?)
+    }
+
+    /// Exact scenario-class probabilities of this graph, as a map
+    /// `function-set bitmask → probability` (bit order =
+    /// [`TaFunction::all`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph failures.
+    pub fn scenario_probabilities(&self) -> Result<Vec<(u32, f64)>, TravelError> {
+        Ok(self.to_graph()?.scenario_class_probabilities(0.0)?)
+    }
+}
+
+/// Sum of squared differences between a graph's exact scenario-class
+/// probabilities and a target table.
+///
+/// # Errors
+///
+/// Propagates graph failures.
+pub fn table_distance(
+    probs: &Fig2Probabilities,
+    target: &ScenarioTable,
+) -> Result<f64, TravelError> {
+    let scenario_masks = target_masks(target);
+    let computed = probs.scenario_probabilities()?;
+    let lookup: std::collections::HashMap<u32, f64> = computed.into_iter().collect();
+    let mut err = 0.0;
+    for (mask, pi) in scenario_masks {
+        let got = lookup.get(&mask).copied().unwrap_or(0.0);
+        err += (got - pi).powi(2);
+    }
+    Ok(err)
+}
+
+fn target_masks(target: &ScenarioTable) -> Vec<(u32, f64)> {
+    target
+        .scenarios()
+        .iter()
+        .map(|s| {
+            let mut mask = 0u32;
+            for (bit, f) in TaFunction::all().iter().enumerate() {
+                if s.invokes(f.name()) {
+                    mask |= 1 << bit;
+                }
+            }
+            (mask, s.probability)
+        })
+        .collect()
+}
+
+/// Fits Figure 2 transition probabilities to a target scenario table by
+/// random multi-start search followed by coordinate refinement.
+///
+/// Returns the best-found parameters and their squared-error distance.
+/// Deterministic for a fixed `rng` seed.
+///
+/// # Errors
+///
+/// Propagates graph failures.
+pub fn fit_to_table<R: Rng + ?Sized>(
+    rng: &mut R,
+    target: &ScenarioTable,
+    starts: usize,
+    refinement_rounds: usize,
+) -> Result<(Fig2Probabilities, f64), TravelError> {
+    let sample = |rng: &mut R| -> Fig2Probabilities {
+        // Draw each node's distribution from a flat Dirichlet via
+        // normalized exponentials.
+        let dir2 = |rng: &mut R| -> (f64, f64) {
+            let a: f64 = -(1.0 - rng.random::<f64>()).ln();
+            let b: f64 = -(1.0 - rng.random::<f64>()).ln();
+            (a / (a + b), b / (a + b))
+        };
+        let dir3 = |rng: &mut R| -> (f64, f64, f64) {
+            let a: f64 = -(1.0 - rng.random::<f64>()).ln();
+            let b: f64 = -(1.0 - rng.random::<f64>()).ln();
+            let c: f64 = -(1.0 - rng.random::<f64>()).ln();
+            let z = a + b + c;
+            (a / z, b / z, c / z)
+        };
+        let (sh, _) = dir2(rng);
+        let (hb, hs, _) = dir3(rng);
+        let (bh, bs, _) = dir3(rng);
+        let (sb, _) = dir2(rng);
+        let (bks, bkp, _) = dir3(rng);
+        Fig2Probabilities {
+            start_home: sh,
+            home_browse: hb,
+            home_search: hs,
+            browse_home: bh,
+            browse_search: bs,
+            search_book: sb,
+            book_search: bks,
+            book_pay: bkp,
+            reserved: 0.0,
+        }
+    };
+
+    let mut best = sample(rng);
+    let mut best_err = table_distance(&best, target)?;
+    for _ in 1..starts {
+        let candidate = sample(rng);
+        let err = table_distance(&candidate, target)?;
+        if err < best_err {
+            best = candidate;
+            best_err = err;
+        }
+    }
+
+    // Coordinate refinement with shrinking steps.
+    let mut step = 0.1;
+    for _ in 0..refinement_rounds {
+        let mut improved = false;
+        for coord in 0..8 {
+            for dir in [-1.0, 1.0] {
+                let mut cand = best;
+                let field: &mut f64 = match coord {
+                    0 => &mut cand.start_home,
+                    1 => &mut cand.home_browse,
+                    2 => &mut cand.home_search,
+                    3 => &mut cand.browse_home,
+                    4 => &mut cand.browse_search,
+                    5 => &mut cand.search_book,
+                    6 => &mut cand.book_search,
+                    _ => &mut cand.book_pay,
+                };
+                *field = (*field + dir * step).clamp(0.0, 1.0);
+                if cand.validate().is_err() {
+                    continue;
+                }
+                if let Ok(err) = table_distance(&cand, target) {
+                    if err < best_err {
+                        best = cand;
+                        best_err = err;
+                        improved = true;
+                    }
+                }
+            }
+        }
+        if !improved {
+            step *= 0.5;
+            if step < 1e-5 {
+                break;
+            }
+        }
+    }
+    Ok((best, best_err))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::user::class_a;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn example() -> Fig2Probabilities {
+        Fig2Probabilities {
+            start_home: 0.6,
+            home_browse: 0.3,
+            home_search: 0.3,
+            browse_home: 0.2,
+            browse_search: 0.3,
+            search_book: 0.3,
+            book_search: 0.2,
+            book_pay: 0.5,
+            reserved: 0.0,
+        }
+    }
+
+    #[test]
+    fn validation() {
+        assert!(example().validate().is_ok());
+        let mut bad = example();
+        bad.home_browse = 0.9; // 0.9 + 0.3 > 1
+        assert!(bad.validate().is_err());
+        let mut bad = example();
+        bad.start_home = -0.1;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn graph_produces_twelve_table1_classes() {
+        let probs = example().scenario_probabilities().unwrap();
+        // The Figure 2 structure generates exactly the 12 Table 1 classes.
+        assert_eq!(probs.len(), 12);
+        let total: f64 = probs.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-10);
+        // Every class includes Home or Browse (bit 0 or 1).
+        for (mask, _) in probs {
+            assert!(mask & 0b11 != 0, "mask {mask:#b}");
+        }
+    }
+
+    #[test]
+    fn self_fit_recovers_scenarios() {
+        // Fit to the table generated by a known parameter set: the fitted
+        // graph's scenario probabilities must match that table closely
+        // (the parameters themselves may differ — the map is many-to-one).
+        let truth = example();
+        let scenario_probs = truth.scenario_probabilities().unwrap();
+        let g = truth.to_graph().unwrap();
+        let table = uavail_profile::ScenarioTable::new(
+            scenario_probs
+                .iter()
+                .enumerate()
+                .map(|(i, (mask, p))| {
+                    uavail_profile::Scenario::new(
+                        format!("s{i}"),
+                        g.mask_to_names(*mask),
+                        *p,
+                    )
+                })
+                .collect(),
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        let (fitted, err) = fit_to_table(&mut rng, &table, 200, 60).unwrap();
+        assert!(err < 1e-5, "fit error {err}");
+        let check = table_distance(&fitted, &table).unwrap();
+        assert!((check - err).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_class_a_reasonably() {
+        // The published Table 1 may not be exactly realizable by the
+        // Figure 2 structure (the paper's columns are rounded), but the
+        // fit must land close: mean absolute scenario error below 1%.
+        let mut rng = StdRng::seed_from_u64(5);
+        let (fitted, err) = fit_to_table(&mut rng, class_a().table(), 300, 80).unwrap();
+        assert!(err < 5e-4, "squared error {err}");
+        let per_scenario = (err / 12.0f64).sqrt();
+        assert!(per_scenario < 0.01, "rms scenario error {per_scenario}");
+        assert!(fitted.validate().is_ok());
+    }
+}

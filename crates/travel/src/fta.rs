@@ -1,0 +1,246 @@
+//! Fault-tree view of the travel agency.
+//!
+//! Section 2 of the paper lists fault trees among the techniques available
+//! at each modeling level. This module builds them for the TA: the top
+//! event "a user transaction of a given function fails", with basic events
+//! for every resource. Cut sets identify the single points of failure the
+//! RBD analysis also finds, and the Fussell–Vesely ranking mirrors the
+//! sensitivity ordering of the hierarchical model — three independent
+//! engines, one answer.
+
+use std::collections::HashMap;
+
+use uavail_faulttree::{and_gate, basic_event, or_gate, FaultTree, FtSpec};
+
+use crate::functions::TaFunction;
+use crate::{Architecture, TaParameters, TravelError};
+
+/// Basic-event failure probabilities for the TA resources under the given
+/// architecture's structure (keys match the fault-tree event names).
+///
+/// # Errors
+///
+/// Propagates parameter-validation failures.
+pub fn failure_probabilities(
+    params: &TaParameters,
+    architecture: Architecture,
+) -> Result<HashMap<String, f64>, TravelError> {
+    params.validate()?;
+    let mut q = HashMap::new();
+    let mut put = |name: &str, availability: f64| {
+        q.insert(name.to_string(), 1.0 - availability);
+    };
+    put("net", params.a_net);
+    put("lan", params.a_lan);
+    // Web hosts: use the basic-architecture host availability as the
+    // per-host basic event; the farm's performance behaviour is outside a
+    // combinatorial fault tree's scope (documented limitation).
+    put("web_host_1", params.a_cws);
+    put("web_host_2", params.a_cws);
+    put("app_host_1", params.a_cas);
+    put("app_host_2", params.a_cas);
+    put("db_host_1", params.a_cds);
+    put("db_host_2", params.a_cds);
+    put("disk_1", params.a_disk);
+    put("disk_2", params.a_disk);
+    put("payment", params.a_payment);
+    for i in 1..=params.num_flight_systems {
+        put(&format!("flight_{i}"), params.a_flight_system);
+    }
+    for i in 1..=params.num_hotel_systems {
+        put(&format!("hotel_{i}"), params.a_hotel_system);
+    }
+    for i in 1..=params.num_car_systems {
+        put(&format!("car_{i}"), params.a_car_system);
+    }
+    let _ = architecture;
+    Ok(q)
+}
+
+fn duplicated(prefix: &str, redundant: bool) -> FtSpec {
+    if redundant {
+        and_gate(vec![
+            basic_event(format!("{prefix}_1")),
+            basic_event(format!("{prefix}_2")),
+        ])
+    } else {
+        basic_event(format!("{prefix}_1"))
+    }
+}
+
+fn reservation_bank(prefix: &str, n: usize) -> FtSpec {
+    and_gate(
+        (1..=n)
+            .map(|i| basic_event(format!("{prefix}_{i}")))
+            .collect(),
+    )
+}
+
+/// Builds the fault tree whose top event is "a transaction of `function`
+/// fails structurally" (a resource needed on every path is down).
+///
+/// For Browse, whose availability is path-dependent, the tree models the
+/// *worst-case* path (the one needing the application and database
+/// services) — fault trees are combinatorial and cannot express the
+/// probabilistic path mix, which is exactly why the paper's framework
+/// pairs them with interaction diagrams.
+///
+/// # Errors
+///
+/// Propagates parameter-validation failures; tree construction cannot fail
+/// for this fixed structure.
+pub fn function_fault_tree(
+    function: TaFunction,
+    params: &TaParameters,
+    architecture: Architecture,
+) -> Result<FaultTree, TravelError> {
+    params.validate()?;
+    let redundant = architecture.is_redundant();
+    let infra = vec![basic_event("net"), basic_event("lan")];
+    let web = duplicated("web_host", redundant);
+    let app = duplicated("app_host", redundant);
+    let db = or_gate(vec![
+        duplicated("db_host", redundant),
+        duplicated("disk", redundant),
+    ]);
+    let mut inputs = infra;
+    inputs.push(web);
+    match function {
+        TaFunction::Home => {}
+        TaFunction::Browse => {
+            inputs.push(app);
+            inputs.push(db);
+        }
+        TaFunction::Search | TaFunction::Book => {
+            inputs.push(app);
+            inputs.push(db);
+            inputs.push(reservation_bank("flight", params.num_flight_systems));
+            inputs.push(reservation_bank("hotel", params.num_hotel_systems));
+            inputs.push(reservation_bank("car", params.num_car_systems));
+        }
+        TaFunction::Pay => {
+            inputs.push(app);
+            inputs.push(db);
+            inputs.push(basic_event("payment"));
+        }
+    }
+    Ok(FaultTree::new(or_gate(inputs))?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::services;
+
+    fn params() -> TaParameters {
+        TaParameters::paper_defaults().with_reservation_systems(2)
+    }
+
+    #[test]
+    fn pay_tree_top_event_matches_structural_availability() {
+        // The fault tree's top-event probability must equal
+        // 1 − Anet·ALAN·A(web pair)·A(AS)·A(DS)·A(PS) with the Table 4
+        // redundant formulas (web service availability here is the pure
+        // structural pair, without the performance model).
+        let p = params();
+        let arch = Architecture::paper_reference();
+        let tree = function_fault_tree(TaFunction::Pay, &p, arch).unwrap();
+        let q = failure_probabilities(&p, arch).unwrap();
+        let top = tree.top_event_probability(&q).unwrap();
+        let web_pair = 1.0 - (1.0 - p.a_cws).powi(2);
+        let expected_avail = p.a_net
+            * p.a_lan
+            * web_pair
+            * services::application(&p, arch).unwrap()
+            * services::database(&p, arch).unwrap()
+            * p.a_payment;
+        assert!(
+            (top - (1.0 - expected_avail)).abs() < 1e-12,
+            "top {top} vs {}",
+            1.0 - expected_avail
+        );
+    }
+
+    #[test]
+    fn search_tree_includes_reservation_banks() {
+        let p = params();
+        let arch = Architecture::paper_reference();
+        let tree = function_fault_tree(TaFunction::Search, &p, arch).unwrap();
+        let q = failure_probabilities(&p, arch).unwrap();
+        let top = tree.top_event_probability(&q).unwrap();
+        let web_pair = 1.0 - (1.0 - p.a_cws).powi(2);
+        let bank = services::flight(&p).unwrap();
+        let expected_avail = p.a_net
+            * p.a_lan
+            * web_pair
+            * services::application(&p, arch).unwrap()
+            * services::database(&p, arch).unwrap()
+            * bank.powi(3);
+        assert!((top - (1.0 - expected_avail)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_points_of_failure_by_architecture() {
+        let p = params();
+        // Redundant: only net and lan are SPOFs for Home.
+        let tree =
+            function_fault_tree(TaFunction::Home, &p, Architecture::paper_reference())
+                .unwrap();
+        let mut spof = tree.single_points_of_failure();
+        spof.sort();
+        assert_eq!(spof, vec!["lan", "net"]);
+        // Basic: the single web host joins them.
+        let tree = function_fault_tree(TaFunction::Home, &p, Architecture::Basic).unwrap();
+        let mut spof = tree.single_points_of_failure();
+        spof.sort();
+        assert_eq!(spof, vec!["lan", "net", "web_host_1"]);
+    }
+
+    #[test]
+    fn pay_spofs_include_payment_system() {
+        let p = params();
+        let tree =
+            function_fault_tree(TaFunction::Pay, &p, Architecture::paper_reference())
+                .unwrap();
+        let spof = tree.single_points_of_failure();
+        assert!(spof.contains(&"payment".to_string()));
+        assert!(spof.contains(&"net".to_string()));
+        assert!(!spof.contains(&"db_host_1".to_string())); // duplicated
+    }
+
+    #[test]
+    fn importance_ranking_matches_intuition() {
+        let p = params();
+        let arch = Architecture::paper_reference();
+        let tree = function_fault_tree(TaFunction::Pay, &p, arch).unwrap();
+        let q = failure_probabilities(&p, arch).unwrap();
+        let importance = tree.importance(&q).unwrap();
+        // The Fussell-Vesely top contributor must be the payment system:
+        // q = 0.1 and it is a SPOF.
+        let top_fv = importance
+            .iter()
+            .max_by(|a, b| a.fussell_vesely.partial_cmp(&b.fussell_vesely).unwrap())
+            .unwrap();
+        assert_eq!(top_fv.name, "payment");
+    }
+
+    #[test]
+    fn basic_architecture_worse_top_event() {
+        let p = params();
+        for f in TaFunction::all() {
+            let q_basic =
+                failure_probabilities(&p, Architecture::Basic).unwrap();
+            let top_basic = function_fault_tree(f, &p, Architecture::Basic)
+                .unwrap()
+                .top_event_probability(&q_basic)
+                .unwrap();
+            let q_red =
+                failure_probabilities(&p, Architecture::paper_reference()).unwrap();
+            let top_red = function_fault_tree(f, &p, Architecture::paper_reference())
+                .unwrap()
+                .top_event_probability(&q_red)
+                .unwrap();
+            assert!(top_red <= top_basic, "{f}: {top_red} vs {top_basic}");
+        }
+    }
+}

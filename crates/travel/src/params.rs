@@ -1,0 +1,380 @@
+use crate::TravelError;
+
+/// The full parameter set of the TA study — Table 7 of the paper plus the
+/// Section 5.1 web-farm parameters.
+///
+/// ## Units
+///
+/// Failure (`lambda`), repair (`mu`) and reconfiguration (`beta`) rates are
+/// **per hour**; request arrival (`alpha`) and service (`nu`) rates are
+/// **per second**. The two groups never mix inside a formula: the
+/// availability chain uses only per-hour rates, the queueing model only the
+/// dimensionless ratio `alpha / nu`, which is exactly why the paper's
+/// composite approach is sound.
+///
+/// # Examples
+///
+/// ```
+/// use uavail_travel::TaParameters;
+///
+/// let p = TaParameters::paper_defaults();
+/// assert_eq!(p.web_servers, 4);
+/// assert_eq!(p.buffer_size, 10);
+/// let tweaked = TaParameters::builder()
+///     .web_servers(6)
+///     .coverage(0.95)
+///     .build()
+///     .unwrap();
+/// assert_eq!(tweaked.web_servers, 6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaParameters {
+    /// Availability of the TA connectivity to the Internet (`A_net`).
+    pub a_net: f64,
+    /// Availability of the internal LAN (`A_LAN`).
+    pub a_lan: f64,
+    /// Availability of the computer host running the application server
+    /// (`A(C_AS)`).
+    pub a_cas: f64,
+    /// Availability of the computer host running the database server
+    /// (`A(C_DS)`).
+    pub a_cds: f64,
+    /// Availability of one disk (`A(Disk)`).
+    pub a_disk: f64,
+    /// Availability of the computer host running a web server
+    /// (`A(C_WS)`), used by the basic architecture's equation (2). In the
+    /// redundant architecture host availability is produced by the Markov
+    /// farm model instead.
+    pub a_cws: f64,
+    /// Availability of the external payment system (`A_PS`).
+    pub a_payment: f64,
+    /// Availability of one flight reservation system (`A_Fi`).
+    pub a_flight_system: f64,
+    /// Availability of one hotel reservation system (`A_Hi`).
+    pub a_hotel_system: f64,
+    /// Availability of one car reservation system (`A_Ci`).
+    pub a_car_system: f64,
+    /// Number of flight reservation systems (`N_F`).
+    pub num_flight_systems: usize,
+    /// Number of hotel reservation systems (`N_H`).
+    pub num_hotel_systems: usize,
+    /// Number of car reservation systems (`N_C`).
+    pub num_car_systems: usize,
+    /// Browse diagram branch probability `q23` (cache hit).
+    pub q23: f64,
+    /// Browse diagram branch probability `q24` (to application server).
+    pub q24: f64,
+    /// Browse diagram branch probability `q45` (no database needed).
+    pub q45: f64,
+    /// Browse diagram branch probability `q47` (database involved).
+    pub q47: f64,
+    /// Number of web servers in the farm (`N_W`).
+    pub web_servers: usize,
+    /// Web-server failure rate `λ` (per hour).
+    pub failure_rate_per_hour: f64,
+    /// Shared repair rate `µ` (per hour).
+    pub repair_rate_per_hour: f64,
+    /// Failure coverage factor `c`.
+    pub coverage: f64,
+    /// Manual reconfiguration rate `β` (per hour; `1/β` = mean manual
+    /// reconfiguration time).
+    pub reconfiguration_rate_per_hour: f64,
+    /// Request arrival rate `α` (per second).
+    pub arrival_rate_per_second: f64,
+    /// Per-server request service rate `ν` (per second).
+    pub service_rate_per_second: f64,
+    /// Web-server input buffer size `K`.
+    pub buffer_size: usize,
+}
+
+impl TaParameters {
+    /// The paper's reference parameters: Table 7 combined with the
+    /// Section 5.1 web-farm setting (`N_W = 4`, `c = 0.98`,
+    /// `α = 100/s`, `λ = 10⁻⁴/h`, `ν = 100/s`, `µ = 1/h`, `β = 12/h`,
+    /// `K = 10`).
+    pub fn paper_defaults() -> Self {
+        TaParameters {
+            a_net: 0.9966,
+            a_lan: 0.9966,
+            a_cas: 0.996,
+            a_cds: 0.996,
+            a_disk: 0.9,
+            a_cws: 0.996,
+            a_payment: 0.9,
+            a_flight_system: 0.9,
+            a_hotel_system: 0.9,
+            a_car_system: 0.9,
+            num_flight_systems: 5,
+            num_hotel_systems: 5,
+            num_car_systems: 5,
+            q23: 0.2,
+            q24: 0.8,
+            q45: 0.4,
+            q47: 0.6,
+            web_servers: 4,
+            failure_rate_per_hour: 1e-4,
+            repair_rate_per_hour: 1.0,
+            coverage: 0.98,
+            reconfiguration_rate_per_hour: 12.0,
+            arrival_rate_per_second: 100.0,
+            service_rate_per_second: 100.0,
+            buffer_size: 10,
+        }
+    }
+
+    /// Starts a builder initialized with [`TaParameters::paper_defaults`].
+    pub fn builder() -> TaParametersBuilder {
+        TaParametersBuilder {
+            params: TaParameters::paper_defaults(),
+        }
+    }
+
+    /// Validates all parameter domains.
+    ///
+    /// # Errors
+    ///
+    /// [`TravelError::InvalidParameter`] naming the first violated field.
+    pub fn validate(&self) -> Result<(), TravelError> {
+        let probabilities: [(&'static str, f64); 12] = [
+            ("a_net", self.a_net),
+            ("a_lan", self.a_lan),
+            ("a_cas", self.a_cas),
+            ("a_cds", self.a_cds),
+            ("a_disk", self.a_disk),
+            ("a_cws", self.a_cws),
+            ("a_payment", self.a_payment),
+            ("a_flight_system", self.a_flight_system),
+            ("a_hotel_system", self.a_hotel_system),
+            ("a_car_system", self.a_car_system),
+            ("coverage", self.coverage),
+            ("q23", self.q23),
+        ];
+        for (name, v) in probabilities {
+            if !(v.is_finite() && (0.0..=1.0).contains(&v)) {
+                return Err(TravelError::InvalidParameter {
+                    name,
+                    value: v,
+                    requirement: "within [0, 1]",
+                });
+            }
+        }
+        for (name, v) in [
+            ("q24", self.q24),
+            ("q45", self.q45),
+            ("q47", self.q47),
+        ] {
+            if !(v.is_finite() && (0.0..=1.0).contains(&v)) {
+                return Err(TravelError::InvalidParameter {
+                    name,
+                    value: v,
+                    requirement: "within [0, 1]",
+                });
+            }
+        }
+        if (self.q23 + self.q24 - 1.0).abs() > 1e-9 {
+            return Err(TravelError::InvalidParameter {
+                name: "q23 + q24",
+                value: self.q23 + self.q24,
+                requirement: "equal to 1",
+            });
+        }
+        if (self.q45 + self.q47 - 1.0).abs() > 1e-9 {
+            return Err(TravelError::InvalidParameter {
+                name: "q45 + q47",
+                value: self.q45 + self.q47,
+                requirement: "equal to 1",
+            });
+        }
+        for (name, v) in [
+            ("failure_rate_per_hour", self.failure_rate_per_hour),
+            ("repair_rate_per_hour", self.repair_rate_per_hour),
+            (
+                "reconfiguration_rate_per_hour",
+                self.reconfiguration_rate_per_hour,
+            ),
+            ("arrival_rate_per_second", self.arrival_rate_per_second),
+            ("service_rate_per_second", self.service_rate_per_second),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(TravelError::InvalidParameter {
+                    name,
+                    value: v,
+                    requirement: "finite and > 0",
+                });
+            }
+        }
+        for (name, v) in [
+            ("web_servers", self.web_servers),
+            ("num_flight_systems", self.num_flight_systems),
+            ("num_hotel_systems", self.num_hotel_systems),
+            ("num_car_systems", self.num_car_systems),
+            ("buffer_size", self.buffer_size),
+        ] {
+            if v == 0 {
+                return Err(TravelError::InvalidParameter {
+                    name,
+                    value: 0.0,
+                    requirement: "at least 1",
+                });
+            }
+        }
+        if self.buffer_size < self.web_servers {
+            return Err(TravelError::InvalidParameter {
+                name: "buffer_size",
+                value: self.buffer_size as f64,
+                requirement: "at least the number of web servers",
+            });
+        }
+        Ok(())
+    }
+
+    /// Sets the same count for `N_F`, `N_H` and `N_C`, the sweep used by
+    /// Table 8.
+    pub fn with_reservation_systems(mut self, n: usize) -> Self {
+        self.num_flight_systems = n;
+        self.num_hotel_systems = n;
+        self.num_car_systems = n;
+        self
+    }
+}
+
+impl Default for TaParameters {
+    fn default() -> Self {
+        TaParameters::paper_defaults()
+    }
+}
+
+/// Builder for [`TaParameters`], seeded with the paper defaults.
+#[derive(Debug, Clone)]
+pub struct TaParametersBuilder {
+    params: TaParameters,
+}
+
+impl TaParametersBuilder {
+    /// Sets the number of web servers `N_W`.
+    pub fn web_servers(mut self, n: usize) -> Self {
+        self.params.web_servers = n;
+        self
+    }
+
+    /// Sets the web-server failure rate `λ` (per hour).
+    pub fn failure_rate_per_hour(mut self, v: f64) -> Self {
+        self.params.failure_rate_per_hour = v;
+        self
+    }
+
+    /// Sets the shared repair rate `µ` (per hour).
+    pub fn repair_rate_per_hour(mut self, v: f64) -> Self {
+        self.params.repair_rate_per_hour = v;
+        self
+    }
+
+    /// Sets the coverage factor `c`.
+    pub fn coverage(mut self, v: f64) -> Self {
+        self.params.coverage = v;
+        self
+    }
+
+    /// Sets the reconfiguration rate `β` (per hour).
+    pub fn reconfiguration_rate_per_hour(mut self, v: f64) -> Self {
+        self.params.reconfiguration_rate_per_hour = v;
+        self
+    }
+
+    /// Sets the request arrival rate `α` (per second).
+    pub fn arrival_rate_per_second(mut self, v: f64) -> Self {
+        self.params.arrival_rate_per_second = v;
+        self
+    }
+
+    /// Sets the per-server service rate `ν` (per second).
+    pub fn service_rate_per_second(mut self, v: f64) -> Self {
+        self.params.service_rate_per_second = v;
+        self
+    }
+
+    /// Sets the buffer size `K`.
+    pub fn buffer_size(mut self, v: usize) -> Self {
+        self.params.buffer_size = v;
+        self
+    }
+
+    /// Sets the common reservation-system count `N_F = N_H = N_C`.
+    pub fn reservation_systems(mut self, n: usize) -> Self {
+        self.params = self.params.with_reservation_systems(n);
+        self
+    }
+
+    /// Sets the per-reservation-system availability (all three kinds).
+    pub fn reservation_availability(mut self, a: f64) -> Self {
+        self.params.a_flight_system = a;
+        self.params.a_hotel_system = a;
+        self.params.a_car_system = a;
+        self
+    }
+
+    /// Validates and returns the parameters.
+    ///
+    /// # Errors
+    ///
+    /// See [`TaParameters::validate`].
+    pub fn build(self) -> Result<TaParameters, TravelError> {
+        self.params.validate()?;
+        Ok(self.params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_are_valid() {
+        assert!(TaParameters::paper_defaults().validate().is_ok());
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let p = TaParameters::builder()
+            .web_servers(2)
+            .coverage(0.9)
+            .arrival_rate_per_second(50.0)
+            .reservation_systems(3)
+            .build()
+            .unwrap();
+        assert_eq!(p.web_servers, 2);
+        assert_eq!(p.num_hotel_systems, 3);
+        assert_eq!(p.coverage, 0.9);
+    }
+
+    #[test]
+    fn validation_catches_bad_fields() {
+        let mut p = TaParameters::paper_defaults();
+        p.coverage = 1.5;
+        assert!(p.validate().is_err());
+        let mut p = TaParameters::paper_defaults();
+        p.q23 = 0.5; // q23 + q24 != 1
+        assert!(p.validate().is_err());
+        let mut p = TaParameters::paper_defaults();
+        p.failure_rate_per_hour = 0.0;
+        assert!(p.validate().is_err());
+        let mut p = TaParameters::paper_defaults();
+        p.web_servers = 0;
+        assert!(p.validate().is_err());
+        let mut p = TaParameters::paper_defaults();
+        p.buffer_size = 2; // < web_servers
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn builder_rejects_invalid() {
+        assert!(TaParameters::builder().coverage(2.0).build().is_err());
+    }
+
+    #[test]
+    fn with_reservation_systems() {
+        let p = TaParameters::paper_defaults().with_reservation_systems(10);
+        assert_eq!(p.num_flight_systems, 10);
+        assert_eq!(p.num_car_systems, 10);
+    }
+}

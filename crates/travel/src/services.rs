@@ -1,0 +1,177 @@
+//! Service-level availabilities — Tables 3 and 4 of the paper.
+//!
+//! External services (flight / hotel / car reservation, payment) are black
+//! boxes replicated `N` times; internal services (application, database)
+//! depend on the architecture. The web service lives in
+//! [`crate::webservice`] because of its composite model.
+
+use uavail_rbd::{component, parallel, series, BlockDiagram};
+
+use crate::{Architecture, TaParameters, TravelError};
+
+/// Availability of a parallel bank of `n` identical systems each with
+/// availability `a` — Table 3's `1 − (1 − A)^n`.
+///
+/// # Errors
+///
+/// [`TravelError::InvalidParameter`] when `n == 0` or `a` is outside
+/// `[0, 1]`.
+pub fn parallel_bank(n: usize, a: f64) -> Result<f64, TravelError> {
+    if n == 0 {
+        return Err(TravelError::InvalidParameter {
+            name: "n",
+            value: 0.0,
+            requirement: "at least 1",
+        });
+    }
+    if !(a.is_finite() && (0.0..=1.0).contains(&a)) {
+        return Err(TravelError::InvalidParameter {
+            name: "a",
+            value: a,
+            requirement: "within [0, 1]",
+        });
+    }
+    Ok(1.0 - (1.0 - a).powi(n as i32))
+}
+
+/// Availability of the external flight-reservation service
+/// (`1 − Π(1 − A_Fi)`, Table 3).
+///
+/// # Errors
+///
+/// As for [`parallel_bank`].
+pub fn flight(params: &TaParameters) -> Result<f64, TravelError> {
+    parallel_bank(params.num_flight_systems, params.a_flight_system)
+}
+
+/// Availability of the external hotel-reservation service (Table 3).
+///
+/// # Errors
+///
+/// As for [`parallel_bank`].
+pub fn hotel(params: &TaParameters) -> Result<f64, TravelError> {
+    parallel_bank(params.num_hotel_systems, params.a_hotel_system)
+}
+
+/// Availability of the external car-reservation service (Table 3).
+///
+/// # Errors
+///
+/// As for [`parallel_bank`].
+pub fn car(params: &TaParameters) -> Result<f64, TravelError> {
+    parallel_bank(params.num_car_systems, params.a_car_system)
+}
+
+/// Availability of the external payment service (`A_PS`, Table 3).
+pub fn payment(params: &TaParameters) -> f64 {
+    params.a_payment
+}
+
+/// Application-service availability (Table 4): the bare host in the basic
+/// architecture, two replicated hosts in the redundant one.
+///
+/// # Errors
+///
+/// Propagates parameter failures.
+pub fn application(params: &TaParameters, arch: Architecture) -> Result<f64, TravelError> {
+    params.validate()?;
+    Ok(match arch {
+        Architecture::Basic => params.a_cas,
+        Architecture::Redundant(_) => parallel_bank(2, params.a_cas)?,
+    })
+}
+
+/// Database-service availability (Table 4): host and disk in series for
+/// the basic architecture; duplicated hosts and mirrored disks for the
+/// redundant one.
+///
+/// # Errors
+///
+/// Propagates parameter failures.
+pub fn database(params: &TaParameters, arch: Architecture) -> Result<f64, TravelError> {
+    params.validate()?;
+    Ok(match arch {
+        Architecture::Basic => params.a_cds * params.a_disk,
+        Architecture::Redundant(_) => {
+            parallel_bank(2, params.a_cds)? * parallel_bank(2, params.a_disk)?
+        }
+    })
+}
+
+/// The database service of the redundant architecture as an explicit
+/// reliability block diagram (duplicated hosts in series with mirrored
+/// disks) — used to double-check the Table 4 formula against the RBD
+/// engine, and to extract cut sets.
+pub fn database_block_diagram() -> BlockDiagram {
+    let spec = series(vec![
+        parallel(vec![component("db_host_1"), component("db_host_2")]),
+        parallel(vec![component("disk_1"), component("disk_2")]),
+    ]);
+    BlockDiagram::new(spec).expect("fixed diagram structure is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn params() -> TaParameters {
+        TaParameters::paper_defaults()
+    }
+
+    #[test]
+    fn parallel_bank_formula() {
+        assert!((parallel_bank(1, 0.9).unwrap() - 0.9).abs() < 1e-15);
+        assert!((parallel_bank(2, 0.9).unwrap() - 0.99).abs() < 1e-15);
+        assert!((parallel_bank(3, 0.9).unwrap() - 0.999).abs() < 1e-15);
+        assert!(parallel_bank(0, 0.9).is_err());
+        assert!(parallel_bank(1, 1.5).is_err());
+    }
+
+    #[test]
+    fn external_services_with_paper_counts() {
+        let p = params().with_reservation_systems(3);
+        let expected = 1.0 - 0.1f64.powi(3);
+        assert!((flight(&p).unwrap() - expected).abs() < 1e-15);
+        assert!((hotel(&p).unwrap() - expected).abs() < 1e-15);
+        assert!((car(&p).unwrap() - expected).abs() < 1e-15);
+        assert_eq!(payment(&p), 0.9);
+    }
+
+    #[test]
+    fn application_service_both_architectures() {
+        let p = params();
+        assert!((application(&p, Architecture::Basic).unwrap() - 0.996).abs() < 1e-15);
+        let redundant =
+            application(&p, Architecture::paper_reference()).unwrap();
+        assert!((redundant - (1.0 - 0.004f64.powi(2))).abs() < 1e-15);
+        assert!(redundant > 0.996);
+    }
+
+    #[test]
+    fn database_service_both_architectures() {
+        let p = params();
+        let basic = database(&p, Architecture::Basic).unwrap();
+        assert!((basic - 0.996 * 0.9).abs() < 1e-15);
+        let redundant = database(&p, Architecture::paper_reference()).unwrap();
+        let expected = (1.0 - 0.004f64.powi(2)) * (1.0 - 0.1f64.powi(2));
+        assert!((redundant - expected).abs() < 1e-15);
+        assert!(redundant > basic);
+    }
+
+    #[test]
+    fn database_rbd_agrees_with_formula() {
+        let p = params();
+        let d = database_block_diagram();
+        let mut probs = HashMap::new();
+        probs.insert("db_host_1".to_string(), p.a_cds);
+        probs.insert("db_host_2".to_string(), p.a_cds);
+        probs.insert("disk_1".to_string(), p.a_disk);
+        probs.insert("disk_2".to_string(), p.a_disk);
+        let rbd_avail = d.availability(&probs).unwrap();
+        let formula = database(&p, Architecture::paper_reference()).unwrap();
+        assert!((rbd_avail - formula).abs() < 1e-15);
+        // No single point of failure in the redundant database.
+        assert!(d.single_points_of_failure().is_empty());
+    }
+}

@@ -1,0 +1,153 @@
+//! Cross-validation of the analytic composite model against the joint
+//! discrete-event simulation (our addition to the paper — E15 in
+//! DESIGN.md).
+//!
+//! The paper's equations (5)/(9) rest on a quasi-steady-state separation
+//! argument. The [`uavail_sim::FarmSimulation`] runs the *joint* model
+//! with no separation, so agreement between the two is evidence for both
+//! the implementation and the assumption. Because simulating 100 req/s
+//! over enough failure events is infeasible at the paper's real rates,
+//! validation uses time-compressed parameters that keep the separation
+//! ratio large enough (≥ ~50×) for the assumption to hold approximately.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use uavail_sim::FarmSimulation;
+
+use crate::{webservice, TaParameters, TravelError};
+
+/// Result of one analytic-vs-simulation comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationReport {
+    /// Analytic web-service unavailability (equation 9).
+    pub analytic_unavailability: f64,
+    /// Simulated request-loss fraction.
+    pub simulated_unavailability: f64,
+    /// 99.99% binomial confidence half-interval on the simulated value.
+    pub confidence_interval: (f64, f64),
+    /// Requests observed.
+    pub arrivals: u64,
+    /// Ratio of the slowest performance rate to the fastest
+    /// failure/recovery rate (the separation the composite model assumes).
+    pub separation_ratio: f64,
+}
+
+impl ValidationReport {
+    /// Whether the analytic value lies inside the simulation confidence
+    /// interval widened by `slack` (relative), accounting for the residual
+    /// quasi-steady-state error at compressed time scales.
+    pub fn agrees(&self, slack: f64) -> bool {
+        let (lo, hi) = self.confidence_interval;
+        let lo = lo * (1.0 - slack);
+        let hi = hi * (1.0 + slack);
+        self.analytic_unavailability >= lo && self.analytic_unavailability <= hi
+    }
+}
+
+/// Compares equation (9) against the joint simulation.
+///
+/// `params` must use *time-compressed* rates: everything in the same time
+/// unit, with arrival/service rates interpreted per-unit rather than
+/// per-second (the analytic side only consumes ratios, so this is exact
+/// for it; the simulation needs enough failure events per unit of CPU).
+///
+/// # Errors
+///
+/// Propagates analytic and simulation failures.
+pub fn validate_web_service(
+    params: &TaParameters,
+    horizon: f64,
+    seed: u64,
+) -> Result<ValidationReport, TravelError> {
+    let analytic = 1.0 - webservice::redundant_imperfect_availability(params)?;
+    let sim = FarmSimulation::new(
+        params.web_servers,
+        params.failure_rate_per_hour,
+        params.repair_rate_per_hour,
+        params.coverage,
+        params.reconfiguration_rate_per_hour,
+        params.arrival_rate_per_second,
+        params.service_rate_per_second,
+        params.buffer_size,
+    )?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let obs = sim.run(&mut rng, horizon)?;
+    let separation = params
+        .arrival_rate_per_second
+        .min(params.service_rate_per_second)
+        / params
+            .failure_rate_per_hour
+            .max(params.repair_rate_per_hour)
+            .max(params.reconfiguration_rate_per_hour);
+    Ok(ValidationReport {
+        analytic_unavailability: analytic,
+        simulated_unavailability: obs.loss_fraction(),
+        confidence_interval: obs.loss_confidence_interval(3.9),
+        arrivals: obs.arrivals,
+        separation_ratio: separation,
+    })
+}
+
+/// A time-compressed parameter set suitable for simulation validation:
+/// the same structure as the paper's farm, with failure dynamics sped up
+/// so a few hundred thousand time units contain thousands of
+/// failure/repair cycles while the separation ratio stays ≥ 50.
+pub fn compressed_parameters() -> TaParameters {
+    TaParameters::builder()
+        .web_servers(3)
+        .failure_rate_per_hour(0.02)
+        .repair_rate_per_hour(1.0)
+        .coverage(0.9)
+        .reconfiguration_rate_per_hour(6.0)
+        .arrival_rate_per_second(300.0)
+        .service_rate_per_second(150.0)
+        .buffer_size(8)
+        .build()
+        .expect("compressed parameters are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analytic_matches_joint_simulation() {
+        let params = compressed_parameters();
+        let report = validate_web_service(&params, 30_000.0, 20240601).unwrap();
+        assert!(report.arrivals > 1_000_000);
+        assert!(
+            report.agrees(0.15),
+            "analytic {} vs simulated {} (CI {:?})",
+            report.analytic_unavailability,
+            report.simulated_unavailability,
+            report.confidence_interval
+        );
+    }
+
+    #[test]
+    fn perfect_coverage_agreement_is_tighter() {
+        let params = TaParameters::builder()
+            .web_servers(2)
+            .failure_rate_per_hour(0.05)
+            .repair_rate_per_hour(2.0)
+            .coverage(1.0)
+            .arrival_rate_per_second(200.0)
+            .service_rate_per_second(150.0)
+            .buffer_size(6)
+            .build()
+            .unwrap();
+        let analytic = 1.0
+            - webservice::redundant_perfect_availability(&params).unwrap();
+        let report = validate_web_service(&params, 30_000.0, 7).unwrap();
+        // With c = 1 the imperfect model equals the perfect one.
+        assert!((report.analytic_unavailability - analytic).abs() < 1e-12);
+        assert!(report.agrees(0.15), "{report:?}");
+    }
+
+    #[test]
+    fn separation_ratio_reported() {
+        let params = compressed_parameters();
+        let report = validate_web_service(&params, 2_000.0, 3).unwrap();
+        assert!(report.separation_ratio >= 25.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Transient (time-dependent) user-perceived availability.
+//!
+//! The paper evaluates steady-state measures. This module adds the time
+//! dimension: starting from a freshly deployed (all-up) system, each
+//! service degrades toward its steady state as a two-state Markov process
+//! calibrated to the service's analytic availability; the user-perceived
+//! availability at time `t` follows by evaluating the user-level
+//! composition against the time-dependent service availabilities, and the
+//! *interval* measure averages it over a campaign window.
+
+use std::collections::HashMap;
+
+use uavail_markov::{transient, CtmcBuilder};
+
+use crate::user::{self, UserClass};
+use crate::{Architecture, TaParameters, TravelAgencyModel, TravelError};
+
+/// Time-dependent service availability: a two-state chain starting up,
+/// with repair rate `repair_rate` (per hour) and failure rate calibrated
+/// so the steady state equals `steady`.
+fn service_availability_at(
+    steady: f64,
+    repair_rate: f64,
+    t_hours: f64,
+) -> Result<f64, TravelError> {
+    if steady >= 1.0 {
+        return Ok(1.0);
+    }
+    let failure_rate = repair_rate * (1.0 - steady) / steady;
+    let mut b = CtmcBuilder::new();
+    let up = b.add_state("up");
+    let down = b.add_state("down");
+    b.add_transition(up, down, failure_rate)?;
+    b.add_transition(down, up, repair_rate)?;
+    let chain = b.build()?;
+    let curve =
+        transient::point_availability(&chain, &[1.0, 0.0], &[1.0, 0.0], &[t_hours])?;
+    Ok(curve[0])
+}
+
+/// One point of a user-availability ramp.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RampPoint {
+    /// Hours since deployment.
+    pub t_hours: f64,
+    /// User-perceived availability at that instant.
+    pub availability: f64,
+}
+
+/// The user-perceived availability curve `A_user(t)` after a fresh
+/// deployment (every service up at `t = 0`), sampled at `ts` (hours).
+///
+/// `repair_rate_per_hour` sets the common recovery time scale of the
+/// calibrated service processes (the paper's µ = 1/h is the natural
+/// choice).
+///
+/// # Errors
+///
+/// Propagated solver failures; [`TravelError::InvalidParameter`] for
+/// negative times or a non-positive repair rate.
+pub fn user_availability_ramp(
+    class: &UserClass,
+    params: &TaParameters,
+    architecture: Architecture,
+    repair_rate_per_hour: f64,
+    ts: &[f64],
+) -> Result<Vec<RampPoint>, TravelError> {
+    if !(repair_rate_per_hour.is_finite() && repair_rate_per_hour > 0.0) {
+        return Err(TravelError::InvalidParameter {
+            name: "repair_rate_per_hour",
+            value: repair_rate_per_hour,
+            requirement: "finite and > 0",
+        });
+    }
+    let model = TravelAgencyModel::new(params.clone(), architecture)?;
+    let steady_env = model.service_availabilities()?;
+    let mut out = Vec::with_capacity(ts.len());
+    for &t in ts {
+        if !(t.is_finite() && t >= 0.0) {
+            return Err(TravelError::InvalidParameter {
+                name: "t",
+                value: t,
+                requirement: "finite and >= 0",
+            });
+        }
+        let mut env = HashMap::with_capacity(steady_env.len());
+        for (name, &steady) in &steady_env {
+            env.insert(
+                name.clone(),
+                service_availability_at(steady, repair_rate_per_hour, t)?,
+            );
+        }
+        out.push(RampPoint {
+            t_hours: t,
+            availability: user::user_availability(class, params, &env)?,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::user::class_a;
+
+    fn ramp(ts: &[f64]) -> Vec<RampPoint> {
+        user_availability_ramp(
+            &class_a(),
+            &TaParameters::paper_defaults(),
+            Architecture::paper_reference(),
+            1.0,
+            ts,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn starts_perfect_and_decays_to_steady_state() {
+        let points = ramp(&[0.0, 0.5, 1.0, 2.0, 5.0, 50.0]);
+        assert!((points[0].availability - 1.0).abs() < 1e-12);
+        // Monotone non-increasing from the all-up start.
+        for w in points.windows(2) {
+            assert!(w[1].availability <= w[0].availability + 1e-12);
+        }
+        // Converges to the steady-state user availability.
+        let steady = TravelAgencyModel::new(
+            TaParameters::paper_defaults(),
+            Architecture::paper_reference(),
+        )
+        .unwrap()
+        .user_availability(&class_a())
+        .unwrap();
+        let last = points.last().unwrap().availability;
+        assert!((last - steady).abs() < 1e-6, "{last} vs {steady}");
+    }
+
+    #[test]
+    fn relaxation_time_scale_is_hours() {
+        // With µ = 1/h the ramp settles within a few hours: at t = 5 h
+        // the availability is within 1% of steady state.
+        let points = ramp(&[5.0, 100.0]);
+        let diff = points[0].availability - points[1].availability;
+        assert!(diff.abs() < 0.01, "diff {diff}");
+    }
+
+    #[test]
+    fn validation() {
+        let class = class_a();
+        let p = TaParameters::paper_defaults();
+        assert!(user_availability_ramp(
+            &class,
+            &p,
+            Architecture::paper_reference(),
+            0.0,
+            &[1.0]
+        )
+        .is_err());
+        assert!(user_availability_ramp(
+            &class,
+            &p,
+            Architecture::paper_reference(),
+            1.0,
+            &[-1.0]
+        )
+        .is_err());
+    }
+}

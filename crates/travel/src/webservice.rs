@@ -1,0 +1,476 @@
+//! Web-service availability — Table 5 and equations (1)–(9) of the paper.
+//!
+//! The web service fails in two ways: the hosts fail (availability model)
+//! or the input buffer overflows (performance model). This module combines
+//! them with the composite approach for three settings:
+//!
+//! * the **basic** architecture: one host, equation (2);
+//! * the **redundant** farm with **perfect coverage**: equations (3)–(5),
+//!   the Markov chain of Figure 9;
+//! * the **redundant** farm with **imperfect coverage**: equations
+//!   (6)–(9), the Markov chain of Figure 10 including the manual-
+//!   reconfiguration down states `y_i`.
+//!
+//! Every steady-state distribution is computed twice internally — by the
+//! paper's closed forms and by solving the explicit CTMC with GTH — and
+//! the closed forms are asserted against the numeric solution in tests.
+
+use uavail_core::composite::{composite_availability, CompositeState};
+use uavail_markov::{BirthDeath, CtmcBuilder};
+use uavail_queueing::{MM1K, MMcK};
+
+use crate::{TaParameters, TravelError};
+
+/// Loss probability `p_K` of the basic single-server buffer —
+/// equation (1).
+///
+/// # Errors
+///
+/// Propagates parameter-domain failures from the queueing model.
+pub fn loss_probability_basic(params: &TaParameters) -> Result<f64, TravelError> {
+    let q = MM1K::new(
+        params.arrival_rate_per_second,
+        params.service_rate_per_second,
+        params.buffer_size,
+    )?;
+    Ok(q.loss_probability())
+}
+
+/// Loss probability `p_K(i)` with `i` operational servers — equation (3).
+///
+/// # Errors
+///
+/// Propagates parameter-domain failures; `i` must satisfy
+/// `1 ≤ i ≤ buffer_size`.
+pub fn loss_probability(params: &TaParameters, operational: usize) -> Result<f64, TravelError> {
+    let q = MMcK::new(
+        params.arrival_rate_per_second,
+        params.service_rate_per_second,
+        operational,
+        params.buffer_size,
+    )?;
+    Ok(q.loss_probability())
+}
+
+/// Basic-architecture web-service availability — equation (2):
+/// `A(WS) = A(C_WS) · (1 − p_K)`.
+///
+/// # Errors
+///
+/// Propagates parameter-domain failures.
+pub fn basic_availability(params: &TaParameters) -> Result<f64, TravelError> {
+    params.validate()?;
+    Ok(params.a_cws * (1.0 - loss_probability_basic(params)?))
+}
+
+/// Steady-state probabilities `Π_0 ..= Π_{N_W}` of the perfect-coverage
+/// farm (Figure 9 / equation 4), indexed by the number of operational
+/// servers.
+///
+/// # Errors
+///
+/// Propagates parameter-domain failures.
+pub fn farm_distribution_perfect(params: &TaParameters) -> Result<Vec<f64>, TravelError> {
+    Ok(BirthDeath::shared_repair_farm(
+        params.web_servers,
+        params.failure_rate_per_hour,
+        params.repair_rate_per_hour,
+    )?)
+}
+
+/// Steady-state solution of the imperfect-coverage farm
+/// (Figure 10 / equations 6–8).
+///
+/// Returns `(operational, reconfiguring)`:
+/// `operational[i]` is `Π_i` (i operational servers, `0 ..= N_W`);
+/// `reconfiguring[i]` is `Π_{y_i}` for `i = 1 ..= N_W` (stored at
+/// `i - 1`), the down states awaiting manual reconfiguration.
+///
+/// The chain is solved numerically with GTH rather than by the printed
+/// closed forms; the closed forms of equations (6)–(7) are verified
+/// against this solution in the crate tests (the paper's printed
+/// summation bound `N_W − 2` in equations (7)–(9) is a typographical slip
+/// — reproducing `A(WS) = 0.999995587` from Table 7 requires including
+/// every `y_i` state, which this solver does by construction).
+///
+/// # Errors
+///
+/// Propagates parameter-domain and chain-construction failures.
+pub fn farm_distribution_imperfect(
+    params: &TaParameters,
+) -> Result<(Vec<f64>, Vec<f64>), TravelError> {
+    params.validate()?;
+    let n = params.web_servers;
+    let lambda = params.failure_rate_per_hour;
+    let mu = params.repair_rate_per_hour;
+    let c = params.coverage;
+    let beta = params.reconfiguration_rate_per_hour;
+
+    if c >= 1.0 {
+        // Perfect coverage: the y states are unreachable; Figure 10
+        // degenerates to Figure 9.
+        return Ok((farm_distribution_perfect(params)?, vec![0.0; n]));
+    }
+
+    let mut b = CtmcBuilder::new();
+    let op: Vec<_> = (0..=n).map(|i| b.add_state(format!("up{i}"))).collect();
+    let y: Vec<_> = (1..=n).map(|i| b.add_state(format!("y{i}"))).collect();
+    for i in 1..=n {
+        // Covered failure: i -> i-1 at rate i·c·λ.
+        if c > 0.0 {
+            b.add_transition(op[i], op[i - 1], i as f64 * c * lambda)?;
+        }
+        // Uncovered failure: i -> y_i at rate i·(1-c)·λ.
+        if c < 1.0 {
+            b.add_transition(op[i], y[i - 1], i as f64 * (1.0 - c) * lambda)?;
+        }
+        // Manual reconfiguration: y_i -> i-1 at rate β.
+        if c < 1.0 {
+            b.add_transition(y[i - 1], op[i - 1], beta)?;
+        }
+        // Shared repair: i-1 -> i at rate µ.
+        b.add_transition(op[i - 1], op[i], mu)?;
+    }
+    let chain = b.build()?;
+    let pi = chain.steady_state()?;
+    let operational: Vec<f64> = (0..=n).map(|i| pi[op[i].index()]).collect();
+    let reconfiguring: Vec<f64> = (0..n).map(|i| pi[y[i].index()]).collect();
+    Ok((operational, reconfiguring))
+}
+
+/// Closed-form state probabilities of the imperfect-coverage farm —
+/// the corrected equations (6)–(8): `Π_i = (1/i!)(µ/λ)^i Π_0` and
+/// `Π_{y_i} = µ(1−c)/(β(i−1)!) (µ/λ)^{i−1} Π_0` for `i = 1 ..= N_W`.
+///
+/// Exists to cross-check the numeric solver; see
+/// [`farm_distribution_imperfect`].
+///
+/// # Errors
+///
+/// Propagates parameter-domain failures.
+pub fn farm_distribution_imperfect_closed_form(
+    params: &TaParameters,
+) -> Result<(Vec<f64>, Vec<f64>), TravelError> {
+    params.validate()?;
+    let n = params.web_servers;
+    let ratio = params.repair_rate_per_hour / params.failure_rate_per_hour;
+    let c = params.coverage;
+    let mu = params.repair_rate_per_hour;
+    let beta = params.reconfiguration_rate_per_hour;
+    // Work relative to Π_0 = 1, normalize at the end. Use logs to survive
+    // extreme µ/λ ratios.
+    let mut log_op = Vec::with_capacity(n + 1);
+    let mut log_fact = 0.0;
+    for i in 0..=n {
+        if i > 0 {
+            log_fact += (i as f64).ln();
+        }
+        log_op.push(i as f64 * ratio.ln() - log_fact);
+    }
+    let log_y: Vec<f64> = (1..=n)
+        .map(|i| {
+            // µ(1-c)/β · (µ/λ)^{i-1} / (i-1)!
+            let mut lf = 0.0;
+            for k in 2..i {
+                lf += (k as f64).ln();
+            }
+            if (1.0 - c) == 0.0 {
+                f64::NEG_INFINITY
+            } else {
+                (mu * (1.0 - c) / beta).ln() + (i as f64 - 1.0) * ratio.ln() - lf
+            }
+        })
+        .collect();
+    let max = log_op
+        .iter()
+        .chain(log_y.iter())
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
+    let op: Vec<f64> = log_op.iter().map(|l| (l - max).exp()).collect();
+    let y: Vec<f64> = log_y.iter().map(|l| (l - max).exp()).collect();
+    let total: f64 = op.iter().sum::<f64>() + y.iter().sum::<f64>();
+    Ok((
+        op.into_iter().map(|v| v / total).collect(),
+        y.into_iter().map(|v| v / total).collect(),
+    ))
+}
+
+/// Redundant-farm web-service availability with perfect coverage —
+/// equation (5): `A(WS) = 1 − [Σ_i Π_i p_K(i) + Π_0]`.
+///
+/// # Errors
+///
+/// Propagates parameter-domain failures.
+pub fn redundant_perfect_availability(params: &TaParameters) -> Result<f64, TravelError> {
+    params.validate()?;
+    let pi = farm_distribution_perfect(params)?;
+    let mut states = Vec::with_capacity(pi.len());
+    states.push(CompositeState::new(pi[0], 0.0)); // all servers down
+    for (i, &p) in pi.iter().enumerate().skip(1) {
+        states.push(CompositeState::new(p, 1.0 - loss_probability(params, i)?));
+    }
+    Ok(composite_availability(&states)?)
+}
+
+/// Redundant-farm web-service availability with imperfect coverage —
+/// equation (9):
+/// `A(WS) = 1 − [Σ_i Π_i p_K(i) + Σ_i Π_{y_i} + Π_0]`.
+///
+/// # Errors
+///
+/// Propagates parameter-domain failures.
+pub fn redundant_imperfect_availability(params: &TaParameters) -> Result<f64, TravelError> {
+    params.validate()?;
+    let (op, y) = farm_distribution_imperfect(params)?;
+    let mut states = Vec::with_capacity(op.len() + y.len());
+    states.push(CompositeState::new(op[0], 0.0));
+    for (i, &p) in op.iter().enumerate().skip(1) {
+        states.push(CompositeState::new(p, 1.0 - loss_probability(params, i)?));
+    }
+    for &p in &y {
+        states.push(CompositeState::new(p, 0.0)); // reconfiguration = down
+    }
+    Ok(composite_availability(&states)?)
+}
+
+/// Mean time (hours) from the all-up state until the web service is
+/// structurally down — all servers failed or a manual reconfiguration in
+/// progress (the Figure 10 down states).
+///
+/// Complements the steady-state availability: two architectures with the
+/// same availability can have very different outage frequencies.
+///
+/// # Errors
+///
+/// Propagates parameter-domain and chain failures.
+pub fn mean_time_to_web_down(params: &TaParameters) -> Result<f64, TravelError> {
+    params.validate()?;
+    let n = params.web_servers;
+    let lambda = params.failure_rate_per_hour;
+    let mu = params.repair_rate_per_hour;
+    let c = params.coverage;
+    let beta = params.reconfiguration_rate_per_hour;
+
+    if c >= 1.0 {
+        // Pure birth-death descent: use the numerically stable closed
+        // form — at λ = 1e-4, µ = 1 and N_W ≥ 6 the MTTF exceeds 1e20 h
+        // and dense hitting-time solvers cancel catastrophically.
+        let births = vec![mu; n];
+        let deaths: Vec<f64> = (1..=n).map(|i| i as f64 * lambda).collect();
+        return Ok(BirthDeath::new(births, deaths)?.mean_passage_to_zero(n)?);
+    }
+
+    let mut b = CtmcBuilder::new();
+    let op: Vec<_> = (0..=n).map(|i| b.add_state(format!("up{i}"))).collect();
+    let y: Vec<_> = (1..=n).map(|i| b.add_state(format!("y{i}"))).collect();
+    for i in 1..=n {
+        if c > 0.0 {
+            b.add_transition(op[i], op[i - 1], i as f64 * c * lambda)?;
+        }
+        if c < 1.0 {
+            b.add_transition(op[i], y[i - 1], i as f64 * (1.0 - c) * lambda)?;
+            b.add_transition(y[i - 1], op[i - 1], beta)?;
+        }
+        b.add_transition(op[i - 1], op[i], mu)?;
+    }
+    let chain = b.build()?;
+    // Down = state 0 plus every reconfiguration state.
+    let mut targets = vec![op[0]];
+    targets.extend(y.iter().copied());
+    Ok(chain.mean_time_to(op[n], &targets)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> TaParameters {
+        TaParameters::paper_defaults()
+    }
+
+    #[test]
+    fn equation_1_at_full_load() {
+        // rho = 1, K = 10: p_K = 1/11.
+        let p = loss_probability_basic(&params()).unwrap();
+        assert!((p - 1.0 / 11.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn equation_2_basic_architecture() {
+        let a = basic_availability(&params()).unwrap();
+        let expected = 0.996 * (1.0 - 1.0 / 11.0);
+        assert!((a - expected).abs() < 1e-14);
+    }
+
+    #[test]
+    fn equation_3_known_value() {
+        // Hand-computed in the reproduction notes: p_K(4) ≈ 3.737e-6 for
+        // a = 1, K = 10.
+        let p = loss_probability(&params(), 4).unwrap();
+        assert!((p - 3.737e-6).abs() < 0.01e-6, "{p}");
+    }
+
+    #[test]
+    fn equation_4_shape() {
+        let pi = farm_distribution_perfect(&params()).unwrap();
+        assert_eq!(pi.len(), 5);
+        let sum: f64 = pi.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        // Overwhelming mass at all-up for λ = 1e-4, µ = 1.
+        assert!(pi[4] > 0.999);
+    }
+
+    #[test]
+    fn closed_form_matches_gth_solution() {
+        for coverage in [0.5, 0.9, 0.98] {
+            let p = TaParameters::builder().coverage(coverage).build().unwrap();
+            let (op_num, y_num) = farm_distribution_imperfect(&p).unwrap();
+            let (op_cf, y_cf) = farm_distribution_imperfect_closed_form(&p).unwrap();
+            for (a, b) in op_num.iter().zip(&op_cf) {
+                let scale = a.abs().max(1e-300);
+                assert!(
+                    ((a - b) / scale).abs() < 1e-8,
+                    "coverage {coverage}: {a} vs {b}"
+                );
+            }
+            for (a, b) in y_num.iter().zip(&y_cf) {
+                let scale = a.abs().max(1e-300);
+                assert!(
+                    ((a - b) / scale).abs() < 1e-8,
+                    "coverage {coverage} y: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_headline_ws_availability() {
+        // Table 7: A(WS) = 0.999995587 for the reference parameters.
+        let a = redundant_imperfect_availability(&params()).unwrap();
+        assert!(
+            (a - 0.999995587).abs() < 1e-8,
+            "A(WS) = {a:.9}, expected 0.999995587"
+        );
+    }
+
+    #[test]
+    fn perfect_coverage_beats_imperfect() {
+        let p = params();
+        let perfect = redundant_perfect_availability(&p).unwrap();
+        let imperfect = redundant_imperfect_availability(&p).unwrap();
+        assert!(perfect > imperfect);
+    }
+
+    #[test]
+    fn imperfect_with_full_coverage_equals_perfect() {
+        let p = TaParameters::builder().coverage(1.0).build().unwrap();
+        let a = redundant_imperfect_availability(&p).unwrap();
+        let b = redundant_perfect_availability(&p).unwrap();
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_server_farm_matches_basic_performance_part() {
+        // With one server, the M/M/i/K part must equal equation (1).
+        let p = TaParameters::builder()
+            .web_servers(1)
+            .build()
+            .unwrap();
+        let pk1 = loss_probability(&p, 1).unwrap();
+        let pk_basic = loss_probability_basic(&p).unwrap();
+        assert!((pk1 - pk_basic).abs() < 1e-14);
+    }
+
+    #[test]
+    fn redundancy_helps_at_moderate_load() {
+        // At alpha = 50/s, more servers monotonically improve A(WS) under
+        // perfect coverage.
+        let mut prev = 0.0;
+        for nw in 1..=6 {
+            let p = TaParameters::builder()
+                .web_servers(nw)
+                .arrival_rate_per_second(50.0)
+                .build()
+                .unwrap();
+            let a = redundant_perfect_availability(&p).unwrap();
+            assert!(a > prev, "NW = {nw}: {a} !> {prev}");
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn mttf_two_server_perfect_coverage_closed_form() {
+        // Known result for 2 machines, shared repair, perfect coverage:
+        // MTTF = (3λ + µ) / (2λ²).
+        let (lambda, mu) = (0.01, 1.0);
+        let p = TaParameters::builder()
+            .web_servers(2)
+            .failure_rate_per_hour(lambda)
+            .repair_rate_per_hour(mu)
+            .coverage(1.0)
+            .build()
+            .unwrap();
+        let mttf = mean_time_to_web_down(&p).unwrap();
+        let expected = (3.0 * lambda + mu) / (2.0 * lambda * lambda);
+        assert!(
+            ((mttf - expected) / expected).abs() < 1e-12,
+            "{mttf} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn imperfect_coverage_slashes_mttf() {
+        // Uncovered failures create a much nearer down state: MTTF drops
+        // by orders of magnitude relative to perfect coverage.
+        let perfect = TaParameters::builder().coverage(1.0).build().unwrap();
+        let imperfect = params(); // c = 0.98
+        let mttf_perfect = mean_time_to_web_down(&perfect).unwrap();
+        let mttf_imperfect = mean_time_to_web_down(&imperfect).unwrap();
+        assert!(
+            mttf_imperfect < mttf_perfect / 100.0,
+            "perfect {mttf_perfect:.3e} vs imperfect {mttf_imperfect:.3e}"
+        );
+        // Roughly 1 / (N λ (1-c)) for the first uncovered failure.
+        let rough = 1.0 / (4.0 * 1e-4 * 0.02);
+        assert!(
+            mttf_imperfect > 0.5 * rough && mttf_imperfect < 2.0 * rough,
+            "{mttf_imperfect} vs rough {rough}"
+        );
+    }
+
+    #[test]
+    fn more_servers_longer_mttf_under_perfect_coverage() {
+        let mttf = |nw: usize| {
+            let p = TaParameters::builder()
+                .web_servers(nw)
+                .coverage(1.0)
+                .failure_rate_per_hour(1e-2)
+                .build()
+                .unwrap();
+            mean_time_to_web_down(&p).unwrap()
+        };
+        assert!(mttf(3) > mttf(2));
+        assert!(mttf(4) > mttf(3));
+    }
+
+    #[test]
+    fn imperfect_coverage_reversal_at_high_server_count() {
+        // Figure 12's key finding: with imperfect coverage, adding servers
+        // beyond ~4 *hurts*, because uncovered failures scale with N_W.
+        let availability = |nw: usize| {
+            let p = TaParameters::builder()
+                .web_servers(nw)
+                .arrival_rate_per_second(50.0)
+                .failure_rate_per_hour(1e-2)
+                .build()
+                .unwrap();
+            redundant_imperfect_availability(&p).unwrap()
+        };
+        let a4 = availability(4);
+        let a10 = availability(10);
+        assert!(
+            a10 < a4,
+            "expected reversal: A(10) = {a10} should be below A(4) = {a4}"
+        );
+    }
+}

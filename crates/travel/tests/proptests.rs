@@ -1,0 +1,137 @@
+//! Property-based tests for the travel-agency case study.
+
+use proptest::prelude::*;
+use uavail_travel::user::{class_a, class_b, equation_10, user_availability};
+use uavail_travel::{
+    extensions, maintenance, webservice, Architecture, Coverage, TaParameters,
+    TravelAgencyModel,
+};
+
+/// Strategy: valid, physically plausible parameter sets.
+fn params_strategy() -> impl Strategy<Value = TaParameters> {
+    (
+        1usize..6,           // web servers
+        -4.0f64..-1.0,       // log10 lambda
+        0.5f64..2.0,         // mu
+        0.8f64..1.0,         // coverage
+        20.0f64..160.0,      // alpha
+        80.0f64..140.0,      // nu
+        0usize..8,           // extra buffer above servers
+        1usize..6,           // reservation systems
+        0.5f64..0.99,        // reservation availability
+    )
+        .prop_map(
+            |(nw, log_lambda, mu, c, alpha, nu, extra, n_res, a_res)| {
+                TaParameters::builder()
+                    .web_servers(nw)
+                    .failure_rate_per_hour(10f64.powf(log_lambda))
+                    .repair_rate_per_hour(mu)
+                    .coverage(c)
+                    .arrival_rate_per_second(alpha)
+                    .service_rate_per_second(nu)
+                    .buffer_size(nw + extra + 4)
+                    .reservation_systems(n_res)
+                    .reservation_availability(a_res)
+                    .build()
+                    .expect("generated parameters are valid")
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn web_availability_is_probability_and_ordered(p in params_strategy()) {
+        let imperfect = webservice::redundant_imperfect_availability(&p).unwrap();
+        let perfect = webservice::redundant_perfect_availability(&p).unwrap();
+        prop_assert!((0.0..=1.0).contains(&imperfect));
+        prop_assert!((0.0..=1.0).contains(&perfect));
+        prop_assert!(perfect >= imperfect - 1e-12);
+    }
+
+    #[test]
+    fn generic_composition_equals_equation_10_everywhere(p in params_strategy()) {
+        for arch in [Architecture::Basic, Architecture::Redundant(Coverage::Imperfect)] {
+            let model = TravelAgencyModel::new(p.clone(), arch).unwrap();
+            let env = model.service_availabilities().unwrap();
+            for class in [class_a(), class_b()] {
+                let generic = user_availability(&class, &p, &env).unwrap();
+                let closed = equation_10(&class, &p, &env).unwrap();
+                prop_assert!((generic - closed).abs() < 1e-12);
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&generic));
+            }
+        }
+    }
+
+    #[test]
+    fn class_a_never_below_class_b(p in params_strategy()) {
+        let model = TravelAgencyModel::new(p, Architecture::paper_reference()).unwrap();
+        let a = model.user_availability(&class_a()).unwrap();
+        let b = model.user_availability(&class_b()).unwrap();
+        // Class B invokes strictly more external services in expectation.
+        prop_assert!(a >= b - 1e-12, "A {a} vs B {b}");
+    }
+
+    #[test]
+    fn hierarchical_model_consistent_for_random_parameters(p in params_strategy()) {
+        let model = TravelAgencyModel::new(p, Architecture::paper_reference()).unwrap();
+        let class = class_a();
+        let direct = model.user_availability(&class).unwrap();
+        let eval = model.hierarchical(&class).unwrap().evaluate().unwrap();
+        prop_assert!((direct - eval.value("user").unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deadline_availability_bounded_by_classical(
+        p in params_strategy(),
+        deadline in 0.001f64..1.0
+    ) {
+        let classical = webservice::redundant_imperfect_availability(&p).unwrap();
+        let extended = extensions::deadline_availability(&p, deadline).unwrap();
+        prop_assert!(extended <= classical + 1e-12);
+        prop_assert!(extended >= -1e-12);
+    }
+
+    #[test]
+    fn deadline_monotone(p in params_strategy(), t in 0.01f64..0.5) {
+        let a1 = extensions::deadline_availability(&p, t).unwrap();
+        let a2 = extensions::deadline_availability(&p, t * 2.0).unwrap();
+        prop_assert!(a2 >= a1 - 1e-12);
+    }
+
+    #[test]
+    fn maintenance_distributions_normalized(p in params_strategy()) {
+        use maintenance::RepairStrategy;
+        let mut strategies = vec![
+            RepairStrategy::SharedImmediate,
+            RepairStrategy::DedicatedImmediate,
+        ];
+        if p.web_servers > 1 {
+            strategies.push(RepairStrategy::Deferred {
+                start_below: p.web_servers - 1,
+            });
+        }
+        for s in strategies {
+            let (op, y) = maintenance::farm_distribution(&p, s).unwrap();
+            let total: f64 = op.iter().sum::<f64>() + y.iter().sum::<f64>();
+            prop_assert!((total - 1.0).abs() < 1e-9, "{s}: {total}");
+            let a = maintenance::web_availability(&p, s).unwrap();
+            prop_assert!((0.0..=1.0).contains(&a));
+        }
+    }
+
+    #[test]
+    fn more_reservation_systems_never_hurt(p in params_strategy()) {
+        let fewer = TravelAgencyModel::new(p.clone(), Architecture::paper_reference())
+            .unwrap()
+            .user_availability(&class_b())
+            .unwrap();
+        let more_params = p.with_reservation_systems(8);
+        let more = TravelAgencyModel::new(more_params, Architecture::paper_reference())
+            .unwrap()
+            .user_availability(&class_b())
+            .unwrap();
+        prop_assert!(more >= fewer - 1e-12);
+    }
+}

@@ -1,0 +1,55 @@
+//! Capacity planning (Section 5.1 of the paper): how many web servers do
+//! you need for a downtime budget, and when does adding servers stop
+//! helping?
+//!
+//! ```text
+//! cargo run --example capacity_planning
+//! ```
+
+use uavail::core::downtime::availability_for_minutes_per_year;
+use uavail::travel::evaluation::min_web_servers_for;
+use uavail::travel::{webservice, TaParameters, TravelError};
+
+fn main() -> Result<(), TravelError> {
+    // Requirement: at most 5 minutes of web-service downtime per year.
+    let target_availability =
+        availability_for_minutes_per_year(5.0).expect("valid budget");
+    let target_unavailability = 1.0 - target_availability;
+    println!(
+        "Requirement: < 5 min/yr downtime  =>  unavailability < {target_unavailability:.2e}\n"
+    );
+
+    println!("Minimum number of web servers (imperfect coverage, c = 0.98):");
+    println!("{:>12} {:>10} {:>8}", "lambda(1/h)", "alpha(1/s)", "min N_W");
+    for lambda in [1e-2, 1e-3, 1e-4] {
+        for alpha in [50.0, 100.0] {
+            let n = min_web_servers_for(target_unavailability, lambda, alpha, 12)?;
+            println!(
+                "{lambda:>12.0e} {alpha:>10.0} {:>8}",
+                n.map(|v| v.to_string()).unwrap_or_else(|| "never".into())
+            );
+        }
+    }
+
+    // The imperfect-coverage trap: beyond a point, more servers hurt,
+    // because every extra server adds uncovered-failure opportunities.
+    println!("\nWeb-service unavailability vs N_W (lambda = 1e-2/h, alpha = 50/s):");
+    let mut best = (0usize, f64::INFINITY);
+    for nw in 1..=10 {
+        let params = TaParameters::builder()
+            .web_servers(nw)
+            .failure_rate_per_hour(1e-2)
+            .arrival_rate_per_second(50.0)
+            .build()?;
+        let u = 1.0 - webservice::redundant_imperfect_availability(&params)?;
+        if u < best.1 {
+            best = (nw, u);
+        }
+        println!("  N_W = {nw:>2}: U = {u:.3e}");
+    }
+    println!(
+        "\nSweet spot: N_W = {} (U = {:.3e}) — beyond it, uncovered failures dominate.",
+        best.0, best.1
+    );
+    Ok(())
+}

@@ -1,0 +1,85 @@
+//! Operational-profile comparison (Section 5.2): the same system looks
+//! different to different users, and the difference is money.
+//!
+//! Also demonstrates deriving a scenario table *from a transition graph*
+//! (Figure 2 style) instead of specifying it by hand, plus Monte Carlo
+//! cross-validation of the derivation.
+//!
+//! ```text
+//! cargo run --example profile_comparison
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use uavail::core::downtime::HOURS_PER_YEAR;
+use uavail::profile::ProfileGraph;
+use uavail::travel::evaluation::{figure13, revenue_analysis};
+use uavail::travel::user::{class_a, class_b};
+use uavail::travel::TravelError;
+
+fn main() -> Result<(), TravelError> {
+    // Part 1: the paper's Figure 13 / revenue analysis.
+    for class in [class_a(), class_b()] {
+        let breakdown = figure13(&class)?;
+        println!("Class {} unavailability by scenario category:", class.name());
+        for (cat, _, hours) in &breakdown.categories {
+            println!("  {cat:<28} {hours:>7.1} h/yr");
+        }
+        println!(
+            "  {:<28} {:>7.1} h/yr",
+            "total",
+            breakdown.total_unavailability * HOURS_PER_YEAR
+        );
+        let revenue = revenue_analysis(&class)?;
+        println!(
+            "  revenue at risk: {:.2e} payment transactions, ${:.2e}/yr\n",
+            revenue.lost_transactions, revenue.lost_revenue
+        );
+    }
+
+    // Part 2: derive a scenario table from a Figure 2-style transition
+    // graph and check it by simulation.
+    let mut g = ProfileGraph::new(vec!["Home", "Browse", "Search", "Book", "Pay"])
+        .expect("valid function list");
+    let set = |g: &mut ProfileGraph, from: &str, to: Option<&str>, p: f64| {
+        g.set_transition(from, to, p).expect("valid transition");
+    };
+    g.set_start_transition("Home", 0.55).expect("valid");
+    g.set_start_transition("Browse", 0.45).expect("valid");
+    set(&mut g, "Home", Some("Browse"), 0.25);
+    set(&mut g, "Home", Some("Search"), 0.35);
+    set(&mut g, "Home", None, 0.40);
+    set(&mut g, "Browse", Some("Home"), 0.15);
+    set(&mut g, "Browse", Some("Search"), 0.35);
+    set(&mut g, "Browse", None, 0.50);
+    set(&mut g, "Search", Some("Book"), 0.35);
+    set(&mut g, "Search", None, 0.65);
+    set(&mut g, "Book", Some("Search"), 0.15);
+    set(&mut g, "Book", Some("Pay"), 0.55);
+    set(&mut g, "Book", None, 0.30);
+    set(&mut g, "Pay", None, 1.0);
+    let g = g.validated().expect("stochastic and terminating");
+
+    println!("Derived scenario classes from a transition graph:");
+    let classes = g
+        .scenario_class_probabilities(1e-4)
+        .expect("enumeration fits in 2^5 subsets");
+    let mut rng = StdRng::seed_from_u64(7);
+    let mc = g
+        .monte_carlo_scenarios(&mut rng, 200_000)
+        .expect("sampling valid graph");
+    println!(
+        "{:>32} {:>9} {:>12}",
+        "functions visited", "exact", "monte-carlo"
+    );
+    for (mask, p) in classes.iter().take(8) {
+        let names = g.mask_to_names(*mask).join("+");
+        let est = mc.get(mask).copied().unwrap_or(0.0);
+        println!("{names:>32} {p:>9.4} {est:>12.4}");
+    }
+    println!(
+        "\nMean session length: {:.2} function invocations",
+        g.mean_session_length().expect("valid graph")
+    );
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! Quickstart: build the paper's travel-agency model and compute the
+//! user-perceived availability for both customer classes.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use uavail::core::downtime::{hours_per_year, nines};
+use uavail::travel::user::{class_a, class_b};
+use uavail::travel::{Architecture, TaParameters, TravelAgencyModel, TravelError};
+
+fn main() -> Result<(), TravelError> {
+    // The paper's reference setting: Table 7 parameters, redundant
+    // architecture (Figure 8), imperfect failure coverage (Figure 10).
+    let model = TravelAgencyModel::new(
+        TaParameters::paper_defaults(),
+        Architecture::paper_reference(),
+    )?;
+
+    // Service level: the composite performance-availability result for the
+    // web farm (equation 9) and its companions.
+    println!("Service-level availabilities:");
+    let services = model.service_availabilities()?;
+    let mut names: Vec<&String> = services.keys().collect();
+    names.sort();
+    for name in names {
+        println!("  A({name:>6}) = {:.9}", services[name]);
+    }
+
+    // Function level: Table 6.
+    println!("\nFunction-level availabilities (Table 6):");
+    for f in uavail::travel::functions::TaFunction::all() {
+        println!("  A({f:>6}) = {:.6}", model.function_availability(f)?);
+    }
+
+    // User level: equation (10) for both operational profiles.
+    println!("\nUser-perceived availability (equation 10):");
+    for class in [class_a(), class_b()] {
+        let a = model.user_availability(&class)?;
+        println!(
+            "  class {}: A = {a:.5}  ({:.1} h downtime/yr, {:.2} nines)",
+            class.name(),
+            hours_per_year(a)?,
+            nines(a)?,
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! What-if analysis beyond the paper: response-time deadlines, multi-site
+//! deployment, maintenance policies, and the post-deployment availability
+//! ramp — all on the same travel-agency model.
+//!
+//! ```text
+//! cargo run --example whatif_analysis
+//! ```
+
+use uavail::travel::extensions::{deadline_sweep, min_web_servers_for_deadline};
+use uavail::travel::maintenance::{web_availability, RepairStrategy};
+use uavail::travel::multisite::MultiSiteModel;
+use uavail::travel::transient::user_availability_ramp;
+use uavail::travel::user::class_b;
+use uavail::travel::{Architecture, TaParameters, TravelError};
+
+fn main() -> Result<(), TravelError> {
+    let params = TaParameters::paper_defaults();
+
+    // 1. What if "slow" counts as "down"? (The paper's future work.)
+    println!("Deadline-extended web availability (paper future work):");
+    for point in deadline_sweep(&params, &[0.05, 0.1, 0.5])? {
+        println!(
+            "  τ = {:>5} s: A = {:.6}  (classical {:.6})",
+            point.deadline, point.availability, point.classical_availability
+        );
+    }
+    let n = min_web_servers_for_deadline(1e-3, 0.1, &params, 10)?;
+    println!(
+        "  servers needed for U < 1e-3 with a 100 ms deadline: {}",
+        n.map(|v| v.to_string()).unwrap_or_else(|| "-".into())
+    );
+
+    // 2. What if repairs are organized differently?
+    println!("\nMaintenance policies (N_W = 6, λ = 1e-2/h):");
+    let maint = TaParameters::builder()
+        .web_servers(6)
+        .failure_rate_per_hour(1e-2)
+        .build()?;
+    for strategy in [
+        RepairStrategy::SharedImmediate,
+        RepairStrategy::DedicatedImmediate,
+        RepairStrategy::Deferred { start_below: 4 },
+        RepairStrategy::Deferred { start_below: 1 },
+    ] {
+        println!(
+            "  {:<38} U = {:.3e}",
+            strategy.to_string(),
+            1.0 - web_availability(&maint, strategy)?
+        );
+    }
+
+    // 3. What if the TA runs at two sites?
+    println!("\nGeographic distribution (class B):");
+    for sites in 1..=3 {
+        let m = MultiSiteModel::new(params.clone(), Architecture::paper_reference(), sites)?;
+        println!(
+            "  {sites} site(s): A(user) = {:.5}",
+            m.user_availability(&class_b())?
+        );
+    }
+
+    // 4. How long until a fresh deployment reaches steady state?
+    println!("\nPost-deployment availability ramp (class B, µ = 1/h):");
+    let ramp = user_availability_ramp(
+        &class_b(),
+        &params,
+        Architecture::paper_reference(),
+        1.0,
+        &[0.0, 0.5, 1.0, 2.0, 6.0],
+    )?;
+    for p in ramp {
+        println!("  t = {:>4.1} h: A(user) = {:.5}", p.t_hours, p.availability);
+    }
+    Ok(())
+}

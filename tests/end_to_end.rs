@@ -1,0 +1,157 @@
+//! End-to-end integration tests: the complete pipeline from parameters to
+//! the paper's headline numbers, exercised through the public facade.
+
+use uavail::core::downtime::{hours_per_year, HOURS_PER_YEAR};
+use uavail::travel::evaluation::{figure11, figure12, figure13, table8};
+use uavail::travel::functions::TaFunction;
+use uavail::travel::user::{class_a, class_b};
+use uavail::travel::{
+    webservice, Architecture, Coverage, TaParameters, TravelAgencyModel,
+};
+
+#[test]
+fn paper_headline_web_service_availability() {
+    let params = TaParameters::paper_defaults();
+    let a = webservice::redundant_imperfect_availability(&params).unwrap();
+    assert!(
+        (a - 0.999995587).abs() < 1e-8,
+        "A(WS) = {a:.9}, paper says 0.999995587"
+    );
+}
+
+#[test]
+fn table8_class_a_anchor_value() {
+    let rows = table8().unwrap();
+    let n1 = rows.iter().find(|r| r.reservation_systems == 1).unwrap();
+    assert!(
+        (n1.class_a - 0.84235).abs() < 2e-4,
+        "N=1 class A: {} vs paper 0.84235",
+        n1.class_a
+    );
+}
+
+#[test]
+fn table8_every_shape_claim() {
+    let rows = table8().unwrap();
+    // Availability rises with reservation systems, plateaus after 4, and
+    // class B always trails class A.
+    for w in rows.windows(2) {
+        assert!(w[1].class_a >= w[0].class_a - 1e-15);
+        assert!(w[1].class_b >= w[0].class_b - 1e-15);
+    }
+    for r in &rows {
+        assert!(r.class_a > r.class_b);
+    }
+    let n4 = rows.iter().find(|r| r.reservation_systems == 4).unwrap();
+    let n10 = rows.iter().find(|r| r.reservation_systems == 10).unwrap();
+    assert!(n10.class_a - n4.class_a < 2e-4, "plateau after N = 4");
+}
+
+#[test]
+fn user_downtime_around_paper_magnitude() {
+    // Paper: ~173 h/yr (class A) and ~190 h/yr (class B) at the plateau.
+    // Our exact evaluation of equation (10) with Table 7 parameters gives
+    // ~186 and ~308 h (see EXPERIMENTS.md for the class-B discussion);
+    // both must be in the hundreds-of-hours regime, ordered B > A.
+    let model = TravelAgencyModel::new(
+        TaParameters::paper_defaults(),
+        Architecture::paper_reference(),
+    )
+    .unwrap();
+    let h_a = hours_per_year(model.user_availability(&class_a()).unwrap()).unwrap();
+    let h_b = hours_per_year(model.user_availability(&class_b()).unwrap()).unwrap();
+    assert!((100.0..400.0).contains(&h_a), "class A: {h_a} h/yr");
+    assert!((100.0..400.0).contains(&h_b), "class B: {h_b} h/yr");
+    assert!(h_b > h_a);
+    assert!((h_a - 173.0).abs() < 40.0, "class A {h_a} vs paper ~173");
+}
+
+#[test]
+fn architecture_ordering_holds_at_every_level() {
+    let params = TaParameters::paper_defaults();
+    let basic = TravelAgencyModel::new(params.clone(), Architecture::Basic).unwrap();
+    let perfect =
+        TravelAgencyModel::new(params.clone(), Architecture::Redundant(Coverage::Perfect))
+            .unwrap();
+    let imperfect =
+        TravelAgencyModel::new(params, Architecture::paper_reference()).unwrap();
+    // Web service level.
+    let ws = |m: &TravelAgencyModel| m.web_availability().unwrap();
+    assert!(ws(&basic) < ws(&imperfect));
+    assert!(ws(&imperfect) < ws(&perfect));
+    // Function level: every function benefits from redundancy.
+    for f in TaFunction::all() {
+        assert!(
+            basic.function_availability(f).unwrap()
+                < imperfect.function_availability(f).unwrap(),
+            "{f}"
+        );
+    }
+    // User level, both classes.
+    for class in [class_a(), class_b()] {
+        assert!(
+            basic.user_availability(&class).unwrap()
+                < imperfect.user_availability(&class).unwrap()
+        );
+    }
+}
+
+#[test]
+fn figure11_and_figure12_cover_the_grid() {
+    let f11 = figure11().unwrap();
+    let f12 = figure12().unwrap();
+    assert_eq!(f11.len(), 90);
+    assert_eq!(f12.len(), 90);
+    // Imperfect coverage never beats perfect coverage anywhere on the grid.
+    for (p, i) in f11.iter().zip(&f12) {
+        assert!(i.unavailability >= p.unavailability - 1e-15);
+    }
+}
+
+#[test]
+fn figure12_reversal_is_specific_to_imperfect_coverage() {
+    // The reversal the paper highlights must NOT occur in Figure 11.
+    let f11 = figure11().unwrap();
+    let u = |pts: &[uavail::travel::evaluation::FigurePoint], nw: usize| {
+        pts.iter()
+            .find(|p| {
+                p.web_servers == nw
+                    && p.failure_rate_per_hour == 1e-2
+                    && p.arrival_rate_per_second == 50.0
+            })
+            .unwrap()
+            .unavailability
+    };
+    assert!(u(&f11, 10) <= u(&f11, 4));
+    let f12 = figure12().unwrap();
+    assert!(u(&f12, 10) > u(&f12, 4));
+}
+
+#[test]
+fn figure13_category_hours_sum_to_total() {
+    for class in [class_a(), class_b()] {
+        let breakdown = figure13(&class).unwrap();
+        let sum_hours: f64 = breakdown.categories.iter().map(|(_, _, h)| h).sum();
+        let total_hours = breakdown.total_unavailability * HOURS_PER_YEAR;
+        assert!(
+            (sum_hours - total_hours).abs() < 1e-9,
+            "class {}: {sum_hours} vs {total_hours}",
+            breakdown.class_name
+        );
+    }
+}
+
+#[test]
+fn facade_reexports_compose() {
+    // Spot-check that the facade paths wire through to the right crates.
+    let q = uavail::queueing::MM1K::new(100.0, 100.0, 10).unwrap();
+    assert!((q.loss_probability() - 1.0 / 11.0).abs() < 1e-12);
+    let pi = uavail::markov::BirthDeath::shared_repair_farm(4, 1e-4, 1.0).unwrap();
+    assert_eq!(pi.len(), 5);
+    let d = uavail::rbd::BlockDiagram::new(uavail::rbd::parallel(vec![
+        uavail::rbd::component("a"),
+        uavail::rbd::component("b"),
+    ]))
+    .unwrap();
+    assert_eq!(d.num_components(), 2);
+}

@@ -1,0 +1,134 @@
+//! Integration tests for the beyond-the-paper extensions, exercised
+//! through the public facade (`uavail::prelude` + extension modules).
+
+use uavail::prelude::*;
+use uavail::travel::extensions::deadline_availability;
+use uavail::travel::fta::{failure_probabilities, function_fault_tree};
+use uavail::travel::functions::TaFunction;
+use uavail::travel::maintenance::{self, RepairStrategy};
+use uavail::travel::multisite::MultiSiteModel;
+use uavail::travel::transient::user_availability_ramp;
+use uavail::travel::webservice;
+
+#[test]
+fn prelude_covers_the_quickstart_path() -> Result<(), TravelError> {
+    let model = TravelAgencyModel::new(
+        TaParameters::paper_defaults(),
+        Architecture::paper_reference(),
+    )?;
+    let a = model.user_availability(&class_a())?;
+    assert!(a > 0.95 && a < 1.0);
+    Ok(())
+}
+
+#[test]
+fn deadline_maintenance_and_multisite_compose() -> Result<(), TravelError> {
+    let params = TaParameters::paper_defaults();
+    // Ordering across the three views of the same farm:
+    let classical = webservice::redundant_imperfect_availability(&params)?;
+    let with_deadline = deadline_availability(&params, 0.1)?;
+    assert!(with_deadline < classical);
+    let shared = maintenance::web_availability(&params, RepairStrategy::SharedImmediate)?;
+    assert!((shared - classical).abs() < 1e-15);
+    // Multi-site dominates single-site for both classes.
+    let two_sites =
+        MultiSiteModel::new(params.clone(), Architecture::paper_reference(), 2)?;
+    let one_site =
+        MultiSiteModel::new(params.clone(), Architecture::paper_reference(), 1)?;
+    for class in [class_a(), class_b()] {
+        assert!(
+            two_sites.user_availability(&class)? > one_site.user_availability(&class)?
+        );
+    }
+    Ok(())
+}
+
+#[test]
+fn fault_tree_engines_agree_with_rbd_duality() -> Result<(), TravelError> {
+    // TA Pay tree vs the convert-based duality from a matching RBD spec.
+    let params = TaParameters::paper_defaults().with_reservation_systems(1);
+    let arch = Architecture::paper_reference();
+    let tree = function_fault_tree(TaFunction::Pay, &params, arch)?;
+    let q = failure_probabilities(&params, arch)?;
+    let top = tree.top_event_probability(&q)?;
+
+    // Same structure as an RBD, evaluated with the availability engine.
+    let spec = series(vec![
+        component("net"),
+        component("lan"),
+        parallel(vec![component("web_host_1"), component("web_host_2")]),
+        parallel(vec![component("app_host_1"), component("app_host_2")]),
+        parallel(vec![component("db_host_1"), component("db_host_2")]),
+        parallel(vec![component("disk_1"), component("disk_2")]),
+        component("payment"),
+    ]);
+    let rbd = BlockDiagram::new(spec).expect("valid diagram");
+    let avail: std::collections::HashMap<String, f64> =
+        q.iter().map(|(k, v)| (k.clone(), 1.0 - v)).collect();
+    let a = rbd.availability(&avail).expect("availability");
+    assert!((a - (1.0 - top)).abs() < 1e-12, "{a} vs {}", 1.0 - top);
+    Ok(())
+}
+
+#[test]
+fn ramp_interpolates_between_one_and_steady_state() -> Result<(), TravelError> {
+    let params = TaParameters::paper_defaults();
+    let model = TravelAgencyModel::new(params.clone(), Architecture::paper_reference())?;
+    let steady = model.user_availability(&class_b())?;
+    let ramp = user_availability_ramp(
+        &class_b(),
+        &params,
+        Architecture::paper_reference(),
+        1.0,
+        &[0.0, 1.0, 100.0],
+    )?;
+    assert!((ramp[0].availability - 1.0).abs() < 1e-12);
+    assert!(ramp[1].availability < 1.0 && ramp[1].availability > steady);
+    assert!((ramp[2].availability - steady).abs() < 1e-6);
+    Ok(())
+}
+
+#[test]
+fn fitted_fig2_graph_feeds_the_user_model() -> Result<(), TravelError> {
+    // Close the loop: fit Figure 2 to Table 1 (class B), convert the
+    // fitted graph back into a scenario table, and evaluate the user
+    // availability with it — must land close to the published-table value.
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use uavail::travel::fig2::fit_to_table;
+    use uavail::travel::user::{user_availability, UserClass};
+
+    let params = TaParameters::paper_defaults();
+    let model = TravelAgencyModel::new(params.clone(), Architecture::paper_reference())?;
+    let env = model.service_availabilities()?;
+    let published = user_availability(&class_b(), &params, &env)?;
+
+    let mut rng = StdRng::seed_from_u64(31);
+    let (fitted, err) = fit_to_table(&mut rng, class_b().table(), 200, 60)?;
+    assert!(err < 1e-3);
+    let graph = fitted.to_graph()?;
+    let table = graph.to_scenario_table(1e-9)?;
+    let via_fit = user_availability(&UserClass::new("B-fit", table), &params, &env)?;
+    assert!(
+        (via_fit - published).abs() < 2e-3,
+        "fit {via_fit} vs published {published}"
+    );
+    Ok(())
+}
+
+#[test]
+fn simplified_user_expression_matches_direct_evaluation() -> Result<(), TravelError> {
+    let model = TravelAgencyModel::new(
+        TaParameters::paper_defaults(),
+        Architecture::paper_reference(),
+    )?;
+    let expr = model.user_expression(&class_a())?;
+    let env = model.service_availabilities()?;
+    let via_expr = expr.eval(&env).map_err(uavail::travel::TravelError::Core)?;
+    let direct = model.user_availability(&class_a())?;
+    assert!((via_expr - direct).abs() < 1e-12);
+    // Simplification merged the per-scenario duplicates: the expression is
+    // far smaller than the raw 12-scenario x path-combo expansion.
+    assert!(expr.node_count() < 60, "node count {}", expr.node_count());
+    Ok(())
+}

@@ -1,0 +1,204 @@
+//! Framework-consistency integration tests: different engines inside the
+//! workspace must agree wherever their domains overlap.
+
+use std::collections::HashMap;
+
+use uavail::core::{AvailExpr, HierarchicalModel, Level};
+use uavail::faulttree::{and_gate, basic_event, or_gate, FaultTree};
+use uavail::linalg::Matrix;
+use uavail::markov::{Ctmc, SteadyStateMethod};
+use uavail::rbd::{component, parallel, series, BlockDiagram};
+use uavail::travel::user::class_a;
+use uavail::travel::{Architecture, TaParameters, TravelAgencyModel};
+
+/// RBD availability and fault-tree top-event probability are duals:
+/// `A_rbd(p) = 1 − Q_ft(1 − p)` for structurally mirrored models.
+#[test]
+fn rbd_and_fault_tree_are_dual() {
+    // System: spof in series with a duplicated pair.
+    let rbd = BlockDiagram::new(series(vec![
+        component("spof"),
+        parallel(vec![component("r1"), component("r2")]),
+    ]))
+    .unwrap();
+    // Failure space: top fails if spof fails OR both replicas fail.
+    let ft = FaultTree::new(or_gate(vec![
+        basic_event("spof"),
+        and_gate(vec![basic_event("r1"), basic_event("r2")]),
+    ]))
+    .unwrap();
+    for &(a_spof, a_r) in &[(0.99, 0.9), (0.5, 0.5), (0.999, 0.99), (1.0, 0.0)] {
+        let mut avail = HashMap::new();
+        avail.insert("spof".to_string(), a_spof);
+        avail.insert("r1".to_string(), a_r);
+        avail.insert("r2".to_string(), a_r);
+        let mut fail = HashMap::new();
+        for (k, v) in &avail {
+            fail.insert(k.clone(), 1.0 - v);
+        }
+        let a = rbd.availability(&avail).unwrap();
+        let q = ft.top_event_probability(&fail).unwrap();
+        assert!((a - (1.0 - q)).abs() < 1e-12, "p = ({a_spof}, {a_r})");
+    }
+}
+
+/// The same duality holds between cut sets: the fault tree's minimal cut
+/// sets equal the RBD's.
+#[test]
+fn cut_sets_agree_across_engines() {
+    let rbd = BlockDiagram::new(series(vec![
+        component("lan"),
+        parallel(vec![component("ws1"), component("ws2")]),
+    ]))
+    .unwrap();
+    let ft = FaultTree::new(or_gate(vec![
+        basic_event("lan"),
+        and_gate(vec![basic_event("ws1"), basic_event("ws2")]),
+    ]))
+    .unwrap();
+    let mut rbd_cuts = rbd.minimal_cut_sets();
+    let mut ft_cuts = ft.minimal_cut_sets();
+    rbd_cuts.sort();
+    ft_cuts.sort();
+    assert_eq!(rbd_cuts, ft_cuts);
+}
+
+/// AvailExpr, the RBD engine and hand algebra agree on nested redundancy.
+#[test]
+fn expression_and_rbd_agree() {
+    let expr = AvailExpr::product(vec![
+        AvailExpr::param("a"),
+        AvailExpr::k_of_n(
+            2,
+            vec![
+                AvailExpr::param("b"),
+                AvailExpr::param("c"),
+                AvailExpr::param("d"),
+            ],
+        ),
+    ]);
+    let rbd = BlockDiagram::new(series(vec![
+        component("a"),
+        uavail::rbd::k_of_n(2, vec![component("b"), component("c"), component("d")]),
+    ]))
+    .unwrap();
+    let mut env = HashMap::new();
+    for (k, v) in [("a", 0.95), ("b", 0.9), ("c", 0.85), ("d", 0.8)] {
+        env.insert(k.to_string(), v);
+    }
+    let e = expr.eval(&env).unwrap();
+    let r = rbd.availability(&env).unwrap();
+    assert!((e - r).abs() < 1e-12);
+}
+
+/// GTH, direct LU and power iteration agree on the paper's actual
+/// imperfect-coverage chain (stiff: rates span 1e-4 .. 12 per hour).
+#[test]
+fn steady_state_methods_agree_on_ta_chain() {
+    // Rebuild the Figure 10 generator explicitly.
+    let (n, lambda, mu, c, beta) = (4usize, 1e-4, 1.0, 0.98, 12.0);
+    let states = 2 * n + 1; // 0..=n operational + y_1..y_n
+    let mut q = Matrix::zeros(states, states);
+    let y = |i: usize| n + i; // y_i index for i = 1..=n
+    for i in 1..=n {
+        q[(i, i - 1)] += i as f64 * c * lambda;
+        q[(i, i)] -= i as f64 * c * lambda;
+        q[(i, y(i))] += i as f64 * (1.0 - c) * lambda;
+        q[(i, i)] -= i as f64 * (1.0 - c) * lambda;
+        q[(y(i), i - 1)] += beta;
+        q[(y(i), y(i))] -= beta;
+        q[(i - 1, i)] += mu;
+        q[(i - 1, i - 1)] -= mu;
+    }
+    let chain = Ctmc::from_generator(q).unwrap();
+    let gth = chain.steady_state_with(SteadyStateMethod::Gth).unwrap();
+    let lu = chain.steady_state_with(SteadyStateMethod::DirectLu).unwrap();
+    for (a, b) in gth.iter().zip(&lu) {
+        // LU loses relative accuracy on the ~1e-15 tail probabilities —
+        // that is exactly why GTH is the default. Compare tight where LU
+        // is trustworthy, loosely on the tail.
+        let tol = if *a > 1e-8 { 1e-6 } else { 1e-4 };
+        let scale = a.abs().max(1e-30);
+        assert!(((a - b) / scale).abs() < tol, "{a} vs {b}");
+    }
+    // And the probabilities match the travel crate's solver.
+    let params = TaParameters::paper_defaults();
+    let (op, yv) = uavail::travel::webservice::farm_distribution_imperfect(&params).unwrap();
+    for i in 0..=n {
+        let scale = op[i].abs().max(1e-30);
+        assert!(((gth[i] - op[i]) / scale).abs() < 1e-9);
+    }
+    for i in 1..=n {
+        let scale = yv[i - 1].abs().max(1e-30);
+        assert!(((gth[y(i)] - yv[i - 1]) / scale).abs() < 1e-9);
+    }
+}
+
+/// Dual-number sensitivities through the full TA hierarchy agree with
+/// central finite differences on the end-to-end user availability.
+#[test]
+fn dual_sensitivities_match_finite_differences() {
+    let model = TravelAgencyModel::new(
+        TaParameters::paper_defaults(),
+        Architecture::paper_reference(),
+    )
+    .unwrap();
+    let class = class_a();
+    let mut h = model.hierarchical(&class).unwrap();
+    let eval = h.evaluate().unwrap();
+    let base = eval.value("user").unwrap();
+    assert!(base > 0.9);
+    for resource in ["lan", "net", "disk", "payment_system", "flight_system"] {
+        let exact = h.sensitivity("user", resource).unwrap();
+        // Central difference on the value-defined resource.
+        let step = 1e-6;
+        let original = eval.value(resource).unwrap();
+        h.set_value(resource, original + step).unwrap();
+        let up = h.evaluate().unwrap().value("user").unwrap();
+        h.set_value(resource, original - step).unwrap();
+        let down = h.evaluate().unwrap().value("user").unwrap();
+        h.set_value(resource, original).unwrap();
+        let fd = (up - down) / (2.0 * step);
+        assert!(
+            (exact - fd).abs() < 1e-6,
+            "{resource}: dual {exact} vs finite-difference {fd}"
+        );
+    }
+}
+
+/// A hierarchical model built by hand from workspace primitives evaluates
+/// identically to the algebra done longhand.
+#[test]
+fn hierarchy_matches_longhand_algebra() {
+    let mut m = HierarchicalModel::new();
+    m.define_value("link", Level::Resource, 0.999).unwrap();
+    m.define_value("node", Level::Resource, 0.99).unwrap();
+    m.define_expr(
+        "cluster",
+        Level::Service,
+        AvailExpr::k_of_n(2, vec![AvailExpr::param("node"); 3]),
+    )
+    .unwrap();
+    m.define_expr(
+        "api",
+        Level::Function,
+        AvailExpr::product(vec![AvailExpr::param("link"), AvailExpr::param("cluster")]),
+    )
+    .unwrap();
+    m.define_expr(
+        "user",
+        Level::User,
+        AvailExpr::weighted_sum(vec![
+            (0.7, AvailExpr::param("api")),
+            (0.3, AvailExpr::constant(1.0)),
+        ]),
+    )
+    .unwrap();
+    let eval = m.evaluate().unwrap();
+    let p: f64 = 0.99;
+    let cluster = 3.0 * p * p * (1.0 - p) + p.powi(3);
+    let api = 0.999 * cluster;
+    let user = 0.7 * api + 0.3;
+    assert!((eval.value("cluster").unwrap() - cluster).abs() < 1e-14);
+    assert!((eval.value("user").unwrap() - user).abs() < 1e-14);
+}

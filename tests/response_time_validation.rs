@@ -1,0 +1,75 @@
+//! Validation of the deadline-extension analytics (the paper's future
+//! work) against per-customer FCFS simulation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use uavail::queueing::{MM1K, MMcK};
+use uavail::sim::ResponseSimulation;
+
+fn check_tail(
+    alpha: f64,
+    nu: f64,
+    servers: usize,
+    capacity: usize,
+    deadline: f64,
+    seed: u64,
+) {
+    let analytic = MMcK::new(alpha, nu, servers, capacity)
+        .unwrap()
+        .response_time_exceeds(deadline);
+    let sim = ResponseSimulation::new(alpha, nu, servers, capacity).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let obs = sim.run(&mut rng, 400_000, deadline).unwrap();
+    // Successive response times are autocorrelated (strongly so at high
+    // load), so a plain binomial CI understates the sampling error; use an
+    // absolute band calibrated to long independent runs instead.
+    let simulated = obs.deadline_miss_fraction();
+    assert!(
+        (analytic - simulated).abs() < 0.01,
+        "alpha={alpha} c={servers} K={capacity} t={deadline}: \
+         analytic {analytic:.5} vs sim {simulated:.5}"
+    );
+}
+
+#[test]
+fn single_server_response_tail_matches_simulation() {
+    check_tail(50.0, 100.0, 1, 10, 0.02, 1);
+    check_tail(100.0, 100.0, 1, 10, 0.05, 2);
+}
+
+#[test]
+fn multi_server_response_tail_matches_simulation() {
+    // The Erlang + Exp closed form for c >= 2.
+    check_tail(100.0, 100.0, 2, 8, 0.02, 3);
+    check_tail(300.0, 100.0, 4, 10, 0.015, 4);
+}
+
+#[test]
+fn paper_reference_state_response_tail() {
+    // The farm's fully-operational state: c = 4, K = 10, rho = 1.
+    check_tail(100.0, 100.0, 4, 10, 0.03, 5);
+}
+
+#[test]
+fn mm1k_and_mmck_tails_agree_with_each_other() {
+    let a = MM1K::new(70.0, 100.0, 9).unwrap();
+    let b = MMcK::new(70.0, 100.0, 1, 9).unwrap();
+    for &t in &[0.001, 0.01, 0.04, 0.1] {
+        assert!((a.response_time_exceeds(t) - b.response_time_exceeds(t)).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn simulated_mean_matches_exact_mean() {
+    let q = MMcK::new(150.0, 100.0, 2, 12).unwrap();
+    let sim = ResponseSimulation::new(150.0, 100.0, 2, 12).unwrap();
+    let mut rng = StdRng::seed_from_u64(8);
+    let obs = sim.run(&mut rng, 400_000, 1.0).unwrap();
+    let simulated = obs.response_stats.mean();
+    let exact = q.mean_response_time_exact();
+    assert!(
+        (simulated - exact).abs() / exact < 0.02,
+        "sim {simulated} vs exact {exact}"
+    );
+}
