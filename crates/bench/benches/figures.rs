@@ -61,9 +61,7 @@ fn bench_extensions(c: &mut Criterion) {
 
     let p = TaParameters::paper_defaults();
     c.bench_function("extensions/deadline_sweep_5pts", |bench| {
-        bench.iter(|| {
-            black_box(deadline_sweep(&p, &[0.02, 0.05, 0.1, 0.5, 1.0]).unwrap())
-        })
+        bench.iter(|| black_box(deadline_sweep(&p, &[0.02, 0.05, 0.1, 0.5, 1.0]).unwrap()))
     });
     let maint = TaParameters::builder()
         .web_servers(6)
@@ -73,13 +71,16 @@ fn bench_extensions(c: &mut Criterion) {
     c.bench_function("extensions/deferred_maintenance_chain", |bench| {
         bench.iter(|| {
             black_box(
-                web_availability(&maint, RepairStrategy::Deferred { start_below: 2 })
-                    .unwrap(),
+                web_availability(&maint, RepairStrategy::Deferred { start_below: 2 }).unwrap(),
             )
         })
     });
     c.bench_function("extensions/mttf_closed_form", |bench| {
-        let perfect = TaParameters::builder().coverage(1.0).web_servers(6).build().unwrap();
+        let perfect = TaParameters::builder()
+            .coverage(1.0)
+            .web_servers(6)
+            .build()
+            .unwrap();
         bench.iter(|| black_box(mean_time_to_web_down(&perfect).unwrap()))
     });
     c.bench_function("extensions/availability_ramp_8pts", |bench| {
@@ -87,15 +88,28 @@ fn bench_extensions(c: &mut Criterion) {
         let class = class_a();
         bench.iter(|| {
             black_box(
-                user_availability_ramp(
-                    &class,
-                    &p,
-                    Architecture::paper_reference(),
-                    1.0,
-                    &ts,
-                )
-                .unwrap(),
+                user_availability_ramp(&class, &p, Architecture::paper_reference(), 1.0, &ts)
+                    .unwrap(),
             )
+        })
+    });
+}
+
+fn bench_parallel_sweep(c: &mut Criterion) {
+    use uavail_travel::evaluation::{figure11_parallel, figure12_parallel};
+    use uavail_travel::webservice::reset_loss_cache;
+    // Cold-cache runs so serial and parallel pay identical loss-model
+    // work; the warm-cache benches above stay as-is.
+    c.bench_function("figure_sweep/serial_cold_cache", |bench| {
+        bench.iter(|| {
+            reset_loss_cache();
+            black_box((figure11().unwrap(), figure12().unwrap()))
+        })
+    });
+    c.bench_function("figure_sweep/parallel_cold_cache", |bench| {
+        bench.iter(|| {
+            reset_loss_cache();
+            black_box((figure11_parallel().unwrap(), figure12_parallel().unwrap()))
         })
     });
 }
@@ -107,6 +121,7 @@ criterion_group!(
     bench_figure13,
     bench_revenue,
     bench_capacity,
-    bench_extensions
+    bench_extensions,
+    bench_parallel_sweep
 );
 criterion_main!(figures);

@@ -7,9 +7,7 @@ use std::hint::black_box;
 use uavail_travel::evaluation::table8;
 use uavail_travel::functions::TaFunction;
 use uavail_travel::user::{class_a, class_b};
-use uavail_travel::{
-    services, webservice, Architecture, TaParameters, TravelAgencyModel,
-};
+use uavail_travel::{services, webservice, Architecture, TaParameters, TravelAgencyModel};
 
 fn bench_table1_scenario_queries(c: &mut Criterion) {
     let a = class_a();

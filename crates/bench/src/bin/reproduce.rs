@@ -1,23 +1,34 @@
 //! Regenerates every table and figure of the DSN 2003 travel-agency paper.
 //!
 //! ```text
-//! reproduce [ARTIFACT] [--csv]
+//! reproduce [ARTIFACT] [--csv] [--parallel]
 //!
 //! ARTIFACT: table1 table2 table3 table4 table5 table6 table7 table8
-//!           fig11 fig12 fig13 revenue capacity ablation validate all
+//!           fig11 fig12 fig13 revenue capacity ablation validate
+//!           speedup all
 //! ```
+//!
+//! `--parallel` routes the artifacts with parallel implementations
+//! (fig11, fig12, validate, session) through the multi-threaded engine;
+//! the figure output is bit-for-bit identical to the serial run, and the
+//! simulations pool deterministic independent replications instead of one
+//! long stream. `speedup` times serial vs parallel on the Figure 11/12
+//! sweep and reports the ratio.
 
 use std::process::ExitCode;
 
 use uavail_bench::{render, PAPER_A_WS, PAPER_TABLE8};
 use uavail_core::downtime::HOURS_PER_YEAR;
+use uavail_core::par::default_threads;
 use uavail_travel::evaluation::{
-    figure11, figure12, figure13, figure_grid, min_web_servers_for, revenue_analysis, table8,
-    FigurePoint,
+    figure11, figure11_parallel, figure12, figure12_parallel, figure13, figure_grid,
+    min_web_servers_for, revenue_analysis, table8, FigurePoint,
 };
 use uavail_travel::functions::{self, TaFunction};
 use uavail_travel::report::{fmt_availability, fmt_unavailability, Table};
-use uavail_travel::sim_validation::{compressed_parameters, validate_web_service};
+use uavail_travel::sim_validation::{
+    compressed_parameters, validate_web_service, validate_web_service_replicated, ValidationReport,
+};
 use uavail_travel::user::{class_a, class_b};
 use uavail_travel::{
     services, webservice, Architecture, Coverage, TaParameters, TravelAgencyModel, TravelError,
@@ -26,12 +37,13 @@ use uavail_travel::{
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let csv = args.iter().any(|a| a == "--csv");
+    let parallel = args.iter().any(|a| a == "--parallel");
     let artifact = args
         .iter()
         .find(|a| !a.starts_with("--"))
         .map(String::as_str)
         .unwrap_or("all");
-    match run(artifact, csv) {
+    match run(artifact, csv, parallel) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("reproduce: {e}");
@@ -42,7 +54,22 @@ fn main() -> ExitCode {
 
 type ArtifactFn = fn(bool) -> Result<(), TravelError>;
 
-fn run(artifact: &str, csv: bool) -> Result<(), TravelError> {
+/// Swaps in the multi-threaded implementation for the artifacts that have
+/// one when `--parallel` is requested; everything else runs as-is.
+fn select(name: &str, serial: ArtifactFn, parallel: bool) -> ArtifactFn {
+    if !parallel {
+        return serial;
+    }
+    match name {
+        "fig11" => print_fig11_parallel,
+        "fig12" => print_fig12_parallel,
+        "validate" => print_validate_parallel,
+        "session" => print_session_parallel,
+        _ => serial,
+    }
+}
+
+fn run(artifact: &str, csv: bool, parallel: bool) -> Result<(), TravelError> {
     let known: &[(&str, ArtifactFn)] = &[
         ("table1", print_table1),
         ("table2", print_table2),
@@ -67,25 +94,28 @@ fn run(artifact: &str, csv: bool) -> Result<(), TravelError> {
         ("mttf", print_mttf),
         ("validate", print_validate),
         ("session", print_session),
+        ("speedup", print_speedup),
     ];
     if artifact == "all" {
         for (name, f) in known {
-            if *name == "validate" || *name == "session" {
-                // Simulations take tens of seconds; only on request.
+            if *name == "validate" || *name == "session" || *name == "speedup" {
+                // Simulations and timing runs take tens of seconds; only
+                // on request.
                 println!("(skipping `{name}` in `all`; run `reproduce {name}`)\n");
                 continue;
             }
-            f(csv)?;
+            select(name, *f, parallel)(csv)?;
             println!();
         }
         return Ok(());
     }
     match known.iter().find(|(name, _)| *name == artifact) {
-        Some((_, f)) => f(csv),
+        Some((name, f)) => select(name, *f, parallel)(csv),
         None => {
             eprintln!(
                 "unknown artifact {artifact:?}; expected one of: \
-                 table1..table8, fig11, fig12, fig13, revenue, capacity, ablation, validate, all"
+                 table1..table8, fig11, fig12, fig13, revenue, capacity, ablation, validate, \
+                 speedup, all"
             );
             Ok(())
         }
@@ -217,7 +247,10 @@ fn print_table7(csv: bool) -> Result<(), TravelError> {
         ("A(C_AS) = A(C_DS)", format!("{}", p.a_cas)),
         ("A(Disk)", format!("{}", p.a_disk)),
         ("A_PS = A_Fi = A_Hi = A_Ci", format!("{}", p.a_payment)),
-        ("q23 / q24 / q45 / q47", format!("{} / {} / {} / {}", p.q23, p.q24, p.q45, p.q47)),
+        (
+            "q23 / q24 / q45 / q47",
+            format!("{} / {} / {} / {}", p.q23, p.q24, p.q45, p.q47),
+        ),
         ("N_W", format!("{}", p.web_servers)),
         ("lambda (1/h)", format!("{}", p.failure_rate_per_hour)),
         ("mu (1/h)", format!("{}", p.repair_rate_per_hour)),
@@ -242,13 +275,7 @@ fn print_table8(csv: bool) -> Result<(), TravelError> {
     let rows = table8()?;
     let mut t = Table::new(
         "Table 8 — user availability vs N_F = N_H = N_C",
-        vec![
-            "N",
-            "A(A users)",
-            "paper A",
-            "A(B users)",
-            "paper B",
-        ],
+        vec!["N", "A(A users)", "paper A", "A(B users)", "paper B"],
     );
     for (row, (n, pa, pb)) in rows.iter().zip(PAPER_TABLE8) {
         assert_eq!(row.reservation_systems, n);
@@ -309,6 +336,34 @@ fn print_fig12(csv: bool) -> Result<(), TravelError> {
         "Figure 12 — web service unavailability vs N_W (imperfect coverage)",
         &points,
         csv,
+    );
+    Ok(())
+}
+
+fn print_fig11_parallel(csv: bool) -> Result<(), TravelError> {
+    let points = figure11_parallel()?;
+    figure_table(
+        "Figure 11 — web service unavailability vs N_W (perfect coverage)",
+        &points,
+        csv,
+    );
+    println!(
+        "(computed on {} threads; identical to the serial sweep)",
+        default_threads()
+    );
+    Ok(())
+}
+
+fn print_fig12_parallel(csv: bool) -> Result<(), TravelError> {
+    let points = figure12_parallel()?;
+    figure_table(
+        "Figure 12 — web service unavailability vs N_W (imperfect coverage)",
+        &points,
+        csv,
+    );
+    println!(
+        "(computed on {} threads; identical to the serial sweep)",
+        default_threads()
     );
     Ok(())
 }
@@ -453,10 +508,8 @@ fn print_deadline(csv: bool) -> Result<(), TravelError> {
         "Extension — deadline-based web availability (reference parameters)",
         vec!["deadline (s)", "A(WS | deadline)", "classical A(WS)"],
     );
-    let sweep = uavail_travel::extensions::deadline_sweep(
-        &p,
-        &[0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0],
-    )?;
+    let sweep =
+        uavail_travel::extensions::deadline_sweep(&p, &[0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0])?;
     for point in sweep {
         t.add_row(vec![
             format!("{}", point.deadline),
@@ -465,13 +518,10 @@ fn print_deadline(csv: bool) -> Result<(), TravelError> {
         ]);
     }
     print!("{}", render(&t, csv));
-    let strict =
-        uavail_travel::extensions::min_web_servers_for_deadline(1e-3, 0.1, &p, 10)?;
+    let strict = uavail_travel::extensions::min_web_servers_for_deadline(1e-3, 0.1, &p, 10)?;
     println!(
         "min N_W for unavailability < 1e-3 under a 100 ms deadline: {}",
-        strict
-            .map(|v| v.to_string())
-            .unwrap_or_else(|| "-".into())
+        strict.map(|v| v.to_string()).unwrap_or_else(|| "-".into())
     );
     Ok(())
 }
@@ -578,7 +628,11 @@ fn print_fit(csv: bool) -> Result<(), TravelError> {
         ("P(Home -> Browse)", fit_a.home_browse, fit_b.home_browse),
         ("P(Home -> Search)", fit_a.home_search, fit_b.home_search),
         ("P(Browse -> Home)", fit_a.browse_home, fit_b.browse_home),
-        ("P(Browse -> Search)", fit_a.browse_search, fit_b.browse_search),
+        (
+            "P(Browse -> Search)",
+            fit_a.browse_search,
+            fit_b.browse_search,
+        ),
         ("P(Search -> Book)", fit_a.search_book, fit_b.search_book),
         ("P(Book -> Search)", fit_a.book_search, fit_b.book_search),
         ("P(Book -> Pay)", fit_a.book_pay, fit_b.book_pay),
@@ -687,10 +741,125 @@ fn print_session(csv: bool) -> Result<(), TravelError> {
 fn print_validate(csv: bool) -> Result<(), TravelError> {
     let params = compressed_parameters();
     let report = validate_web_service(&params, 30_000.0, 20240601)?;
-    let mut t = Table::new(
+    validation_table(
         "Validation — analytic (eq. 9) vs joint discrete-event simulation",
+        &report,
+        csv,
+    );
+    Ok(())
+}
+
+fn print_validate_parallel(csv: bool) -> Result<(), TravelError> {
+    // Same simulated time budget as the serial artifact (4 × 7 500 =
+    // 30 000 units), split into deterministic independent replications
+    // that run on all cores and pool into one confidence interval.
+    let params = compressed_parameters();
+    let report = validate_web_service_replicated(&params, 7_500.0, 20240601, 4)?;
+    validation_table(
+        "Validation — analytic (eq. 9) vs 4 pooled parallel replications",
+        &report,
+        csv,
+    );
+    println!(
+        "(4 replications of 7500 time units on {} threads)",
+        default_threads()
+    );
+    Ok(())
+}
+
+fn print_session_parallel(csv: bool) -> Result<(), TravelError> {
+    // Same total session count as the serial artifact (4 × 50 000),
+    // pooled from deterministic replications.
+    let params = TaParameters::paper_defaults();
+    let mut t = Table::new(
+        "Validation — equation (10) vs pooled parallel session simulation",
+        vec!["class", "analytic A(user)", "simulated", "99.99% CI"],
+    );
+    for class in [class_a(), class_b()] {
+        let obs = uavail_travel::session_sim::simulate_user_availability_replicated(
+            20240601,
+            &class,
+            &params,
+            Architecture::paper_reference(),
+            50_000,
+            4,
+        )?;
+        let (lo, hi) = obs.confidence_interval(3.9);
+        t.add_row(vec![
+            class.name().to_string(),
+            format!("{:.5}", obs.analytic),
+            format!("{:.5}", obs.availability()),
+            format!("[{lo:.5}, {hi:.5}]"),
+        ]);
+    }
+    print!("{}", render(&t, csv));
+    println!(
+        "(4 replications of 50000 sessions on {} threads)",
+        default_threads()
+    );
+    Ok(())
+}
+
+fn print_speedup(csv: bool) -> Result<(), TravelError> {
+    use std::hint::black_box;
+    use std::time::Instant;
+
+    let threads = default_threads();
+    // Correctness first: the parallel sweep must reproduce the serial
+    // Figure 11/12 points bit for bit.
+    let serial_points = (figure11()?, figure12()?);
+    let parallel_points = (figure11_parallel()?, figure12_parallel()?);
+    assert_eq!(
+        serial_points, parallel_points,
+        "parallel figure sweep diverged from the serial sweep"
+    );
+
+    // Each timed repetition starts from a cold loss-probability memo so
+    // serial and parallel pay identical cache misses — otherwise the
+    // second engine measured would mostly time the warm cache.
+    let reps = 30u32;
+    let time_sweeps = |parallel: bool| -> Result<f64, TravelError> {
+        let start = Instant::now();
+        for _ in 0..reps {
+            webservice::reset_loss_cache();
+            if parallel {
+                black_box((figure11_parallel()?, figure12_parallel()?));
+            } else {
+                black_box((figure11()?, figure12()?));
+            }
+        }
+        Ok(start.elapsed().as_secs_f64() / f64::from(reps))
+    };
+    // Untimed warm-up, then serial and parallel under identical conditions.
+    time_sweeps(false)?;
+    let serial_s = time_sweeps(false)?;
+    let parallel_s = time_sweeps(true)?;
+    let speedup = serial_s / parallel_s;
+
+    let mut t = Table::new(
+        "Parallel engine — Figure 11+12 sweep (180 points), serial vs parallel",
         vec!["quantity", "value"],
     );
+    t.add_row(vec!["worker threads".into(), threads.to_string()]);
+    t.add_row(vec![
+        "serial sweep (ms)".into(),
+        format!("{:.3}", serial_s * 1e3),
+    ]);
+    t.add_row(vec![
+        "parallel sweep (ms)".into(),
+        format!("{:.3}", parallel_s * 1e3),
+    ]);
+    t.add_row(vec!["speedup".into(), format!("{speedup:.2}x")]);
+    t.add_row(vec!["results identical".into(), "true".into()]);
+    print!("{}", render(&t, csv));
+    if threads >= 4 && speedup < 2.0 {
+        eprintln!("warning: expected >= 2x speedup on {threads} threads, got {speedup:.2}x");
+    }
+    Ok(())
+}
+
+fn validation_table(title: &str, report: &ValidationReport, csv: bool) {
+    let mut t = Table::new(title, vec!["quantity", "value"]);
     t.add_row(vec![
         "analytic unavailability".into(),
         fmt_unavailability(report.analytic_unavailability),
@@ -707,7 +876,10 @@ fn print_validate(csv: bool) -> Result<(), TravelError> {
             fmt_unavailability(report.confidence_interval.1)
         ),
     ]);
-    t.add_row(vec!["requests simulated".into(), report.arrivals.to_string()]);
+    t.add_row(vec![
+        "requests simulated".into(),
+        report.arrivals.to_string(),
+    ]);
     t.add_row(vec![
         "time-scale separation".into(),
         format!("{:.0}x", report.separation_ratio),
@@ -717,5 +889,4 @@ fn print_validate(csv: bool) -> Result<(), TravelError> {
         report.agrees(0.15).to_string(),
     ]);
     print!("{}", render(&t, csv));
-    Ok(())
 }

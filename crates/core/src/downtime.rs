@@ -160,8 +160,7 @@ impl RevenueModel {
     pub fn annual_loss(&self, availability: f64) -> Result<AnnualLoss, CoreError> {
         check_availability(availability)?;
         let unavailability = 1.0 - availability;
-        let lost_transactions =
-            unavailability * self.transactions_per_second * SECONDS_PER_YEAR;
+        let lost_transactions = unavailability * self.transactions_per_second * SECONDS_PER_YEAR;
         Ok(AnnualLoss {
             lost_transactions,
             lost_revenue: lost_transactions * self.revenue_per_transaction,

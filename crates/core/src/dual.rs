@@ -148,11 +148,7 @@ impl Neg for Dual {
 /// This trait is sealed in spirit — it exists to let one evaluator serve
 /// both number types, not as a public extension point.
 pub trait Scalar:
-    Copy
-    + Add<Output = Self>
-    + Sub<Output = Self>
-    + Mul<Output = Self>
-    + From<f64>
+    Copy + Add<Output = Self> + Sub<Output = Self> + Mul<Output = Self> + From<f64>
 {
     /// The multiplicative identity.
     fn one() -> Self;

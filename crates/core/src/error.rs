@@ -39,6 +39,16 @@ pub enum CoreError {
         /// Explanation.
         reason: String,
     },
+    /// A sweep or tornado evaluation failed at a specific point. Wraps the
+    /// underlying error with enough context (the swept value, or the
+    /// tornado parameter and its value) to identify the failing point.
+    EvalAt {
+        /// Human-readable description of the failing point, e.g.
+        /// `x = 0.001` or `parameter "nu" = 0.25`.
+        context: String,
+        /// The underlying error.
+        source: Box<CoreError>,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -52,11 +62,21 @@ impl fmt::Display for CoreError {
             CoreError::BadDependency { reason } => write!(f, "bad dependency: {reason}"),
             CoreError::BadDiagram { reason } => write!(f, "bad interaction diagram: {reason}"),
             CoreError::BadWeights { reason } => write!(f, "bad weights: {reason}"),
+            CoreError::EvalAt { context, source } => {
+                write!(f, "evaluating {context}: {source}")
+            }
         }
     }
 }
 
-impl std::error::Error for CoreError {}
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::EvalAt { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -64,12 +84,30 @@ mod tests {
 
     #[test]
     fn display() {
-        assert!(CoreError::Undefined { name: "x".into() }.to_string().contains('x'));
+        assert!(CoreError::Undefined { name: "x".into() }
+            .to_string()
+            .contains('x'));
         assert!(CoreError::BadDiagram {
             reason: "cycle".into()
         }
         .to_string()
         .contains("cycle"));
+    }
+
+    #[test]
+    fn eval_at_carries_point_context_and_source() {
+        let inner = CoreError::BadWeights {
+            reason: "boom".into(),
+        };
+        let wrapped = CoreError::EvalAt {
+            context: "x = 2".into(),
+            source: Box::new(inner.clone()),
+        };
+        let text = wrapped.to_string();
+        assert!(text.contains("x = 2"), "{text}");
+        assert!(text.contains("boom"), "{text}");
+        use std::error::Error;
+        assert_eq!(wrapped.source().unwrap().to_string(), inner.to_string());
     }
 
     #[test]

@@ -252,10 +252,7 @@ impl AvailExpr {
     /// # Errors
     ///
     /// [`CoreError::Undefined`] for parameters missing from `env`.
-    pub fn eval(
-        &self,
-        env: &std::collections::HashMap<String, f64>,
-    ) -> Result<f64, CoreError> {
+    pub fn eval(&self, env: &std::collections::HashMap<String, f64>) -> Result<f64, CoreError> {
         self.eval_with(&mut |name| {
             env.get(name)
                 .copied()
@@ -464,7 +461,9 @@ mod tests {
     #[test]
     fn dual_partial_of_unused_param_is_zero() {
         let e = AvailExpr::param("a");
-        let (_, d) = e.eval_partial(&env(&[("a", 0.5), ("b", 0.5)]), "b").unwrap();
+        let (_, d) = e
+            .eval_partial(&env(&[("a", 0.5), ("b", 0.5)]), "b")
+            .unwrap();
         assert_eq!(d, 0.0);
     }
 

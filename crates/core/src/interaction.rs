@@ -215,20 +215,14 @@ impl InteractionDiagram {
             let sum: f64 = stage.edges.iter().map(|(_, p)| p).sum();
             if (sum - 1.0).abs() > 1e-9 {
                 return Err(CoreError::BadDiagram {
-                    reason: format!(
-                        "stage#{i} edge probabilities sum to {sum}, expected 1"
-                    ),
+                    reason: format!("stage#{i} edge probabilities sum to {sum}, expected 1"),
                 });
             }
         }
         // Acyclicity (the paper's diagrams are DAGs; cycles would make the
         // path enumeration diverge).
         let mut color = vec![0u8; self.stages.len()]; // 0 white, 1 grey, 2 black
-        fn dfs(
-            stages: &[Stage],
-            color: &mut [u8],
-            i: usize,
-        ) -> Result<(), CoreError> {
+        fn dfs(stages: &[Stage], color: &mut [u8], i: usize) -> Result<(), CoreError> {
             if color[i] == 1 {
                 return Err(CoreError::BadDiagram {
                     reason: format!("cycle through stage#{i}"),
@@ -282,10 +276,7 @@ impl InteractionDiagram {
             for &(t, p) in &self.stages[frame.node].edges {
                 match t {
                     None => {
-                        out.push((
-                            frame.prob * p,
-                            frame.services.iter().cloned().collect(),
-                        ));
+                        out.push((frame.prob * p, frame.services.iter().cloned().collect()));
                     }
                     Some(t) => {
                         let mut services = frame.services.clone();
@@ -317,9 +308,7 @@ impl InteractionDiagram {
                 let expr = if services.is_empty() {
                     AvailExpr::constant(1.0)
                 } else {
-                    AvailExpr::product(
-                        services.into_iter().map(AvailExpr::param).collect(),
-                    )
+                    AvailExpr::product(services.into_iter().map(AvailExpr::param).collect())
                 };
                 (p, expr)
             })

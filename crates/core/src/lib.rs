@@ -33,7 +33,13 @@
 //! * [`downtime`] — availability ↔ downtime conversions and the revenue
 //!   -loss model of Section 5.2.
 //! * [`sweep`] — parameter-sweep and tornado sensitivity utilities used by
-//!   the evaluation section.
+//!   the evaluation section, with serial and parallel
+//!   ([`sweep::sweep_parallel`]) evaluation paths that produce identical
+//!   results.
+//! * [`par`] — the order-preserving scoped-thread parallel map the
+//!   parallel paths are built on, reusable for any embarrassingly
+//!   parallel evaluation (the simulation crates use it for independent
+//!   replications).
 //!
 //! # Examples
 //!
@@ -68,6 +74,7 @@ mod error;
 mod expr;
 mod interaction;
 mod model;
+pub mod par;
 mod simplify;
 pub mod sweep;
 

@@ -26,7 +26,12 @@ pub enum Level {
 impl Level {
     /// All levels, bottom-up.
     pub fn all() -> [Level; 4] {
-        [Level::Resource, Level::Service, Level::Function, Level::User]
+        [
+            Level::Resource,
+            Level::Service,
+            Level::Function,
+            Level::User,
+        ]
     }
 }
 
@@ -245,7 +250,9 @@ impl HierarchicalModel {
             .index
             .get(target)
             .copied()
-            .ok_or_else(|| CoreError::Undefined { name: target.into() })?;
+            .ok_or_else(|| CoreError::Undefined {
+                name: target.into(),
+            })?;
         let param_idx = self
             .index
             .get(param)
@@ -364,12 +371,8 @@ mod tests {
             AvailExpr::product(vec![AvailExpr::param("host"), AvailExpr::param("lan")]),
         )
         .unwrap();
-        m.define_expr(
-            "home",
-            Level::Function,
-            AvailExpr::param("web"),
-        )
-        .unwrap();
+        m.define_expr("home", Level::Function, AvailExpr::param("web"))
+            .unwrap();
         m.define_expr(
             "user",
             Level::User,

@@ -1,0 +1,187 @@
+//! Order-preserving parallel map on `std::thread::scope`.
+//!
+//! The evaluation workloads in this workspace — figure sweeps, tornado
+//! diagrams, Monte-Carlo replications — are embarrassingly parallel maps
+//! over independent points. This module provides the one primitive they
+//! all share: [`par_map`], a chunked, work-stealing map that preserves
+//! input order and reproduces serial first-error semantics exactly, built
+//! on scoped threads so it needs no external dependencies and no `'static`
+//! bounds on the closure or its captures.
+//!
+//! # Determinism
+//!
+//! `par_map(items, f)` returns bit-for-bit the same `Ok` vector as the
+//! serial `items.iter().map(f).collect()`: each output slot is written
+//! from exactly one evaluation of `f` on the corresponding input, and
+//! thread scheduling only decides *when* a slot is computed, never *what*
+//! is stored in it. On failure, the error with the **lowest input index**
+//! is returned — the same error the serial loop would have surfaced —
+//! even when a later point happens to fail first in wall-clock time.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Upper bound on worker threads, from `std::thread::available_parallelism`.
+///
+/// Falls back to 1 when parallelism cannot be queried (the call is allowed
+/// to fail on exotic platforms), which degrades to serial evaluation.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Maps `f` over `items` in parallel, preserving input order.
+///
+/// Uses [`default_threads`] workers. See [`par_map_threads`] for the
+/// semantics and error contract.
+///
+/// # Errors
+///
+/// Returns the error produced at the lowest failing input index, exactly
+/// as the serial map would.
+pub fn par_map<T, U, E, F>(items: &[T], f: F) -> Result<Vec<U>, E>
+where
+    T: Sync,
+    U: Send,
+    E: Send,
+    F: Fn(&T) -> Result<U, E> + Sync,
+{
+    par_map_threads(items, default_threads(), f)
+}
+
+/// Maps `f` over `items` on up to `threads` scoped worker threads.
+///
+/// Work is distributed in contiguous chunks claimed from an atomic
+/// counter, so threads that finish early steal the remaining chunks. The
+/// output vector is identical to the serial map's output: order is
+/// preserved and every element is the result of one call of `f` on the
+/// matching input.
+///
+/// With `threads <= 1`, or fewer than two items, the map runs serially on
+/// the calling thread (no thread is ever spawned), so callers can use one
+/// code path for both modes.
+///
+/// # Errors
+///
+/// When one or more evaluations fail, the error at the **lowest** failing
+/// index is returned. Chunks are claimed in increasing index order and
+/// every already-claimed chunk runs to completion, so all indices below
+/// the winning one were evaluated — matching what the serial loop, which
+/// stops at the first failure, would have reported. Remaining unclaimed
+/// chunks are skipped once a failure is recorded.
+pub fn par_map_threads<T, U, E, F>(items: &[T], threads: usize, f: F) -> Result<Vec<U>, E>
+where
+    T: Sync,
+    U: Send,
+    E: Send,
+    F: Fn(&T) -> Result<U, E> + Sync,
+{
+    let n = items.len();
+    let threads = threads.clamp(1, n.max(1));
+    if threads <= 1 || n < 2 {
+        return items.iter().map(f).collect();
+    }
+
+    // Several short chunks per thread so an expensive tail point cannot
+    // serialize the whole sweep behind one worker.
+    let chunk = n.div_ceil(threads * 4).max(1);
+    let next = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    let slots: Vec<Mutex<Option<Result<U, E>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n || failed.load(Ordering::Relaxed) {
+                    return;
+                }
+                let end = (start + chunk).min(n);
+                for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                    let result = f(item);
+                    if result.is_err() {
+                        failed.store(true, Ordering::Relaxed);
+                    }
+                    *slots[i].lock().expect("no poisoned slot") = Some(result);
+                }
+            });
+        }
+    });
+
+    let mut out = Vec::with_capacity(n);
+    for slot in slots {
+        match slot.into_inner().expect("no poisoned slot") {
+            // A hole can only sit above the lowest failing index (chunks
+            // are claimed in order; holes come from skipped chunks), so
+            // by the time we reach one, an error was already returned.
+            None => unreachable!("unevaluated slot without a preceding error"),
+            Some(Ok(value)) => out.push(value),
+            Some(Err(e)) => return Err(e),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CoreError;
+
+    #[test]
+    fn matches_serial_map_bit_for_bit() {
+        let items: Vec<f64> = (0..997).map(|i| i as f64 * 0.37).collect();
+        let f = |x: &f64| -> Result<f64, CoreError> { Ok((x.sin() * 1e3).exp().ln_1p()) };
+        let serial: Vec<f64> = items.iter().map(f).collect::<Result<_, _>>().unwrap();
+        for threads in [1, 2, 3, 8] {
+            let parallel = par_map_threads(&items, threads, f).unwrap();
+            assert_eq!(serial.len(), parallel.len());
+            for (s, p) in serial.iter().zip(&parallel) {
+                assert_eq!(s.to_bits(), p.to_bits(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn lowest_index_error_wins() {
+        let items: Vec<usize> = (0..500).collect();
+        let f = |&i: &usize| -> Result<usize, CoreError> {
+            if i % 100 == 37 {
+                Err(CoreError::Undefined {
+                    name: format!("item-{i}"),
+                })
+            } else {
+                Ok(i)
+            }
+        };
+        for threads in [1, 4, 16] {
+            let err = par_map_threads(&items, threads, f).unwrap_err();
+            assert_eq!(
+                err,
+                CoreError::Undefined {
+                    name: "item-37".into()
+                },
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let none: Vec<u32> = vec![];
+        let out = par_map(&none, |&x: &u32| Ok::<_, CoreError>(x)).unwrap();
+        assert!(out.is_empty());
+        let one = par_map(&[5u32], |&x| Ok::<_, CoreError>(x * 2)).unwrap();
+        assert_eq!(one, vec![10]);
+    }
+
+    #[test]
+    fn oversubscribed_thread_count_is_clamped() {
+        let items: Vec<usize> = (0..7).collect();
+        let out = par_map_threads(&items, 64, |&i| Ok::<_, CoreError>(i + 1)).unwrap();
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -84,8 +84,7 @@ impl AvailExpr {
                 }
             }
             AvailExpr::KOfN(k, children) => {
-                let simplified: Vec<AvailExpr> =
-                    children.iter().map(AvailExpr::simplify).collect();
+                let simplified: Vec<AvailExpr> = children.iter().map(AvailExpr::simplify).collect();
                 if *k == 1 {
                     return AvailExpr::Parallel(simplified).simplify();
                 }
@@ -190,15 +189,9 @@ mod tests {
 
     #[test]
     fn parallel_rules() {
-        let e = AvailExpr::parallel(vec![
-            AvailExpr::constant(0.0),
-            AvailExpr::param("a"),
-        ]);
+        let e = AvailExpr::parallel(vec![AvailExpr::constant(0.0), AvailExpr::param("a")]);
         assert_eq!(e.simplify(), AvailExpr::param("a"));
-        let e = AvailExpr::parallel(vec![
-            AvailExpr::constant(1.0),
-            AvailExpr::param("a"),
-        ]);
+        let e = AvailExpr::parallel(vec![AvailExpr::constant(1.0), AvailExpr::param("a")]);
         assert_eq!(e.simplify(), AvailExpr::constant(1.0));
     }
 
@@ -250,18 +243,12 @@ mod tests {
                 0.4,
                 AvailExpr::product(vec![
                     AvailExpr::constant(1.0),
-                    AvailExpr::parallel(vec![
-                        AvailExpr::param("x"),
-                        AvailExpr::constant(0.0),
-                    ]),
+                    AvailExpr::parallel(vec![AvailExpr::param("x"), AvailExpr::constant(0.0)]),
                 ]),
             ),
             (
                 0.6,
-                AvailExpr::k_of_n(
-                    2,
-                    vec![AvailExpr::param("x"), AvailExpr::param("y")],
-                ),
+                AvailExpr::k_of_n(2, vec![AvailExpr::param("x"), AvailExpr::param("y")]),
             ),
         ]);
         let s = e.simplify();

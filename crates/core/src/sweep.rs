@@ -5,6 +5,7 @@
 //! systems). This module provides small, composable helpers for generating
 //! sweep grids and running sensitivity studies over arbitrary models.
 
+use crate::par::{default_threads, par_map_threads};
 use crate::CoreError;
 
 /// A single point of a sweep: the swept value and the measured output.
@@ -16,11 +17,30 @@ pub struct SweepPoint {
     pub y: f64,
 }
 
+/// Wraps a model error with the sweep point it occurred at, so a failure
+/// deep inside a 90-point figure sweep names the offending `x`.
+fn at_sweep_point(x: f64, source: CoreError) -> CoreError {
+    CoreError::EvalAt {
+        context: format!("sweep point x = {x}"),
+        source: Box::new(source),
+    }
+}
+
+/// Wraps a model error with the tornado parameter and value it occurred
+/// at.
+fn at_tornado_point(name: &str, value: f64, source: CoreError) -> CoreError {
+    CoreError::EvalAt {
+        context: format!("tornado parameter {name:?} = {value}"),
+        source: Box::new(source),
+    }
+}
+
 /// Runs `f` over the given parameter values, collecting `(x, f(x))`.
 ///
 /// # Errors
 ///
-/// Propagates the first error from `f`.
+/// Propagates the first error from `f`, wrapped in [`CoreError::EvalAt`]
+/// naming the failing sweep value.
 ///
 /// # Examples
 ///
@@ -39,8 +59,61 @@ pub fn sweep(
 ) -> Result<Vec<SweepPoint>, CoreError> {
     values
         .iter()
-        .map(|&x| Ok(SweepPoint { x, y: f(x)? }))
+        .map(|&x| match f(x) {
+            Ok(y) => Ok(SweepPoint { x, y }),
+            Err(e) => Err(at_sweep_point(x, e)),
+        })
         .collect()
+}
+
+/// Parallel [`sweep`]: evaluates the points on scoped worker threads
+/// (one per available core) while producing **bit-for-bit** the same
+/// result — same points in the same order on success, and on failure the
+/// same [`CoreError::EvalAt`] the serial sweep would have returned (the
+/// error at the lowest failing index).
+///
+/// The closure is `Fn` (not `FnMut`) and `Sync` because it is shared
+/// across threads; model evaluations in this workspace are pure, so this
+/// is not restrictive in practice.
+///
+/// # Errors
+///
+/// Exactly the errors [`sweep`] would produce.
+///
+/// # Examples
+///
+/// ```
+/// use uavail_core::sweep::{sweep, sweep_parallel};
+///
+/// # fn main() -> Result<(), uavail_core::CoreError> {
+/// let xs: Vec<f64> = (1..=100).map(f64::from).collect();
+/// let f = |x: f64| Ok(1.0 / (1.0 + x));
+/// assert_eq!(sweep_parallel(&xs, f)?, sweep(&xs, f)?);
+/// # Ok(())
+/// # }
+/// ```
+pub fn sweep_parallel(
+    values: &[f64],
+    f: impl Fn(f64) -> Result<f64, CoreError> + Sync,
+) -> Result<Vec<SweepPoint>, CoreError> {
+    sweep_parallel_threads(values, default_threads(), f)
+}
+
+/// [`sweep_parallel`] with an explicit worker-thread cap. `threads <= 1`
+/// evaluates serially on the calling thread.
+///
+/// # Errors
+///
+/// Exactly the errors [`sweep`] would produce.
+pub fn sweep_parallel_threads(
+    values: &[f64],
+    threads: usize,
+    f: impl Fn(f64) -> Result<f64, CoreError> + Sync,
+) -> Result<Vec<SweepPoint>, CoreError> {
+    par_map_threads(values, threads, |&x| match f(x) {
+        Ok(y) => Ok(SweepPoint { x, y }),
+        Err(e) => Err(at_sweep_point(x, e)),
+    })
 }
 
 /// Logarithmically spaced grid from `start` to `end` (inclusive), the
@@ -115,7 +188,8 @@ impl TornadoBar {
 ///
 /// # Errors
 ///
-/// Propagates the first error from `f`.
+/// Propagates the first error from `f`, wrapped in [`CoreError::EvalAt`]
+/// naming the failing parameter and its value.
 pub fn tornado(
     ranges: &[(&str, f64, f64)],
     mut f: impl FnMut(&str, f64) -> Result<f64, CoreError>,
@@ -124,16 +198,70 @@ pub fn tornado(
     for &(name, low, high) in ranges {
         bars.push(TornadoBar {
             name: name.to_string(),
-            low_output: f(name, low)?,
-            high_output: f(name, high)?,
+            low_output: f(name, low).map_err(|e| at_tornado_point(name, low, e))?,
+            high_output: f(name, high).map_err(|e| at_tornado_point(name, high, e))?,
         });
     }
+    sort_bars(&mut bars);
+    Ok(bars)
+}
+
+/// Parallel [`tornado`]: evaluates the `2 × ranges.len()` endpoint
+/// evaluations on scoped worker threads, returning exactly the bars (and
+/// exactly the errors) the serial [`tornado`] would.
+///
+/// # Errors
+///
+/// Exactly the errors [`tornado`] would produce.
+pub fn tornado_parallel(
+    ranges: &[(&str, f64, f64)],
+    f: impl Fn(&str, f64) -> Result<f64, CoreError> + Sync,
+) -> Result<Vec<TornadoBar>, CoreError> {
+    tornado_parallel_threads(ranges, default_threads(), f)
+}
+
+/// [`tornado_parallel`] with an explicit worker-thread cap. `threads <= 1`
+/// evaluates serially on the calling thread.
+///
+/// # Errors
+///
+/// Exactly the errors [`tornado`] would produce.
+pub fn tornado_parallel_threads(
+    ranges: &[(&str, f64, f64)],
+    threads: usize,
+    f: impl Fn(&str, f64) -> Result<f64, CoreError> + Sync,
+) -> Result<Vec<TornadoBar>, CoreError> {
+    // Flatten to one evaluation per endpoint, in the order the serial
+    // loop performs them (low then high per range), so the lowest-index
+    // error of the parallel map is the first error of the serial loop.
+    let endpoints: Vec<(&str, f64)> = ranges
+        .iter()
+        .flat_map(|&(name, low, high)| [(name, low), (name, high)])
+        .collect();
+    let outputs = par_map_threads(&endpoints, threads, |&(name, value)| {
+        f(name, value).map_err(|e| at_tornado_point(name, value, e))
+    })?;
+    let mut bars: Vec<TornadoBar> = ranges
+        .iter()
+        .zip(outputs.chunks_exact(2))
+        .map(|(&(name, _, _), pair)| TornadoBar {
+            name: name.to_string(),
+            low_output: pair[0],
+            high_output: pair[1],
+        })
+        .collect();
+    sort_bars(&mut bars);
+    Ok(bars)
+}
+
+/// Ranks bars by swing, largest first — shared by the serial and parallel
+/// tornado paths so their outputs stay identical.
+fn sort_bars(bars: &mut [TornadoBar]) {
     bars.sort_by(|a, b| {
         b.swing()
             .partial_cmp(&a.swing())
             .expect("finite tornado outputs")
     });
-    Ok(bars)
 }
 
 #[cfg(test)]
@@ -155,6 +283,92 @@ mod tests {
             })
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn sweep_error_names_failing_point() {
+        let err = sweep(&[1.0, 2.5, 3.0], |x| {
+            if x > 2.0 {
+                Err(CoreError::BadWeights {
+                    reason: "boom".into(),
+                })
+            } else {
+                Ok(x)
+            }
+        })
+        .unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("2.5"), "{text}");
+        assert!(text.contains("boom"), "{text}");
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_including_errors() {
+        let xs: Vec<f64> = (0..200).map(|i| 0.01 + i as f64 * 0.005).collect();
+        let f = |x: f64| -> Result<f64, CoreError> {
+            if x > 0.9 {
+                Err(CoreError::InvalidProbability {
+                    context: "test".into(),
+                    value: x,
+                })
+            } else {
+                Ok((1.0 - x).powi(3) / (1.0 + x))
+            }
+        };
+        let serial_err = sweep(&xs[..180], f).unwrap_err();
+        for threads in [1, 2, 7] {
+            let ok_serial = sweep(&xs[..170], f).unwrap();
+            let ok_parallel = sweep_parallel_threads(&xs[..170], threads, f).unwrap();
+            assert_eq!(ok_serial, ok_parallel, "threads={threads}");
+            let parallel_err = sweep_parallel_threads(&xs[..180], threads, f).unwrap_err();
+            assert_eq!(serial_err, parallel_err, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn tornado_error_names_failing_parameter() {
+        let err = tornado(&[("ok", 0.0, 1.0), ("bad", 0.0, 2.0)], |_, v| {
+            if v > 1.5 {
+                Err(CoreError::BadWeights {
+                    reason: "out of range".into(),
+                })
+            } else {
+                Ok(v)
+            }
+        })
+        .unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("\"bad\""), "{text}");
+        assert!(text.contains('2'), "{text}");
+    }
+
+    #[test]
+    fn parallel_tornado_matches_serial_including_errors() {
+        let ranges: Vec<(&str, f64, f64)> = vec![
+            ("a", 0.0, 1.0),
+            ("b", -1.0, 1.0),
+            ("c", 0.2, 0.3),
+            ("d", 0.0, 5.0),
+        ];
+        let f = |name: &str, v: f64| -> Result<f64, CoreError> {
+            if name == "d" && v > 4.0 {
+                Err(CoreError::Undefined { name: name.into() })
+            } else {
+                Ok(v * v + name.len() as f64)
+            }
+        };
+        let serial_ok = tornado(&ranges[..3], f).unwrap();
+        let serial_err = tornado(&ranges, f).unwrap_err();
+        for threads in [1, 2, 8] {
+            assert_eq!(
+                serial_ok,
+                tornado_parallel_threads(&ranges[..3], threads, f).unwrap()
+            );
+            assert_eq!(
+                serial_err,
+                tornado_parallel_threads(&ranges, threads, f).unwrap_err()
+            );
+        }
     }
 
     #[test]

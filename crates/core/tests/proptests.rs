@@ -15,12 +15,10 @@ fn expr_strategy() -> impl Strategy<Value = AvailExpr> {
         prop_oneof![
             prop::collection::vec(inner.clone(), 1..4).prop_map(AvailExpr::product),
             prop::collection::vec(inner.clone(), 1..4).prop_map(AvailExpr::parallel),
-            (prop::collection::vec(inner.clone(), 1..4), any::<u8>()).prop_map(
-                |(ch, raw)| {
-                    let k = (raw as usize % ch.len()) + 1;
-                    AvailExpr::k_of_n(k, ch)
-                }
-            ),
+            (prop::collection::vec(inner.clone(), 1..4), any::<u8>()).prop_map(|(ch, raw)| {
+                let k = (raw as usize % ch.len()) + 1;
+                AvailExpr::k_of_n(k, ch)
+            }),
             prop::collection::vec((0.0f64..=0.33, inner.clone()), 1..3)
                 .prop_map(AvailExpr::weighted_sum),
             inner.prop_map(AvailExpr::complement),
@@ -190,5 +188,77 @@ proptest! {
         m.define_expr("user", Level::User, AvailExpr::param("svc")).unwrap();
         let d = m.sensitivity("user", "a").unwrap();
         prop_assert!((d - b).abs() < 1e-12);
+    }
+}
+
+// --- Parallel-evaluation equivalence -----------------------------------
+
+proptest! {
+    /// `sweep_parallel` is observationally identical to `sweep` for any
+    /// input grid, thread count, and failure pattern: same points bit for
+    /// bit on success, the same `EvalAt` error otherwise.
+    #[test]
+    fn sweep_parallel_equals_sweep(
+        values in prop::collection::vec(-100.0f64..100.0, 0..60),
+        threads in 1usize..9,
+        fail_above in 0.0f64..120.0
+    ) {
+        let f = |x: f64| -> Result<f64, uavail_core::CoreError> {
+            if x.abs() > fail_above {
+                Err(uavail_core::CoreError::InvalidProbability {
+                    context: "property sweep".into(),
+                    value: x,
+                })
+            } else {
+                Ok((x * 0.1).sin() * (x * 0.01).exp())
+            }
+        };
+        let serial = uavail_core::sweep::sweep(&values, f);
+        let parallel = uavail_core::sweep::sweep_parallel_threads(&values, threads, f);
+        match (serial, parallel) {
+            (Ok(s), Ok(p)) => {
+                prop_assert_eq!(s.len(), p.len());
+                for (a, b) in s.iter().zip(&p) {
+                    prop_assert_eq!(a.x.to_bits(), b.x.to_bits());
+                    prop_assert_eq!(a.y.to_bits(), b.y.to_bits());
+                }
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (s, p) => prop_assert!(false, "serial {:?} vs parallel {:?}", s, p),
+        }
+    }
+
+    /// Same equivalence for the tornado diagram, including the swing
+    /// ranking and the failing-parameter error context.
+    #[test]
+    fn tornado_parallel_equals_tornado(
+        lows in prop::collection::vec(-10.0f64..10.0, 1..8),
+        spans in prop::collection::vec(0.0f64..5.0, 1..8),
+        threads in 1usize..9,
+        fail_above in 0.0f64..20.0
+    ) {
+        let names: Vec<String> = (0..lows.len().min(spans.len()))
+            .map(|i| format!("param{i}"))
+            .collect();
+        let ranges: Vec<(&str, f64, f64)> = names
+            .iter()
+            .zip(lows.iter().zip(&spans))
+            .map(|(n, (&lo, &span))| (n.as_str(), lo, lo + span))
+            .collect();
+        let f = |name: &str, v: f64| -> Result<f64, uavail_core::CoreError> {
+            if v.abs() > fail_above {
+                Err(uavail_core::CoreError::Undefined { name: name.into() })
+            } else {
+                Ok(v * v + name.len() as f64)
+            }
+        };
+        let serial = uavail_core::sweep::tornado(&ranges, f);
+        let parallel =
+            uavail_core::sweep::tornado_parallel_threads(&ranges, threads, f);
+        match (serial, parallel) {
+            (Ok(s), Ok(p)) => prop_assert_eq!(s, p),
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (s, p) => prop_assert!(false, "serial {:?} vs parallel {:?}", s, p),
+        }
     }
 }

@@ -1,0 +1,223 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! Implements the API subset the `uavail-bench` benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] /
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], the
+//! [`criterion_group!`] / [`criterion_main!`] macros, and [`black_box`] —
+//! as a plain wall-clock timer: each benchmark is warmed up briefly, then
+//! timed over enough iterations to fill a short measurement window, and
+//! the mean per-iteration time is printed. No statistics, plots, or
+//! baselines; for rigorous numbers run the real criterion off-network.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle passed to every benchmark function.
+#[derive(Debug)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(200),
+            measurement: Duration::from_millis(800),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the measurement window (accepted for API compatibility).
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the warm-up window (accepted for API compatibility).
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            report: None,
+        };
+        f(&mut bencher);
+        report(name, &bencher);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one parameterized benchmark inside the group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.0);
+        self.criterion.bench_function(&full, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Identifies one parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Times closures handed to it by a benchmark function.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    report: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records the mean wall-clock time.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm-up, which also calibrates the iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let target = (self.measurement.as_secs_f64() / per_iter.max(1e-9)) as u64;
+        let iters = target.clamp(1, 10_000_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.report = Some((iters, start.elapsed()));
+    }
+}
+
+fn report(name: &str, bencher: &Bencher) {
+    match bencher.report {
+        Some((iters, elapsed)) => {
+            let per_iter = elapsed.as_secs_f64() / iters as f64;
+            println!(
+                "{name:<55} {:>12}  ({iters} iters in {:.2?})",
+                format_time(per_iter),
+                elapsed
+            );
+        }
+        None => println!("{name:<55} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.1} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion {
+            warm_up: Duration::from_millis(1),
+            measurement: Duration::from_millis(2),
+        };
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = Criterion {
+            warm_up: Duration::from_millis(1),
+            measurement: Duration::from_millis(1),
+        };
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("f", 3), &3usize, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(format_time(5e-9).ends_with("ns"));
+        assert!(format_time(5e-6).ends_with("µs"));
+        assert!(format_time(5e-3).ends_with("ms"));
+        assert!(format_time(5.0).ends_with('s'));
+    }
+}

@@ -51,12 +51,8 @@ pub fn fault_tree_of(spec: &BlockSpec) -> Result<FaultTree, FaultTreeError> {
 fn dual_spec(spec: &BlockSpec) -> Result<FtSpec, FaultTreeError> {
     Ok(match spec {
         BlockSpec::Component(name) => FtSpec::Basic(name.clone()),
-        BlockSpec::Series(ch) => FtSpec::Or(
-            ch.iter().map(dual_spec).collect::<Result<_, _>>()?,
-        ),
-        BlockSpec::Parallel(ch) => FtSpec::And(
-            ch.iter().map(dual_spec).collect::<Result<_, _>>()?,
-        ),
+        BlockSpec::Series(ch) => FtSpec::Or(ch.iter().map(dual_spec).collect::<Result<_, _>>()?),
+        BlockSpec::Parallel(ch) => FtSpec::And(ch.iter().map(dual_spec).collect::<Result<_, _>>()?),
         BlockSpec::KOfN(k, ch) => FtSpec::Vote(
             ch.len() + 1 - k,
             ch.iter().map(dual_spec).collect::<Result<_, _>>()?,
@@ -121,9 +117,7 @@ mod tests {
             q.insert(k.clone(), 1.0 - v);
         }
         assert!(
-            (rbd.availability(&a).unwrap()
-                - (1.0 - tree.top_event_probability(&q).unwrap()))
-            .abs()
+            (rbd.availability(&a).unwrap() - (1.0 - tree.top_event_probability(&q).unwrap())).abs()
                 < 1e-12
         );
     }
@@ -176,9 +170,7 @@ mod tests {
             q.insert(k.clone(), 1.0 - v);
         }
         assert!(
-            (rbd.availability(&a).unwrap()
-                - (1.0 - tree.top_event_probability(&q).unwrap()))
-            .abs()
+            (rbd.availability(&a).unwrap() - (1.0 - tree.top_event_probability(&q).unwrap())).abs()
                 < 1e-12
         );
     }

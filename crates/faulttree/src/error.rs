@@ -41,7 +41,10 @@ impl fmt::Display for FaultTreeError {
                 write!(f, "no probability supplied for basic event {name:?}")
             }
             FaultTreeError::InvalidProbability { name, value } => {
-                write!(f, "probability {value} for basic event {name:?} not in [0, 1]")
+                write!(
+                    f,
+                    "probability {value} for basic event {name:?} not in [0, 1]"
+                )
             }
         }
     }

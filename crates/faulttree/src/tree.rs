@@ -192,7 +192,11 @@ impl FaultTree {
     /// Panics on length mismatch; use
     /// [`FaultTree::top_event_probability`] for the checked variant.
     pub fn top_event_probability_dense(&self, probs: &[f64]) -> f64 {
-        assert_eq!(probs.len(), self.num_events(), "probability length mismatch");
+        assert_eq!(
+            probs.len(),
+            self.num_events(),
+            "probability length mismatch"
+        );
         let mut counts = vec![0usize; self.num_events()];
         Self::count(&self.root, &mut counts);
         let mut assignment: Vec<Option<bool>> = vec![None; self.num_events()];
@@ -216,9 +220,7 @@ impl FaultTree {
         counts: &[usize],
         assignment: &mut Vec<Option<bool>>,
     ) -> f64 {
-        if let Some(pivot) =
-            (0..counts.len()).find(|&i| counts[i] > 1 && assignment[i].is_none())
-        {
+        if let Some(pivot) = (0..counts.len()).find(|&i| counts[i] > 1 && assignment[i].is_none()) {
             assignment[pivot] = Some(true);
             let failed = self.conditioned(probs, counts, assignment);
             assignment[pivot] = Some(false);
@@ -236,7 +238,10 @@ impl FaultTree {
                 Some(false) => 0.0,
                 None => probs[*id],
             },
-            FtNode::And(ch) => ch.iter().map(|c| Self::eval(c, probs, assignment)).product(),
+            FtNode::And(ch) => ch
+                .iter()
+                .map(|c| Self::eval(c, probs, assignment))
+                .product(),
             FtNode::Or(ch) => {
                 1.0 - ch
                     .iter()
@@ -276,9 +281,7 @@ impl FaultTree {
             FtNode::Basic(id) => state[*id],
             FtNode::And(ch) => ch.iter().all(|c| Self::eval_bool(c, state)),
             FtNode::Or(ch) => ch.iter().any(|c| Self::eval_bool(c, state)),
-            FtNode::Vote(k, ch) => {
-                ch.iter().filter(|c| Self::eval_bool(c, state)).count() >= *k
-            }
+            FtNode::Vote(k, ch) => ch.iter().filter(|c| Self::eval_bool(c, state)).count() >= *k,
         }
     }
 }

@@ -63,7 +63,10 @@ impl fmt::Display for LinalgError {
                 write!(f, "matrix must be square, got {}x{}", shape.0, shape.1)
             }
             LinalgError::Singular { pivot } => {
-                write!(f, "matrix is singular to working precision at pivot {pivot}")
+                write!(
+                    f,
+                    "matrix is singular to working precision at pivot {pivot}"
+                )
             }
             LinalgError::NotConverged {
                 iterations,

@@ -251,10 +251,7 @@ pub fn gauss_seidel(
 /// # Ok(())
 /// # }
 /// ```
-pub fn power_stationary(
-    p: &CsrMatrix,
-    opts: IterOptions,
-) -> Result<IterSolution, LinalgError> {
+pub fn power_stationary(p: &CsrMatrix, opts: IterOptions) -> Result<IterSolution, LinalgError> {
     if p.rows() != p.cols() {
         return Err(LinalgError::NotSquare { shape: p.shape() });
     }
@@ -293,12 +290,8 @@ mod tests {
 
     fn diag_dominant() -> CsrMatrix {
         CsrMatrix::from_dense(
-            &Matrix::from_rows(&[
-                &[10.0, -1.0, 2.0],
-                &[-1.0, 11.0, -1.0],
-                &[2.0, -1.0, 10.0],
-            ])
-            .unwrap(),
+            &Matrix::from_rows(&[&[10.0, -1.0, 2.0], &[-1.0, 11.0, -1.0], &[2.0, -1.0, 10.0]])
+                .unwrap(),
             0.0,
         )
     }

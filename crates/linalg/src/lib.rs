@@ -36,11 +36,11 @@
 
 #![allow(clippy::needless_range_loop)] // index loops mirror the math
 mod error;
+pub mod iterative;
 mod lu;
 mod matrix;
 mod sparse;
 mod tridiagonal;
-pub mod iterative;
 pub mod vector;
 
 pub use error::LinalgError;

@@ -250,8 +250,8 @@ mod tests {
 
     #[test]
     fn solves_small_system() {
-        let a = Matrix::from_rows(&[&[3.0, 2.0, -1.0], &[2.0, -2.0, 4.0], &[-1.0, 0.5, -1.0]])
-            .unwrap();
+        let a =
+            Matrix::from_rows(&[&[3.0, 2.0, -1.0], &[2.0, -2.0, 4.0], &[-1.0, 0.5, -1.0]]).unwrap();
         let b = [1.0, -2.0, 0.0];
         let lu = Lu::new(&a).unwrap();
         let x = lu.solve(&b).unwrap();
@@ -301,8 +301,7 @@ mod tests {
 
     #[test]
     fn transposed_solve_matches_explicit_transpose() {
-        let a = Matrix::from_rows(&[&[3.0, 1.0, 0.0], &[1.0, 4.0, 2.0], &[0.5, 0.0, 5.0]])
-            .unwrap();
+        let a = Matrix::from_rows(&[&[3.0, 1.0, 0.0], &[1.0, 4.0, 2.0], &[0.5, 0.0, 5.0]]).unwrap();
         let b = [1.0, 2.0, 3.0];
         let lu = Lu::new(&a).unwrap();
         let x = lu.solve_transposed(&b).unwrap();

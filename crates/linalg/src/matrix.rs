@@ -128,10 +128,7 @@ impl Matrix {
         }
         if data.len() != rows * cols {
             return Err(LinalgError::InvalidInput {
-                reason: format!(
-                    "data length {} does not match {rows}x{cols}",
-                    data.len()
-                ),
+                reason: format!("data length {} does not match {rows}x{cols}", data.len()),
             });
         }
         if let Some(pos) = data.iter().position(|v| !v.is_finite()) {
@@ -215,8 +212,14 @@ impl Matrix {
     ///
     /// Panics if `c >= self.cols()`.
     pub fn column(&self, c: usize) -> Vec<f64> {
-        assert!(c < self.cols, "column index {c} out of bounds ({})", self.cols);
-        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+        assert!(
+            c < self.cols,
+            "column index {c} out of bounds ({})",
+            self.cols
+        );
+        (0..self.rows)
+            .map(|r| self.data[r * self.cols + c])
+            .collect()
     }
 
     /// Returns the underlying row-major data as a slice.
@@ -460,7 +463,8 @@ impl Add for &Matrix {
     /// Panics on shape mismatch; use [`Matrix::add_matrix`] for a checked
     /// variant.
     fn add(self, rhs: &Matrix) -> Matrix {
-        self.add_matrix(rhs).expect("matrix addition shape mismatch")
+        self.add_matrix(rhs)
+            .expect("matrix addition shape mismatch")
     }
 }
 
@@ -472,7 +476,8 @@ impl Sub for &Matrix {
     /// Panics on shape mismatch; use [`Matrix::sub_matrix`] for a checked
     /// variant.
     fn sub(self, rhs: &Matrix) -> Matrix {
-        self.sub_matrix(rhs).expect("matrix subtraction shape mismatch")
+        self.sub_matrix(rhs)
+            .expect("matrix subtraction shape mismatch")
     }
 }
 
@@ -558,7 +563,10 @@ mod tests {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
         let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
         let c = a.mul_matrix(&b).unwrap();
-        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap());
+        assert_eq!(
+            c,
+            Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap()
+        );
     }
 
     #[test]

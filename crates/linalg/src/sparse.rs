@@ -330,12 +330,8 @@ mod tests {
 
     #[test]
     fn duplicates_are_summed() {
-        let m = CsrMatrix::from_triplets(
-            1,
-            1,
-            &[Triplet::new(0, 0, 1.0), Triplet::new(0, 0, 2.5)],
-        )
-        .unwrap();
+        let m = CsrMatrix::from_triplets(1, 1, &[Triplet::new(0, 0, 1.0), Triplet::new(0, 0, 2.5)])
+            .unwrap();
         assert_eq!(m.nnz(), 1);
         assert_eq!(m.get(0, 0), 3.5);
     }

@@ -94,7 +94,11 @@ impl Tridiagonal {
         if self.diag[0].abs() < 1e-300 {
             return Err(LinalgError::Singular { pivot: 0 });
         }
-        c_prime[0] = if n > 1 { self.upper[0] / self.diag[0] } else { 0.0 };
+        c_prime[0] = if n > 1 {
+            self.upper[0] / self.diag[0]
+        } else {
+            0.0
+        };
         d_prime[0] = b[0] / self.diag[0];
         for i in 1..n {
             let m = self.diag[i] - self.lower[i - 1] * c_prime[i - 1];
@@ -202,7 +206,10 @@ mod tests {
     #[test]
     fn detects_singularity() {
         let t = Tridiagonal::new(vec![1.0], vec![0.0, 1.0], vec![1.0]).unwrap();
-        assert!(matches!(t.solve(&[1.0, 1.0]), Err(LinalgError::Singular { .. })));
+        assert!(matches!(
+            t.solve(&[1.0, 1.0]),
+            Err(LinalgError::Singular { .. })
+        ));
     }
 
     #[test]

@@ -197,19 +197,15 @@ impl AbsorbingAnalysis {
     ///
     /// Returns [`MarkovError::BadStructure`] when `start` is not transient
     /// or `target` is not absorbing.
-    pub fn absorption_probability(
-        &self,
-        start: usize,
-        target: usize,
-    ) -> Result<f64, MarkovError> {
+    pub fn absorption_probability(&self, start: usize, target: usize) -> Result<f64, MarkovError> {
         let row = self.transient_position(start)?;
-        let col = self
-            .absorbing
-            .iter()
-            .position(|&s| s == target)
-            .ok_or(MarkovError::BadStructure {
-                reason: format!("state {target} is not absorbing"),
-            })?;
+        let col =
+            self.absorbing
+                .iter()
+                .position(|&s| s == target)
+                .ok_or(MarkovError::BadStructure {
+                    reason: format!("state {target} is not absorbing"),
+                })?;
         Ok(self.absorption[(row, col)])
     }
 }
@@ -281,12 +277,7 @@ mod tests {
         // Transient states 0 and 1 loop between themselves forever; state 2
         // is absorbing but unreachable... but rows must be stochastic, so
         // build a pair that never leaks to the absorbing state.
-        let p = Matrix::from_rows(&[
-            &[0.0, 1.0, 0.0],
-            &[1.0, 0.0, 0.0],
-            &[0.0, 0.0, 1.0],
-        ])
-        .unwrap();
+        let p = Matrix::from_rows(&[&[0.0, 1.0, 0.0], &[1.0, 0.0, 0.0], &[0.0, 0.0, 1.0]]).unwrap();
         let chain = AbsorbingDtmc::new(Dtmc::new(p).unwrap()).unwrap();
         assert!(matches!(
             chain.analyze(),

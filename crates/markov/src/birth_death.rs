@@ -91,7 +91,10 @@ impl BirthDeath {
             let prev = log_weights[i];
             log_weights.push(prev + self.birth_rates[i].ln() - self.death_rates[i].ln());
         }
-        let max = log_weights.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let max = log_weights
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
         let weights: Vec<f64> = log_weights.iter().map(|lw| (lw - max).exp()).collect();
         let total: f64 = weights.iter().sum();
         weights.into_iter().map(|w| w / total).collect()
@@ -268,8 +271,7 @@ mod tests {
     fn mean_passage_matches_ctmc_hitting_time() {
         let bd = BirthDeath::new(vec![1.0, 0.5, 2.0], vec![0.8, 1.2, 0.4]).unwrap();
         let chain = bd.to_ctmc().unwrap();
-        let state =
-            |i: usize| chain.state_by_label(&i.to_string()).expect("labeled state");
+        let state = |i: usize| chain.state_by_label(&i.to_string()).expect("labeled state");
         for from in 1..=3usize {
             let closed = bd.mean_passage_to_zero(from).unwrap();
             let numeric = chain.mean_time_to(state(from), &[state(0)]).unwrap();

@@ -178,9 +178,9 @@ impl Ctmc {
             return Err(MarkovError::EmptyChain);
         }
         if !q.is_square() {
-            return Err(MarkovError::Linalg(
-                uavail_linalg::LinalgError::NotSquare { shape: q.shape() },
-            ));
+            return Err(MarkovError::Linalg(uavail_linalg::LinalgError::NotSquare {
+                shape: q.shape(),
+            }));
         }
         let n = q.rows();
         for r in 0..n {
@@ -252,10 +252,7 @@ impl Ctmc {
     ///
     /// Structural errors as for [`Ctmc::steady_state`]; power iteration may
     /// additionally report non-convergence via [`MarkovError::Linalg`].
-    pub fn steady_state_with(
-        &self,
-        method: SteadyStateMethod,
-    ) -> Result<Vec<f64>, MarkovError> {
+    pub fn steady_state_with(&self, method: SteadyStateMethod) -> Result<Vec<f64>, MarkovError> {
         match method {
             SteadyStateMethod::Gth => gth_steady_state(&self.q),
             SteadyStateMethod::DirectLu => self.steady_state_lu(),
@@ -526,15 +523,13 @@ mod tests {
 
     #[test]
     fn all_methods_agree_on_random_chain() {
-        let q = Matrix::from_rows(&[
-            &[-3.0, 2.0, 1.0],
-            &[4.0, -5.0, 1.0],
-            &[1.0, 1.0, -2.0],
-        ])
-        .unwrap();
+        let q =
+            Matrix::from_rows(&[&[-3.0, 2.0, 1.0], &[4.0, -5.0, 1.0], &[1.0, 1.0, -2.0]]).unwrap();
         let chain = Ctmc::from_generator(q).unwrap();
         let gth = chain.steady_state_with(SteadyStateMethod::Gth).unwrap();
-        let lu = chain.steady_state_with(SteadyStateMethod::DirectLu).unwrap();
+        let lu = chain
+            .steady_state_with(SteadyStateMethod::DirectLu)
+            .unwrap();
         let pw = chain
             .steady_state_with(SteadyStateMethod::PowerUniformized)
             .unwrap();
@@ -583,7 +578,11 @@ mod tests {
         for &t in &[0.1, 0.5, 1.0, 3.0] {
             let p = chain.transient(&[1.0, 0.0], t).unwrap();
             let expected = mu / (l + mu) + l / (l + mu) * (-(l + mu) * t).exp();
-            assert!((p[0] - expected).abs() < 1e-9, "t={t}: {} vs {expected}", p[0]);
+            assert!(
+                (p[0] - expected).abs() < 1e-9,
+                "t={t}: {} vs {expected}",
+                p[0]
+            );
         }
     }
 
@@ -630,9 +629,7 @@ mod tests {
         let up = StateId(0);
         assert!(chain.expected_sojourns_before(up, &[]).is_err());
         assert!(chain.expected_sojourns_before(up, &[up]).is_err());
-        assert!(chain
-            .expected_sojourns_before(StateId(7), &[up])
-            .is_err());
+        assert!(chain.expected_sojourns_before(StateId(7), &[up]).is_err());
     }
 
     #[test]

@@ -45,9 +45,9 @@ impl Dtmc {
             return Err(MarkovError::EmptyChain);
         }
         if !p.is_square() {
-            return Err(MarkovError::Linalg(
-                uavail_linalg::LinalgError::NotSquare { shape: p.shape() },
-            ));
+            return Err(MarkovError::Linalg(uavail_linalg::LinalgError::NotSquare {
+                shape: p.shape(),
+            }));
         }
         for r in 0..p.rows() {
             let mut sum = 0.0;
@@ -87,7 +87,10 @@ impl Dtmc {
         let n = self.num_states();
         for idx in [from, to] {
             if idx >= n {
-                return Err(MarkovError::UnknownState { index: idx, states: n });
+                return Err(MarkovError::UnknownState {
+                    index: idx,
+                    states: n,
+                });
             }
         }
         Ok(self.p[(from, to)])
@@ -182,7 +185,10 @@ impl Dtmc {
         let n = self.num_states();
         for idx in [start, target] {
             if idx >= n {
-                return Err(MarkovError::UnknownState { index: idx, states: n });
+                return Err(MarkovError::UnknownState {
+                    index: idx,
+                    states: n,
+                });
             }
         }
         let mut p = self.p.clone();
@@ -219,7 +225,10 @@ mod tests {
             Err(MarkovError::NotStochastic { row: 0, .. })
         ));
         let neg = Matrix::from_rows(&[&[1.5, -0.5], &[0.5, 0.5]]).unwrap();
-        assert!(matches!(Dtmc::new(neg), Err(MarkovError::InvalidValue { .. })));
+        assert!(matches!(
+            Dtmc::new(neg),
+            Err(MarkovError::InvalidValue { .. })
+        ));
     }
 
     #[test]
@@ -233,12 +242,7 @@ mod tests {
 
     #[test]
     fn three_methods_agree() {
-        let p = Matrix::from_rows(&[
-            &[0.5, 0.3, 0.2],
-            &[0.1, 0.8, 0.1],
-            &[0.3, 0.3, 0.4],
-        ])
-        .unwrap();
+        let p = Matrix::from_rows(&[&[0.5, 0.3, 0.2], &[0.1, 0.8, 0.1], &[0.3, 0.3, 0.4]]).unwrap();
         let chain = Dtmc::new(p).unwrap();
         let gth = chain.stationary().unwrap();
         let direct = chain.stationary_direct().unwrap();

@@ -49,7 +49,10 @@ impl fmt::Display for MarkovError {
                 write!(f, "invalid value {value} in {context}")
             }
             MarkovError::UnknownState { index, states } => {
-                write!(f, "state index {index} out of range for {states}-state chain")
+                write!(
+                    f,
+                    "state index {index} out of range for {states}-state chain"
+                )
             }
             MarkovError::EmptyChain => write!(f, "chain has no states"),
             MarkovError::BadStructure { reason } => write!(f, "bad chain structure: {reason}"),

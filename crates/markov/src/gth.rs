@@ -112,12 +112,8 @@ mod tests {
     #[test]
     fn three_state_cycle() {
         // Cyclic chain 0 -> 1 -> 2 -> 0 with unit rates: uniform stationary.
-        let q = Matrix::from_rows(&[
-            &[-1.0, 1.0, 0.0],
-            &[0.0, -1.0, 1.0],
-            &[1.0, 0.0, -1.0],
-        ])
-        .unwrap();
+        let q =
+            Matrix::from_rows(&[&[-1.0, 1.0, 0.0], &[0.0, -1.0, 1.0], &[1.0, 0.0, -1.0]]).unwrap();
         let pi = gth_steady_state(&q).unwrap();
         for v in pi {
             assert!((v - 1.0 / 3.0).abs() < 1e-14);

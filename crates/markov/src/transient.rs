@@ -178,8 +178,7 @@ mod tests {
         let (l, mu) = (0.4, 1.6);
         let chain = two_state(l, mu);
         let ts = [0.0, 0.25, 1.0, 4.0];
-        let curve =
-            point_availability(&chain, &[1.0, 0.0], &[1.0, 0.0], &ts).unwrap();
+        let curve = point_availability(&chain, &[1.0, 0.0], &[1.0, 0.0], &ts).unwrap();
         for (&t, &a) in ts.iter().zip(&curve) {
             let expected = mu / (l + mu) + l / (l + mu) * (-(l + mu) * t).exp();
             assert!((a - expected).abs() < 1e-9, "t={t}: {a} vs {expected}");
@@ -192,8 +191,7 @@ mod tests {
         let (l, mu) = (0.5, 1.5);
         let chain = two_state(l, mu);
         for &t in &[0.1, 1.0, 5.0, 50.0] {
-            let ia =
-                interval_availability(&chain, &[1.0, 0.0], &[1.0, 0.0], t).unwrap();
+            let ia = interval_availability(&chain, &[1.0, 0.0], &[1.0, 0.0], t).unwrap();
             let s = l + mu;
             let expected = mu / s + l / (s * s * t) * (1.0 - (-s * t).exp());
             assert!((ia - expected).abs() < 1e-8, "t={t}: {ia} vs {expected}");
@@ -219,8 +217,7 @@ mod tests {
         let chain = two_state(0.8, 1.2);
         let mut prev = 1.0;
         for &t in &[0.1, 0.5, 1.0, 2.0, 10.0] {
-            let ia =
-                interval_availability(&chain, &[1.0, 0.0], &[1.0, 0.0], t).unwrap();
+            let ia = interval_availability(&chain, &[1.0, 0.0], &[1.0, 0.0], t).unwrap();
             assert!(ia <= prev + 1e-12, "t={t}");
             prev = ia;
         }

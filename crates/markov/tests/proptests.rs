@@ -3,9 +3,7 @@
 
 use proptest::prelude::*;
 use uavail_linalg::Matrix;
-use uavail_markov::{
-    gth_steady_state, BirthDeath, Ctmc, Dtmc, SteadyStateMethod,
-};
+use uavail_markov::{gth_steady_state, BirthDeath, Ctmc, Dtmc, SteadyStateMethod};
 
 /// Strategy: a random irreducible-ish row-stochastic matrix (all entries
 /// strictly positive, so irreducibility and aperiodicity are guaranteed).

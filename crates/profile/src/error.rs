@@ -53,7 +53,10 @@ impl fmt::Display for ProfileError {
                 write!(f, "invalid probability {value} for {context}")
             }
             ProfileError::UnnormalizedNode { node, sum } => {
-                write!(f, "outgoing probabilities of {node:?} sum to {sum}, expected 1")
+                write!(
+                    f,
+                    "outgoing probabilities of {node:?} sum to {sum}, expected 1"
+                )
             }
             ProfileError::Empty => write!(f, "profile has no functions"),
             ProfileError::NonTerminating { reason } => {

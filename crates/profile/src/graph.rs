@@ -482,10 +482,7 @@ impl ProfileGraph {
     ///
     /// Propagates enumeration failures; [`ProfileError::BadTable`] when
     /// every class falls below the threshold.
-    pub fn to_scenario_table(
-        &self,
-        threshold: f64,
-    ) -> Result<crate::ScenarioTable, ProfileError> {
+    pub fn to_scenario_table(&self, threshold: f64) -> Result<crate::ScenarioTable, ProfileError> {
         let classes = self.scenario_class_probabilities(threshold)?;
         let total: f64 = classes.iter().map(|(_, p)| p).sum();
         if total <= 0.0 {

@@ -1,0 +1,143 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment resolves crates.io unreliably, so the workspace
+//! ships this dependency-free (modulo the in-tree `rand` shim) randomized
+//! property-testing harness implementing the exact subset the repository's
+//! `tests/proptests.rs` suites use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`);
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`];
+//! * range strategies (`0.0f64..1.0`, `1usize..60`, inclusive variants),
+//!   tuples, [`Just`](strategy::Just), [`any`](arbitrary::any),
+//!   `prop::collection::vec`, [`prop_oneof!`], `prop_map`, `prop_flat_map`,
+//!   `prop_recursive`, and `boxed()`.
+//!
+//! Differences from real proptest: cases are generated from a fixed
+//! deterministic seed derived from the test's module path and name (so
+//! failures reproduce exactly on re-run), and there is **no shrinking** —
+//! a failure reports the case index so it can be replayed under a
+//! debugger. Case counts default to 64 and can be scaled with the
+//! `PROPTEST_CASES` environment variable.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Namespace mirror matching `proptest::prop::*` paths used via the
+/// prelude (`prop::collection::vec(..)`).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}
+
+/// The glob-importable prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Declares property tests. Each `fn name(pat in strategy, ..) { body }`
+/// becomes a `#[test]` that runs the body over `config.cases` generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                $crate::test_runner::run_cases(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    &__config,
+                    |__proptest_rng| {
+                        let ($($pat,)+) = (
+                            $($crate::strategy::Strategy::generate(&($strat), __proptest_rng),)+
+                        );
+                        $body;
+                        ::core::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the current
+/// case (with context) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?} == {:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l == *__r, $($fmt)+);
+    }};
+}
+
+/// Discards the current case (without counting it) when its inputs don't
+/// satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Uniformly picks one of several strategies producing the same value
+/// type. (Weighted arms are not supported by the shim.)
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

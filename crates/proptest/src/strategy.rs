@@ -1,0 +1,330 @@
+//! Value-generation strategies: ranges, tuples, combinators, boxing.
+//!
+//! A [`Strategy`] here is simply a deterministic function from an RNG to a
+//! value — no shrinking tree. Combinators mirror the real proptest names
+//! so test sources compile unchanged.
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use rand::Rng;
+
+use crate::test_runner::TestRng;
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` builds from
+    /// it (dependent generation).
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { source: self, f }
+    }
+
+    /// Builds a bounded recursive strategy: `self` is the leaf case and
+    /// `recurse` wraps an inner strategy into a branch case. `depth`
+    /// bounds nesting; the size-hint parameters of real proptest are
+    /// accepted but unused.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            strat = OneOf(vec![leaf.clone(), recurse(strat).boxed()]).boxed();
+        }
+        strat
+    }
+
+    /// Type-erases the strategy behind a cheaply clonable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+trait DynStrategy {
+    type Value;
+    fn generate_dyn(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased, clonable strategy handle.
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.source.generate(rng)).generate(rng)
+    }
+}
+
+/// Uniform choice between same-valued strategies; built by
+/// [`prop_oneof!`](crate::prop_oneof).
+pub struct OneOf<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T> Clone for OneOf<T> {
+    fn clone(&self) -> Self {
+        OneOf(self.0.clone())
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(!self.0.is_empty(), "prop_oneof! needs at least one arm");
+        let idx = uniform_usize(rng, self.0.len());
+        self.0[idx].generate(rng)
+    }
+}
+
+pub(crate) fn uniform_usize(rng: &mut TestRng, bound: usize) -> usize {
+    debug_assert!(bound > 0);
+    // Modulo bias is ~bound / 2^64: irrelevant at test scale.
+    (rng.random::<u64>() % bound as u64) as usize
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.random::<u64>() as u128 % span) as i128;
+                (self.start as i128 + offset) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as i128 - *self.start() as i128) as u128 + 1;
+                let offset = (rng.random::<u64>() as u128 % span) as i128;
+                (*self.start() as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let u: $t = rng.random();
+                self.start + u * (self.end - self.start)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let u: $t = rng.random();
+                lo + u * (hi - lo)
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+tuple_strategy!(A, B, C, D, E, F, G, H, I);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> TestRng {
+        TestRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let x = (3usize..7).generate(&mut r);
+            assert!((3..7).contains(&x));
+            let y = (-5i32..=5).generate(&mut r);
+            assert!((-5..=5).contains(&y));
+            let f = (0.25f64..0.75).generate(&mut r);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn ranges_cover_all_values() {
+        let mut r = rng();
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[(0usize..4).generate(&mut r)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn map_flat_map_and_tuples_compose() {
+        let mut r = rng();
+        let strat = (1usize..4)
+            .prop_flat_map(|n| crate::collection::vec(0.0f64..1.0, n).prop_map(move |v| (n, v)));
+        for _ in 0..100 {
+            let (n, v) = strat.generate(&mut r);
+            assert_eq!(v.len(), n);
+        }
+        let pair = ((0u8..10), Just("x")).generate(&mut r);
+        assert!(pair.0 < 10);
+        assert_eq!(pair.1, "x");
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug)]
+        enum Tree {
+            #[allow(dead_code)]
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(ch) => 1 + ch.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = (0u8..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 20, 4, |inner| {
+                crate::collection::vec(inner, 1..4).prop_map(Tree::Node)
+            });
+        let mut r = rng();
+        for _ in 0..200 {
+            let t = strat.generate(&mut r);
+            assert!(depth(&t) <= 4, "{t:?}");
+        }
+    }
+
+    #[test]
+    fn one_of_hits_every_arm() {
+        let strat = OneOf(vec![Just(0usize).boxed(), Just(1usize).boxed()]);
+        let mut r = rng();
+        let ones: usize = (0..200).map(|_| strat.generate(&mut r)).sum();
+        assert!(ones > 50 && ones < 150, "{ones}");
+    }
+}

@@ -1,0 +1,165 @@
+//! Case generation and the pass/reject/fail protocol.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG handed to strategies while generating one test case.
+pub type TestRng = StdRng;
+
+/// Per-`proptest!` configuration. Only `cases` and `max_rejects` are
+/// honored by the shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Accepted (non-rejected) cases to run per test.
+    pub cases: u32,
+    /// Rejection budget before the test aborts as over-constrained.
+    pub max_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_rejects: 65_536,
+        }
+    }
+}
+
+/// Outcome of a single generated case other than success.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// Inputs violated a `prop_assume!` precondition; try another case.
+    Reject(String),
+    /// A `prop_assert!` failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// Builds a rejection with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+/// FNV-1a over the test's path: a stable per-test base seed so every run
+/// regenerates the identical case sequence.
+fn base_seed(test_path: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in test_path.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn case_count(config: &ProptestConfig) -> u32 {
+    match std::env::var("PROPTEST_CASES") {
+        Ok(v) => v.parse().unwrap_or(config.cases),
+        Err(_) => config.cases,
+    }
+}
+
+/// Runs `case` until `config.cases` accepted executions, panicking on the
+/// first failure with enough context to replay it.
+///
+/// # Panics
+///
+/// Panics when a case fails or when the rejection budget is exhausted.
+pub fn run_cases(
+    test_path: &str,
+    config: &ProptestConfig,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let seed = base_seed(test_path);
+    let cases = case_count(config);
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    let mut case_index = 0u64;
+    while accepted < cases {
+        let mut rng = TestRng::seed_from_u64(seed.wrapping_add(case_index));
+        case_index += 1;
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= config.max_rejects,
+                    "{test_path}: gave up after {rejected} rejected cases \
+                     ({accepted} accepted); weaken prop_assume! conditions"
+                );
+            }
+            Err(TestCaseError::Fail(message)) => panic!(
+                "{test_path}: case #{} failed: {message}\n\
+                 (deterministic: rerun the test to reproduce)",
+                case_index - 1
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_requested_cases() {
+        let mut runs = 0;
+        run_cases("t::counts", &ProptestConfig::with_cases(10), |_| {
+            runs += 1;
+            Ok(())
+        });
+        assert_eq!(runs, 10);
+    }
+
+    #[test]
+    fn rejections_do_not_count() {
+        let mut attempts = 0;
+        let mut accepted = 0;
+        run_cases("t::rejects", &ProptestConfig::with_cases(5), |_| {
+            attempts += 1;
+            if attempts % 2 == 0 {
+                accepted += 1;
+                Ok(())
+            } else {
+                Err(TestCaseError::reject("odd attempt"))
+            }
+        });
+        assert_eq!(accepted, 5);
+        assert_eq!(attempts, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "case #")]
+    fn failures_panic() {
+        run_cases("t::fails", &ProptestConfig::with_cases(5), |_| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "gave up")]
+    fn reject_budget_enforced() {
+        let config = ProptestConfig {
+            cases: 1,
+            max_rejects: 10,
+        };
+        run_cases("t::starves", &config, |_| {
+            Err(TestCaseError::reject("never"))
+        });
+    }
+}

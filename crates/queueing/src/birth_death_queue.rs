@@ -155,7 +155,7 @@ impl BirthDeathQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{MM1K, MMcK};
+    use crate::{MMcK, MM1K};
 
     #[test]
     fn validation() {
@@ -168,7 +168,11 @@ mod tests {
 
     #[test]
     fn reproduces_mm1k() {
-        for &(a, v, k) in &[(50.0, 100.0, 10usize), (100.0, 100.0, 10), (130.0, 100.0, 7)] {
+        for &(a, v, k) in &[
+            (50.0, 100.0, 10usize),
+            (100.0, 100.0, 10),
+            (130.0, 100.0, 7),
+        ] {
             let general = BirthDeathQueue::mmck(a, v, 1, k).unwrap();
             let closed = MM1K::new(a, v, k).unwrap();
             assert!(
@@ -197,10 +201,8 @@ mod tests {
 
     #[test]
     fn balking_reduces_occupancy() {
-        let constant =
-            BirthDeathQueue::new(vec![5.0; 4], vec![5.0; 4]).unwrap();
-        let balking =
-            BirthDeathQueue::new(vec![5.0, 2.5, 1.25, 0.625], vec![5.0; 4]).unwrap();
+        let constant = BirthDeathQueue::new(vec![5.0; 4], vec![5.0; 4]).unwrap();
+        let balking = BirthDeathQueue::new(vec![5.0, 2.5, 1.25, 0.625], vec![5.0; 4]).unwrap();
         assert!(balking.mean_customers() < constant.mean_customers());
     }
 
@@ -211,9 +213,7 @@ mod tests {
         assert!(eff < 100.0 && eff > 0.0);
         // Conservation: accepted rate = service completion rate.
         let dist = q.state_distribution();
-        let completions: f64 = (1..=5)
-            .map(|n| dist[n] * (n.min(2) as f64 * 50.0))
-            .sum();
+        let completions: f64 = (1..=5).map(|n| dist[n] * (n.min(2) as f64 * 50.0)).sum();
         assert!((eff - completions).abs() < 1e-10);
     }
 }

@@ -51,7 +51,10 @@ mod tests {
             value: -1.0,
             requirement: "finite and > 0",
         };
-        assert_eq!(e.to_string(), "parameter arrival_rate = -1 must be finite and > 0");
+        assert_eq!(
+            e.to_string(),
+            "parameter arrival_rate = -1 must be finite and > 0"
+        );
         assert!(QueueingError::Unstable { utilization: 1.2 }
             .to_string()
             .contains("unstable"));

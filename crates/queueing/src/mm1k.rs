@@ -36,7 +36,11 @@ impl MM1K {
     ///
     /// Returns [`QueueingError::InvalidParameter`] for non-positive rates or
     /// `capacity == 0`.
-    pub fn new(arrival_rate: f64, service_rate: f64, capacity: usize) -> Result<Self, QueueingError> {
+    pub fn new(
+        arrival_rate: f64,
+        service_rate: f64,
+        capacity: usize,
+    ) -> Result<Self, QueueingError> {
         check_rate("arrival_rate", arrival_rate)?;
         check_rate("service_rate", service_rate)?;
         if capacity == 0 {

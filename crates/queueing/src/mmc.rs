@@ -32,7 +32,11 @@ impl MMc {
     /// * [`QueueingError::InvalidParameter`] for non-positive rates or
     ///   `servers == 0`.
     /// * [`QueueingError::Unstable`] when `α ≥ c·ν`.
-    pub fn new(arrival_rate: f64, service_rate: f64, servers: usize) -> Result<Self, QueueingError> {
+    pub fn new(
+        arrival_rate: f64,
+        service_rate: f64,
+        servers: usize,
+    ) -> Result<Self, QueueingError> {
         check_rate("arrival_rate", arrival_rate)?;
         check_rate("service_rate", service_rate)?;
         if servers == 0 {

@@ -174,7 +174,11 @@ mod tests {
 
     #[test]
     fn single_server_reduces_to_mm1k() {
-        for &(a, v, k) in &[(50.0, 100.0, 10usize), (100.0, 100.0, 10), (150.0, 100.0, 10)] {
+        for &(a, v, k) in &[
+            (50.0, 100.0, 10usize),
+            (100.0, 100.0, 10),
+            (150.0, 100.0, 10),
+        ] {
             let mmck = MMcK::new(a, v, 1, k).unwrap();
             let mm1k = MM1K::new(a, v, k).unwrap();
             assert!(

@@ -17,7 +17,7 @@
 //! `P(E_k(a) + Exp(b) > t) = P(E_k(a) > t) + e^{-bt} (a/(a−b))^k F_{E_k(a−b)}(t)`,
 //! which is numerically stable for every parameter this crate accepts.
 
-use crate::{MM1K, MMcK};
+use crate::{MMcK, MM1K};
 
 /// Tail of the Erlang(`k`, `rate`) distribution:
 /// `P(X > t) = e^{-rt} Σ_{j<k} (rt)^j / j!`.
@@ -76,8 +76,7 @@ pub fn erlang_plus_exp_tail(k: usize, a: f64, b: f64, t: f64) -> f64 {
     }
     if a > b {
         let ratio = (a / (a - b)).powi(k as i32);
-        (erlang_tail(k, a, t) + (-b * t).exp() * ratio * erlang_cdf(k, a - b, t))
-            .clamp(0.0, 1.0)
+        (erlang_tail(k, a, t) + (-b * t).exp() * ratio * erlang_cdf(k, a - b, t)).clamp(0.0, 1.0)
     } else {
         // Symmetric form with the roles swapped: X + Y is symmetric.
         // P(E_k(a) + Exp(b) > t) with b > a: condition on the Exp instead.
@@ -326,7 +325,11 @@ mod tests {
     #[test]
     fn erlang_plus_exp_closed_form_vs_numeric() {
         // a > b branch vs brute-force Simpson: must agree.
-        for &(k, a, b, t) in &[(1usize, 4.0, 1.0, 0.5), (3, 5.0, 2.0, 1.0), (5, 10.0, 3.0, 0.3)] {
+        for &(k, a, b, t) in &[
+            (1usize, 4.0, 1.0, 0.5),
+            (3, 5.0, 2.0, 1.0),
+            (5, 10.0, 3.0, 0.3),
+        ] {
             let closed = erlang_plus_exp_tail(k, a, b, t);
             let numeric = super::numeric_convolution_tail(k, a, b, t);
             assert!(
@@ -394,9 +397,7 @@ mod tests {
         // At t = 0 every request "misses".
         assert!((q.deadline_miss_probability(0.0) - 1.0).abs() < 1e-12);
         // For huge t only blocking remains.
-        assert!(
-            (q.deadline_miss_probability(1e6) - q.loss_probability()).abs() < 1e-12
-        );
+        assert!((q.deadline_miss_probability(1e6) - q.loss_probability()).abs() < 1e-12);
     }
 
     #[test]

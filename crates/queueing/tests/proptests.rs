@@ -2,7 +2,7 @@
 //! the whole model family.
 
 use proptest::prelude::*;
-use uavail_queueing::{BirthDeathQueue, MM1, MM1K, MMc, MMcK};
+use uavail_queueing::{BirthDeathQueue, MMc, MMcK, MM1, MM1K};
 
 proptest! {
     #[test]

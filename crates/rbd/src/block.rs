@@ -159,10 +159,9 @@ impl BlockDiagram {
             Node::Parallel(ch) => {
                 BlockSpec::Parallel(ch.iter().map(|c| Self::raise(c, components)).collect())
             }
-            Node::KOfN(k, ch) => BlockSpec::KOfN(
-                *k,
-                ch.iter().map(|c| Self::raise(c, components)).collect(),
-            ),
+            Node::KOfN(k, ch) => {
+                BlockSpec::KOfN(*k, ch.iter().map(|c| Self::raise(c, components)).collect())
+            }
             Node::Constant(b) => BlockSpec::Constant(*b),
         }
     }
@@ -255,9 +254,7 @@ impl BlockDiagram {
         assignment: &mut Vec<Option<bool>>,
     ) -> f64 {
         // Pivot on the first still-unassigned repeated component.
-        if let Some(pivot) = (0..counts.len())
-            .find(|&i| counts[i] > 1 && assignment[i].is_none())
-        {
+        if let Some(pivot) = (0..counts.len()).find(|&i| counts[i] > 1 && assignment[i].is_none()) {
             assignment[pivot] = Some(true);
             let up = self.conditioned_availability(probs, counts, assignment);
             assignment[pivot] = Some(false);
@@ -331,9 +328,7 @@ impl BlockDiagram {
             Node::Component(id) => state[*id],
             Node::Series(ch) => ch.iter().all(|c| Self::eval_structure(c, state)),
             Node::Parallel(ch) => ch.iter().any(|c| Self::eval_structure(c, state)),
-            Node::KOfN(k, ch) => {
-                ch.iter().filter(|c| Self::eval_structure(c, state)).count() >= *k
-            }
+            Node::KOfN(k, ch) => ch.iter().filter(|c| Self::eval_structure(c, state)).count() >= *k,
             Node::Constant(b) => *b,
         }
     }
@@ -344,10 +339,7 @@ mod tests {
     use super::*;
 
     fn probs(entries: &[(&str, f64)]) -> HashMap<String, f64> {
-        entries
-            .iter()
-            .map(|(n, p)| (n.to_string(), *p))
-            .collect()
+        entries.iter().map(|(n, p)| (n.to_string(), *p)).collect()
     }
 
     #[test]
@@ -410,10 +402,8 @@ mod tests {
         let a = d
             .availability(&probs(&[("a", pa), ("b", pb), ("c", pc)]))
             .unwrap();
-        let expected = pa * pb * pc
-            + pa * pb * (1.0 - pc)
-            + pa * (1.0 - pb) * pc
-            + (1.0 - pa) * pb * pc;
+        let expected =
+            pa * pb * pc + pa * pb * (1.0 - pc) + pa * (1.0 - pb) * pc + (1.0 - pa) * pb * pc;
         assert!((a - expected).abs() < 1e-15);
     }
 
@@ -428,9 +418,7 @@ mod tests {
             parallel(vec![component("lan"), component("b")]),
         ]))
         .unwrap();
-        let a = d
-            .availability(&probs(&[("lan", 0.9), ("b", 0.5)]))
-            .unwrap();
+        let a = d.availability(&probs(&[("lan", 0.9), ("b", 0.5)])).unwrap();
         assert!((a - 0.9).abs() < 1e-15);
     }
 
@@ -522,12 +510,8 @@ mod tests {
 
     #[test]
     fn component_names_in_first_appearance_order() {
-        let d = BlockDiagram::new(series(vec![
-            component("x"),
-            component("y"),
-            component("x"),
-        ]))
-        .unwrap();
+        let d = BlockDiagram::new(series(vec![component("x"), component("y"), component("x")]))
+            .unwrap();
         assert_eq!(d.component_names(), &["x".to_string(), "y".to_string()]);
         assert_eq!(d.num_components(), 2);
     }

@@ -49,7 +49,10 @@ impl fmt::Display for RbdError {
                 write!(f, "no probability supplied for component {name:?}")
             }
             RbdError::InvalidProbability { name, value } => {
-                write!(f, "probability {value} for component {name:?} not in [0, 1]")
+                write!(
+                    f,
+                    "probability {value} for component {name:?} not in [0, 1]"
+                )
             }
             RbdError::StateLengthMismatch { got, expected } => {
                 write!(f, "state vector length {got}, expected {expected}")
@@ -69,7 +72,9 @@ mod tests {
         assert!(RbdError::EmptyBlock { kind: "series" }
             .to_string()
             .contains("series"));
-        assert!(RbdError::BadThreshold { k: 3, n: 2 }.to_string().contains('3'));
+        assert!(RbdError::BadThreshold { k: 3, n: 2 }
+            .to_string()
+            .contains('3'));
         assert!(RbdError::MissingProbability { name: "ws".into() }
             .to_string()
             .contains("ws"));

@@ -50,8 +50,7 @@ fn choose_and_cross(groups: &[Vec<ComponentSet>], k: usize) -> Vec<ComponentSet>
     let mut result = Vec::new();
     let mut indices: Vec<usize> = (0..k).collect();
     loop {
-        let chosen: Vec<Vec<ComponentSet>> =
-            indices.iter().map(|&i| groups[i].clone()).collect();
+        let chosen: Vec<Vec<ComponentSet>> = indices.iter().map(|&i| groups[i].clone()).collect();
         result.extend(cross_union(&chosen));
         // Advance the combination.
         let mut i = k;

@@ -70,7 +70,9 @@ mod tests {
             requirement: "finite and > 0",
         };
         assert!(e.to_string().contains("lambda"));
-        assert!(SimError::NoObservations.to_string().contains("no observations"));
+        assert!(SimError::NoObservations
+            .to_string()
+            .contains("no observations"));
     }
 
     #[test]

@@ -299,8 +299,7 @@ mod tests {
     #[test]
     fn loss_fraction_with_always_up_servers_matches_queue_formula() {
         // Failure rate so small no failure occurs: pure M/M/c/K behaviour.
-        let sim =
-            FarmSimulation::new(2, 1e-12, 1.0, 1.0, 1.0, 15.0, 10.0, 4).unwrap();
+        let sim = FarmSimulation::new(2, 1e-12, 1.0, 1.0, 1.0, 15.0, 10.0, 4).unwrap();
         let mut rng = StdRng::seed_from_u64(9);
         let obs = sim.run(&mut rng, 30_000.0).unwrap();
         // M/M/2/4 with a = 1.5.
@@ -329,7 +328,9 @@ mod tests {
         assert!(obs.reconfiguration_time > 0.0);
         // Reconfiguration periods add losses compared to perfect coverage.
         let perfect = FarmSimulation::new(3, 0.5, 1.0, 1.0, 2.0, 5.0, 5.0, 6).unwrap();
-        let obs_perfect = perfect.run(&mut StdRng::seed_from_u64(13), 50_000.0).unwrap();
+        let obs_perfect = perfect
+            .run(&mut StdRng::seed_from_u64(13), 50_000.0)
+            .unwrap();
         assert!(obs.loss_fraction() > obs_perfect.loss_fraction());
     }
 

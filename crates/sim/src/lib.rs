@@ -14,6 +14,9 @@
 //!   confidence intervals, batch means.
 //! * [`rng`] — exponential/geometry sampling helpers on top of any
 //!   [`rand::Rng`].
+//! * [`replicate`] — deterministic independent replications, serially or
+//!   on all cores with bit-for-bit identical results (each replication
+//!   owns an RNG stream derived from the base seed).
 //! * [`AlternatingRenewal`] — up/down component simulation; validates
 //!   two-state availability `µ/(λ+µ)`.
 //! * [`QueueSimulation`] — M/M/c/K loss simulation; validates the
@@ -46,6 +49,7 @@ mod error;
 mod farm;
 mod queue_sim;
 mod renewal;
+pub mod replicate;
 mod response_sim;
 pub mod rng;
 pub mod stats;

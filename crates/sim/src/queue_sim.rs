@@ -152,10 +152,8 @@ impl QueueSimulation {
                         }
                     }
                     if arrivals < target_arrivals {
-                        events.schedule_in(
-                            exponential(rng, self.arrival_rate),
-                            QueueEvent::Arrival,
-                        );
+                        events
+                            .schedule_in(exponential(rng, self.arrival_rate), QueueEvent::Arrival);
                     }
                 }
                 QueueEvent::Departure => {
@@ -242,7 +240,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(21);
         let obs = sim.run(&mut rng, 200_000).unwrap();
         // L ≈ rho / (1 - rho) = 1 for rho = 0.5 (loss negligible at K=20).
-        assert!((obs.mean_customers - 1.0).abs() < 0.05, "{}", obs.mean_customers);
+        assert!(
+            (obs.mean_customers - 1.0).abs() < 0.05,
+            "{}",
+            obs.mean_customers
+        );
     }
 
     #[test]

@@ -70,7 +70,11 @@ impl AlternatingRenewal {
         let mut failures = 0u64;
         let mut up = true;
         while t < horizon {
-            let rate = if up { self.failure_rate } else { self.repair_rate };
+            let rate = if up {
+                self.failure_rate
+            } else {
+                self.repair_rate
+            };
             let sojourn = exponential(rng, rate);
             let end = (t + sojourn).min(horizon);
             if up {

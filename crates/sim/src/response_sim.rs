@@ -75,7 +75,9 @@ impl ResponseObservation {
 enum Event {
     Arrival,
     /// Completion of the customer that arrived at the carried time.
-    Completion { arrived_at: f64 },
+    Completion {
+        arrived_at: f64,
+    },
 }
 
 impl ResponseSimulation {
@@ -165,10 +167,7 @@ impl ResponseSimulation {
                         losses += 1;
                     }
                     if arrivals < target_arrivals {
-                        events.schedule_in(
-                            exponential(rng, self.arrival_rate),
-                            Event::Arrival,
-                        );
+                        events.schedule_in(exponential(rng, self.arrival_rate), Event::Arrival);
                     }
                 }
                 Event::Completion { arrived_at } => {

@@ -4,6 +4,7 @@
 use std::collections::HashMap;
 
 use uavail_core::downtime::{RevenueModel, HOURS_PER_YEAR};
+use uavail_core::par::{default_threads, par_map_threads};
 use uavail_profile::ScenarioCategory;
 
 use crate::user::{class_a, class_b, scenario_availability, UserClass};
@@ -62,32 +63,63 @@ pub fn figure_grid() -> (Vec<f64>, Vec<f64>) {
     (vec![1e-2, 1e-3, 1e-4], vec![50.0, 100.0, 150.0])
 }
 
-fn figure_sweep(perfect: bool) -> Result<Vec<FigurePoint>, TravelError> {
+/// The flattened `(λ, α, N_W)` evaluation grid of Figures 11–12, in the
+/// order the serial sweep visits it.
+fn figure_points_grid() -> Vec<(f64, f64, usize)> {
     let (lambdas, alphas) = figure_grid();
-    let mut points = Vec::new();
+    let mut grid = Vec::with_capacity(lambdas.len() * alphas.len() * 10);
     for &lambda in &lambdas {
         for &alpha in &alphas {
             for nw in 1..=10usize {
-                let params = TaParameters::builder()
-                    .web_servers(nw)
-                    .failure_rate_per_hour(lambda)
-                    .arrival_rate_per_second(alpha)
-                    .build()?;
-                let a = if perfect {
-                    webservice::redundant_perfect_availability(&params)?
-                } else {
-                    webservice::redundant_imperfect_availability(&params)?
-                };
-                points.push(FigurePoint {
-                    failure_rate_per_hour: lambda,
-                    arrival_rate_per_second: alpha,
-                    web_servers: nw,
-                    unavailability: 1.0 - a,
-                });
+                grid.push((lambda, alpha, nw));
             }
         }
     }
-    Ok(points)
+    grid
+}
+
+/// Evaluates one point of the Figure 11/12 grid — shared by the serial
+/// and parallel sweeps so both produce bit-for-bit identical points.
+fn figure_point(
+    perfect: bool,
+    lambda: f64,
+    alpha: f64,
+    nw: usize,
+) -> Result<FigurePoint, TravelError> {
+    let params = TaParameters::builder()
+        .web_servers(nw)
+        .failure_rate_per_hour(lambda)
+        .arrival_rate_per_second(alpha)
+        .build()?;
+    let a = if perfect {
+        webservice::redundant_perfect_availability(&params)?
+    } else {
+        webservice::redundant_imperfect_availability(&params)?
+    };
+    Ok(FigurePoint {
+        failure_rate_per_hour: lambda,
+        arrival_rate_per_second: alpha,
+        web_servers: nw,
+        unavailability: 1.0 - a,
+    })
+}
+
+fn figure_sweep(perfect: bool) -> Result<Vec<FigurePoint>, TravelError> {
+    figure_points_grid()
+        .into_iter()
+        .map(|(lambda, alpha, nw)| figure_point(perfect, lambda, alpha, nw))
+        .collect()
+}
+
+/// Parallel [`figure_sweep`]: evaluates the 90-point grid on up to
+/// `threads` scoped worker threads, returning exactly the serial result.
+pub(crate) fn figure_sweep_parallel_threads(
+    perfect: bool,
+    threads: usize,
+) -> Result<Vec<FigurePoint>, TravelError> {
+    par_map_threads(&figure_points_grid(), threads, |&(lambda, alpha, nw)| {
+        figure_point(perfect, lambda, alpha, nw)
+    })
 }
 
 /// Reproduces Figure 11: web-service unavailability vs. `N_W` under
@@ -100,6 +132,16 @@ pub fn figure11() -> Result<Vec<FigurePoint>, TravelError> {
     figure_sweep(true)
 }
 
+/// Parallel [`figure11`]: same 90 points, bit for bit, computed on all
+/// available cores.
+///
+/// # Errors
+///
+/// Exactly the errors [`figure11`] would produce.
+pub fn figure11_parallel() -> Result<Vec<FigurePoint>, TravelError> {
+    figure_sweep_parallel_threads(true, default_threads())
+}
+
 /// Reproduces Figure 12: the same sweep under **imperfect** coverage
 /// (`c = 0.98`, `β = 12/h`).
 ///
@@ -108,6 +150,16 @@ pub fn figure11() -> Result<Vec<FigurePoint>, TravelError> {
 /// Propagates solver failures.
 pub fn figure12() -> Result<Vec<FigurePoint>, TravelError> {
     figure_sweep(false)
+}
+
+/// Parallel [`figure12`]: same 90 points, bit for bit, computed on all
+/// available cores.
+///
+/// # Errors
+///
+/// Exactly the errors [`figure12`] would produce.
+pub fn figure12_parallel() -> Result<Vec<FigurePoint>, TravelError> {
+    figure_sweep_parallel_threads(false, default_threads())
 }
 
 /// Per-category user-unavailability contributions (Figure 13) for one
@@ -292,9 +344,7 @@ mod tests {
             for &a in &alphas {
                 let series: Vec<&FigurePoint> = points
                     .iter()
-                    .filter(|p| {
-                        p.failure_rate_per_hour == l && p.arrival_rate_per_second == a
-                    })
+                    .filter(|p| p.failure_rate_per_hour == l && p.arrival_rate_per_second == a)
                     .collect();
                 assert_eq!(series.len(), 10);
                 for w in series.windows(2) {
@@ -315,14 +365,15 @@ mod tests {
         let points = figure12().unwrap();
         let series: Vec<&FigurePoint> = points
             .iter()
-            .filter(|p| {
-                p.failure_rate_per_hour == 1e-2 && p.arrival_rate_per_second == 50.0
-            })
+            .filter(|p| p.failure_rate_per_hour == 1e-2 && p.arrival_rate_per_second == 50.0)
             .collect();
         let u4 = series.iter().find(|p| p.web_servers == 4).unwrap();
         let u10 = series.iter().find(|p| p.web_servers == 10).unwrap();
         let u1 = series.iter().find(|p| p.web_servers == 1).unwrap();
-        assert!(u4.unavailability < u1.unavailability, "redundancy helps first");
+        assert!(
+            u4.unavailability < u1.unavailability,
+            "redundancy helps first"
+        );
         assert!(
             u10.unavailability > u4.unavailability,
             "trend must reverse: U(10) = {} vs U(4) = {}",
@@ -339,6 +390,77 @@ mod tests {
         for (p11, p12) in f11.iter().zip(&f12) {
             assert!(p12.unavailability >= p11.unavailability - 1e-15);
         }
+    }
+
+    #[test]
+    fn parallel_figure_sweeps_match_serial_bit_for_bit() {
+        let s11 = figure11().unwrap();
+        let s12 = figure12().unwrap();
+        for threads in [2, 8] {
+            for (serial, parallel) in [
+                (&s11, figure_sweep_parallel_threads(true, threads).unwrap()),
+                (&s12, figure_sweep_parallel_threads(false, threads).unwrap()),
+            ] {
+                assert_eq!(serial.len(), parallel.len());
+                for (s, p) in serial.iter().zip(&parallel) {
+                    assert_eq!(s.web_servers, p.web_servers);
+                    assert_eq!(s.failure_rate_per_hour, p.failure_rate_per_hour);
+                    assert_eq!(s.arrival_rate_per_second, p.arrival_rate_per_second);
+                    assert_eq!(
+                        s.unavailability.to_bits(),
+                        p.unavailability.to_bits(),
+                        "threads={threads} N_W={} λ={} α={}",
+                        s.web_servers,
+                        s.failure_rate_per_hour,
+                        s.arrival_rate_per_second
+                    );
+                }
+            }
+        }
+        assert_eq!(s11, figure11_parallel().unwrap());
+        assert_eq!(s12, figure12_parallel().unwrap());
+    }
+
+    #[test]
+    fn table7_headline_pinned_on_serial_and_parallel_paths() {
+        // Table 7: A(WS) = 0.999995587 at λ = 1e-4, α = 100, N_W = 4 —
+        // that point sits on the Figure 12 grid, so both sweep paths must
+        // reproduce it.
+        for (label, points) in [
+            ("serial", figure12().unwrap()),
+            ("parallel", figure12_parallel().unwrap()),
+        ] {
+            let p = points
+                .iter()
+                .find(|p| {
+                    p.failure_rate_per_hour == 1e-4
+                        && p.arrival_rate_per_second == 100.0
+                        && p.web_servers == 4
+                })
+                .unwrap();
+            assert!(
+                (p.unavailability - (1.0 - 0.999995587)).abs() < 1e-8,
+                "{label}: U(WS) = {:.3e}",
+                p.unavailability
+            );
+        }
+    }
+
+    #[test]
+    fn figure12_reversal_on_parallel_path() {
+        let points = figure12_parallel().unwrap();
+        let series: Vec<&FigurePoint> = points
+            .iter()
+            .filter(|p| p.failure_rate_per_hour == 1e-2 && p.arrival_rate_per_second == 50.0)
+            .collect();
+        let u4 = series.iter().find(|p| p.web_servers == 4).unwrap();
+        let u10 = series.iter().find(|p| p.web_servers == 10).unwrap();
+        assert!(
+            u10.unavailability > u4.unavailability,
+            "parallel path must show the Figure 12 reversal: U(10) = {} vs U(4) = {}",
+            u10.unavailability,
+            u4.unavailability
+        );
     }
 
     #[test]

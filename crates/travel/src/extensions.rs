@@ -26,10 +26,7 @@ use crate::{webservice, TaParameters, TravelError};
 ///
 /// * [`TravelError::InvalidParameter`] for a negative or NaN deadline.
 /// * Propagated solver failures.
-pub fn deadline_availability(
-    params: &TaParameters,
-    deadline: f64,
-) -> Result<f64, TravelError> {
+pub fn deadline_availability(params: &TaParameters, deadline: f64) -> Result<f64, TravelError> {
     if deadline.is_nan() || deadline < 0.0 {
         return Err(TravelError::InvalidParameter {
             name: "deadline",
@@ -180,7 +177,10 @@ mod tests {
         let strict = min_web_servers_for_deadline(1e-3, 0.1, &base, 10)
             .unwrap()
             .expect("attainable with a lenient deadline");
-        assert!(strict >= classical, "strict {strict} vs classical {classical}");
+        assert!(
+            strict >= classical,
+            "strict {strict} vs classical {classical}"
+        );
     }
 
     #[test]

@@ -55,10 +55,22 @@ impl Fig2Probabilities {
     pub fn validate(&self) -> Result<(), TravelError> {
         let entries = [
             ("start_home", self.start_home, 1.0),
-            ("home_browse + home_search", self.home_browse + self.home_search, 1.0),
-            ("browse_home + browse_search", self.browse_home + self.browse_search, 1.0),
+            (
+                "home_browse + home_search",
+                self.home_browse + self.home_search,
+                1.0,
+            ),
+            (
+                "browse_home + browse_search",
+                self.browse_home + self.browse_search,
+                1.0,
+            ),
             ("search_book", self.search_book, 1.0),
-            ("book_search + book_pay", self.book_search + self.book_pay, 1.0),
+            (
+                "book_search + book_pay",
+                self.book_search + self.book_pay,
+                1.0,
+            ),
         ];
         for (name, v, cap) in entries {
             if !(v.is_finite() && (0.0..=cap + 1e-12).contains(&v)) {
@@ -100,7 +112,10 @@ impl Fig2Probabilities {
     pub fn to_graph(&self) -> Result<ProfileGraph, TravelError> {
         self.validate()?;
         let mut g = ProfileGraph::new(
-            TaFunction::all().iter().map(|f| f.name()).collect::<Vec<_>>(),
+            TaFunction::all()
+                .iter()
+                .map(|f| f.name())
+                .collect::<Vec<_>>(),
         )?;
         let eps_free = |v: f64| v.clamp(0.0, 1.0);
         g.set_start_transition("Home", eps_free(self.start_home))?;
@@ -240,24 +255,46 @@ pub fn fit_to_table<R: Rng + ?Sized>(
         }
     }
 
-    // Coordinate refinement with shrinking steps.
-    let mut step = 0.1;
+    // Pattern search: at each step size, descend until no move from the
+    // direction set improves, then halve the step. Rounds count step
+    // levels (not individual moves), so large early steps cannot exhaust
+    // the budget before the fine-polish levels run. The direction set
+    // contains single-coordinate moves and opposite-signed coordinate
+    // pairs: each node's outgoing probabilities are sum-constrained (the
+    // implied Exit complement moves with them), so the error surface has
+    // diagonal valleys that axis-aligned moves alone cannot descend.
+    fn coord_mut(c: &mut Fig2Probabilities, i: usize) -> &mut f64 {
+        match i {
+            0 => &mut c.start_home,
+            1 => &mut c.home_browse,
+            2 => &mut c.home_search,
+            3 => &mut c.browse_home,
+            4 => &mut c.browse_search,
+            5 => &mut c.search_book,
+            6 => &mut c.book_search,
+            _ => &mut c.book_pay,
+        }
+    }
+    let mut directions: Vec<Vec<(usize, f64)>> = Vec::new();
+    for i in 0..8 {
+        directions.push(vec![(i, 1.0)]);
+        directions.push(vec![(i, -1.0)]);
+        for j in 0..8 {
+            if i != j {
+                directions.push(vec![(i, 1.0), (j, -1.0)]);
+            }
+        }
+    }
+    let mut step = 0.25;
     for _ in 0..refinement_rounds {
-        let mut improved = false;
-        for coord in 0..8 {
-            for dir in [-1.0, 1.0] {
+        for _ in 0..200 {
+            let mut improved = false;
+            for direction in &directions {
                 let mut cand = best;
-                let field: &mut f64 = match coord {
-                    0 => &mut cand.start_home,
-                    1 => &mut cand.home_browse,
-                    2 => &mut cand.home_search,
-                    3 => &mut cand.browse_home,
-                    4 => &mut cand.browse_search,
-                    5 => &mut cand.search_book,
-                    6 => &mut cand.book_search,
-                    _ => &mut cand.book_pay,
-                };
-                *field = (*field + dir * step).clamp(0.0, 1.0);
+                for &(coord, sign) in direction {
+                    let field = coord_mut(&mut cand, coord);
+                    *field = (*field + sign * step).clamp(0.0, 1.0);
+                }
                 if cand.validate().is_err() {
                     continue;
                 }
@@ -269,12 +306,13 @@ pub fn fit_to_table<R: Rng + ?Sized>(
                     }
                 }
             }
-        }
-        if !improved {
-            step *= 0.5;
-            if step < 1e-5 {
+            if !improved {
                 break;
             }
+        }
+        step *= 0.5;
+        if step < 1e-9 {
+            break;
         }
     }
     Ok((best, best_err))
@@ -338,11 +376,7 @@ mod tests {
                 .iter()
                 .enumerate()
                 .map(|(i, (mask, p))| {
-                    uavail_profile::Scenario::new(
-                        format!("s{i}"),
-                        g.mask_to_names(*mask),
-                        *p,
-                    )
+                    uavail_profile::Scenario::new(format!("s{i}"), g.mask_to_names(*mask), *p)
                 })
                 .collect(),
         )

@@ -184,8 +184,7 @@ mod tests {
         let p = params();
         // Redundant: only net and lan are SPOFs for Home.
         let tree =
-            function_fault_tree(TaFunction::Home, &p, Architecture::paper_reference())
-                .unwrap();
+            function_fault_tree(TaFunction::Home, &p, Architecture::paper_reference()).unwrap();
         let mut spof = tree.single_points_of_failure();
         spof.sort();
         assert_eq!(spof, vec!["lan", "net"]);
@@ -200,8 +199,7 @@ mod tests {
     fn pay_spofs_include_payment_system() {
         let p = params();
         let tree =
-            function_fault_tree(TaFunction::Pay, &p, Architecture::paper_reference())
-                .unwrap();
+            function_fault_tree(TaFunction::Pay, &p, Architecture::paper_reference()).unwrap();
         let spof = tree.single_points_of_failure();
         assert!(spof.contains(&"payment".to_string()));
         assert!(spof.contains(&"net".to_string()));
@@ -228,14 +226,12 @@ mod tests {
     fn basic_architecture_worse_top_event() {
         let p = params();
         for f in TaFunction::all() {
-            let q_basic =
-                failure_probabilities(&p, Architecture::Basic).unwrap();
+            let q_basic = failure_probabilities(&p, Architecture::Basic).unwrap();
             let top_basic = function_fault_tree(f, &p, Architecture::Basic)
                 .unwrap()
                 .top_event_probability(&q_basic)
                 .unwrap();
-            let q_red =
-                failure_probabilities(&p, Architecture::paper_reference()).unwrap();
+            let q_red = failure_probabilities(&p, Architecture::paper_reference()).unwrap();
             let top_red = function_fault_tree(f, &p, Architecture::paper_reference())
                 .unwrap()
                 .top_event_probability(&q_red)

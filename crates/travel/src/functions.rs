@@ -253,11 +253,7 @@ mod tests {
         let env = service_env();
         let p = params();
         let a = availability(TaFunction::Browse, &p, &env).unwrap();
-        let (ws, asv, ds) = (
-            env[SERVICE_WEB],
-            env[SERVICE_APP],
-            env[SERVICE_DB],
-        );
+        let (ws, asv, ds) = (env[SERVICE_WEB], env[SERVICE_APP], env[SERVICE_DB]);
         let bracket = p.q23 + asv * (p.q24 * p.q45 + p.q24 * p.q47 * ds);
         let expected = 0.9966 * 0.9966 * ws * bracket;
         assert!((a - expected).abs() < 1e-12);

@@ -44,8 +44,8 @@ pub mod fig2;
 pub mod fta;
 pub mod functions;
 pub mod maintenance;
-pub mod multisite;
 mod model;
+pub mod multisite;
 mod params;
 pub mod report;
 pub mod services;

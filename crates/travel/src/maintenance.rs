@@ -80,9 +80,7 @@ pub fn farm_distribution(
     }
 }
 
-fn dedicated_distribution(
-    params: &TaParameters,
-) -> Result<(Vec<f64>, Vec<f64>), TravelError> {
+fn dedicated_distribution(params: &TaParameters) -> Result<(Vec<f64>, Vec<f64>), TravelError> {
     let n = params.web_servers;
     let lambda = params.failure_rate_per_hour;
     let mu = params.repair_rate_per_hour;
@@ -128,7 +126,9 @@ fn deferred_distribution(
     // irrelevant: after reconfiguration i - 1 <= start_below may or may
     // not hold; carry the flag).
     let mut b = CtmcBuilder::new();
-    let idle: Vec<_> = (0..=n).map(|i| b.add_state(format!("up{i}/idle"))).collect();
+    let idle: Vec<_> = (0..=n)
+        .map(|i| b.add_state(format!("up{i}/idle")))
+        .collect();
     let fixing: Vec<_> = (0..=n)
         .map(|i| b.add_state(format!("up{i}/repairing")))
         .collect();
@@ -138,9 +138,8 @@ fn deferred_distribution(
         .collect();
 
     // Failure target: does the destination trigger repair?
-    let flag_after_drop = |i_next: usize, currently: bool| -> bool {
-        currently || i_next <= start_below
-    };
+    let flag_after_drop =
+        |i_next: usize, currently: bool| -> bool { currently || i_next <= start_below };
     for i in 1..=n {
         for &repairing in &[false, true] {
             let from = if repairing { fixing[i] } else { idle[i] };
@@ -154,7 +153,11 @@ fn deferred_distribution(
             // decision for after reconfiguration.
             if c < 1.0 {
                 let to_flag = flag_after_drop(i - 1, repairing);
-                let y_to = if to_flag { y_fixing[i - 1] } else { y_idle[i - 1] };
+                let y_to = if to_flag {
+                    y_fixing[i - 1]
+                } else {
+                    y_idle[i - 1]
+                };
                 b.add_transition(from, y_to, i as f64 * (1.0 - c) * lambda)?;
             }
         }
@@ -198,10 +201,7 @@ fn deferred_distribution(
 /// Solves the steady state of `chain` restricted to the states reachable
 /// from `start`, returning a full-length vector with zeros for
 /// unreachable states.
-fn prune_and_solve(
-    chain: &uavail_markov::Ctmc,
-    start: usize,
-) -> Result<Vec<f64>, TravelError> {
+fn prune_and_solve(chain: &uavail_markov::Ctmc, start: usize) -> Result<Vec<f64>, TravelError> {
     let q = chain.generator();
     let n = q.rows();
     let mut reachable = vec![false; n];
@@ -280,7 +280,10 @@ mod tests {
         let p = params();
         let shared = web_availability(&p, RepairStrategy::SharedImmediate).unwrap();
         let dedicated = web_availability(&p, RepairStrategy::DedicatedImmediate).unwrap();
-        assert!(dedicated >= shared, "dedicated {dedicated} vs shared {shared}");
+        assert!(
+            dedicated >= shared,
+            "dedicated {dedicated} vs shared {shared}"
+        );
     }
 
     #[test]
@@ -290,8 +293,7 @@ mod tests {
             .build()
             .unwrap();
         let immediate = web_availability(&p, RepairStrategy::SharedImmediate).unwrap();
-        let deferred =
-            web_availability(&p, RepairStrategy::Deferred { start_below: 2 }).unwrap();
+        let deferred = web_availability(&p, RepairStrategy::Deferred { start_below: 2 }).unwrap();
         assert!(
             deferred < immediate,
             "deferred {deferred} vs immediate {immediate}"
@@ -336,10 +338,7 @@ mod tests {
         ] {
             let (op, y) = farm_distribution(&p, strategy).unwrap();
             let total: f64 = op.iter().sum::<f64>() + y.iter().sum::<f64>();
-            assert!(
-                (total - 1.0).abs() < 1e-9,
-                "{strategy}: total {total}"
-            );
+            assert!((total - 1.0).abs() < 1e-9, "{strategy}: total {total}");
             assert!(op.iter().chain(y.iter()).all(|&v| v >= 0.0));
         }
     }
@@ -357,7 +356,9 @@ mod tests {
 
     #[test]
     fn display_names() {
-        assert!(RepairStrategy::SharedImmediate.to_string().contains("shared"));
+        assert!(RepairStrategy::SharedImmediate
+            .to_string()
+            .contains("shared"));
         assert!(RepairStrategy::Deferred { start_below: 2 }
             .to_string()
             .contains("<= 2"));

@@ -100,10 +100,7 @@ impl TravelAgencyModel {
         env.insert(functions::SERVICE_FLIGHT.to_string(), services::flight(p)?);
         env.insert(functions::SERVICE_HOTEL.to_string(), services::hotel(p)?);
         env.insert(functions::SERVICE_CAR.to_string(), services::car(p)?);
-        env.insert(
-            functions::SERVICE_PAYMENT.to_string(),
-            services::payment(p),
-        );
+        env.insert(functions::SERVICE_PAYMENT.to_string(), services::payment(p));
         Ok(env)
     }
 
@@ -160,9 +157,8 @@ impl TravelAgencyModel {
                 vec![(0, s.probability, Default::default())];
             while let Some((depth, prob, used)) = stack.pop() {
                 if depth == per_function.len() {
-                    let product = AvailExpr::product(
-                        used.iter().cloned().map(AvailExpr::param).collect(),
-                    );
+                    let product =
+                        AvailExpr::product(used.iter().cloned().map(AvailExpr::param).collect());
                     terms.push((prob, product));
                     continue;
                 }
@@ -212,9 +208,8 @@ impl TravelAgencyModel {
             Level::Service,
             self.web_availability()?,
         )?;
-        let dup = |name: &str| {
-            AvailExpr::parallel(vec![AvailExpr::param(name), AvailExpr::param(name)])
-        };
+        let dup =
+            |name: &str| AvailExpr::parallel(vec![AvailExpr::param(name), AvailExpr::param(name)]);
         match self.architecture {
             Architecture::Basic => {
                 m.define_expr(
@@ -225,10 +220,7 @@ impl TravelAgencyModel {
                 m.define_expr(
                     functions::SERVICE_DB,
                     Level::Service,
-                    AvailExpr::product(vec![
-                        AvailExpr::param("host_ds"),
-                        AvailExpr::param("disk"),
-                    ]),
+                    AvailExpr::product(vec![AvailExpr::param("host_ds"), AvailExpr::param("disk")]),
                 )?;
             }
             Architecture::Redundant(_) => {
@@ -240,9 +232,7 @@ impl TravelAgencyModel {
                 )?;
             }
         }
-        let bank = |name: &str, n: usize| {
-            AvailExpr::parallel(vec![AvailExpr::param(name); n])
-        };
+        let bank = |name: &str, n: usize| AvailExpr::parallel(vec![AvailExpr::param(name); n]);
         m.define_expr(
             functions::SERVICE_FLIGHT,
             Level::Service,
@@ -307,11 +297,10 @@ mod tests {
             .unwrap()
             .web_availability()
             .unwrap();
-        let perfect =
-            TravelAgencyModel::new(p.clone(), Architecture::Redundant(Coverage::Perfect))
-                .unwrap()
-                .web_availability()
-                .unwrap();
+        let perfect = TravelAgencyModel::new(p.clone(), Architecture::Redundant(Coverage::Perfect))
+            .unwrap()
+            .web_availability()
+            .unwrap();
         let imperfect = model().web_availability().unwrap();
         assert!(basic < imperfect, "basic {basic} vs imperfect {imperfect}");
         assert!(imperfect < perfect);
@@ -341,10 +330,7 @@ mod tests {
         for f in TaFunction::all() {
             let direct = m.function_availability(f).unwrap();
             let via = eval.value(f.name()).unwrap();
-            assert!(
-                (direct - via).abs() < 1e-12,
-                "{f}: {direct} vs {via}"
-            );
+            assert!((direct - via).abs() < 1e-12, "{f}: {direct} vs {via}");
         }
     }
 

@@ -74,9 +74,7 @@ impl MultiSiteModel {
     /// # Errors
     ///
     /// Propagated solver failures.
-    pub fn effective_service_availabilities(
-        &self,
-    ) -> Result<HashMap<String, f64>, TravelError> {
+    pub fn effective_service_availabilities(&self) -> Result<HashMap<String, f64>, TravelError> {
         let single = TravelAgencyModel::new(self.params.clone(), self.architecture)?;
         let env = single.service_availabilities()?;
         // Per-site internal platform: everything the provider hosts.
@@ -191,8 +189,8 @@ mod tests {
         // The cap: even infinitely many sites cannot beat the external
         // services' availability.
         let params = TaParameters::paper_defaults();
-        let direct = TravelAgencyModel::new(params.clone(), Architecture::paper_reference())
-            .unwrap();
+        let direct =
+            TravelAgencyModel::new(params.clone(), Architecture::paper_reference()).unwrap();
         let env = direct.service_availabilities().unwrap();
         let mut ideal_env = env.clone();
         for s in [

@@ -158,11 +158,7 @@ impl TaParameters {
                 });
             }
         }
-        for (name, v) in [
-            ("q24", self.q24),
-            ("q45", self.q45),
-            ("q47", self.q47),
-        ] {
+        for (name, v) in [("q24", self.q24), ("q45", self.q45), ("q47", self.q47)] {
             if !(v.is_finite() && (0.0..=1.0).contains(&v)) {
                 return Err(TravelError::InvalidParameter {
                     name,

@@ -142,8 +142,7 @@ mod tests {
     fn application_service_both_architectures() {
         let p = params();
         assert!((application(&p, Architecture::Basic).unwrap() - 0.996).abs() < 1e-15);
-        let redundant =
-            application(&p, Architecture::paper_reference()).unwrap();
+        let redundant = application(&p, Architecture::paper_reference()).unwrap();
         assert!((redundant - (1.0 - 0.004f64.powi(2))).abs() < 1e-15);
         assert!(redundant > 0.996);
     }

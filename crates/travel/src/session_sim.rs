@@ -13,8 +13,11 @@
 
 use std::collections::HashMap;
 
+use rand::rngs::StdRng;
 use rand::Rng;
 
+use uavail_core::par::default_threads;
+use uavail_sim::replicate::{replicate, replicate_parallel_threads};
 use uavail_sim::rng::exponential;
 use uavail_sim::stats::Proportion;
 
@@ -110,8 +113,7 @@ pub fn simulate_user_availability<R: Rng + ?Sized>(
         .collect();
 
     // Precompute per-function path tables once.
-    let mut paths_per_function: HashMap<&'static str, Vec<(f64, Vec<usize>)>> =
-        HashMap::new();
+    let mut paths_per_function: HashMap<&'static str, Vec<(f64, Vec<usize>)>> = HashMap::new();
     for f in TaFunction::all() {
         let scenarios = functions::function_scenarios(f, params)?;
         let resolved = scenarios
@@ -215,6 +217,76 @@ pub fn simulate_user_availability<R: Rng + ?Sized>(
     })
 }
 
+/// Replicated [`simulate_user_availability`]: runs `replications`
+/// independent batches of `sessions_per_replication` sessions on all
+/// available cores and pools the success counts.
+///
+/// Each replication owns a deterministic RNG stream derived from
+/// `base_seed` (see [`uavail_sim::replicate`]), so the pooled observation
+/// is identical regardless of thread count or scheduling — and identical
+/// to running the batches one after another.
+///
+/// # Errors
+///
+/// * [`TravelError::InvalidParameter`] for `replications == 0` or
+///   `sessions_per_replication == 0`.
+/// * Propagated model failures.
+pub fn simulate_user_availability_replicated(
+    base_seed: u64,
+    class: &UserClass,
+    params: &TaParameters,
+    architecture: Architecture,
+    sessions_per_replication: u64,
+    replications: usize,
+) -> Result<SessionObservation, TravelError> {
+    simulate_user_availability_replicated_threads(
+        base_seed,
+        class,
+        params,
+        architecture,
+        sessions_per_replication,
+        replications,
+        default_threads(),
+    )
+}
+
+/// [`simulate_user_availability_replicated`] with an explicit
+/// worker-thread cap; `threads <= 1` runs the batches serially.
+///
+/// # Errors
+///
+/// See [`simulate_user_availability_replicated`].
+pub fn simulate_user_availability_replicated_threads(
+    base_seed: u64,
+    class: &UserClass,
+    params: &TaParameters,
+    architecture: Architecture,
+    sessions_per_replication: u64,
+    replications: usize,
+    threads: usize,
+) -> Result<SessionObservation, TravelError> {
+    if replications == 0 {
+        return Err(TravelError::InvalidParameter {
+            name: "replications",
+            value: 0.0,
+            requirement: "at least 1",
+        });
+    }
+    let run = |rng: &mut StdRng, _: usize| {
+        simulate_user_availability(rng, class, params, architecture, sessions_per_replication)
+    };
+    let observations = if threads <= 1 {
+        replicate(base_seed, replications, run)?
+    } else {
+        replicate_parallel_threads(base_seed, replications, threads, run)?
+    };
+    Ok(SessionObservation {
+        sessions: observations.iter().map(|o| o.sessions).sum(),
+        successes: observations.iter().map(|o| o.successes).sum(),
+        analytic: observations[0].analytic,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -273,6 +345,49 @@ mod tests {
             obs.availability(),
             obs.confidence_interval(4.0)
         );
+    }
+
+    #[test]
+    fn replicated_sessions_parallel_matches_serial() {
+        let params = TaParameters::paper_defaults();
+        let serial = simulate_user_availability_replicated_threads(
+            3,
+            &class_a(),
+            &params,
+            Architecture::paper_reference(),
+            4_000,
+            6,
+            1,
+        )
+        .unwrap();
+        for threads in [2, 4] {
+            let parallel = simulate_user_availability_replicated_threads(
+                3,
+                &class_a(),
+                &params,
+                Architecture::paper_reference(),
+                4_000,
+                6,
+                threads,
+            )
+            .unwrap();
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+        assert_eq!(serial.sessions, 24_000);
+        assert!(serial.agrees(5.0));
+    }
+
+    #[test]
+    fn replicated_sessions_reject_zero_replications() {
+        assert!(simulate_user_availability_replicated(
+            1,
+            &class_a(),
+            &TaParameters::paper_defaults(),
+            Architecture::paper_reference(),
+            100,
+            0,
+        )
+        .is_err());
     }
 
     #[test]

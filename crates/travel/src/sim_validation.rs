@@ -12,7 +12,9 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use uavail_sim::FarmSimulation;
+use uavail_core::par::default_threads;
+use uavail_sim::replicate::{replicate, replicate_parallel_threads};
+use uavail_sim::{FarmObservation, FarmSimulation};
 
 use crate::{webservice, TaParameters, TravelError};
 
@@ -60,7 +62,16 @@ pub fn validate_web_service(
     seed: u64,
 ) -> Result<ValidationReport, TravelError> {
     let analytic = 1.0 - webservice::redundant_imperfect_availability(params)?;
-    let sim = FarmSimulation::new(
+    let sim = farm_simulation(params)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let obs = sim.run(&mut rng, horizon)?;
+    Ok(pooled_report(params, analytic, std::slice::from_ref(&obs)))
+}
+
+/// Builds the [`FarmSimulation`] corresponding to a parameter set —
+/// shared by the single-run and replicated validators.
+fn farm_simulation(params: &TaParameters) -> Result<FarmSimulation, TravelError> {
+    Ok(FarmSimulation::new(
         params.web_servers,
         params.failure_rate_per_hour,
         params.repair_rate_per_hour,
@@ -69,9 +80,18 @@ pub fn validate_web_service(
         params.arrival_rate_per_second,
         params.service_rate_per_second,
         params.buffer_size,
-    )?;
-    let mut rng = StdRng::seed_from_u64(seed);
-    let obs = sim.run(&mut rng, horizon)?;
+    )?)
+}
+
+/// Pools per-replication farm observations into one [`ValidationReport`].
+fn pooled_report(
+    params: &TaParameters,
+    analytic: f64,
+    observations: &[FarmObservation],
+) -> ValidationReport {
+    let arrivals: u64 = observations.iter().map(|o| o.arrivals).sum();
+    let losses: u64 = observations.iter().map(|o| o.losses).sum();
+    let pooled = uavail_sim::stats::Proportion::new(losses, arrivals);
     let separation = params
         .arrival_rate_per_second
         .min(params.service_rate_per_second)
@@ -79,16 +99,67 @@ pub fn validate_web_service(
             .failure_rate_per_hour
             .max(params.repair_rate_per_hour)
             .max(params.reconfiguration_rate_per_hour);
-    Ok(ValidationReport {
+    ValidationReport {
         analytic_unavailability: analytic,
-        simulated_unavailability: obs.loss_fraction(),
-        confidence_interval: obs.loss_confidence_interval(3.9),
-        arrivals: obs.arrivals,
+        simulated_unavailability: pooled.estimate(),
+        confidence_interval: pooled.confidence_interval(3.9),
+        arrivals,
         separation_ratio: separation,
-    })
+    }
 }
 
-/// A time-compressed parameter set suitable for simulation validation:
+/// Replicated [`validate_web_service`]: runs `replications` independent
+/// simulations of `horizon` time units each — on all available cores —
+/// and pools their arrival/loss counts into one report with a
+/// correspondingly tighter confidence interval.
+///
+/// Each replication owns an RNG stream derived from `base_seed` (see
+/// [`uavail_sim::replicate`]), so the pooled counts are identical no
+/// matter how many threads run the batch, and identical to running the
+/// replications one after another.
+///
+/// # Errors
+///
+/// Propagates analytic and simulation failures (the error of the lowest
+/// failing replication index).
+pub fn validate_web_service_replicated(
+    params: &TaParameters,
+    horizon: f64,
+    base_seed: u64,
+    replications: usize,
+) -> Result<ValidationReport, TravelError> {
+    validate_web_service_replicated_threads(
+        params,
+        horizon,
+        base_seed,
+        replications,
+        default_threads(),
+    )
+}
+
+/// [`validate_web_service_replicated`] with an explicit worker-thread
+/// cap; `threads <= 1` runs the replications serially.
+///
+/// # Errors
+///
+/// Propagates analytic and simulation failures.
+pub fn validate_web_service_replicated_threads(
+    params: &TaParameters,
+    horizon: f64,
+    base_seed: u64,
+    replications: usize,
+    threads: usize,
+) -> Result<ValidationReport, TravelError> {
+    let analytic = 1.0 - webservice::redundant_imperfect_availability(params)?;
+    let sim = farm_simulation(params)?;
+    let run = |rng: &mut StdRng, _: usize| sim.run(rng, horizon);
+    let observations = if threads <= 1 {
+        replicate(base_seed, replications, run)?
+    } else {
+        replicate_parallel_threads(base_seed, replications, threads, run)?
+    };
+    Ok(pooled_report(params, analytic, &observations))
+}
 /// the same structure as the paper's farm, with failure dynamics sped up
 /// so a few hundred thousand time units contain thousands of
 /// failure/repair cycles while the separation ratio stays ≥ 50.
@@ -136,12 +207,37 @@ mod tests {
             .buffer_size(6)
             .build()
             .unwrap();
-        let analytic = 1.0
-            - webservice::redundant_perfect_availability(&params).unwrap();
+        let analytic = 1.0 - webservice::redundant_perfect_availability(&params).unwrap();
         let report = validate_web_service(&params, 30_000.0, 7).unwrap();
         // With c = 1 the imperfect model equals the perfect one.
         assert!((report.analytic_unavailability - analytic).abs() < 1e-12);
         assert!(report.agrees(0.15), "{report:?}");
+    }
+
+    #[test]
+    fn replicated_validation_parallel_matches_serial() {
+        let params = compressed_parameters();
+        let serial = validate_web_service_replicated_threads(&params, 800.0, 11, 5, 1).unwrap();
+        for threads in [2, 4] {
+            let parallel =
+                validate_web_service_replicated_threads(&params, 800.0, 11, 5, threads).unwrap();
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+        assert!(serial.arrivals > 100_000);
+    }
+
+    #[test]
+    fn replicated_validation_agrees_with_analytic() {
+        let params = compressed_parameters();
+        let report = validate_web_service_replicated(&params, 5_000.0, 20240601, 6).unwrap();
+        assert!(report.arrivals > 1_000_000);
+        assert!(
+            report.agrees(0.15),
+            "analytic {} vs pooled {} (CI {:?})",
+            report.analytic_unavailability,
+            report.simulated_unavailability,
+            report.confidence_interval
+        );
     }
 
     #[test]

@@ -33,8 +33,7 @@ fn service_availability_at(
     b.add_transition(up, down, failure_rate)?;
     b.add_transition(down, up, repair_rate)?;
     let chain = b.build()?;
-    let curve =
-        transient::point_availability(&chain, &[1.0, 0.0], &[1.0, 0.0], &[t_hours])?;
+    let curve = transient::point_availability(&chain, &[1.0, 0.0], &[1.0, 0.0], &[t_hours])?;
     Ok(curve[0])
 }
 
@@ -147,21 +146,13 @@ mod tests {
     fn validation() {
         let class = class_a();
         let p = TaParameters::paper_defaults();
-        assert!(user_availability_ramp(
-            &class,
-            &p,
-            Architecture::paper_reference(),
-            0.0,
-            &[1.0]
-        )
-        .is_err());
-        assert!(user_availability_ramp(
-            &class,
-            &p,
-            Architecture::paper_reference(),
-            1.0,
-            &[-1.0]
-        )
-        .is_err());
+        assert!(
+            user_availability_ramp(&class, &p, Architecture::paper_reference(), 0.0, &[1.0])
+                .is_err()
+        );
+        assert!(
+            user_availability_ramp(&class, &p, Architecture::paper_reference(), 1.0, &[-1.0])
+                .is_err()
+        );
     }
 }

@@ -133,16 +133,13 @@ pub fn scenario_availability(
     }
     // Cartesian expansion over the functions' path choices.
     let mut total = 0.0;
-    let mut stack: Vec<(usize, f64, BTreeSet<String>)> =
-        vec![(0, 1.0, BTreeSet::new())];
+    let mut stack: Vec<(usize, f64, BTreeSet<String>)> = vec![(0, 1.0, BTreeSet::new())];
     while let Some((depth, prob, used)) = stack.pop() {
         if depth == per_function.len() {
             let mut product = prob;
             for svc in &used {
                 let a = services.get(svc).copied().ok_or_else(|| {
-                    TravelError::Core(uavail_core::CoreError::Undefined {
-                        name: svc.clone(),
-                    })
+                    TravelError::Core(uavail_core::CoreError::Undefined { name: svc.clone() })
                 })?;
                 product *= a;
             }
@@ -203,9 +200,8 @@ pub fn equation_10(
     let a_ps = get(functions::SERVICE_PAYMENT)?;
 
     let table = class.table();
-    let pi1 = table.probability_where(|s| {
-        s.functions.len() == 1 && s.invokes(TaFunction::Home.name())
-    });
+    let pi1 =
+        table.probability_where(|s| s.functions.len() == 1 && s.invokes(TaFunction::Home.name()));
     let cats = table.by_category(
         TaFunction::Search.name(),
         TaFunction::Book.name(),
@@ -224,18 +220,12 @@ pub fn equation_10(
             .get(&ScenarioCategory::Sc3BookWithoutPay)
             .copied()
             .unwrap_or(0.0);
-    let sc4 = cats
-        .get(&ScenarioCategory::Sc4Pay)
-        .copied()
-        .unwrap_or(0.0);
+    let sc4 = cats.get(&ScenarioCategory::Sc4Pay).copied().unwrap_or(0.0);
 
-    let browse_bracket = params.q23
-        + a_as * (params.q24 * params.q45 + params.q24 * params.q47 * a_ds);
+    let browse_bracket =
+        params.q23 + a_as * (params.q24 * params.q45 + params.q24 * params.q47 * a_ds);
     let reservation = a_as * a_ds * a_f * a_h * a_c;
-    Ok(a_net
-        * a_lan
-        * a_ws
-        * (pi1 + pi23 * browse_bracket + reservation * (sc23 + sc4 * a_ps)))
+    Ok(a_net * a_lan * a_ws * (pi1 + pi23 * browse_bracket + reservation * (sc23 + sc4 * a_ps)))
 }
 
 #[cfg(test)]
@@ -277,11 +267,7 @@ mod tests {
     #[test]
     fn class_b_buys_more() {
         // The paper: ~20% of class B sessions pay vs ~7.5% for class A.
-        let pay = |class: &UserClass| {
-            class
-                .table()
-                .probability_where(|s| s.invokes("Pay"))
-        };
+        let pay = |class: &UserClass| class.table().probability_where(|s| s.invokes("Pay"));
         assert!((pay(&class_b()) - 0.203).abs() < 1e-9);
         assert!((pay(&class_a()) - 0.075).abs() < 1e-9);
     }
@@ -289,9 +275,7 @@ mod tests {
     #[test]
     fn class_b_uses_reservation_systems_more() {
         // 80% of class B sessions invoke Search/Book/Pay vs 50% for A.
-        let heavy = |class: &UserClass| {
-            class.table().probability_where(|s| s.invokes("Search"))
-        };
+        let heavy = |class: &UserClass| class.table().probability_where(|s| s.invokes("Search"));
         assert!((heavy(&class_b()) - 0.792).abs() < 1e-9);
         assert!((heavy(&class_a()) - 0.52).abs() < 1e-9);
     }

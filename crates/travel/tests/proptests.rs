@@ -3,39 +3,36 @@
 use proptest::prelude::*;
 use uavail_travel::user::{class_a, class_b, equation_10, user_availability};
 use uavail_travel::{
-    extensions, maintenance, webservice, Architecture, Coverage, TaParameters,
-    TravelAgencyModel,
+    extensions, maintenance, webservice, Architecture, Coverage, TaParameters, TravelAgencyModel,
 };
 
 /// Strategy: valid, physically plausible parameter sets.
 fn params_strategy() -> impl Strategy<Value = TaParameters> {
     (
-        1usize..6,           // web servers
-        -4.0f64..-1.0,       // log10 lambda
-        0.5f64..2.0,         // mu
-        0.8f64..1.0,         // coverage
-        20.0f64..160.0,      // alpha
-        80.0f64..140.0,      // nu
-        0usize..8,           // extra buffer above servers
-        1usize..6,           // reservation systems
-        0.5f64..0.99,        // reservation availability
+        1usize..6,      // web servers
+        -4.0f64..-1.0,  // log10 lambda
+        0.5f64..2.0,    // mu
+        0.8f64..1.0,    // coverage
+        20.0f64..160.0, // alpha
+        80.0f64..140.0, // nu
+        0usize..8,      // extra buffer above servers
+        1usize..6,      // reservation systems
+        0.5f64..0.99,   // reservation availability
     )
-        .prop_map(
-            |(nw, log_lambda, mu, c, alpha, nu, extra, n_res, a_res)| {
-                TaParameters::builder()
-                    .web_servers(nw)
-                    .failure_rate_per_hour(10f64.powf(log_lambda))
-                    .repair_rate_per_hour(mu)
-                    .coverage(c)
-                    .arrival_rate_per_second(alpha)
-                    .service_rate_per_second(nu)
-                    .buffer_size(nw + extra + 4)
-                    .reservation_systems(n_res)
-                    .reservation_availability(a_res)
-                    .build()
-                    .expect("generated parameters are valid")
-            },
-        )
+        .prop_map(|(nw, log_lambda, mu, c, alpha, nu, extra, n_res, a_res)| {
+            TaParameters::builder()
+                .web_servers(nw)
+                .failure_rate_per_hour(10f64.powf(log_lambda))
+                .repair_rate_per_hour(mu)
+                .coverage(c)
+                .arrival_rate_per_second(alpha)
+                .service_rate_per_second(nu)
+                .buffer_size(nw + extra + 4)
+                .reservation_systems(n_res)
+                .reservation_availability(a_res)
+                .build()
+                .expect("generated parameters are valid")
+        })
 }
 
 proptest! {

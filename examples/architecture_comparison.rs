@@ -9,13 +9,14 @@
 use uavail::core::downtime::hours_per_year;
 use uavail::core::Level;
 use uavail::travel::user::class_b;
-use uavail::travel::{
-    Architecture, Coverage, TaParameters, TravelAgencyModel, TravelError,
-};
+use uavail::travel::{Architecture, Coverage, TaParameters, TravelAgencyModel, TravelError};
 
 fn main() -> Result<(), TravelError> {
     let class = class_b(); // buyers: the revenue-critical population
-    println!("User-perceived availability for class {} users:\n", class.name());
+    println!(
+        "User-perceived availability for class {} users:\n",
+        class.name()
+    );
     println!(
         "{:<45} {:>9} {:>14}",
         "architecture", "A(user)", "downtime h/yr"

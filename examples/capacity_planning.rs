@@ -12,15 +12,17 @@ use uavail::travel::{webservice, TaParameters, TravelError};
 
 fn main() -> Result<(), TravelError> {
     // Requirement: at most 5 minutes of web-service downtime per year.
-    let target_availability =
-        availability_for_minutes_per_year(5.0).expect("valid budget");
+    let target_availability = availability_for_minutes_per_year(5.0).expect("valid budget");
     let target_unavailability = 1.0 - target_availability;
     println!(
         "Requirement: < 5 min/yr downtime  =>  unavailability < {target_unavailability:.2e}\n"
     );
 
     println!("Minimum number of web servers (imperfect coverage, c = 0.98):");
-    println!("{:>12} {:>10} {:>8}", "lambda(1/h)", "alpha(1/s)", "min N_W");
+    println!(
+        "{:>12} {:>10} {:>8}",
+        "lambda(1/h)", "alpha(1/s)", "min N_W"
+    );
     for lambda in [1e-2, 1e-3, 1e-4] {
         for alpha in [50.0, 100.0] {
             let n = min_web_servers_for(target_unavailability, lambda, alpha, 12)?;

@@ -103,14 +103,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Level::User,
         AvailExpr::weighted_sum(vec![
             (0.55, AvailExpr::param("Browse")),
-            (0.30, AvailExpr::product(vec![
-                AvailExpr::param("Browse"),
-                AvailExpr::param("Search"),
-            ])),
-            (0.15, AvailExpr::product(vec![
-                AvailExpr::param("Search"),
-                AvailExpr::param("Checkout"),
-            ])),
+            (
+                0.30,
+                AvailExpr::product(vec![AvailExpr::param("Browse"), AvailExpr::param("Search")]),
+            ),
+            (
+                0.15,
+                AvailExpr::product(vec![
+                    AvailExpr::param("Search"),
+                    AvailExpr::param("Checkout"),
+                ]),
+            ),
         ]),
     )?;
 
@@ -154,9 +157,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         probs.insert(name.to_string(), a);
     }
-    for imp in checkout_rbd.importance(&probs).map_err(|e| CoreError::BadDiagram {
-        reason: e.to_string(),
-    })? {
+    for imp in checkout_rbd
+        .importance(&probs)
+        .map_err(|e| CoreError::BadDiagram {
+            reason: e.to_string(),
+        })?
+    {
         println!(
             "  {:<8} birnbaum {:.4}  criticality {:.3}",
             imp.name, imp.birnbaum, imp.criticality

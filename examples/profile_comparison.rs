@@ -21,7 +21,10 @@ fn main() -> Result<(), TravelError> {
     // Part 1: the paper's Figure 13 / revenue analysis.
     for class in [class_a(), class_b()] {
         let breakdown = figure13(&class)?;
-        println!("Class {} unavailability by scenario category:", class.name());
+        println!(
+            "Class {} unavailability by scenario category:",
+            class.name()
+        );
         for (cat, _, hours) in &breakdown.categories {
             println!("  {cat:<28} {hours:>7.1} h/yr");
         }

@@ -69,7 +69,10 @@ fn main() -> Result<(), TravelError> {
         &[0.0, 0.5, 1.0, 2.0, 6.0],
     )?;
     for p in ramp {
-        println!("  t = {:>4.1} h: A(user) = {:.5}", p.t_hours, p.availability);
+        println!(
+            "  t = {:>4.1} h: A(user) = {:.5}",
+            p.t_hours, p.availability
+        );
     }
     Ok(())
 }

@@ -57,10 +57,8 @@ pub mod prelude {
     pub use uavail_core::{AvailExpr, HierarchicalModel, InteractionDiagram, Level};
     pub use uavail_markov::{BirthDeath, Ctmc, CtmcBuilder, Dtmc};
     pub use uavail_profile::{ProfileGraph, Scenario, ScenarioTable};
-    pub use uavail_queueing::{MM1K, MMcK};
+    pub use uavail_queueing::{MMcK, MM1K};
     pub use uavail_rbd::{component, k_of_n, parallel, series, BlockDiagram};
     pub use uavail_travel::user::{class_a, class_b};
-    pub use uavail_travel::{
-        Architecture, Coverage, TaParameters, TravelAgencyModel, TravelError,
-    };
+    pub use uavail_travel::{Architecture, Coverage, TaParameters, TravelAgencyModel, TravelError};
 }

@@ -25,9 +25,7 @@ fn renewal_simulation_matches_two_state_ctmc() {
     let pi = b.build().unwrap().steady_state().unwrap();
     // Simulation.
     let sim = AlternatingRenewal::new(lambda, mu).unwrap();
-    let obs = sim
-        .run(&mut StdRng::seed_from_u64(99), 300_000.0)
-        .unwrap();
+    let obs = sim.run(&mut StdRng::seed_from_u64(99), 300_000.0).unwrap();
     assert!(
         (obs.availability - pi[0]).abs() < 0.003,
         "sim {} vs ctmc {}",
@@ -55,9 +53,7 @@ fn farm_state_occupancy_matches_figure9_model() {
     let (n, lambda, mu) = (4usize, 0.1, 1.0);
     let analytic = BirthDeath::shared_repair_farm(n, lambda, mu).unwrap();
     let sim = FarmSimulation::new(n, lambda, mu, 1.0, 10.0, 2.0, 2.0, 4).unwrap();
-    let obs = sim
-        .run(&mut StdRng::seed_from_u64(42), 400_000.0)
-        .unwrap();
+    let obs = sim.run(&mut StdRng::seed_from_u64(42), 400_000.0).unwrap();
     let dist = obs.state_distribution();
     for (i, &expected) in analytic.iter().enumerate() {
         assert!(

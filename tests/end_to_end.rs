@@ -5,9 +5,7 @@ use uavail::core::downtime::{hours_per_year, HOURS_PER_YEAR};
 use uavail::travel::evaluation::{figure11, figure12, figure13, table8};
 use uavail::travel::functions::TaFunction;
 use uavail::travel::user::{class_a, class_b};
-use uavail::travel::{
-    webservice, Architecture, Coverage, TaParameters, TravelAgencyModel,
-};
+use uavail::travel::{webservice, Architecture, Coverage, TaParameters, TravelAgencyModel};
 
 #[test]
 fn paper_headline_web_service_availability() {
@@ -71,10 +69,8 @@ fn architecture_ordering_holds_at_every_level() {
     let params = TaParameters::paper_defaults();
     let basic = TravelAgencyModel::new(params.clone(), Architecture::Basic).unwrap();
     let perfect =
-        TravelAgencyModel::new(params.clone(), Architecture::Redundant(Coverage::Perfect))
-            .unwrap();
-    let imperfect =
-        TravelAgencyModel::new(params, Architecture::paper_reference()).unwrap();
+        TravelAgencyModel::new(params.clone(), Architecture::Redundant(Coverage::Perfect)).unwrap();
+    let imperfect = TravelAgencyModel::new(params, Architecture::paper_reference()).unwrap();
     // Web service level.
     let ws = |m: &TravelAgencyModel| m.web_availability().unwrap();
     assert!(ws(&basic) < ws(&imperfect));
@@ -82,16 +78,14 @@ fn architecture_ordering_holds_at_every_level() {
     // Function level: every function benefits from redundancy.
     for f in TaFunction::all() {
         assert!(
-            basic.function_availability(f).unwrap()
-                < imperfect.function_availability(f).unwrap(),
+            basic.function_availability(f).unwrap() < imperfect.function_availability(f).unwrap(),
             "{f}"
         );
     }
     // User level, both classes.
     for class in [class_a(), class_b()] {
         assert!(
-            basic.user_availability(&class).unwrap()
-                < imperfect.user_availability(&class).unwrap()
+            basic.user_availability(&class).unwrap() < imperfect.user_availability(&class).unwrap()
         );
     }
 }

@@ -31,14 +31,10 @@ fn deadline_maintenance_and_multisite_compose() -> Result<(), TravelError> {
     let shared = maintenance::web_availability(&params, RepairStrategy::SharedImmediate)?;
     assert!((shared - classical).abs() < 1e-15);
     // Multi-site dominates single-site for both classes.
-    let two_sites =
-        MultiSiteModel::new(params.clone(), Architecture::paper_reference(), 2)?;
-    let one_site =
-        MultiSiteModel::new(params.clone(), Architecture::paper_reference(), 1)?;
+    let two_sites = MultiSiteModel::new(params.clone(), Architecture::paper_reference(), 2)?;
+    let one_site = MultiSiteModel::new(params.clone(), Architecture::paper_reference(), 1)?;
     for class in [class_a(), class_b()] {
-        assert!(
-            two_sites.user_availability(&class)? > one_site.user_availability(&class)?
-        );
+        assert!(two_sites.user_availability(&class)? > one_site.user_availability(&class)?);
     }
     Ok(())
 }

@@ -112,7 +112,9 @@ fn steady_state_methods_agree_on_ta_chain() {
     }
     let chain = Ctmc::from_generator(q).unwrap();
     let gth = chain.steady_state_with(SteadyStateMethod::Gth).unwrap();
-    let lu = chain.steady_state_with(SteadyStateMethod::DirectLu).unwrap();
+    let lu = chain
+        .steady_state_with(SteadyStateMethod::DirectLu)
+        .unwrap();
     for (a, b) in gth.iter().zip(&lu) {
         // LU loses relative accuracy on the ~1e-15 tail probabilities —
         // that is exactly why GTH is the default. Compare tight where LU

@@ -4,17 +4,10 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use uavail::queueing::{MM1K, MMcK};
+use uavail::queueing::{MMcK, MM1K};
 use uavail::sim::ResponseSimulation;
 
-fn check_tail(
-    alpha: f64,
-    nu: f64,
-    servers: usize,
-    capacity: usize,
-    deadline: f64,
-    seed: u64,
-) {
+fn check_tail(alpha: f64, nu: f64, servers: usize, capacity: usize, deadline: f64, seed: u64) {
     let analytic = MMcK::new(alpha, nu, servers, capacity)
         .unwrap()
         .response_time_exceeds(deadline);
