@@ -114,6 +114,30 @@ fn bench_parallel_sweep(c: &mut Criterion) {
     });
 }
 
+fn bench_metrics_overhead(c: &mut Criterion) {
+    use uavail_travel::webservice::reset_loss_cache;
+    // The uavail-obs contract: with the recorder disabled (the default)
+    // every instrumentation site is one relaxed atomic load, so this
+    // bench must stay within noise of figure_sweep/serial_cold_cache;
+    // the enabled run bounds the full recording cost.
+    c.bench_function("metrics/disabled_cold_cache", |bench| {
+        uavail_obs::set_enabled(false);
+        bench.iter(|| {
+            reset_loss_cache();
+            black_box((figure11().unwrap(), figure12().unwrap()))
+        })
+    });
+    c.bench_function("metrics/enabled_cold_cache", |bench| {
+        uavail_obs::set_enabled(true);
+        uavail_obs::reset();
+        bench.iter(|| {
+            reset_loss_cache();
+            black_box((figure11().unwrap(), figure12().unwrap()))
+        });
+        uavail_obs::set_enabled(false);
+    });
+}
+
 criterion_group!(
     figures,
     bench_figure11,
@@ -122,6 +146,7 @@ criterion_group!(
     bench_revenue,
     bench_capacity,
     bench_extensions,
-    bench_parallel_sweep
+    bench_parallel_sweep,
+    bench_metrics_overhead
 );
 criterion_main!(figures);

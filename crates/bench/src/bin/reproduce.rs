@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the DSN 2003 travel-agency paper.
 //!
 //! ```text
-//! reproduce [ARTIFACT] [--csv] [--parallel]
+//! reproduce [ARTIFACT] [--csv] [--parallel] [--metrics <path>]
 //!
 //! ARTIFACT: table1 table2 table3 table4 table5 table6 table7 table8
 //!           fig11 fig12 fig13 revenue capacity ablation validate
@@ -14,6 +14,15 @@
 //! simulations pool deterministic independent replications instead of one
 //! long stream. `speedup` times serial vs parallel on the Figure 11/12
 //! sweep and reports the ratio.
+//!
+//! `--metrics <path>` enables the `uavail-obs` recorder for the run and
+//! writes a JSON-lines artifact to `path`: one meta record, then one
+//! record per span (wall-clock tree), counter (sweep points, cache
+//! hits/misses, simulated sessions), gauge, histogram (per-point
+//! latencies) and label (RNG streams), plus a derived loss-cache hit
+//! rate. Instrumentation never changes any reproduced number — the
+//! `metrics_identity` integration test pins bit-for-bit equality with
+//! recording on and off.
 
 use std::process::ExitCode;
 
@@ -35,21 +44,100 @@ use uavail_travel::{
 };
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let csv = args.iter().any(|a| a == "--csv");
-    let parallel = args.iter().any(|a| a == "--parallel");
-    let artifact = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .unwrap_or("all");
-    match run(artifact, csv, parallel) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("reproduce: {e}");
-            ExitCode::FAILURE
+    let mut csv = false;
+    let mut parallel = false;
+    let mut metrics: Option<String> = None;
+    let mut artifact: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--csv" {
+            csv = true;
+        } else if arg == "--parallel" {
+            parallel = true;
+        } else if arg == "--metrics" {
+            // The path is a positional value of the flag, not an artifact.
+            match args.next() {
+                Some(path) => metrics = Some(path),
+                None => {
+                    eprintln!("reproduce: --metrics requires a file path");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if let Some(path) = arg.strip_prefix("--metrics=") {
+            metrics = Some(path.to_string());
+        } else if arg.starts_with("--") {
+            eprintln!("reproduce: unknown flag {arg:?}");
+            return ExitCode::FAILURE;
+        } else if artifact.is_none() {
+            artifact = Some(arg);
+        } else {
+            eprintln!("reproduce: unexpected argument {arg:?}");
+            return ExitCode::FAILURE;
         }
     }
+    let artifact = artifact.unwrap_or_else(|| "all".to_string());
+    if metrics.is_some() {
+        uavail_obs::set_enabled(true);
+        uavail_obs::reset();
+    }
+    let result = {
+        let _run = uavail_obs::span("reproduce");
+        run(&artifact, csv, parallel)
+    };
+    if let Err(e) = result {
+        eprintln!("reproduce: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Some(path) = metrics {
+        if let Err(e) = write_metrics(&path, &artifact, parallel) {
+            eprintln!("reproduce: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Serializes the global recorder to `path` as JSON lines: a meta record,
+/// the snapshot records (counters, gauges, spans, histograms, labels) and
+/// a derived loss-cache hit rate. The artifact is validated by the
+/// in-tree JSON parser before anything touches the filesystem.
+fn write_metrics(path: &str, artifact: &str, parallel: bool) -> Result<(), String> {
+    use uavail_obs::json::JsonValue;
+    let snap = uavail_obs::snapshot();
+    let mut out = String::new();
+    out.push_str(
+        &JsonValue::object(vec![
+            ("type", JsonValue::str("meta")),
+            ("schema", JsonValue::str("uavail-obs/v1")),
+            ("artifact", JsonValue::str(artifact)),
+            ("parallel", JsonValue::Bool(parallel)),
+            ("threads", JsonValue::UInt(default_threads() as u64)),
+        ])
+        .to_string(),
+    );
+    out.push('\n');
+    out.push_str(&snap.to_json_lines());
+    let hits = snap.counter("travel.loss_cache.hits");
+    let misses = snap.counter("travel.loss_cache.misses");
+    if hits + misses > 0 {
+        out.push_str(
+            &JsonValue::object(vec![
+                ("type", JsonValue::str("derived")),
+                ("name", JsonValue::str("travel.loss_cache.hit_rate")),
+                (
+                    "value",
+                    JsonValue::Float(hits as f64 / (hits + misses) as f64),
+                ),
+            ])
+            .to_string(),
+        );
+        out.push('\n');
+    }
+    let records = uavail_obs::json::validate_lines(&out)
+        .map_err(|e| format!("metrics artifact failed JSON validation: {e}"))?;
+    std::fs::write(path, &out).map_err(|e| format!("cannot write metrics to {path}: {e}"))?;
+    eprintln!("wrote {records} metric records to {path}");
+    Ok(())
 }
 
 type ArtifactFn = fn(bool) -> Result<(), TravelError>;

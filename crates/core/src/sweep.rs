@@ -57,11 +57,16 @@ pub fn sweep(
     values: &[f64],
     mut f: impl FnMut(f64) -> Result<f64, CoreError>,
 ) -> Result<Vec<SweepPoint>, CoreError> {
+    let _span = uavail_obs::span("core.sweep");
+    uavail_obs::counter_add("core.sweep.points", values.len() as u64);
     values
         .iter()
-        .map(|&x| match f(x) {
-            Ok(y) => Ok(SweepPoint { x, y }),
-            Err(e) => Err(at_sweep_point(x, e)),
+        .map(|&x| {
+            let _point = uavail_obs::Stopwatch::start("core.sweep.point_ns");
+            match f(x) {
+                Ok(y) => Ok(SweepPoint { x, y }),
+                Err(e) => Err(at_sweep_point(x, e)),
+            }
         })
         .collect()
 }
@@ -110,9 +115,16 @@ pub fn sweep_parallel_threads(
     threads: usize,
     f: impl Fn(f64) -> Result<f64, CoreError> + Sync,
 ) -> Result<Vec<SweepPoint>, CoreError> {
-    par_map_threads(values, threads, |&x| match f(x) {
-        Ok(y) => Ok(SweepPoint { x, y }),
-        Err(e) => Err(at_sweep_point(x, e)),
+    let _span = uavail_obs::span("core.sweep_parallel");
+    uavail_obs::counter_add("core.sweep.points", values.len() as u64);
+    par_map_threads(values, threads, |&x| {
+        // A flat stopwatch, not a span: worker threads carry no span
+        // context, and the histogram keys serial and parallel runs alike.
+        let _point = uavail_obs::Stopwatch::start("core.sweep.point_ns");
+        match f(x) {
+            Ok(y) => Ok(SweepPoint { x, y }),
+            Err(e) => Err(at_sweep_point(x, e)),
+        }
     })
 }
 
@@ -194,6 +206,8 @@ pub fn tornado(
     ranges: &[(&str, f64, f64)],
     mut f: impl FnMut(&str, f64) -> Result<f64, CoreError>,
 ) -> Result<Vec<TornadoBar>, CoreError> {
+    let _span = uavail_obs::span("core.tornado");
+    uavail_obs::counter_add("core.tornado.evaluations", 2 * ranges.len() as u64);
     let mut bars = Vec::with_capacity(ranges.len());
     for &(name, low, high) in ranges {
         bars.push(TornadoBar {
@@ -231,6 +245,8 @@ pub fn tornado_parallel_threads(
     threads: usize,
     f: impl Fn(&str, f64) -> Result<f64, CoreError> + Sync,
 ) -> Result<Vec<TornadoBar>, CoreError> {
+    let _span = uavail_obs::span("core.tornado_parallel");
+    uavail_obs::counter_add("core.tornado.evaluations", 2 * ranges.len() as u64);
     // Flatten to one evaluation per endpoint, in the order the serial
     // loop performs them (low then high per range), so the lowest-index
     // error of the parallel map is the first error of the serial loop.

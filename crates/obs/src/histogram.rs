@@ -1,0 +1,262 @@
+//! Fixed-bucket log-scale histograms on lock-free atomics.
+//!
+//! A [`Histogram`] accumulates `u64` samples (typically nanoseconds or
+//! event counts) into 64 power-of-two buckets: bucket `i` holds samples
+//! whose highest set bit is `i`, i.e. values in `[2^i, 2^{i+1})`, with 0
+//! landing in bucket 0. All state is atomic integers, so recording is
+//! lock-free and [`Histogram::merge`] — plain sums, mins and maxes — is
+//! exactly order-independent, the integer analogue of
+//! `OnlineStats::merge`: merging per-thread histograms in any order
+//! produces bit-identical aggregates.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of power-of-two buckets; covers the full `u64` range.
+pub const BUCKET_COUNT: usize = 64;
+
+/// A lock-free log₂-bucketed histogram of `u64` samples.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKET_COUNT],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// Bucket index of a sample: the position of its highest set bit.
+fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        63 - value.leading_zeros() as usize
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Adds every sample of `other` into `self`. Integer sums, mins and
+    /// maxes only, so any merge order yields identical state.
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            let t = theirs.load(Ordering::Relaxed);
+            if t > 0 {
+                mine.fetch_add(t, Ordering::Relaxed);
+            }
+        }
+        let other_count = other.count.load(Ordering::Relaxed);
+        if other_count == 0 {
+            return;
+        }
+        self.count.fetch_add(other_count, Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Immutable summary of the current state.
+    pub fn summary(&self) -> HistogramSummary {
+        let count = self.count.load(Ordering::Relaxed);
+        let sum = self.sum.load(Ordering::Relaxed);
+        let buckets: Vec<(u64, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let c = b.load(Ordering::Relaxed);
+                (c > 0).then(|| (bucket_upper_bound(i), c))
+            })
+            .collect();
+        let max = self.max.load(Ordering::Relaxed);
+        HistogramSummary {
+            count,
+            sum,
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max,
+            mean: if count == 0 {
+                0.0
+            } else {
+                sum as f64 / count as f64
+            },
+            p50: quantile(&buckets, count, max, 0.50),
+            p90: quantile(&buckets, count, max, 0.90),
+            p99: quantile(&buckets, count, max, 0.99),
+            buckets,
+        }
+    }
+}
+
+/// Inclusive upper bound of bucket `i`: `2^{i+1} − 1`.
+fn bucket_upper_bound(i: usize) -> u64 {
+    if i >= 63 {
+        u64::MAX
+    } else {
+        (2u64 << i) - 1
+    }
+}
+
+/// Bucket-resolution quantile: the upper bound of the first bucket whose
+/// cumulative count reaches `q · count`, clamped to the exact observed
+/// maximum (so `p100`-ish queries never overshoot).
+fn quantile(buckets: &[(u64, u64)], count: u64, max: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = (q * count as f64).ceil().max(1.0) as u64;
+    let mut cumulative = 0u64;
+    for &(upper, c) in buckets {
+        cumulative += c;
+        if cumulative >= rank {
+            return upper.min(max);
+        }
+    }
+    max
+}
+
+/// Point-in-time summary of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Mean sample (0 when empty).
+    pub mean: f64,
+    /// Median at bucket resolution.
+    pub p50: u64,
+    /// 90th percentile at bucket resolution.
+    pub p90: u64,
+    /// 99th percentile at bucket resolution.
+    pub p99: u64,
+    /// `(inclusive upper bound, count)` for every non-empty bucket, in
+    /// increasing bound order.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(u64::MAX), 63);
+    }
+
+    #[test]
+    fn summary_tracks_exact_moments() {
+        let h = Histogram::new();
+        for v in [1u64, 10, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 1111);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 1000);
+        assert!((s.mean - 277.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let s = Histogram::new().summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.mean, 0.0);
+        assert!(s.buckets.is_empty());
+    }
+
+    #[test]
+    fn quantiles_are_bucket_resolution_and_clamped() {
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.record(10); // bucket [8, 16), upper bound 15
+        }
+        h.record(1000); // bucket [512, 1024), upper bound 1023
+        let s = h.summary();
+        assert_eq!(s.p50, 15);
+        assert_eq!(s.p90, 15);
+        // The tail quantile lands in the last bucket and clamps to the
+        // observed max.
+        assert_eq!(s.p99, 15);
+        let h2 = Histogram::new();
+        h2.record(7);
+        let s2 = h2.summary();
+        assert_eq!(s2.p50, 7, "single sample clamps to the exact max");
+    }
+
+    #[test]
+    fn merge_equals_single_histogram() {
+        let whole = Histogram::new();
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in 0..500u64 {
+            whole.record(v * 17);
+            if v % 3 == 0 {
+                a.record(v * 17);
+            } else {
+                b.record(v * 17);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.summary(), whole.summary());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let h = Histogram::new();
+        h.record(42);
+        let before = h.summary();
+        h.merge(&Histogram::new());
+        assert_eq!(h.summary(), before);
+        let e = Histogram::new();
+        e.merge(&h);
+        assert_eq!(e.summary(), before);
+    }
+}

@@ -1,0 +1,375 @@
+//! Minimal JSON support for the metrics artifact: a value type that
+//! serializes to compact JSON, and a validating parser used by tests and
+//! the reproduction harness to check emitted artifacts without any
+//! external dependency.
+
+use std::fmt;
+
+/// A JSON value. Objects preserve insertion order (the artifact schema is
+/// deterministic, so stable key order keeps artifacts diffable).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Unsigned integer (the artifact's native numeric type).
+    UInt(u64),
+    /// Floating-point number; non-finite values serialize as `null`.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<JsonValue>),
+    /// Object as ordered key/value pairs.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Convenience constructor for object values.
+    pub fn object(fields: Vec<(&str, JsonValue)>) -> JsonValue {
+        JsonValue::Object(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Convenience constructor for string values.
+    pub fn str(s: impl Into<String>) -> JsonValue {
+        JsonValue::Str(s.into())
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonValue::Null => f.write_str("null"),
+            JsonValue::Bool(b) => write!(f, "{b}"),
+            JsonValue::UInt(v) => write!(f, "{v}"),
+            JsonValue::Float(v) => {
+                if v.is_finite() {
+                    // `{}` on f64 never prints exponents without a digit
+                    // and always includes a leading digit — valid JSON.
+                    if v.fract() == 0.0 && v.abs() < 1e15 {
+                        write!(f, "{v:.1}")
+                    } else {
+                        write!(f, "{v}")
+                    }
+                } else {
+                    f.write_str("null")
+                }
+            }
+            JsonValue::Str(s) => {
+                let mut buf = String::with_capacity(s.len() + 2);
+                escape_into(&mut buf, s);
+                f.write_str(&buf)
+            }
+            JsonValue::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            JsonValue::Object(fields) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    let mut key = String::with_capacity(k.len() + 2);
+                    escape_into(&mut key, k);
+                    write!(f, "{key}:{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Validates that `text` is one syntactically well-formed JSON value.
+///
+/// # Errors
+///
+/// A human-readable description of the first syntax error, with its byte
+/// offset.
+pub fn validate(text: &str) -> Result<(), String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing input at byte {pos}"));
+    }
+    Ok(())
+}
+
+/// Validates every non-empty line of a JSON-lines document.
+///
+/// # Errors
+///
+/// The first offending line number (1-based) and its syntax error.
+pub fn validate_lines(text: &str) -> Result<usize, String> {
+    let mut valid = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        validate(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        valid += 1;
+    }
+    Ok(valid)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    match b.get(*pos) {
+        None => Err(format!("unexpected end of input at byte {pos}", pos = *pos)),
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => parse_literal(b, pos, "true"),
+        Some(b'f') => parse_literal(b, pos, "false"),
+        Some(b'n') => parse_literal(b, pos, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(c) => Err(format!("unexpected byte {c:?} at {}", *pos)),
+    }
+}
+
+fn parse_literal(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    debug_assert_eq!(b[*pos], b'"');
+    *pos += 1;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                let esc = b
+                    .get(*pos + 1)
+                    .ok_or_else(|| format!("dangling escape at byte {}", *pos))?;
+                match esc {
+                    b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't' => *pos += 2,
+                    b'u' => {
+                        let hex = b
+                            .get(*pos + 2..*pos + 6)
+                            .ok_or_else(|| format!("short \\u escape at byte {}", *pos))?;
+                        if !hex.iter().all(u8::is_ascii_hexdigit) {
+                            return Err(format!("bad \\u escape at byte {}", *pos));
+                        }
+                        *pos += 6;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+            }
+            c if c < 0x20 => return Err(format!("raw control byte in string at {}", *pos)),
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let int_digits = eat_digits(b, pos);
+    if int_digits == 0 {
+        return Err(format!("number without digits at byte {start}"));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if eat_digits(b, pos) == 0 {
+            return Err(format!("missing fraction digits at byte {}", *pos));
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e') | Some(b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+') | Some(b'-')) {
+            *pos += 1;
+        }
+        if eat_digits(b, pos) == 0 {
+            return Err(format!("missing exponent digits at byte {}", *pos));
+        }
+    }
+    Ok(())
+}
+
+fn eat_digits(b: &[u8], pos: &mut usize) -> usize {
+    let start = *pos;
+    while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+        *pos += 1;
+    }
+    *pos - start
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => {
+                *pos += 1;
+                skip_ws(b, pos);
+            }
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {}", *pos));
+        }
+        parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {}", *pos));
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trips_through_validate() {
+        let v = JsonValue::object(vec![
+            ("type", JsonValue::str("histogram")),
+            ("name", JsonValue::str("with \"quotes\"\nand\tctrl \u{1}")),
+            ("count", JsonValue::UInt(u64::MAX)),
+            ("mean", JsonValue::Float(277.75)),
+            ("whole", JsonValue::Float(3.0)),
+            ("nan", JsonValue::Float(f64::NAN)),
+            (
+                "buckets",
+                JsonValue::Array(vec![
+                    JsonValue::Array(vec![JsonValue::UInt(15), JsonValue::UInt(99)]),
+                    JsonValue::Null,
+                    JsonValue::Bool(true),
+                ]),
+            ),
+            ("empty_obj", JsonValue::Object(vec![])),
+            ("empty_arr", JsonValue::Array(vec![])),
+        ]);
+        let text = v.to_string();
+        validate(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert!(text.contains("\"nan\":null"));
+        assert!(text.contains("\"whole\":3.0"));
+    }
+
+    #[test]
+    fn validate_accepts_plain_values() {
+        for ok in [
+            "0",
+            "-12.5e-3",
+            "true",
+            "false",
+            "null",
+            "\"x\"",
+            "[1,2,3]",
+            "{\"a\":[{}]}",
+            "  {\"k\" : 1}  ",
+        ] {
+            validate(ok).unwrap_or_else(|e| panic!("{ok}: {e}"));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_malformed() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "01x",
+            "\"unterminated",
+            "1 2",
+            "{'a':1}",
+            "[1]]",
+            "1.",
+            "1e",
+        ] {
+            assert!(validate(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn validate_lines_counts_and_locates() {
+        assert_eq!(validate_lines("{\"a\":1}\n\n[2]\n").unwrap(), 2);
+        let err = validate_lines("{\"a\":1}\nnot json\n").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+}

@@ -1,0 +1,190 @@
+//! Span-scoped hierarchical wall-clock timers.
+//!
+//! A [`SpanGuard`] measures the wall-clock time between its creation and
+//! its drop and files it under a `/`-separated path built from the
+//! thread-local stack of open spans — `reproduce/fig11/figure_sweep`
+//! reads as "the figure sweep, inside fig11, inside the reproduce run".
+//! Guards created while recording is disabled are inert: no clock read,
+//! no allocation, no stack push.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Aggregated timings of one span path, on lock-free atomics so worker
+/// threads can report concurrently and merges are order-independent.
+#[derive(Debug, Default)]
+pub struct SpanStats {
+    count: AtomicU64,
+    total_nanos: AtomicU64,
+    min_nanos: AtomicU64,
+    max_nanos: AtomicU64,
+}
+
+impl SpanStats {
+    /// Creates empty stats.
+    pub fn new() -> Self {
+        let s = SpanStats::default();
+        s.min_nanos.store(u64::MAX, Ordering::Relaxed);
+        s
+    }
+
+    /// Records one completed span of `nanos` wall-clock nanoseconds.
+    pub fn record(&self, nanos: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.min_nanos.fetch_min(nanos, Ordering::Relaxed);
+        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Adds `other`'s recordings into `self` (integer sums/min/max, so
+    /// merge order never matters).
+    pub fn merge(&self, other: &SpanStats) {
+        let other_count = other.count.load(Ordering::Relaxed);
+        if other_count == 0 {
+            return;
+        }
+        self.count.fetch_add(other_count, Ordering::Relaxed);
+        self.total_nanos
+            .fetch_add(other.total_nanos.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min_nanos
+            .fetch_min(other.min_nanos.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max_nanos
+            .fetch_max(other.max_nanos.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Immutable summary of the current state.
+    pub fn summary(&self) -> SpanSummary {
+        let count = self.count.load(Ordering::Relaxed);
+        let total_nanos = self.total_nanos.load(Ordering::Relaxed);
+        SpanSummary {
+            count,
+            total_nanos,
+            min_nanos: if count == 0 {
+                0
+            } else {
+                self.min_nanos.load(Ordering::Relaxed)
+            },
+            max_nanos: self.max_nanos.load(Ordering::Relaxed),
+            mean_nanos: if count == 0 {
+                0.0
+            } else {
+                total_nanos as f64 / count as f64
+            },
+        }
+    }
+}
+
+/// Point-in-time summary of a [`SpanStats`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpanSummary {
+    /// Completed spans under this path.
+    pub count: u64,
+    /// Total wall-clock nanoseconds.
+    pub total_nanos: u64,
+    /// Shortest span (0 when empty).
+    pub min_nanos: u64,
+    /// Longest span (0 when empty).
+    pub max_nanos: u64,
+    /// Mean span duration (0 when empty).
+    pub mean_nanos: f64,
+}
+
+/// RAII guard for one open span; see [`crate::span`].
+#[must_use = "a span measures the scope it is bound to; dropping it immediately records nothing useful"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    start: Option<Instant>,
+}
+
+impl SpanGuard {
+    pub(crate) fn enter(name: &'static str) -> SpanGuard {
+        if !crate::enabled() {
+            return SpanGuard { start: None };
+        }
+        SPAN_STACK.with(|s| s.borrow_mut().push(name));
+        SpanGuard {
+            start: Some(Instant::now()),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let path = SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let path = stack.join("/");
+            stack.pop();
+            path
+        });
+        crate::global().record_span(&path, nanos);
+    }
+}
+
+/// Times one region and records the elapsed nanoseconds into a named
+/// histogram on drop — the flat (non-hierarchical) counterpart of
+/// [`SpanGuard`], right for per-item timings inside parallel loops where
+/// worker threads have no span context.
+#[must_use = "a stopwatch records on drop; dropping it immediately measures nothing"]
+#[derive(Debug)]
+pub struct Stopwatch {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Stopwatch {
+    /// Starts a stopwatch for histogram `name`; inert while recording is
+    /// disabled.
+    pub fn start(name: &'static str) -> Stopwatch {
+        Stopwatch {
+            name,
+            start: crate::enabled().then(Instant::now),
+        }
+    }
+}
+
+impl Drop for Stopwatch {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            crate::global().histogram_record(self.name, nanos);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_stats_merge_matches_single() {
+        let whole = SpanStats::new();
+        let a = SpanStats::new();
+        let b = SpanStats::new();
+        for v in [5u64, 100, 2, 77, 31] {
+            whole.record(v);
+        }
+        a.record(5);
+        a.record(100);
+        b.record(2);
+        b.record(77);
+        b.record(31);
+        a.merge(&b);
+        assert_eq!(a.summary(), whole.summary());
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let s = SpanStats::new().summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min_nanos, 0);
+        assert_eq!(s.max_nanos, 0);
+        assert_eq!(s.mean_nanos, 0.0);
+    }
+}

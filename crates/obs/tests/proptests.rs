@@ -1,0 +1,122 @@
+//! Property-based tests for `uavail-obs`: the aggregation layer must be
+//! exactly order-independent, because parallel sweeps merge per-thread
+//! recorders in whatever order the scheduler finishes them.
+
+use proptest::prelude::*;
+use uavail_obs::{Histogram, Recorder, SpanStats};
+
+/// Builds a recorder from a batch of `(metric index, value)` operations.
+fn build(ops: &[(u8, u64)]) -> Recorder {
+    let r = Recorder::new();
+    for &(kind, value) in ops {
+        match kind % 5 {
+            0 => r.counter_add("c", value),
+            1 => r.gauge_set("g", value),
+            2 => r.histogram_record("h", value),
+            3 => r.record_span("outer/inner", value),
+            _ => r.label("l", &format!("v{}", value % 8)),
+        }
+    }
+    r
+}
+
+proptest! {
+    #[test]
+    fn recorder_merge_is_order_independent(
+        batches in prop::collection::vec(
+            prop::collection::vec((0u8..5, 0u64..1_000_000), 0..20),
+            1..6
+        ),
+        rotate in 0usize..6
+    ) {
+        let parts: Vec<Recorder> = batches.iter().map(|b| build(b)).collect();
+        // Forward order, reverse order and an arbitrary rotation must all
+        // fold to bit-identical snapshots.
+        let forward = Recorder::new();
+        for p in &parts {
+            forward.merge(p);
+        }
+        let backward = Recorder::new();
+        for p in parts.iter().rev() {
+            backward.merge(p);
+        }
+        let rotated = Recorder::new();
+        let k = rotate % parts.len();
+        for p in parts[k..].iter().chain(&parts[..k]) {
+            rotated.merge(p);
+        }
+        prop_assert_eq!(forward.snapshot(), backward.snapshot());
+        prop_assert_eq!(forward.snapshot(), rotated.snapshot());
+    }
+
+    #[test]
+    fn split_merge_equals_single_recorder(
+        ops in prop::collection::vec((0u8..5, 0u64..1_000_000), 1..60),
+        split in 0usize..60
+    ) {
+        // Recording everything in one recorder equals recording a prefix
+        // and a suffix separately and merging — except for gauges, whose
+        // last-write-wins semantics cannot survive a split, so this batch
+        // uses no gauge operations.
+        let ops: Vec<(u8, u64)> = ops
+            .into_iter()
+            .map(|(k, v)| (if k % 5 == 1 { 0 } else { k }, v))
+            .collect();
+        let split = split % ops.len();
+        let whole = build(&ops);
+        let merged = build(&ops[..split]);
+        merged.merge(&build(&ops[split..]));
+        prop_assert_eq!(whole.snapshot(), merged.snapshot());
+    }
+
+    #[test]
+    fn histogram_merge_matches_pooled_samples(
+        a in prop::collection::vec(0u64..u64::MAX / 4, 0..50),
+        b in prop::collection::vec(0u64..u64::MAX / 4, 0..50)
+    ) {
+        let whole = Histogram::new();
+        let left = Histogram::new();
+        let right = Histogram::new();
+        for &v in &a {
+            whole.record(v);
+            left.record(v);
+        }
+        for &v in &b {
+            whole.record(v);
+            right.record(v);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.summary(), whole.summary());
+    }
+
+    #[test]
+    fn span_stats_merge_commutes(
+        a in prop::collection::vec(0u64..1_000_000_000, 0..30),
+        b in prop::collection::vec(0u64..1_000_000_000, 0..30)
+    ) {
+        let ab = SpanStats::new();
+        let ba = SpanStats::new();
+        let (sa, sb) = (SpanStats::new(), SpanStats::new());
+        for &v in &a {
+            sa.record(v);
+        }
+        for &v in &b {
+            sb.record(v);
+        }
+        ab.merge(&sa);
+        ab.merge(&sb);
+        ba.merge(&sb);
+        ba.merge(&sa);
+        prop_assert_eq!(ab.summary(), ba.summary());
+    }
+
+    #[test]
+    fn json_lines_always_validate(
+        ops in prop::collection::vec((0u8..5, 0u64..u64::MAX), 0..40)
+    ) {
+        let r = build(&ops);
+        let text = r.snapshot().to_json_lines();
+        let lines = uavail_obs::json::validate_lines(&text);
+        prop_assert!(lines.is_ok(), "{}\n{}", lines.unwrap_err(), text);
+    }
+}

@@ -133,10 +133,38 @@ impl MMcK {
             .expect("distribution is non-empty")
     }
 
-    /// Probability an arriving (accepted or not) customer must wait —
-    /// all servers busy.
+    /// Probability a Poisson arrival finds all servers busy —
+    /// `Σ_{n=c}^{K} p_n`.
+    ///
+    /// By PASTA this is the time-stationary probability of the
+    /// "all-servers-busy" states, which *includes* state `K`: arrivals
+    /// that find the system full are blocked, not queued, yet they still
+    /// count here. This is the quantity an external observer (or an
+    /// arriving probe) sees. For the delay probability conditioned on
+    /// actually being admitted, use
+    /// [`wait_probability_accepted`](MMcK::wait_probability_accepted).
+    /// The two are tied through [`loss_probability`](MMcK::loss_probability):
+    ///
+    /// `wait = (1 − p_K) · wait_accepted + p_K`
     pub fn wait_probability(&self) -> f64 {
         self.state_distribution()[self.servers..].iter().sum()
+    }
+
+    /// Probability an *accepted* customer must wait for service —
+    /// `Σ_{n=c}^{K−1} p_n / (1 − p_K)`.
+    ///
+    /// Conditions the arriving customer's state on admission (states
+    /// `0..K`), so blocked arrivals — which never wait, they are lost —
+    /// are excluded. When `c == K` (a pure loss system, no waiting room)
+    /// this is exactly 0.
+    pub fn wait_probability_accepted(&self) -> f64 {
+        let dist = self.state_distribution();
+        let p_block = *dist.last().expect("distribution is non-empty");
+        let admitted = 1.0 - p_block;
+        if admitted <= 0.0 {
+            return 0.0;
+        }
+        dist[self.servers..self.capacity].iter().sum::<f64>() / admitted
     }
 
     /// Effective throughput `α (1 - p_K)`.
@@ -248,6 +276,38 @@ mod tests {
         let wait = q.wait_probability();
         assert!(wait > 0.0 && wait < 1.0);
         assert!(q.loss_probability() <= wait);
+    }
+
+    #[test]
+    fn wait_probabilities_tie_through_loss() {
+        // wait = (1 − p_K) · wait_accepted + p_K: the PASTA wait
+        // probability decomposes into admitted-and-waiting plus blocked.
+        for &(alpha, nu, c, k) in &[
+            (100.0, 100.0, 4usize, 10usize),
+            (150.0, 100.0, 2, 6),
+            (90.0, 30.0, 3, 12),
+        ] {
+            let q = MMcK::new(alpha, nu, c, k).unwrap();
+            let pk = q.loss_probability();
+            let wait = q.wait_probability();
+            let accepted = q.wait_probability_accepted();
+            assert!(
+                (wait - ((1.0 - pk) * accepted + pk)).abs() < 1e-12,
+                "alpha={alpha} c={c} k={k}"
+            );
+            // Blocked arrivals count as "waiting" under PASTA but never
+            // as accepted-and-waiting, so the conditional is smaller.
+            assert!(accepted < wait, "alpha={alpha} c={c} k={k}");
+        }
+    }
+
+    #[test]
+    fn pure_loss_system_has_no_accepted_waiting() {
+        // c == K: no waiting room at all. PASTA wait probability is the
+        // blocking probability itself; the accepted-customer wait is 0.
+        let q = MMcK::new(120.0, 40.0, 5, 5).unwrap();
+        assert!((q.wait_probability() - q.loss_probability()).abs() < 1e-15);
+        assert_eq!(q.wait_probability_accepted(), 0.0);
     }
 
     #[test]

@@ -49,12 +49,34 @@ pub fn replicate<T, E, F>(base_seed: u64, count: usize, f: F) -> Result<Vec<T>, 
 where
     F: Fn(&mut StdRng, usize) -> Result<T, E>,
 {
+    let _span = uavail_obs::span("sim.replicate");
+    record_batch_metrics(base_seed, count);
     (0..count)
         .map(|i| {
+            let _rep = uavail_obs::Stopwatch::start("sim.replicate.replication_ns");
             let mut rng = StdRng::seed_from_u64(replication_seed(base_seed, i));
             f(&mut rng, i)
         })
         .collect()
+}
+
+/// Counts one replication batch and labels it with its RNG stream (base
+/// seed plus SplitMix64-derived seed range) so a metrics artifact records
+/// exactly which random streams produced the reported numbers. The label
+/// formatting allocates, so it is gated on the recorder being enabled.
+fn record_batch_metrics(base_seed: u64, count: usize) {
+    uavail_obs::counter_add("sim.replicate.batches", 1);
+    uavail_obs::counter_add("sim.replicate.replications", count as u64);
+    if uavail_obs::enabled() && count > 0 {
+        uavail_obs::label(
+            "sim.replicate.stream",
+            &format!(
+                "base={base_seed} reps={count} first={:#018x} last={:#018x}",
+                replication_seed(base_seed, 0),
+                replication_seed(base_seed, count - 1)
+            ),
+        );
+    }
 }
 
 /// Parallel [`replicate`] on one worker per available core: same
@@ -90,8 +112,11 @@ where
     E: Send,
     F: Fn(&mut StdRng, usize) -> Result<T, E> + Sync,
 {
+    let _span = uavail_obs::span("sim.replicate_parallel");
+    record_batch_metrics(base_seed, count);
     let indices: Vec<usize> = (0..count).collect();
     par_map_threads(&indices, threads, |&i| {
+        let _rep = uavail_obs::Stopwatch::start("sim.replicate.replication_ns");
         let mut rng = StdRng::seed_from_u64(replication_seed(base_seed, i));
         f(&mut rng, i)
     })

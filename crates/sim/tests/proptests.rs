@@ -61,6 +61,31 @@ proptest! {
     }
 
     #[test]
+    fn batch_means_consumes_every_observation(
+        data in prop::collection::vec(-10f64..10.0, 2..100),
+        batches in 2usize..6
+    ) {
+        // No divisibility assumption: the batch sizes ⌈n/b⌉/⌊n/b⌋ must
+        // partition the series, so the size-weighted batch means recover
+        // the full series sum (the old implementation dropped the tail).
+        prop_assume!(data.len() >= batches);
+        let stats = batch_means(&data, batches).unwrap();
+        prop_assert_eq!(stats.count(), batches as u64);
+        let base = data.len() / batches;
+        let remainder = data.len() % batches;
+        let mut start = 0;
+        let mut weighted = 0.0;
+        for b in 0..batches {
+            let size = base + usize::from(b < remainder);
+            weighted += data[start..start + size].iter().sum::<f64>();
+            start += size;
+        }
+        prop_assert_eq!(start, data.len());
+        let total: f64 = data.iter().sum();
+        prop_assert!((weighted - total).abs() < 1e-9);
+    }
+
+    #[test]
     fn event_queue_pops_sorted(times in prop::collection::vec(0.0f64..1e6, 1..100)) {
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {

@@ -29,7 +29,9 @@ pub struct Table8Row {
 ///
 /// Propagates solver failures.
 pub fn table8() -> Result<Vec<Table8Row>, TravelError> {
+    let _span = uavail_obs::span("travel.table8");
     let counts = [1usize, 2, 3, 4, 5, 10];
+    uavail_obs::counter_add("travel.table8.rows", counts.len() as u64);
     let mut rows = Vec::with_capacity(counts.len());
     for n in counts {
         let params = TaParameters::paper_defaults().with_reservation_systems(n);
@@ -86,6 +88,7 @@ fn figure_point(
     alpha: f64,
     nw: usize,
 ) -> Result<FigurePoint, TravelError> {
+    let _point = uavail_obs::Stopwatch::start("travel.figure.point_ns");
     let params = TaParameters::builder()
         .web_servers(nw)
         .failure_rate_per_hour(lambda)
@@ -104,9 +107,22 @@ fn figure_point(
     })
 }
 
+/// Counts the points of one figure sweep under the figure's own name, so
+/// the metrics artifact reports per-figure coverage.
+fn count_figure_points(perfect: bool, points: usize) {
+    let name = if perfect {
+        "travel.fig11.points"
+    } else {
+        "travel.fig12.points"
+    };
+    uavail_obs::counter_add(name, points as u64);
+}
+
 fn figure_sweep(perfect: bool) -> Result<Vec<FigurePoint>, TravelError> {
-    figure_points_grid()
-        .into_iter()
+    let _span = uavail_obs::span("travel.figure_sweep");
+    let grid = figure_points_grid();
+    count_figure_points(perfect, grid.len());
+    grid.into_iter()
         .map(|(lambda, alpha, nw)| figure_point(perfect, lambda, alpha, nw))
         .collect()
 }
@@ -117,7 +133,10 @@ pub(crate) fn figure_sweep_parallel_threads(
     perfect: bool,
     threads: usize,
 ) -> Result<Vec<FigurePoint>, TravelError> {
-    par_map_threads(&figure_points_grid(), threads, |&(lambda, alpha, nw)| {
+    let _span = uavail_obs::span("travel.figure_sweep_parallel");
+    let grid = figure_points_grid();
+    count_figure_points(perfect, grid.len());
+    par_map_threads(&grid, threads, |&(lambda, alpha, nw)| {
         figure_point(perfect, lambda, alpha, nw)
     })
 }
@@ -183,6 +202,7 @@ pub struct CategoryBreakdown {
 ///
 /// Propagates solver failures.
 pub fn figure13(class: &UserClass) -> Result<CategoryBreakdown, TravelError> {
+    let _span = uavail_obs::span("travel.figure13");
     let params = TaParameters::paper_defaults();
     let model = TravelAgencyModel::new(params.clone(), Architecture::paper_reference())?;
     let env = model.service_availabilities()?;

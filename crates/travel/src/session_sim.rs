@@ -210,6 +210,8 @@ pub fn simulate_user_availability<R: Rng + ?Sized>(
         completed += 1;
     }
     let _ = clock; // simulated time; kept for debugging symmetry
+    uavail_obs::counter_add("travel.session_sim.sessions", sessions);
+    uavail_obs::counter_add("travel.session_sim.successes", successes);
     Ok(SessionObservation {
         sessions,
         successes,
@@ -272,6 +274,7 @@ pub fn simulate_user_availability_replicated_threads(
             requirement: "at least 1",
         });
     }
+    let _span = uavail_obs::span("travel.session_sim");
     let run = |rng: &mut StdRng, _: usize| {
         simulate_user_availability(rng, class, params, architecture, sessions_per_replication)
     };

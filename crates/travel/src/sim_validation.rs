@@ -61,6 +61,7 @@ pub fn validate_web_service(
     horizon: f64,
     seed: u64,
 ) -> Result<ValidationReport, TravelError> {
+    let _span = uavail_obs::span("travel.validate");
     let analytic = 1.0 - webservice::redundant_imperfect_availability(params)?;
     let sim = farm_simulation(params)?;
     let mut rng = StdRng::seed_from_u64(seed);
@@ -91,6 +92,8 @@ fn pooled_report(
 ) -> ValidationReport {
     let arrivals: u64 = observations.iter().map(|o| o.arrivals).sum();
     let losses: u64 = observations.iter().map(|o| o.losses).sum();
+    uavail_obs::counter_add("travel.validate.arrivals", arrivals);
+    uavail_obs::counter_add("travel.validate.losses", losses);
     let pooled = uavail_sim::stats::Proportion::new(losses, arrivals);
     let separation = params
         .arrival_rate_per_second
@@ -150,6 +153,7 @@ pub fn validate_web_service_replicated_threads(
     replications: usize,
     threads: usize,
 ) -> Result<ValidationReport, TravelError> {
+    let _span = uavail_obs::span("travel.validate");
     let analytic = 1.0 - webservice::redundant_imperfect_availability(params)?;
     let sim = farm_simulation(params)?;
     let run = |rng: &mut StdRng, _: usize| sim.run(rng, horizon);

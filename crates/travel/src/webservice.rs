@@ -55,7 +55,19 @@ const LOSS_CACHE_CAP: usize = 1 << 16;
 pub fn reset_loss_cache() {
     if let Ok(mut cache) = loss_cache().write() {
         cache.clear();
+        uavail_obs::gauge_set("travel.loss_cache.size", 0);
     }
+}
+
+/// Current number of memoized [`loss_probability`] entries.
+pub fn loss_cache_len() -> usize {
+    loss_cache().read().map(|c| c.len()).unwrap_or(0)
+}
+
+/// Size bound of the [`loss_probability`] memo; reaching it triggers a
+/// wholesale reset (recorded as `travel.loss_cache.evictions`).
+pub fn loss_cache_capacity() -> usize {
+    LOSS_CACHE_CAP
 }
 
 /// Loss probability `p_K` of the basic single-server buffer —
@@ -88,9 +100,11 @@ pub fn loss_probability(params: &TaParameters, operational: usize) -> Result<f64
     );
     if let Ok(cache) = loss_cache().read() {
         if let Some(&p) = cache.get(&key) {
+            uavail_obs::counter_add("travel.loss_cache.hits", 1);
             return Ok(p);
         }
     }
+    uavail_obs::counter_add("travel.loss_cache.misses", 1);
     let q = MMcK::new(
         params.arrival_rate_per_second,
         params.service_rate_per_second,
@@ -101,8 +115,10 @@ pub fn loss_probability(params: &TaParameters, operational: usize) -> Result<f64
     if let Ok(mut cache) = loss_cache().write() {
         if cache.len() >= LOSS_CACHE_CAP {
             cache.clear();
+            uavail_obs::counter_add("travel.loss_cache.evictions", 1);
         }
         cache.insert(key, p);
+        uavail_obs::gauge_set("travel.loss_cache.size", cache.len() as u64);
     }
     Ok(p)
 }
@@ -380,6 +396,27 @@ mod tests {
         .unwrap()
         .loss_probability();
         assert_eq!(first.to_bits(), direct.to_bits());
+    }
+
+    #[test]
+    fn loss_cache_stays_under_cap_with_wholesale_reset() {
+        // Feed more distinct keys than the cap by perturbing the arrival
+        // rate one ulp-ish step at a time; the memo must clear itself
+        // rather than grow without bound. (Other tests share the
+        // process-wide cache, but clearing is transparent to them.)
+        let cap = loss_cache_capacity();
+        for i in 0..(cap + 16) {
+            let p = TaParameters::builder()
+                .arrival_rate_per_second(50.0 + i as f64 * 1e-7)
+                .build()
+                .unwrap();
+            loss_probability(&p, 2).unwrap();
+        }
+        assert!(
+            loss_cache_len() <= cap,
+            "cache len {} exceeds cap {cap}",
+            loss_cache_len()
+        );
     }
 
     #[test]

@@ -1,0 +1,90 @@
+//! The `uavail-obs` contract, pinned end to end: enabling the metrics
+//! recorder never changes any reproduced number, bit for bit — and while
+//! enabled, the recorder actually observes the work.
+//!
+//! These tests toggle the process-wide recorder, so they live in their own
+//! integration binary and serialize on a lock instead of sharing a process
+//! with the rest of the suite.
+
+use std::sync::Mutex;
+
+use uavail_travel::evaluation::{figure11, figure12, figure12_parallel, table8};
+use uavail_travel::sim_validation::{compressed_parameters, validate_web_service};
+use uavail_travel::webservice;
+
+static RECORDER_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` once with recording off and once with recording on (resetting
+/// the recorder first), returning both results plus the on-run snapshot.
+fn with_and_without_recording<T>(f: impl Fn() -> T) -> (T, T, uavail_obs::Snapshot) {
+    let _guard = RECORDER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    uavail_obs::set_enabled(false);
+    let off = f();
+    uavail_obs::set_enabled(true);
+    uavail_obs::reset();
+    let on = f();
+    let snap = uavail_obs::snapshot();
+    uavail_obs::set_enabled(false);
+    (off, on, snap)
+}
+
+#[test]
+fn figure_sweeps_are_bit_identical_with_recording_on() {
+    let (off, on, snap) = with_and_without_recording(|| {
+        (figure11().unwrap(), figure12().unwrap(), table8().unwrap())
+    });
+    let (f11_off, f12_off, t8_off) = off;
+    let (f11_on, f12_on, t8_on) = on;
+    for (a, b) in f11_off
+        .iter()
+        .zip(&f11_on)
+        .chain(f12_off.iter().zip(&f12_on))
+    {
+        assert_eq!(
+            a.unavailability.to_bits(),
+            b.unavailability.to_bits(),
+            "N_W={} λ={} α={}",
+            a.web_servers,
+            a.failure_rate_per_hour,
+            a.arrival_rate_per_second
+        );
+    }
+    assert_eq!(t8_off, t8_on);
+
+    // While on, the recorder saw the sweeps: per-figure point counts,
+    // loss-cache traffic under the cap, span timings and a per-point
+    // latency histogram.
+    assert_eq!(snap.counter("travel.fig11.points"), 90);
+    assert_eq!(snap.counter("travel.fig12.points"), 90);
+    let hits = snap.counter("travel.loss_cache.hits");
+    let misses = snap.counter("travel.loss_cache.misses");
+    assert!(hits + misses > 0, "cache counters must move");
+    assert!(
+        webservice::loss_cache_len() <= webservice::loss_cache_capacity(),
+        "dense sweep must stay under the cache cap"
+    );
+    assert_eq!(snap.spans["travel.figure_sweep"].count, 2);
+    assert!(snap.spans["travel.figure_sweep"].total_nanos > 0);
+    assert_eq!(snap.spans["travel.table8"].count, 1);
+    assert_eq!(snap.histograms["travel.figure.point_ns"].count, 180);
+}
+
+#[test]
+fn parallel_sweep_is_bit_identical_with_recording_on() {
+    let (off, on, snap) = with_and_without_recording(|| figure12_parallel().unwrap());
+    for (a, b) in off.iter().zip(&on) {
+        assert_eq!(a.unavailability.to_bits(), b.unavailability.to_bits());
+    }
+    assert_eq!(snap.spans["travel.figure_sweep_parallel"].count, 1);
+    assert_eq!(snap.histograms["travel.figure.point_ns"].count, 90);
+}
+
+#[test]
+fn simulation_is_bit_identical_with_recording_on() {
+    let params = compressed_parameters();
+    let (off, on, snap) =
+        with_and_without_recording(|| validate_web_service(&params, 500.0, 11).unwrap());
+    assert_eq!(off, on, "recording must not perturb the RNG stream");
+    assert_eq!(snap.counter("travel.validate.arrivals"), on.arrivals);
+    assert_eq!(snap.spans["travel.validate"].count, 1);
+}
