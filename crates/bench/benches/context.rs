@@ -1,0 +1,61 @@
+//! Cold-build vs. context-reuse benchmarks for the sweep engine.
+//!
+//! Each pair times the same evaluation twice: `cold_build` resets the
+//! loss-probability memo every iteration and runs the allocating path, so
+//! every repetition pays full CTMC construction, GTH scratch allocation
+//! and M/M/c/K recomputation; `context_reuse` hands one warmed
+//! [`EvalContext`] (and the warm memo) to the `*_with` twin, so iterations
+//! measure pure solve time in reused storage. Both paths are bit-for-bit
+//! identical in output — see `crates/travel/tests/context_identity.rs` —
+//! so the ratio is a pure allocation/caching win.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use uavail_travel::evaluation::{
+    figure11, figure11_with, figure12, figure12_with, table8, table8_with,
+};
+use uavail_travel::{webservice, EvalContext};
+
+fn bench_figure11(c: &mut Criterion) {
+    c.bench_function("context/figure11/cold_build", |b| {
+        b.iter(|| {
+            webservice::reset_loss_cache();
+            black_box(figure11().unwrap())
+        })
+    });
+    let mut ctx = EvalContext::new();
+    figure11_with(&mut ctx).unwrap(); // warm the context and the memo
+    c.bench_function("context/figure11/context_reuse", |b| {
+        b.iter(|| black_box(figure11_with(&mut ctx).unwrap()))
+    });
+}
+
+fn bench_figure12(c: &mut Criterion) {
+    c.bench_function("context/figure12/cold_build", |b| {
+        b.iter(|| {
+            webservice::reset_loss_cache();
+            black_box(figure12().unwrap())
+        })
+    });
+    let mut ctx = EvalContext::new();
+    figure12_with(&mut ctx).unwrap();
+    c.bench_function("context/figure12/context_reuse", |b| {
+        b.iter(|| black_box(figure12_with(&mut ctx).unwrap()))
+    });
+}
+
+fn bench_table8(c: &mut Criterion) {
+    c.bench_function("context/table8/cold_build", |b| {
+        b.iter(|| {
+            webservice::reset_loss_cache();
+            black_box(table8().unwrap())
+        })
+    });
+    let mut ctx = EvalContext::new();
+    table8_with(&mut ctx).unwrap();
+    c.bench_function("context/table8/context_reuse", |b| {
+        b.iter(|| black_box(table8_with(&mut ctx).unwrap()))
+    });
+}
+
+criterion_group!(context, bench_figure11, bench_figure12, bench_table8);
+criterion_main!(context);

@@ -2,10 +2,11 @@
 //!
 //! ```text
 //! reproduce [ARTIFACT] [--csv] [--parallel] [--metrics <path>]
+//!           [--bench-json <path>]
 //!
 //! ARTIFACT: table1 table2 table3 table4 table5 table6 table7 table8
 //!           fig11 fig12 fig13 revenue capacity ablation validate
-//!           speedup all
+//!           speedup bench all
 //! ```
 //!
 //! `--parallel` routes the artifacts with parallel implementations
@@ -23,6 +24,15 @@
 //! rate. Instrumentation never changes any reproduced number — the
 //! `metrics_identity` integration test pins bit-for-bit equality with
 //! recording on and off.
+//!
+//! `bench` times the `EvalContext` reuse paths against their cold-build
+//! twins (Figure 11, Figure 12, Table 8) in-process and prints the means;
+//! `--bench-json <path>` additionally writes the measurements as a
+//! JSON-lines artifact (schema `uavail-bench/v1`: one meta record, one
+//! record per benchmark with `name`/`mode`/`mean_ns`/`iters`, and one
+//! derived `<name>.context_speedup` record per pair). The flag implies the
+//! `bench` artifact when none is named; `bench` is excluded from `all`
+//! because it is a timing run, not a paper artifact.
 
 use std::process::ExitCode;
 
@@ -47,6 +57,7 @@ fn main() -> ExitCode {
     let mut csv = false;
     let mut parallel = false;
     let mut metrics: Option<String> = None;
+    let mut bench_json: Option<String> = None;
     let mut artifact: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -65,6 +76,16 @@ fn main() -> ExitCode {
             }
         } else if let Some(path) = arg.strip_prefix("--metrics=") {
             metrics = Some(path.to_string());
+        } else if arg == "--bench-json" {
+            match args.next() {
+                Some(path) => bench_json = Some(path),
+                None => {
+                    eprintln!("reproduce: --bench-json requires a file path");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if let Some(path) = arg.strip_prefix("--bench-json=") {
+            bench_json = Some(path.to_string());
         } else if arg.starts_with("--") {
             eprintln!("reproduce: unknown flag {arg:?}");
             return ExitCode::FAILURE;
@@ -75,10 +96,49 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    let artifact = artifact.unwrap_or_else(|| "all".to_string());
+    // `--bench-json` without an artifact means "run the benches".
+    let artifact = artifact.unwrap_or_else(|| {
+        if bench_json.is_some() {
+            "bench".to_string()
+        } else {
+            "all".to_string()
+        }
+    });
     if metrics.is_some() {
         uavail_obs::set_enabled(true);
         uavail_obs::reset();
+    }
+    if artifact == "bench" {
+        // The bench artifact is handled here rather than in `run` because
+        // the JSON emitter needs the raw measurements, not just stdout.
+        let measurements = {
+            let _run = uavail_obs::span("reproduce");
+            match run_context_benches() {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("reproduce: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        };
+        print_bench_table(&measurements, csv);
+        if let Some(path) = bench_json {
+            if let Err(e) = write_bench_json(&path, &measurements) {
+                eprintln!("reproduce: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Some(path) = metrics {
+            if let Err(e) = write_metrics(&path, &artifact, parallel) {
+                eprintln!("reproduce: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+    if bench_json.is_some() {
+        eprintln!("reproduce: --bench-json only applies to the `bench` artifact");
+        return ExitCode::FAILURE;
     }
     let result = {
         let _run = uavail_obs::span("reproduce");
@@ -95,6 +155,190 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// One in-process benchmark measurement: a named case in either
+/// `cold_build` or `context_reuse` mode.
+struct BenchMeasurement {
+    name: &'static str,
+    mode: &'static str,
+    mean_ns: f64,
+    iters: u64,
+}
+
+/// Times the cold-build and context-reuse variants of the Figure 11,
+/// Figure 12 and Table 8 drivers in-process. Cold iterations reset the
+/// loss-probability memo and allocate everything fresh; reuse iterations
+/// run the `*_with` twins against one long-lived [`EvalContext`] and the
+/// warm memo. The same methodology as `cargo bench -p uavail-bench --bench
+/// context`, shrunk to fit a reproduction run.
+fn run_context_benches() -> Result<Vec<BenchMeasurement>, TravelError> {
+    use std::hint::black_box;
+    use std::time::Instant;
+    use uavail_travel::evaluation::{figure11_with, figure12_with, table8_with};
+    use uavail_travel::EvalContext;
+
+    // One calibration call sizes the loop to roughly this much wall
+    // clock per case; small enough for CI, large enough to average out
+    // scheduler noise.
+    const BUDGET_S: f64 = 0.2;
+
+    fn time(mut f: impl FnMut() -> Result<(), TravelError>) -> Result<(f64, u64), TravelError> {
+        let calibrate = Instant::now();
+        f()?;
+        let per_iter = calibrate.elapsed().as_secs_f64().max(1e-9);
+        let iters = ((BUDGET_S / per_iter) as u64).clamp(3, 5_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            f()?;
+        }
+        Ok((start.elapsed().as_secs_f64() * 1e9 / iters as f64, iters))
+    }
+
+    let mut out = Vec::with_capacity(6);
+    let mut bench_pair = |name: &'static str,
+                          mut cold: Box<dyn FnMut() -> Result<(), TravelError> + '_>,
+                          mut warm: Box<dyn FnMut() -> Result<(), TravelError> + '_>|
+     -> Result<(), TravelError> {
+        let (mean_ns, iters) = time(&mut *cold)?;
+        out.push(BenchMeasurement {
+            name,
+            mode: "cold_build",
+            mean_ns,
+            iters,
+        });
+        warm()?; // warm the context and the memo outside the timed loop
+        let (mean_ns, iters) = time(&mut *warm)?;
+        out.push(BenchMeasurement {
+            name,
+            mode: "context_reuse",
+            mean_ns,
+            iters,
+        });
+        Ok(())
+    };
+
+    let mut ctx = EvalContext::new();
+    bench_pair(
+        "figure11",
+        Box::new(|| {
+            webservice::reset_loss_cache();
+            black_box(figure11()?);
+            Ok(())
+        }),
+        Box::new(|| {
+            black_box(figure11_with(&mut ctx)?);
+            Ok(())
+        }),
+    )?;
+    let mut ctx = EvalContext::new();
+    bench_pair(
+        "figure12",
+        Box::new(|| {
+            webservice::reset_loss_cache();
+            black_box(figure12()?);
+            Ok(())
+        }),
+        Box::new(|| {
+            black_box(figure12_with(&mut ctx)?);
+            Ok(())
+        }),
+    )?;
+    let mut ctx = EvalContext::new();
+    bench_pair(
+        "table8",
+        Box::new(|| {
+            webservice::reset_loss_cache();
+            black_box(table8()?);
+            Ok(())
+        }),
+        Box::new(|| {
+            black_box(table8_with(&mut ctx)?);
+            Ok(())
+        }),
+    )?;
+    Ok(out)
+}
+
+fn print_bench_table(measurements: &[BenchMeasurement], csv: bool) {
+    let mut t = Table::new(
+        "Bench — cold build vs EvalContext reuse (in-process means)",
+        vec!["case", "mode", "mean (ms)", "iters"],
+    );
+    for m in measurements {
+        t.add_row(vec![
+            m.name.to_string(),
+            m.mode.to_string(),
+            format!("{:.3}", m.mean_ns / 1e6),
+            m.iters.to_string(),
+        ]);
+    }
+    print!("{}", render(&t, csv));
+    for (name, speedup) in pair_speedups(measurements) {
+        println!("{name}: context reuse is {speedup:.2}x faster than cold build");
+    }
+}
+
+/// `(name, cold_mean / warm_mean)` for every complete benchmark pair.
+fn pair_speedups(measurements: &[BenchMeasurement]) -> Vec<(&'static str, f64)> {
+    let mut out = Vec::new();
+    for m in measurements.iter().filter(|m| m.mode == "cold_build") {
+        if let Some(warm) = measurements
+            .iter()
+            .find(|w| w.name == m.name && w.mode == "context_reuse")
+        {
+            out.push((m.name, m.mean_ns / warm.mean_ns));
+        }
+    }
+    out
+}
+
+/// Serializes bench measurements to `path` as JSON lines under the
+/// `uavail-bench/v1` schema: one meta record, one record per measurement
+/// and a derived `<name>.context_speedup` per pair. Validated by the
+/// in-tree JSON parser before anything touches the filesystem.
+fn write_bench_json(path: &str, measurements: &[BenchMeasurement]) -> Result<(), String> {
+    use uavail_obs::json::JsonValue;
+    let mut out = String::new();
+    out.push_str(
+        &JsonValue::object(vec![
+            ("type", JsonValue::str("meta")),
+            ("schema", JsonValue::str("uavail-bench/v1")),
+            ("artifact", JsonValue::str("bench")),
+            ("threads", JsonValue::UInt(default_threads() as u64)),
+        ])
+        .to_string(),
+    );
+    out.push('\n');
+    for m in measurements {
+        out.push_str(
+            &JsonValue::object(vec![
+                ("type", JsonValue::str("bench")),
+                ("name", JsonValue::str(m.name)),
+                ("mode", JsonValue::str(m.mode)),
+                ("mean_ns", JsonValue::Float(m.mean_ns)),
+                ("iters", JsonValue::UInt(m.iters)),
+            ])
+            .to_string(),
+        );
+        out.push('\n');
+    }
+    for (name, speedup) in pair_speedups(measurements) {
+        out.push_str(
+            &JsonValue::object(vec![
+                ("type", JsonValue::str("derived")),
+                ("name", JsonValue::str(format!("{name}.context_speedup"))),
+                ("value", JsonValue::Float(speedup)),
+            ])
+            .to_string(),
+        );
+        out.push('\n');
+    }
+    let records = uavail_obs::json::validate_lines(&out)
+        .map_err(|e| format!("bench artifact failed JSON validation: {e}"))?;
+    std::fs::write(path, &out).map_err(|e| format!("cannot write bench JSON to {path}: {e}"))?;
+    eprintln!("wrote {records} bench records to {path}");
+    Ok(())
 }
 
 /// Serializes the global recorder to `path` as JSON lines: a meta record,
@@ -203,7 +447,7 @@ fn run(artifact: &str, csv: bool, parallel: bool) -> Result<(), TravelError> {
             eprintln!(
                 "unknown artifact {artifact:?}; expected one of: \
                  table1..table8, fig11, fig12, fig13, revenue, capacity, ablation, validate, \
-                 speedup, all"
+                 speedup, bench, all"
             );
             Ok(())
         }

@@ -75,10 +75,42 @@ where
     E: Send,
     F: Fn(&T) -> Result<U, E> + Sync,
 {
+    par_map_threads_with(items, threads, || (), |(), item| f(item))
+}
+
+/// Like [`par_map_threads`], but hands each worker thread a private
+/// workspace created by `make` and passes it to every evaluation the worker
+/// performs, so per-point scratch allocations can be reused across points.
+///
+/// The workspace is created *on* the worker thread (so `W` needs neither
+/// `Send` nor `Sync`) and dropped when the worker runs out of chunks. In
+/// serial mode a single workspace serves the whole map. Determinism is
+/// unchanged from [`par_map_threads`] — the workspace must not influence
+/// results, only provide reusable storage; with such an `f`, output and
+/// error semantics are identical to the plain map.
+///
+/// # Errors
+///
+/// Exactly as [`par_map_threads`]: the error at the lowest failing input
+/// index wins.
+pub fn par_map_threads_with<T, U, E, W, M, F>(
+    items: &[T],
+    threads: usize,
+    make: M,
+    f: F,
+) -> Result<Vec<U>, E>
+where
+    T: Sync,
+    U: Send,
+    E: Send,
+    M: Fn() -> W + Sync,
+    F: Fn(&mut W, &T) -> Result<U, E> + Sync,
+{
     let n = items.len();
     let threads = threads.clamp(1, n.max(1));
     if threads <= 1 || n < 2 {
-        return items.iter().map(f).collect();
+        let mut workspace = make();
+        return items.iter().map(|item| f(&mut workspace, item)).collect();
     }
 
     // Several short chunks per thread so an expensive tail point cannot
@@ -90,18 +122,21 @@ where
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let start = next.fetch_add(chunk, Ordering::Relaxed);
-                if start >= n || failed.load(Ordering::Relaxed) {
-                    return;
-                }
-                let end = (start + chunk).min(n);
-                for (i, item) in items.iter().enumerate().take(end).skip(start) {
-                    let result = f(item);
-                    if result.is_err() {
-                        failed.store(true, Ordering::Relaxed);
+            scope.spawn(|| {
+                let mut workspace = make();
+                loop {
+                    let start = next.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n || failed.load(Ordering::Relaxed) {
+                        return;
                     }
-                    *slots[i].lock().expect("no poisoned slot") = Some(result);
+                    let end = (start + chunk).min(n);
+                    for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                        let result = f(&mut workspace, item);
+                        if result.is_err() {
+                            failed.store(true, Ordering::Relaxed);
+                        }
+                        *slots[i].lock().expect("no poisoned slot") = Some(result);
+                    }
                 }
             });
         }
@@ -183,5 +218,61 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn workspace_variant_matches_plain_map_bit_for_bit() {
+        let items: Vec<f64> = (0..499).map(|i| i as f64 * 0.73).collect();
+        let serial: Vec<f64> = items
+            .iter()
+            .map(|x| (x.cos() * 1e2).exp().ln_1p())
+            .collect();
+        for threads in [1, 2, 8] {
+            let out = par_map_threads_with(
+                &items,
+                threads,
+                Vec::<f64>::new,
+                |scratch: &mut Vec<f64>, x: &f64| -> Result<f64, CoreError> {
+                    // Use the scratch buffer the way a real workspace
+                    // would: fill and read it, then reuse next point.
+                    scratch.clear();
+                    scratch.push((x.cos() * 1e2).exp());
+                    Ok(scratch[0].ln_1p())
+                },
+            )
+            .unwrap();
+            for (s, p) in serial.iter().zip(&out) {
+                assert_eq!(s.to_bits(), p.to_bits(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_variant_keeps_lowest_index_error() {
+        let items: Vec<usize> = (0..300).collect();
+        for threads in [1, 4] {
+            let err = par_map_threads_with(
+                &items,
+                threads,
+                || 0u32,
+                |_ws, &i| -> Result<usize, CoreError> {
+                    if i % 90 == 53 {
+                        Err(CoreError::Undefined {
+                            name: format!("item-{i}"),
+                        })
+                    } else {
+                        Ok(i)
+                    }
+                },
+            )
+            .unwrap_err();
+            assert_eq!(
+                err,
+                CoreError::Undefined {
+                    name: "item-53".into()
+                },
+                "threads={threads}"
+            );
+        }
     }
 }

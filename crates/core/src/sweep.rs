@@ -5,7 +5,7 @@
 //! systems). This module provides small, composable helpers for generating
 //! sweep grids and running sensitivity studies over arbitrary models.
 
-use crate::par::{default_threads, par_map_threads};
+use crate::par::{default_threads, par_map_threads, par_map_threads_with};
 use crate::CoreError;
 
 /// A single point of a sweep: the swept value and the measured output.
@@ -122,6 +122,94 @@ pub fn sweep_parallel_threads(
         // context, and the histogram keys serial and parallel runs alike.
         let _point = uavail_obs::Stopwatch::start("core.sweep.point_ns");
         match f(x) {
+            Ok(y) => Ok(SweepPoint { x, y }),
+            Err(e) => Err(at_sweep_point(x, e)),
+        }
+    })
+}
+
+/// [`sweep`] with a caller-owned workspace threaded through every
+/// evaluation, so per-point scratch (matrices, distribution buffers) is
+/// allocated once and reused across the whole sweep.
+///
+/// The workspace must only provide reusable storage, never influence the
+/// result; with such an `f`, the output is bit-for-bit the output of
+/// [`sweep`] with the equivalent workspace-free closure.
+///
+/// # Errors
+///
+/// Exactly the errors [`sweep`] would produce.
+///
+/// # Examples
+///
+/// ```
+/// use uavail_core::sweep::sweep_with;
+///
+/// # fn main() -> Result<(), uavail_core::CoreError> {
+/// let mut scratch: Vec<f64> = Vec::new();
+/// let points = sweep_with(&[1.0, 2.0], &mut scratch, |buf, x| {
+///     buf.clear();
+///     buf.push(x * x);
+///     Ok(buf[0])
+/// })?;
+/// assert_eq!(points[1].y, 4.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn sweep_with<W>(
+    values: &[f64],
+    workspace: &mut W,
+    mut f: impl FnMut(&mut W, f64) -> Result<f64, CoreError>,
+) -> Result<Vec<SweepPoint>, CoreError> {
+    let _span = uavail_obs::span("core.sweep");
+    uavail_obs::counter_add("core.sweep.points", values.len() as u64);
+    values
+        .iter()
+        .map(|&x| {
+            let _point = uavail_obs::Stopwatch::start("core.sweep.point_ns");
+            match f(workspace, x) {
+                Ok(y) => Ok(SweepPoint { x, y }),
+                Err(e) => Err(at_sweep_point(x, e)),
+            }
+        })
+        .collect()
+}
+
+/// Parallel [`sweep_with`]: each worker thread builds one private
+/// workspace via `make` and reuses it for every point the worker claims.
+/// Uses [`default_threads`] workers.
+///
+/// # Errors
+///
+/// Exactly the errors [`sweep`] would produce.
+pub fn sweep_parallel_with<W>(
+    values: &[f64],
+    make: impl Fn() -> W + Sync,
+    f: impl Fn(&mut W, f64) -> Result<f64, CoreError> + Sync,
+) -> Result<Vec<SweepPoint>, CoreError> {
+    sweep_parallel_threads_with(values, default_threads(), make, f)
+}
+
+/// [`sweep_parallel_with`] with an explicit worker-thread cap.
+/// `threads <= 1` evaluates serially on the calling thread with a single
+/// workspace.
+///
+/// # Errors
+///
+/// Exactly the errors [`sweep`] would produce.
+pub fn sweep_parallel_threads_with<W>(
+    values: &[f64],
+    threads: usize,
+    make: impl Fn() -> W + Sync,
+    f: impl Fn(&mut W, f64) -> Result<f64, CoreError> + Sync,
+) -> Result<Vec<SweepPoint>, CoreError> {
+    let _span = uavail_obs::span("core.sweep_parallel");
+    uavail_obs::counter_add("core.sweep.points", values.len() as u64);
+    par_map_threads_with(values, threads, make, |workspace, &x| {
+        // A flat stopwatch, not a span: worker threads carry no span
+        // context, and the histogram keys serial and parallel runs alike.
+        let _point = uavail_obs::Stopwatch::start("core.sweep.point_ns");
+        match f(workspace, x) {
             Ok(y) => Ok(SweepPoint { x, y }),
             Err(e) => Err(at_sweep_point(x, e)),
         }
@@ -339,6 +427,40 @@ mod tests {
             let parallel_err = sweep_parallel_threads(&xs[..180], threads, f).unwrap_err();
             assert_eq!(serial_err, parallel_err, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn workspace_sweeps_match_plain_sweeps_bit_for_bit() {
+        let xs: Vec<f64> = (0..150).map(|i| 0.01 + i as f64 * 0.006).collect();
+        let plain = |x: f64| -> Result<f64, CoreError> { Ok((1.0 - x).powi(3) / (1.0 + x)) };
+        let with_ws = |buf: &mut Vec<f64>, x: f64| -> Result<f64, CoreError> {
+            buf.clear();
+            buf.push((1.0 - x).powi(3));
+            Ok(buf[0] / (1.0 + x))
+        };
+        let serial = sweep(&xs, plain).unwrap();
+        let mut ws = Vec::new();
+        assert_eq!(serial, sweep_with(&xs, &mut ws, with_ws).unwrap());
+        for threads in [1, 2, 7] {
+            assert_eq!(
+                serial,
+                sweep_parallel_threads_with(&xs, threads, Vec::new, with_ws).unwrap(),
+                "threads={threads}"
+            );
+        }
+        assert_eq!(serial, sweep_parallel_with(&xs, Vec::new, with_ws).unwrap());
+    }
+
+    #[test]
+    fn workspace_sweep_error_names_failing_point() {
+        let mut ws = 0u8;
+        let err = sweep_with(&[1.0, 2.5], &mut ws, |_, x| {
+            Err(CoreError::BadWeights {
+                reason: format!("boom at {x}"),
+            })
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("x = 1"), "{err}");
     }
 
     #[test]

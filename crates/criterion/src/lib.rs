@@ -24,6 +24,14 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
+        // `UAVAIL_BENCH_QUICK=1` shrinks the windows for CI smoke runs,
+        // where the goal is exercising the bench code, not precise timing.
+        if std::env::var_os("UAVAIL_BENCH_QUICK").is_some_and(|v| v != "0" && !v.is_empty()) {
+            return Criterion {
+                warm_up: Duration::from_millis(10),
+                measurement: Duration::from_millis(40),
+            };
+        }
         Criterion {
             warm_up: Duration::from_millis(200),
             measurement: Duration::from_millis(800),

@@ -44,7 +44,7 @@ mod tridiagonal;
 pub mod vector;
 
 pub use error::LinalgError;
-pub use lu::{solve, Lu};
+pub use lu::{solve, Lu, LuWorkspace};
 pub use matrix::Matrix;
 pub use sparse::{CsrMatrix, Triplet};
 pub use tridiagonal::Tridiagonal;

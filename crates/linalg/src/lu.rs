@@ -35,6 +35,99 @@ pub struct Lu {
 /// Pivot magnitudes below this threshold are treated as singular.
 const SINGULARITY_THRESHOLD: f64 = 1e-300;
 
+/// Factors the matrix held in `f` in place (combined L/U layout), recording
+/// the row permutation in `perm` and returning its sign.
+///
+/// This is the single factorization kernel shared by [`Lu::new`] and
+/// [`LuWorkspace::factor`], so the owned and workspace paths execute the
+/// exact same floating-point operations in the same order.
+fn factor_in_place(f: &mut Matrix, perm: &mut Vec<usize>) -> Result<f64, LinalgError> {
+    let n = f.rows();
+    perm.clear();
+    perm.extend(0..n);
+    let mut sign = 1.0;
+
+    for k in 0..n {
+        // Partial pivoting: find the largest |entry| in column k at or
+        // below the diagonal.
+        let mut pivot_row = k;
+        let mut pivot_val = f[(k, k)].abs();
+        for r in (k + 1)..n {
+            let v = f[(r, k)].abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = r;
+            }
+        }
+        if pivot_val < SINGULARITY_THRESHOLD {
+            return Err(LinalgError::Singular { pivot: k });
+        }
+        if pivot_row != k {
+            for c in 0..n {
+                let tmp = f[(k, c)];
+                f[(k, c)] = f[(pivot_row, c)];
+                f[(pivot_row, c)] = tmp;
+            }
+            perm.swap(k, pivot_row);
+            sign = -sign;
+        }
+        let pivot = f[(k, k)];
+        for r in (k + 1)..n {
+            let m = f[(r, k)] / pivot;
+            f[(r, k)] = m;
+            if m != 0.0 {
+                for c in (k + 1)..n {
+                    let u = f[(k, c)];
+                    f[(r, c)] -= m * u;
+                }
+            }
+        }
+    }
+    Ok(sign)
+}
+
+/// Forward- and back-substitutes `x` (already permuted) through the combined
+/// L/U factors, leaving the solution of `A·x = b` in place.
+fn substitute_in_place(factors: &Matrix, x: &mut [f64]) {
+    let n = factors.rows();
+    for r in 1..n {
+        let mut sum = x[r];
+        for c in 0..r {
+            sum -= factors[(r, c)] * x[c];
+        }
+        x[r] = sum;
+    }
+    for r in (0..n).rev() {
+        let mut sum = x[r];
+        for c in (r + 1)..n {
+            sum -= factors[(r, c)] * x[c];
+        }
+        x[r] = sum / factors[(r, r)];
+    }
+}
+
+/// Substitutes `y` through the transposed factors: on return `y = P·x` where
+/// `Aᵀ·x = b` for the `b` initially held in `y`.
+fn substitute_transposed_in_place(factors: &Matrix, y: &mut [f64]) {
+    let n = factors.rows();
+    // Forward substitution with Uᵀ (lower triangular with diagonal).
+    for r in 0..n {
+        let mut sum = y[r];
+        for c in 0..r {
+            sum -= factors[(c, r)] * y[c];
+        }
+        y[r] = sum / factors[(r, r)];
+    }
+    // Back substitution with Lᵀ (unit upper triangular).
+    for r in (0..n).rev() {
+        let mut sum = y[r];
+        for c in (r + 1)..n {
+            sum -= factors[(c, r)] * y[c];
+        }
+        y[r] = sum;
+    }
+}
+
 impl Lu {
     /// Factorizes the square matrix `a`.
     ///
@@ -53,45 +146,8 @@ impl Lu {
             return Err(LinalgError::Empty);
         }
         let mut f = a.clone();
-        let mut perm: Vec<usize> = (0..n).collect();
-        let mut sign = 1.0;
-
-        for k in 0..n {
-            // Partial pivoting: find the largest |entry| in column k at or
-            // below the diagonal.
-            let mut pivot_row = k;
-            let mut pivot_val = f[(k, k)].abs();
-            for r in (k + 1)..n {
-                let v = f[(r, k)].abs();
-                if v > pivot_val {
-                    pivot_val = v;
-                    pivot_row = r;
-                }
-            }
-            if pivot_val < SINGULARITY_THRESHOLD {
-                return Err(LinalgError::Singular { pivot: k });
-            }
-            if pivot_row != k {
-                for c in 0..n {
-                    let tmp = f[(k, c)];
-                    f[(k, c)] = f[(pivot_row, c)];
-                    f[(pivot_row, c)] = tmp;
-                }
-                perm.swap(k, pivot_row);
-                sign = -sign;
-            }
-            let pivot = f[(k, k)];
-            for r in (k + 1)..n {
-                let m = f[(r, k)] / pivot;
-                f[(r, k)] = m;
-                if m != 0.0 {
-                    for c in (k + 1)..n {
-                        let u = f[(k, c)];
-                        f[(r, c)] -= m * u;
-                    }
-                }
-            }
-        }
+        let mut perm = Vec::new();
+        let sign = factor_in_place(&mut f, &mut perm)?;
         Ok(Lu {
             factors: f,
             perm,
@@ -120,21 +176,33 @@ impl Lu {
         }
         // Apply the permutation, then forward- and back-substitute.
         let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
-        for r in 1..n {
-            let mut sum = x[r];
-            for c in 0..r {
-                sum -= self.factors[(r, c)] * x[c];
-            }
-            x[r] = sum;
-        }
-        for r in (0..n).rev() {
-            let mut sum = x[r];
-            for c in (r + 1)..n {
-                sum -= self.factors[(r, c)] * x[c];
-            }
-            x[r] = sum / self.factors[(r, r)];
-        }
+        substitute_in_place(&self.factors, &mut x);
         Ok(x)
+    }
+
+    /// Solves `A·x = b` into the caller-owned vector `x`, reusing its
+    /// allocation.
+    ///
+    /// Performs exactly the same floating-point operations as [`Lu::solve`],
+    /// so the results are bit-for-bit identical; the only difference is that
+    /// `x` is cleared and refilled instead of freshly allocated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.len() != self.dim()`.
+    pub fn solve_into(&self, b: &[f64], x: &mut Vec<f64>) -> Result<(), LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                operation: "lu_solve",
+                left: (n, n),
+                right: (b.len(), 1),
+            });
+        }
+        x.clear();
+        x.extend(self.perm.iter().map(|&p| b[p]));
+        substitute_in_place(&self.factors, x);
+        Ok(())
     }
 
     /// Solves `xᵀ·A = bᵀ` (equivalently `Aᵀ·x = b`), the orientation used by
@@ -154,22 +222,7 @@ impl Lu {
         }
         // P·A = L·U  =>  Aᵀ·x = b  <=>  Uᵀ·(Lᵀ·(P·x)) = b.
         let mut y = b.to_vec();
-        // Forward substitution with Uᵀ (lower triangular with diagonal).
-        for r in 0..n {
-            let mut sum = y[r];
-            for c in 0..r {
-                sum -= self.factors[(c, r)] * y[c];
-            }
-            y[r] = sum / self.factors[(r, r)];
-        }
-        // Back substitution with Lᵀ (unit upper triangular).
-        for r in (0..n).rev() {
-            let mut sum = y[r];
-            for c in (r + 1)..n {
-                sum -= self.factors[(c, r)] * y[c];
-            }
-            y[r] = sum;
-        }
+        substitute_transposed_in_place(&self.factors, &mut y);
         // Undo the permutation: y = P·x, so x[perm[i]] = y[i].
         let mut x = vec![0.0; n];
         for (i, &p) in self.perm.iter().enumerate() {
@@ -234,6 +287,168 @@ impl Lu {
 /// ```
 pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
     Lu::new(a)?.solve(b)
+}
+
+/// A reusable LU factorization workspace: factor-in-place into caller-owned
+/// storage so that sweep loops solving many same-sized systems allocate
+/// nothing after warm-up.
+///
+/// The workspace runs the same kernels as [`Lu`], so every solve is
+/// bit-for-bit identical to the owned path.
+///
+/// # Examples
+///
+/// ```
+/// use uavail_linalg::{LuWorkspace, Matrix};
+///
+/// # fn main() -> Result<(), uavail_linalg::LinalgError> {
+/// let mut ws = LuWorkspace::new();
+/// let mut x = Vec::new();
+/// for scale in [1.0, 2.0, 4.0] {
+///     let a = Matrix::from_rows(&[&[2.0 * scale, 1.0], &[1.0, 3.0]])?;
+///     ws.factor(&a)?;
+///     ws.solve_into(&[3.0, 5.0], &mut x)?;
+///     assert!((a.mul_vec(&x)?[0] - 3.0).abs() < 1e-12);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LuWorkspace {
+    factors: Matrix,
+    perm: Vec<usize>,
+    sign: f64,
+    /// Scratch for the permuted right-hand side of transposed solves.
+    rhs: Vec<f64>,
+    factored: bool,
+}
+
+impl Default for LuWorkspace {
+    fn default() -> Self {
+        LuWorkspace::new()
+    }
+}
+
+impl LuWorkspace {
+    /// Creates an empty workspace; storage grows on first use.
+    pub fn new() -> Self {
+        LuWorkspace {
+            factors: Matrix::zeros(0, 0),
+            perm: Vec::new(),
+            sign: 1.0,
+            rhs: Vec::new(),
+            factored: false,
+        }
+    }
+
+    /// Factorizes `a` into the workspace's storage, reusing allocations.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Lu::new`]. On error the workspace is left unfactored.
+    pub fn factor(&mut self, a: &Matrix) -> Result<(), LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        if a.rows() == 0 {
+            return Err(LinalgError::Empty);
+        }
+        self.factored = false;
+        self.factors.copy_from(a);
+        self.sign = factor_in_place(&mut self.factors, &mut self.perm)?;
+        self.factored = true;
+        Ok(())
+    }
+
+    /// Dimension of the currently factored matrix (0 when unfactored).
+    pub fn dim(&self) -> usize {
+        if self.factored {
+            self.factors.rows()
+        } else {
+            0
+        }
+    }
+
+    /// Whether the workspace currently holds a valid factorization.
+    pub fn is_factored(&self) -> bool {
+        self.factored
+    }
+
+    /// Solves `A·x = b` into `x` using the stored factorization.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::InvalidInput`] if no factorization is stored,
+    /// [`LinalgError::ShapeMismatch`] if `b.len()` differs from the factored
+    /// dimension.
+    pub fn solve_into(&self, b: &[f64], x: &mut Vec<f64>) -> Result<(), LinalgError> {
+        let n = self.checked_dim(b.len(), "lu_workspace_solve")?;
+        x.clear();
+        x.extend(self.perm.iter().map(|&p| b[p]));
+        debug_assert_eq!(x.len(), n);
+        substitute_in_place(&self.factors, x);
+        Ok(())
+    }
+
+    /// Solves `xᵀ·A = bᵀ` (equivalently `Aᵀ·x = b`) into `x`.
+    ///
+    /// Takes `&mut self` because the permuted intermediate lives in the
+    /// workspace's scratch vector.
+    ///
+    /// # Errors
+    ///
+    /// As for [`LuWorkspace::solve_into`].
+    pub fn solve_transposed_into(
+        &mut self,
+        b: &[f64],
+        x: &mut Vec<f64>,
+    ) -> Result<(), LinalgError> {
+        let n = self.checked_dim(b.len(), "lu_workspace_solve_transposed")?;
+        self.rhs.clear();
+        self.rhs.extend_from_slice(b);
+        substitute_transposed_in_place(&self.factors, &mut self.rhs);
+        x.clear();
+        x.resize(n, 0.0);
+        for (i, &p) in self.perm.iter().enumerate() {
+            x[p] = self.rhs[i];
+        }
+        Ok(())
+    }
+
+    /// Determinant of the most recently factored matrix.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::InvalidInput`] if no factorization is stored.
+    pub fn determinant(&self) -> Result<f64, LinalgError> {
+        if !self.factored {
+            return Err(LinalgError::InvalidInput {
+                reason: "workspace holds no factorization".into(),
+            });
+        }
+        let mut det = self.sign;
+        for i in 0..self.factors.rows() {
+            det *= self.factors[(i, i)];
+        }
+        Ok(det)
+    }
+
+    fn checked_dim(&self, b_len: usize, operation: &'static str) -> Result<usize, LinalgError> {
+        if !self.factored {
+            return Err(LinalgError::InvalidInput {
+                reason: "workspace holds no factorization".into(),
+            });
+        }
+        let n = self.factors.rows();
+        if b_len != n {
+            return Err(LinalgError::ShapeMismatch {
+                operation,
+                left: (n, n),
+                right: (b_len, 1),
+            });
+        }
+        Ok(n)
+    }
 }
 
 #[cfg(test)]
@@ -324,6 +539,87 @@ mod tests {
         let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 4.0]]).unwrap();
         let x = super::solve(&a, &[2.0, 8.0]).unwrap();
         assert_eq!(x, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn solve_into_is_bit_identical_to_solve() {
+        let a =
+            Matrix::from_rows(&[&[3.0, 2.0, -1.0], &[2.0, -2.0, 4.0], &[-1.0, 0.5, -1.0]]).unwrap();
+        let b = [1.0, -2.0, 0.25];
+        let lu = Lu::new(&a).unwrap();
+        let owned = lu.solve(&b).unwrap();
+        let mut reused = vec![99.0; 7]; // stale, oversized: must be fully replaced
+        lu.solve_into(&b, &mut reused).unwrap();
+        assert_eq!(owned.len(), reused.len());
+        for (l, r) in owned.iter().zip(&reused) {
+            assert_eq!(l.to_bits(), r.to_bits());
+        }
+    }
+
+    #[test]
+    fn workspace_matches_owned_factorization_bit_for_bit() {
+        let mut ws = LuWorkspace::new();
+        let mut x = Vec::new();
+        let mut xt = Vec::new();
+        // Reuse one workspace across systems of different sizes and scales.
+        for scale in [1.0, 0.5, 1e-6, 3.0e4] {
+            let a = Matrix::from_rows(&[
+                &[3.0 * scale, 1.0, 0.0],
+                &[1.0, 4.0 * scale, 2.0],
+                &[0.5, 0.0, 5.0 * scale],
+            ])
+            .unwrap();
+            let b = [1.0, 2.0, 3.0];
+            let lu = Lu::new(&a).unwrap();
+            ws.factor(&a).unwrap();
+            assert!(ws.is_factored());
+            assert_eq!(ws.dim(), 3);
+            ws.solve_into(&b, &mut x).unwrap();
+            for (l, r) in lu.solve(&b).unwrap().iter().zip(&x) {
+                assert_eq!(l.to_bits(), r.to_bits());
+            }
+            ws.solve_transposed_into(&b, &mut xt).unwrap();
+            for (l, r) in lu.solve_transposed(&b).unwrap().iter().zip(&xt) {
+                assert_eq!(l.to_bits(), r.to_bits());
+            }
+            assert_eq!(
+                ws.determinant().unwrap().to_bits(),
+                lu.determinant().to_bits()
+            );
+        }
+        // And across a size change (2x2 after 3x3).
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        ws.factor(&a).unwrap();
+        ws.solve_into(&[2.0, 3.0], &mut x).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn workspace_rejects_unfactored_and_bad_shapes() {
+        let mut ws = LuWorkspace::new();
+        let mut x = Vec::new();
+        assert!(matches!(
+            ws.solve_into(&[1.0], &mut x),
+            Err(LinalgError::InvalidInput { .. })
+        ));
+        assert!(ws.determinant().is_err());
+        assert!(matches!(
+            ws.factor(&Matrix::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+        assert!(matches!(
+            ws.factor(&Matrix::zeros(0, 0)),
+            Err(LinalgError::Empty)
+        ));
+        ws.factor(&Matrix::identity(2)).unwrap();
+        assert!(matches!(
+            ws.solve_into(&[1.0], &mut x),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+        // A failed factorization invalidates the previous one.
+        let singular = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(ws.factor(&singular).is_err());
+        assert!(!ws.is_factored());
     }
 
     #[test]

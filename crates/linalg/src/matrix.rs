@@ -32,6 +32,14 @@ pub struct Matrix {
     data: Vec<f64>,
 }
 
+impl Default for Matrix {
+    /// An empty `0 × 0` matrix, useful as the initial state of reusable
+    /// scratch storage (see [`Matrix::copy_from`]).
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
+    }
+}
+
 impl Matrix {
     /// Creates a `rows × cols` matrix filled with zeros.
     ///
@@ -230,6 +238,51 @@ impl Matrix {
     /// Consumes the matrix and returns the underlying row-major data.
     pub fn into_vec(self) -> Vec<f64> {
         self.data
+    }
+
+    /// Copies `other`'s shape and contents into `self`, reusing the existing
+    /// allocation when it is large enough.
+    ///
+    /// This is the storage-reuse counterpart of `clone()`: workspaces that
+    /// factor or eliminate many same-sized matrices in a loop can hold one
+    /// `Matrix` and refill it per iteration without reallocating.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use uavail_linalg::Matrix;
+    /// # fn main() -> Result<(), uavail_linalg::LinalgError> {
+    /// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])?;
+    /// let mut scratch = Matrix::zeros(0, 0);
+    /// scratch.copy_from(&a);
+    /// assert_eq!(scratch, a);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.rows = other.rows;
+        self.cols = other.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+
+    /// Reshapes `self` to `rows × cols` and fills it with zeros, reusing the
+    /// existing allocation when it is large enough.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use uavail_linalg::Matrix;
+    /// let mut m = Matrix::identity(3);
+    /// m.reset_zeros(2, 4);
+    /// assert_eq!(m.shape(), (2, 4));
+    /// assert_eq!(m[(1, 3)], 0.0);
+    /// ```
+    pub fn reset_zeros(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
     }
 
     /// Returns the transpose as a new matrix.

@@ -82,22 +82,44 @@ impl BirthDeath {
     /// `π_i ∝ Π_{k<i} (birth_k / death_k)`, computed with running
     /// normalization to avoid overflow for strongly biased chains.
     pub fn steady_state(&self) -> Vec<f64> {
+        let mut pi = Vec::new();
+        self.steady_state_into(&mut pi);
+        pi
+    }
+
+    /// Allocation-free variant of [`BirthDeath::steady_state`]: writes the
+    /// distribution into `pi`, reusing its allocation.
+    ///
+    /// Runs the exact same floating-point operations as
+    /// [`BirthDeath::steady_state`] (which is implemented on top of this
+    /// routine), so results are bit-for-bit identical.
+    pub fn steady_state_into(&self, pi: &mut Vec<f64>) {
         let n = self.num_states();
         // Work with weights relative to the running maximum to stay in
         // range even when ratios span hundreds of orders of magnitude.
-        let mut log_weights = Vec::with_capacity(n);
-        log_weights.push(0.0f64);
+        // `pi` holds log-weights first, then is exponentiated and
+        // normalized in place.
+        pi.clear();
+        pi.reserve(n);
+        pi.push(0.0f64);
         for i in 0..self.birth_rates.len() {
-            let prev = log_weights[i];
-            log_weights.push(prev + self.birth_rates[i].ln() - self.death_rates[i].ln());
+            let prev = pi[i];
+            pi.push(prev + self.birth_rates[i].ln() - self.death_rates[i].ln());
         }
-        let max = log_weights
-            .iter()
-            .cloned()
-            .fold(f64::NEG_INFINITY, f64::max);
-        let weights: Vec<f64> = log_weights.iter().map(|lw| (lw - max).exp()).collect();
-        let total: f64 = weights.iter().sum();
-        weights.into_iter().map(|w| w / total).collect()
+        let max = pi.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for lw in pi.iter_mut() {
+            *lw = (*lw - max).exp();
+        }
+        let total: f64 = pi.iter().sum();
+        for w in pi.iter_mut() {
+            *w /= total;
+        }
+    }
+
+    /// Consumes the process and returns its `(birth_rates, death_rates)`
+    /// vectors, letting sweep workspaces recycle the allocations.
+    pub fn into_rates(self) -> (Vec<f64>, Vec<f64>) {
+        (self.birth_rates, self.death_rates)
     }
 
     /// Converts to an explicit [`Ctmc`] (states labeled `"0"`, `"1"`, ...),
@@ -307,6 +329,32 @@ mod tests {
         let bd = BirthDeath::new(vec![1.0], vec![1.0]).unwrap();
         assert_eq!(bd.mean_passage_to_zero(0).unwrap(), 0.0);
         assert!(bd.mean_passage_to_zero(5).is_err());
+    }
+
+    #[test]
+    fn steady_state_into_reuses_buffer_bit_for_bit() {
+        let mut pi = vec![7.0; 12]; // stale, oversized: must be fully replaced
+        for (b, d) in [
+            (vec![1.0, 2.0, 0.5], vec![3.0, 1.0, 4.0]),
+            (vec![1e4; 10], vec![1e-4; 10]),
+            (vec![2.0; 4], vec![4.0; 4]),
+        ] {
+            let bd = BirthDeath::new(b, d).unwrap();
+            bd.steady_state_into(&mut pi);
+            let fresh = bd.steady_state();
+            assert_eq!(pi.len(), fresh.len());
+            for (l, r) in pi.iter().zip(&fresh) {
+                assert_eq!(l.to_bits(), r.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn into_rates_round_trips() {
+        let bd = BirthDeath::new(vec![1.0, 2.0], vec![3.0, 4.0]).unwrap();
+        let (b, d) = bd.into_rates();
+        assert_eq!(b, vec![1.0, 2.0]);
+        assert_eq!(d, vec![3.0, 4.0]);
     }
 
     #[test]

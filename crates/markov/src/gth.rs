@@ -39,6 +39,30 @@ use crate::MarkovError;
 /// # }
 /// ```
 pub fn gth_steady_state(q: &Matrix) -> Result<Vec<f64>, MarkovError> {
+    let mut scratch = Matrix::zeros(0, 0);
+    let mut pi = Vec::new();
+    gth_steady_state_into(q, &mut scratch, &mut pi)?;
+    Ok(pi)
+}
+
+/// Allocation-free variant of [`gth_steady_state`]: the elimination runs in
+/// `scratch` and the stationary vector is written into `pi`, reusing both
+/// buffers' allocations.
+///
+/// Runs the exact same floating-point operations as [`gth_steady_state`]
+/// (which is implemented on top of this routine), so the results are
+/// bit-for-bit identical. Intended for sweep loops that solve many same-sized
+/// chains: after the first call no further allocation occurs.
+///
+/// # Errors
+///
+/// As for [`gth_steady_state`]. On error the contents of `scratch` and `pi`
+/// are unspecified.
+pub fn gth_steady_state_into(
+    q: &Matrix,
+    scratch: &mut Matrix,
+    pi: &mut Vec<f64>,
+) -> Result<(), MarkovError> {
     if !q.is_square() {
         return Err(MarkovError::Linalg(uavail_linalg::LinalgError::NotSquare {
             shape: q.shape(),
@@ -49,11 +73,14 @@ pub fn gth_steady_state(q: &Matrix) -> Result<Vec<f64>, MarkovError> {
         return Err(MarkovError::EmptyChain);
     }
     if n == 1 {
-        return Ok(vec![1.0]);
+        pi.clear();
+        pi.push(1.0);
+        return Ok(());
     }
 
     // Work on a copy; the algorithm eliminates states n-1, n-2, ..., 1.
-    let mut a = q.clone();
+    let a = scratch;
+    a.copy_from(q);
     for k in (1..n).rev() {
         // s = total rate out of state k toward states 0..k (the "south" block).
         let s: f64 = (0..k).map(|j| a[(k, j)]).sum();
@@ -80,7 +107,8 @@ pub fn gth_steady_state(q: &Matrix) -> Result<Vec<f64>, MarkovError> {
     }
 
     // Back-substitution: unnormalized stationary weights.
-    let mut pi = vec![0.0; n];
+    pi.clear();
+    pi.resize(n, 0.0);
     pi[0] = 1.0;
     for k in 1..n {
         let s: f64 = (0..k).map(|j| a[(k, j)]).sum();
@@ -94,7 +122,7 @@ pub fn gth_steady_state(q: &Matrix) -> Result<Vec<f64>, MarkovError> {
     for v in pi.iter_mut() {
         *v /= total;
     }
-    Ok(pi)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -155,6 +183,30 @@ mod tests {
     fn rejects_non_square() {
         let q = Matrix::zeros(2, 3);
         assert!(gth_steady_state(&q).is_err());
+    }
+
+    #[test]
+    fn into_variant_reuses_buffers_bit_for_bit() {
+        let mut scratch = Matrix::zeros(0, 0);
+        let mut pi = vec![5.0; 9]; // stale contents must be fully replaced
+        for (lambda, mu) in [(1e-6, 1e3), (2.0, 3.0), (0.01, 1.0)] {
+            let q = Matrix::from_rows(&[&[-lambda, lambda], &[mu, -mu]]).unwrap();
+            gth_steady_state_into(&q, &mut scratch, &mut pi).unwrap();
+            let fresh = gth_steady_state(&q).unwrap();
+            assert_eq!(pi.len(), fresh.len());
+            for (l, r) in pi.iter().zip(&fresh) {
+                assert_eq!(l.to_bits(), r.to_bits());
+            }
+        }
+        // Size changes (3 states after 2) are handled by the reset.
+        let q =
+            Matrix::from_rows(&[&[-1.0, 1.0, 0.0], &[0.0, -1.0, 1.0], &[1.0, 0.0, -1.0]]).unwrap();
+        gth_steady_state_into(&q, &mut scratch, &mut pi).unwrap();
+        assert_eq!(pi.len(), 3);
+        // Singleton chains leave the scratch matrix untouched.
+        let q1 = Matrix::from_rows(&[&[0.0]]).unwrap();
+        gth_steady_state_into(&q1, &mut scratch, &mut pi).unwrap();
+        assert_eq!(pi, vec![1.0]);
     }
 
     #[test]

@@ -57,7 +57,7 @@ pub use birth_death::BirthDeath;
 pub use ctmc::{Ctmc, CtmcBuilder, StateId, SteadyStateMethod};
 pub use dtmc::Dtmc;
 pub use error::MarkovError;
-pub use gth::gth_steady_state;
+pub use gth::{gth_steady_state, gth_steady_state_into};
 
 /// Tolerance used when validating stochastic matrices and generators.
 pub const VALIDATION_TOLERANCE: f64 = 1e-9;

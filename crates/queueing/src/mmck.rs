@@ -23,28 +23,89 @@ use crate::{check_rate, QueueingError};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MMcK {
     arrival_rate: f64,
     service_rate: f64,
     servers: usize,
     capacity: usize,
+    /// Steady-state distribution `p_0 ..= p_K`, computed once at
+    /// construction; every derived metric below reads from it.
+    distribution: Vec<f64>,
+    loss: f64,
+    wait: f64,
+    wait_accepted: f64,
+    mean_customers: f64,
+}
+
+/// Fills `out` with the steady-state distribution `p_0 ..= p_K` by the
+/// birth–death recurrence `p_{n+1} = p_n · a / min(n + 1, c)` with running
+/// normalization, reusing `out`'s allocation.
+fn fill_distribution(offered_load: f64, servers: usize, capacity: usize, out: &mut Vec<f64>) {
+    let a = offered_load;
+    let c = servers;
+    let k = capacity;
+    out.clear();
+    out.reserve(k + 1);
+    let mut w = 1.0f64;
+    let mut max = 1.0f64;
+    out.push(w);
+    for n in 0..k {
+        let effective_servers = (n + 1).min(c) as f64;
+        w *= a / effective_servers;
+        out.push(w);
+        max = max.max(w);
+    }
+    let total: f64 = out.iter().map(|v| v / max).sum();
+    for v in out.iter_mut() {
+        *v = (*v / max) / total;
+    }
 }
 
 impl MMcK {
     /// Creates an M/M/c/K model.
     ///
+    /// The full state distribution is computed here, once; the metric
+    /// accessors are then plain field reads. An arrival rate of exactly 0 is
+    /// accepted and describes the empty system: `p_0 = 1`, no losses, no
+    /// waiting, zero throughput.
+    ///
     /// # Errors
     ///
-    /// Returns [`QueueingError::InvalidParameter`] for non-positive rates,
-    /// `servers == 0`, or `capacity < servers`.
+    /// Returns [`QueueingError::InvalidParameter`] for a negative or
+    /// non-finite arrival rate, a non-positive service rate, `servers == 0`,
+    /// or `capacity < servers`.
     pub fn new(
         arrival_rate: f64,
         service_rate: f64,
         servers: usize,
         capacity: usize,
     ) -> Result<Self, QueueingError> {
-        check_rate("arrival_rate", arrival_rate)?;
+        Self::with_distribution_buf(arrival_rate, service_rate, servers, capacity, Vec::new())
+    }
+
+    /// Like [`MMcK::new`] but fills `buf` with the state distribution
+    /// instead of allocating, so sweep loops can recycle one buffer across
+    /// many queue evaluations (recover it with
+    /// [`MMcK::into_distribution_buf`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`MMcK::new`]; on error `buf` is dropped.
+    pub fn with_distribution_buf(
+        arrival_rate: f64,
+        service_rate: f64,
+        servers: usize,
+        capacity: usize,
+        mut buf: Vec<f64>,
+    ) -> Result<Self, QueueingError> {
+        if !(arrival_rate.is_finite() && arrival_rate >= 0.0) {
+            return Err(QueueingError::InvalidParameter {
+                name: "arrival_rate",
+                value: arrival_rate,
+                requirement: "finite and non-negative",
+            });
+        }
         check_rate("service_rate", service_rate)?;
         if servers == 0 {
             return Err(QueueingError::InvalidParameter {
@@ -60,12 +121,46 @@ impl MMcK {
                 requirement: "at least the number of servers",
             });
         }
+        fill_distribution(arrival_rate / service_rate, servers, capacity, &mut buf);
+        // One pass over the distribution for every derived metric. Each
+        // accumulator adds terms in increasing state order, matching the
+        // slice sums the per-accessor implementations used to perform, so
+        // the results are bit-for-bit unchanged.
+        let loss = *buf.last().expect("distribution is non-empty");
+        let mut wait = 0.0;
+        let mut wait_accepted_num = 0.0;
+        let mut mean_customers = 0.0;
+        for (n, &p) in buf.iter().enumerate() {
+            if n >= servers {
+                wait += p;
+                if n < capacity {
+                    wait_accepted_num += p;
+                }
+            }
+            mean_customers += n as f64 * p;
+        }
+        let admitted = 1.0 - loss;
+        let wait_accepted = if admitted <= 0.0 {
+            0.0
+        } else {
+            wait_accepted_num / admitted
+        };
         Ok(MMcK {
             arrival_rate,
             service_rate,
             servers,
             capacity,
+            distribution: buf,
+            loss,
+            wait,
+            wait_accepted,
+            mean_customers,
         })
+    }
+
+    /// Consumes the model and returns the distribution buffer for reuse.
+    pub fn into_distribution_buf(self) -> Vec<f64> {
+        self.distribution
     }
 
     /// Arrival rate `α`.
@@ -98,28 +193,20 @@ impl MMcK {
         self.arrival_rate / (self.servers as f64 * self.service_rate)
     }
 
-    /// Full steady-state distribution `p_0 ..= p_K`.
+    /// Full steady-state distribution `p_0 ..= p_K` as an owned vector.
     ///
-    /// Computed by the birth–death recurrence
+    /// Computed once at construction by the birth–death recurrence
     /// `p_{n+1} = p_n · a / min(n + 1, c)` with running normalization, which
     /// is numerically stable for any load (including the paper's `ρ = 1`
-    /// and overload cases).
+    /// and overload cases). Prefer [`MMcK::distribution`] to borrow it
+    /// without cloning.
     pub fn state_distribution(&self) -> Vec<f64> {
-        let a = self.offered_load();
-        let c = self.servers;
-        let k = self.capacity;
-        let mut weights = Vec::with_capacity(k + 1);
-        let mut w = 1.0f64;
-        let mut max = 1.0f64;
-        weights.push(w);
-        for n in 0..k {
-            let effective_servers = (n + 1).min(c) as f64;
-            w *= a / effective_servers;
-            weights.push(w);
-            max = max.max(w);
-        }
-        let total: f64 = weights.iter().map(|v| v / max).sum();
-        weights.into_iter().map(|v| (v / max) / total).collect()
+        self.distribution.clone()
+    }
+
+    /// Borrows the precomputed steady-state distribution `p_0 ..= p_K`.
+    pub fn distribution(&self) -> &[f64] {
+        &self.distribution
     }
 
     /// Blocking probability `p_K` — equation (3) of the paper
@@ -127,10 +214,7 @@ impl MMcK {
     ///
     /// By PASTA this equals the long-run fraction of lost requests.
     pub fn loss_probability(&self) -> f64 {
-        *self
-            .state_distribution()
-            .last()
-            .expect("distribution is non-empty")
+        self.loss
     }
 
     /// Probability a Poisson arrival finds all servers busy —
@@ -147,7 +231,7 @@ impl MMcK {
     ///
     /// `wait = (1 − p_K) · wait_accepted + p_K`
     pub fn wait_probability(&self) -> f64 {
-        self.state_distribution()[self.servers..].iter().sum()
+        self.wait
     }
 
     /// Probability an *accepted* customer must wait for service —
@@ -158,13 +242,7 @@ impl MMcK {
     /// are excluded. When `c == K` (a pure loss system, no waiting room)
     /// this is exactly 0.
     pub fn wait_probability_accepted(&self) -> f64 {
-        let dist = self.state_distribution();
-        let p_block = *dist.last().expect("distribution is non-empty");
-        let admitted = 1.0 - p_block;
-        if admitted <= 0.0 {
-            return 0.0;
-        }
-        dist[self.servers..self.capacity].iter().sum::<f64>() / admitted
+        self.wait_accepted
     }
 
     /// Effective throughput `α (1 - p_K)`.
@@ -174,16 +252,20 @@ impl MMcK {
 
     /// Mean number of customers in the system.
     pub fn mean_customers(&self) -> f64 {
-        self.state_distribution()
-            .iter()
-            .enumerate()
-            .map(|(n, p)| n as f64 * p)
-            .sum()
+        self.mean_customers
     }
 
     /// Mean response time of accepted customers (Little's law).
+    ///
+    /// For an idle system (`arrival_rate == 0`, hence zero throughput)
+    /// Little's law degenerates to 0/0; this returns 0.0 — no customers are
+    /// accepted, so none spend any time in the system.
     pub fn mean_response_time(&self) -> f64 {
-        self.mean_customers() / self.throughput()
+        let throughput = self.throughput();
+        if throughput == 0.0 {
+            return 0.0;
+        }
+        self.mean_customers / throughput
     }
 }
 
@@ -332,5 +414,64 @@ mod tests {
         let q = MMcK::new(1000.0, 10.0, 2, 6).unwrap();
         // a = 100, so nearly every arrival is blocked.
         assert!(q.loss_probability() > 0.9);
+    }
+
+    #[test]
+    fn zero_arrival_rate_is_a_well_defined_empty_system() {
+        // Regression: mean_response_time used to return NaN (0/0) for
+        // λ = 0; the empty system now has every metric defined.
+        let q = MMcK::new(0.0, 100.0, 4, 10).unwrap();
+        assert_eq!(q.state_distribution()[0], 1.0);
+        assert!(q.state_distribution()[1..].iter().all(|&p| p == 0.0));
+        assert_eq!(q.loss_probability(), 0.0);
+        assert_eq!(q.wait_probability(), 0.0);
+        assert_eq!(q.wait_probability_accepted(), 0.0);
+        assert_eq!(q.throughput(), 0.0);
+        assert_eq!(q.mean_customers(), 0.0);
+        assert_eq!(q.mean_response_time(), 0.0);
+        assert!(!q.mean_response_time().is_nan());
+        // Negative and non-finite arrival rates are still rejected.
+        assert!(MMcK::new(-1e-9, 100.0, 4, 10).is_err());
+        assert!(MMcK::new(f64::NAN, 100.0, 4, 10).is_err());
+    }
+
+    #[test]
+    fn precomputed_metrics_match_distribution_recompute() {
+        // The one-pass construction must agree bit-for-bit with summing
+        // the distribution slices the way the old accessors did.
+        for &(alpha, nu, c, k) in &[
+            (100.0, 100.0, 4usize, 10usize),
+            (150.0, 100.0, 2, 6),
+            (1000.0, 10.0, 2, 6),
+            (90.0, 30.0, 3, 12),
+            (120.0, 40.0, 5, 5),
+        ] {
+            let q = MMcK::new(alpha, nu, c, k).unwrap();
+            let dist = q.distribution();
+            assert_eq!(q.loss_probability().to_bits(), dist[k].to_bits());
+            let wait: f64 = dist[c..].iter().sum();
+            assert_eq!(q.wait_probability().to_bits(), wait.to_bits());
+            let mean: f64 = dist.iter().enumerate().map(|(n, p)| n as f64 * p).sum();
+            assert_eq!(q.mean_customers().to_bits(), mean.to_bits());
+            let accepted: f64 = dist[c..k].iter().sum::<f64>() / (1.0 - dist[k]);
+            if c < k {
+                assert_eq!(q.wait_probability_accepted().to_bits(), accepted.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn distribution_buf_round_trip_is_bit_identical() {
+        let mut buf = vec![42.0; 3]; // stale contents must be fully replaced
+        for &(alpha, nu, c, k) in &[(100.0, 100.0, 4usize, 10usize), (150.0, 100.0, 2, 6)] {
+            let fresh = MMcK::new(alpha, nu, c, k).unwrap();
+            let reused = MMcK::with_distribution_buf(alpha, nu, c, k, buf).unwrap();
+            assert_eq!(fresh, reused);
+            for (l, r) in fresh.distribution().iter().zip(reused.distribution()) {
+                assert_eq!(l.to_bits(), r.to_bits());
+            }
+            buf = reused.into_distribution_buf();
+            assert_eq!(buf.len(), k + 1);
+        }
     }
 }

@@ -1,0 +1,159 @@
+//! Reusable evaluation scratch for dense parameter sweeps.
+//!
+//! Every point of a figure sweep rebuilds the same machinery: a CTMC
+//! generator for the web-server farm, a GTH elimination scratch matrix, a
+//! stationary vector, an M/M/c/K state distribution, and a composite-state
+//! list. [`EvalContext`] owns all of those buffers so a sweep loop — or one
+//! worker thread of a parallel sweep — allocates them once and reuses them
+//! for every subsequent point.
+//!
+//! The context is transparent: the `*_with` evaluation paths in
+//! [`crate::webservice`] and [`crate::evaluation`] run the exact same
+//! floating-point operations as their allocating counterparts on a fresh
+//! buffer, and the context's private memos (per-point web availabilities,
+//! per-scenario service expansions) replay the exact bits of the first
+//! computation, so results are bit-for-bit identical (property-tested in
+//! the crate's integration tests). Reuse is instrumented through the
+//! `uavail-obs` counters `travel.eval_context.created` and
+//! `travel.eval_context.reuses`.
+
+use std::collections::HashMap;
+
+use uavail_core::composite::CompositeState;
+use uavail_linalg::Matrix;
+
+use crate::TaParameters;
+
+/// Memo key for a redundant-farm availability: the architecture flavor
+/// plus the bit patterns of every parameter the result depends on.
+pub(crate) type AvailKey = (bool, usize, usize, [u64; 6]);
+
+/// Memo key for a user-scenario service expansion: the scenario's function
+/// list plus the path-choice probabilities (`q23`, `q24`, `q45`, `q47`)
+/// the interaction diagrams branch on.
+pub(crate) type ScenarioKey = (Vec<String>, [u64; 4]);
+
+/// Bound on the per-context availability memo; dense custom sweeps can
+/// exceed it, at which point it simply starts over.
+const AVAIL_MEMO_CAP: usize = 1 << 14;
+
+/// Bound on the scenario-expansion memo (12 entries cover both paper
+/// classes; the cap only matters for callers sweeping the `q` parameters).
+const SCENARIO_MEMO_CAP: usize = 256;
+
+/// Per-thread scratch arena for the travel-agency evaluation paths.
+///
+/// Thread one context through [`crate::evaluation::figure_sweep_with`],
+/// [`crate::evaluation::table8_with`] or the lower-level
+/// `*_availability_with` functions; for parallel sweeps, give each worker
+/// its own (e.g. via [`uavail_core::sweep::sweep_parallel_with`]'s `make`
+/// closure). A context is cheap to create — buffers grow lazily on first
+/// use.
+///
+/// # Examples
+///
+/// ```
+/// use uavail_travel::{EvalContext, TaParameters, webservice};
+///
+/// # fn main() -> Result<(), uavail_travel::TravelError> {
+/// let mut ctx = EvalContext::new();
+/// let params = TaParameters::paper_defaults();
+/// let warm = webservice::redundant_imperfect_availability_with(&params, &mut ctx)?;
+/// let cold = webservice::redundant_imperfect_availability(&params)?;
+/// assert_eq!(warm.to_bits(), cold.to_bits());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct EvalContext {
+    /// Generator assembly for the imperfect-coverage farm CTMC.
+    pub(crate) generator: Matrix,
+    /// GTH elimination scratch.
+    pub(crate) gth_scratch: Matrix,
+    /// Stationary-distribution output.
+    pub(crate) pi: Vec<f64>,
+    /// Farm operational-state probabilities `Π_0 ..= Π_{N_W}`.
+    pub(crate) farm_op: Vec<f64>,
+    /// Farm reconfiguration-state probabilities `Π_{y_1} ..= Π_{y_{N_W}}`.
+    pub(crate) farm_y: Vec<f64>,
+    /// Composite-availability state list.
+    pub(crate) states: Vec<CompositeState>,
+    /// M/M/c/K state-distribution buffer.
+    pub(crate) dist_buf: Vec<f64>,
+    /// Birth-death birth-rate buffer.
+    pub(crate) births: Vec<f64>,
+    /// Birth-death death-rate buffer.
+    pub(crate) deaths: Vec<f64>,
+    /// Memoized redundant-farm availabilities, keyed by every parameter
+    /// bit the result depends on; values are the exact bits of the first
+    /// computation.
+    pub(crate) avail_memo: HashMap<AvailKey, f64>,
+    /// Memoized user-scenario service expansions: the DFS terminals of
+    /// [`crate::user::scenario_availability`] in exact pop order, so a
+    /// replay multiplies the same factors in the same order.
+    pub(crate) scenario_memo: HashMap<ScenarioKey, Vec<(f64, Vec<String>)>>,
+    /// Whether this context has served at least one evaluation.
+    used: bool,
+    /// Evaluations served beyond the first (storage actually reused).
+    reuses: u64,
+}
+
+impl EvalContext {
+    /// Creates an empty context; buffers grow on first use.
+    pub fn new() -> Self {
+        EvalContext::default()
+    }
+
+    /// Number of evaluations that reused previously-warmed storage (every
+    /// evaluation after the first).
+    pub fn reuse_count(&self) -> u64 {
+        self.reuses
+    }
+
+    /// Memo key for one redundant-farm evaluation.
+    pub(crate) fn avail_key(perfect: bool, params: &TaParameters) -> AvailKey {
+        (
+            perfect,
+            params.web_servers,
+            params.buffer_size,
+            [
+                params.failure_rate_per_hour.to_bits(),
+                params.repair_rate_per_hour.to_bits(),
+                params.arrival_rate_per_second.to_bits(),
+                params.service_rate_per_second.to_bits(),
+                params.coverage.to_bits(),
+                params.reconfiguration_rate_per_hour.to_bits(),
+            ],
+        )
+    }
+
+    /// Stores a freshly computed availability, restarting the memo when it
+    /// reaches its bound so dense open-ended sweeps cannot grow it forever.
+    pub(crate) fn remember_availability(&mut self, key: AvailKey, value: f64) {
+        if self.avail_memo.len() >= AVAIL_MEMO_CAP {
+            self.avail_memo.clear();
+        }
+        self.avail_memo.insert(key, value);
+    }
+
+    /// Stores a freshly expanded scenario, bounded like the availability
+    /// memo.
+    pub(crate) fn remember_scenario(&mut self, key: ScenarioKey, terms: Vec<(f64, Vec<String>)>) {
+        if self.scenario_memo.len() >= SCENARIO_MEMO_CAP {
+            self.scenario_memo.clear();
+        }
+        self.scenario_memo.insert(key, terms);
+    }
+
+    /// Records one evaluation served by this context, feeding the
+    /// `travel.eval_context.*` obs counters.
+    pub(crate) fn note_use(&mut self) {
+        if self.used {
+            self.reuses += 1;
+            uavail_obs::counter_add("travel.eval_context.reuses", 1);
+        } else {
+            self.used = true;
+            uavail_obs::counter_add("travel.eval_context.created", 1);
+        }
+    }
+}

@@ -4,11 +4,14 @@
 use std::collections::HashMap;
 
 use uavail_core::downtime::{RevenueModel, HOURS_PER_YEAR};
-use uavail_core::par::{default_threads, par_map_threads};
+use uavail_core::par::{default_threads, par_map_threads, par_map_threads_with};
 use uavail_profile::ScenarioCategory;
 
 use crate::user::{class_a, class_b, scenario_availability, UserClass};
-use crate::{webservice, Architecture, TaParameters, TravelAgencyModel, TravelError};
+use crate::{
+    functions, services, user, webservice, Architecture, EvalContext, TaParameters,
+    TravelAgencyModel, TravelError,
+};
 
 /// One row of Table 8: user availability for both classes at a common
 /// reservation-system count.
@@ -40,6 +43,72 @@ pub fn table8() -> Result<Vec<Table8Row>, TravelError> {
             reservation_systems: n,
             class_a: model.user_availability(&class_a())?,
             class_b: model.user_availability(&class_b())?,
+        });
+    }
+    Ok(rows)
+}
+
+/// Reproduces Table 8 reusing `ctx`'s buffers for every row — the
+/// allocation-free twin of [`table8`], bit-for-bit identical.
+///
+/// The web-service availability does not depend on the reservation-system
+/// count, so it is solved once in `ctx` and shared by all six rows; the
+/// reservation-bank availabilities are recomputed per row exactly as the
+/// allocating path does. The user-scenario service expansions — also
+/// independent of the system counts — are expanded once into `ctx`'s memo
+/// and replayed against each row's environment.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn table8_with(ctx: &mut EvalContext) -> Result<Vec<Table8Row>, TravelError> {
+    let _span = uavail_obs::span("travel.table8");
+    let counts = [1usize, 2, 3, 4, 5, 10];
+    uavail_obs::counter_add("travel.table8.rows", counts.len() as u64);
+
+    // The paper-reference architecture is the imperfect-coverage farm;
+    // its A(WS) is independent of N_F = N_H = N_C, so one context solve
+    // serves every row (the allocating path recomputes the same value —
+    // deterministically, hence bit-for-bit equal — per class and row).
+    let base = TaParameters::paper_defaults();
+    let a_web = webservice::redundant_imperfect_availability_with(&base, ctx)?;
+
+    let mut rows = Vec::with_capacity(counts.len());
+    let mut env = HashMap::new();
+    for n in counts {
+        let params = TaParameters::paper_defaults().with_reservation_systems(n);
+        params.validate()?;
+        // Same entries as `TravelAgencyModel::service_availabilities` for
+        // `Architecture::paper_reference()`, with the memoized A(WS).
+        env.clear();
+        env.insert(functions::SERVICE_NET.to_string(), params.a_net);
+        env.insert(functions::SERVICE_LAN.to_string(), params.a_lan);
+        env.insert(functions::SERVICE_WEB.to_string(), a_web);
+        env.insert(
+            functions::SERVICE_APP.to_string(),
+            services::application(&params, Architecture::paper_reference())?,
+        );
+        env.insert(
+            functions::SERVICE_DB.to_string(),
+            services::database(&params, Architecture::paper_reference())?,
+        );
+        env.insert(
+            functions::SERVICE_FLIGHT.to_string(),
+            services::flight(&params)?,
+        );
+        env.insert(
+            functions::SERVICE_HOTEL.to_string(),
+            services::hotel(&params)?,
+        );
+        env.insert(functions::SERVICE_CAR.to_string(), services::car(&params)?);
+        env.insert(
+            functions::SERVICE_PAYMENT.to_string(),
+            services::payment(&params),
+        );
+        rows.push(Table8Row {
+            reservation_systems: n,
+            class_a: user::user_availability_with(&class_a(), &params, &env, ctx)?,
+            class_b: user::user_availability_with(&class_b(), &params, &env, ctx)?,
         });
     }
     Ok(rows)
@@ -107,6 +176,35 @@ fn figure_point(
     })
 }
 
+/// Context-reusing twin of [`figure_point`] — same parameters, same
+/// instrumentation, bit-for-bit the same result, but every solver buffer
+/// comes from `ctx`.
+fn figure_point_with(
+    perfect: bool,
+    lambda: f64,
+    alpha: f64,
+    nw: usize,
+    ctx: &mut EvalContext,
+) -> Result<FigurePoint, TravelError> {
+    let _point = uavail_obs::Stopwatch::start("travel.figure.point_ns");
+    let params = TaParameters::builder()
+        .web_servers(nw)
+        .failure_rate_per_hour(lambda)
+        .arrival_rate_per_second(alpha)
+        .build()?;
+    let a = if perfect {
+        webservice::redundant_perfect_availability_with(&params, ctx)?
+    } else {
+        webservice::redundant_imperfect_availability_with(&params, ctx)?
+    };
+    Ok(FigurePoint {
+        failure_rate_per_hour: lambda,
+        arrival_rate_per_second: alpha,
+        web_servers: nw,
+        unavailability: 1.0 - a,
+    })
+}
+
 /// Counts the points of one figure sweep under the figure's own name, so
 /// the metrics artifact reports per-figure coverage.
 fn count_figure_points(perfect: bool, points: usize) {
@@ -141,6 +239,38 @@ pub(crate) fn figure_sweep_parallel_threads(
     })
 }
 
+/// Context-reusing twin of [`figure_sweep`]: every point of the 90-point
+/// grid is solved in `ctx`'s buffers, producing bit-for-bit the serial
+/// sweep's result without its per-point allocations.
+pub(crate) fn figure_sweep_with(
+    perfect: bool,
+    ctx: &mut EvalContext,
+) -> Result<Vec<FigurePoint>, TravelError> {
+    let _span = uavail_obs::span("travel.figure_sweep");
+    let grid = figure_points_grid();
+    count_figure_points(perfect, grid.len());
+    grid.into_iter()
+        .map(|(lambda, alpha, nw)| figure_point_with(perfect, lambda, alpha, nw, ctx))
+        .collect()
+}
+
+/// Context-reusing twin of [`figure_sweep_parallel_threads`]: each worker
+/// thread owns one [`EvalContext`] for its whole share of the grid.
+pub(crate) fn figure_sweep_parallel_threads_with(
+    perfect: bool,
+    threads: usize,
+) -> Result<Vec<FigurePoint>, TravelError> {
+    let _span = uavail_obs::span("travel.figure_sweep_parallel");
+    let grid = figure_points_grid();
+    count_figure_points(perfect, grid.len());
+    par_map_threads_with(
+        &grid,
+        threads,
+        EvalContext::new,
+        |ctx, &(lambda, alpha, nw)| figure_point_with(perfect, lambda, alpha, nw, ctx),
+    )
+}
+
 /// Reproduces Figure 11: web-service unavailability vs. `N_W` under
 /// **perfect** coverage, for the full λ × α grid.
 ///
@@ -161,6 +291,26 @@ pub fn figure11_parallel() -> Result<Vec<FigurePoint>, TravelError> {
     figure_sweep_parallel_threads(true, default_threads())
 }
 
+/// Context-reusing [`figure11`]: same 90 points, bit for bit, computed in
+/// `ctx`'s buffers without per-point allocation.
+///
+/// # Errors
+///
+/// Exactly the errors [`figure11`] would produce.
+pub fn figure11_with(ctx: &mut EvalContext) -> Result<Vec<FigurePoint>, TravelError> {
+    figure_sweep_with(true, ctx)
+}
+
+/// Context-reusing [`figure11_parallel`]: one [`EvalContext`] per worker
+/// thread, bit-for-bit the serial result.
+///
+/// # Errors
+///
+/// Exactly the errors [`figure11`] would produce.
+pub fn figure11_parallel_with() -> Result<Vec<FigurePoint>, TravelError> {
+    figure_sweep_parallel_threads_with(true, default_threads())
+}
+
 /// Reproduces Figure 12: the same sweep under **imperfect** coverage
 /// (`c = 0.98`, `β = 12/h`).
 ///
@@ -179,6 +329,26 @@ pub fn figure12() -> Result<Vec<FigurePoint>, TravelError> {
 /// Exactly the errors [`figure12`] would produce.
 pub fn figure12_parallel() -> Result<Vec<FigurePoint>, TravelError> {
     figure_sweep_parallel_threads(false, default_threads())
+}
+
+/// Context-reusing [`figure12`]: same 90 points, bit for bit, computed in
+/// `ctx`'s buffers without per-point allocation.
+///
+/// # Errors
+///
+/// Exactly the errors [`figure12`] would produce.
+pub fn figure12_with(ctx: &mut EvalContext) -> Result<Vec<FigurePoint>, TravelError> {
+    figure_sweep_with(false, ctx)
+}
+
+/// Context-reusing [`figure12_parallel`]: one [`EvalContext`] per worker
+/// thread, bit-for-bit the serial result.
+///
+/// # Errors
+///
+/// Exactly the errors [`figure12`] would produce.
+pub fn figure12_parallel_with() -> Result<Vec<FigurePoint>, TravelError> {
+    figure_sweep_parallel_threads_with(false, default_threads())
 }
 
 /// Per-category user-unavailability contributions (Figure 13) for one
@@ -290,6 +460,37 @@ pub fn min_web_servers_for(
             .arrival_rate_per_second(arrival_rate_per_second)
             .build()?;
         let a = webservice::redundant_imperfect_availability(&params)?;
+        if 1.0 - a < target_unavailability {
+            return Ok(Some(nw));
+        }
+    }
+    Ok(None)
+}
+
+/// Context-reusing twin of [`min_web_servers_for`]: every candidate farm
+/// size is evaluated in `ctx`'s buffers, with bit-for-bit the same
+/// threshold decisions.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn min_web_servers_for_with(
+    target_unavailability: f64,
+    failure_rate_per_hour: f64,
+    arrival_rate_per_second: f64,
+    max_servers: usize,
+    ctx: &mut EvalContext,
+) -> Result<Option<usize>, TravelError> {
+    for nw in 1..=max_servers {
+        let params = TaParameters::builder()
+            .web_servers(nw)
+            // The paper holds K = 10 up to N_W = 10; for larger farms the
+            // buffer must at least hold one request per server.
+            .buffer_size(10.max(nw))
+            .failure_rate_per_hour(failure_rate_per_hour)
+            .arrival_rate_per_second(arrival_rate_per_second)
+            .build()?;
+        let a = webservice::redundant_imperfect_availability_with(&params, ctx)?;
         if 1.0 - a < target_unavailability {
             return Ok(Some(nw));
         }

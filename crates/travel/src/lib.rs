@@ -37,12 +37,14 @@
 //! ```
 
 mod architecture;
+pub mod context;
 mod error;
 pub mod evaluation;
 pub mod extensions;
 pub mod fig2;
 pub mod fta;
 pub mod functions;
+mod loss_cache;
 pub mod maintenance;
 mod model;
 pub mod multisite;
@@ -56,6 +58,7 @@ pub mod user;
 pub mod webservice;
 
 pub use architecture::{Architecture, Coverage};
+pub use context::EvalContext;
 pub use error::TravelError;
 pub use model::TravelAgencyModel;
 pub use params::TaParameters;

@@ -1,0 +1,340 @@
+//! Sharded memo for the M/M/c/K loss probabilities.
+//!
+//! The figure sweeps evaluate `p_K(i)` for the same `(α, ν, i, K)`
+//! combinations over and over (the λ axis never enters the performance
+//! model), so [`crate::webservice::loss_probability`] memoizes them. The
+//! original memo was one process-wide `RwLock<HashMap>`: correct, but every
+//! parallel sweep worker serialized on that single lock, and reaching the
+//! capacity bound triggered a wholesale `clear()` that was recorded as a
+//! single "eviction" no matter how many entries it discarded.
+//!
+//! This module replaces it with a hash-partitioned cache: [`SHARD_COUNT`]
+//! independent `RwLock<HashMap>` shards, each bounded at `capacity /
+//! SHARD_COUNT` entries with bounded batch eviction (a quarter of the shard
+//! at a time) instead of a full clear. Lookups for different keys mostly
+//! land on different shards, so parallel workers proceed without
+//! contention, and `travel.loss_cache.evictions` now counts *evicted
+//! entries*, not clear events.
+//!
+//! Values are stored exactly as first computed, so cached and uncached
+//! paths — and therefore serial and parallel sweeps — stay bit-for-bit
+//! identical regardless of sharding or eviction behavior.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::RwLock;
+
+/// Cache key for the loss memo: the four inputs the M/M/c/K loss actually
+/// depends on, with the rates keyed by their exact bit patterns.
+pub(crate) type LossKey = (u64, u64, usize, usize);
+
+/// Number of independent shards. A power of two so the shard index is a
+/// mask, and comfortably above the worker-thread counts of the machines
+/// this workspace targets.
+pub(crate) const SHARD_COUNT: usize = 16;
+
+/// Per-shard hit counters, pre-rendered so the hot path never allocates.
+const SHARD_HIT_COUNTERS: [&str; SHARD_COUNT] = [
+    "travel.loss_cache.shard00.hits",
+    "travel.loss_cache.shard01.hits",
+    "travel.loss_cache.shard02.hits",
+    "travel.loss_cache.shard03.hits",
+    "travel.loss_cache.shard04.hits",
+    "travel.loss_cache.shard05.hits",
+    "travel.loss_cache.shard06.hits",
+    "travel.loss_cache.shard07.hits",
+    "travel.loss_cache.shard08.hits",
+    "travel.loss_cache.shard09.hits",
+    "travel.loss_cache.shard10.hits",
+    "travel.loss_cache.shard11.hits",
+    "travel.loss_cache.shard12.hits",
+    "travel.loss_cache.shard13.hits",
+    "travel.loss_cache.shard14.hits",
+    "travel.loss_cache.shard15.hits",
+];
+
+/// Per-shard miss counters, pre-rendered like [`SHARD_HIT_COUNTERS`].
+const SHARD_MISS_COUNTERS: [&str; SHARD_COUNT] = [
+    "travel.loss_cache.shard00.misses",
+    "travel.loss_cache.shard01.misses",
+    "travel.loss_cache.shard02.misses",
+    "travel.loss_cache.shard03.misses",
+    "travel.loss_cache.shard04.misses",
+    "travel.loss_cache.shard05.misses",
+    "travel.loss_cache.shard06.misses",
+    "travel.loss_cache.shard07.misses",
+    "travel.loss_cache.shard08.misses",
+    "travel.loss_cache.shard09.misses",
+    "travel.loss_cache.shard10.misses",
+    "travel.loss_cache.shard11.misses",
+    "travel.loss_cache.shard12.misses",
+    "travel.loss_cache.shard13.misses",
+    "travel.loss_cache.shard14.misses",
+    "travel.loss_cache.shard15.misses",
+];
+
+/// A bounded, sharded, process-lifetime map from loss keys to loss
+/// probabilities.
+///
+/// Instances built with `report_obs = false` keep their statistics in
+/// private atomics only, so unit tests can pin exact hit/miss/eviction
+/// accounting without cross-talk through the global `uavail-obs` recorder.
+pub(crate) struct ShardedLossCache {
+    shards: [RwLock<HashMap<LossKey, f64>>; SHARD_COUNT],
+    capacity: usize,
+    shard_cap: usize,
+    report_obs: bool,
+    len: AtomicUsize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ShardedLossCache {
+    /// Creates a cache bounded at `capacity` total entries, split evenly
+    /// across the shards. `report_obs` routes hit/miss/eviction/size
+    /// statistics to the global `uavail-obs` recorder as well as the
+    /// instance atomics.
+    pub fn new(capacity: usize, report_obs: bool) -> Self {
+        ShardedLossCache {
+            shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+            capacity,
+            shard_cap: (capacity / SHARD_COUNT).max(1),
+            report_obs,
+            len: AtomicUsize::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Deterministic shard index: FNV-1a over the key fields, masked to the
+    /// shard count. Deterministic (no `RandomState`) so tests asserting
+    /// shard spread are reproducible across runs and platforms.
+    pub fn shard_index(key: &LossKey) -> usize {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for v in [key.0, key.1, key.2 as u64, key.3 as u64] {
+            h ^= v;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (h & (SHARD_COUNT as u64 - 1)) as usize
+    }
+
+    /// Looks `key` up, recording a hit or a miss.
+    pub fn get(&self, key: &LossKey) -> Option<f64> {
+        let shard = Self::shard_index(key);
+        let found = self.shards[shard]
+            .read()
+            .ok()
+            .and_then(|map| map.get(key).copied());
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            if self.report_obs {
+                uavail_obs::counter_add("travel.loss_cache.hits", 1);
+                uavail_obs::counter_add(SHARD_HIT_COUNTERS[shard], 1);
+            }
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            if self.report_obs {
+                uavail_obs::counter_add("travel.loss_cache.misses", 1);
+                uavail_obs::counter_add(SHARD_MISS_COUNTERS[shard], 1);
+            }
+        }
+        found
+    }
+
+    /// Inserts `key → value`, evicting a bounded batch from the target
+    /// shard first when it is full. Evictions are counted per discarded
+    /// entry.
+    pub fn insert(&self, key: LossKey, value: f64) {
+        let shard = Self::shard_index(&key);
+        let Ok(mut map) = self.shards[shard].write() else {
+            return;
+        };
+        if map.len() >= self.shard_cap {
+            // Evict a quarter of the shard (arbitrary victims — the memo
+            // has no recency information and any entry is cheap to
+            // recompute), so one overflow does not empty the whole shard.
+            let batch = (self.shard_cap / 4).max(1);
+            let doomed: Vec<LossKey> = map.keys().take(batch).copied().collect();
+            for k in &doomed {
+                map.remove(k);
+            }
+            self.len.fetch_sub(doomed.len(), Ordering::Relaxed);
+            self.evictions
+                .fetch_add(doomed.len() as u64, Ordering::Relaxed);
+            if self.report_obs {
+                uavail_obs::counter_add("travel.loss_cache.evictions", doomed.len() as u64);
+            }
+        }
+        if map.insert(key, value).is_none() {
+            self.len.fetch_add(1, Ordering::Relaxed);
+        }
+        if self.report_obs {
+            uavail_obs::gauge_set(
+                "travel.loss_cache.size",
+                self.len.load(Ordering::Relaxed) as u64,
+            );
+        }
+    }
+
+    /// Total number of cached entries across all shards.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Number of entries in one shard (for spread diagnostics and tests).
+    #[cfg(test)]
+    pub fn shard_len(&self, shard: usize) -> usize {
+        self.shards[shard].read().map(|m| m.len()).unwrap_or(0)
+    }
+
+    /// Total capacity bound (sum of the per-shard bounds' budget).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Empties every shard.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            if let Ok(mut map) = shard.write() {
+                map.clear();
+            }
+        }
+        self.len.store(0, Ordering::Relaxed);
+        if self.report_obs {
+            uavail_obs::gauge_set("travel.loss_cache.size", 0);
+        }
+    }
+
+    /// Lifetime hit count (instance-local, unaffected by other caches).
+    #[cfg(test)]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime miss count.
+    #[cfg(test)]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime count of evicted entries (not eviction events).
+    #[cfg(test)]
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: usize) -> LossKey {
+        (
+            (50.0 + i as f64 * 1e-7).to_bits(),
+            100.0f64.to_bits(),
+            1 + i % 8,
+            10,
+        )
+    }
+
+    #[test]
+    fn shard_index_is_deterministic_and_in_range() {
+        for i in 0..1000 {
+            let k = key(i);
+            let s = ShardedLossCache::shard_index(&k);
+            assert!(s < SHARD_COUNT);
+            assert_eq!(s, ShardedLossCache::shard_index(&k));
+        }
+    }
+
+    #[test]
+    fn figure_grid_keys_spread_across_shards() {
+        // The keys a dense Figure-11-style sweep produces (varying
+        // operational-server count and arrival rate) must not all map to
+        // one shard, or parallel workers would still serialize.
+        let cache = ShardedLossCache::new(1 << 10, false);
+        for alpha_step in 0..40 {
+            for servers in 1..=10usize {
+                let k = (
+                    (50.0 + alpha_step as f64).to_bits(),
+                    100.0f64.to_bits(),
+                    servers,
+                    10usize,
+                );
+                cache.insert(k, 0.5);
+            }
+        }
+        let occupied = (0..SHARD_COUNT).filter(|&s| cache.shard_len(s) > 0).count();
+        assert!(occupied >= 2, "all keys landed in {occupied} shard(s)");
+    }
+
+    #[test]
+    fn accounting_pins_hits_misses_and_per_entry_evictions() {
+        // Satellite regression: `evictions` counts evicted entries, not
+        // clear events. Use a private instance so the numbers are exact.
+        let cache = ShardedLossCache::new(64, false); // shard cap = 4
+        let total = 200usize;
+        for i in 0..total {
+            let k = key(i);
+            assert_eq!(cache.get(&k), None);
+            cache.insert(k, i as f64);
+        }
+        assert_eq!(cache.misses(), total as u64);
+        assert_eq!(cache.hits(), 0);
+        // Far more keys than capacity: evictions must have happened, one
+        // count per discarded entry, and the ledger must balance exactly:
+        // every miss was inserted once, and is either still present or
+        // was evicted.
+        assert!(cache.evictions() > 0);
+        assert_eq!(cache.len() as u64 + cache.evictions(), cache.misses());
+        assert!(cache.len() <= cache.capacity());
+        // Re-reading a surviving key is a hit and changes nothing else.
+        let survivor = (0..total)
+            .map(key)
+            .find(|k| {
+                let shard = ShardedLossCache::shard_index(k);
+                cache.shards[shard].read().unwrap().contains_key(k)
+            })
+            .expect("cache is non-empty");
+        let before_misses = cache.misses();
+        assert!(cache.get(&survivor).is_some());
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), before_misses);
+    }
+
+    #[test]
+    fn eviction_is_bounded_not_wholesale() {
+        // Overflowing one shard discards only a quarter of it.
+        let cache = ShardedLossCache::new(SHARD_COUNT * 8, false); // shard cap = 8
+        let mut in_shard = Vec::new();
+        let mut i = 0usize;
+        while in_shard.len() < 9 {
+            let k = key(i);
+            if ShardedLossCache::shard_index(&k) == ShardedLossCache::shard_index(&key(0)) {
+                in_shard.push(k);
+            }
+            i += 1;
+        }
+        for k in &in_shard[..8] {
+            cache.insert(*k, 1.0);
+        }
+        assert_eq!(cache.evictions(), 0);
+        cache.insert(in_shard[8], 1.0); // overflow: evict 8/4 = 2 entries
+        assert_eq!(cache.evictions(), 2);
+        assert_eq!(cache.shard_len(ShardedLossCache::shard_index(&key(0))), 7);
+    }
+
+    #[test]
+    fn clear_resets_contents_but_not_statistics() {
+        let cache = ShardedLossCache::new(64, false);
+        cache.insert(key(0), 1.0);
+        assert!(cache.get(&key(0)).is_some());
+        cache.clear();
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.get(&key(0)), None);
+        assert_eq!(cache.hits(), 1); // lifetime stats survive the clear
+        assert_eq!(cache.misses(), 1);
+    }
+}

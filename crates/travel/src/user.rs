@@ -16,6 +16,7 @@ use std::collections::{BTreeSet, HashMap};
 
 use uavail_profile::{Scenario, ScenarioCategory, ScenarioTable};
 
+use crate::context::{EvalContext, ScenarioKey};
 use crate::functions::{self, TaFunction};
 use crate::{TaParameters, TravelError};
 
@@ -151,6 +152,102 @@ pub fn scenario_availability(
             next.extend(svcs.iter().cloned());
             stack.push((depth + 1, prob * p, next));
         }
+    }
+    Ok(total)
+}
+
+/// The Cartesian service expansion of one scenario: the DFS terminals of
+/// [`scenario_availability`]'s stack loop, recorded in exact pop order so
+/// a replay multiplies the same factors in the same order and reproduces
+/// the cold result bit for bit.
+fn expand_scenario(
+    scenario: &Scenario,
+    params: &TaParameters,
+) -> Result<Vec<(f64, Vec<String>)>, TravelError> {
+    let mut per_function: Vec<Vec<(f64, Vec<String>)>> = Vec::new();
+    for fname in &scenario.functions {
+        let function = parse_function(fname)?;
+        per_function.push(functions::function_scenarios(function, params)?);
+    }
+    let mut terms = Vec::new();
+    let mut stack: Vec<(usize, f64, BTreeSet<String>)> = vec![(0, 1.0, BTreeSet::new())];
+    while let Some((depth, prob, used)) = stack.pop() {
+        if depth == per_function.len() {
+            // BTreeSet iterates sorted, so the stored Vec preserves the
+            // cold path's multiplication order.
+            terms.push((prob, used.into_iter().collect()));
+            continue;
+        }
+        for (p, svcs) in &per_function[depth] {
+            let mut next = used.clone();
+            next.extend(svcs.iter().cloned());
+            stack.push((depth + 1, prob * p, next));
+        }
+    }
+    Ok(terms)
+}
+
+/// [`scenario_availability`] backed by `ctx`'s scenario-expansion memo:
+/// the Cartesian expansion over function path choices — which depends only
+/// on the scenario's function list and the `q23`/`q24`/`q45`/`q47` branch
+/// probabilities, not on the service environment — is computed once and
+/// replayed for every subsequent environment, bit-for-bit.
+///
+/// # Errors
+///
+/// Propagates diagram failures and missing service availabilities.
+pub fn scenario_availability_with(
+    scenario: &Scenario,
+    params: &TaParameters,
+    services: &HashMap<String, f64>,
+    ctx: &mut EvalContext,
+) -> Result<f64, TravelError> {
+    let key: ScenarioKey = (
+        scenario.functions.clone(),
+        [
+            params.q23.to_bits(),
+            params.q24.to_bits(),
+            params.q45.to_bits(),
+            params.q47.to_bits(),
+        ],
+    );
+    if !ctx.scenario_memo.contains_key(&key) {
+        let terms = expand_scenario(scenario, params)?;
+        ctx.remember_scenario(key.clone(), terms);
+    }
+    let terms = ctx
+        .scenario_memo
+        .get(&key)
+        .expect("expansion just memoized");
+    let mut total = 0.0;
+    for (prob, svcs) in terms {
+        let mut product = *prob;
+        for svc in svcs {
+            let a = services.get(svc).copied().ok_or_else(|| {
+                TravelError::Core(uavail_core::CoreError::Undefined { name: svc.clone() })
+            })?;
+            product *= a;
+        }
+        total += product;
+    }
+    Ok(total)
+}
+
+/// [`user_availability`] backed by `ctx`'s scenario-expansion memo — see
+/// [`scenario_availability_with`].
+///
+/// # Errors
+///
+/// Propagates scenario-availability failures.
+pub fn user_availability_with(
+    class: &UserClass,
+    params: &TaParameters,
+    services: &HashMap<String, f64>,
+    ctx: &mut EvalContext,
+) -> Result<f64, TravelError> {
+    let mut total = 0.0;
+    for s in class.table.scenarios() {
+        total += s.probability * scenario_availability_with(s, params, services, ctx)?;
     }
     Ok(total)
 }
@@ -338,6 +435,30 @@ mod tests {
         let a = user_availability(&class_a(), &params, &env).unwrap();
         let b = user_availability(&class_b(), &params, &env).unwrap();
         assert!(a > b, "A {a} vs B {b}");
+    }
+
+    #[test]
+    fn memoized_user_availability_is_bit_identical() {
+        let params = TaParameters::paper_defaults();
+        let env = env();
+        let mut ctx = EvalContext::new();
+        for class in [class_a(), class_b()] {
+            let cold = user_availability(&class, &params, &env).unwrap();
+            // First call builds the expansion memo; later calls replay it.
+            for _ in 0..3 {
+                let warm = user_availability_with(&class, &params, &env, &mut ctx).unwrap();
+                assert_eq!(warm.to_bits(), cold.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn memoized_path_still_reports_missing_services() {
+        let params = TaParameters::paper_defaults();
+        let mut bad_env = env();
+        bad_env.remove(SERVICE_DB);
+        let mut ctx = EvalContext::new();
+        assert!(user_availability_with(&class_a(), &params, &bad_env, &mut ctx).is_err());
     }
 
     #[test]

@@ -15,18 +15,15 @@
 //! paper's closed forms and by solving the explicit CTMC with GTH — and
 //! the closed forms are asserted against the numeric solution in tests.
 
-use std::collections::HashMap;
-use std::sync::{OnceLock, RwLock};
+use std::sync::OnceLock;
 
 use uavail_core::composite::{composite_availability, CompositeState};
-use uavail_markov::{BirthDeath, CtmcBuilder};
+use uavail_markov::{gth_steady_state_into, BirthDeath, CtmcBuilder};
 use uavail_queueing::{MMcK, MM1K};
 
+use crate::context::EvalContext;
+use crate::loss_cache::{LossKey, ShardedLossCache};
 use crate::{TaParameters, TravelError};
-
-/// Cache key for [`loss_probability`]: the four inputs the M/M/c/K loss
-/// actually depends on, with the rates keyed by their exact bit patterns.
-type LossKey = (u64, u64, usize, usize);
 
 /// Process-wide memo for [`loss_probability`].
 ///
@@ -37,14 +34,20 @@ type LossKey = (u64, u64, usize, usize);
 /// the Figure 11–13 reproductions is high. Values are stored exactly as
 /// first computed, so cached and uncached paths — and therefore serial
 /// and parallel sweeps — return bit-for-bit identical results.
-fn loss_cache() -> &'static RwLock<HashMap<LossKey, f64>> {
-    static CACHE: OnceLock<RwLock<HashMap<LossKey, f64>>> = OnceLock::new();
-    CACHE.get_or_init(|| RwLock::new(HashMap::new()))
+///
+/// The memo is hash-partitioned into [`crate::loss_cache::SHARD_COUNT`]
+/// independently-locked shards so parallel sweep workers do not serialize
+/// on a single lock; see [`crate::loss_cache`] for the sharding and
+/// eviction policy.
+fn loss_cache() -> &'static ShardedLossCache {
+    static CACHE: OnceLock<ShardedLossCache> = OnceLock::new();
+    CACHE.get_or_init(|| ShardedLossCache::new(LOSS_CACHE_CAP, true))
 }
 
 /// Bound on the memo size; far beyond any figure sweep (which needs a few
 /// hundred entries) but keeps a pathological caller from growing the map
-/// without limit. On overflow the map is simply cleared.
+/// without limit. Overflowing shards evict bounded batches of entries
+/// (counted individually by `travel.loss_cache.evictions`).
 const LOSS_CACHE_CAP: usize = 1 << 16;
 
 /// Empties the [`loss_probability`] memo.
@@ -53,21 +56,18 @@ const LOSS_CACHE_CAP: usize = 1 << 16;
 /// benchmarks that want every timed repetition to pay the same cache
 /// misses instead of measuring a warm cache.
 pub fn reset_loss_cache() {
-    if let Ok(mut cache) = loss_cache().write() {
-        cache.clear();
-        uavail_obs::gauge_set("travel.loss_cache.size", 0);
-    }
+    loss_cache().clear();
 }
 
 /// Current number of memoized [`loss_probability`] entries.
 pub fn loss_cache_len() -> usize {
-    loss_cache().read().map(|c| c.len()).unwrap_or(0)
+    loss_cache().len()
 }
 
-/// Size bound of the [`loss_probability`] memo; reaching it triggers a
-/// wholesale reset (recorded as `travel.loss_cache.evictions`).
+/// Size bound of the [`loss_probability`] memo; full shards evict bounded
+/// batches, each discarded entry recorded by `travel.loss_cache.evictions`.
 pub fn loss_cache_capacity() -> usize {
-    LOSS_CACHE_CAP
+    loss_cache().capacity()
 }
 
 /// Loss probability `p_K` of the basic single-server buffer —
@@ -92,19 +92,10 @@ pub fn loss_probability_basic(params: &TaParameters) -> Result<f64, TravelError>
 /// Propagates parameter-domain failures; `i` must satisfy
 /// `1 ≤ i ≤ buffer_size`.
 pub fn loss_probability(params: &TaParameters, operational: usize) -> Result<f64, TravelError> {
-    let key: LossKey = (
-        params.arrival_rate_per_second.to_bits(),
-        params.service_rate_per_second.to_bits(),
-        operational,
-        params.buffer_size,
-    );
-    if let Ok(cache) = loss_cache().read() {
-        if let Some(&p) = cache.get(&key) {
-            uavail_obs::counter_add("travel.loss_cache.hits", 1);
-            return Ok(p);
-        }
+    let key = loss_key(params, operational);
+    if let Some(p) = loss_cache().get(&key) {
+        return Ok(p);
     }
-    uavail_obs::counter_add("travel.loss_cache.misses", 1);
     let q = MMcK::new(
         params.arrival_rate_per_second,
         params.service_rate_per_second,
@@ -112,15 +103,51 @@ pub fn loss_probability(params: &TaParameters, operational: usize) -> Result<f64
         params.buffer_size,
     )?;
     let p = q.loss_probability();
-    if let Ok(mut cache) = loss_cache().write() {
-        if cache.len() >= LOSS_CACHE_CAP {
-            cache.clear();
-            uavail_obs::counter_add("travel.loss_cache.evictions", 1);
-        }
-        cache.insert(key, p);
-        uavail_obs::gauge_set("travel.loss_cache.size", cache.len() as u64);
-    }
+    loss_cache().insert(key, p);
     Ok(p)
+}
+
+/// Loss probability `p_K(i)` reusing `dist_buf` for the M/M/c/K state
+/// distribution — the allocation-free twin of [`loss_probability`].
+///
+/// Shares the same process-wide memo, so cache hits skip the queueing
+/// model entirely and cached values are bit-for-bit those of the
+/// allocating path (misses run the exact same arithmetic via
+/// [`MMcK::with_distribution_buf`]).
+///
+/// # Errors
+///
+/// Propagates parameter-domain failures; `i` must satisfy
+/// `1 ≤ i ≤ buffer_size`.
+pub fn loss_probability_with(
+    params: &TaParameters,
+    operational: usize,
+    dist_buf: &mut Vec<f64>,
+) -> Result<f64, TravelError> {
+    let key = loss_key(params, operational);
+    if let Some(p) = loss_cache().get(&key) {
+        return Ok(p);
+    }
+    let q = MMcK::with_distribution_buf(
+        params.arrival_rate_per_second,
+        params.service_rate_per_second,
+        operational,
+        params.buffer_size,
+        std::mem::take(dist_buf),
+    )?;
+    let p = q.loss_probability();
+    *dist_buf = q.into_distribution_buf();
+    loss_cache().insert(key, p);
+    Ok(p)
+}
+
+fn loss_key(params: &TaParameters, operational: usize) -> LossKey {
+    (
+        params.arrival_rate_per_second.to_bits(),
+        params.service_rate_per_second.to_bits(),
+        operational,
+        params.buffer_size,
+    )
 }
 
 /// Basic-architecture web-service availability — equation (2):
@@ -147,6 +174,33 @@ pub fn farm_distribution_perfect(params: &TaParameters) -> Result<Vec<f64>, Trav
         params.failure_rate_per_hour,
         params.repair_rate_per_hour,
     )?)
+}
+
+/// Writes the perfect-coverage farm distribution into `ctx.farm_op`,
+/// reusing the context's birth/death-rate buffers — the allocation-free
+/// twin of [`farm_distribution_perfect`], bit-for-bit identical.
+fn farm_distribution_perfect_into(
+    params: &TaParameters,
+    ctx: &mut EvalContext,
+) -> Result<(), TravelError> {
+    let n = params.web_servers;
+    if n == 0 {
+        // Mirror `BirthDeath::shared_repair_farm`'s domain check.
+        BirthDeath::shared_repair_farm(0, 1.0, 1.0)?;
+        unreachable!("shared_repair_farm rejects n = 0");
+    }
+    let mut births = std::mem::take(&mut ctx.births);
+    let mut deaths = std::mem::take(&mut ctx.deaths);
+    births.clear();
+    births.resize(n, params.repair_rate_per_hour);
+    deaths.clear();
+    deaths.extend((1..=n).map(|i| i as f64 * params.failure_rate_per_hour));
+    let bd = BirthDeath::new(births, deaths)?;
+    bd.steady_state_into(&mut ctx.farm_op);
+    let (births, deaths) = bd.into_rates();
+    ctx.births = births;
+    ctx.deaths = deaths;
+    Ok(())
 }
 
 /// Steady-state solution of the imperfect-coverage farm
@@ -207,6 +261,64 @@ pub fn farm_distribution_imperfect(
     let operational: Vec<f64> = (0..=n).map(|i| pi[op[i].index()]).collect();
     let reconfiguring: Vec<f64> = (0..n).map(|i| pi[y[i].index()]).collect();
     Ok((operational, reconfiguring))
+}
+
+/// Solves the imperfect-coverage farm into `ctx.farm_op` / `ctx.farm_y`,
+/// assembling the generator in `ctx.generator` and running GTH in
+/// `ctx.gth_scratch` — the allocation-free twin of
+/// [`farm_distribution_imperfect`], bit-for-bit identical.
+///
+/// The caller must have validated `params` already. State indexing mirrors
+/// the builder path exactly: operational state `i` at row `i`
+/// (`0 ..= N_W`), reconfiguration state `y_i` at row `N_W + i`
+/// (`1 ..= N_W`), and the generator accumulates transitions in the same
+/// insertion order as [`CtmcBuilder::build`].
+fn farm_distribution_imperfect_into(
+    params: &TaParameters,
+    ctx: &mut EvalContext,
+) -> Result<(), TravelError> {
+    let n = params.web_servers;
+    let lambda = params.failure_rate_per_hour;
+    let mu = params.repair_rate_per_hour;
+    let c = params.coverage;
+    let beta = params.reconfiguration_rate_per_hour;
+
+    if c >= 1.0 {
+        // Perfect coverage: the y states are unreachable; Figure 10
+        // degenerates to Figure 9.
+        farm_distribution_perfect_into(params, ctx)?;
+        ctx.farm_y.clear();
+        ctx.farm_y.resize(n, 0.0);
+        return Ok(());
+    }
+
+    let q = &mut ctx.generator;
+    q.reset_zeros(2 * n + 1, 2 * n + 1);
+    // Same transition order as the builder path; op state i sits at row i,
+    // y_i at row n + i. Each transition adds to (from, to) and subtracts
+    // from the diagonal, exactly like `CtmcBuilder::build`.
+    let mut apply = |from: usize, to: usize, rate: f64| {
+        q[(from, to)] += rate;
+        q[(from, from)] -= rate;
+    };
+    for i in 1..=n {
+        if c > 0.0 {
+            apply(i, i - 1, i as f64 * c * lambda);
+        }
+        if c < 1.0 {
+            apply(i, n + i, i as f64 * (1.0 - c) * lambda);
+        }
+        if c < 1.0 {
+            apply(n + i, i - 1, beta);
+        }
+        apply(i - 1, i, mu);
+    }
+    gth_steady_state_into(&ctx.generator, &mut ctx.gth_scratch, &mut ctx.pi)?;
+    ctx.farm_op.clear();
+    ctx.farm_op.extend_from_slice(&ctx.pi[..=n]);
+    ctx.farm_y.clear();
+    ctx.farm_y.extend_from_slice(&ctx.pi[n + 1..]);
+    Ok(())
 }
 
 /// Closed-form state probabilities of the imperfect-coverage farm —
@@ -283,6 +395,43 @@ pub fn redundant_perfect_availability(params: &TaParameters) -> Result<f64, Trav
     Ok(composite_availability(&states)?)
 }
 
+/// Redundant-farm web-service availability with perfect coverage,
+/// computed entirely in `ctx`'s reusable buffers — the allocation-free
+/// twin of [`redundant_perfect_availability`], bit-for-bit identical.
+///
+/// # Errors
+///
+/// Propagates parameter-domain failures.
+pub fn redundant_perfect_availability_with(
+    params: &TaParameters,
+    ctx: &mut EvalContext,
+) -> Result<f64, TravelError> {
+    params.validate()?;
+    ctx.note_use();
+    let key = EvalContext::avail_key(true, params);
+    if let Some(&a) = ctx.avail_memo.get(&key) {
+        return Ok(a);
+    }
+    farm_distribution_perfect_into(params, ctx)?;
+    let EvalContext {
+        farm_op,
+        states,
+        dist_buf,
+        ..
+    } = ctx;
+    states.clear();
+    states.push(CompositeState::new(farm_op[0], 0.0)); // all servers down
+    for (i, &p) in farm_op.iter().enumerate().skip(1) {
+        states.push(CompositeState::new(
+            p,
+            1.0 - loss_probability_with(params, i, dist_buf)?,
+        ));
+    }
+    let a = composite_availability(states)?;
+    ctx.remember_availability(key, a);
+    Ok(a)
+}
+
 /// Redundant-farm web-service availability with imperfect coverage —
 /// equation (9):
 /// `A(WS) = 1 − [Σ_i Π_i p_K(i) + Σ_i Π_{y_i} + Π_0]`.
@@ -302,6 +451,47 @@ pub fn redundant_imperfect_availability(params: &TaParameters) -> Result<f64, Tr
         states.push(CompositeState::new(p, 0.0)); // reconfiguration = down
     }
     Ok(composite_availability(&states)?)
+}
+
+/// Redundant-farm web-service availability with imperfect coverage,
+/// computed entirely in `ctx`'s reusable buffers — the allocation-free
+/// twin of [`redundant_imperfect_availability`], bit-for-bit identical.
+///
+/// # Errors
+///
+/// Propagates parameter-domain failures.
+pub fn redundant_imperfect_availability_with(
+    params: &TaParameters,
+    ctx: &mut EvalContext,
+) -> Result<f64, TravelError> {
+    params.validate()?;
+    ctx.note_use();
+    let key = EvalContext::avail_key(false, params);
+    if let Some(&a) = ctx.avail_memo.get(&key) {
+        return Ok(a);
+    }
+    farm_distribution_imperfect_into(params, ctx)?;
+    let EvalContext {
+        farm_op,
+        farm_y,
+        states,
+        dist_buf,
+        ..
+    } = ctx;
+    states.clear();
+    states.push(CompositeState::new(farm_op[0], 0.0));
+    for (i, &p) in farm_op.iter().enumerate().skip(1) {
+        states.push(CompositeState::new(
+            p,
+            1.0 - loss_probability_with(params, i, dist_buf)?,
+        ));
+    }
+    for &p in farm_y.iter() {
+        states.push(CompositeState::new(p, 0.0)); // reconfiguration = down
+    }
+    let a = composite_availability(states)?;
+    ctx.remember_availability(key, a);
+    Ok(a)
 }
 
 /// Mean time (hours) from the all-up state until the web service is
@@ -399,11 +589,12 @@ mod tests {
     }
 
     #[test]
-    fn loss_cache_stays_under_cap_with_wholesale_reset() {
+    fn loss_cache_stays_under_cap_with_bounded_eviction() {
         // Feed more distinct keys than the cap by perturbing the arrival
-        // rate one ulp-ish step at a time; the memo must clear itself
-        // rather than grow without bound. (Other tests share the
-        // process-wide cache, but clearing is transparent to them.)
+        // rate one ulp-ish step at a time; overflowing shards must evict
+        // bounded batches rather than grow without bound. (Other tests
+        // share the process-wide cache, but eviction is transparent to
+        // them.)
         let cap = loss_cache_capacity();
         for i in 0..(cap + 16) {
             let p = TaParameters::builder()

@@ -19,6 +19,7 @@
 //!   contribution): expressions, interaction diagrams, dual-number
 //!   sensitivities, performability composition, downtime/revenue models.
 //! * [`sim`] — discrete-event simulation substrate.
+//! * [`obs`] — the opt-in metrics recorder behind every instrumented path.
 //! * [`travel`] — the travel-agency case study: every table and figure.
 //!
 //! # Quickstart
@@ -45,6 +46,7 @@ pub use uavail_core as core;
 pub use uavail_faulttree as faulttree;
 pub use uavail_linalg as linalg;
 pub use uavail_markov as markov;
+pub use uavail_obs as obs;
 pub use uavail_profile as profile;
 pub use uavail_queueing as queueing;
 pub use uavail_rbd as rbd;
