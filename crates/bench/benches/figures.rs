@@ -136,6 +136,26 @@ fn bench_metrics_overhead(c: &mut Criterion) {
         });
         uavail_obs::set_enabled(false);
     });
+    // Same contract for the trace channel: disabled tracing is one relaxed
+    // atomic load per site and must stay within noise of the plain sweep;
+    // the enabled run bounds the thread-local ring-push cost.
+    c.bench_function("trace/disabled_cold_cache", |bench| {
+        uavail_obs::set_trace_enabled(false);
+        bench.iter(|| {
+            reset_loss_cache();
+            black_box((figure11().unwrap(), figure12().unwrap()))
+        })
+    });
+    c.bench_function("trace/enabled_cold_cache", |bench| {
+        uavail_obs::trace::reset();
+        uavail_obs::set_trace_enabled(true);
+        bench.iter(|| {
+            reset_loss_cache();
+            black_box((figure11().unwrap(), figure12().unwrap()))
+        });
+        uavail_obs::set_trace_enabled(false);
+        drop(uavail_obs::take_trace());
+    });
 }
 
 criterion_group!(

@@ -1,0 +1,90 @@
+//! Compares two `uavail-bench/v1` artifacts and fails on regressions.
+//!
+//! ```text
+//! bench-diff <baseline.json> <candidate.json> [--threshold <ratio>] [--csv]
+//! ```
+//!
+//! Benchmarks are matched by `(name, mode)`; a match regresses when its
+//! `candidate / baseline` mean ratio exceeds the threshold (default 1.5).
+//! Prints the full comparison table either way.
+//!
+//! Exit codes: `0` no regressions, `1` at least one regression, `2` usage
+//! or artifact-parse error — so CI can distinguish "slower" from "broken".
+
+use std::process::ExitCode;
+
+use uavail_bench::diff::diff_artifacts;
+
+/// Default slowdown ratio: loose enough for same-machine run-to-run noise
+/// on the short `reproduce bench` measurements, tight enough to catch a
+/// 2x regression.
+const DEFAULT_THRESHOLD: f64 = 1.5;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: bench-diff <baseline.json> <candidate.json> [--threshold <ratio>] [--csv]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut paths: Vec<String> = Vec::new();
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut csv = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--csv" {
+            csv = true;
+        } else if arg == "--threshold" {
+            let Some(raw) = args.next() else {
+                eprintln!("bench-diff: --threshold requires a ratio");
+                return usage();
+            };
+            match raw.parse::<f64>() {
+                Ok(t) => threshold = t,
+                Err(_) => {
+                    eprintln!("bench-diff: --threshold {raw:?} is not a number");
+                    return usage();
+                }
+            }
+        } else if let Some(raw) = arg.strip_prefix("--threshold=") {
+            match raw.parse::<f64>() {
+                Ok(t) => threshold = t,
+                Err(_) => {
+                    eprintln!("bench-diff: --threshold {raw:?} is not a number");
+                    return usage();
+                }
+            }
+        } else if arg.starts_with("--") {
+            eprintln!("bench-diff: unknown flag {arg:?}");
+            return usage();
+        } else {
+            paths.push(arg);
+        }
+    }
+    let [baseline_path, candidate_path] = paths.as_slice() else {
+        return usage();
+    };
+    let read = |path: &str| {
+        std::fs::read_to_string(path).map_err(|e| format!("bench-diff: cannot read {path}: {e}"))
+    };
+    let (baseline, candidate) = match (read(baseline_path), read(candidate_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    match diff_artifacts(&baseline, &candidate, threshold) {
+        Ok(report) => {
+            print!("{}", report.render(csv));
+            if report.has_regressions() {
+                ExitCode::from(1)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("bench-diff: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

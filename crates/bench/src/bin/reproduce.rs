@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! reproduce [ARTIFACT] [--csv] [--parallel] [--metrics <path>]
-//!           [--bench-json <path>]
+//!           [--trace <path>] [--bench-json <path>]
 //!
 //! ARTIFACT: table1 table2 table3 table4 table5 table6 table7 table8
 //!           fig11 fig12 fig13 revenue capacity ablation validate
@@ -24,6 +24,13 @@
 //! rate. Instrumentation never changes any reproduced number — the
 //! `metrics_identity` integration test pins bit-for-bit equality with
 //! recording on and off.
+//!
+//! `--trace <path>` enables trace-event collection for the run and writes
+//! a Chrome-trace JSON timeline to `path` — open it in Perfetto
+//! (<https://ui.perfetto.dev>) or `chrome://tracing`. The timeline shows
+//! one lane per worker thread with `par.worker`/`par.chunk` spans, a span
+//! per figure point, and instant events for memo and loss-cache traffic.
+//! Like `--metrics`, tracing never changes any reproduced number.
 //!
 //! `bench` times the `EvalContext` reuse paths against their cold-build
 //! twins (Figure 11, Figure 12, Table 8) in-process and prints the means;
@@ -57,6 +64,7 @@ fn main() -> ExitCode {
     let mut csv = false;
     let mut parallel = false;
     let mut metrics: Option<String> = None;
+    let mut trace: Option<String> = None;
     let mut bench_json: Option<String> = None;
     let mut artifact: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -76,6 +84,16 @@ fn main() -> ExitCode {
             }
         } else if let Some(path) = arg.strip_prefix("--metrics=") {
             metrics = Some(path.to_string());
+        } else if arg == "--trace" {
+            match args.next() {
+                Some(path) => trace = Some(path),
+                None => {
+                    eprintln!("reproduce: --trace requires a file path");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if let Some(path) = arg.strip_prefix("--trace=") {
+            trace = Some(path.to_string());
         } else if arg == "--bench-json" {
             match args.next() {
                 Some(path) => bench_json = Some(path),
@@ -108,6 +126,10 @@ fn main() -> ExitCode {
         uavail_obs::set_enabled(true);
         uavail_obs::reset();
     }
+    if trace.is_some() {
+        uavail_obs::set_trace_enabled(true);
+        uavail_obs::trace::reset();
+    }
     if artifact == "bench" {
         // The bench artifact is handled here rather than in `run` because
         // the JSON emitter needs the raw measurements, not just stdout.
@@ -134,6 +156,12 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+        if let Some(path) = trace {
+            if let Err(e) = write_trace(&path) {
+                eprintln!("reproduce: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
         return ExitCode::SUCCESS;
     }
     if bench_json.is_some() {
@@ -154,7 +182,33 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    if let Some(path) = trace {
+        if let Err(e) = write_trace(&path) {
+            eprintln!("reproduce: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
+}
+
+/// Drains the collected trace events and writes them as a Chrome-trace
+/// JSON array, self-validating the document before it touches disk, just
+/// like the metrics and bench emitters.
+fn write_trace(path: &str) -> Result<(), String> {
+    let data = uavail_obs::take_trace();
+    let json = data.to_chrome_trace();
+    let events = uavail_obs::trace::validate_chrome_trace(&json)
+        .map_err(|e| format!("internal error: trace artifact failed validation: {e}"))?;
+    std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
+    if data.dropped > 0 {
+        eprintln!(
+            "wrote {events} trace events to {path} ({} dropped at ring capacity)",
+            data.dropped
+        );
+    } else {
+        eprintln!("wrote {events} trace events to {path}");
+    }
+    Ok(())
 }
 
 /// One in-process benchmark measurement: a named case in either

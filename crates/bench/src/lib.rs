@@ -13,6 +13,8 @@
 
 use uavail_travel::report::Table;
 
+pub mod diff;
+
 /// Paper-published Table 8 values `(N, class A, class B)` used for the
 /// side-by-side comparison columns.
 pub const PAPER_TABLE8: [(usize, f64, f64); 6] = [

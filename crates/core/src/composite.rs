@@ -104,6 +104,14 @@ pub fn composite_availability(states: &[CompositeState]) -> Result<f64, CoreErro
             ),
         });
     }
+    if uavail_obs::enabled() {
+        let drift = (total_probability - 1.0).abs();
+        uavail_obs::health_record("core.composite.prob_drift", drift);
+        // Headroom left before the model would have been rejected; a
+        // shrinking minimum means probability mass is drifting toward
+        // the tolerance cliff.
+        uavail_obs::health_record("core.composite.tolerance_headroom", tolerance - drift);
+    }
     Ok(availability)
 }
 

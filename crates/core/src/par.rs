@@ -121,14 +121,21 @@ where
     let slots: Vec<Mutex<Option<Result<U, E>>>> = (0..n).map(|_| Mutex::new(None)).collect();
 
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
+        for worker in 0..threads {
+            let (next, failed, slots, make, f) = (&next, &failed, &slots, &make, &f);
+            scope.spawn(move || {
+                // One trace span per worker lifetime, plus one per claimed
+                // chunk, so Perfetto shows utilization and work stealing.
+                let _worker_span =
+                    uavail_obs::TraceSpan::enter_with_arg("par.worker", "worker", worker as f64);
                 let mut workspace = make();
                 loop {
                     let start = next.fetch_add(chunk, Ordering::Relaxed);
                     if start >= n || failed.load(Ordering::Relaxed) {
                         return;
                     }
+                    let _chunk_span =
+                        uavail_obs::TraceSpan::enter_with_arg("par.chunk", "start", start as f64);
                     let end = (start + chunk).min(n);
                     for (i, item) in items.iter().enumerate().take(end).skip(start) {
                         let result = f(&mut workspace, item);
@@ -245,6 +252,42 @@ mod tests {
                 assert_eq!(s.to_bits(), p.to_bits(), "threads={threads}");
             }
         }
+    }
+
+    #[test]
+    fn every_parallel_worker_emits_trace_events() {
+        // `--trace` must show one lane per worker: each of the N spawned
+        // workers opens a `par.worker` span on its own thread, so the
+        // exported timeline has at least one event per worker and N
+        // distinct worker ids. Concurrent tests may add their own events
+        // to the shared sink — assertions are lower bounds on our names.
+        let items: Vec<usize> = (0..64).collect();
+        let threads = 4;
+        uavail_obs::trace::reset();
+        uavail_obs::set_trace_enabled(true);
+        let out = par_map_threads(&items, threads, |&i| Ok::<_, CoreError>(i * 2)).unwrap();
+        uavail_obs::set_trace_enabled(false);
+        let data = uavail_obs::take_trace();
+        assert_eq!(out[63], 126);
+        let workers: Vec<&uavail_obs::TraceEvent> = data
+            .events
+            .iter()
+            .filter(|e| e.name == "par.worker")
+            .collect();
+        let begins = workers
+            .iter()
+            .filter(|e| matches!(e.phase, uavail_obs::trace::TracePhase::Begin))
+            .count();
+        assert!(
+            begins >= threads,
+            "only {begins} worker spans for {threads} workers"
+        );
+        let tids: std::collections::BTreeSet<u64> = workers.iter().map(|e| e.tid).collect();
+        assert!(tids.len() >= threads, "worker spans on {tids:?}");
+        // Chunk spans carry their start index and the export is valid
+        // Chrome-trace JSON.
+        assert!(data.events.iter().any(|e| e.name == "par.chunk"));
+        uavail_obs::trace::validate_chrome_trace(&data.to_chrome_trace()).unwrap();
     }
 
     #[test]

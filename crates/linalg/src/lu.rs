@@ -46,6 +46,10 @@ fn factor_in_place(f: &mut Matrix, perm: &mut Vec<usize>) -> Result<f64, LinalgE
     perm.clear();
     perm.extend(0..n);
     let mut sign = 1.0;
+    // Smallest pivot magnitude of the factorization — the health layer's
+    // early-warning proxy for near-singularity. Tracking it is one f64
+    // `min` per column and never branches on recorder state.
+    let mut min_pivot = f64::INFINITY;
 
     for k in 0..n {
         // Partial pivoting: find the largest |entry| in column k at or
@@ -62,6 +66,7 @@ fn factor_in_place(f: &mut Matrix, perm: &mut Vec<usize>) -> Result<f64, LinalgE
         if pivot_val < SINGULARITY_THRESHOLD {
             return Err(LinalgError::Singular { pivot: k });
         }
+        min_pivot = min_pivot.min(pivot_val);
         if pivot_row != k {
             for c in 0..n {
                 let tmp = f[(k, c)];
@@ -82,6 +87,9 @@ fn factor_in_place(f: &mut Matrix, perm: &mut Vec<usize>) -> Result<f64, LinalgE
                 }
             }
         }
+    }
+    if n > 0 && uavail_obs::enabled() {
+        uavail_obs::health_record("linalg.lu.min_pivot", min_pivot);
     }
     Ok(sign)
 }
@@ -286,7 +294,28 @@ impl Lu {
 /// # }
 /// ```
 pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
-    Lu::new(a)?.solve(b)
+    let x = Lu::new(a)?.solve(b)?;
+    if uavail_obs::enabled() {
+        record_solve_health(a, b, &x);
+    }
+    Ok(x)
+}
+
+/// Health gauge for a one-shot solve: the residual `‖A·x − b‖∞`. Only
+/// reached while recording is on (the extra matvec never runs on the
+/// production path) and purely observational — `x` is returned untouched.
+#[cold]
+fn record_solve_health(a: &Matrix, b: &[f64], x: &[f64]) {
+    let n = a.rows();
+    let mut residual = 0.0f64;
+    for r in 0..n {
+        let mut acc = 0.0;
+        for (c, xc) in x.iter().enumerate() {
+            acc += a[(r, c)] * xc;
+        }
+        residual = residual.max((acc - b[r]).abs());
+    }
+    uavail_obs::health_record("linalg.lu.residual", residual);
 }
 
 /// A reusable LU factorization workspace: factor-in-place into caller-owned

@@ -473,6 +473,9 @@ impl Ctmc {
             reason: "target set unreachable from some state".into(),
         })?;
         let s = lu.solve_transposed(&rhs)?;
+        if uavail_obs::enabled() {
+            record_sojourn_solve_health(&qtt, &s, &rhs);
+        }
         let mut out = vec![0.0; n];
         for (pos, &state) in others.iter().enumerate() {
             out[state] = s[pos];
@@ -488,6 +491,24 @@ impl Ctmc {
     pub fn mean_time_to(&self, start: StateId, targets: &[StateId]) -> Result<f64, MarkovError> {
         Ok(self.expected_sojourns_before(start, targets)?.iter().sum())
     }
+}
+
+/// Health gauge for the sojourn-time LU solve: the residual
+/// `‖s·Q_TT − rhs‖∞` of the transposed system, reported on the shared
+/// `linalg.lu.residual` channel. Only reached while recording is on —
+/// the O(m²) matvec never runs on the production path.
+#[cold]
+fn record_sojourn_solve_health(qtt: &Matrix, s: &[f64], rhs: &[f64]) {
+    let m = s.len();
+    let mut residual = 0.0f64;
+    for j in 0..m {
+        let mut acc = 0.0;
+        for (i, v) in s.iter().enumerate() {
+            acc += v * qtt[(i, j)];
+        }
+        residual = residual.max((acc - rhs[j]).abs());
+    }
+    uavail_obs::health_record("linalg.lu.residual", residual);
 }
 
 #[cfg(test)]

@@ -122,7 +122,30 @@ pub fn gth_steady_state_into(
     for v in pi.iter_mut() {
         *v /= total;
     }
+    if uavail_obs::enabled() {
+        record_gth_health(q, pi);
+    }
     Ok(())
+}
+
+/// Health gauges for one GTH solve: how far the normalized vector's mass
+/// is from 1, and the residual `‖πQ‖∞` against the original generator.
+/// Only reached while recording is on — the O(n²) residual matvec never
+/// runs on the production path, and nothing here feeds back into `pi`.
+#[cold]
+fn record_gth_health(q: &Matrix, pi: &[f64]) {
+    let drift = (pi.iter().sum::<f64>() - 1.0).abs();
+    uavail_obs::health_record("markov.gth.prob_sum_drift", drift);
+    let n = pi.len();
+    let mut residual = 0.0f64;
+    for j in 0..n {
+        let mut acc = 0.0;
+        for (i, p) in pi.iter().enumerate() {
+            acc += p * q[(i, j)];
+        }
+        residual = residual.max(acc.abs());
+    }
+    uavail_obs::health_record("markov.gth.residual", residual);
 }
 
 #[cfg(test)]

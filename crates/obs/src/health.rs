@@ -1,0 +1,191 @@
+//! Numerical-health gauges: `f64` min/max/count channels fed by the
+//! solvers.
+//!
+//! Counters and histograms answer "how much work"; health gauges answer
+//! "how well-conditioned was it" — LU pivot-magnitude minima and solve
+//! residuals, GTH steady-state probability drift and `‖πQ‖∞`, M/M/c/K
+//! normalization error, composite-model tolerance headroom. Values are
+//! `f64`, so the usual integer-sum aggregation does not apply; instead a
+//! [`HealthStats`] keeps only **count, min and max** — the only `f64`
+//! reductions that are exactly commutative and associative, which keeps
+//! [`crate::Recorder::merge`] order-independent (an `f64` running *sum*
+//! would make merged snapshots depend on merge order). Extremes are also
+//! exactly what health questions need: the *worst* residual, the
+//! *smallest* pivot.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free aggregate of one health channel: how many values were
+/// recorded and their exact min/max. `f64` payloads live in `AtomicU64`
+/// bit patterns, updated by compare-exchange on the numeric ordering.
+#[derive(Debug)]
+pub struct HealthStats {
+    count: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl Default for HealthStats {
+    fn default() -> Self {
+        HealthStats::new()
+    }
+}
+
+/// CAS-loops `value` into `cell` whenever `better` says it improves on
+/// the current occupant.
+fn update_extreme(cell: &AtomicU64, value: f64, better: impl Fn(f64, f64) -> bool) {
+    let mut current = cell.load(Ordering::Relaxed);
+    while better(value, f64::from_bits(current)) {
+        match cell.compare_exchange_weak(
+            current,
+            value.to_bits(),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return,
+            Err(observed) => current = observed,
+        }
+    }
+}
+
+impl HealthStats {
+    /// Creates an empty channel.
+    pub fn new() -> Self {
+        HealthStats {
+            count: AtomicU64::new(0),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    /// Records one observation. `NaN` counts but cannot order, so it
+    /// leaves min/max untouched.
+    pub fn record(&self, value: f64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        if value.is_nan() {
+            return;
+        }
+        update_extreme(&self.min_bits, value, |v, cur| v < cur);
+        update_extreme(&self.max_bits, value, |v, cur| v > cur);
+    }
+
+    /// Folds `other` into `self`; count/min/max merging is
+    /// order-independent by construction.
+    pub fn merge(&self, other: &HealthStats) {
+        let other_count = other.count.load(Ordering::Relaxed);
+        if other_count == 0 {
+            return;
+        }
+        self.count.fetch_add(other_count, Ordering::Relaxed);
+        let min = f64::from_bits(other.min_bits.load(Ordering::Relaxed));
+        let max = f64::from_bits(other.max_bits.load(Ordering::Relaxed));
+        update_extreme(&self.min_bits, min, |v, cur| v < cur);
+        update_extreme(&self.max_bits, max, |v, cur| v > cur);
+    }
+
+    /// Immutable summary of the current state.
+    pub fn summary(&self) -> HealthSummary {
+        let count = self.count.load(Ordering::Relaxed);
+        let min = f64::from_bits(self.min_bits.load(Ordering::Relaxed));
+        let max = f64::from_bits(self.max_bits.load(Ordering::Relaxed));
+        HealthSummary {
+            count,
+            min: if min.is_finite() { min } else { 0.0 },
+            max: if max.is_finite() { max } else { 0.0 },
+        }
+    }
+}
+
+/// Point-in-time summary of a [`HealthStats`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthSummary {
+    /// Observations recorded.
+    pub count: u64,
+    /// Smallest finite observation (0 when empty).
+    pub min: f64,
+    /// Largest finite observation (0 when empty).
+    pub max: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_extremes_and_count() {
+        let h = HealthStats::new();
+        for v in [3e-16, -2.0, 7.5, 0.0] {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min, -2.0);
+        assert_eq!(s.max, 7.5);
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let s = HealthStats::new().summary();
+        assert_eq!(
+            s,
+            HealthSummary {
+                count: 0,
+                min: 0.0,
+                max: 0.0
+            }
+        );
+    }
+
+    #[test]
+    fn nan_counts_but_does_not_order() {
+        let h = HealthStats::new();
+        h.record(f64::NAN);
+        h.record(1.0);
+        let s = h.summary();
+        assert_eq!(s.count, 2);
+        assert_eq!((s.min, s.max), (1.0, 1.0));
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let parts: Vec<HealthStats> = (0..4)
+            .map(|i| {
+                let h = HealthStats::new();
+                h.record(f64::from(i) * 0.25 - 0.3);
+                h.record(f64::from(i * i));
+                h
+            })
+            .collect();
+        let forward = HealthStats::new();
+        for p in &parts {
+            forward.merge(p);
+        }
+        let backward = HealthStats::new();
+        for p in parts.iter().rev() {
+            backward.merge(p);
+        }
+        assert_eq!(forward.summary(), backward.summary());
+        assert_eq!(forward.summary().count, 8);
+        assert_eq!(forward.summary().min, -0.3);
+        assert_eq!(forward.summary().max, 9.0);
+    }
+
+    #[test]
+    fn concurrent_records_land_exactly() {
+        let h = HealthStats::new();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let h = &h;
+                scope.spawn(move || {
+                    for i in 0..1000 {
+                        h.record(f64::from(t * 1000 + i));
+                    }
+                });
+            }
+        });
+        let s = h.summary();
+        assert_eq!(s.count, 4000);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 3999.0);
+    }
+}

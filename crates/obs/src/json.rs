@@ -1,7 +1,13 @@
 //! Minimal JSON support for the metrics artifact: a value type that
-//! serializes to compact JSON, and a validating parser used by tests and
-//! the reproduction harness to check emitted artifacts without any
-//! external dependency.
+//! serializes to compact JSON, and a parser used by tests, the
+//! reproduction harness and the `bench-diff` tool to read emitted
+//! artifacts back without any external dependency.
+//!
+//! The parser is strict where artifact hygiene matters: duplicate keys
+//! within one object are rejected (a duplicated record field means the
+//! emitter is broken), and numbers whose value is not a finite `f64`
+//! (overflow to infinity, or a `NaN`/`Infinity` literal, which is not
+//! JSON at all) are rejected rather than silently folded to `null`.
 
 use std::fmt;
 
@@ -39,6 +45,50 @@ impl JsonValue {
     /// Convenience constructor for string values.
     pub fn str(s: impl Into<String>) -> JsonValue {
         JsonValue::Str(s.into())
+    }
+
+    /// Field lookup on an object value; `None` on other kinds.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string content of a `Str` value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `f64` (`UInt` widens losslessly up to 2^53).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::UInt(v) => Some(*v as f64),
+            JsonValue::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `u64` (`Float` only when it is a whole number).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::UInt(v) => Some(*v),
+            JsonValue::Float(v) if v.fract() == 0.0 && *v >= 0.0 && *v <= u64::MAX as f64 => {
+                Some(*v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The items of an `Array` value.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
     }
 }
 
@@ -110,22 +160,32 @@ impl fmt::Display for JsonValue {
     }
 }
 
-/// Validates that `text` is one syntactically well-formed JSON value.
+/// Parses `text` as one JSON value.
 ///
 /// # Errors
 ///
-/// A human-readable description of the first syntax error, with its byte
-/// offset.
-pub fn validate(text: &str) -> Result<(), String> {
+/// A human-readable description of the first syntax error (with its byte
+/// offset), a duplicated object key, or a numeric literal whose value is
+/// not a finite `f64`.
+pub fn parse(text: &str) -> Result<JsonValue, String> {
     let bytes = text.as_bytes();
     let mut pos = 0usize;
     skip_ws(bytes, &mut pos);
-    parse_value(bytes, &mut pos)?;
+    let value = parse_value(bytes, &mut pos)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
         return Err(format!("trailing input at byte {pos}"));
     }
-    Ok(())
+    Ok(value)
+}
+
+/// Validates that `text` is one well-formed JSON value (see [`parse`]).
+///
+/// # Errors
+///
+/// As for [`parse`].
+pub fn validate(text: &str) -> Result<(), String> {
+    parse(text).map(|_| ())
 }
 
 /// Validates every non-empty line of a JSON-lines document.
@@ -151,15 +211,15 @@ fn skip_ws(b: &[u8], pos: &mut usize) {
     }
 }
 
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
     match b.get(*pos) {
         None => Err(format!("unexpected end of input at byte {pos}", pos = *pos)),
         Some(b'{') => parse_object(b, pos),
         Some(b'[') => parse_array(b, pos),
-        Some(b'"') => parse_string(b, pos),
-        Some(b't') => parse_literal(b, pos, "true"),
-        Some(b'f') => parse_literal(b, pos, "false"),
-        Some(b'n') => parse_literal(b, pos, "null"),
+        Some(b'"') => parse_string(b, pos).map(JsonValue::Str),
+        Some(b't') => parse_literal(b, pos, "true").map(|()| JsonValue::Bool(true)),
+        Some(b'f') => parse_literal(b, pos, "false").map(|()| JsonValue::Bool(false)),
+        Some(b'n') => parse_literal(b, pos, "null").map(|()| JsonValue::Null),
         Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
         Some(c) => Err(format!("unexpected byte {c:?} at {}", *pos)),
     }
@@ -174,14 +234,19 @@ fn parse_literal(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
     }
 }
 
-fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
     debug_assert_eq!(b[*pos], b'"');
+    let start = *pos;
     *pos += 1;
     while let Some(&c) = b.get(*pos) {
         match c {
             b'"' => {
+                // Decode from the original text so multi-byte UTF-8 runs
+                // stay intact; escapes are resolved in a second pass.
+                let raw = std::str::from_utf8(&b[start + 1..*pos])
+                    .map_err(|_| format!("invalid UTF-8 in string at byte {start}"))?;
                 *pos += 1;
-                return Ok(());
+                return unescape(raw, start);
             }
             b'\\' => {
                 let esc = b
@@ -208,22 +273,83 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
     Err("unterminated string".into())
 }
 
-fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+/// Resolves the escapes of an already-scanned string body.
+fn unescape(raw: &str, at: usize) -> Result<String, String> {
+    if !raw.contains('\\') {
+        return Ok(raw.to_string());
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('/') => out.push('/'),
+            Some('b') => out.push('\u{8}'),
+            Some('f') => out.push('\u{c}'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('u') => {
+                let code = read_hex4(&mut chars, at)?;
+                let ch = if (0xD800..0xDC00).contains(&code) {
+                    // High surrogate: a \uXXXX low surrogate must follow.
+                    if (chars.next(), chars.next()) != (Some('\\'), Some('u')) {
+                        return Err(format!("lone surrogate in string at byte {at}"));
+                    }
+                    let low = read_hex4(&mut chars, at)?;
+                    if !(0xDC00..0xE000).contains(&low) {
+                        return Err(format!("invalid surrogate pair in string at byte {at}"));
+                    }
+                    let scalar = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                    char::from_u32(scalar)
+                } else {
+                    char::from_u32(code)
+                };
+                out.push(ch.ok_or_else(|| format!("lone surrogate in string at byte {at}"))?);
+            }
+            _ => return Err(format!("bad escape in string at byte {at}")),
+        }
+    }
+    Ok(out)
+}
+
+fn read_hex4(chars: &mut std::str::Chars<'_>, at: usize) -> Result<u32, String> {
+    let mut code = 0u32;
+    for _ in 0..4 {
+        let d = chars
+            .next()
+            .and_then(|c| c.to_digit(16))
+            .ok_or_else(|| format!("short \\u escape in string at byte {at}"))?;
+        code = code * 16 + d;
+    }
+    Ok(code)
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
     let start = *pos;
-    if b.get(*pos) == Some(&b'-') {
+    let negative = b.get(*pos) == Some(&b'-');
+    if negative {
         *pos += 1;
     }
     let int_digits = eat_digits(b, pos);
     if int_digits == 0 {
         return Err(format!("number without digits at byte {start}"));
     }
+    let mut integral = true;
     if b.get(*pos) == Some(&b'.') {
+        integral = false;
         *pos += 1;
         if eat_digits(b, pos) == 0 {
             return Err(format!("missing fraction digits at byte {}", *pos));
         }
     }
     if matches!(b.get(*pos), Some(b'e') | Some(b'E')) {
+        integral = false;
         *pos += 1;
         if matches!(b.get(*pos), Some(b'+') | Some(b'-')) {
             *pos += 1;
@@ -232,7 +358,19 @@ fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
             return Err(format!("missing exponent digits at byte {}", *pos));
         }
     }
-    Ok(())
+    let text = std::str::from_utf8(&b[start..*pos]).expect("ASCII number literal");
+    if integral && !negative {
+        if let Ok(v) = text.parse::<u64>() {
+            return Ok(JsonValue::UInt(v));
+        }
+    }
+    let v: f64 = text
+        .parse()
+        .map_err(|_| format!("unparseable number at byte {start}"))?;
+    if !v.is_finite() {
+        return Err(format!("non-finite number at byte {start}"));
+    }
+    Ok(JsonValue::Float(v))
 }
 
 fn eat_digits(b: &[u8], pos: &mut usize) -> usize {
@@ -243,15 +381,16 @@ fn eat_digits(b: &[u8], pos: &mut usize) -> usize {
     *pos - start
 }
 
-fn parse_array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
     *pos += 1; // '['
     skip_ws(b, pos);
+    let mut items = Vec::new();
     if b.get(*pos) == Some(&b']') {
         *pos += 1;
-        return Ok(());
+        return Ok(JsonValue::Array(items));
     }
     loop {
-        parse_value(b, pos)?;
+        items.push(parse_value(b, pos)?);
         skip_ws(b, pos);
         match b.get(*pos) {
             Some(b',') => {
@@ -260,39 +399,45 @@ fn parse_array(b: &[u8], pos: &mut usize) -> Result<(), String> {
             }
             Some(b']') => {
                 *pos += 1;
-                return Ok(());
+                return Ok(JsonValue::Array(items));
             }
             _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
         }
     }
 }
 
-fn parse_object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
     *pos += 1; // '{'
     skip_ws(b, pos);
+    let mut fields: Vec<(String, JsonValue)> = Vec::new();
     if b.get(*pos) == Some(&b'}') {
         *pos += 1;
-        return Ok(());
+        return Ok(JsonValue::Object(fields));
     }
     loop {
         skip_ws(b, pos);
         if b.get(*pos) != Some(&b'"') {
             return Err(format!("expected object key at byte {}", *pos));
         }
-        parse_string(b, pos)?;
+        let key_at = *pos;
+        let key = parse_string(b, pos)?;
+        if fields.iter().any(|(k, _)| *k == key) {
+            return Err(format!("duplicate object key {key:?} at byte {key_at}"));
+        }
         skip_ws(b, pos);
         if b.get(*pos) != Some(&b':') {
             return Err(format!("expected ':' at byte {}", *pos));
         }
         *pos += 1;
         skip_ws(b, pos);
-        parse_value(b, pos)?;
+        let value = parse_value(b, pos)?;
+        fields.push((key, value));
         skip_ws(b, pos);
         match b.get(*pos) {
             Some(b',') => *pos += 1,
             Some(b'}') => {
                 *pos += 1;
-                return Ok(());
+                return Ok(JsonValue::Object(fields));
             }
             _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
         }
@@ -330,6 +475,25 @@ mod tests {
     }
 
     #[test]
+    fn parse_round_trips_values() {
+        let parsed = parse("{\"a\":[1,2.5,\"x\\n\",true,null],\"b\":{\"c\":-3}}").unwrap();
+        assert_eq!(parsed.get("a").unwrap().as_array().unwrap().len(), 5);
+        assert_eq!(
+            parsed.get("a").unwrap().as_array().unwrap()[0].as_u64(),
+            Some(1)
+        );
+        assert_eq!(
+            parsed.get("a").unwrap().as_array().unwrap()[2].as_str(),
+            Some("x\n")
+        );
+        assert_eq!(
+            parsed.get("b").unwrap().get("c").unwrap().as_f64(),
+            Some(-3.0)
+        );
+        assert_eq!(parse("\"\\ud83d\\ude00\"").unwrap().as_str(), Some("😀"));
+    }
+
+    #[test]
     fn validate_accepts_plain_values() {
         for ok in [
             "0",
@@ -361,9 +525,45 @@ mod tests {
             "[1]]",
             "1.",
             "1e",
+            "\"\\ud800\"",
         ] {
             assert!(validate(bad).is_err(), "{bad:?} should be rejected");
         }
+    }
+
+    #[test]
+    fn validate_rejects_non_finite_numerics() {
+        // `NaN` / `Infinity` are not JSON literals at all, and a literal
+        // that overflows f64 to infinity carries no usable value — the
+        // artifact emitters write `null` for non-finite floats, so any of
+        // these in an artifact means a broken producer.
+        for bad in [
+            "NaN",
+            "Infinity",
+            "-Infinity",
+            "nan",
+            "1e999",
+            "-1e999",
+            "[1e400]",
+        ] {
+            assert!(validate(bad).is_err(), "{bad:?} should be rejected");
+        }
+        // Large-but-finite still parses.
+        assert_eq!(parse("1e308").unwrap().as_f64(), Some(1e308));
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_keys() {
+        for bad in [
+            "{\"a\":1,\"a\":2}",
+            "{\"a\":1,\"b\":{\"x\":1,\"x\":2}}",
+            "[{\"k\":null,\"k\":null}]",
+        ] {
+            let err = validate(bad).unwrap_err();
+            assert!(err.contains("duplicate object key"), "{bad:?}: {err}");
+        }
+        // The same key in *sibling* objects is fine.
+        validate("[{\"k\":1},{\"k\":2}]").unwrap();
     }
 
     #[test]

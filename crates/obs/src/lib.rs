@@ -34,6 +34,14 @@
 //!   `/`-joined path of open spans on the current thread.
 //! * **Labels** — sets of descriptive strings ([`label`]); RNG stream
 //!   identities of replication batches.
+//! * **Health** — `f64` count/min/max channels ([`health_record`]) fed by
+//!   the numerical kernels; solver residuals, pivot minima, probability
+//!   drift. See [`HealthStats`] for why only extremes are kept.
+//!
+//! Orthogonal to the aggregating recorder, the [`trace`] module keeps
+//! *sequences*: bounded per-thread rings of begin/end/instant events
+//! exported as Chrome/Perfetto timelines ([`trace::TraceData::to_chrome_trace`]),
+//! behind their own [`set_trace_enabled`] flag.
 //!
 //! # Example
 //!
@@ -53,12 +61,19 @@
 //! uavail_obs::set_enabled(false);
 //! ```
 
+mod health;
 mod histogram;
 pub mod json;
 mod span;
+pub mod trace;
 
+pub use health::{HealthStats, HealthSummary};
 pub use histogram::{Histogram, HistogramSummary, BUCKET_COUNT};
 pub use span::{SpanGuard, SpanStats, SpanSummary, Stopwatch};
+pub use trace::{
+    set_trace_enabled, take_trace, trace_enabled, trace_instant, trace_instant_arg, TraceData,
+    TraceEvent, TraceSpan,
+};
 
 use json::JsonValue;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -76,6 +91,7 @@ pub struct Recorder {
     gauges: RwLock<HashMap<String, Arc<AtomicU64>>>,
     histograms: RwLock<HashMap<String, Arc<Histogram>>>,
     spans: RwLock<HashMap<String, Arc<SpanStats>>>,
+    health: RwLock<HashMap<String, Arc<HealthStats>>>,
     labels: Mutex<BTreeMap<String, BTreeSet<String>>>,
 }
 
@@ -141,6 +157,11 @@ impl Recorder {
         intern(&self.spans, path, SpanStats::new).record(nanos);
     }
 
+    /// Records `value` into health channel `name`.
+    pub fn health_record(&self, name: &str, value: f64) {
+        intern(&self.health, name, HealthStats::new).record(value);
+    }
+
     /// Inserts `value` into the label set `name`.
     pub fn label(&self, name: &str, value: &str) {
         let mut labels = self.labels.lock().unwrap_or_else(|e| e.into_inner());
@@ -154,8 +175,17 @@ impl Recorder {
     ///
     /// Counters, histogram buckets and span timings add; gauges take the
     /// maximum (the only merge of two last-written values that is
-    /// order-independent); label sets union. Merging any permutation of
-    /// the same recorders therefore produces identical snapshots.
+    /// order-independent); health channels merge count/min/max. Merging
+    /// any permutation of the same recorders therefore produces identical
+    /// snapshots.
+    ///
+    /// **Label-conflict policy:** when both recorders carry the same
+    /// label name, the merged set is the *union* of both value sets —
+    /// deliberately neither first-writer-wins nor last-writer-wins, both
+    /// of which would make the result depend on merge order. Duplicate
+    /// values collapse (sets), and snapshots render each set sorted, so
+    /// any merge order yields byte-identical output. Pinned by the
+    /// `merge_label_conflicts_union_deterministically` test.
     pub fn merge(&self, other: &Recorder) {
         for (name, counter) in read_lock(&other.counters).iter() {
             let delta = counter.load(Ordering::Relaxed);
@@ -173,6 +203,9 @@ impl Recorder {
         for (path, stats) in read_lock(&other.spans).iter() {
             intern(&self.spans, path, SpanStats::new).merge(stats);
         }
+        for (name, stats) in read_lock(&other.health).iter() {
+            intern(&self.health, name, HealthStats::new).merge(stats);
+        }
         let other_labels = other.labels.lock().unwrap_or_else(|e| e.into_inner());
         let mut labels = self.labels.lock().unwrap_or_else(|e| e.into_inner());
         for (name, values) in other_labels.iter() {
@@ -189,6 +222,7 @@ impl Recorder {
         write_lock(&self.gauges).clear();
         write_lock(&self.histograms).clear();
         write_lock(&self.spans).clear();
+        write_lock(&self.health).clear();
         self.labels
             .lock()
             .unwrap_or_else(|e| e.into_inner())
@@ -215,6 +249,10 @@ impl Recorder {
                 .iter()
                 .map(|(k, v)| (k.clone(), v.summary()))
                 .collect(),
+            health: read_lock(&self.health)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.summary()))
+                .collect(),
             labels: self
                 .labels
                 .lock()
@@ -237,6 +275,8 @@ pub struct Snapshot {
     pub histograms: BTreeMap<String, HistogramSummary>,
     /// Span summaries by `/`-joined path.
     pub spans: BTreeMap<String, SpanSummary>,
+    /// Health-channel summaries by name.
+    pub health: BTreeMap<String, HealthSummary>,
     /// Label sets by name, sorted.
     pub labels: BTreeMap<String, Vec<String>>,
 }
@@ -317,6 +357,18 @@ impl Snapshot {
                 ]),
             );
         }
+        for (name, s) in &self.health {
+            push_line(
+                &mut out,
+                JsonValue::object(vec![
+                    ("type", JsonValue::str("health")),
+                    ("name", JsonValue::str(name.as_str())),
+                    ("count", JsonValue::UInt(s.count)),
+                    ("min", JsonValue::Float(s.min)),
+                    ("max", JsonValue::Float(s.max)),
+                ]),
+            );
+        }
         for (name, values) in &self.labels {
             push_line(
                 &mut out,
@@ -387,6 +439,19 @@ pub fn histogram_record(name: &str, value: u64) {
     }
 }
 
+/// Records into global health channel `name`; no-op while disabled.
+/// When tracing is also on, mirrors the observation as an instant event
+/// so precision excursions are visible on the timeline.
+#[inline]
+pub fn health_record(name: &'static str, value: f64) {
+    if enabled() {
+        global().health_record(name, value);
+        if trace_enabled() {
+            trace_instant_arg(name, "value", value);
+        }
+    }
+}
+
 /// Inserts into global label set `name`; no-op while disabled.
 #[inline]
 pub fn label(name: &str, value: &str) {
@@ -414,14 +479,25 @@ pub fn reset() {
 }
 
 #[cfg(test)]
+pub(crate) mod test_support {
+    use std::sync::{Mutex, MutexGuard};
+
+    /// Recorder and trace state are process-wide, so every test in this
+    /// binary that toggles either enable flag serializes on this lock.
+    pub(crate) fn lock() -> MutexGuard<'static, ()> {
+        static GUARD: Mutex<()> = Mutex::new(());
+        GUARD.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
 
     /// The global enable flag is shared across tests in this binary, so
     /// exercises of the global API run under one lock.
     fn with_global_recording<R>(f: impl FnOnce() -> R) -> R {
-        static GUARD: Mutex<()> = Mutex::new(());
-        let _guard = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        let _guard = test_support::lock();
         set_enabled(true);
         reset();
         let result = f();
@@ -490,18 +566,69 @@ mod tests {
     }
 
     #[test]
+    fn merge_label_conflicts_union_deterministically() {
+        // The documented policy: a label name present in both recorders
+        // merges to the union of both value sets (never first- or
+        // last-writer-wins), duplicates collapse, and the snapshot
+        // renders the set sorted — so merge order cannot show through.
+        let a = Recorder::new();
+        a.label("rng.streams", "seed=1");
+        a.label("rng.streams", "seed=7");
+        let b = Recorder::new();
+        b.label("rng.streams", "seed=7");
+        b.label("rng.streams", "seed=3");
+
+        let ab = Recorder::new();
+        ab.merge(&a);
+        ab.merge(&b);
+        let ba = Recorder::new();
+        ba.merge(&b);
+        ba.merge(&a);
+
+        let expected = vec!["seed=1".to_string(), "seed=3".into(), "seed=7".into()];
+        assert_eq!(ab.snapshot().labels["rng.streams"], expected);
+        assert_eq!(ba.snapshot().labels["rng.streams"], expected);
+        assert_eq!(
+            ab.snapshot().to_json_lines(),
+            ba.snapshot().to_json_lines(),
+            "serialized snapshots are byte-identical either way"
+        );
+    }
+
+    #[test]
+    fn merge_health_is_order_independent() {
+        let a = Recorder::new();
+        a.health_record("lu.residual", 1e-15);
+        let b = Recorder::new();
+        b.health_record("lu.residual", 4e-17);
+        let ab = Recorder::new();
+        ab.merge(&a);
+        ab.merge(&b);
+        let ba = Recorder::new();
+        ba.merge(&b);
+        ba.merge(&a);
+        assert_eq!(ab.snapshot(), ba.snapshot());
+        let s = ab.snapshot().health["lu.residual"];
+        assert_eq!(s.count, 2);
+        assert_eq!(s.min, 4e-17);
+        assert_eq!(s.max, 1e-15);
+    }
+
+    #[test]
     fn snapshot_serializes_to_valid_json_lines() {
         let r = Recorder::new();
         r.counter_add("a.count", 3);
         r.gauge_set("a.size", 9);
         r.histogram_record("a.latency", 1234);
         r.record_span("run/phase", 5_000);
+        r.health_record("a.residual", 3.5e-16);
         r.label("a.streams", "seed=42");
         let text = r.snapshot().to_json_lines();
         let lines = json::validate_lines(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
-        assert_eq!(lines, 5);
+        assert_eq!(lines, 6);
         assert!(text.contains("\"type\":\"span\""));
         assert!(text.contains("\"path\":\"run/phase\""));
+        assert!(text.contains("\"type\":\"health\""));
     }
 
     #[test]

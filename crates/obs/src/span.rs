@@ -95,26 +95,46 @@ pub struct SpanSummary {
 }
 
 /// RAII guard for one open span; see [`crate::span`].
+///
+/// Besides the aggregated timing, the guard mirrors itself onto the trace
+/// timeline (a `B` event on entry, an `E` event on drop) whenever trace
+/// recording is on. Drop glue runs during unwinding too, so a panic
+/// inside a span still records the frame and closes its trace event —
+/// pinned by the `span_records_on_unwind` test.
 #[must_use = "a span measures the scope it is bound to; dropping it immediately records nothing useful"]
 #[derive(Debug)]
 pub struct SpanGuard {
     start: Option<Instant>,
+    traced: Option<&'static str>,
 }
 
 impl SpanGuard {
     pub(crate) fn enter(name: &'static str) -> SpanGuard {
+        let traced = if crate::trace_enabled() {
+            crate::trace::trace_begin(name);
+            Some(name)
+        } else {
+            None
+        };
         if !crate::enabled() {
-            return SpanGuard { start: None };
+            return SpanGuard {
+                start: None,
+                traced,
+            };
         }
         SPAN_STACK.with(|s| s.borrow_mut().push(name));
         SpanGuard {
             start: Some(Instant::now()),
+            traced,
         }
     }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
+        if let Some(name) = self.traced {
+            crate::trace::trace_end(name);
+        }
         let Some(start) = self.start else { return };
         let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         let path = SPAN_STACK.with(|s| {
@@ -186,5 +206,54 @@ mod tests {
         assert_eq!(s.min_nanos, 0);
         assert_eq!(s.max_nanos, 0);
         assert_eq!(s.mean_nanos, 0.0);
+    }
+
+    #[test]
+    fn span_records_on_unwind() {
+        // A panic inside a span must not lose the frame: the guard's
+        // drop glue runs during unwinding, so both the aggregated span
+        // and the trace timeline keep the event. Without this, a single
+        // failed sweep point would silently hole the whole timeline.
+        use crate::trace::{self, TracePhase};
+        let _guard = crate::test_support::lock();
+        crate::set_enabled(true);
+        crate::reset();
+        trace::set_trace_enabled(true);
+        trace::reset();
+
+        let unwound = std::panic::catch_unwind(|| {
+            let _span = crate::span("doomed");
+            panic!("boom inside span");
+        });
+        assert!(unwound.is_err());
+
+        trace::set_trace_enabled(false);
+        crate::set_enabled(false);
+        let snap = crate::global().snapshot();
+        let data = trace::take_trace();
+        trace::reset();
+        crate::reset();
+
+        assert_eq!(snap.spans["doomed"].count, 1, "unwound span recorded");
+        let doomed: Vec<TracePhase> = data
+            .events
+            .iter()
+            .filter(|e| e.name == "doomed")
+            .map(|e| e.phase)
+            .collect();
+        assert_eq!(
+            doomed,
+            vec![TracePhase::Begin, TracePhase::End],
+            "trace span closed during unwind"
+        );
+        // The span stack unwound cleanly: a fresh span lands at the root
+        // path, not under "doomed/".
+        crate::set_enabled(true);
+        crate::reset();
+        drop(crate::span("after"));
+        crate::set_enabled(false);
+        let after = crate::global().snapshot();
+        crate::reset();
+        assert_eq!(after.spans["after"].count, 1);
     }
 }

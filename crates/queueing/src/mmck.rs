@@ -60,6 +60,13 @@ fn fill_distribution(offered_load: f64, servers: usize, capacity: usize, out: &m
     for v in out.iter_mut() {
         *v = (*v / max) / total;
     }
+    if uavail_obs::enabled() {
+        // Normalization error of the finished distribution: |Σp − 1|
+        // should sit at a few ulps; growth flags a loss of precision in
+        // the recurrence (e.g. extreme offered loads).
+        let norm_error = (out.iter().sum::<f64>() - 1.0).abs();
+        uavail_obs::health_record("queueing.mmck.norm_error", norm_error);
+    }
 }
 
 impl MMcK {

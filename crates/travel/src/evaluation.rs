@@ -158,6 +158,7 @@ fn figure_point(
     nw: usize,
 ) -> Result<FigurePoint, TravelError> {
     let _point = uavail_obs::Stopwatch::start("travel.figure.point_ns");
+    let _trace = uavail_obs::TraceSpan::enter_with_arg("travel.figure.point", "nw", nw as f64);
     let params = TaParameters::builder()
         .web_servers(nw)
         .failure_rate_per_hour(lambda)
@@ -187,6 +188,7 @@ fn figure_point_with(
     ctx: &mut EvalContext,
 ) -> Result<FigurePoint, TravelError> {
     let _point = uavail_obs::Stopwatch::start("travel.figure.point_ns");
+    let _trace = uavail_obs::TraceSpan::enter_with_arg("travel.figure.point", "nw", nw as f64);
     let params = TaParameters::builder()
         .web_servers(nw)
         .failure_rate_per_hour(lambda)

@@ -132,12 +132,18 @@ impl ShardedLossCache {
             if self.report_obs {
                 uavail_obs::counter_add("travel.loss_cache.hits", 1);
                 uavail_obs::counter_add(SHARD_HIT_COUNTERS[shard], 1);
+                if uavail_obs::trace_enabled() {
+                    uavail_obs::trace_instant_arg("travel.loss_cache.hit", "shard", shard as f64);
+                }
             }
         } else {
             self.misses.fetch_add(1, Ordering::Relaxed);
             if self.report_obs {
                 uavail_obs::counter_add("travel.loss_cache.misses", 1);
                 uavail_obs::counter_add(SHARD_MISS_COUNTERS[shard], 1);
+                if uavail_obs::trace_enabled() {
+                    uavail_obs::trace_instant_arg("travel.loss_cache.miss", "shard", shard as f64);
+                }
             }
         }
         found

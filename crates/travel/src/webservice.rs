@@ -410,6 +410,7 @@ pub fn redundant_perfect_availability_with(
     ctx.note_use();
     let key = EvalContext::avail_key(true, params);
     if let Some(&a) = ctx.avail_memo.get(&key) {
+        uavail_obs::trace_instant("travel.eval_context.memo_hit");
         return Ok(a);
     }
     farm_distribution_perfect_into(params, ctx)?;
@@ -468,6 +469,7 @@ pub fn redundant_imperfect_availability_with(
     ctx.note_use();
     let key = EvalContext::avail_key(false, params);
     if let Some(&a) = ctx.avail_memo.get(&key) {
+        uavail_obs::trace_instant("travel.eval_context.memo_hit");
         return Ok(a);
     }
     farm_distribution_imperfect_into(params, ctx)?;
