@@ -3,10 +3,11 @@
 //! ```text
 //! reproduce [ARTIFACT] [--csv] [--parallel] [--metrics <path>]
 //!           [--trace <path>] [--bench-json <path>]
+//!           [--inject <spec>] [--inject-seed <n>]
 //!
 //! ARTIFACT: table1 table2 table3 table4 table5 table6 table7 table8
 //!           fig11 fig12 fig13 revenue capacity ablation validate
-//!           speedup bench all
+//!           speedup bench resilient all
 //! ```
 //!
 //! `--parallel` routes the artifacts with parallel implementations
@@ -32,6 +33,25 @@
 //! per figure point, and instant events for memo and loss-cache traffic.
 //! Like `--metrics`, tracing never changes any reproduced number.
 //!
+//! `--inject <spec>` arms the deterministic `uavail-faultinject` layer for
+//! the run: a comma-separated list of `site[:rate]` entries (shorthands or
+//! full site names, e.g. `gth:1.0,panic:0.05`; rates default to 0.25), with
+//! `--inject-seed <n>` fixing the firing schedule. The exit code reports
+//! what the faults did: 0 means the run completed clean, 2 means it
+//! completed but degraded (a resilient report recorded typed failures, or
+//! a solver fallback had to recover a solve), and 1 remains a fatal error.
+//! Injection runs enable the obs recorder so `--metrics` artifacts carry
+//! the fault and recovery counters (`faultinject.fired.*`,
+//! `travel.farm.pi_fallbacks`, `markov.steady_state.fallbacks`), and they
+//! install a quiet panic hook — injected worker panics are caught and
+//! typed by the resilient layers, so the default per-panic backtrace would
+//! only be noise.
+//!
+//! `resilient` runs the Figure 12 sweep through the panic-isolated
+//! resilient engine and prints the report: every point that evaluated plus
+//! a typed failure per point that did not, without aborting. It pairs with
+//! `--inject` in the CI injection matrix.
+//!
 //! `bench` times the `EvalContext` reuse paths against their cold-build
 //! twins (Figure 11, Figure 12, Table 8) in-process and prints the means;
 //! `--bench-json <path>` additionally writes the measurements as a
@@ -47,8 +67,8 @@ use uavail_bench::{render, PAPER_A_WS, PAPER_TABLE8};
 use uavail_core::downtime::HOURS_PER_YEAR;
 use uavail_core::par::default_threads;
 use uavail_travel::evaluation::{
-    figure11, figure11_parallel, figure12, figure12_parallel, figure13, figure_grid,
-    min_web_servers_for, revenue_analysis, table8, FigurePoint,
+    figure11, figure11_parallel, figure12, figure12_parallel, figure12_resilient, figure13,
+    figure_grid, min_web_servers_for, revenue_analysis, table8, FigurePoint, FigureReport,
 };
 use uavail_travel::functions::{self, TaFunction};
 use uavail_travel::report::{fmt_availability, fmt_unavailability, Table};
@@ -66,6 +86,8 @@ fn main() -> ExitCode {
     let mut metrics: Option<String> = None;
     let mut trace: Option<String> = None;
     let mut bench_json: Option<String> = None;
+    let mut inject: Option<String> = None;
+    let mut inject_seed: Option<u64> = None;
     let mut artifact: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -73,6 +95,32 @@ fn main() -> ExitCode {
             csv = true;
         } else if arg == "--parallel" {
             parallel = true;
+        } else if arg == "--inject" {
+            match args.next() {
+                Some(spec) => inject = Some(spec),
+                None => {
+                    eprintln!("reproduce: --inject requires a site spec (e.g. gth:1.0,panic:0.1)");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if let Some(spec) = arg.strip_prefix("--inject=") {
+            inject = Some(spec.to_string());
+        } else if arg == "--inject-seed" {
+            match args.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(seed)) => inject_seed = Some(seed),
+                _ => {
+                    eprintln!("reproduce: --inject-seed requires an unsigned integer");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if let Some(seed_text) = arg.strip_prefix("--inject-seed=") {
+            match seed_text.parse::<u64>() {
+                Ok(seed) => inject_seed = Some(seed),
+                Err(_) => {
+                    eprintln!("reproduce: --inject-seed requires an unsigned integer");
+                    return ExitCode::FAILURE;
+                }
+            }
         } else if arg == "--metrics" {
             // The path is a positional value of the flag, not an artifact.
             match args.next() {
@@ -122,13 +170,68 @@ fn main() -> ExitCode {
             "all".to_string()
         }
     });
-    if metrics.is_some() {
+    if inject_seed.is_some() && inject.is_none() {
+        eprintln!("reproduce: --inject-seed only applies together with --inject");
+        return ExitCode::FAILURE;
+    }
+    // Injection runs always record, so the degraded/clean verdict (and any
+    // `--metrics` artifact) can read the fault and recovery counters.
+    if metrics.is_some() || inject.is_some() {
         uavail_obs::set_enabled(true);
         uavail_obs::reset();
     }
     if trace.is_some() {
         uavail_obs::set_trace_enabled(true);
         uavail_obs::trace::reset();
+    }
+    if let Some(spec) = &inject {
+        uavail_faultinject::set_seed(inject_seed.unwrap_or(0));
+        if let Err(e) = uavail_faultinject::arm_spec(spec) {
+            eprintln!("reproduce: --inject: {e}");
+            return ExitCode::FAILURE;
+        }
+        uavail_faultinject::set_enabled(true);
+        // Injected worker panics are caught and surfaced as typed
+        // failures; the default hook would still print one backtrace per
+        // fire, drowning the artifact output.
+        std::panic::set_hook(Box::new(|_| {}));
+        let armed = uavail_faultinject::armed_sites()
+            .iter()
+            .map(|(site, rate)| format!("{site}:{rate}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        eprintln!(
+            "injection armed (seed {}): {armed}",
+            inject_seed.unwrap_or(0)
+        );
+    }
+    if artifact == "resilient" {
+        if bench_json.is_some() {
+            eprintln!("reproduce: --bench-json only applies to the `bench` artifact");
+            return ExitCode::FAILURE;
+        }
+        let report = {
+            let _run = uavail_obs::span("reproduce");
+            figure12_resilient()
+        };
+        print_resilient(&report, csv);
+        if let Some(path) = metrics {
+            if let Err(e) = write_metrics(&path, &artifact, parallel, inject.as_deref()) {
+                eprintln!("reproduce: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Some(path) = trace {
+            if let Err(e) = write_trace(&path) {
+                eprintln!("reproduce: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        return if report.is_complete() {
+            exit_verdict(inject.is_some())
+        } else {
+            ExitCode::from(2)
+        };
     }
     if artifact == "bench" {
         // The bench artifact is handled here rather than in `run` because
@@ -151,7 +254,7 @@ fn main() -> ExitCode {
             }
         }
         if let Some(path) = metrics {
-            if let Err(e) = write_metrics(&path, &artifact, parallel) {
+            if let Err(e) = write_metrics(&path, &artifact, parallel, inject.as_deref()) {
                 eprintln!("reproduce: {e}");
                 return ExitCode::FAILURE;
             }
@@ -162,7 +265,7 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
-        return ExitCode::SUCCESS;
+        return exit_verdict(inject.is_some());
     }
     if bench_json.is_some() {
         eprintln!("reproduce: --bench-json only applies to the `bench` artifact");
@@ -177,7 +280,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     if let Some(path) = metrics {
-        if let Err(e) = write_metrics(&path, &artifact, parallel) {
+        if let Err(e) = write_metrics(&path, &artifact, parallel, inject.as_deref()) {
             eprintln!("reproduce: {e}");
             return ExitCode::FAILURE;
         }
@@ -188,7 +291,74 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    ExitCode::SUCCESS
+    exit_verdict(inject.is_some())
+}
+
+/// Exit-code taxonomy: 0 clean, 1 fatal (returned as `ExitCode::FAILURE`
+/// before reaching this point), 2 completed-degraded. Degradation is read
+/// from the recorder — which injection runs always enable — as either a
+/// resilient engine that recorded typed failures or a steady-state
+/// fallback that had to rescue a solve.
+fn exit_verdict(injecting: bool) -> ExitCode {
+    if !injecting {
+        return ExitCode::SUCCESS;
+    }
+    let snap = uavail_obs::snapshot();
+    let degraded = snap.counter("core.sweep.resilient.failures") > 0
+        || snap.counter("travel.figure.resilient.failures") > 0
+        || snap.counter("travel.farm.pi_fallbacks") > 0
+        || snap.counter("markov.steady_state.fallbacks") > 0;
+    if degraded {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Renders the resilient Figure 12 report: the full grid when every point
+/// evaluated, otherwise a summary plus one typed failure row per point the
+/// sweep survived losing.
+fn print_resilient(report: &FigureReport, csv: bool) {
+    if report.is_complete() {
+        figure_table(
+            "Figure 12 — resilient sweep (imperfect coverage), all points evaluated",
+            &report.points,
+            csv,
+        );
+        println!(
+            "(panic-isolated engine; 0 of {} points failed)",
+            report.points.len()
+        );
+        return;
+    }
+    let mut t = Table::new(
+        "Figure 12 — resilient sweep (imperfect coverage), degraded",
+        vec!["quantity", "value"],
+    );
+    t.add_row(vec![
+        "points evaluated".into(),
+        report.points.len().to_string(),
+    ]);
+    t.add_row(vec![
+        "points failed".into(),
+        report.failures.len().to_string(),
+    ]);
+    print!("{}", render(&t, csv));
+    println!();
+    let mut f = Table::new(
+        "Resilient sweep failures (typed, per grid point)",
+        vec!["index", "lambda (1/h)", "alpha (1/s)", "N_W", "error"],
+    );
+    for fail in &report.failures {
+        f.add_row(vec![
+            fail.index.to_string(),
+            format!("{:.0e}", fail.failure_rate_per_hour),
+            format!("{:.0}", fail.arrival_rate_per_second),
+            fail.web_servers.to_string(),
+            fail.error.to_string(),
+        ]);
+    }
+    print!("{}", render(&f, csv));
 }
 
 /// Drains the collected trace events and writes them as a Chrome-trace
@@ -399,20 +569,26 @@ fn write_bench_json(path: &str, measurements: &[BenchMeasurement]) -> Result<(),
 /// the snapshot records (counters, gauges, spans, histograms, labels) and
 /// a derived loss-cache hit rate. The artifact is validated by the
 /// in-tree JSON parser before anything touches the filesystem.
-fn write_metrics(path: &str, artifact: &str, parallel: bool) -> Result<(), String> {
+fn write_metrics(
+    path: &str,
+    artifact: &str,
+    parallel: bool,
+    inject: Option<&str>,
+) -> Result<(), String> {
     use uavail_obs::json::JsonValue;
     let snap = uavail_obs::snapshot();
     let mut out = String::new();
-    out.push_str(
-        &JsonValue::object(vec![
-            ("type", JsonValue::str("meta")),
-            ("schema", JsonValue::str("uavail-obs/v1")),
-            ("artifact", JsonValue::str(artifact)),
-            ("parallel", JsonValue::Bool(parallel)),
-            ("threads", JsonValue::UInt(default_threads() as u64)),
-        ])
-        .to_string(),
-    );
+    let mut meta = vec![
+        ("type", JsonValue::str("meta")),
+        ("schema", JsonValue::str("uavail-obs/v1")),
+        ("artifact", JsonValue::str(artifact)),
+        ("parallel", JsonValue::Bool(parallel)),
+        ("threads", JsonValue::UInt(default_threads() as u64)),
+    ];
+    if let Some(spec) = inject {
+        meta.push(("inject", JsonValue::str(spec)));
+    }
+    out.push_str(&JsonValue::object(meta).to_string());
     out.push('\n');
     out.push_str(&snap.to_json_lines());
     let hits = snap.counter("travel.loss_cache.hits");
@@ -501,7 +677,7 @@ fn run(artifact: &str, csv: bool, parallel: bool) -> Result<(), TravelError> {
             eprintln!(
                 "unknown artifact {artifact:?}; expected one of: \
                  table1..table8, fig11, fig12, fig13, revenue, capacity, ablation, validate, \
-                 speedup, bench, all"
+                 speedup, bench, resilient, all"
             );
             Ok(())
         }

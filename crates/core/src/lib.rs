@@ -79,7 +79,7 @@ mod simplify;
 pub mod sweep;
 
 pub use dual::{Dual, Scalar};
-pub use error::CoreError;
+pub use error::{panic_payload_text, CoreError, FromWorkerPanic};
 pub use expr::AvailExpr;
 pub use interaction::{InteractionDiagram, NodeId};
 pub use model::{Evaluation, HierarchicalModel, Level};

@@ -17,9 +17,23 @@
 //! is stored in it. On failure, the error with the **lowest input index**
 //! is returned — the same error the serial loop would have surfaced —
 //! even when a later point happens to fail first in wall-clock time.
+//!
+//! # Panic isolation
+//!
+//! A panicking closure does not tear the map down: every evaluation runs
+//! under `catch_unwind`, and a caught panic becomes a typed error via
+//! [`FromWorkerPanic`] carrying the input index and the panic payload, so
+//! it participates in the same lowest-index-wins error semantics as an
+//! ordinary `Err`. The serial fallback path applies the same isolation,
+//! keeping serial and parallel behavior identical. The
+//! `core.par.worker_panic` injection site (see `uavail-faultinject`) can
+//! force such panics deterministically to exercise this machinery.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+use crate::error::{panic_payload_text, FromWorkerPanic};
 
 /// Upper bound on worker threads, from `std::thread::available_parallelism`.
 ///
@@ -42,7 +56,7 @@ pub fn par_map<T, U, E, F>(items: &[T], f: F) -> Result<Vec<U>, E>
 where
     T: Sync,
     U: Send,
-    E: Send,
+    E: Send + FromWorkerPanic,
     F: Fn(&T) -> Result<U, E> + Sync,
 {
     par_map_threads(items, default_threads(), f)
@@ -72,7 +86,7 @@ pub fn par_map_threads<T, U, E, F>(items: &[T], threads: usize, f: F) -> Result<
 where
     T: Sync,
     U: Send,
-    E: Send,
+    E: Send + FromWorkerPanic,
     F: Fn(&T) -> Result<U, E> + Sync,
 {
     par_map_threads_with(items, threads, || (), |(), item| f(item))
@@ -102,15 +116,44 @@ pub fn par_map_threads_with<T, U, E, W, M, F>(
 where
     T: Sync,
     U: Send,
-    E: Send,
+    E: Send + FromWorkerPanic,
     M: Fn() -> W + Sync,
     F: Fn(&mut W, &T) -> Result<U, E> + Sync,
 {
     let n = items.len();
     let threads = threads.clamp(1, n.max(1));
+    // One panic-isolated evaluation: the closure runs under
+    // `catch_unwind`, a caught panic becomes `E::from_worker_panic`, and
+    // the workspace — whose invariants the unwound closure may have
+    // broken — is dropped and rebuilt before the next item. The
+    // `core.par.worker_panic` injection site fires *inside* the guarded
+    // region, so an injected panic exercises exactly the recovery path a
+    // real one would.
+    let eval_isolated = |workspace: &mut Option<W>, index: usize, item: &T| -> Result<U, E> {
+        let ws = workspace.get_or_insert_with(&make);
+        match catch_unwind(AssertUnwindSafe(|| {
+            if uavail_faultinject::fired("core.par.worker_panic") {
+                panic!("injected worker panic at input index {index}");
+            }
+            f(ws, item)
+        })) {
+            Ok(result) => result,
+            Err(payload) => {
+                *workspace = None;
+                Err(E::from_worker_panic(
+                    index,
+                    panic_payload_text(payload.as_ref()),
+                ))
+            }
+        }
+    };
     if threads <= 1 || n < 2 {
-        let mut workspace = make();
-        return items.iter().map(|item| f(&mut workspace, item)).collect();
+        let mut workspace = Some(make());
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| eval_isolated(&mut workspace, i, item))
+            .collect();
     }
 
     // Several short chunks per thread so an expensive tail point cannot
@@ -122,13 +165,13 @@ where
 
     std::thread::scope(|scope| {
         for worker in 0..threads {
-            let (next, failed, slots, make, f) = (&next, &failed, &slots, &make, &f);
+            let (next, failed, slots, eval_isolated) = (&next, &failed, &slots, &eval_isolated);
             scope.spawn(move || {
                 // One trace span per worker lifetime, plus one per claimed
                 // chunk, so Perfetto shows utilization and work stealing.
                 let _worker_span =
                     uavail_obs::TraceSpan::enter_with_arg("par.worker", "worker", worker as f64);
-                let mut workspace = make();
+                let mut workspace = None;
                 loop {
                     let start = next.fetch_add(chunk, Ordering::Relaxed);
                     if start >= n || failed.load(Ordering::Relaxed) {
@@ -138,7 +181,7 @@ where
                         uavail_obs::TraceSpan::enter_with_arg("par.chunk", "start", start as f64);
                     let end = (start + chunk).min(n);
                     for (i, item) in items.iter().enumerate().take(end).skip(start) {
-                        let result = f(&mut workspace, item);
+                        let result = eval_isolated(&mut workspace, i, item);
                         if result.is_err() {
                             failed.store(true, Ordering::Relaxed);
                         }
@@ -161,6 +204,83 @@ where
         }
     }
     Ok(out)
+}
+
+/// Like [`par_map_threads`], but returns every item's outcome instead of
+/// aborting at the lowest failing index: the output has one
+/// `Result<U, E>` per input, in input order, and **every** input is
+/// always evaluated. A caught panic — real or injected via
+/// `core.par.worker_panic` — becomes `E::from_worker_panic` for that item
+/// only and never tears the map down.
+///
+/// This is the primitive under the resilient sweeps: callers that must
+/// degrade gracefully need the full outcome vector, not first-error
+/// semantics.
+pub fn par_map_threads_capture<T, U, E, F>(items: &[T], threads: usize, f: F) -> Vec<Result<U, E>>
+where
+    T: Sync,
+    U: Send,
+    E: Send + FromWorkerPanic,
+    F: Fn(&T) -> Result<U, E> + Sync,
+{
+    let n = items.len();
+    let threads = threads.clamp(1, n.max(1));
+    let eval_captured = |index: usize, item: &T| -> Result<U, E> {
+        match catch_unwind(AssertUnwindSafe(|| {
+            if uavail_faultinject::fired("core.par.worker_panic") {
+                panic!("injected worker panic at input index {index}");
+            }
+            f(item)
+        })) {
+            Ok(result) => result,
+            Err(payload) => Err(E::from_worker_panic(
+                index,
+                panic_payload_text(payload.as_ref()),
+            )),
+        }
+    };
+    if threads <= 1 || n < 2 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| eval_captured(i, item))
+            .collect();
+    }
+
+    let chunk = n.div_ceil(threads * 4).max(1);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<U, E>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for worker in 0..threads {
+            let (next, slots, eval_captured) = (&next, &slots, &eval_captured);
+            scope.spawn(move || {
+                let _worker_span =
+                    uavail_obs::TraceSpan::enter_with_arg("par.worker", "worker", worker as f64);
+                loop {
+                    let start = next.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        return;
+                    }
+                    let _chunk_span =
+                        uavail_obs::TraceSpan::enter_with_arg("par.chunk", "start", start as f64);
+                    let end = (start + chunk).min(n);
+                    for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                        *slots[i].lock().expect("no poisoned slot") = Some(eval_captured(i, item));
+                    }
+                }
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("no poisoned slot")
+                .expect("every chunk is claimed, so every slot is evaluated")
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -288,6 +408,147 @@ mod tests {
         // Chrome-trace JSON.
         assert!(data.events.iter().any(|e| e.name == "par.chunk"));
         uavail_obs::trace::validate_chrome_trace(&data.to_chrome_trace()).unwrap();
+    }
+
+    #[test]
+    fn panicking_closure_becomes_typed_error_on_serial_and_parallel_paths() {
+        let items: Vec<usize> = (0..200).collect();
+        let f = |&i: &usize| -> Result<usize, CoreError> {
+            if i == 111 {
+                panic!("worker died at {i}");
+            }
+            Ok(i)
+        };
+        for threads in [1, 4] {
+            let err = par_map_threads(&items, threads, f).unwrap_err();
+            assert_eq!(
+                err,
+                CoreError::WorkerPanicked {
+                    index: 111,
+                    payload: "worker died at 111".into()
+                },
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn lowest_index_wins_between_panic_and_error() {
+        // An Err at index 40 must beat a panic at index 170 and vice
+        // versa, exactly as two ordinary errors would compete.
+        let items: Vec<usize> = (0..300).collect();
+        let f = |&i: &usize| -> Result<usize, CoreError> {
+            match i {
+                40 => Err(CoreError::Undefined {
+                    name: "first".into(),
+                }),
+                170 => panic!("later panic"),
+                _ => Ok(i),
+            }
+        };
+        for threads in [1, 8] {
+            let err = par_map_threads(&items, threads, f).unwrap_err();
+            assert_eq!(
+                err,
+                CoreError::Undefined {
+                    name: "first".into()
+                },
+                "threads={threads}"
+            );
+        }
+        let g = |&i: &usize| -> Result<usize, CoreError> {
+            match i {
+                40 => panic!("first panic"),
+                170 => Err(CoreError::Undefined {
+                    name: "later".into(),
+                }),
+                _ => Ok(i),
+            }
+        };
+        for threads in [1, 8] {
+            let err = par_map_threads(&items, threads, g).unwrap_err();
+            assert_eq!(
+                err,
+                CoreError::WorkerPanicked {
+                    index: 40,
+                    payload: "first panic".into()
+                },
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn workspace_is_rebuilt_after_a_panic() {
+        // A panic mid-evaluation may leave the workspace inconsistent;
+        // the next item on that worker must see a freshly built one.
+        let items: Vec<usize> = (0..6).collect();
+        let out = par_map_threads_with(
+            &items,
+            1,
+            Vec::<usize>::new,
+            |ws: &mut Vec<usize>, &i| -> Result<usize, CoreError> {
+                ws.push(i);
+                if i == 2 {
+                    panic!("poisoned workspace");
+                }
+                Ok(ws.len())
+            },
+        );
+        // Serial path: workspace grows 1, 2, 3(panic) then restarts.
+        assert!(matches!(
+            out,
+            Err(CoreError::WorkerPanicked { index: 2, .. })
+        ));
+        let partial = par_map_threads_with(
+            &items[3..],
+            1,
+            Vec::<usize>::new,
+            |ws: &mut Vec<usize>, &i| -> Result<usize, CoreError> {
+                ws.push(i);
+                Ok(ws.len())
+            },
+        )
+        .unwrap();
+        assert_eq!(partial, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn capture_variant_records_every_outcome_without_aborting() {
+        // Errors *and* panics land in their own slot; unlike `par_map`,
+        // nothing is skipped and nothing unwinds out of the map.
+        let items: Vec<usize> = (0..100).collect();
+        let f = |&i: &usize| -> Result<usize, CoreError> {
+            match i % 30 {
+                7 => Err(CoreError::Undefined {
+                    name: format!("item-{i}"),
+                }),
+                13 => panic!("boom at {i}"),
+                _ => Ok(i * 2),
+            }
+        };
+        for threads in [1, 4] {
+            let out = par_map_threads_capture(&items, threads, f);
+            assert_eq!(out.len(), items.len(), "threads={threads}");
+            for (i, outcome) in out.iter().enumerate() {
+                match i % 30 {
+                    7 => assert_eq!(
+                        outcome,
+                        &Err(CoreError::Undefined {
+                            name: format!("item-{i}")
+                        })
+                    ),
+                    13 => assert_eq!(
+                        outcome,
+                        &Err(CoreError::WorkerPanicked {
+                            index: i,
+                            payload: format!("boom at {i}"),
+                        })
+                    ),
+                    _ => assert_eq!(outcome, &Ok(i * 2), "threads={threads} index={i}"),
+                }
+            }
+        }
     }
 
     #[test]

@@ -5,7 +5,12 @@
 //! systems). This module provides small, composable helpers for generating
 //! sweep grids and running sensitivity studies over arbitrary models.
 
-use crate::par::{default_threads, par_map_threads, par_map_threads_with};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use uavail_obs::json::JsonValue;
+
+use crate::error::panic_payload_text;
+use crate::par::{default_threads, par_map_threads, par_map_threads_capture, par_map_threads_with};
 use crate::CoreError;
 
 /// A single point of a sweep: the swept value and the measured output.
@@ -214,6 +219,220 @@ pub fn sweep_parallel_threads_with<W>(
             Err(e) => Err(at_sweep_point(x, e)),
         }
     })
+}
+
+/// One failed point of a resilient sweep: where it failed and why.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepFailure {
+    /// Index of the failing value in the swept slice.
+    pub index: usize,
+    /// The swept parameter value at which evaluation failed.
+    pub x: f64,
+    /// The failure, already wrapped in [`CoreError::EvalAt`] (or a
+    /// [`CoreError::WorkerPanicked`] for a caught panic).
+    pub error: CoreError,
+}
+
+/// Outcome of a resilient sweep: every point that evaluated successfully
+/// plus a typed record of every point that did not.
+///
+/// Unlike [`sweep`], which aborts at the first failure, the resilient
+/// twins degrade gracefully — the paper's own coverage argument applied
+/// to the evaluation stack: a fault at one point must not take down the
+/// whole study.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SweepReport {
+    /// Successfully evaluated points, in input order.
+    pub points: Vec<SweepPoint>,
+    /// Failed points, in input order.
+    pub failures: Vec<SweepFailure>,
+}
+
+impl SweepReport {
+    /// `true` when every point evaluated successfully.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Serializes the report as one JSON object (schema
+    /// `uavail-sweep-report/v1`).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("schema", JsonValue::str("uavail-sweep-report/v1")),
+            (
+                "points",
+                JsonValue::Array(
+                    self.points
+                        .iter()
+                        .map(|p| {
+                            JsonValue::object(vec![
+                                ("x", JsonValue::Float(p.x)),
+                                ("y", JsonValue::Float(p.y)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "failures",
+                JsonValue::Array(
+                    self.failures
+                        .iter()
+                        .map(|fail| {
+                            JsonValue::object(vec![
+                                ("index", JsonValue::UInt(fail.index as u64)),
+                                ("x", JsonValue::Float(fail.x)),
+                                ("error", fail.error.to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses a report serialized by [`SweepReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// A description of the first malformed field, unknown schema tag, or
+    /// JSON syntax error.
+    pub fn from_json_str(text: &str) -> Result<Self, String> {
+        let value = uavail_obs::json::parse(text)?;
+        let schema = value
+            .get("schema")
+            .and_then(JsonValue::as_str)
+            .ok_or("report has no \"schema\" field")?;
+        if schema != "uavail-sweep-report/v1" {
+            return Err(format!("unknown sweep-report schema {schema:?}"));
+        }
+        let point_of = |v: &JsonValue, key: &str| -> Result<f64, String> {
+            v.get(key)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("missing numeric field {key:?}"))
+        };
+        let points = value
+            .get("points")
+            .and_then(JsonValue::as_array)
+            .ok_or("report has no \"points\" array")?
+            .iter()
+            .map(|p| {
+                Ok(SweepPoint {
+                    x: point_of(p, "x")?,
+                    y: point_of(p, "y")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let failures = value
+            .get("failures")
+            .and_then(JsonValue::as_array)
+            .ok_or("report has no \"failures\" array")?
+            .iter()
+            .map(|fail| {
+                Ok(SweepFailure {
+                    index: fail
+                        .get("index")
+                        .and_then(JsonValue::as_u64)
+                        .ok_or("failure has no integer \"index\"")?
+                        as usize,
+                    x: point_of(fail, "x")?,
+                    error: CoreError::from_json(
+                        fail.get("error").ok_or("failure has no \"error\" object")?,
+                    )?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(SweepReport { points, failures })
+    }
+}
+
+/// Evaluates one resilient sweep point: an `Err` from `f` is wrapped with
+/// its point context, and a panic inside `f` is caught and converted to
+/// [`CoreError::WorkerPanicked`], so the outer map never fails or unwinds.
+fn resilient_point(
+    index: usize,
+    x: f64,
+    f: impl FnOnce() -> Result<f64, CoreError>,
+) -> Result<f64, CoreError> {
+    let _point = uavail_obs::Stopwatch::start("core.sweep.point_ns");
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(Ok(y)) => Ok(y),
+        Ok(Err(e)) => Err(at_sweep_point(x, e)),
+        Err(payload) => Err(CoreError::WorkerPanicked {
+            index,
+            payload: panic_payload_text(payload.as_ref()),
+        }),
+    }
+}
+
+/// Splits per-point outcomes into a [`SweepReport`] and records the
+/// recovery counters shared by every resilient sweep path. The counters
+/// are recorded unconditionally (a zero is still a record), so a metrics
+/// artifact always shows whether the resilient machinery ran.
+fn collect_report(values: &[f64], outcomes: Vec<Result<f64, CoreError>>) -> SweepReport {
+    let mut report = SweepReport::default();
+    for (index, (&x, outcome)) in values.iter().zip(outcomes).enumerate() {
+        match outcome {
+            Ok(y) => report.points.push(SweepPoint { x, y }),
+            Err(error) => report.failures.push(SweepFailure { index, x, error }),
+        }
+    }
+    uavail_obs::counter_add("core.sweep.resilient.points", report.points.len() as u64);
+    uavail_obs::counter_add(
+        "core.sweep.resilient.failures",
+        report.failures.len() as u64,
+    );
+    report
+}
+
+/// Fault-tolerant [`sweep`]: evaluates every point, recording failures
+/// (including caught panics) into a [`SweepReport`] instead of aborting.
+///
+/// Points that evaluate successfully are bit-for-bit the points [`sweep`]
+/// would produce.
+pub fn sweep_resilient(
+    values: &[f64],
+    mut f: impl FnMut(f64) -> Result<f64, CoreError>,
+) -> SweepReport {
+    let _span = uavail_obs::span("core.sweep_resilient");
+    uavail_obs::counter_add("core.sweep.points", values.len() as u64);
+    let outcomes = values
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| resilient_point(i, x, || f(x)))
+        .collect();
+    collect_report(values, outcomes)
+}
+
+/// Parallel [`sweep_resilient`] on one worker per available core.
+///
+/// The report is identical to the serial one: successful points in input
+/// order, failures in input order, panics caught per point.
+pub fn sweep_parallel_resilient(
+    values: &[f64],
+    f: impl Fn(f64) -> Result<f64, CoreError> + Sync,
+) -> SweepReport {
+    sweep_parallel_resilient_threads(values, default_threads(), f)
+}
+
+/// [`sweep_parallel_resilient`] with an explicit worker-thread cap.
+/// `threads <= 1` evaluates serially on the calling thread.
+pub fn sweep_parallel_resilient_threads(
+    values: &[f64],
+    threads: usize,
+    f: impl Fn(f64) -> Result<f64, CoreError> + Sync,
+) -> SweepReport {
+    let _span = uavail_obs::span("core.sweep_parallel_resilient");
+    uavail_obs::counter_add("core.sweep.points", values.len() as u64);
+    let indexed: Vec<(usize, f64)> = values.iter().copied().enumerate().collect();
+    // The capture map hands back one outcome per point: closure panics are
+    // caught by `resilient_point`, and a panic injected at the map layer
+    // itself (`core.par.worker_panic`) is captured into that point's slot
+    // as a typed `WorkerPanicked` — either way every point is evaluated
+    // and the sweep never aborts.
+    let outcomes =
+        par_map_threads_capture(&indexed, threads, |&(i, x)| resilient_point(i, x, || f(x)));
+    collect_report(values, outcomes)
 }
 
 /// Logarithmically spaced grid from `start` to `end` (inclusive), the
@@ -507,6 +726,92 @@ mod tests {
                 tornado_parallel_threads(&ranges, threads, f).unwrap_err()
             );
         }
+    }
+
+    #[test]
+    fn resilient_sweep_keeps_partial_results_and_typed_failures() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let f = |x: f64| -> Result<f64, CoreError> {
+            if (x as usize) % 25 == 7 {
+                Err(CoreError::BadWeights {
+                    reason: format!("bad at {x}"),
+                })
+            } else {
+                Ok(x * 2.0)
+            }
+        };
+        let serial = sweep_resilient(&xs, f);
+        assert_eq!(serial.points.len(), 96);
+        assert_eq!(serial.failures.len(), 4);
+        assert!(!serial.is_complete());
+        assert_eq!(serial.failures[0].index, 7);
+        assert_eq!(serial.failures[1].x, 32.0);
+        assert!(matches!(serial.failures[0].error, CoreError::EvalAt { .. }));
+        for threads in [1, 2, 8] {
+            assert_eq!(
+                serial,
+                sweep_parallel_resilient_threads(&xs, threads, f),
+                "threads={threads}"
+            );
+        }
+        assert_eq!(serial, sweep_parallel_resilient(&xs, f));
+    }
+
+    #[test]
+    fn resilient_sweep_catches_panics_without_aborting() {
+        let xs: Vec<f64> = (0..60).map(|i| i as f64).collect();
+        let f = |x: f64| -> Result<f64, CoreError> {
+            if x as usize == 41 {
+                panic!("model blew up at {x}");
+            }
+            Ok(1.0 / (1.0 + x))
+        };
+        for threads in [1, 4] {
+            let report = sweep_parallel_resilient_threads(&xs, threads, f);
+            assert_eq!(report.points.len(), 59, "threads={threads}");
+            assert_eq!(report.failures.len(), 1);
+            assert_eq!(
+                report.failures[0].error,
+                CoreError::WorkerPanicked {
+                    index: 41,
+                    payload: "model blew up at 41".into()
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn resilient_success_points_match_plain_sweep_bit_for_bit() {
+        let xs: Vec<f64> = (0..90).map(|i| 0.01 + i as f64 * 0.01).collect();
+        let f = |x: f64| -> Result<f64, CoreError> { Ok((1.0 - x).powi(3) / (1.0 + x)) };
+        let plain = sweep(&xs, f).unwrap();
+        let report = sweep_parallel_resilient(&xs, f);
+        assert!(report.is_complete());
+        assert_eq!(plain.len(), report.points.len());
+        for (a, b) in plain.iter().zip(&report.points) {
+            assert_eq!(a.y.to_bits(), b.y.to_bits());
+        }
+    }
+
+    #[test]
+    fn sweep_report_round_trips_through_json() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64 * 0.1).collect();
+        let report = sweep_resilient(&xs, |x| {
+            if x > 1.5 {
+                Err(CoreError::InvalidProbability {
+                    context: "demo".into(),
+                    value: x,
+                })
+            } else {
+                Ok(x.exp())
+            }
+        });
+        assert!(!report.is_complete());
+        let text = report.to_json().to_string();
+        let back = SweepReport::from_json_str(&text).unwrap();
+        assert_eq!(report, back);
+        assert!(SweepReport::from_json_str("{\"schema\":\"nope\"}").is_err());
+        assert!(SweepReport::from_json_str("not json").is_err());
     }
 
     #[test]

@@ -43,6 +43,17 @@ const SINGULARITY_THRESHOLD: f64 = 1e-300;
 /// exact same floating-point operations in the same order.
 fn factor_in_place(f: &mut Matrix, perm: &mut Vec<usize>) -> Result<f64, LinalgError> {
     let n = f.rows();
+    // Injection sites (inert unless `uavail-faultinject` is enabled):
+    // a forced singularity exercises callers' typed-error paths, and a
+    // perturbed leading pivot silently degrades the factorization so the
+    // residual/health checks above this layer have something to catch.
+    if n > 0 && uavail_faultinject::fired("linalg.lu.force_singular") {
+        return Err(LinalgError::Singular { pivot: 0 });
+    }
+    if n > 0 && uavail_faultinject::fired("linalg.lu.pivot_perturb") {
+        let perturbed = f[(0, 0)] * (1.0 + 1e-3) + 1e-6;
+        f[(0, 0)] = perturbed;
+    }
     perm.clear();
     perm.extend(0..n);
     let mut sign = 1.0;

@@ -45,7 +45,9 @@ impl BirthDeath {
     ///   NOT allowed; use lengths ≥ 1).
     /// * [`MarkovError::BadStructure`] when the vectors have different
     ///   lengths.
-    /// * [`MarkovError::InvalidValue`] for non-positive or non-finite rates.
+    /// * [`MarkovError::InvalidRate`] for non-positive or non-finite rates,
+    ///   carrying the offending index into the concatenated
+    ///   birth-then-death rate sequence.
     pub fn new(birth_rates: Vec<f64>, death_rates: Vec<f64>) -> Result<Self, MarkovError> {
         if birth_rates.is_empty() {
             return Err(MarkovError::EmptyChain);
@@ -61,10 +63,7 @@ impl BirthDeath {
         }
         for (i, &r) in birth_rates.iter().chain(death_rates.iter()).enumerate() {
             if !(r.is_finite() && r > 0.0) {
-                return Err(MarkovError::InvalidValue {
-                    context: format!("birth/death rate at position {i}"),
-                    value: r,
-                });
+                return Err(MarkovError::InvalidRate { index: i, value: r });
             }
         }
         Ok(BirthDeath {
@@ -206,7 +205,7 @@ impl BirthDeath {
     /// # Errors
     ///
     /// * [`MarkovError::EmptyChain`] when `n == 0`.
-    /// * [`MarkovError::InvalidValue`] for non-positive rates.
+    /// * [`MarkovError::InvalidRate`] for non-positive rates.
     pub fn shared_repair_farm(n: usize, lambda: f64, mu: f64) -> Result<Vec<f64>, MarkovError> {
         if n == 0 {
             return Err(MarkovError::EmptyChain);
@@ -229,6 +228,16 @@ mod tests {
         assert!(BirthDeath::new(vec![1.0], vec![1.0, 2.0]).is_err());
         assert!(BirthDeath::new(vec![0.0], vec![1.0]).is_err());
         assert!(BirthDeath::new(vec![1.0], vec![f64::INFINITY]).is_err());
+        // The typed error carries the offending index into the
+        // concatenated birth-then-death sequence.
+        assert!(matches!(
+            BirthDeath::new(vec![1.0, -2.0], vec![1.0, 1.0]),
+            Err(MarkovError::InvalidRate { index: 1, value }) if value == -2.0
+        ));
+        assert!(matches!(
+            BirthDeath::new(vec![1.0, 1.0], vec![1.0, f64::NAN]),
+            Err(MarkovError::InvalidRate { index: 3, value }) if value.is_nan()
+        ));
     }
 
     #[test]

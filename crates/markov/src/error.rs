@@ -20,6 +20,18 @@ pub enum MarkovError {
         /// The offending value.
         value: f64,
     },
+    /// A transition or birth/death rate is negative, zero, or non-finite.
+    /// Unlike [`MarkovError::InvalidValue`] this carries the machine-usable
+    /// index of the offending rate (the source state for a CTMC
+    /// transition, the position in the concatenated birth/death vectors
+    /// for a birth–death chain) so constructors can be validated
+    /// programmatically.
+    InvalidRate {
+        /// Index of the offending rate.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
     /// A state index is out of range for the chain.
     UnknownState {
         /// The offending index.
@@ -47,6 +59,9 @@ impl fmt::Display for MarkovError {
             }
             MarkovError::InvalidValue { context, value } => {
                 write!(f, "invalid value {value} in {context}")
+            }
+            MarkovError::InvalidRate { index, value } => {
+                write!(f, "invalid rate {value} at index {index}")
             }
             MarkovError::UnknownState { index, states } => {
                 write!(
@@ -86,6 +101,11 @@ mod tests {
             .to_string()
             .contains("row 2"));
         assert!(MarkovError::EmptyChain.to_string().contains("no states"));
+        let rate = MarkovError::InvalidRate {
+            index: 4,
+            value: f64::NAN,
+        };
+        assert!(rate.to_string().contains("index 4"), "{rate}");
         let wrapped = MarkovError::from(LinalgError::Empty);
         assert!(wrapped.to_string().contains("linear algebra"));
     }

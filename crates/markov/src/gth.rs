@@ -122,10 +122,38 @@ pub fn gth_steady_state_into(
     for v in pi.iter_mut() {
         *v /= total;
     }
+    // Injection site (inert unless `uavail-faultinject` is enabled):
+    // leak probability mass *after* normalization, exactly the kind of
+    // silent numerical corruption the prob-sum-drift health gauge and the
+    // steady-state fallback chain exist to catch. The leak scales the
+    // largest entry so the injected drift is O(1e-3) on every chain —
+    // availability chains concentrate nearly all mass in one state, and
+    // perturbing a tiny entry would vanish below the detection tolerance.
+    if uavail_faultinject::fired("markov.gth.mass_drift") {
+        if let Some(largest) = (0..n).max_by(|&a, &b| pi[a].total_cmp(&pi[b])) {
+            pi[largest] *= 1.001;
+        }
+    }
     if uavail_obs::enabled() {
         record_gth_health(q, pi);
     }
     Ok(())
+}
+
+/// Largest tolerated `|Σπ − 1|` before a stationary vector is considered
+/// unhealthy by [`steady_state_mass_drift`] consumers.
+pub const STEADY_STATE_DRIFT_TOLERANCE: f64 = 1e-9;
+
+/// Probability-mass drift `|Σπ − 1|` of a candidate stationary vector, or
+/// infinity when any entry is non-finite or negative beyond rounding.
+/// This is the inline health check the solver fallback chain is driven
+/// by; the obs gauge `markov.gth.prob_sum_drift` records the same
+/// quantity when the recorder is on.
+pub fn steady_state_mass_drift(pi: &[f64]) -> f64 {
+    if pi.is_empty() || pi.iter().any(|v| !v.is_finite() || *v < -1e-12) {
+        return f64::INFINITY;
+    }
+    (pi.iter().sum::<f64>() - 1.0).abs()
 }
 
 /// Health gauges for one GTH solve: how far the normalized vector's mass

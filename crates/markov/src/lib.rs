@@ -57,7 +57,9 @@ pub use birth_death::BirthDeath;
 pub use ctmc::{Ctmc, CtmcBuilder, StateId, SteadyStateMethod};
 pub use dtmc::Dtmc;
 pub use error::MarkovError;
-pub use gth::{gth_steady_state, gth_steady_state_into};
+pub use gth::{
+    gth_steady_state, gth_steady_state_into, steady_state_mass_drift, STEADY_STATE_DRIFT_TOLERANCE,
+};
 
 /// Tolerance used when validating stochastic matrices and generators.
 pub const VALIDATION_TOLERANCE: f64 = 1e-9;

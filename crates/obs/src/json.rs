@@ -8,6 +8,8 @@
 //! emitter is broken), and numbers whose value is not a finite `f64`
 //! (overflow to infinity, or a `NaN`/`Infinity` literal, which is not
 //! JSON at all) are rejected rather than silently folded to `null`.
+//! Container nesting is bounded at [`MAX_DEPTH`] so adversarial input
+//! (`[[[[…`) is a parse error instead of unbounded recursion.
 
 use std::fmt;
 
@@ -171,13 +173,18 @@ pub fn parse(text: &str) -> Result<JsonValue, String> {
     let bytes = text.as_bytes();
     let mut pos = 0usize;
     skip_ws(bytes, &mut pos);
-    let value = parse_value(bytes, &mut pos)?;
+    let value = parse_value(bytes, &mut pos, 0)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
         return Err(format!("trailing input at byte {pos}"));
     }
     Ok(value)
 }
+
+/// Maximum container nesting [`parse`] accepts. Artifacts are a handful
+/// of levels deep; the bound exists so hostile or corrupted input cannot
+/// drive the recursive-descent parser into a stack overflow.
+pub const MAX_DEPTH: usize = 128;
 
 /// Validates that `text` is one well-formed JSON value (see [`parse`]).
 ///
@@ -211,11 +218,14 @@ fn skip_ws(b: &[u8], pos: &mut usize) {
     }
 }
 
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<JsonValue, String> {
     match b.get(*pos) {
         None => Err(format!("unexpected end of input at byte {pos}", pos = *pos)),
-        Some(b'{') => parse_object(b, pos),
-        Some(b'[') => parse_array(b, pos),
+        Some(b'{' | b'[') if depth >= MAX_DEPTH => {
+            Err(format!("nesting deeper than {MAX_DEPTH} at byte {}", *pos))
+        }
+        Some(b'{') => parse_object(b, pos, depth),
+        Some(b'[') => parse_array(b, pos, depth),
         Some(b'"') => parse_string(b, pos).map(JsonValue::Str),
         Some(b't') => parse_literal(b, pos, "true").map(|()| JsonValue::Bool(true)),
         Some(b'f') => parse_literal(b, pos, "false").map(|()| JsonValue::Bool(false)),
@@ -381,7 +391,7 @@ fn eat_digits(b: &[u8], pos: &mut usize) -> usize {
     *pos - start
 }
 
-fn parse_array(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+fn parse_array(b: &[u8], pos: &mut usize, depth: usize) -> Result<JsonValue, String> {
     *pos += 1; // '['
     skip_ws(b, pos);
     let mut items = Vec::new();
@@ -390,7 +400,7 @@ fn parse_array(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
         return Ok(JsonValue::Array(items));
     }
     loop {
-        items.push(parse_value(b, pos)?);
+        items.push(parse_value(b, pos, depth + 1)?);
         skip_ws(b, pos);
         match b.get(*pos) {
             Some(b',') => {
@@ -406,7 +416,7 @@ fn parse_array(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
     }
 }
 
-fn parse_object(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+fn parse_object(b: &[u8], pos: &mut usize, depth: usize) -> Result<JsonValue, String> {
     *pos += 1; // '{'
     skip_ws(b, pos);
     let mut fields: Vec<(String, JsonValue)> = Vec::new();
@@ -430,7 +440,7 @@ fn parse_object(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
         }
         *pos += 1;
         skip_ws(b, pos);
-        let value = parse_value(b, pos)?;
+        let value = parse_value(b, pos, depth + 1)?;
         fields.push((key, value));
         skip_ws(b, pos);
         match b.get(*pos) {
@@ -564,6 +574,23 @@ mod tests {
         }
         // The same key in *sibling* objects is fine.
         validate("[{\"k\":1},{\"k\":2}]").unwrap();
+    }
+
+    #[test]
+    fn nesting_is_bounded_not_fatal() {
+        // Exactly MAX_DEPTH nested containers still parse…
+        let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        parse(&ok).unwrap();
+        // …one more is a clean error…
+        let over = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        assert!(parse(&over).unwrap_err().contains("nesting deeper"));
+        // …and a 100k-deep bomb is an error too, not a stack overflow.
+        assert!(parse(&"[".repeat(100_000)).is_err());
+        assert!(parse(&"{\"k\":".repeat(100_000)).is_err());
     }
 
     #[test]

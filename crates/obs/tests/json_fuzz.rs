@@ -1,0 +1,122 @@
+//! Adversarial property tests for the artifact JSON parser.
+//!
+//! Every artifact the harness writes is re-read by the in-tree parser, so
+//! the parser is attack surface for corrupted or hostile files. The
+//! contract fuzzed here is *error-not-panic*: whatever the input — random
+//! bytes, deep nesting, truncated escapes, surrogate halves — `parse`
+//! returns `Ok` or `Err`, never panics, and never overflows the stack.
+
+use proptest::prelude::*;
+use uavail_obs::json::{parse, JsonValue, MAX_DEPTH};
+
+/// Characters weighted toward JSON structure so random strings regularly
+/// get deep into the parser instead of failing on byte one.
+const JSON_ALPHABET: &[char] = &[
+    '{', '}', '[', ']', '"', ':', ',', '\\', 'u', 'd', '8', '0', 'e', 'E', '+', '-', '.', '1', '9',
+    'n', 't', 'f', 'a', 'l', 's', 'r', ' ', '\n', '\u{7f}', 'é', '😀',
+];
+
+fn json_soup(len: std::ops::Range<usize>) -> impl Strategy<Value = String> {
+    prop::collection::vec(0usize..JSON_ALPHABET.len(), len)
+        .prop_map(|picks| picks.into_iter().map(|i| JSON_ALPHABET[i]).collect())
+}
+
+/// A generated JSON document that is valid by construction, so the fuzz
+/// also covers the accepting paths, not just rejections. Keys are made
+/// unique per object (the parser rejects duplicates by design), and only
+/// finite floats are used (non-finite serialize as `null`).
+fn json_value(depth: u32) -> BoxedStrategy<JsonValue> {
+    let leaf = prop_oneof![
+        Just(JsonValue::Null),
+        any::<bool>().prop_map(JsonValue::Bool),
+        any::<u64>().prop_map(JsonValue::UInt),
+        (-1.0e15f64..1.0e15).prop_map(JsonValue::Float),
+        json_soup(0..12).prop_map(JsonValue::Str),
+    ];
+    leaf.prop_recursive(depth, 32, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(JsonValue::Array),
+            prop::collection::vec(inner, 0..4).prop_map(|vals| {
+                JsonValue::Object(
+                    vals.into_iter()
+                        .enumerate()
+                        .map(|(i, v)| (format!("k{i}"), v))
+                        .collect(),
+                )
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_soup_never_panics(text in json_soup(0..200)) {
+        // Ok or Err are both fine; reaching this line at all is the test.
+        let _ = parse(&text);
+    }
+
+    #[test]
+    fn truncated_valid_documents_never_panic(
+        value in json_value(4),
+        cut in 0usize..400
+    ) {
+        let text = value.to_string();
+        // Truncate at an arbitrary char boundary: mid-string, mid-escape,
+        // mid-number, mid-literal. The parser must reject gracefully.
+        let cut = text
+            .char_indices()
+            .map(|(i, _)| i)
+            .take_while(|&i| i <= cut)
+            .last()
+            .unwrap_or(0);
+        let _ = parse(&text[..cut]);
+    }
+
+    #[test]
+    fn valid_documents_round_trip(value in json_value(4)) {
+        let text = value.to_string();
+        let back = parse(&text)
+            .unwrap_or_else(|e| panic!("emitter produced unparseable JSON: {e}\n{text}"));
+        prop_assert_eq!(back, value);
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing(
+        depth in 1usize..4000,
+        brace in any::<bool>()
+    ) {
+        let open = if brace { "{\"k\":".repeat(depth) } else { "[".repeat(depth) };
+        let result = parse(&open);
+        if depth > MAX_DEPTH {
+            // Unclosed *and* too deep — but the depth bound must kick in
+            // before the truncation error can be reached on huge inputs.
+            prop_assert!(result.is_err());
+        } else {
+            prop_assert!(result.is_err(), "unclosed containers must not parse");
+        }
+        // Balanced nesting: within the bound parses, beyond errors.
+        let closed = format!("{}1{}", "[".repeat(depth), "]".repeat(depth));
+        prop_assert_eq!(parse(&closed).is_ok(), depth <= MAX_DEPTH);
+    }
+
+    #[test]
+    fn escape_and_surrogate_corruptions_never_panic(
+        hex in 0u32..0x1_0000,
+        tail in json_soup(0..8)
+    ) {
+        // Lone halves (D800–DFFF) must be rejected; everything else must
+        // round-trip or error — never panic in the char decoder.
+        let lone = format!("\"\\u{hex:04x}\"");
+        let parsed = parse(&lone);
+        if (0xD800..0xE000).contains(&hex) {
+            prop_assert!(parsed.is_err(), "lone surrogate {hex:04x} accepted");
+        } else {
+            prop_assert!(parsed.is_ok(), "{lone}: {parsed:?}");
+        }
+        // A high surrogate followed by arbitrary garbage instead of its
+        // low half, and escapes truncated mid-hex.
+        let _ = parse(&format!("\"\\ud83d{tail}\""));
+        let _ = parse(&format!("\"\\ud83d\\u{tail}\""));
+        let _ = parse(&format!("\"\\u{}\"", &format!("{hex:04x}")[..2]));
+    }
+}

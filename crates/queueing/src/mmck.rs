@@ -106,6 +106,11 @@ impl MMcK {
         capacity: usize,
         mut buf: Vec<f64>,
     ) -> Result<Self, QueueingError> {
+        // Injection site (inert unless `uavail-faultinject` is enabled):
+        // a corrupted arrival rate funnels into the typed validation
+        // below, demonstrating that degraded inputs degrade to errors,
+        // not to NaN distributions.
+        let arrival_rate = uavail_faultinject::corrupt_f64("queueing.mmck.corrupt", arrival_rate);
         if !(arrival_rate.is_finite() && arrival_rate >= 0.0) {
             return Err(QueueingError::InvalidParameter {
                 name: "arrival_rate",
@@ -287,6 +292,74 @@ mod tests {
         assert!(MMcK::new(1.0, 1.0, 4, 3).is_err());
         assert!(MMcK::new(-1.0, 1.0, 1, 5).is_err());
         assert!(MMcK::new(1.0, 0.0, 1, 5).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_servers_with_typed_error() {
+        assert!(matches!(
+            MMcK::new(1.0, 1.0, 0, 5),
+            Err(QueueingError::InvalidParameter {
+                name: "servers",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn rejects_capacity_below_servers_with_typed_error() {
+        assert!(matches!(
+            MMcK::new(1.0, 1.0, 4, 3),
+            Err(QueueingError::InvalidParameter {
+                name: "capacity",
+                ..
+            })
+        ));
+        // capacity == servers (a pure loss system) stays legal.
+        assert!(MMcK::new(1.0, 1.0, 4, 4).is_ok());
+    }
+
+    #[test]
+    fn rejects_non_finite_arrival_rate_with_typed_error() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(
+                matches!(
+                    MMcK::new(bad, 1.0, 1, 5),
+                    Err(QueueingError::InvalidParameter {
+                        name: "arrival_rate",
+                        ..
+                    })
+                ),
+                "arrival_rate {bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_non_finite_or_non_positive_service_rate_with_typed_error() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -2.0] {
+            assert!(
+                matches!(
+                    MMcK::new(1.0, bad, 1, 5),
+                    Err(QueueingError::InvalidParameter {
+                        name: "service_rate",
+                        ..
+                    })
+                ),
+                "service_rate {bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn no_constructor_path_yields_nan_metrics() {
+        // Every successfully constructed queue has a clean distribution:
+        // degraded inputs must error out above, never produce NaN here.
+        for &(a, v, c, k) in &[(0.0, 1.0, 1, 1), (1e5, 1.0, 2, 64), (50.0, 100.0, 4, 10)] {
+            let q = MMcK::new(a, v, c, k).unwrap();
+            assert!(q.loss_probability().is_finite(), "a={a} v={v}");
+            assert!(q.mean_customers().is_finite(), "a={a} v={v}");
+            assert!(q.throughput().is_finite(), "a={a} v={v}");
+        }
     }
 
     #[test]

@@ -15,6 +15,20 @@ pub enum SimError {
     },
     /// The requested horizon or sample count produced no observations.
     NoObservations,
+    /// A replication closure panicked; the panic was caught at the
+    /// replication boundary and converted into this typed error.
+    WorkerPanicked {
+        /// Index of the replication whose evaluation panicked.
+        index: usize,
+        /// The panic payload rendered as text.
+        payload: String,
+    },
+}
+
+impl uavail_core::FromWorkerPanic for SimError {
+    fn from_worker_panic(index: usize, payload: String) -> Self {
+        SimError::WorkerPanicked { index, payload }
+    }
 }
 
 impl fmt::Display for SimError {
@@ -26,6 +40,9 @@ impl fmt::Display for SimError {
                 requirement,
             } => write!(f, "parameter {name} = {value} must be {requirement}"),
             SimError::NoObservations => write!(f, "simulation produced no observations"),
+            SimError::WorkerPanicked { index, payload } => {
+                write!(f, "replication {index} panicked: {payload}")
+            }
         }
     }
 }
@@ -73,6 +90,16 @@ mod tests {
         assert!(SimError::NoObservations
             .to_string()
             .contains("no observations"));
+        use uavail_core::FromWorkerPanic;
+        let p = SimError::from_worker_panic(3, "boom".into());
+        assert_eq!(
+            p,
+            SimError::WorkerPanicked {
+                index: 3,
+                payload: "boom".into()
+            }
+        );
+        assert!(p.to_string().contains("replication 3"));
     }
 
     #[test]

@@ -13,6 +13,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use uavail_core::par::{default_threads, par_map_threads};
+use uavail_core::FromWorkerPanic;
 
 /// Derives the per-replication seed for replication `index` from a base
 /// seed.
@@ -51,13 +52,39 @@ where
 {
     let _span = uavail_obs::span("sim.replicate");
     record_batch_metrics(base_seed, count);
-    (0..count)
-        .map(|i| {
-            let _rep = uavail_obs::Stopwatch::start("sim.replicate.replication_ns");
-            let mut rng = StdRng::seed_from_u64(replication_seed(base_seed, i));
-            f(&mut rng, i)
-        })
-        .collect()
+    let run = |i: usize| {
+        let _rep = uavail_obs::Stopwatch::start("sim.replicate.replication_ns");
+        let mut rng = StdRng::seed_from_u64(replication_seed(base_seed, i));
+        f(&mut rng, i)
+    };
+    match injected_indices(count) {
+        // The common path: injection disabled, no index vector built.
+        None => (0..count).map(run).collect(),
+        Some(indices) => indices.into_iter().map(run).collect(),
+    }
+}
+
+/// The replication schedule under fault injection: `None` (run `0..count`
+/// unchanged) unless the injection layer is enabled, in which case the
+/// `sim.replicate.event_drop` / `sim.replicate.event_dup` sites may drop
+/// or duplicate individual replications. The decisions are made on the
+/// calling thread, so serial and parallel execution inject the same
+/// schedule.
+fn injected_indices(count: usize) -> Option<Vec<usize>> {
+    if !uavail_faultinject::enabled() {
+        return None;
+    }
+    let mut indices = Vec::with_capacity(count);
+    for i in 0..count {
+        if uavail_faultinject::fired("sim.replicate.event_drop") {
+            continue;
+        }
+        indices.push(i);
+        if uavail_faultinject::fired("sim.replicate.event_dup") {
+            indices.push(i);
+        }
+    }
+    Some(indices)
 }
 
 /// Counts one replication batch and labels it with its RNG stream (base
@@ -89,7 +116,7 @@ fn record_batch_metrics(base_seed: u64, count: usize) {
 pub fn replicate_parallel<T, E, F>(base_seed: u64, count: usize, f: F) -> Result<Vec<T>, E>
 where
     T: Send,
-    E: Send,
+    E: Send + FromWorkerPanic,
     F: Fn(&mut StdRng, usize) -> Result<T, E> + Sync,
 {
     replicate_parallel_threads(base_seed, count, default_threads(), f)
@@ -109,12 +136,12 @@ pub fn replicate_parallel_threads<T, E, F>(
 ) -> Result<Vec<T>, E>
 where
     T: Send,
-    E: Send,
+    E: Send + FromWorkerPanic,
     F: Fn(&mut StdRng, usize) -> Result<T, E> + Sync,
 {
     let _span = uavail_obs::span("sim.replicate_parallel");
     record_batch_metrics(base_seed, count);
-    let indices: Vec<usize> = (0..count).collect();
+    let indices: Vec<usize> = injected_indices(count).unwrap_or_else(|| (0..count).collect());
     par_map_threads(&indices, threads, |&i| {
         let _rep = uavail_obs::Stopwatch::start("sim.replicate.replication_ns");
         let mut rng = StdRng::seed_from_u64(replication_seed(base_seed, i));

@@ -72,6 +72,12 @@ impl From<CoreError> for TravelError {
     }
 }
 
+impl uavail_core::FromWorkerPanic for TravelError {
+    fn from_worker_panic(index: usize, payload: String) -> Self {
+        TravelError::Core(CoreError::WorkerPanicked { index, payload })
+    }
+}
+
 impl From<MarkovError> for TravelError {
     fn from(e: MarkovError) -> Self {
         TravelError::Markov(e)

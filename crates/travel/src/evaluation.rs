@@ -4,7 +4,10 @@
 use std::collections::HashMap;
 
 use uavail_core::downtime::{RevenueModel, HOURS_PER_YEAR};
-use uavail_core::par::{default_threads, par_map_threads, par_map_threads_with};
+use uavail_core::par::{
+    default_threads, par_map_threads, par_map_threads_capture, par_map_threads_with,
+};
+use uavail_obs::json::JsonValue;
 use uavail_profile::ScenarioCategory;
 
 use crate::user::{class_a, class_b, scenario_availability, UserClass};
@@ -353,6 +356,136 @@ pub fn figure12_parallel_with() -> Result<Vec<FigurePoint>, TravelError> {
     figure_sweep_parallel_threads_with(false, default_threads())
 }
 
+/// One failed point of a resilient figure sweep: which grid point failed
+/// and the typed error it failed with.
+#[derive(Debug)]
+pub struct FigureFailure {
+    /// Index of the point in the flattened `(λ, α, N_W)` grid.
+    pub index: usize,
+    /// Web-server failure rate `λ` (per hour) at the failing point.
+    pub failure_rate_per_hour: f64,
+    /// Request arrival rate `α` (per second) at the failing point.
+    pub arrival_rate_per_second: f64,
+    /// Number of web servers `N_W` at the failing point.
+    pub web_servers: usize,
+    /// Why the point failed (a caught panic surfaces as
+    /// `TravelError::Core(CoreError::WorkerPanicked { .. })`).
+    pub error: TravelError,
+}
+
+/// Outcome of a resilient figure sweep: every successfully evaluated
+/// point plus a typed record of every point that failed — the graceful
+/// degradation the paper argues for, applied to the evaluation stack
+/// itself.
+#[derive(Debug, Default)]
+pub struct FigureReport {
+    /// Successfully evaluated points, in grid order.
+    pub points: Vec<FigurePoint>,
+    /// Failed points, in grid order.
+    pub failures: Vec<FigureFailure>,
+}
+
+impl FigureReport {
+    /// `true` when every grid point evaluated successfully.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Serializes the report as one JSON object (schema
+    /// `uavail-figure-report/v1`); failures carry their grid coordinates
+    /// and the error rendered as text.
+    pub fn to_json(&self) -> JsonValue {
+        let point_json = |lambda: f64, alpha: f64, nw: usize| {
+            vec![
+                ("lambda", JsonValue::Float(lambda)),
+                ("alpha", JsonValue::Float(alpha)),
+                ("web_servers", JsonValue::UInt(nw as u64)),
+            ]
+        };
+        JsonValue::object(vec![
+            ("schema", JsonValue::str("uavail-figure-report/v1")),
+            (
+                "points",
+                JsonValue::Array(
+                    self.points
+                        .iter()
+                        .map(|p| {
+                            let mut fields = point_json(
+                                p.failure_rate_per_hour,
+                                p.arrival_rate_per_second,
+                                p.web_servers,
+                            );
+                            fields.push(("unavailability", JsonValue::Float(p.unavailability)));
+                            JsonValue::object(fields)
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "failures",
+                JsonValue::Array(
+                    self.failures
+                        .iter()
+                        .map(|fail| {
+                            let mut fields = vec![("index", JsonValue::UInt(fail.index as u64))];
+                            fields.extend(point_json(
+                                fail.failure_rate_per_hour,
+                                fail.arrival_rate_per_second,
+                                fail.web_servers,
+                            ));
+                            fields.push(("error", JsonValue::Str(fail.error.to_string())));
+                            JsonValue::object(fields)
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Fault-tolerant figure sweep: evaluates the full 90-point grid,
+/// recording per-point failures (including caught panics) into a
+/// [`FigureReport`] instead of aborting at the first one. Points that
+/// evaluate successfully are bit-for-bit the points the plain sweep
+/// produces.
+pub(crate) fn figure_sweep_resilient_threads(perfect: bool, threads: usize) -> FigureReport {
+    let _span = uavail_obs::span("travel.figure_sweep_resilient");
+    let grid = figure_points_grid();
+    count_figure_points(perfect, grid.len());
+    let outcomes = par_map_threads_capture(&grid, threads, |&(lambda, alpha, nw)| {
+        figure_point(perfect, lambda, alpha, nw)
+    });
+    let mut report = FigureReport::default();
+    for (index, (&(lambda, alpha, nw), outcome)) in grid.iter().zip(outcomes).enumerate() {
+        match outcome {
+            Ok(point) => report.points.push(point),
+            Err(error) => report.failures.push(FigureFailure {
+                index,
+                failure_rate_per_hour: lambda,
+                arrival_rate_per_second: alpha,
+                web_servers: nw,
+                error,
+            }),
+        }
+    }
+    // Recorded unconditionally (a zero is still a record), so a metrics
+    // artifact always shows whether the resilient machinery ran.
+    uavail_obs::counter_add("travel.figure.resilient.points", report.points.len() as u64);
+    uavail_obs::counter_add(
+        "travel.figure.resilient.failures",
+        report.failures.len() as u64,
+    );
+    report
+}
+
+/// Resilient [`figure12`]: the imperfect-coverage sweep that degrades
+/// gracefully — every point that can be evaluated is, and every point
+/// that cannot is reported as a typed [`FigureFailure`] instead of
+/// aborting the study.
+pub fn figure12_resilient() -> FigureReport {
+    figure_sweep_resilient_threads(false, default_threads())
+}
+
 /// Per-category user-unavailability contributions (Figure 13) for one
 /// user class.
 #[derive(Debug, Clone, PartialEq)]
@@ -683,6 +816,32 @@ mod tests {
             "parallel path must show the Figure 12 reversal: U(10) = {} vs U(4) = {}",
             u10.unavailability,
             u4.unavailability
+        );
+    }
+
+    #[test]
+    fn resilient_figure_sweep_is_complete_and_bit_for_bit_when_healthy() {
+        let report = figure12_resilient();
+        assert!(report.is_complete(), "failures: {:?}", report.failures);
+        let plain = figure12().unwrap();
+        assert_eq!(report.points.len(), plain.len());
+        for (r, p) in report.points.iter().zip(&plain) {
+            assert_eq!(r.web_servers, p.web_servers);
+            assert_eq!(r.unavailability.to_bits(), p.unavailability.to_bits());
+        }
+        // The JSON artifact parses back and keeps the schema + counts.
+        let text = report.to_json().to_string();
+        let parsed = uavail_obs::json::parse(&text).unwrap();
+        assert_eq!(
+            parsed.get("schema").and_then(JsonValue::as_str),
+            Some("uavail-figure-report/v1")
+        );
+        assert_eq!(
+            parsed
+                .get("points")
+                .and_then(JsonValue::as_array)
+                .map(|a| a.len()),
+            Some(plain.len())
         );
     }
 

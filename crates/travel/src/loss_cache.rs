@@ -153,6 +153,11 @@ impl ShardedLossCache {
     /// shard first when it is full. Evictions are counted per discarded
     /// entry.
     pub fn insert(&self, key: LossKey, value: f64) {
+        // Injection site (inert unless `uavail-faultinject` is enabled):
+        // a poisoned entry is cached as NaN, so later hits feed a
+        // non-probability into the composite availability formulas —
+        // which reject it with a typed error instead of propagating it.
+        let value = uavail_faultinject::corrupt_f64("travel.loss_cache.poison", value);
         let shard = Self::shard_index(&key);
         let Ok(mut map) = self.shards[shard].write() else {
             return;

@@ -18,7 +18,11 @@
 use std::sync::OnceLock;
 
 use uavail_core::composite::{composite_availability, CompositeState};
-use uavail_markov::{gth_steady_state_into, BirthDeath, CtmcBuilder};
+use uavail_linalg::Matrix;
+use uavail_markov::{
+    gth_steady_state_into, steady_state_mass_drift, BirthDeath, CtmcBuilder, MarkovError,
+    STEADY_STATE_DRIFT_TOLERANCE,
+};
 use uavail_queueing::{MMcK, MM1K};
 
 use crate::context::EvalContext;
@@ -257,7 +261,19 @@ pub fn farm_distribution_imperfect(
         b.add_transition(op[i - 1], op[i], mu)?;
     }
     let chain = b.build()?;
-    let pi = chain.steady_state()?;
+    // Health-gated solve: the default (GTH) solution is accepted only when
+    // its probability mass survived intact; otherwise fall through to the
+    // LU → GTH → scaled-GTH chain. On the healthy path this recomputes
+    // nothing, so results stay bit-for-bit identical to a plain solve.
+    let pi = match chain.steady_state() {
+        Ok(pi) if steady_state_mass_drift(&pi) <= STEADY_STATE_DRIFT_TOLERANCE => pi,
+        _ => {
+            uavail_obs::counter_add("travel.farm.pi_fallbacks", 1);
+            let pi = chain.steady_state_resilient()?;
+            uavail_obs::counter_add("travel.farm.pi_recovered", 1);
+            pi
+        }
+    };
     let operational: Vec<f64> = (0..=n).map(|i| pi[op[i].index()]).collect();
     let reconfiguring: Vec<f64> = (0..n).map(|i| pi[y[i].index()]).collect();
     Ok((operational, reconfiguring))
@@ -314,10 +330,51 @@ fn farm_distribution_imperfect_into(
         apply(i - 1, i, mu);
     }
     gth_steady_state_into(&ctx.generator, &mut ctx.gth_scratch, &mut ctx.pi)?;
+    if steady_state_mass_drift(&ctx.pi) > STEADY_STATE_DRIFT_TOLERANCE {
+        uavail_obs::counter_add("travel.farm.pi_fallbacks", 1);
+        retry_scaled_gth(&ctx.generator, &mut ctx.gth_scratch, &mut ctx.pi)?;
+        uavail_obs::counter_add("travel.farm.pi_recovered", 1);
+    }
     ctx.farm_op.clear();
     ctx.farm_op.extend_from_slice(&ctx.pi[..=n]);
     ctx.farm_y.clear();
     ctx.farm_y.extend_from_slice(&ctx.pi[n + 1..]);
+    Ok(())
+}
+
+/// Second-chance GTH solve for the context path: rescale the generator by
+/// its largest diagonal magnitude (π is scale-invariant) and solve again.
+/// Besides reconditioning, the retry is a fresh solver invocation, so a
+/// transient fault injected into the first solve does not recur here.
+/// A still-unhealthy vector is reported as a typed structural error
+/// rather than propagated into the availability formulas.
+#[cold]
+fn retry_scaled_gth(
+    q: &Matrix,
+    scratch: &mut Matrix,
+    pi: &mut Vec<f64>,
+) -> Result<(), TravelError> {
+    let n = q.rows();
+    let scale = (0..n).map(|i| q[(i, i)].abs()).fold(0.0f64, f64::max);
+    if !(scale.is_finite() && scale > 0.0) {
+        return Err(MarkovError::BadStructure {
+            reason: "farm generator has no usable diagonal to rescale".into(),
+        }
+        .into());
+    }
+    let mut scaled = q.clone();
+    for r in 0..n {
+        for c in 0..n {
+            scaled[(r, c)] /= scale;
+        }
+    }
+    gth_steady_state_into(&scaled, scratch, pi)?;
+    if steady_state_mass_drift(pi) > STEADY_STATE_DRIFT_TOLERANCE {
+        return Err(MarkovError::BadStructure {
+            reason: "farm steady-state vector unhealthy even after a scaled retry".into(),
+        }
+        .into());
+    }
     Ok(())
 }
 

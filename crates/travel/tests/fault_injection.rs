@@ -1,0 +1,317 @@
+//! End-to-end fault-injection acceptance tests.
+//!
+//! These tests flip the process-global `uavail-faultinject` switch, so
+//! they live in their own integration binary (unit tests run in separate
+//! processes) and serialize on one mutex: a site armed by one test must
+//! never be observed by another.
+//!
+//! The contract under test, in order:
+//!
+//! 1. **Identity** — with injection disabled, armed or not, every result
+//!    is bit-for-bit what the uninstrumented stack produces, pinned on
+//!    the paper's `A(WS) = 0.999995587` headline and the Figure 12
+//!    reversal.
+//! 2. **Panic isolation** — an injected worker panic degrades a
+//!    resilient sweep to a partial report with typed failures; the
+//!    process never aborts.
+//! 3. **Fallback chain** — an injected GTH mass drift is detected by the
+//!    health gauge and recovered through the LU fallback, recorded by
+//!    recovery counters.
+//! 4. **Typed degradation** — corrupted queueing parameters and poisoned
+//!    cache entries surface as typed errors, never as NaN results.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use uavail_core::sweep::sweep_parallel_resilient_threads;
+use uavail_core::CoreError;
+use uavail_travel::evaluation::{figure12, figure12_parallel, figure12_resilient};
+use uavail_travel::webservice::{redundant_imperfect_availability, reset_loss_cache};
+use uavail_travel::{TaParameters, TravelError};
+
+/// Table 7 headline availability for the paper's reference parameters.
+const HEADLINE: f64 = 0.999995587;
+
+/// Serializes tests and guarantees a clean slate on entry and exit, even
+/// when an assertion inside a test panics.
+struct InjectionGuard(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl InjectionGuard {
+    fn acquire() -> Self {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        let guard = LOCK
+            .get_or_init(Mutex::default)
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        uavail_faultinject::reset();
+        reset_loss_cache();
+        Self(guard)
+    }
+}
+
+impl Drop for InjectionGuard {
+    fn drop(&mut self) {
+        uavail_faultinject::reset();
+        reset_loss_cache();
+    }
+}
+
+fn headline_availability() -> f64 {
+    redundant_imperfect_availability(&TaParameters::paper_defaults()).unwrap()
+}
+
+#[test]
+fn armed_but_disabled_injection_is_bit_for_bit_inert() {
+    let _guard = InjectionGuard::acquire();
+    let baseline = headline_availability();
+    assert!(
+        (baseline - HEADLINE).abs() < 1e-8,
+        "A(WS) = {baseline:.9}, expected {HEADLINE}"
+    );
+    let baseline_fig = figure12().unwrap();
+
+    // Arm every registered site at certain-fire rates — but leave the
+    // global switch off. The disabled fast path must keep every result
+    // bit-for-bit identical.
+    uavail_faultinject::set_seed(42);
+    uavail_faultinject::arm_spec(
+        "lu:1.0,singular:1.0,gth:1.0,mmck:1.0,cache:1.0,drop:1.0,dup:1.0,panic:1.0",
+    )
+    .unwrap();
+    assert!(!uavail_faultinject::enabled());
+    assert_eq!(uavail_faultinject::armed_sites().len(), 8);
+
+    reset_loss_cache();
+    let rerun = headline_availability();
+    assert_eq!(baseline.to_bits(), rerun.to_bits());
+
+    reset_loss_cache();
+    for (label, points) in [
+        ("serial", figure12().unwrap()),
+        ("parallel", figure12_parallel().unwrap()),
+    ] {
+        assert_eq!(points.len(), baseline_fig.len());
+        for (p, b) in points.iter().zip(&baseline_fig) {
+            assert_eq!(
+                p.unavailability.to_bits(),
+                b.unavailability.to_bits(),
+                "{label} N_W={} λ={} α={}",
+                p.web_servers,
+                p.failure_rate_per_hour,
+                p.arrival_rate_per_second
+            );
+        }
+    }
+
+    // The Figure 12 reversal survives, of course.
+    let at = |nw: usize| {
+        baseline_fig
+            .iter()
+            .find(|p| {
+                p.web_servers == nw
+                    && p.failure_rate_per_hour == 1e-2
+                    && p.arrival_rate_per_second == 50.0
+            })
+            .unwrap()
+            .unavailability
+    };
+    assert!(at(10) > at(4), "U(10) = {} vs U(4) = {}", at(10), at(4));
+}
+
+#[test]
+fn worker_panic_injection_keeps_resilient_sweeps_alive() {
+    let _guard = InjectionGuard::acquire();
+    uavail_faultinject::set_seed(2026);
+    uavail_faultinject::arm("panic", 0.2).unwrap();
+    uavail_faultinject::set_enabled(true);
+
+    // Core-level acceptance: every non-failed point is present with its
+    // correct value, every injected panic is a typed failure, and the
+    // process is still here to assert it.
+    let xs: Vec<f64> = (0..200).map(|i| i as f64 * 0.5).collect();
+    let report = sweep_parallel_resilient_threads(&xs, 4, |x| Ok(x * 2.0));
+    assert_eq!(report.points.len() + report.failures.len(), xs.len());
+    assert!(
+        !report.failures.is_empty(),
+        "rate 0.2 over 200 points fired nothing"
+    );
+    for failure in &report.failures {
+        assert!(
+            matches!(failure.error, CoreError::WorkerPanicked { .. }),
+            "untyped failure: {:?}",
+            failure.error
+        );
+        assert_eq!(failure.x, xs[failure.index]);
+    }
+    for point in &report.points {
+        assert_eq!(point.y.to_bits(), (point.x * 2.0).to_bits());
+    }
+    // The report serializes and round-trips with its failures intact.
+    let json = report.to_json().to_string();
+    let back = uavail_core::sweep::SweepReport::from_json_str(&json).unwrap();
+    assert_eq!(back.failures.len(), report.failures.len());
+
+    // Travel-level: the resilient figure sweep partitions the 90-point
+    // grid into evaluated points and typed panic failures.
+    let fig = figure12_resilient();
+    assert_eq!(fig.points.len() + fig.failures.len(), 90);
+    for failure in &fig.failures {
+        assert!(
+            matches!(
+                failure.error,
+                TravelError::Core(CoreError::WorkerPanicked { .. })
+            ),
+            "untyped figure failure: {:?}",
+            failure.error
+        );
+    }
+
+    // Disabling restores the exact baseline.
+    uavail_faultinject::reset();
+    reset_loss_cache();
+    let a = headline_availability();
+    assert!((a - HEADLINE).abs() < 1e-8, "A(WS) = {a:.9} after recovery");
+}
+
+#[test]
+fn gth_mass_drift_recovers_through_the_fallback_chain() {
+    let _guard = InjectionGuard::acquire();
+    uavail_obs::reset();
+    uavail_obs::set_enabled(true);
+    uavail_faultinject::set_seed(7);
+    uavail_faultinject::arm("gth", 1.0).unwrap();
+    uavail_faultinject::set_enabled(true);
+
+    // Every GTH solve leaks mass; the drift gauge rejects it and the
+    // fallback chain recovers via LU, which never touches the GTH site.
+    let a = headline_availability();
+    assert!(
+        (a - HEADLINE).abs() < 1e-8,
+        "A(WS) = {a:.9} through the fallback chain"
+    );
+
+    uavail_faultinject::set_enabled(false);
+    uavail_obs::set_enabled(false);
+    let snap = uavail_obs::snapshot();
+    assert!(snap.counter("travel.farm.pi_fallbacks") >= 1, "{snap:?}");
+    assert!(snap.counter("travel.farm.pi_recovered") >= 1);
+    assert!(snap.counter("faultinject.fired.markov.gth.mass_drift") >= 1);
+    uavail_obs::reset();
+}
+
+#[test]
+fn forced_singular_lu_recovers_through_the_fallback_chain() {
+    let _guard = InjectionGuard::acquire();
+    uavail_faultinject::set_seed(9);
+    uavail_faultinject::arm("singular", 1.0).unwrap();
+    uavail_faultinject::set_enabled(true);
+
+    // The default farm solve is GTH, which never factors a matrix — but
+    // the resilient chain's LU stage does, reports the injected
+    // singularity, and falls through to GTH, which solves it.
+    let chain = {
+        let mut b = uavail_markov::CtmcBuilder::new();
+        let up = b.add_state("up");
+        let down = b.add_state("down");
+        b.add_transition(up, down, 0.01).unwrap();
+        b.add_transition(down, up, 1.0).unwrap();
+        b.build().unwrap()
+    };
+    let pi = chain.steady_state_resilient().unwrap();
+    assert!((pi[0] - 1.0 / 1.01).abs() < 1e-12);
+}
+
+#[test]
+fn corrupted_queue_parameters_surface_as_typed_errors() {
+    let _guard = InjectionGuard::acquire();
+    uavail_faultinject::set_seed(11);
+    uavail_faultinject::arm("mmck", 1.0).unwrap();
+    uavail_faultinject::set_enabled(true);
+
+    // Every M/M/c/K construction sees a NaN arrival rate; the satellite
+    // validation rejects it before any arithmetic runs.
+    let err = redundant_imperfect_availability(&TaParameters::paper_defaults());
+    assert!(
+        matches!(err, Err(TravelError::Queueing(_))),
+        "expected a typed queueing error, got {err:?}"
+    );
+
+    // The resilient sweep turns the same corruption into per-point typed
+    // failures without losing the unaffected points (there are none here
+    // — every point needs the queueing model — so the report is all
+    // failures, and still no abort).
+    let fig = figure12_resilient();
+    assert_eq!(fig.points.len() + fig.failures.len(), 90);
+    assert!(!fig.failures.is_empty());
+    for failure in &fig.failures {
+        assert!(matches!(
+            failure.error,
+            TravelError::Queueing(_) | TravelError::Core(_)
+        ));
+    }
+}
+
+#[test]
+fn poisoned_cache_entries_are_rejected_not_propagated() {
+    let _guard = InjectionGuard::acquire();
+    uavail_faultinject::set_seed(13);
+    uavail_faultinject::arm("cache", 1.0).unwrap();
+    uavail_faultinject::set_enabled(true);
+
+    // First evaluation: every p_K(i) is computed fresh (clean) but cached
+    // poisoned, so the result is still correct.
+    let params = TaParameters::paper_defaults();
+    let first = redundant_imperfect_availability(&params).unwrap();
+    assert!((first - HEADLINE).abs() < 1e-8);
+
+    // Second evaluation: cache hits serve NaN, which the composite
+    // availability validation rejects as a typed error instead of
+    // propagating into the results.
+    let second = redundant_imperfect_availability(&params);
+    assert!(
+        matches!(
+            second,
+            Err(TravelError::Core(CoreError::InvalidProbability { .. }))
+        ),
+        "expected typed rejection of the poisoned entry, got {second:?}"
+    );
+
+    // Clearing the poisoned cache restores the headline.
+    uavail_faultinject::reset();
+    reset_loss_cache();
+    let healed = headline_availability();
+    assert_eq!(first.to_bits(), healed.to_bits());
+}
+
+#[test]
+fn replication_drop_and_dup_reshape_the_schedule_deterministically() {
+    let _guard = InjectionGuard::acquire();
+    uavail_faultinject::set_seed(17);
+    uavail_faultinject::arm("drop", 0.3).unwrap();
+    uavail_faultinject::set_enabled(true);
+
+    let run = |threads: usize| -> Vec<usize> {
+        uavail_sim::replicate::replicate_parallel_threads(99, 64, threads, |_rng, i| {
+            Ok::<usize, uavail_sim::SimError>(i)
+        })
+        .unwrap()
+    };
+    // Drops shrink the schedule; serial and parallel agree because the
+    // schedule is decided on the calling thread.
+    let serial = run(1);
+    assert!(serial.len() < 64, "drop rate 0.3 dropped nothing in 64");
+    let parallel = run(4);
+    // Same thread key (calling thread), advancing counters — the two runs
+    // see different invocations, so only structural properties are
+    // comparable across runs; within a run, indices stay sorted unique.
+    assert!(parallel.windows(2).all(|w| w[0] < w[1]));
+    assert!(serial.windows(2).all(|w| w[0] < w[1]));
+
+    uavail_faultinject::reset();
+    uavail_faultinject::set_seed(19);
+    uavail_faultinject::arm("dup", 0.3).unwrap();
+    uavail_faultinject::set_enabled(true);
+    let duped =
+        uavail_sim::replicate::replicate(7, 64, |_rng, i| Ok::<usize, uavail_sim::SimError>(i))
+            .unwrap();
+    assert!(duped.len() > 64, "dup rate 0.3 duplicated nothing in 64");
+}
