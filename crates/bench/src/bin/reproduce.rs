@@ -391,7 +391,9 @@ struct BenchMeasurement {
 }
 
 /// Times the cold-build and context-reuse variants of the Figure 11,
-/// Figure 12 and Table 8 drivers in-process. Cold iterations reset the
+/// Figure 12 and Table 8 drivers in-process, plus a `sparse_farm` pair
+/// that solves a 2 000-server (4 001-state) imperfect-coverage farm
+/// through the sparse CTMC route. Cold iterations reset the
 /// loss-probability memo and allocate everything fresh; reuse iterations
 /// run the `*_with` twins against one long-lived [`EvalContext`] and the
 /// warm memo. The same methodology as `cargo bench -p uavail-bench --bench
@@ -419,7 +421,7 @@ fn run_context_benches() -> Result<Vec<BenchMeasurement>, TravelError> {
         Ok((start.elapsed().as_secs_f64() * 1e9 / iters as f64, iters))
     }
 
-    let mut out = Vec::with_capacity(6);
+    let mut out = Vec::with_capacity(8);
     let mut bench_pair = |name: &'static str,
                           mut cold: Box<dyn FnMut() -> Result<(), TravelError> + '_>,
                           mut warm: Box<dyn FnMut() -> Result<(), TravelError> + '_>|
@@ -478,6 +480,33 @@ fn run_context_benches() -> Result<Vec<BenchMeasurement>, TravelError> {
         }),
         Box::new(|| {
             black_box(table8_with(&mut ctx)?);
+            Ok(())
+        }),
+    )?;
+    // A farm big enough to cross the sparse routing cutoff: 2 000
+    // servers → 4 001 composite states, solved iteratively in CSR. The
+    // rates keep n·λ below µ (the paper's operating regime) so the
+    // stationary mass stays at the all-up end. Cold allocates the
+    // transition list and distribution vectors every iteration; reuse
+    // solves the same chain into the context's buffers (no result memo
+    // is involved — both sides run the full Gauss–Seidel solve).
+    let sparse_params = TaParameters::builder()
+        .web_servers(2_000)
+        .buffer_size(2_000)
+        .failure_rate_per_hour(1e-6)
+        .repair_rate_per_hour(10.0)
+        .build()?;
+    let mut ctx = EvalContext::new();
+    bench_pair(
+        "sparse_farm",
+        Box::new(|| {
+            black_box(webservice::farm_distribution_imperfect_sparse(
+                &sparse_params,
+            )?);
+            Ok(())
+        }),
+        Box::new(|| {
+            webservice::farm_distribution_imperfect_with(&sparse_params, &mut ctx)?;
             Ok(())
         }),
     )?;

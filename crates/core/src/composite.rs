@@ -66,14 +66,27 @@ impl CompositeState {
 /// # }
 /// ```
 pub fn composite_availability(states: &[CompositeState]) -> Result<f64, CoreError> {
-    if states.is_empty() {
-        return Err(CoreError::BadWeights {
-            reason: "no composite states".into(),
-        });
-    }
+    composite_availability_from_iter(states.iter().copied())
+}
+
+/// Streaming twin of [`composite_availability`]: consumes the composite
+/// states from an iterator instead of a slice, so callers enumerating a
+/// large structural state space (e.g. a 10⁵-state sparse farm model) can
+/// fold it without materializing a `Vec<CompositeState>`. Runs the exact
+/// same accumulation in the same order, so results are bit-for-bit
+/// identical to the slice path.
+///
+/// # Errors
+///
+/// As for [`composite_availability`].
+pub fn composite_availability_from_iter<I>(states: I) -> Result<f64, CoreError>
+where
+    I: IntoIterator<Item = CompositeState>,
+{
+    let mut count = 0usize;
     let mut total_probability = 0.0;
     let mut availability = 0.0;
-    for (i, s) in states.iter().enumerate() {
+    for (i, s) in states.into_iter().enumerate() {
         if !(s.probability.is_finite() && s.probability >= 0.0) {
             return Err(CoreError::BadWeights {
                 reason: format!("state {i} has probability {}", s.probability),
@@ -87,6 +100,12 @@ pub fn composite_availability(states: &[CompositeState]) -> Result<f64, CoreErro
         }
         total_probability += s.probability;
         availability += s.probability * s.service_probability;
+        count = i + 1;
+    }
+    if count == 0 {
+        return Err(CoreError::BadWeights {
+            reason: "no composite states".into(),
+        });
     }
     // Normalization tolerance scales with the state count: each π_i from
     // a numerical steady-state solve carries roundoff of a few ulps, and
@@ -94,13 +113,12 @@ pub fn composite_availability(states: &[CompositeState]) -> Result<f64, CoreErro
     // the paper's ~12-state farm chains spuriously rejects distributions
     // from large generated models. The floor keeps the historical 1e-6
     // for small models — the tolerance is never stricter than before.
-    let tolerance = 1e-6_f64.max(states.len() as f64 * 1e-7);
+    let tolerance = 1e-6_f64.max(count as f64 * 1e-7);
     if (total_probability - 1.0).abs() > tolerance {
         return Err(CoreError::BadWeights {
             reason: format!(
                 "state probabilities sum to {total_probability}, expected 1 \
-                 (tolerance {tolerance:e} for {} states)",
-                states.len()
+                 (tolerance {tolerance:e} for {count} states)"
             ),
         });
     }

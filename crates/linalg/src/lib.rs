@@ -46,7 +46,7 @@ pub mod vector;
 pub use error::LinalgError;
 pub use lu::{solve, Lu, LuWorkspace};
 pub use matrix::Matrix;
-pub use sparse::{CsrMatrix, Triplet};
+pub use sparse::{CsrBuilder, CsrMatrix, Triplet};
 pub use tridiagonal::Tridiagonal;
 
 /// Default tolerance used by convergence checks throughout the crate.

@@ -32,7 +32,13 @@ impl Triplet {
 /// Large Markov generators are sparse — a birth–death availability model has
 /// O(n) non-zeros — so iterative solvers in [`crate::iterative`] operate on
 /// this format. Duplicate coordinates passed to [`CsrMatrix::from_triplets`]
-/// are summed, the usual assembly convention.
+/// are summed, the usual assembly convention; entries whose merged value is
+/// exactly `0.0` are dropped rather than stored, so duplicate coordinates
+/// that cancel do not inflate [`CsrMatrix::nnz`] (which would skew any
+/// solver-selection heuristic keyed on the stored-entry count).
+///
+/// For assembly loops that already visit entries in row-major order, the
+/// sort-free [`CsrBuilder`] produces the same format in O(nnz).
 ///
 /// # Examples
 ///
@@ -62,6 +68,14 @@ pub struct CsrMatrix {
 
 impl CsrMatrix {
     /// Assembles a CSR matrix from coordinate triplets, summing duplicates.
+    ///
+    /// Duplicates at one coordinate are summed in their insertion order, so
+    /// the merged value carries the exact floating-point bits of sequential
+    /// accumulation. Entries that are exactly `0.0` after merging —
+    /// duplicates that cancel, or explicit zero triplets — are dropped:
+    /// they are indistinguishable from absent entries to every consumer
+    /// ([`CsrMatrix::get`] returns `0.0` either way) but would inflate
+    /// [`CsrMatrix::nnz`] and with it any nnz-keyed solver heuristic.
     ///
     /// # Errors
     ///
@@ -117,6 +131,24 @@ impl CsrMatrix {
             }
             row_offsets[r + 1] = values.len();
         }
+        // Compact away entries that merged to exactly 0.0 (cancelling
+        // duplicates or explicit zeros) so they never count toward nnz.
+        let mut kept = 0usize;
+        let mut read_from = 0usize;
+        for r in 0..rows {
+            let hi = row_offsets[r + 1];
+            for k in read_from..hi {
+                if values[k] != 0.0 {
+                    col_indices[kept] = col_indices[k];
+                    values[kept] = values[k];
+                    kept += 1;
+                }
+            }
+            read_from = hi;
+            row_offsets[r + 1] = kept;
+        }
+        col_indices.truncate(kept);
+        values.truncate(kept);
         Ok(CsrMatrix {
             rows,
             cols,
@@ -262,6 +294,64 @@ impl CsrMatrix {
         Ok(out)
     }
 
+    /// Matrix–vector product `self * x` written into `out`, reusing its
+    /// allocation — the workspace twin of [`CsrMatrix::mul_vec`], running
+    /// the exact same floating-point operations (bit-for-bit identical
+    /// results). Intended for iterative solvers that perform one SpMV per
+    /// sweep: after the first call no further allocation occurs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when `x.len() != self.cols()`.
+    pub fn mul_vec_into(&self, x: &[f64], out: &mut Vec<f64>) -> Result<(), LinalgError> {
+        if x.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                operation: "csr_mul_vec",
+                left: self.shape(),
+                right: (x.len(), 1),
+            });
+        }
+        out.clear();
+        out.resize(self.rows, 0.0);
+        for r in 0..self.rows {
+            let mut sum = 0.0;
+            for k in self.row_offsets[r]..self.row_offsets[r + 1] {
+                sum += self.values[k] * x[self.col_indices[k]];
+            }
+            out[r] = sum;
+        }
+        Ok(())
+    }
+
+    /// Row-vector product `x * self` written into `out`, reusing its
+    /// allocation — the workspace twin of [`CsrMatrix::vec_mul`],
+    /// bit-for-bit identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when `x.len() != self.rows()`.
+    pub fn vec_mul_into(&self, x: &[f64], out: &mut Vec<f64>) -> Result<(), LinalgError> {
+        if x.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                operation: "csr_vec_mul",
+                left: (1, x.len()),
+                right: self.shape(),
+            });
+        }
+        out.clear();
+        out.resize(self.cols, 0.0);
+        for r in 0..self.rows {
+            let a = x[r];
+            if a == 0.0 {
+                continue;
+            }
+            for k in self.row_offsets[r]..self.row_offsets[r + 1] {
+                out[self.col_indices[k]] += a * self.values[k];
+            }
+        }
+        Ok(())
+    }
+
     /// Returns the transpose as a new CSR matrix.
     pub fn transpose(&self) -> CsrMatrix {
         let mut counts = vec![0usize; self.cols + 1];
@@ -297,6 +387,133 @@ impl CsrMatrix {
     pub fn diagonal(&self) -> Vec<f64> {
         let n = self.rows.min(self.cols);
         (0..n).map(|i| self.get(i, i)).collect()
+    }
+}
+
+/// Sort-free CSR assembly for entries produced in row-major order.
+///
+/// [`CsrMatrix::from_triplets`] accepts arbitrary coordinate order at the
+/// cost of an O(nnz log nnz) sort. Generator-assembly loops — uniformization
+/// `P = I + Q/Λ`, dense-matrix scans, birth–death chains — already visit
+/// entries row by row with increasing columns, so this builder writes the
+/// CSR arrays directly in O(nnz) with no intermediate triplet buffer.
+///
+/// Entries must be pushed in strictly increasing `(row, col)` lexicographic
+/// order; exact-zero values are skipped (the same policy as
+/// [`CsrMatrix::from_triplets`] after merging).
+///
+/// # Examples
+///
+/// ```
+/// use uavail_linalg::CsrBuilder;
+///
+/// # fn main() -> Result<(), uavail_linalg::LinalgError> {
+/// let mut b = CsrBuilder::new(2, 2);
+/// b.push(0, 0, 1.0)?;
+/// b.push(0, 1, 2.0)?;
+/// b.push(1, 1, 3.0)?;
+/// let m = b.finish()?;
+/// assert_eq!(m.nnz(), 3);
+/// assert_eq!(m.get(0, 1), 2.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CsrBuilder {
+    rows: usize,
+    cols: usize,
+    row_offsets: Vec<usize>,
+    col_indices: Vec<usize>,
+    values: Vec<f64>,
+    /// Row the next entry may land in (rows below are sealed).
+    cur_row: usize,
+}
+
+impl CsrBuilder {
+    /// Creates a builder for a `rows × cols` matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        CsrBuilder::with_capacity(rows, cols, 0)
+    }
+
+    /// Creates a builder with pre-reserved storage for `nnz` entries.
+    pub fn with_capacity(rows: usize, cols: usize, nnz: usize) -> Self {
+        let mut row_offsets = Vec::with_capacity(rows + 1);
+        row_offsets.push(0);
+        CsrBuilder {
+            rows,
+            cols,
+            row_offsets,
+            col_indices: Vec::with_capacity(nnz),
+            values: Vec::with_capacity(nnz),
+            cur_row: 0,
+        }
+    }
+
+    /// Appends one entry; `(row, col)` must be lexicographically greater
+    /// than the previous entry. Exact zeros are skipped.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::InvalidInput`] for out-of-bounds indices,
+    ///   out-of-order pushes, or non-finite values.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) -> Result<(), LinalgError> {
+        if row >= self.rows || col >= self.cols {
+            return Err(LinalgError::InvalidInput {
+                reason: format!(
+                    "entry at ({row}, {col}) out of bounds for {}x{}",
+                    self.rows, self.cols
+                ),
+            });
+        }
+        if !value.is_finite() {
+            return Err(LinalgError::InvalidInput {
+                reason: format!("entry at ({row}, {col}) has non-finite value"),
+            });
+        }
+        let in_order = row > self.cur_row
+            || (row == self.cur_row
+                && (self.values.len() == self.row_offsets[self.cur_row]
+                    || self.col_indices.last() < Some(&col)));
+        if !in_order {
+            return Err(LinalgError::InvalidInput {
+                reason: format!("entry at ({row}, {col}) pushed out of row-major order"),
+            });
+        }
+        while self.cur_row < row {
+            self.row_offsets.push(self.values.len());
+            self.cur_row += 1;
+        }
+        if value != 0.0 {
+            self.col_indices.push(col);
+            self.values.push(value);
+        }
+        Ok(())
+    }
+
+    /// Number of entries stored so far (zeros skipped at push).
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Seals remaining rows and returns the assembled matrix.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::Empty`] when either dimension is zero.
+    pub fn finish(mut self) -> Result<CsrMatrix, LinalgError> {
+        if self.rows == 0 || self.cols == 0 {
+            return Err(LinalgError::Empty);
+        }
+        while self.row_offsets.len() <= self.rows {
+            self.row_offsets.push(self.values.len());
+        }
+        Ok(CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            row_offsets: self.row_offsets,
+            col_indices: self.col_indices,
+            values: self.values,
+        })
     }
 }
 
@@ -379,5 +596,85 @@ mod tests {
             CsrMatrix::from_triplets(0, 3, &[]),
             Err(LinalgError::Empty)
         ));
+    }
+
+    #[test]
+    fn cancelling_duplicates_are_dropped_not_stored() {
+        // +2.5 and -2.5 at (0, 1) cancel to exactly 0.0: the entry must
+        // not survive as a stored explicit zero inflating nnz.
+        let m = CsrMatrix::from_triplets(
+            2,
+            2,
+            &[
+                Triplet::new(0, 1, 2.5),
+                Triplet::new(0, 0, 1.0),
+                Triplet::new(0, 1, -2.5),
+                Triplet::new(1, 1, 4.0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.get(0, 1), 0.0);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(1, 1), 4.0);
+        // Explicit zero triplets are dropped too.
+        let z = CsrMatrix::from_triplets(1, 2, &[Triplet::new(0, 0, 0.0)]).unwrap();
+        assert_eq!(z.nnz(), 0);
+        assert_eq!(z.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn builder_matches_from_triplets() {
+        let triplets = [
+            Triplet::new(0, 0, 1.0),
+            Triplet::new(0, 2, 2.0),
+            Triplet::new(1, 1, 3.0),
+            Triplet::new(2, 0, 4.0),
+            Triplet::new(2, 2, 5.0),
+        ];
+        let sorted = CsrMatrix::from_triplets(3, 3, &triplets).unwrap();
+        let mut b = CsrBuilder::with_capacity(3, 3, triplets.len());
+        for t in &triplets {
+            b.push(t.row, t.col, t.value).unwrap();
+        }
+        assert_eq!(b.nnz(), 5);
+        assert_eq!(b.finish().unwrap(), sorted);
+    }
+
+    #[test]
+    fn builder_skips_zeros_and_seals_empty_rows() {
+        let mut b = CsrBuilder::new(4, 4);
+        b.push(1, 0, 0.0).unwrap(); // skipped
+        b.push(1, 3, 7.0).unwrap();
+        let m = b.finish().unwrap();
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(1, 3), 7.0);
+        assert_eq!(m.row_entries(0).count(), 0);
+        assert_eq!(m.row_entries(3).count(), 0);
+    }
+
+    #[test]
+    fn builder_rejects_out_of_order_and_bad_input() {
+        let mut b = CsrBuilder::new(2, 2);
+        b.push(1, 1, 1.0).unwrap();
+        assert!(b.push(0, 0, 1.0).is_err()); // earlier row
+        assert!(b.push(1, 1, 1.0).is_err()); // duplicate coordinate
+        assert!(b.push(1, 0, 1.0).is_err()); // earlier column
+        assert!(b.push(2, 0, 1.0).is_err()); // out of bounds
+        assert!(b.push(1, 1, f64::NAN).is_err());
+        assert!(CsrBuilder::new(0, 2).finish().is_err());
+    }
+
+    #[test]
+    fn spmv_workspace_twins_are_bit_identical() {
+        let m = sample();
+        let x = [0.25, -1.5, 3.0];
+        let mut out = vec![9.0; 17]; // stale contents must be replaced
+        m.mul_vec_into(&x, &mut out).unwrap();
+        assert_eq!(out, m.mul_vec(&x).unwrap());
+        m.vec_mul_into(&x, &mut out).unwrap();
+        assert_eq!(out, m.vec_mul(&x).unwrap());
+        assert!(m.mul_vec_into(&[1.0], &mut out).is_err());
+        assert!(m.vec_mul_into(&[1.0], &mut out).is_err());
     }
 }

@@ -1,11 +1,22 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use uavail_linalg::iterative::{power_stationary, IterOptions};
+use uavail_linalg::iterative::{
+    power_stationary, stationary_gauss_seidel, stationary_jacobi, IterOptions,
+};
 use uavail_linalg::vector::is_probability_vector;
-use uavail_linalg::{CsrMatrix, Lu, Matrix};
+use uavail_linalg::{CsrBuilder, CsrMatrix, Lu, Matrix};
 
+use crate::sparse_ctmc::uniformization_rate;
 use crate::{gth_steady_state, MarkovError};
+
+/// State count above which [`Ctmc::steady_state_resilient`] tries a
+/// sparse Gauss–Seidel sweep before the dense LU → GTH → scaled-GTH
+/// chain. Below the cutoff the resilient chain is untouched, so every
+/// pinned result of the dense pipeline keeps its exact bits; above it
+/// the O(n³) dense solves become the bottleneck and the nnz-proportional
+/// sweep usually answers first.
+const RESILIENT_SPARSE_CUTOFF: usize = 2048;
 
 /// Opaque handle to a state added through [`CtmcBuilder::add_state`].
 ///
@@ -38,6 +49,13 @@ pub enum SteadyStateMethod {
     DirectLu,
     /// Power iteration on the uniformized DTMC.
     PowerUniformized,
+    /// Sparse Gauss–Seidel sweeps on `π·Q = 0` (the generator is
+    /// sparsified, never densified further); candidates are gated on the
+    /// relative residual `‖π·Q‖∞ / max exit rate`.
+    SparseGaussSeidel,
+    /// Sparse damped Jacobi sweeps (`ω = 0.5`), gated like
+    /// [`SteadyStateMethod::SparseGaussSeidel`].
+    SparseJacobi,
 }
 
 /// Builder for [`Ctmc`] with human-readable state labels.
@@ -272,6 +290,8 @@ impl Ctmc {
             SteadyStateMethod::Gth => gth_steady_state(&self.q),
             SteadyStateMethod::DirectLu => self.steady_state_lu(),
             SteadyStateMethod::PowerUniformized => self.steady_state_power(1e-13),
+            SteadyStateMethod::SparseGaussSeidel => self.steady_state_sparse(true),
+            SteadyStateMethod::SparseJacobi => self.steady_state_sparse(false),
         }
     }
 
@@ -279,6 +299,14 @@ impl Ctmc {
     /// **LU → GTH → scaled GTH retry**, each stage health-checked on the
     /// probability-mass drift `|Σπ − 1|` (and non-negativity) of its
     /// candidate vector before it is accepted.
+    ///
+    /// The chain is keyed on state count: past 2048 states a sparse
+    /// Gauss–Seidel pre-stage (nnz-proportional work instead of O(n³))
+    /// runs first, gated on the same mass-drift health check *and* a
+    /// relative-residual bound; a failure there falls through to the
+    /// dense stages unchanged. At or below the cutoff the pre-stage is
+    /// skipped entirely, so small-chain results keep the exact bits the
+    /// dense pipeline has always produced.
     ///
     /// The chain exists for degraded conditions — an injected or genuine
     /// numerical fault in one solver (see the `linalg.lu.*` and
@@ -316,6 +344,14 @@ impl Ctmc {
                 }
             }
             pi
+        }
+        if self.num_states() > RESILIENT_SPARSE_CUTOFF {
+            if let Ok(pi) = self.steady_state_sparse(true) {
+                if healthy(&pi) {
+                    return Ok(sanitize(pi));
+                }
+            }
+            uavail_obs::counter_add("markov.steady_state.fallbacks", 1);
         }
         if let Ok(pi) = self.steady_state_lu() {
             if healthy(&pi) {
@@ -375,8 +411,7 @@ impl Ctmc {
     }
 
     fn steady_state_power(&self, tol: f64) -> Result<Vec<f64>, MarkovError> {
-        let p = self.uniformized(None)?;
-        let sparse = CsrMatrix::from_dense(&p, 0.0);
+        let (sparse, _) = self.uniformized_csr(None)?;
         let sol = power_stationary(
             &sparse,
             IterOptions::new().tolerance(tol).max_iterations(10_000_000),
@@ -384,39 +419,95 @@ impl Ctmc {
         Ok(sol.x)
     }
 
+    /// Sparse stationary sweep on the (sparsified, transposed) generator:
+    /// Gauss–Seidel when `gs`, damped Jacobi (`ω = 0.5`) otherwise.
+    /// Candidates are gated on the relative residual
+    /// `‖π·Q‖∞ / max exit rate ≤ 1e-8`, recorded on the
+    /// `markov.sparse.residual` health channel.
+    fn steady_state_sparse(&self, gs: bool) -> Result<Vec<f64>, MarkovError> {
+        let q = CsrMatrix::from_dense(&self.q, 0.0);
+        let qt = q.transpose();
+        let opts = IterOptions::new().tolerance(1e-14);
+        let sol = if gs {
+            stationary_gauss_seidel(&qt, opts.max_iterations(20_000))?
+        } else {
+            stationary_jacobi(&qt, opts.max_iterations(500_000).relaxation(0.5))?
+        };
+        let max_exit = (0..self.num_states())
+            .map(|i| -self.q[(i, i)])
+            .fold(0.0, f64::max);
+        let residual = q
+            .vec_mul(&sol.x)?
+            .iter()
+            .fold(0.0f64, |a, v| a.max(v.abs()));
+        let scale = if max_exit > 0.0 { max_exit } else { 1.0 };
+        let relative = residual / scale;
+        uavail_obs::health_record("markov.sparse.residual", relative);
+        if relative <= 1e-8 {
+            Ok(sol.x)
+        } else {
+            Err(MarkovError::BadStructure {
+                reason: format!(
+                    "sparse stationary candidate rejected: relative residual {relative:.3e}"
+                ),
+            })
+        }
+    }
+
     /// Uniformized DTMC `P = I + Q/Λ`. When `rate` is `None`, Λ is chosen as
-    /// 1.02 × the largest exit rate, which guarantees aperiodicity.
+    /// 1.02 × the largest exit rate, which guarantees aperiodicity. An
+    /// explicit `rate` must *strictly* exceed the largest exit rate —
+    /// equality would zero the self-loop of the bottleneck state and can
+    /// make the uniformized chain periodic, so power iteration on it
+    /// oscillates forever.
     ///
     /// # Errors
     ///
-    /// Returns [`MarkovError::InvalidValue`] if `rate` is provided but is
-    /// smaller than the largest exit rate.
+    /// Returns [`MarkovError::InvalidValue`] if `rate` is provided but does
+    /// not strictly exceed the largest exit rate.
     pub fn uniformized(&self, rate: Option<f64>) -> Result<Matrix, MarkovError> {
         let n = self.num_states();
-        let max_exit = (0..n).map(|i| -self.q[(i, i)]).fold(0.0, f64::max);
-        let lambda = match rate {
-            Some(l) => {
-                if l < max_exit {
-                    return Err(MarkovError::InvalidValue {
-                        context: "uniformization rate below max exit rate".into(),
-                        value: l,
-                    });
-                }
-                l
-            }
-            None => {
-                if max_exit == 0.0 {
-                    1.0
-                } else {
-                    max_exit * 1.02
-                }
-            }
-        };
+        let lambda = uniformization_rate(self.max_exit_rate(), rate)?;
         let mut p = self.q.scale(1.0 / lambda);
         for i in 0..n {
             p[(i, i)] += 1.0;
         }
         Ok(p)
+    }
+
+    /// Uniformized DTMC `P = I + Q/Λ` assembled directly in CSR form,
+    /// returning `(P, Λ)`. Entry for entry bit-identical to sparsifying
+    /// [`Ctmc::uniformized`], but the intermediate dense `n×n` matrix is
+    /// never allocated — peak extra memory is proportional to `nnz(Q) + n`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Ctmc::uniformized`].
+    pub fn uniformized_csr(&self, rate: Option<f64>) -> Result<(CsrMatrix, f64), MarkovError> {
+        let n = self.num_states();
+        let lambda = uniformization_rate(self.max_exit_rate(), rate)?;
+        let recip = 1.0 / lambda;
+        let mut b = CsrBuilder::with_capacity(n, n, n);
+        for r in 0..n {
+            for c in 0..n {
+                let v = if r == c {
+                    self.q[(r, c)] * recip + 1.0
+                } else {
+                    self.q[(r, c)] * recip
+                };
+                if v != 0.0 {
+                    b.push(r, c, v)?;
+                }
+            }
+        }
+        Ok((b.finish()?, lambda))
+    }
+
+    /// Largest exit rate `max_i −q_ii`.
+    pub fn max_exit_rate(&self) -> f64 {
+        (0..self.num_states())
+            .map(|i| -self.q[(i, i)])
+            .fold(0.0, f64::max)
     }
 
     /// Transient distribution at time `t` from `initial`, by uniformization
@@ -808,5 +899,63 @@ mod tests {
         let p = chain.uniformized(None).unwrap();
         assert!(p.rows_sum_to(1.0, 1e-12));
         assert!(chain.uniformized(Some(1.0)).is_err()); // below max exit rate
+    }
+
+    #[test]
+    fn uniformized_rejects_rate_equal_to_max_exit() {
+        // With equal rates, Λ = max exit zeroes both self-loops: the
+        // uniformized chain is periodic and power iteration oscillates.
+        // The margin must therefore be strict.
+        let chain = two_state(1.0, 1.0);
+        assert!(matches!(
+            chain.uniformized(Some(1.0)),
+            Err(MarkovError::InvalidValue { .. })
+        ));
+        assert!(chain.uniformized(Some(1.0 + 1e-9)).is_ok());
+        // PowerUniformized keeps converging on the equal-rate chain
+        // through the default 1.02 margin.
+        let pi = chain
+            .steady_state_with(SteadyStateMethod::PowerUniformized)
+            .unwrap();
+        assert!((pi[0] - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn uniformized_csr_matches_dense_bits_without_dense_alloc() {
+        let q = Matrix::from_rows(&[
+            &[-3.0, 2.0, 1.0, 0.0],
+            &[4.0, -5.0, 1.0, 0.0],
+            &[1.0, 1.0, -2.0, 0.0],
+            &[0.5, 0.0, 0.0, -0.5],
+        ])
+        .unwrap();
+        let chain = Ctmc::from_generator(q).unwrap();
+        let (sparse, lambda) = chain.uniformized_csr(None).unwrap();
+        let dense = chain.uniformized(None).unwrap();
+        // Same entries, same bits as sparsifying the dense uniformization…
+        assert_eq!(sparse, CsrMatrix::from_dense(&dense, 0.0));
+        // …and the buffers stay nnz-proportional: exactly the generator's
+        // structural non-zeros plus the diagonal, not n².
+        let expected_nnz = CsrMatrix::from_dense(chain.generator(), 0.0).nnz();
+        assert_eq!(sparse.nnz(), expected_nnz);
+        assert!(sparse.nnz() < chain.num_states() * chain.num_states());
+        assert!(lambda > chain.max_exit_rate());
+    }
+
+    #[test]
+    fn sparse_methods_agree_with_gth() {
+        let q =
+            Matrix::from_rows(&[&[-3.0, 2.0, 1.0], &[4.0, -5.0, 1.0], &[1.0, 1.0, -2.0]]).unwrap();
+        let chain = Ctmc::from_generator(q).unwrap();
+        let gth = chain.steady_state().unwrap();
+        for method in [
+            SteadyStateMethod::SparseGaussSeidel,
+            SteadyStateMethod::SparseJacobi,
+        ] {
+            let pi = chain.steady_state_with(method).unwrap();
+            for (a, b) in pi.iter().zip(&gth) {
+                assert!((a - b).abs() < 1e-9, "{method:?}: {a} vs {b}");
+            }
+        }
     }
 }

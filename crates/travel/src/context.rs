@@ -84,6 +84,9 @@ pub struct EvalContext {
     pub(crate) births: Vec<f64>,
     /// Birth-death death-rate buffer.
     pub(crate) deaths: Vec<f64>,
+    /// Transition-list buffer for the sparse farm assembly path (farms
+    /// past the sparse cutoff never touch the dense `generator` buffer).
+    pub(crate) farm_transitions: Vec<(usize, usize, f64)>,
     /// Memoized redundant-farm availabilities, keyed by every parameter
     /// bit the result depends on; values are the exact bits of the first
     /// computation.

@@ -17,11 +17,13 @@
 
 use std::sync::OnceLock;
 
-use uavail_core::composite::{composite_availability, CompositeState};
+use uavail_core::composite::{
+    composite_availability, composite_availability_from_iter, CompositeState,
+};
 use uavail_linalg::Matrix;
 use uavail_markov::{
     gth_steady_state_into, steady_state_mass_drift, BirthDeath, CtmcBuilder, MarkovError,
-    STEADY_STATE_DRIFT_TOLERANCE,
+    SparseCtmc, STEADY_STATE_DRIFT_TOLERANCE,
 };
 use uavail_queueing::{MMcK, MM1K};
 
@@ -145,6 +147,47 @@ pub fn loss_probability_with(
     Ok(p)
 }
 
+/// Farm state count (`2·N_W + 1`) above which the imperfect-coverage
+/// chain is assembled and solved through the sparse pipeline instead of
+/// the dense GTH path. At or below the cutoff the dense path runs
+/// unchanged, so every pinned paper value keeps its exact bits.
+const SPARSE_FARM_CUTOFF: usize = 1024;
+
+/// Stationary mass below which [`redundant_imperfect_availability_sparse`]
+/// treats a farm state's service contribution as zero instead of
+/// evaluating its M/M/i/K loss probability. The resulting availability
+/// underestimate is bounded by `(2·N_W + 1) × NEGLIGIBLE_MASS` — around
+/// 1e-10 even for a 10⁵-state farm, far below the solver tolerance.
+const NEGLIGIBLE_MASS: f64 = 1e-15;
+
+/// Appends the Figure 10 transitions in the canonical order of the dense
+/// builder path: operational state `i` at row `i` (`0 ..= N_W`),
+/// reconfiguration state `y_i` at row `N_W + i` (`1 ..= N_W`). Keeping
+/// the insertion order identical to [`CtmcBuilder::build`]'s accumulation
+/// makes the sparse generator bit-identical to the dense one.
+fn push_imperfect_transitions(params: &TaParameters, out: &mut Vec<(usize, usize, f64)>) {
+    let n = params.web_servers;
+    let lambda = params.failure_rate_per_hour;
+    let mu = params.repair_rate_per_hour;
+    let c = params.coverage;
+    let beta = params.reconfiguration_rate_per_hour;
+    for i in 1..=n {
+        if c > 0.0 {
+            out.push((i, i - 1, i as f64 * c * lambda));
+        }
+        if c < 1.0 {
+            out.push((i, n + i, i as f64 * (1.0 - c) * lambda));
+            out.push((n + i, i - 1, beta));
+        }
+        out.push((i - 1, i, mu));
+    }
+}
+
+/// Splits a Figure 10 stationary vector into `(operational, reconfiguring)`.
+fn split_farm_pi(n: usize, pi: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    (pi[..=n].to_vec(), pi[n + 1..].to_vec())
+}
+
 fn loss_key(params: &TaParameters, operational: usize) -> LossKey {
     (
         params.arrival_rate_per_second.to_bits(),
@@ -240,6 +283,11 @@ pub fn farm_distribution_imperfect(
         // degenerates to Figure 9.
         return Ok((farm_distribution_perfect(params)?, vec![0.0; n]));
     }
+    if 2 * n + 1 > SPARSE_FARM_CUTOFF {
+        // Large farm: a dense generator would need O(n²) memory; the
+        // sparse pipeline assembles and solves it in O(nnz).
+        return farm_distribution_imperfect_sparse(params);
+    }
 
     let mut b = CtmcBuilder::new();
     let op: Vec<_> = (0..=n).map(|i| b.add_state(format!("up{i}"))).collect();
@@ -279,6 +327,55 @@ pub fn farm_distribution_imperfect(
     Ok((operational, reconfiguring))
 }
 
+/// Sparse solution of the imperfect-coverage farm: the generator is
+/// assembled straight into CSR form ([`SparseCtmc::from_transitions`],
+/// same state layout and insertion order as the dense path, so the
+/// generators are bit-identical) and solved through the state-count-keyed
+/// sparse solver heuristic. No dense `(2N_W+1)²` matrix is ever
+/// allocated, which is what lets farms with 10⁵+ composite states solve
+/// in seconds.
+///
+/// [`farm_distribution_imperfect`] routes here automatically past 1024
+/// states; calling this directly forces the sparse path on any size.
+///
+/// # Errors
+///
+/// Propagates parameter-domain and chain-construction failures.
+pub fn farm_distribution_imperfect_sparse(
+    params: &TaParameters,
+) -> Result<(Vec<f64>, Vec<f64>), TravelError> {
+    params.validate()?;
+    let n = params.web_servers;
+    if params.coverage >= 1.0 {
+        return Ok((farm_distribution_perfect(params)?, vec![0.0; n]));
+    }
+    let mut transitions = Vec::with_capacity(4 * n);
+    push_imperfect_transitions(params, &mut transitions);
+    let chain = SparseCtmc::from_transitions(2 * n + 1, &transitions)?;
+    let pi = chain.steady_state()?;
+    let (operational, reconfiguring) = split_farm_pi(n, &pi);
+    Ok((operational, reconfiguring))
+}
+
+/// Buffer-reusing twin of [`farm_distribution_imperfect`]: solves the
+/// farm into `ctx.farm_op` / `ctx.farm_y`, reusing the context's
+/// generator (small farms) or transition-list (large farms) buffers.
+/// Bit-for-bit identical to the allocating path; unlike
+/// [`redundant_imperfect_availability_with`] there is no memo in front,
+/// so every call performs the full solve.
+///
+/// # Errors
+///
+/// Propagates parameter-domain and chain-construction failures.
+pub fn farm_distribution_imperfect_with(
+    params: &TaParameters,
+    ctx: &mut EvalContext,
+) -> Result<(), TravelError> {
+    params.validate()?;
+    ctx.note_use();
+    farm_distribution_imperfect_into(params, ctx)
+}
+
 /// Solves the imperfect-coverage farm into `ctx.farm_op` / `ctx.farm_y`,
 /// assembling the generator in `ctx.generator` and running GTH in
 /// `ctx.gth_scratch` — the allocation-free twin of
@@ -305,6 +402,23 @@ fn farm_distribution_imperfect_into(
         farm_distribution_perfect_into(params, ctx)?;
         ctx.farm_y.clear();
         ctx.farm_y.resize(n, 0.0);
+        return Ok(());
+    }
+    if 2 * n + 1 > SPARSE_FARM_CUTOFF {
+        // Large farm: assemble the transition list in the context's
+        // reusable buffer and solve through the sparse pipeline; the
+        // dense `generator`/`gth_scratch` buffers are never grown to
+        // O(n²).
+        let mut transitions = std::mem::take(&mut ctx.farm_transitions);
+        transitions.clear();
+        push_imperfect_transitions(params, &mut transitions);
+        let chain = SparseCtmc::from_transitions(2 * n + 1, &transitions)?;
+        ctx.farm_transitions = transitions;
+        let pi = chain.steady_state()?;
+        ctx.farm_op.clear();
+        ctx.farm_op.extend_from_slice(&pi[..=n]);
+        ctx.farm_y.clear();
+        ctx.farm_y.extend_from_slice(&pi[n + 1..]);
         return Ok(());
     }
 
@@ -551,6 +665,47 @@ pub fn redundant_imperfect_availability_with(
     let a = composite_availability(states)?;
     ctx.remember_availability(key, a);
     Ok(a)
+}
+
+/// Redundant-farm availability with imperfect coverage — equation (9) —
+/// evaluated end to end through the sparse pipeline for large farms.
+///
+/// Differs from [`redundant_imperfect_availability`] in two ways that
+/// matter past ~10³ states:
+///
+/// 1. the farm chain is always solved sparsely
+///    ([`farm_distribution_imperfect_sparse`]);
+/// 2. states whose stationary mass is below `1e-15` contribute service
+///    `0.0` without evaluating their M/M/i/K loss model, so the cost of
+///    the performance layer scales with the states that actually carry
+///    mass (a handful near all-up for the paper's stiff rates) instead
+///    of with `N_W × K`. The availability underestimate this introduces
+///    is bounded by `(2·N_W + 1) × 1e-15`.
+///
+/// The composite combination itself streams through
+/// [`composite_availability_from_iter`] without materializing the
+/// `2·N_W + 1` composite states.
+///
+/// # Errors
+///
+/// Propagates parameter-domain failures.
+pub fn redundant_imperfect_availability_sparse(params: &TaParameters) -> Result<f64, TravelError> {
+    params.validate()?;
+    let (op, y) = farm_distribution_imperfect_sparse(params)?;
+    // Evaluate the performance model only where the availability model
+    // leaves non-negligible mass; state 0 (all down) serves nothing.
+    let mut service = vec![0.0f64; op.len()];
+    for (i, &p) in op.iter().enumerate().skip(1) {
+        if p >= NEGLIGIBLE_MASS {
+            service[i] = 1.0 - loss_probability(params, i)?;
+        }
+    }
+    let states = op
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| CompositeState::new(p, service[i]))
+        .chain(y.iter().map(|&p| CompositeState::new(p, 0.0)));
+    Ok(composite_availability_from_iter(states)?)
 }
 
 /// Mean time (hours) from the all-up state until the web service is
@@ -807,6 +962,55 @@ mod tests {
         };
         assert!(mttf(3) > mttf(2));
         assert!(mttf(4) > mttf(3));
+    }
+
+    #[test]
+    fn sparse_farm_distribution_is_bit_identical_to_dense() {
+        // Below the sparse heuristic's dense cutoff the sparse path
+        // densifies a bit-identical generator and runs the same GTH, so
+        // the distributions must match bit for bit.
+        let p = params();
+        let (op_d, y_d) = farm_distribution_imperfect(&p).unwrap();
+        let (op_s, y_s) = farm_distribution_imperfect_sparse(&p).unwrap();
+        for (a, b) in op_d.iter().zip(&op_s) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in y_d.iter().zip(&y_s) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn sparse_availability_matches_dense_on_small_farm() {
+        let p = params();
+        let dense = redundant_imperfect_availability(&p).unwrap();
+        let sparse = redundant_imperfect_availability_sparse(&p).unwrap();
+        assert_eq!(dense.to_bits(), sparse.to_bits());
+    }
+
+    #[test]
+    fn large_farm_routes_sparse_and_matches_closed_form() {
+        // 600 servers → 1201 composite states: past the sparse cutoff,
+        // so farm_distribution_imperfect itself takes the sparse route.
+        let p = TaParameters::builder()
+            .web_servers(600)
+            .buffer_size(600)
+            .build()
+            .unwrap();
+        let (op, y) = farm_distribution_imperfect(&p).unwrap();
+        let (op_cf, y_cf) = farm_distribution_imperfect_closed_form(&p).unwrap();
+        assert_eq!(op.len(), 601);
+        assert_eq!(y.len(), 600);
+        // States carrying real mass must agree tightly in relative
+        // terms; negligible-mass states only need absolute agreement
+        // (their relative error is irrelevant to any availability sum).
+        for (a, b) in op.iter().zip(&op_cf).chain(y.iter().zip(&y_cf)) {
+            if *b > 1e-9 {
+                assert!(((a - b) / b).abs() < 1e-6, "{a} vs {b}");
+            } else {
+                assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+            }
+        }
     }
 
     #[test]

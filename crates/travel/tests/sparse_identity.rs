@@ -1,0 +1,156 @@
+//! End-to-end acceptance tests for the sparse farm pipeline.
+//!
+//! Three contracts:
+//!
+//! 1. **Identity** — below the sparse routing cutoff, the dense path is
+//!    byte-for-byte untouched (the `A(WS) = 0.999995587` headline and
+//!    the Figure 12 reversal keep their exact values), and the sparse
+//!    twin reproduces the dense results bit-for-bit because its
+//!    generator assembly is bit-identical and its small-chain route runs
+//!    the same GTH.
+//! 2. **Scale** — a shared-repair, imperfect-coverage farm with more
+//!    than 10⁵ composite states solves to steady state through the
+//!    sparse path (in seconds, without any dense `n×n` allocation — the
+//!    dense generator alone would need ~80 GB) and matches the model's
+//!    closed form.
+//! 3. **Context** — the `EvalContext` path routes large farms sparsely
+//!    too and agrees with the context-free path bit-for-bit.
+
+use uavail_travel::webservice::{
+    farm_distribution_imperfect, farm_distribution_imperfect_closed_form,
+    farm_distribution_imperfect_sparse, redundant_imperfect_availability,
+    redundant_imperfect_availability_sparse, redundant_imperfect_availability_with,
+};
+use uavail_travel::{EvalContext, TaParameters};
+
+/// 50 000 web servers → 100 001 composite states (Figure 10 layout).
+const BIG_FARM_SERVERS: usize = 50_000;
+
+fn big_farm_params() -> TaParameters {
+    // buffer_size must cover the server count for the M/M/c/K layer.
+    //
+    // The per-server failure rate is scaled down (and the shared repair
+    // rate up) so that the aggregate failure rate n·λ stays below µ —
+    // the operating regime of the paper's farm, where the stationary
+    // mass concentrates at the all-up end. With the 4-server defaults
+    // kept as-is, a 50 000-server farm would drain to ~10 000 working
+    // servers (n·λ = 5/h against µ = 1/h of shared repair), which is a
+    // different model, not a scaled-up version of the paper's.
+    TaParameters::builder()
+        .web_servers(BIG_FARM_SERVERS)
+        .buffer_size(BIG_FARM_SERVERS)
+        .failure_rate_per_hour(1e-6)
+        .repair_rate_per_hour(10.0)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn dense_path_pins_are_untouched() {
+    let params = TaParameters::paper_defaults();
+    let a = redundant_imperfect_availability(&params).unwrap();
+    assert!(
+        (a - 0.999995587).abs() < 1e-8,
+        "A(WS) = {a:.9}, expected 0.999995587"
+    );
+    // The sparse twin agrees to the last bit on the paper's farm.
+    let s = redundant_imperfect_availability_sparse(&params).unwrap();
+    assert_eq!(a.to_bits(), s.to_bits());
+
+    // Figure 12 reversal: imperfect coverage makes 10 servers worse
+    // than 4 — unchanged by the sparse backend.
+    let availability = |nw: usize| {
+        let p = TaParameters::builder()
+            .web_servers(nw)
+            .arrival_rate_per_second(50.0)
+            .failure_rate_per_hour(1e-2)
+            .build()
+            .unwrap();
+        redundant_imperfect_availability(&p).unwrap()
+    };
+    assert!(availability(10) < availability(4));
+}
+
+#[test]
+fn hundred_thousand_state_farm_solves_sparsely() {
+    let params = big_farm_params();
+    let states = 2 * BIG_FARM_SERVERS + 1;
+    assert!(states >= 100_000);
+
+    let start = std::time::Instant::now();
+    let (op, y) = farm_distribution_imperfect_sparse(&params).unwrap();
+    let elapsed = start.elapsed();
+
+    assert_eq!(op.len(), BIG_FARM_SERVERS + 1);
+    assert_eq!(y.len(), BIG_FARM_SERVERS);
+    let mass: f64 = op.iter().sum::<f64>() + y.iter().sum::<f64>();
+    assert!((mass - 1.0).abs() < 1e-9, "mass {mass}");
+
+    // The paper's stiff rates (λ = 1e-4/h, µ = 1/h) concentrate the
+    // stationary mass at the all-up end; cross-check the closed form on
+    // every state that carries real mass.
+    let (op_cf, y_cf) = farm_distribution_imperfect_closed_form(&params).unwrap();
+    for (a, b) in op.iter().zip(&op_cf).chain(y.iter().zip(&y_cf)) {
+        if *b > 1e-9 {
+            assert!(((a - b) / b).abs() < 1e-6, "{a} vs {b}");
+        } else {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+
+    // "Solves in seconds": generous CI bound, but a dense O(n³) solve
+    // would take days — this guards against silently falling back to a
+    // dense route.
+    assert!(
+        elapsed.as_secs() < 60,
+        "sparse farm solve took {elapsed:?}; dense fallback suspected"
+    );
+}
+
+#[test]
+fn hundred_thousand_state_availability_through_equation_9() {
+    let params = big_farm_params();
+    let a = redundant_imperfect_availability_sparse(&params).unwrap();
+    // With 50k servers the farm layer is essentially perfect; the
+    // availability is dominated by the buffer-overflow term of the
+    // (huge) M/M/c/K, which at α/ν = 1 and c = K = 50 000 loses almost
+    // nothing: A must sit extremely close to, but below, 1.
+    assert!(a > 0.9999 && a < 1.0, "A = {a}");
+}
+
+#[test]
+fn context_path_routes_large_farms_sparsely_and_identically() {
+    // Big enough to cross the sparse cutoff, small enough that the
+    // direct path's full equation (9) sweep stays fast.
+    let params = TaParameters::builder()
+        .web_servers(700)
+        .buffer_size(700)
+        .build()
+        .unwrap();
+    let direct = redundant_imperfect_availability(&params).unwrap();
+    let mut ctx = EvalContext::new();
+    let warm = redundant_imperfect_availability_with(&params, &mut ctx).unwrap();
+    assert_eq!(direct.to_bits(), warm.to_bits());
+    // And again, exercising buffer reuse on the sparse route.
+    let again = redundant_imperfect_availability_with(&params, &mut ctx).unwrap();
+    assert_eq!(direct.to_bits(), again.to_bits());
+    assert!(ctx.reuse_count() >= 1);
+}
+
+#[test]
+fn sparse_and_dense_distributions_agree_below_the_cutoff() {
+    // A spread of small farms: the sparse path must agree bit-for-bit
+    // (both run GTH on bit-identical generators).
+    for nw in [1, 2, 5, 16, 64] {
+        let params = TaParameters::builder()
+            .web_servers(nw)
+            .buffer_size(nw.max(10))
+            .build()
+            .unwrap();
+        let (op_d, y_d) = farm_distribution_imperfect(&params).unwrap();
+        let (op_s, y_s) = farm_distribution_imperfect_sparse(&params).unwrap();
+        for (a, b) in op_d.iter().zip(&op_s).chain(y_d.iter().zip(&y_s)) {
+            assert_eq!(a.to_bits(), b.to_bits(), "NW = {nw}");
+        }
+    }
+}
