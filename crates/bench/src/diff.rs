@@ -8,11 +8,17 @@
 //! request that regresses the context-reuse or cold-build paths.
 //!
 //! Ratios are `new / old`; a benchmark regresses when its ratio exceeds
-//! `threshold`. Thresholds are deliberately caller-chosen: a same-machine
-//! back-to-back comparison can afford a tight bound, while comparing
-//! against a committed baseline from different hardware needs a generous
-//! one. Benchmarks present in only one artifact are reported (renames and
-//! deletions should be visible) but never fail the diff.
+//! its threshold. Thresholds are deliberately caller-chosen: a
+//! same-machine back-to-back comparison can afford a tight bound, while
+//! comparing against a committed baseline from different hardware needs a
+//! generous one. On top of the default threshold, callers can assign
+//! per-benchmark **budgets** (`name/mode` → ratio) so the benchmarks that
+//! guard a specific optimization get a tight bound without squeezing the
+//! noisy ones — see [`diff_artifacts_with_budgets`]. Benchmarks present
+//! in only one artifact are reported (renames and deletions should be
+//! visible) but never fail the diff; budgets that match no baseline
+//! benchmark are likewise reported, so a renamed case cannot silently
+//! lose its guard.
 //!
 //! Parsing uses the in-tree `uavail_obs::json` parser — the differ adds no
 //! dependencies and rejects malformed artifacts (bad JSON, duplicate keys,
@@ -59,6 +65,9 @@ pub struct DiffEntry {
     pub new_mean_ns: f64,
     /// `new_mean_ns / old_mean_ns`; above 1 means the candidate is slower.
     pub ratio: f64,
+    /// Ratio above which this benchmark counts as regressed: its budget
+    /// if one was assigned, the report's default threshold otherwise.
+    pub threshold: f64,
 }
 
 /// Full result of diffing two artifacts at a given threshold.
@@ -70,17 +79,19 @@ pub struct DiffReport {
     pub only_old: Vec<String>,
     /// `name/mode` keys present only in the candidate artifact.
     pub only_new: Vec<String>,
-    /// Ratio above which a matched benchmark counts as a regression.
+    /// Budget keys that matched no baseline benchmark.
+    pub unused_budgets: Vec<String>,
+    /// Default ratio bound for benchmarks without a budget of their own.
     pub threshold: f64,
 }
 
 impl DiffReport {
-    /// Matched benchmarks whose slowdown exceeds the threshold.
+    /// Matched benchmarks whose slowdown exceeds their threshold.
     pub fn regressions(&self) -> impl Iterator<Item = &DiffEntry> {
-        self.entries.iter().filter(|e| e.ratio > self.threshold)
+        self.entries.iter().filter(|e| e.ratio > e.threshold)
     }
 
-    /// Whether any matched benchmark regressed past the threshold.
+    /// Whether any matched benchmark regressed past its threshold.
     pub fn has_regressions(&self) -> bool {
         self.regressions().next().is_some()
     }
@@ -90,13 +101,20 @@ impl DiffReport {
     pub fn render(&self, csv: bool) -> String {
         let mut t = Table::new(
             "Bench diff — candidate vs baseline means",
-            vec!["case", "mode", "old (ms)", "new (ms)", "ratio", "verdict"],
+            vec![
+                "case", "mode", "old (ms)", "new (ms)", "ratio", "budget", "verdict",
+            ],
         );
         for e in &self.entries {
-            let verdict = if e.ratio > self.threshold {
+            let verdict = if e.ratio > e.threshold {
                 "REGRESSED"
             } else {
                 "ok"
+            };
+            let budget = if e.threshold == self.threshold {
+                format!("{:.2}x", e.threshold)
+            } else {
+                format!("{:.2}x*", e.threshold)
             };
             t.add_row(vec![
                 e.name.clone(),
@@ -104,6 +122,7 @@ impl DiffReport {
                 format!("{:.3}", e.old_mean_ns / 1e6),
                 format!("{:.3}", e.new_mean_ns / 1e6),
                 format!("{:.2}x", e.ratio),
+                budget,
                 verdict.to_string(),
             ]);
         }
@@ -113,6 +132,9 @@ impl DiffReport {
         }
         for key in &self.only_new {
             out.push_str(&format!("only in candidate: {key}\n"));
+        }
+        for key in &self.unused_budgets {
+            out.push_str(&format!("budget matched no baseline benchmark: {key}\n"));
         }
         let regressed = self.regressions().count();
         if regressed > 0 {
@@ -199,7 +221,8 @@ pub fn parse_artifact(text: &str) -> Result<Vec<BenchRecord>, String> {
     Ok(records)
 }
 
-/// Diffs two artifact texts, matching records by `(name, mode)`.
+/// Diffs two artifact texts, matching records by `(name, mode)`, with
+/// every benchmark held to the same default threshold.
 ///
 /// # Errors
 ///
@@ -210,14 +233,47 @@ pub fn diff_artifacts(
     candidate: &str,
     threshold: f64,
 ) -> Result<DiffReport, String> {
+    diff_artifacts_with_budgets(baseline, candidate, threshold, &[])
+}
+
+/// Diffs two artifact texts with per-benchmark regression budgets.
+///
+/// Each budget is a `("name/mode", ratio)` pair; a matched benchmark is
+/// held to its budget when one exists and to `threshold` otherwise.
+/// Budgets whose key matches no baseline benchmark are collected in
+/// [`DiffReport::unused_budgets`] (reported, never fatal), so a renamed
+/// case cannot silently shed a tight bound.
+///
+/// # Errors
+///
+/// Propagates [`parse_artifact`] failures (prefixed with which side was
+/// malformed) and rejects a non-finite or non-positive threshold, a
+/// non-finite or non-positive budget ratio, or a duplicated budget key.
+pub fn diff_artifacts_with_budgets(
+    baseline: &str,
+    candidate: &str,
+    threshold: f64,
+    budgets: &[(String, f64)],
+) -> Result<DiffReport, String> {
     if !(threshold.is_finite() && threshold > 0.0) {
         return Err(format!("threshold {threshold} must be a positive ratio"));
+    }
+    for (i, (key, ratio)) in budgets.iter().enumerate() {
+        if !(ratio.is_finite() && *ratio > 0.0) {
+            return Err(format!(
+                "budget {key}: ratio {ratio} must be a positive ratio"
+            ));
+        }
+        if budgets[..i].iter().any(|(k, _)| k == key) {
+            return Err(format!("budget {key} is given more than once"));
+        }
     }
     let old = parse_artifact(baseline).map_err(|e| format!("baseline: {e}"))?;
     let new = parse_artifact(candidate).map_err(|e| format!("candidate: {e}"))?;
     let mut entries = Vec::new();
     let mut only_old = Vec::new();
     for o in &old {
+        let key = format!("{}/{}", o.name, o.mode);
         match new.iter().find(|n| n.key() == o.key()) {
             Some(n) => entries.push(DiffEntry {
                 name: o.name.clone(),
@@ -225,8 +281,12 @@ pub fn diff_artifacts(
                 old_mean_ns: o.mean_ns,
                 new_mean_ns: n.mean_ns,
                 ratio: n.mean_ns / o.mean_ns,
+                threshold: budgets
+                    .iter()
+                    .find(|(k, _)| *k == key)
+                    .map_or(threshold, |(_, r)| *r),
             }),
-            None => only_old.push(format!("{}/{}", o.name, o.mode)),
+            None => only_old.push(key),
         }
     }
     let only_new = new
@@ -234,10 +294,16 @@ pub fn diff_artifacts(
         .filter(|n| !old.iter().any(|o| o.key() == n.key()))
         .map(|n| format!("{}/{}", n.name, n.mode))
         .collect();
+    let unused_budgets = budgets
+        .iter()
+        .filter(|(k, _)| !old.iter().any(|o| format!("{}/{}", o.name, o.mode) == **k))
+        .map(|(k, _)| k.clone())
+        .collect();
     Ok(DiffReport {
         entries,
         only_old,
         only_new,
+        unused_budgets,
         threshold,
     })
 }
@@ -312,6 +378,72 @@ mod tests {
         let rendered = report.render(false);
         assert!(rendered.contains("only in baseline: gone/cold_build"));
         assert!(rendered.contains("only in candidate: added/cold_build"));
+    }
+
+    #[test]
+    fn tight_budget_trips_inside_the_default_threshold() {
+        // A 3x slowdown is within the generous 10x default, but the
+        // budgeted case is held to 2x and must fail.
+        let old = artifact(&[
+            ("sparse_farm", "context_reuse", 1e3),
+            ("figure11", "cold_build", 1e6),
+        ]);
+        let new = artifact(&[
+            ("sparse_farm", "context_reuse", 3e3),
+            ("figure11", "cold_build", 3e6),
+        ]);
+        let budgets = vec![("sparse_farm/context_reuse".to_string(), 2.0)];
+        let report = diff_artifacts_with_budgets(&old, &new, 10.0, &budgets).unwrap();
+        let regressed: Vec<&DiffEntry> = report.regressions().collect();
+        assert_eq!(regressed.len(), 1);
+        assert_eq!(regressed[0].name, "sparse_farm");
+        assert_eq!(regressed[0].threshold, 2.0);
+        // The unbudgeted case keeps the default bound.
+        assert_eq!(report.entries[1].threshold, 10.0);
+        let rendered = report.render(false);
+        assert!(rendered.contains("REGRESSED"));
+        assert!(rendered.contains("2.00x*"));
+    }
+
+    #[test]
+    fn loose_budget_exempts_a_case_from_the_default_threshold() {
+        let old = artifact(&[("noisy", "cold_build", 1e6)]);
+        let new = artifact(&[("noisy", "cold_build", 2.5e6)]);
+        // 2.5x would trip the 1.5x default, but the case's own budget
+        // allows 4x.
+        let budgets = vec![("noisy/cold_build".to_string(), 4.0)];
+        let report = diff_artifacts_with_budgets(&old, &new, 1.5, &budgets).unwrap();
+        assert!(!report.has_regressions());
+    }
+
+    #[test]
+    fn stale_budget_keys_are_reported_not_fatal() {
+        let a = artifact(&[("figure11", "cold_build", 1e6)]);
+        let budgets = vec![("renamed_case/cold_build".to_string(), 2.0)];
+        let report = diff_artifacts_with_budgets(&a, &a, 1.5, &budgets).unwrap();
+        assert_eq!(report.unused_budgets, vec!["renamed_case/cold_build"]);
+        assert!(!report.has_regressions());
+        assert!(report
+            .render(false)
+            .contains("budget matched no baseline benchmark: renamed_case/cold_build"));
+    }
+
+    #[test]
+    fn invalid_budgets_are_rejected() {
+        let a = artifact(&[("figure11", "cold_build", 1e6)]);
+        let zero = vec![("figure11/cold_build".to_string(), 0.0)];
+        assert!(diff_artifacts_with_budgets(&a, &a, 1.5, &zero)
+            .unwrap_err()
+            .contains("positive"));
+        let nan = vec![("figure11/cold_build".to_string(), f64::NAN)];
+        assert!(diff_artifacts_with_budgets(&a, &a, 1.5, &nan).is_err());
+        let dup = vec![
+            ("figure11/cold_build".to_string(), 2.0),
+            ("figure11/cold_build".to_string(), 3.0),
+        ];
+        assert!(diff_artifacts_with_budgets(&a, &a, 1.5, &dup)
+            .unwrap_err()
+            .contains("more than once"));
     }
 
     #[test]

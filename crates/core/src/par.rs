@@ -167,27 +167,41 @@ where
         for worker in 0..threads {
             let (next, failed, slots, eval_isolated) = (&next, &failed, &slots, &eval_isolated);
             scope.spawn(move || {
-                // One trace span per worker lifetime, plus one per claimed
-                // chunk, so Perfetto shows utilization and work stealing.
-                let _worker_span =
-                    uavail_obs::TraceSpan::enter_with_arg("par.worker", "worker", worker as f64);
-                let mut workspace = None;
-                loop {
-                    let start = next.fetch_add(chunk, Ordering::Relaxed);
-                    if start >= n || failed.load(Ordering::Relaxed) {
-                        return;
-                    }
-                    let _chunk_span =
-                        uavail_obs::TraceSpan::enter_with_arg("par.chunk", "start", start as f64);
-                    let end = (start + chunk).min(n);
-                    for (i, item) in items.iter().enumerate().take(end).skip(start) {
-                        let result = eval_isolated(&mut workspace, i, item);
-                        if result.is_err() {
-                            failed.store(true, Ordering::Relaxed);
+                {
+                    // One trace span per worker lifetime, plus one per
+                    // claimed chunk, so Perfetto shows utilization and
+                    // work stealing.
+                    let _worker_span = uavail_obs::TraceSpan::enter_with_arg(
+                        "par.worker",
+                        "worker",
+                        worker as f64,
+                    );
+                    let mut workspace = None;
+                    loop {
+                        let start = next.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n || failed.load(Ordering::Relaxed) {
+                            break;
                         }
-                        *slots[i].lock().expect("no poisoned slot") = Some(result);
+                        let _chunk_span = uavail_obs::TraceSpan::enter_with_arg(
+                            "par.chunk",
+                            "start",
+                            start as f64,
+                        );
+                        let end = (start + chunk).min(n);
+                        for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                            let result = eval_isolated(&mut workspace, i, item);
+                            if result.is_err() {
+                                failed.store(true, Ordering::Relaxed);
+                            }
+                            *slots[i].lock().expect("no poisoned slot") = Some(result);
+                        }
                     }
                 }
+                // Scope join returns when this closure does, *before* this
+                // thread's TLS destructors flush its trace ring — flush
+                // explicitly so `take_trace` after the join sees this
+                // worker's events.
+                uavail_obs::trace::flush_current_thread();
             });
         }
     });
@@ -255,20 +269,32 @@ where
         for worker in 0..threads {
             let (next, slots, eval_captured) = (&next, &slots, &eval_captured);
             scope.spawn(move || {
-                let _worker_span =
-                    uavail_obs::TraceSpan::enter_with_arg("par.worker", "worker", worker as f64);
-                loop {
-                    let start = next.fetch_add(chunk, Ordering::Relaxed);
-                    if start >= n {
-                        return;
-                    }
-                    let _chunk_span =
-                        uavail_obs::TraceSpan::enter_with_arg("par.chunk", "start", start as f64);
-                    let end = (start + chunk).min(n);
-                    for (i, item) in items.iter().enumerate().take(end).skip(start) {
-                        *slots[i].lock().expect("no poisoned slot") = Some(eval_captured(i, item));
+                {
+                    let _worker_span = uavail_obs::TraceSpan::enter_with_arg(
+                        "par.worker",
+                        "worker",
+                        worker as f64,
+                    );
+                    loop {
+                        let start = next.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let _chunk_span = uavail_obs::TraceSpan::enter_with_arg(
+                            "par.chunk",
+                            "start",
+                            start as f64,
+                        );
+                        let end = (start + chunk).min(n);
+                        for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                            *slots[i].lock().expect("no poisoned slot") =
+                                Some(eval_captured(i, item));
+                        }
                     }
                 }
+                // See par_map_threads_with: scope join does not wait for
+                // TLS teardown, so flush this worker's trace ring now.
+                uavail_obs::trace::flush_current_thread();
             });
         }
     });

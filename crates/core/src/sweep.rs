@@ -221,6 +221,167 @@ pub fn sweep_parallel_threads_with<W>(
     })
 }
 
+/// Turns one evaluated block into its sweep points, enforcing the block
+/// evaluator contract: on `Ok` the evaluator must have appended exactly
+/// one output per input, and on `Err` the number of outputs already
+/// appended identifies the first failing input, which is named in the
+/// wrapped error exactly as [`sweep_with`] would name it.
+fn block_points(
+    xs: &[f64],
+    out: &[f64],
+    outcome: Result<(), CoreError>,
+) -> Result<Vec<SweepPoint>, CoreError> {
+    match outcome {
+        Ok(()) => {
+            if out.len() != xs.len() {
+                return Err(CoreError::BadWeights {
+                    reason: format!(
+                        "block evaluator produced {} outputs for {} inputs",
+                        out.len(),
+                        xs.len()
+                    ),
+                });
+            }
+            Ok(xs
+                .iter()
+                .zip(out)
+                .map(|(&x, &y)| SweepPoint { x, y })
+                .collect())
+        }
+        Err(e) => {
+            // A well-behaved evaluator fails before pushing the failing
+            // point's output; clamp in case it errored after the last push.
+            let failing = out.len().min(xs.len().saturating_sub(1));
+            Err(at_sweep_point(xs[failing], e))
+        }
+    }
+}
+
+/// Validates a batched block size.
+fn check_block(block: usize) -> Result<(), CoreError> {
+    if block == 0 {
+        return Err(CoreError::BadWeights {
+            reason: "batched sweep block size must be at least 1".into(),
+        });
+    }
+    Ok(())
+}
+
+/// Batched [`sweep_with`]: partitions `values` into contiguous blocks of
+/// up to `block` points and hands each *whole block* to the evaluator, so
+/// model structures that are invariant across neighboring points (an LU
+/// factorization, a CSR sparsity pattern, a state-space enumeration) can
+/// be computed once per block instead of once per point.
+///
+/// The evaluator receives the block slice and an output buffer, and must
+/// append exactly one `y` per `x`, in order. On failure it returns the
+/// error of the first point it could not evaluate; the number of outputs
+/// already appended tells the engine which point that was, so the error is
+/// wrapped in the same [`CoreError::EvalAt`] that [`sweep_with`] would
+/// produce for that point.
+///
+/// With an evaluator that computes each output exactly as the scalar
+/// closure would, the result is **bit-for-bit** the result of
+/// [`sweep_with`]; batching may only change *when* shared structure is
+/// built, never the floating-point operations behind each output.
+///
+/// # Errors
+///
+/// Exactly the errors [`sweep_with`] would produce, plus
+/// [`CoreError::BadWeights`] when `block == 0` or the evaluator breaks the
+/// one-output-per-input contract.
+///
+/// # Examples
+///
+/// ```
+/// use uavail_core::sweep::{sweep_batched, sweep_with};
+///
+/// # fn main() -> Result<(), uavail_core::CoreError> {
+/// let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+/// let mut ws = ();
+/// let batched = sweep_batched(&xs, 2, &mut ws, |_, block, out| {
+///     out.extend(block.iter().map(|x| x * x));
+///     Ok(())
+/// })?;
+/// let scalar = sweep_with(&xs, &mut ws, |_, x| Ok(x * x))?;
+/// assert_eq!(batched, scalar);
+/// # Ok(())
+/// # }
+/// ```
+pub fn sweep_batched<W>(
+    values: &[f64],
+    block: usize,
+    workspace: &mut W,
+    mut f: impl FnMut(&mut W, &[f64], &mut Vec<f64>) -> Result<(), CoreError>,
+) -> Result<Vec<SweepPoint>, CoreError> {
+    check_block(block)?;
+    let _span = uavail_obs::span("core.sweep_batched");
+    uavail_obs::counter_add("core.sweep.points", values.len() as u64);
+    uavail_obs::counter_add("core.sweep.blocks", values.len().div_ceil(block) as u64);
+    let mut points = Vec::with_capacity(values.len());
+    let mut out = Vec::with_capacity(block);
+    for xs in values.chunks(block) {
+        // Per-block timing, not per-point: the point of batching is that
+        // per-point cost is no longer separable.
+        let _block = uavail_obs::Stopwatch::start("core.sweep.block_ns");
+        out.clear();
+        let outcome = f(workspace, xs, &mut out);
+        points.extend(block_points(xs, &out, outcome)?);
+    }
+    Ok(points)
+}
+
+/// Parallel [`sweep_batched`]: blocks are distributed over
+/// [`default_threads`] scoped workers, each with a private workspace from
+/// `make`, and results are reassembled in input order.
+///
+/// # Errors
+///
+/// Exactly the errors [`sweep_batched`] would produce: blocks are claimed
+/// in increasing index order and the lowest-index failure wins, which is
+/// the first failure the serial batched sweep would have hit.
+pub fn sweep_parallel_batched<W>(
+    values: &[f64],
+    block: usize,
+    make: impl Fn() -> W + Sync,
+    f: impl Fn(&mut W, &[f64], &mut Vec<f64>) -> Result<(), CoreError> + Sync,
+) -> Result<Vec<SweepPoint>, CoreError> {
+    sweep_parallel_batched_threads(values, block, default_threads(), make, f)
+}
+
+/// [`sweep_parallel_batched`] with an explicit worker-thread cap.
+/// `threads <= 1` evaluates serially on the calling thread with a single
+/// workspace.
+///
+/// # Errors
+///
+/// Exactly the errors [`sweep_batched`] would produce.
+pub fn sweep_parallel_batched_threads<W>(
+    values: &[f64],
+    block: usize,
+    threads: usize,
+    make: impl Fn() -> W + Sync,
+    f: impl Fn(&mut W, &[f64], &mut Vec<f64>) -> Result<(), CoreError> + Sync,
+) -> Result<Vec<SweepPoint>, CoreError> {
+    check_block(block)?;
+    let _span = uavail_obs::span("core.sweep_parallel_batched");
+    uavail_obs::counter_add("core.sweep.points", values.len() as u64);
+    uavail_obs::counter_add("core.sweep.blocks", values.len().div_ceil(block) as u64);
+    let blocks: Vec<&[f64]> = values.chunks(block).collect();
+    let per_block = par_map_threads_with(
+        &blocks,
+        threads,
+        || (make(), Vec::with_capacity(block)),
+        |(workspace, out), &xs| {
+            let _block = uavail_obs::Stopwatch::start("core.sweep.block_ns");
+            out.clear();
+            let outcome = f(workspace, xs, out);
+            block_points(xs, out, outcome)
+        },
+    )?;
+    Ok(per_block.into_iter().flatten().collect())
+}
+
 /// One failed point of a resilient sweep: where it failed and why.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepFailure {
@@ -680,6 +841,120 @@ mod tests {
         })
         .unwrap_err();
         assert!(err.to_string().contains("x = 1"), "{err}");
+    }
+
+    /// Block evaluator used by the batched tests: same math as `scalar`,
+    /// failing on any `x > limit` exactly where the scalar closure would.
+    fn block_eval(limit: f64) -> impl Fn(&mut (), &[f64], &mut Vec<f64>) -> Result<(), CoreError> {
+        move |_, xs: &[f64], out: &mut Vec<f64>| {
+            for &x in xs {
+                if x > limit {
+                    return Err(CoreError::InvalidProbability {
+                        context: "batched test".into(),
+                        value: x,
+                    });
+                }
+                out.push((1.0 - x).powi(3) / (1.0 + x));
+            }
+            Ok(())
+        }
+    }
+
+    fn scalar(limit: f64) -> impl Fn(&mut (), f64) -> Result<f64, CoreError> {
+        move |_, x| {
+            if x > limit {
+                Err(CoreError::InvalidProbability {
+                    context: "batched test".into(),
+                    value: x,
+                })
+            } else {
+                Ok((1.0 - x).powi(3) / (1.0 + x))
+            }
+        }
+    }
+
+    #[test]
+    fn batched_sweep_matches_scalar_for_every_block_size() {
+        let xs: Vec<f64> = (0..97).map(|i| 0.001 + i as f64 * 0.0072).collect();
+        let mut ws = ();
+        let serial = sweep_with(&xs, &mut ws, scalar(f64::INFINITY)).unwrap();
+        for block in [1, 2, 3, 7, 10, 96, 97, 500] {
+            let batched = sweep_batched(&xs, block, &mut ws, block_eval(f64::INFINITY)).unwrap();
+            assert_eq!(serial.len(), batched.len(), "block={block}");
+            for (a, b) in serial.iter().zip(&batched) {
+                assert_eq!(a.x.to_bits(), b.x.to_bits(), "block={block}");
+                assert_eq!(a.y.to_bits(), b.y.to_bits(), "block={block}");
+            }
+            for threads in [1, 2, 7] {
+                let parallel = sweep_parallel_batched_threads(
+                    &xs,
+                    block,
+                    threads,
+                    || (),
+                    block_eval(f64::INFINITY),
+                )
+                .unwrap();
+                assert_eq!(serial, parallel, "block={block} threads={threads}");
+            }
+        }
+        assert_eq!(
+            serial,
+            sweep_parallel_batched(&xs, 8, || (), block_eval(f64::INFINITY)).unwrap()
+        );
+    }
+
+    #[test]
+    fn batched_sweep_error_matches_scalar_error() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64 * 0.01).collect();
+        let mut ws = ();
+        let serial_err = sweep_with(&xs, &mut ws, scalar(0.3)).unwrap_err();
+        for block in [1, 4, 13, 50] {
+            let batched_err = sweep_batched(&xs, block, &mut ws, block_eval(0.3)).unwrap_err();
+            assert_eq!(serial_err, batched_err, "block={block}");
+            for threads in [1, 3] {
+                let parallel_err =
+                    sweep_parallel_batched_threads(&xs, block, threads, || (), block_eval(0.3))
+                        .unwrap_err();
+                assert_eq!(serial_err, parallel_err, "block={block} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_sweep_rejects_zero_block_and_contract_violations() {
+        let xs = [1.0, 2.0];
+        let mut ws = ();
+        assert!(sweep_batched(&xs, 0, &mut ws, |_, _, _| Ok(())).is_err());
+        assert!(sweep_parallel_batched_threads(&xs, 0, 2, || (), |_, _, _| Ok(())).is_err());
+        // An evaluator that under- or over-produces is a typed error, not
+        // a silent misalignment of xs and ys.
+        let short = sweep_batched(&xs, 2, &mut ws, |_, _, out: &mut Vec<f64>| {
+            out.push(1.0);
+            Ok(())
+        })
+        .unwrap_err();
+        assert!(
+            short.to_string().contains("1 outputs for 2 inputs"),
+            "{short}"
+        );
+        let long = sweep_batched(&xs, 2, &mut ws, |_, _, out: &mut Vec<f64>| {
+            out.extend_from_slice(&[1.0, 2.0, 3.0]);
+            Ok(())
+        });
+        assert!(long.is_err());
+    }
+
+    #[test]
+    fn batched_sweep_on_empty_grid_is_empty() {
+        let mut ws = ();
+        assert!(sweep_batched(&[], 4, &mut ws, block_eval(1.0))
+            .unwrap()
+            .is_empty());
+        assert!(
+            sweep_parallel_batched_threads(&[], 4, 3, || (), block_eval(1.0))
+                .unwrap()
+                .is_empty()
+        );
     }
 
     #[test]

@@ -263,6 +263,106 @@ proptest! {
     }
 }
 
+// --- Batched-evaluation equivalence ------------------------------------
+
+/// The model function shared by the batched-equivalence properties: a
+/// nontrivial float pipeline with a failure threshold, evaluated by the
+/// scalar and block paths through identical operations.
+fn batched_model(x: f64, fail_above: f64) -> Result<f64, uavail_core::CoreError> {
+    if x.abs() > fail_above {
+        Err(uavail_core::CoreError::InvalidProbability {
+            context: "batched property".into(),
+            value: x,
+        })
+    } else {
+        Ok((x * 0.1).sin() * (x * 0.01).exp() / (2.0 + x.cos()))
+    }
+}
+
+proptest! {
+    /// `sweep_batched` (serial and parallel, any block size) is
+    /// observationally identical to `sweep_with`: bit-for-bit points on
+    /// success, the same `EvalAt` error at the same point otherwise.
+    #[test]
+    fn sweep_batched_equals_sweep_with(
+        values in prop::collection::vec(-100.0f64..100.0, 0..80),
+        block in 1usize..25,
+        threads in 1usize..9,
+        fail_above in 0.0f64..120.0
+    ) {
+        let block_eval = |_: &mut (), xs: &[f64], out: &mut Vec<f64>| {
+            for &x in xs {
+                out.push(batched_model(x, fail_above)?);
+            }
+            Ok(())
+        };
+        let mut ws = ();
+        let scalar = uavail_core::sweep::sweep_with(&values, &mut ws, |_, x| {
+            batched_model(x, fail_above)
+        });
+        let batched = uavail_core::sweep::sweep_batched(&values, block, &mut ws, block_eval);
+        let parallel = uavail_core::sweep::sweep_parallel_batched_threads(
+            &values, block, threads, || (), block_eval,
+        );
+        match (&scalar, &batched) {
+            (Ok(s), Ok(b)) => {
+                prop_assert_eq!(s.len(), b.len());
+                for (a, b) in s.iter().zip(b) {
+                    prop_assert_eq!(a.x.to_bits(), b.x.to_bits());
+                    prop_assert_eq!(a.y.to_bits(), b.y.to_bits());
+                }
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (s, b) => prop_assert!(false, "scalar {:?} vs batched {:?}", s, b),
+        }
+        prop_assert_eq!(&batched, &parallel);
+    }
+
+    /// Interaction with the resilient engine: when the batched sweep
+    /// succeeds, the resilient report is complete with bit-identical
+    /// points; when it fails, the batched error names exactly the first
+    /// point the resilient report records as failed.
+    #[test]
+    fn sweep_batched_agrees_with_resilient_report(
+        values in prop::collection::vec(-100.0f64..100.0, 1..60),
+        block in 1usize..12,
+        fail_above in 0.0f64..120.0
+    ) {
+        let mut ws = ();
+        let batched = uavail_core::sweep::sweep_batched(
+            &values, block, &mut ws,
+            |_, xs: &[f64], out: &mut Vec<f64>| {
+                for &x in xs {
+                    out.push(batched_model(x, fail_above)?);
+                }
+                Ok(())
+            },
+        );
+        let report = uavail_core::sweep::sweep_resilient(&values, |x| {
+            batched_model(x, fail_above)
+        });
+        match batched {
+            Ok(points) => {
+                prop_assert!(report.is_complete());
+                prop_assert_eq!(points.len(), report.points.len());
+                for (a, b) in points.iter().zip(&report.points) {
+                    prop_assert_eq!(a.y.to_bits(), b.y.to_bits());
+                }
+            }
+            Err(e) => {
+                prop_assert!(!report.is_complete());
+                let first = &report.failures[0];
+                let text = e.to_string();
+                prop_assert!(
+                    text.contains(&format!("x = {}", first.x)),
+                    "batched error {} does not name first resilient failure x = {}",
+                    text, first.x
+                );
+            }
+        }
+    }
+}
+
 /// Strategy: short strings with the characters that stress JSON escaping
 /// (quotes, backslashes, control chars, multi-byte UTF-8).
 fn nasty_text() -> impl Strategy<Value = String> {

@@ -1,0 +1,503 @@
+//! Structure-of-arrays batch kernels for families of tridiagonal systems.
+//!
+//! Birth–death generators are tridiagonal, and a batched sweep evaluates
+//! *many* of them with the same dimension — one per grid point in a block.
+//! Solving them one [`Tridiagonal`](crate::Tridiagonal) at a time walks the
+//! three diagonals once per system; laying the family out as lanes of a
+//! structure-of-arrays buffer turns the Thomas recurrence's inner loop into
+//! independent, branch-free arithmetic over contiguous lanes that the
+//! autovectorizer can lift. No SIMD intrinsics — plain `f64` arithmetic,
+//! std-only and portable.
+//!
+//! Bit-for-bit identity with the scalar path is a hard requirement: lane
+//! `l` of [`TridiagonalLanes::solve_all`] performs exactly the
+//! floating-point operations of [`Tridiagonal::solve`](crate::Tridiagonal::solve)
+//! on lane `l`'s system — same elimination multipliers, same division
+//! order, same back-substitution — so every lane matches its scalar twin
+//! to the last ulp. The unit tests pin this.
+
+use crate::{LinalgError, Tridiagonal};
+
+/// A family of same-dimension tridiagonal matrices stored lane-major.
+///
+/// Entry `i` of lane `l`'s diagonal lives at `diag[i * lanes + l]`, and
+/// likewise for the off-diagonals, so loops over the family's lanes touch
+/// contiguous memory.
+///
+/// # Examples
+///
+/// ```
+/// use uavail_linalg::{Tridiagonal, TridiagonalLanes};
+///
+/// # fn main() -> Result<(), uavail_linalg::LinalgError> {
+/// let a = Tridiagonal::new(vec![1.0, 1.0], vec![2.0, 2.0, 2.0], vec![1.0, 1.0])?;
+/// let b = Tridiagonal::new(vec![0.5, 0.5], vec![3.0, 3.0, 3.0], vec![0.25, 0.25])?;
+/// let lanes = TridiagonalLanes::from_systems(&[a.clone(), b])?;
+/// // Lane-major right-hand sides: lane 0 solves [4, 8, 8].
+/// let b_lanes = [4.0, 1.0, 8.0, 1.0, 8.0, 1.0];
+/// let x = lanes.solve_all(&b_lanes)?;
+/// let x0: Vec<f64> = (0..3).map(|i| x[i * 2]).collect();
+/// assert_eq!(x0, a.solve(&[4.0, 8.0, 8.0])?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TridiagonalLanes {
+    dim: usize,
+    lanes: usize,
+    /// `(dim - 1) × lanes`; entry `(i, l)` couples states `i + 1 → i`.
+    lower: Vec<f64>,
+    /// `dim × lanes`.
+    diag: Vec<f64>,
+    /// `(dim - 1) × lanes`; entry `(i, l)` couples states `i → i + 1`.
+    upper: Vec<f64>,
+}
+
+impl TridiagonalLanes {
+    /// Packs same-dimension scalar systems into lanes.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::Empty`] when `systems` is empty.
+    /// * [`LinalgError::InvalidInput`] when dimensions differ.
+    pub fn from_systems(systems: &[Tridiagonal]) -> Result<Self, LinalgError> {
+        let first = systems.first().ok_or(LinalgError::Empty)?;
+        let dim = first.dim();
+        let lanes = systems.len();
+        for (l, s) in systems.iter().enumerate() {
+            if s.dim() != dim {
+                return Err(LinalgError::InvalidInput {
+                    reason: format!("lane {l} has dimension {} but lane 0 has {dim}", s.dim()),
+                });
+            }
+        }
+        let mut out = TridiagonalLanes {
+            dim,
+            lanes,
+            lower: vec![0.0; (dim - 1) * lanes],
+            diag: vec![0.0; dim * lanes],
+            upper: vec![0.0; (dim - 1) * lanes],
+        };
+        for (l, s) in systems.iter().enumerate() {
+            let (lower, diag, upper) = s.diagonals();
+            for i in 0..dim {
+                out.diag[i * lanes + l] = diag[i];
+            }
+            for i in 0..dim - 1 {
+                out.lower[i * lanes + l] = lower[i];
+                out.upper[i * lanes + l] = upper[i];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Builds the birth–death generator family: lane `l` is the CTMC
+    /// generator `Q` of the chain with rates `rates[l] = (births, deaths)`
+    /// on states `0..=births.len()` — `Q[i][i+1] = births[i]`,
+    /// `Q[i+1][i] = deaths[i]`, rows summing to zero.
+    ///
+    /// The diagonal assembly `-(birth + death)` runs lane-innermost over
+    /// the structure-of-arrays buffer, manually unrolled by four.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::Empty`] when `rates` is empty or a chain has no
+    ///   levels.
+    /// * [`LinalgError::InvalidInput`] when chains disagree on the level
+    ///   count, birth and death vectors differ in length, or any rate is
+    ///   not finite.
+    pub fn from_birth_death_rates(rates: &[(&[f64], &[f64])]) -> Result<Self, LinalgError> {
+        let (first_births, _) = rates.first().ok_or(LinalgError::Empty)?;
+        let levels = first_births.len();
+        if levels == 0 {
+            return Err(LinalgError::Empty);
+        }
+        for (l, (births, deaths)) in rates.iter().enumerate() {
+            if births.len() != levels || deaths.len() != levels {
+                return Err(LinalgError::InvalidInput {
+                    reason: format!(
+                        "lane {l} has {} births and {} deaths but lane 0 has {levels} levels",
+                        births.len(),
+                        deaths.len()
+                    ),
+                });
+            }
+            if births.iter().chain(deaths.iter()).any(|r| !r.is_finite()) {
+                return Err(LinalgError::InvalidInput {
+                    reason: format!("lane {l} has a non-finite rate"),
+                });
+            }
+        }
+        let dim = levels + 1;
+        let lanes = rates.len();
+        let mut lower = vec![0.0; levels * lanes];
+        let mut diag = vec![0.0; dim * lanes];
+        let mut upper = vec![0.0; levels * lanes];
+        for (l, (births, deaths)) in rates.iter().enumerate() {
+            for i in 0..levels {
+                upper[i * lanes + l] = births[i];
+                lower[i * lanes + l] = deaths[i];
+            }
+        }
+        // Diagonal rows: -(outflow) per state, lane-innermost and unrolled
+        // by four. Each lane is independent, so the unroll changes
+        // scheduling, never values.
+        for i in 0..dim {
+            let row = &mut diag[i * lanes..(i + 1) * lanes];
+            let up = if i < levels {
+                Some(&upper[i * lanes..(i + 1) * lanes])
+            } else {
+                None
+            };
+            let down = if i > 0 {
+                Some(&lower[(i - 1) * lanes..i * lanes])
+            } else {
+                None
+            };
+            let mut lane = 0;
+            macro_rules! fill {
+                ($l:expr) => {{
+                    let out_up = up.map_or(0.0, |u| u[$l]);
+                    let out_down = down.map_or(0.0, |d| d[$l]);
+                    row[$l] = -(out_up + out_down);
+                }};
+            }
+            while lane + 4 <= lanes {
+                fill!(lane);
+                fill!(lane + 1);
+                fill!(lane + 2);
+                fill!(lane + 3);
+                lane += 4;
+            }
+            while lane < lanes {
+                fill!(lane);
+                lane += 1;
+            }
+        }
+        Ok(TridiagonalLanes {
+            dim,
+            lanes,
+            lower,
+            diag,
+            upper,
+        })
+    }
+
+    /// Dimension of each (square) member.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of lanes in the family.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Extracts lane `l` as a scalar [`Tridiagonal`], for cross-validation
+    /// and interop.
+    ///
+    /// # Panics
+    ///
+    /// When `l >= self.lanes()`.
+    pub fn extract_lane(&self, l: usize) -> Tridiagonal {
+        assert!(l < self.lanes, "lane {l} outside family of {}", self.lanes);
+        let lower: Vec<f64> = (0..self.dim - 1)
+            .map(|i| self.lower[i * self.lanes + l])
+            .collect();
+        let diag: Vec<f64> = (0..self.dim)
+            .map(|i| self.diag[i * self.lanes + l])
+            .collect();
+        let upper: Vec<f64> = (0..self.dim - 1)
+            .map(|i| self.upper[i * self.lanes + l])
+            .collect();
+        Tridiagonal::new(lower, diag, upper).expect("lane diagonals are well-formed")
+    }
+
+    /// Batched matrix–vector product: lane `l` of `out` is `A_l · x_l`,
+    /// with `x` and `out` lane-major (`x[i * lanes + l]` is entry `i` of
+    /// lane `l`'s vector). Per lane bit-identical to
+    /// [`Tridiagonal::mul_vec`](crate::Tridiagonal::mul_vec).
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::ShapeMismatch`] when `x.len() != dim * lanes`.
+    pub fn mul_vec_all(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let (n, w) = (self.dim, self.lanes);
+        if x.len() != n * w {
+            return Err(LinalgError::ShapeMismatch {
+                operation: "tridiagonal_lanes_mul_vec",
+                left: (n, n),
+                right: (x.len(), 1),
+            });
+        }
+        let mut out = vec![0.0; n * w];
+        for i in 0..n {
+            let row = &mut out[i * w..(i + 1) * w];
+            let mut lane = 0;
+            // Scalar order: diag term, then lower, then upper.
+            macro_rules! mv {
+                ($l:expr) => {{
+                    let mut sum = self.diag[i * w + $l] * x[i * w + $l];
+                    if i > 0 {
+                        sum += self.lower[(i - 1) * w + $l] * x[(i - 1) * w + $l];
+                    }
+                    if i < n - 1 {
+                        sum += self.upper[i * w + $l] * x[(i + 1) * w + $l];
+                    }
+                    row[$l] = sum;
+                }};
+            }
+            while lane + 4 <= w {
+                mv!(lane);
+                mv!(lane + 1);
+                mv!(lane + 2);
+                mv!(lane + 3);
+                lane += 4;
+            }
+            while lane < w {
+                mv!(lane);
+                lane += 1;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Batched Thomas solve: lane `l` of the result solves
+    /// `A_l · x_l = b_l`, with `b` and the result lane-major. Per lane
+    /// bit-identical to [`Tridiagonal::solve`](crate::Tridiagonal::solve):
+    /// the elimination walks states outermost and lanes innermost, so each
+    /// lane performs the scalar algorithm's operations in the scalar
+    /// algorithm's order.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::ShapeMismatch`] when `b.len() != dim * lanes`.
+    /// * [`LinalgError::Singular`] when any lane hits a vanishing pivot;
+    ///   `pivot` is the failing *state* index of the first singular lane in
+    ///   (state, lane) scan order, matching the index the scalar solve
+    ///   reports for that lane.
+    pub fn solve_all(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let (n, w) = (self.dim, self.lanes);
+        if b.len() != n * w {
+            return Err(LinalgError::ShapeMismatch {
+                operation: "tridiagonal_lanes_solve",
+                left: (n, n),
+                right: (b.len(), 1),
+            });
+        }
+        let mut c_prime = vec![0.0; n * w];
+        let mut d_prime = vec![0.0; n * w];
+        // Forward elimination, state 0. Pivot failures are only *recorded*
+        // here (first failing state per the (state, lane) scan) and
+        // reported after the sweep: the lanes are independent, so a bad
+        // pivot in one lane cannot corrupt another, and keeping the hot
+        // loop check-light leaves it vectorizable.
+        let mut singular: Option<usize> = None;
+        for l in 0..w {
+            let d0 = self.diag[l];
+            if d0.abs() < 1e-300 && singular.is_none() {
+                singular = Some(0);
+            }
+            c_prime[l] = if n > 1 { self.upper[l] / d0 } else { 0.0 };
+            d_prime[l] = b[l] / d0;
+        }
+        for i in 1..n {
+            let mut lane = 0;
+            macro_rules! elim {
+                ($l:expr) => {{
+                    let m = self.diag[i * w + $l]
+                        - self.lower[(i - 1) * w + $l] * c_prime[(i - 1) * w + $l];
+                    if m.abs() < 1e-300 && singular.is_none() {
+                        singular = Some(i);
+                    }
+                    if i < n - 1 {
+                        c_prime[i * w + $l] = self.upper[i * w + $l] / m;
+                    }
+                    d_prime[i * w + $l] = (b[i * w + $l]
+                        - self.lower[(i - 1) * w + $l] * d_prime[(i - 1) * w + $l])
+                        / m;
+                }};
+            }
+            while lane + 4 <= w {
+                elim!(lane);
+                elim!(lane + 1);
+                elim!(lane + 2);
+                elim!(lane + 3);
+                lane += 4;
+            }
+            while lane < w {
+                elim!(lane);
+                lane += 1;
+            }
+        }
+        if let Some(pivot) = singular {
+            return Err(LinalgError::Singular { pivot });
+        }
+        // Back substitution.
+        let mut x = d_prime;
+        for i in (0..n - 1).rev() {
+            let mut lane = 0;
+            macro_rules! back {
+                ($l:expr) => {{
+                    let next = x[(i + 1) * w + $l];
+                    x[i * w + $l] -= c_prime[i * w + $l] * next;
+                }};
+            }
+            while lane + 4 <= w {
+                back!(lane);
+                back!(lane + 1);
+                back!(lane + 2);
+                back!(lane + 3);
+                lane += 4;
+            }
+            while lane < w {
+                back!(lane);
+                lane += 1;
+            }
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn family() -> Vec<Tridiagonal> {
+        (0..5)
+            .map(|l| {
+                let s = l as f64;
+                let n = 9;
+                let lower: Vec<f64> = (0..n - 1).map(|i| -(0.3 + 0.05 * (i as f64 + s))).collect();
+                let upper: Vec<f64> = (0..n - 1).map(|i| -(0.2 + 0.07 * (i as f64 + s))).collect();
+                let diag: Vec<f64> = (0..n).map(|i| 2.5 + 0.1 * (i as f64 + s)).collect();
+                Tridiagonal::new(lower, diag, upper).unwrap()
+            })
+            .collect()
+    }
+
+    fn lane_major(vectors: &[Vec<f64>]) -> Vec<f64> {
+        let dim = vectors[0].len();
+        let lanes = vectors.len();
+        let mut out = vec![0.0; dim * lanes];
+        for (l, v) in vectors.iter().enumerate() {
+            for (i, &e) in v.iter().enumerate() {
+                out[i * lanes + l] = e;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn every_lane_solves_bit_identically_to_the_scalar_thomas() {
+        let systems = family();
+        let lanes = TridiagonalLanes::from_systems(&systems).unwrap();
+        let rhs: Vec<Vec<f64>> = (0..systems.len())
+            .map(|l| (0..9).map(|i| ((i + l) as f64).sin()).collect())
+            .collect();
+        let x = lanes.solve_all(&lane_major(&rhs)).unwrap();
+        let y = lanes.mul_vec_all(&lane_major(&rhs)).unwrap();
+        for (l, s) in systems.iter().enumerate() {
+            let x_ref = s.solve(&rhs[l]).unwrap();
+            let y_ref = s.mul_vec(&rhs[l]).unwrap();
+            for i in 0..9 {
+                assert_eq!(
+                    x[i * systems.len() + l].to_bits(),
+                    x_ref[i].to_bits(),
+                    "solve lane {l} entry {i}"
+                );
+                assert_eq!(
+                    y[i * systems.len() + l].to_bits(),
+                    y_ref[i].to_bits(),
+                    "mul_vec lane {l} entry {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lane_counts_off_the_unroll_boundary() {
+        // 1, 2, 3, 4, 5, 7, 8 lanes: exercises both the unrolled body and
+        // the remainder loop.
+        for lanes in [1usize, 2, 3, 4, 5, 7, 8] {
+            let systems: Vec<Tridiagonal> = family().into_iter().cycle().take(lanes).collect();
+            let batch = TridiagonalLanes::from_systems(&systems).unwrap();
+            let rhs: Vec<Vec<f64>> = (0..lanes)
+                .map(|l| (0..9).map(|i| 1.0 + (i * (l + 1)) as f64).collect())
+                .collect();
+            let x = batch.solve_all(&lane_major(&rhs)).unwrap();
+            for (l, s) in systems.iter().enumerate() {
+                let x_ref = s.solve(&rhs[l]).unwrap();
+                for i in 0..9 {
+                    assert_eq!(x[i * lanes + l].to_bits(), x_ref[i].to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn birth_death_generator_lanes_match_scalar_diagonals() {
+        let rates: Vec<(Vec<f64>, Vec<f64>)> = vec![
+            (vec![1.0, 1.0, 1.0], vec![0.1, 0.2, 0.3]),
+            (vec![2.0, 0.5, 4.0], vec![1.5, 2.5, 3.5]),
+            (vec![1e4, 1e4, 1e4], vec![1e-4, 2e-4, 3e-4]),
+        ];
+        let refs: Vec<(&[f64], &[f64])> = rates.iter().map(|(b, d)| (&b[..], &d[..])).collect();
+        let lanes = TridiagonalLanes::from_birth_death_rates(&refs).unwrap();
+        assert_eq!(lanes.dim(), 4);
+        assert_eq!(lanes.lanes(), 3);
+        for (l, (births, deaths)) in rates.iter().enumerate() {
+            let t = lanes.extract_lane(l);
+            let (lower, diag, upper) = t.diagonals();
+            assert_eq!(lower, &deaths[..]);
+            assert_eq!(upper, &births[..]);
+            // Diagonal is -(outflow), with 0.0 standing in for the missing
+            // birth at the top and death at the bottom.
+            for (i, d) in diag.iter().enumerate() {
+                let up = if i < births.len() { births[i] } else { 0.0 };
+                let down = if i > 0 { deaths[i - 1] } else { 0.0 };
+                assert_eq!(d.to_bits(), (-(up + down)).to_bits(), "lane {l} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn shape_and_validation_errors() {
+        assert!(matches!(
+            TridiagonalLanes::from_systems(&[]),
+            Err(LinalgError::Empty)
+        ));
+        let a = Tridiagonal::new(vec![1.0], vec![2.0, 2.0], vec![1.0]).unwrap();
+        let b = Tridiagonal::new(vec![], vec![2.0], vec![]).unwrap();
+        assert!(TridiagonalLanes::from_systems(&[a.clone(), b]).is_err());
+        let lanes = TridiagonalLanes::from_systems(&[a]).unwrap();
+        assert!(lanes.solve_all(&[1.0]).is_err());
+        assert!(lanes.mul_vec_all(&[1.0, 2.0, 3.0]).is_err());
+        assert!(matches!(
+            TridiagonalLanes::from_birth_death_rates(&[]),
+            Err(LinalgError::Empty)
+        ));
+        assert!(TridiagonalLanes::from_birth_death_rates(&[(&[], &[])]).is_err());
+        assert!(TridiagonalLanes::from_birth_death_rates(&[(&[1.0], &[1.0, 2.0])]).is_err());
+        assert!(TridiagonalLanes::from_birth_death_rates(&[(&[f64::NAN], &[1.0])]).is_err());
+    }
+
+    #[test]
+    fn singular_lane_reports_scalar_pivot_index() {
+        let good = Tridiagonal::new(vec![1.0], vec![2.0, 2.0], vec![1.0]).unwrap();
+        let bad = Tridiagonal::new(vec![1.0], vec![0.0, 1.0], vec![1.0]).unwrap();
+        let lanes = TridiagonalLanes::from_systems(&[good, bad]).unwrap();
+        match lanes.solve_all(&[1.0, 1.0, 1.0, 1.0]) {
+            Err(LinalgError::Singular { pivot }) => assert_eq!(pivot, 0),
+            other => panic!("expected singular, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_state_family() {
+        let t = Tridiagonal::new(vec![], vec![4.0], vec![]).unwrap();
+        let lanes = TridiagonalLanes::from_systems(&[t.clone(), t]).unwrap();
+        let x = lanes.solve_all(&[8.0, 12.0]).unwrap();
+        assert_eq!(x, vec![2.0, 3.0]);
+    }
+}

@@ -35,6 +35,7 @@
 //! ```
 
 #![allow(clippy::needless_range_loop)] // index loops mirror the math
+pub mod batch;
 mod error;
 pub mod iterative;
 mod lu;
@@ -43,6 +44,7 @@ mod sparse;
 mod tridiagonal;
 pub mod vector;
 
+pub use batch::TridiagonalLanes;
 pub use error::LinalgError;
 pub use lu::{solve, Lu, LuWorkspace};
 pub use matrix::Matrix;

@@ -346,8 +346,10 @@ impl Drop for TraceSpan {
 
 /// Drains every flushed ring plus the calling thread's ring into one
 /// [`TraceData`]. Rings of threads that are still alive (other than the
-/// caller) are not visible until those threads exit — the engine's
-/// scoped workers always have by export time.
+/// caller) are not visible until those threads exit or call
+/// [`flush_current_thread`] — the engine's worker loops flush explicitly
+/// before returning, because a joined `std::thread::scope` does not imply
+/// its workers' thread-local destructors have run.
 pub fn take_trace() -> TraceData {
     let mut data = {
         let mut sink = SINK.lock().unwrap_or_else(|e| e.into_inner());
@@ -359,6 +361,26 @@ pub fn take_trace() -> TraceData {
         }
     });
     data
+}
+
+/// Flushes the calling thread's ring into the global sink without waiting
+/// for thread exit.
+///
+/// `std::thread::scope` joins when a worker's *closure* finishes, which
+/// happens before the worker's thread-local destructors run — so a
+/// freshly-joined scope does not guarantee its workers' rings reached the
+/// sink yet, and a [`take_trace`] racing that teardown window silently
+/// loses those workers' events. Worker loops call this as their last act
+/// so everything they recorded is visible the moment the scope returns.
+pub fn flush_current_thread() {
+    let _ = LOCAL_RING.try_with(|cell| {
+        if let Some(ring) = cell.borrow_mut().as_mut() {
+            if !ring.events.is_empty() || ring.dropped > 0 {
+                let mut sink = SINK.lock().unwrap_or_else(|e| e.into_inner());
+                ring.flush_into(&mut sink);
+            }
+        }
+    });
 }
 
 /// Discards all buffered trace events and drop counts (sink and calling

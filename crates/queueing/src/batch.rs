@@ -1,0 +1,334 @@
+//! Structure-of-arrays batch kernel for M/M/c/K state distributions.
+//!
+//! The paper's web-server farm availability needs the loss probability
+//! `p_K(i)` of an M/M/i/K queue for *every* operational server count
+//! `i = 1..=N_W` at each sweep point. Computed one queue at a time, the
+//! birth–death recurrence walks `K + 1` states per server count; computed
+//! as a family, the recurrence over states is shared and the per-`c` work
+//! becomes one *lane* of a structure-of-arrays buffer, so the inner loop
+//! runs over lanes — independent, branch-free, and auto-vectorizable.
+//!
+//! Bit-for-bit identity with the scalar path is a hard requirement (the
+//! batched sweep twins must reproduce the `_with` paths exactly): each
+//! lane performs exactly the floating-point operations of
+//! `MMcK::with_distribution_buf`'s recurrence — same multiply by
+//! `a / min(n + 1, c)`, same running-maximum rescale, same normalization
+//! order — so lane `c` of the family equals the scalar distribution of
+//! the `c`-server queue to the last ulp. The unit tests pin this.
+//!
+//! The inner lane loops are manually unrolled by four. There are no SIMD
+//! intrinsics here — plain `f64` arithmetic the autovectorizer can lift,
+//! keeping the crate std-only and portable.
+
+use crate::{check_rate, QueueingError};
+
+/// State distributions of the M/M/c/K family `c = 1..=max_servers` with a
+/// shared arrival rate, per-server service rate, and capacity.
+///
+/// Storage is structure-of-arrays: `weights[n * max_servers + (c - 1)]`
+/// holds `p_n` of the `c`-server queue, so the recurrence's inner loop is
+/// contiguous over `c` lanes.
+///
+/// # Examples
+///
+/// ```
+/// use uavail_queueing::{MmckFamily, MMcK};
+///
+/// # fn main() -> Result<(), uavail_queueing::QueueingError> {
+/// let family = MmckFamily::compute(100.0, 100.0, 4, 10)?;
+/// let scalar = MMcK::new(100.0, 100.0, 4, 10)?;
+/// assert_eq!(
+///     family.loss_probability(4).to_bits(),
+///     scalar.loss_probability().to_bits()
+/// );
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MmckFamily {
+    max_servers: usize,
+    capacity: usize,
+    /// `(capacity + 1) × max_servers` row-major by state; plus two
+    /// `max_servers`-sized tails for the running maxima and the
+    /// normalization totals, kept in the same allocation so the family is
+    /// one buffer to recycle.
+    weights: Vec<f64>,
+}
+
+impl MmckFamily {
+    /// Computes the family of distributions, allocating a fresh buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueingError::InvalidParameter`] under exactly the conditions
+    /// `MMcK::new` rejects any member of the family: negative or
+    /// non-finite arrival rate, non-positive service rate,
+    /// `max_servers == 0`, or `capacity < max_servers`.
+    pub fn compute(
+        arrival_rate: f64,
+        service_rate: f64,
+        max_servers: usize,
+        capacity: usize,
+    ) -> Result<Self, QueueingError> {
+        Self::with_buffer(
+            arrival_rate,
+            service_rate,
+            max_servers,
+            capacity,
+            Vec::new(),
+        )
+    }
+
+    /// Like [`MmckFamily::compute`] but reuses `buf` as the backing
+    /// storage (recover it with [`MmckFamily::into_buffer`]), so warm
+    /// sweep blocks recycle one allocation across all points.
+    ///
+    /// # Errors
+    ///
+    /// As for [`MmckFamily::compute`]; on error `buf` is dropped.
+    pub fn with_buffer(
+        arrival_rate: f64,
+        service_rate: f64,
+        max_servers: usize,
+        capacity: usize,
+        mut buf: Vec<f64>,
+    ) -> Result<Self, QueueingError> {
+        if !(arrival_rate.is_finite() && arrival_rate >= 0.0) {
+            return Err(QueueingError::InvalidParameter {
+                name: "arrival_rate",
+                value: arrival_rate,
+                requirement: "finite and non-negative",
+            });
+        }
+        check_rate("service_rate", service_rate)?;
+        if max_servers == 0 {
+            return Err(QueueingError::InvalidParameter {
+                name: "max_servers",
+                value: 0.0,
+                requirement: "at least 1",
+            });
+        }
+        if capacity < max_servers {
+            return Err(QueueingError::InvalidParameter {
+                name: "capacity",
+                value: capacity as f64,
+                requirement: "at least the number of servers",
+            });
+        }
+        let a = arrival_rate / service_rate;
+        let width = max_servers;
+        let k = capacity;
+        buf.clear();
+        buf.resize((k + 1) * width + 2 * width, 0.0);
+        let (weights, tails) = buf.split_at_mut((k + 1) * width);
+        let (maxes, totals) = tails.split_at_mut(width);
+
+        // State 0: every lane starts at weight 1, running max 1 — the
+        // scalar recurrence's `w = 1.0; max = 1.0`.
+        weights[..width].fill(1.0);
+        maxes.fill(1.0);
+
+        // Recurrence rows: lane c - 1 multiplies by a / min(n + 1, c) and
+        // tracks its running maximum, exactly as the scalar loop does for
+        // the c-server queue. The lane loop is unrolled by four; each lane
+        // is independent, so the unroll changes scheduling, never values.
+        for n in 0..k {
+            let (prev_rows, cur_rows) = weights.split_at_mut((n + 1) * width);
+            let prev = &prev_rows[n * width..];
+            let cur = &mut cur_rows[..width];
+            let mut lane = 0;
+            macro_rules! step {
+                ($l:expr) => {{
+                    let eff = (n + 1).min($l + 1) as f64;
+                    let v = prev[$l] * (a / eff);
+                    cur[$l] = v;
+                    maxes[$l] = maxes[$l].max(v);
+                }};
+            }
+            while lane + 4 <= width {
+                step!(lane);
+                step!(lane + 1);
+                step!(lane + 2);
+                step!(lane + 3);
+                lane += 4;
+            }
+            while lane < width {
+                step!(lane);
+                lane += 1;
+            }
+        }
+
+        // Normalization totals, accumulated in increasing state order per
+        // lane — the scalar `out.iter().map(|v| v / max).sum()`.
+        for n in 0..=k {
+            let row = &weights[n * width..(n + 1) * width];
+            let mut lane = 0;
+            macro_rules! acc {
+                ($l:expr) => {{
+                    totals[$l] += row[$l] / maxes[$l];
+                }};
+            }
+            while lane + 4 <= width {
+                acc!(lane);
+                acc!(lane + 1);
+                acc!(lane + 2);
+                acc!(lane + 3);
+                lane += 4;
+            }
+            while lane < width {
+                acc!(lane);
+                lane += 1;
+            }
+        }
+
+        // Final per-element normalization `(v / max) / total`.
+        for n in 0..=k {
+            let row = &mut weights[n * width..(n + 1) * width];
+            let mut lane = 0;
+            macro_rules! norm {
+                ($l:expr) => {{
+                    row[$l] = (row[$l] / maxes[$l]) / totals[$l];
+                }};
+            }
+            while lane + 4 <= width {
+                norm!(lane);
+                norm!(lane + 1);
+                norm!(lane + 2);
+                norm!(lane + 3);
+                lane += 4;
+            }
+            while lane < width {
+                norm!(lane);
+                lane += 1;
+            }
+        }
+
+        Ok(MmckFamily {
+            max_servers,
+            capacity,
+            weights: buf,
+        })
+    }
+
+    /// Largest server count in the family.
+    pub fn max_servers(&self) -> usize {
+        self.max_servers
+    }
+
+    /// Shared system capacity `K`.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Blocking probability `p_K` of the `servers`-server member,
+    /// bit-identical to `MMcK::loss_probability` for the same parameters.
+    ///
+    /// # Panics
+    ///
+    /// When `servers` is 0 or exceeds [`MmckFamily::max_servers`].
+    pub fn loss_probability(&self, servers: usize) -> f64 {
+        assert!(
+            (1..=self.max_servers).contains(&servers),
+            "servers {servers} outside family 1..={}",
+            self.max_servers
+        );
+        self.weights[self.capacity * self.max_servers + (servers - 1)]
+    }
+
+    /// Copies the full distribution `p_0 ..= p_K` of the `servers`-server
+    /// member into `out` (cleared first), bit-identical to
+    /// `MMcK::distribution` for the same parameters.
+    ///
+    /// # Panics
+    ///
+    /// When `servers` is 0 or exceeds [`MmckFamily::max_servers`].
+    pub fn copy_distribution_into(&self, servers: usize, out: &mut Vec<f64>) {
+        assert!(
+            (1..=self.max_servers).contains(&servers),
+            "servers {servers} outside family 1..={}",
+            self.max_servers
+        );
+        out.clear();
+        out.reserve(self.capacity + 1);
+        let lane = servers - 1;
+        for n in 0..=self.capacity {
+            out.push(self.weights[n * self.max_servers + lane]);
+        }
+    }
+
+    /// Consumes the family and returns the backing buffer for reuse.
+    pub fn into_buffer(self) -> Vec<f64> {
+        self.weights
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MMcK;
+
+    #[test]
+    fn every_lane_is_bit_identical_to_the_scalar_queue() {
+        for &(alpha, nu, c_max, k) in &[
+            (100.0, 100.0, 10usize, 100usize),
+            (50.0, 100.0, 4, 10),
+            (150.0, 100.0, 7, 7),
+            (1000.0, 10.0, 3, 6),
+            (0.0, 100.0, 5, 12),
+            (1e-6, 10.0, 6, 50),
+        ] {
+            let family = MmckFamily::compute(alpha, nu, c_max, k).unwrap();
+            let mut dist = Vec::new();
+            for c in 1..=c_max {
+                let scalar = MMcK::new(alpha, nu, c, k).unwrap();
+                assert_eq!(
+                    family.loss_probability(c).to_bits(),
+                    scalar.loss_probability().to_bits(),
+                    "loss mismatch at alpha={alpha} nu={nu} c={c} k={k}"
+                );
+                family.copy_distribution_into(c, &mut dist);
+                assert_eq!(dist.len(), scalar.distribution().len());
+                for (n, (b, s)) in dist.iter().zip(scalar.distribution()).enumerate() {
+                    assert_eq!(
+                        b.to_bits(),
+                        s.to_bits(),
+                        "p_{n} mismatch at alpha={alpha} c={c} k={k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn buffer_round_trip_is_bit_identical() {
+        let fresh = MmckFamily::compute(100.0, 100.0, 4, 10).unwrap();
+        let stale = vec![42.0; 7];
+        let reused = MmckFamily::with_buffer(100.0, 100.0, 4, 10, stale).unwrap();
+        assert_eq!(fresh, reused);
+        let buf = reused.into_buffer();
+        // Next family with different shape fully reinitializes the buffer.
+        let next = MmckFamily::with_buffer(90.0, 30.0, 3, 12, buf).unwrap();
+        let scalar = MMcK::new(90.0, 30.0, 3, 12).unwrap();
+        assert_eq!(
+            next.loss_probability(3).to_bits(),
+            scalar.loss_probability().to_bits()
+        );
+    }
+
+    #[test]
+    fn validation_matches_scalar_constructor() {
+        assert!(MmckFamily::compute(-1.0, 1.0, 1, 5).is_err());
+        assert!(MmckFamily::compute(f64::NAN, 1.0, 1, 5).is_err());
+        assert!(MmckFamily::compute(1.0, 0.0, 1, 5).is_err());
+        assert!(MmckFamily::compute(1.0, 1.0, 0, 5).is_err());
+        assert!(MmckFamily::compute(1.0, 1.0, 6, 5).is_err());
+        assert!(MmckFamily::compute(1.0, 1.0, 5, 5).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside family")]
+    fn out_of_family_lane_panics() {
+        let family = MmckFamily::compute(1.0, 1.0, 2, 5).unwrap();
+        let _ = family.loss_probability(3);
+    }
+}

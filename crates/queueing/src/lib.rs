@@ -41,6 +41,7 @@
 //! # }
 //! ```
 
+pub mod batch;
 mod birth_death_queue;
 pub mod erlang;
 mod error;
@@ -51,6 +52,7 @@ mod mmc;
 mod mmck;
 pub mod response_time;
 
+pub use batch::MmckFamily;
 pub use birth_death_queue::BirthDeathQueue;
 pub use error::QueueingError;
 pub use mg1::MG1;

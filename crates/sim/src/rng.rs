@@ -26,8 +26,16 @@ use rand::Rng;
 pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
     debug_assert!(rate > 0.0, "exponential rate must be positive");
     let u: f64 = rng.random();
-    // 1 - u in (0, 1]: ln never sees zero.
-    -(1.0 - u).ln() / rate
+    // 1 - u in (0, 1]: ln never sees zero. But u == 0.0 maps to -0.0/rate,
+    // and a zero inter-event time creates simultaneous events (ties) in a
+    // DES future-event list; clamp that single lattice point to the
+    // smallest positive draw. Every u > 0 returns the same value as before.
+    let t = -(1.0 - u).ln() / rate;
+    if t > 0.0 {
+        t
+    } else {
+        f64::MIN_POSITIVE
+    }
 }
 
 /// Bernoulli draw with success probability `p`.
@@ -50,7 +58,9 @@ pub fn bernoulli<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
 }
 
 /// Picks an index from a slice of non-negative weights, proportionally.
-/// Returns `None` when all weights are zero.
+/// Returns `None` when all weights are zero or when any weight is
+/// non-finite (a NaN weight would otherwise poison the running total and
+/// silently degrade the draw to the last positive index).
 ///
 /// # Examples
 ///
@@ -64,7 +74,12 @@ pub fn bernoulli<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
 /// ```
 pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> Option<usize> {
     let total: f64 = weights.iter().sum();
-    if total <= 0.0 {
+    // A NaN weight makes the total NaN (every comparison below false) and
+    // an infinite weight breaks the subtraction scan; both are caller bugs,
+    // reported as "no valid index" rather than a silently biased draw. The
+    // check runs before any draw, so seeded streams of valid callers are
+    // untouched.
+    if !total.is_finite() || total <= 0.0 {
         return None;
     }
     let mut u: f64 = rng.random::<f64>() * total;
@@ -120,5 +135,65 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         assert_eq!(weighted_index(&mut rng, &[0.0, 0.0]), None);
         assert_eq!(weighted_index(&mut rng, &[]), None);
+    }
+
+    /// Forces the `u == 0.0` lattice point: `next_u64() == 0` maps to the
+    /// float draw 0.0 under the shim's 53-bit construction.
+    struct ZeroRng;
+
+    impl rand::RngCore for ZeroRng {
+        fn next_u64(&mut self) -> u64 {
+            0
+        }
+    }
+
+    #[test]
+    fn exponential_never_returns_zero() {
+        let t = exponential(&mut ZeroRng, 4.0);
+        assert!(t > 0.0, "u == 0.0 must not produce a zero inter-event time");
+        assert_eq!(t, f64::MIN_POSITIVE);
+        // Large rates cannot underflow the clamp back to zero either.
+        assert!(exponential(&mut ZeroRng, 1e300) > 0.0);
+    }
+
+    #[test]
+    fn weighted_index_rejects_non_finite_weights() {
+        let mut rng = StdRng::seed_from_u64(17);
+        // NaN poisons the total: must refuse, not pick the last positive.
+        assert_eq!(weighted_index(&mut rng, &[1.0, f64::NAN, 3.0]), None);
+        assert_eq!(weighted_index(&mut rng, &[f64::INFINITY, 1.0]), None);
+        assert_eq!(
+            weighted_index(&mut rng, &[f64::INFINITY, f64::NEG_INFINITY]),
+            None
+        );
+    }
+
+    /// The fixes only touch invalid inputs, so existing seeded streams
+    /// must replay bit-for-bit. Pinned against the pre-fix sampler
+    /// (`-ln(1 - u) / rate` and the plain subtraction scan).
+    #[test]
+    fn seeded_streams_unchanged_by_fixes() {
+        let mut fixed = StdRng::seed_from_u64(42);
+        let mut reference = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let got = exponential(&mut fixed, 3.0);
+            let u: f64 = reference.random();
+            let want = -(1.0 - u).ln() / 3.0;
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+        let weights = [0.5, 1.5, 2.0];
+        for _ in 0..10_000 {
+            let got = weighted_index(&mut fixed, &weights);
+            let mut u: f64 = reference.random::<f64>() * 4.0;
+            let mut want = None;
+            for (i, &w) in weights.iter().enumerate() {
+                if u < w {
+                    want = Some(i);
+                    break;
+                }
+                u -= w;
+            }
+            assert_eq!(got, want.or(Some(2)));
+        }
     }
 }

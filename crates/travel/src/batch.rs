@@ -1,0 +1,327 @@
+//! Batched evaluation — block-level reuse on top of [`EvalContext`].
+//!
+//! The `*_with` evaluation paths reuse *buffers* across points; this layer
+//! additionally reuses *model structure* that is invariant across a whole
+//! block of neighboring sweep points. A [`BatchContext`] wraps an
+//! [`EvalContext`] and adds:
+//!
+//! * **M/M/c/K family priming** — within one `(λ, α)` series the queueing
+//!   model only varies in its server count, so one structure-of-arrays
+//!   [`uavail_queueing::MmckFamily`] solve fills the process-wide loss
+//!   memo for every farm size at once (each lane bit-identical to the
+//!   incremental scalar recurrence).
+//! * **Series memos** — a repeated figure series or Table 8 request
+//!   replays the exact stored bits of its first computation.
+//!
+//! The figure sweeps are driven through
+//! [`uavail_core::sweep::sweep_batched`], which partitions the 90-point
+//! grid into contiguous blocks and hands each whole block to the
+//! evaluator. Every batched twin is **bit-for-bit identical** to its
+//! `*_with` counterpart (pinned in the crate's `batched_identity`
+//! integration tests); batching changes only *when* shared structure is
+//! computed, never *what* arithmetic produces each result.
+
+use std::collections::{HashMap, HashSet};
+
+use uavail_core::par::{default_threads, par_map_threads_with};
+use uavail_core::CoreError;
+
+use crate::context::EvalContext;
+use crate::evaluation::{
+    count_figure_points, figure_point_with, figure_points_grid, table8_with, FigurePoint, Table8Row,
+};
+use crate::{webservice, TaParameters, TravelError};
+
+/// Farm sizes covered by one figure series (`N_W = 1 ..= 10`).
+const SERIES_LEN: usize = 10;
+
+/// Bound on the per-(figure, λ, α) series memo; the paper grids need 18
+/// entries, the cap only matters for open-ended custom sweeps.
+const FIGURE_SERIES_CAP: usize = 1024;
+
+/// Memo key of one figure series: the coverage flavor plus the bit
+/// patterns of `(λ, α)`.
+type SeriesKey = (bool, u64, u64);
+
+/// Block-evaluation workspace: an [`EvalContext`] plus the block-invariant
+/// structures the batched twins detect and reuse.
+///
+/// Like [`EvalContext`], a `BatchContext` is cheap to create and
+/// transparent: every result replays the exact bits the scalar path would
+/// produce. For parallel batched sweeps each worker owns one.
+///
+/// # Examples
+///
+/// ```
+/// use uavail_travel::batch::{figure12_batched, BatchContext};
+///
+/// # fn main() -> Result<(), uavail_travel::TravelError> {
+/// let mut bctx = BatchContext::new();
+/// let batched = figure12_batched(10, &mut bctx)?;
+/// let scalar = uavail_travel::evaluation::figure12()?;
+/// assert_eq!(batched, scalar);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct BatchContext {
+    /// The wrapped per-point evaluation scratch.
+    ctx: EvalContext,
+    /// M/M/c/K families already primed into the loss memo, keyed by
+    /// `(α, ν, K, max_servers)` bits.
+    primed: HashSet<(u64, u64, usize, usize)>,
+    /// Family weight workspace, reused across primings.
+    prime_buf: Vec<f64>,
+    /// Memoized unavailability series, one slot per `N_W = 1 ..= 10`.
+    figure_series: HashMap<SeriesKey, [Option<f64>; SERIES_LEN]>,
+    /// Memoized Table 8 (the table takes no parameters).
+    table8_memo: Option<Vec<Table8Row>>,
+}
+
+impl BatchContext {
+    /// Creates an empty batch context; storage grows on first use.
+    pub fn new() -> Self {
+        BatchContext::default()
+    }
+
+    /// The wrapped [`EvalContext`], for mixing batched and `*_with` calls
+    /// on the same warm storage.
+    pub fn eval_context(&mut self) -> &mut EvalContext {
+        &mut self.ctx
+    }
+
+    /// Number of evaluations that reused previously-warmed storage.
+    pub fn reuse_count(&self) -> u64 {
+        self.ctx.reuse_count()
+    }
+
+    /// Primes the loss memo for all farm sizes `1 ..= max_servers` at
+    /// `params`' queueing parameters with one family solve, at most once
+    /// per distinct `(α, ν, K, max_servers)`.
+    fn prime(&mut self, params: &TaParameters, max_servers: usize) -> Result<(), TravelError> {
+        let key = (
+            params.arrival_rate_per_second.to_bits(),
+            params.service_rate_per_second.to_bits(),
+            params.buffer_size,
+            max_servers,
+        );
+        if self.primed.insert(key) {
+            webservice::prime_loss_family(params, max_servers, &mut self.prime_buf)?;
+        }
+        Ok(())
+    }
+
+    /// One figure point through the batched layer: a series-memo hit
+    /// replays stored bits; a miss primes the block-invariant M/M/c/K
+    /// family and evaluates through the scalar `figure_point_with` path.
+    fn figure_point(
+        &mut self,
+        perfect: bool,
+        lambda: f64,
+        alpha: f64,
+        nw: usize,
+    ) -> Result<FigurePoint, TravelError> {
+        let key = (perfect, lambda.to_bits(), alpha.to_bits());
+        let in_series = (1..=SERIES_LEN).contains(&nw);
+        if in_series {
+            if let Some(u) = self.figure_series.get(&key).and_then(|s| s[nw - 1]) {
+                uavail_obs::counter_add("travel.batch.series_hits", 1);
+                return Ok(FigurePoint {
+                    failure_rate_per_hour: lambda,
+                    arrival_rate_per_second: alpha,
+                    web_servers: nw,
+                    unavailability: u,
+                });
+            }
+            // The queueing side of the series depends only on α (λ never
+            // enters the performance model): one family solve covers all
+            // ten farm sizes of this series.
+            let probe = TaParameters::builder()
+                .arrival_rate_per_second(alpha)
+                .build()?;
+            self.prime(&probe, SERIES_LEN)?;
+        }
+        let point = figure_point_with(perfect, lambda, alpha, nw, &mut self.ctx)?;
+        if in_series {
+            if self.figure_series.len() >= FIGURE_SERIES_CAP {
+                self.figure_series.clear();
+            }
+            self.figure_series.entry(key).or_insert([None; SERIES_LEN])[nw - 1] =
+                Some(point.unavailability);
+        }
+        Ok(point)
+    }
+}
+
+/// Batched figure sweep: the 90-point grid is partitioned into blocks of
+/// up to `block` points by [`uavail_core::sweep::sweep_batched`] and
+/// evaluated through `bctx`, bit-for-bit the scalar sweep's result.
+fn figure_sweep_batched(
+    perfect: bool,
+    block: usize,
+    bctx: &mut BatchContext,
+) -> Result<Vec<FigurePoint>, TravelError> {
+    let _span = uavail_obs::span("travel.figure_sweep_batched");
+    let grid = figure_points_grid();
+    count_figure_points(perfect, grid.len());
+    // The sweep engine drives f64 parameter values; the figure grid is a
+    // 3-axis product, so the engine sweeps point *indices* and the
+    // evaluator decodes them. The model error is stashed alongside the
+    // workspace because the engine's error channel is CoreError-typed;
+    // the placeholder it carries is discarded in favor of the stash.
+    let xs: Vec<f64> = (0..grid.len()).map(|i| i as f64).collect();
+    let mut ws = (bctx, None::<TravelError>);
+    let swept = uavail_core::sweep::sweep_batched(&xs, block, &mut ws, |ws, xs, out| {
+        for &x in xs {
+            let (lambda, alpha, nw) = grid[x as usize];
+            match ws.0.figure_point(perfect, lambda, alpha, nw) {
+                Ok(point) => out.push(point.unavailability),
+                Err(e) => {
+                    let reason = e.to_string();
+                    ws.1 = Some(e);
+                    return Err(CoreError::BadWeights { reason });
+                }
+            }
+        }
+        Ok(())
+    });
+    match swept {
+        Ok(points) => Ok(points
+            .iter()
+            .zip(&grid)
+            .map(|(p, &(lambda, alpha, nw))| FigurePoint {
+                failure_rate_per_hour: lambda,
+                arrival_rate_per_second: alpha,
+                web_servers: nw,
+                unavailability: p.y,
+            })
+            .collect()),
+        Err(e) => Err(ws.1.take().unwrap_or(TravelError::Core(e))),
+    }
+}
+
+/// Parallel [`figure_sweep_batched`]: grid blocks are distributed over
+/// scoped workers, each owning a private [`BatchContext`]; the merged
+/// result is bit-for-bit the serial batched (and scalar) sweep's.
+fn figure_sweep_parallel_batched(
+    perfect: bool,
+    block: usize,
+    threads: usize,
+) -> Result<Vec<FigurePoint>, TravelError> {
+    if block == 0 {
+        return Err(TravelError::Core(CoreError::BadWeights {
+            reason: "batched sweep block size must be at least 1".into(),
+        }));
+    }
+    let _span = uavail_obs::span("travel.figure_sweep_parallel_batched");
+    let grid = figure_points_grid();
+    count_figure_points(perfect, grid.len());
+    let blocks: Vec<&[(f64, f64, usize)]> = grid.chunks(block).collect();
+    let per_block = par_map_threads_with(&blocks, threads, BatchContext::new, |bctx, chunk| {
+        chunk
+            .iter()
+            .map(|&(lambda, alpha, nw)| bctx.figure_point(perfect, lambda, alpha, nw))
+            .collect::<Result<Vec<_>, TravelError>>()
+    })?;
+    Ok(per_block.into_iter().flatten().collect())
+}
+
+/// Batched [`crate::evaluation::figure11`]: same 90 points, bit for bit,
+/// with block-level structure reuse through `bctx`.
+///
+/// # Errors
+///
+/// Exactly the errors `figure11` would produce, plus a
+/// [`CoreError::BadWeights`] rejection of `block == 0`.
+pub fn figure11_batched(
+    block: usize,
+    bctx: &mut BatchContext,
+) -> Result<Vec<FigurePoint>, TravelError> {
+    figure_sweep_batched(true, block, bctx)
+}
+
+/// Batched [`crate::evaluation::figure12`]: same 90 points, bit for bit,
+/// with block-level structure reuse through `bctx`.
+///
+/// # Errors
+///
+/// Exactly the errors `figure12` would produce, plus a
+/// [`CoreError::BadWeights`] rejection of `block == 0`.
+pub fn figure12_batched(
+    block: usize,
+    bctx: &mut BatchContext,
+) -> Result<Vec<FigurePoint>, TravelError> {
+    figure_sweep_batched(false, block, bctx)
+}
+
+/// Parallel [`figure11_batched`] on all available cores, one
+/// [`BatchContext`] per worker.
+///
+/// # Errors
+///
+/// Exactly the errors [`figure11_batched`] would produce.
+pub fn figure11_parallel_batched(block: usize) -> Result<Vec<FigurePoint>, TravelError> {
+    figure_sweep_parallel_batched(true, block, default_threads())
+}
+
+/// Parallel [`figure12_batched`] on all available cores, one
+/// [`BatchContext`] per worker.
+///
+/// # Errors
+///
+/// Exactly the errors [`figure12_batched`] would produce.
+pub fn figure12_parallel_batched(block: usize) -> Result<Vec<FigurePoint>, TravelError> {
+    figure_sweep_parallel_batched(false, block, default_threads())
+}
+
+/// Batched [`crate::evaluation::table8`]: the six-row table is computed
+/// once — after priming the paper-default M/M/c/K family in one solve —
+/// and replayed bit-for-bit on every later call.
+///
+/// # Errors
+///
+/// Exactly the errors `table8` would produce.
+pub fn table8_batched(bctx: &mut BatchContext) -> Result<Vec<Table8Row>, TravelError> {
+    if let Some(rows) = &bctx.table8_memo {
+        uavail_obs::counter_add("travel.batch.table8_memo_hits", 1);
+        return Ok(rows.clone());
+    }
+    let base = TaParameters::paper_defaults();
+    bctx.prime(&base, base.web_servers)?;
+    let rows = table8_with(&mut bctx.ctx)?;
+    bctx.table8_memo = Some(rows.clone());
+    Ok(rows)
+}
+
+/// Batched [`crate::evaluation::min_web_servers_for`]: candidate farm
+/// sizes share one primed M/M/c/K family (all candidates up to `K = 10`
+/// use the same buffer size), with bit-for-bit the same threshold
+/// decisions as the scalar search.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn min_web_servers_for_batched(
+    target_unavailability: f64,
+    failure_rate_per_hour: f64,
+    arrival_rate_per_second: f64,
+    max_servers: usize,
+    bctx: &mut BatchContext,
+) -> Result<Option<usize>, TravelError> {
+    for nw in 1..=max_servers {
+        let params = TaParameters::builder()
+            .web_servers(nw)
+            // The paper holds K = 10 up to N_W = 10; for larger farms the
+            // buffer must at least hold one request per server.
+            .buffer_size(10.max(nw))
+            .failure_rate_per_hour(failure_rate_per_hour)
+            .arrival_rate_per_second(arrival_rate_per_second)
+            .build()?;
+        bctx.prime(&params, max_servers.min(params.buffer_size))?;
+        let a = webservice::redundant_imperfect_availability_with(&params, &mut bctx.ctx)?;
+        if 1.0 - a < target_unavailability {
+            return Ok(Some(nw));
+        }
+    }
+    Ok(None)
+}

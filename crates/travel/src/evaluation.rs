@@ -139,7 +139,7 @@ pub fn figure_grid() -> (Vec<f64>, Vec<f64>) {
 
 /// The flattened `(λ, α, N_W)` evaluation grid of Figures 11–12, in the
 /// order the serial sweep visits it.
-fn figure_points_grid() -> Vec<(f64, f64, usize)> {
+pub(crate) fn figure_points_grid() -> Vec<(f64, f64, usize)> {
     let (lambdas, alphas) = figure_grid();
     let mut grid = Vec::with_capacity(lambdas.len() * alphas.len() * 10);
     for &lambda in &lambdas {
@@ -183,7 +183,7 @@ fn figure_point(
 /// Context-reusing twin of [`figure_point`] — same parameters, same
 /// instrumentation, bit-for-bit the same result, but every solver buffer
 /// comes from `ctx`.
-fn figure_point_with(
+pub(crate) fn figure_point_with(
     perfect: bool,
     lambda: f64,
     alpha: f64,
@@ -212,7 +212,7 @@ fn figure_point_with(
 
 /// Counts the points of one figure sweep under the figure's own name, so
 /// the metrics artifact reports per-figure coverage.
-fn count_figure_points(perfect: bool, points: usize) {
+pub(crate) fn count_figure_points(perfect: bool, points: usize) {
     let name = if perfect {
         "travel.fig11.points"
     } else {

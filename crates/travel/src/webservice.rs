@@ -20,14 +20,14 @@ use std::sync::OnceLock;
 use uavail_core::composite::{
     composite_availability, composite_availability_from_iter, CompositeState,
 };
-use uavail_linalg::Matrix;
+use uavail_linalg::{CsrMatrix, Matrix};
 use uavail_markov::{
     gth_steady_state_into, steady_state_mass_drift, BirthDeath, CtmcBuilder, MarkovError,
     SparseCtmc, STEADY_STATE_DRIFT_TOLERANCE,
 };
-use uavail_queueing::{MMcK, MM1K};
+use uavail_queueing::{MMcK, MmckFamily, MM1K};
 
-use crate::context::EvalContext;
+use crate::context::{EvalContext, FarmStructure};
 use crate::loss_cache::{LossKey, ShardedLossCache};
 use crate::{TaParameters, TravelError};
 
@@ -145,6 +145,48 @@ pub fn loss_probability_with(
     *dist_buf = q.into_distribution_buf();
     loss_cache().insert(key, p);
     Ok(p)
+}
+
+/// Primes the [`loss_probability`] memo for every operational server
+/// count `1 ..= max_servers` at `params`' `(α, ν, K)` with one batched
+/// [`MmckFamily`] solve (the structure-of-arrays recurrence in
+/// `uavail-queueing`), instead of `max_servers` independent incremental
+/// [`MMcK`] solves. Each lane is bit-identical to the scalar model, so
+/// priming is observationally transparent to every later
+/// [`loss_probability`] / [`loss_probability_with`] call. Keys already
+/// memoized are left untouched; the family solve is skipped entirely when
+/// nothing is missing.
+///
+/// `buf` is the family's weight workspace, reused across primings.
+///
+/// # Errors
+///
+/// Propagates parameter-domain failures from the queueing model.
+pub(crate) fn prime_loss_family(
+    params: &TaParameters,
+    max_servers: usize,
+    buf: &mut Vec<f64>,
+) -> Result<(), TravelError> {
+    let m = max_servers.min(params.buffer_size);
+    if m == 0 || (1..=m).all(|i| loss_cache().get(&loss_key(params, i)).is_some()) {
+        return Ok(());
+    }
+    let family = MmckFamily::with_buffer(
+        params.arrival_rate_per_second,
+        params.service_rate_per_second,
+        m,
+        params.buffer_size,
+        std::mem::take(buf),
+    )?;
+    for i in 1..=m {
+        let key = loss_key(params, i);
+        if loss_cache().get(&key).is_none() {
+            loss_cache().insert(key, family.loss_probability(i));
+        }
+    }
+    uavail_obs::counter_add("travel.batch.primed_families", 1);
+    *buf = family.into_buffer();
+    Ok(())
 }
 
 /// Farm state count (`2·N_W + 1`) above which the imperfect-coverage
@@ -360,9 +402,12 @@ pub fn farm_distribution_imperfect_sparse(
 /// Buffer-reusing twin of [`farm_distribution_imperfect`]: solves the
 /// farm into `ctx.farm_op` / `ctx.farm_y`, reusing the context's
 /// generator (small farms) or transition-list (large farms) buffers.
-/// Bit-for-bit identical to the allocating path; unlike
-/// [`redundant_imperfect_availability_with`] there is no memo in front,
-/// so every call performs the full solve.
+/// Bit-for-bit identical to the allocating path. Like
+/// [`redundant_imperfect_availability_with`], a per-context memo fronts
+/// the solve: a repeated parameter point replays the exact stored bits of
+/// the first computation instead of re-running the solver, and
+/// same-shape large farms reuse the cached CSR sparsity pattern of the
+/// previous assembly.
 ///
 /// # Errors
 ///
@@ -376,6 +421,24 @@ pub fn farm_distribution_imperfect_with(
     farm_distribution_imperfect_into(params, ctx)
 }
 
+/// Memo-fronted farm solve: replays a stored solution when the parameter
+/// point has been seen before, otherwise computes and records it. The
+/// caller must have validated `params` already.
+fn farm_distribution_imperfect_into(
+    params: &TaParameters,
+    ctx: &mut EvalContext,
+) -> Result<(), TravelError> {
+    let key = EvalContext::farm_key(params);
+    if ctx.recall_farm(&key) {
+        uavail_obs::trace_instant("travel.farm.memo_hit");
+        uavail_obs::counter_add("travel.farm.memo_hits", 1);
+        return Ok(());
+    }
+    farm_distribution_imperfect_compute(params, ctx)?;
+    ctx.remember_farm(key);
+    Ok(())
+}
+
 /// Solves the imperfect-coverage farm into `ctx.farm_op` / `ctx.farm_y`,
 /// assembling the generator in `ctx.generator` and running GTH in
 /// `ctx.gth_scratch` — the allocation-free twin of
@@ -386,7 +449,7 @@ pub fn farm_distribution_imperfect_with(
 /// (`0 ..= N_W`), reconfiguration state `y_i` at row `N_W + i`
 /// (`1 ..= N_W`), and the generator accumulates transitions in the same
 /// insertion order as [`CtmcBuilder::build`].
-fn farm_distribution_imperfect_into(
+fn farm_distribution_imperfect_compute(
     params: &TaParameters,
     ctx: &mut EvalContext,
 ) -> Result<(), TravelError> {
@@ -408,13 +471,14 @@ fn farm_distribution_imperfect_into(
         // Large farm: assemble the transition list in the context's
         // reusable buffer and solve through the sparse pipeline; the
         // dense `generator`/`gth_scratch` buffers are never grown to
-        // O(n²).
+        // O(n²). Same-shape points reuse the cached CSR pattern instead
+        // of re-running the triplet sort-and-merge.
         let mut transitions = std::mem::take(&mut ctx.farm_transitions);
         transitions.clear();
         push_imperfect_transitions(params, &mut transitions);
-        let chain = SparseCtmc::from_transitions(2 * n + 1, &transitions)?;
+        let chain = assemble_sparse_farm(n, c, &transitions, ctx);
         ctx.farm_transitions = transitions;
-        let pi = chain.steady_state()?;
+        let pi = chain?.steady_state()?;
         ctx.farm_op.clear();
         ctx.farm_op.extend_from_slice(&pi[..=n]);
         ctx.farm_y.clear();
@@ -454,6 +518,60 @@ fn farm_distribution_imperfect_into(
     ctx.farm_y.clear();
     ctx.farm_y.extend_from_slice(&ctx.pi[n + 1..]);
     Ok(())
+}
+
+/// Assembles the sparse farm generator, reusing the context's cached CSR
+/// pattern when the farm shape (server count, presence of covered-failure
+/// transitions) matches the previous assembly.
+///
+/// The cached-pattern refill replays [`CsrMatrix::from_triplets`]'
+/// duplicate merge bitwise: each stored value starts at `0.0` and
+/// accumulates its triplet contributions in insertion order, which is the
+/// exact sequence of additions the sort-and-merge performs (a leading
+/// `0.0 +` is exact for every non-zero addend). The refilled buffer is
+/// revalidated through [`CsrMatrix::from_raw_parts`]; if validation
+/// rejects it — only possible when rates cancel to an explicit stored
+/// zero — the full triplet assembly runs instead.
+fn assemble_sparse_farm(
+    n: usize,
+    coverage: f64,
+    transitions: &[(usize, usize, f64)],
+    ctx: &mut EvalContext,
+) -> Result<SparseCtmc, TravelError> {
+    let covered = coverage > 0.0;
+    let reusable = matches!(
+        &ctx.farm_structure,
+        Some(s) if s.web_servers == n
+            && s.covered == covered
+            && s.slots.len() == 2 * transitions.len()
+    );
+    if !reusable {
+        let chain = SparseCtmc::from_transitions(2 * n + 1, transitions)?;
+        ctx.farm_structure = FarmStructure::extract(n, covered, transitions, chain.generator());
+        return Ok(chain);
+    }
+    let s = ctx.farm_structure.as_ref().expect("checked above");
+    let mut values = vec![0.0; s.col_indices.len()];
+    for (k, &(_, _, rate)) in transitions.iter().enumerate() {
+        values[s.slots[2 * k]] += rate;
+        values[s.slots[2 * k + 1]] += -rate;
+    }
+    let refilled = CsrMatrix::from_raw_parts(
+        2 * n + 1,
+        2 * n + 1,
+        s.row_offsets.clone(),
+        s.col_indices.clone(),
+        values,
+    )
+    .ok()
+    .and_then(|q| SparseCtmc::from_csr(q).ok());
+    match refilled {
+        Some(chain) => {
+            uavail_obs::counter_add("travel.farm.csr_reuses", 1);
+            Ok(chain)
+        }
+        None => Ok(SparseCtmc::from_transitions(2 * n + 1, transitions)?),
+    }
 }
 
 /// Second-chance GTH solve for the context path: rescale the generator by
@@ -1010,6 +1128,80 @@ mod tests {
             } else {
                 assert!((a - b).abs() < 1e-12, "{a} vs {b}");
             }
+        }
+    }
+
+    #[test]
+    fn farm_memo_replays_exact_bits() {
+        // A repeated parameter point must replay the stored solution of
+        // the first computation bit for bit — and both must equal the
+        // cold allocating path.
+        let p = params();
+        let (op_cold, y_cold) = farm_distribution_imperfect(&p).unwrap();
+        let mut ctx = EvalContext::new();
+        for _ in 0..2 {
+            farm_distribution_imperfect_with(&p, &mut ctx).unwrap();
+            for (a, b) in ctx.farm_op.iter().zip(&op_cold) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            for (a, b) in ctx.farm_y.iter().zip(&y_cold) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_structure_reuse_is_bit_identical_across_rate_changes() {
+        // 600 servers routes the context path through the sparse
+        // assembler. Two different failure rates share the farm shape, so
+        // the second solve refills the cached CSR pattern — and must
+        // still produce the exact bits of the from-scratch sparse path.
+        let point = |lambda: f64| {
+            TaParameters::builder()
+                .web_servers(600)
+                .buffer_size(600)
+                .failure_rate_per_hour(lambda)
+                .build()
+                .unwrap()
+        };
+        let mut ctx = EvalContext::new();
+        farm_distribution_imperfect_with(&point(1e-6), &mut ctx).unwrap();
+        assert!(
+            ctx.farm_structure.is_some(),
+            "first sparse solve must cache the CSR pattern"
+        );
+        farm_distribution_imperfect_with(&point(2e-6), &mut ctx).unwrap();
+        let (op_cold, y_cold) = farm_distribution_imperfect_sparse(&point(2e-6)).unwrap();
+        for (a, b) in ctx.farm_op.iter().zip(&op_cold) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in ctx.farm_y.iter().zip(&y_cold) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn primed_loss_family_is_transparent_to_scalar_lookups() {
+        // Prime with a fresh arrival rate (unique cache keys), then check
+        // every memoized lane against a direct incremental M/M/c/K solve.
+        let p = TaParameters::builder()
+            .web_servers(10)
+            .arrival_rate_per_second(123.456)
+            .build()
+            .unwrap();
+        let mut buf = Vec::new();
+        prime_loss_family(&p, 10, &mut buf).unwrap();
+        for i in 1..=10 {
+            let cached = loss_probability(&p, i).unwrap();
+            let direct = MMcK::new(
+                p.arrival_rate_per_second,
+                p.service_rate_per_second,
+                i,
+                p.buffer_size,
+            )
+            .unwrap()
+            .loss_probability();
+            assert_eq!(cached.to_bits(), direct.to_bits(), "lane {i}");
         }
     }
 

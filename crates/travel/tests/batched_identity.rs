@@ -1,0 +1,182 @@
+//! Bit-for-bit identity pins for the batched evaluation layer: every
+//! `*_batched` twin must replay the exact bits of its scalar counterpart,
+//! for every block size, across repeated calls on a warm context, and on
+//! parallel workers.
+
+use uavail_travel::batch::{
+    figure11_batched, figure11_parallel_batched, figure12_batched, figure12_parallel_batched,
+    min_web_servers_for_batched, table8_batched, BatchContext,
+};
+use uavail_travel::evaluation::{figure11, figure12, min_web_servers_for, table8, FigurePoint};
+use uavail_travel::{webservice, TaParameters};
+
+fn assert_points_bit_identical(label: &str, a: &[FigurePoint], b: &[FigurePoint]) {
+    assert_eq!(a.len(), b.len(), "{label}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.failure_rate_per_hour.to_bits(),
+            y.failure_rate_per_hour.to_bits(),
+            "{label}: lambda differs at point {i}"
+        );
+        assert_eq!(
+            x.arrival_rate_per_second.to_bits(),
+            y.arrival_rate_per_second.to_bits(),
+            "{label}: alpha differs at point {i}"
+        );
+        assert_eq!(
+            x.web_servers, y.web_servers,
+            "{label}: N_W differs at point {i}"
+        );
+        assert_eq!(
+            x.unavailability.to_bits(),
+            y.unavailability.to_bits(),
+            "{label}: unavailability differs at point {i}"
+        );
+    }
+}
+
+#[test]
+fn batched_figure_sweeps_match_scalar_for_every_block_size() {
+    let cold11 = figure11().unwrap();
+    let cold12 = figure12().unwrap();
+    // Block sizes straddling every interesting boundary: single-point
+    // blocks, blocks that split a 10-point series, the natural series
+    // block, a misaligned prime, one block for the whole grid, and a
+    // block larger than the grid.
+    for block in [1usize, 3, 10, 17, 90, 200] {
+        let mut bctx = BatchContext::new();
+        let b11 = figure11_batched(block, &mut bctx).unwrap();
+        assert_points_bit_identical(&format!("figure11 block={block}"), &b11, &cold11);
+        let b12 = figure12_batched(block, &mut bctx).unwrap();
+        assert_points_bit_identical(&format!("figure12 block={block}"), &b12, &cold12);
+    }
+}
+
+#[test]
+fn repeated_batched_sweeps_replay_exact_bits() {
+    // Round two runs entirely off the series memo and must be
+    // indistinguishable from round one (which equals the scalar sweep).
+    let mut bctx = BatchContext::new();
+    let first11 = figure11_batched(10, &mut bctx).unwrap();
+    let first12 = figure12_batched(10, &mut bctx).unwrap();
+    for round in 0..2 {
+        let again11 = figure11_batched(10, &mut bctx).unwrap();
+        assert_points_bit_identical(&format!("figure11 round {round}"), &again11, &first11);
+        let again12 = figure12_batched(10, &mut bctx).unwrap();
+        assert_points_bit_identical(&format!("figure12 round {round}"), &again12, &first12);
+    }
+}
+
+#[test]
+fn parallel_batched_sweeps_match_serial() {
+    let cold11 = figure11().unwrap();
+    let cold12 = figure12().unwrap();
+    for block in [4usize, 10] {
+        let p11 = figure11_parallel_batched(block).unwrap();
+        assert_points_bit_identical(&format!("figure11 parallel block={block}"), &p11, &cold11);
+        let p12 = figure12_parallel_batched(block).unwrap();
+        assert_points_bit_identical(&format!("figure12 parallel block={block}"), &p12, &cold12);
+    }
+}
+
+#[test]
+fn batched_table8_replays_scalar_bits() {
+    let cold = table8().unwrap();
+    let mut bctx = BatchContext::new();
+    for round in 0..2 {
+        let rows = table8_batched(&mut bctx).unwrap();
+        assert_eq!(rows.len(), cold.len());
+        for (b, c) in rows.iter().zip(&cold) {
+            assert_eq!(
+                b.reservation_systems, c.reservation_systems,
+                "round {round}: row order differs"
+            );
+            assert_eq!(
+                b.class_a.to_bits(),
+                c.class_a.to_bits(),
+                "round {round}: class A differs at N = {}",
+                c.reservation_systems
+            );
+            assert_eq!(
+                b.class_b.to_bits(),
+                c.class_b.to_bits(),
+                "round {round}: class B differs at N = {}",
+                c.reservation_systems
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_capacity_search_matches_scalar() {
+    let cases = [
+        (1e-5, 1e-3, 50.0),
+        (1e-5, 1e-3, 100.0),
+        (1.1e-5, 1e-3, 100.0),
+        (1e-5, 1e-4, 100.0),
+        (1e-5, 1e-2, 100.0),
+    ];
+    let mut bctx = BatchContext::new();
+    for (target, lambda, alpha) in cases {
+        let scalar = min_web_servers_for(target, lambda, alpha, 10).unwrap();
+        let batched = min_web_servers_for_batched(target, lambda, alpha, 10, &mut bctx).unwrap();
+        assert_eq!(
+            batched, scalar,
+            "capacity search diverged at target={target}, lambda={lambda}, alpha={alpha}"
+        );
+    }
+}
+
+#[test]
+fn batched_path_pins_paper_headline() {
+    // The paper-default point (λ = 1e-4, α = 100, N_W = 4) sits on the
+    // Figure 12 grid; its batched unavailability must be the exact
+    // complement bits of the headline A(WS) = 0.999995587.
+    let mut bctx = BatchContext::new();
+    let points = figure12_batched(10, &mut bctx).unwrap();
+    let point = points
+        .iter()
+        .find(|p| {
+            p.failure_rate_per_hour == 1e-4
+                && p.arrival_rate_per_second == 100.0
+                && p.web_servers == 4
+        })
+        .expect("paper-default point on the Figure 12 grid");
+    let a = 1.0 - point.unavailability;
+    assert!((a - 0.999995587).abs() < 1e-8, "A(WS) = {a}");
+    let cold =
+        webservice::redundant_imperfect_availability(&TaParameters::paper_defaults()).unwrap();
+    assert_eq!((1.0 - cold).to_bits(), point.unavailability.to_bits());
+}
+
+#[test]
+fn batched_path_pins_figure12_reversal() {
+    // Figure 12's key qualitative finding survives the batched layer:
+    // at λ = 1e-2, α = 50, ten servers are *worse* than four.
+    let mut bctx = BatchContext::new();
+    let points = figure12_batched(10, &mut bctx).unwrap();
+    let u = |nw: usize| {
+        points
+            .iter()
+            .find(|p| {
+                p.failure_rate_per_hour == 1e-2
+                    && p.arrival_rate_per_second == 50.0
+                    && p.web_servers == nw
+            })
+            .map(|p| p.unavailability)
+            .expect("grid point present")
+    };
+    assert!(
+        u(10) > u(4),
+        "u(10) = {} should exceed u(4) = {}",
+        u(10),
+        u(4)
+    );
+}
+
+#[test]
+fn zero_block_is_rejected() {
+    let mut bctx = BatchContext::new();
+    assert!(figure11_batched(0, &mut bctx).is_err());
+    assert!(figure12_parallel_batched(0).is_err());
+}
