@@ -7,7 +7,7 @@
 //!
 //! ARTIFACT: table1 table2 table3 table4 table5 table6 table7 table8
 //!           fig11 fig12 fig13 revenue capacity ablation validate
-//!           speedup bench resilient all
+//!           speedup bench simgate resilient all
 //! ```
 //!
 //! `--parallel` routes the artifacts with parallel implementations
@@ -70,6 +70,14 @@
 //! `<name>.batched_speedup` record per cold/batched pair). The flag
 //! implies the `bench` artifact when none is named; `bench` is excluded
 //! from `all` because it is a timing run, not a paper artifact.
+//!
+//! `simgate` is the simulation statistical gate: it runs the joint farm
+//! simulator (streaming batch-means replication) and the M/M/c/K queue
+//! simulator against their analytic twins and exits nonzero unless the
+//! analytic value falls inside every simulation confidence interval —
+//! the pooled Wilson interval at z = 3.9 and, for the farm, the
+//! batch-means interval as well. Like `bench` it is excluded from `all`;
+//! CI runs it as a standalone gate.
 
 use std::process::ExitCode;
 
@@ -87,7 +95,8 @@ use uavail_travel::evaluation::{
 use uavail_travel::functions::{self, TaFunction};
 use uavail_travel::report::{fmt_availability, fmt_unavailability, Table};
 use uavail_travel::sim_validation::{
-    compressed_parameters, validate_web_service, validate_web_service_replicated, ValidationReport,
+    compressed_parameters, validate_web_service, validate_web_service_replicated,
+    validate_web_service_streaming, ValidationReport,
 };
 use uavail_travel::user::{class_a, class_b};
 use uavail_travel::{
@@ -270,6 +279,43 @@ fn main() -> ExitCode {
             ExitCode::from(2)
         };
     }
+    if artifact == "simgate" {
+        if bench_json.is_some() {
+            eprintln!("reproduce: --bench-json only applies to the `bench` artifact");
+            return ExitCode::FAILURE;
+        }
+        // Handled here rather than in `run` because a statistical
+        // disagreement is a gate failure (nonzero exit), not a fatal
+        // error in the ordinary sense.
+        let verdict = {
+            let _run = uavail_obs::span("reproduce");
+            run_simgate(csv)
+        };
+        let agreed = match verdict {
+            Ok(agreed) => agreed,
+            Err(e) => {
+                eprintln!("reproduce: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Some(path) = metrics {
+            if let Err(e) = write_metrics(&path, &artifact, parallel, inject.as_deref()) {
+                eprintln!("reproduce: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Some(path) = trace {
+            if let Err(e) = write_trace(&path) {
+                eprintln!("reproduce: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if !agreed {
+            eprintln!("reproduce: simgate: a simulator disagrees with its analytic twin");
+            return ExitCode::FAILURE;
+        }
+        return exit_verdict(inject.is_some());
+    }
     if artifact == "bench" {
         // The bench artifact is handled here rather than in `run` because
         // the JSON emitter needs the raw measurements, not just stdout.
@@ -433,7 +479,9 @@ struct BenchMeasurement {
 /// Times the cold-build, context-reuse and batched variants of the
 /// Figure 11, Figure 12 and Table 8 drivers in-process, plus a
 /// `sparse_farm` pair that solves a 2 000-server (4 001-state)
-/// imperfect-coverage farm through the sparse CTMC route. Cold iterations
+/// imperfect-coverage farm through the sparse CTMC route and a
+/// `sim.farm_replication` pair that times the per-event replication
+/// baseline against the epoch-resolvent streaming path. Cold iterations
 /// reset the loss-probability memo and allocate everything fresh; reuse
 /// iterations run the `*_with` twins against one long-lived
 /// [`EvalContext`] and the warm memo; batched iterations run the
@@ -553,6 +601,48 @@ fn run_context_benches() -> Result<Vec<BenchMeasurement>, TravelError> {
             Ok(())
         }),
     )?;
+
+    // Simulation replication throughput: cold is the per-event
+    // linear-scan farm DES with a materialized replication history fed to
+    // one-shot batch means; reuse is the epoch-resolvent counting kernel
+    // streamed through fold replication on one warm `SimContext` into
+    // one-pass batch means. Same model, same seeds, same estimator — the
+    // kernel replaces O(requests) event work per replication with
+    // O(slow-chain transitions) resolvent lookups.
+    {
+        use uavail_sim::replicate::{replicate, replicate_fold};
+        use uavail_sim::stats::{batch_means, StreamingBatchMeans};
+        use uavail_sim::{FarmSimulation, SimContext, SimError};
+
+        let farm = FarmSimulation::new(3, 0.02, 1.0, 0.9, 6.0, 300.0, 150.0, 8)?;
+        let reps = 4usize;
+        let horizon = 1_000.0;
+        let mut ctx = SimContext::new();
+        bench_pair(
+            "sim.farm_replication",
+            Box::new(|| {
+                let obs = replicate(20240601, reps, |rng, _| farm.run(rng, horizon))?;
+                let fractions: Vec<f64> = obs.iter().map(|o| o.loss_fraction()).collect();
+                black_box(batch_means(&fractions, reps));
+                Ok(())
+            }),
+            Box::new(|| {
+                let stats = replicate_fold(
+                    20240601,
+                    reps,
+                    |rng, _| {
+                        farm.run_counts_with(&mut ctx, rng, horizon)
+                            .map(|c| c.loss_fraction())
+                    },
+                    StreamingBatchMeans::new(reps, reps)
+                        .ok_or(TravelError::Sim(SimError::NoObservations))?,
+                    |acc, x| acc.push(x),
+                )?;
+                black_box(stats.finish());
+                Ok(())
+            }),
+        )?;
+    }
 
     // Batched twins: one long-lived BatchContext per case, warmed outside
     // the timed loop exactly like the context_reuse mode. The batched
@@ -802,7 +892,7 @@ fn run(artifact: &str, csv: bool, parallel: bool) -> Result<(), TravelError> {
             eprintln!(
                 "unknown artifact {artifact:?}; expected one of: \
                  table1..table8, fig11, fig12, fig13, revenue, capacity, ablation, validate, \
-                 speedup, bench, resilient, all"
+                 speedup, bench, simgate, resilient, all"
             );
             Ok(())
         }
@@ -1617,6 +1707,120 @@ fn print_speedup(csv: bool) -> Result<(), TravelError> {
         eprintln!("warning: expected >= 2x speedup on {threads} threads, got {speedup:.2}x");
     }
     Ok(())
+}
+
+/// The simulation statistical gate behind `reproduce simgate`.
+///
+/// Gate 1 runs the joint farm simulator on the time-compressed
+/// parameters through the streaming batch-means replication path and
+/// checks the paper's analytic unavailability (eq. 9, imperfect
+/// coverage) against both the pooled Wilson interval and the
+/// batch-means interval. Gate 2 runs the M/M/c/K queue simulator and
+/// checks the analytic Erlang blocking probability against the pooled
+/// Wilson interval over the replicated loss counts. Returns `Ok(false)`
+/// — which `main` turns into a nonzero exit — when either analytic twin
+/// falls outside its simulation interval.
+fn run_simgate(csv: bool) -> Result<bool, TravelError> {
+    use uavail_queueing::BirthDeathQueue;
+    use uavail_sim::replicate::replicate_fold_threads;
+    use uavail_sim::stats::{Proportion, StreamingBatchMeans};
+    use uavail_sim::{QueueSimulation, SimContext, SimError};
+
+    let threads = default_threads();
+
+    // Gate 1: farm simulator vs the analytic web-service unavailability.
+    let farm =
+        validate_web_service_streaming(&compressed_parameters(), 10_000.0, 20240601, 32, threads)?;
+    validation_table(
+        "Simgate — farm simulator vs analytic unavailability (streaming)",
+        &farm.report,
+        csv,
+    );
+    let (batch_lo, batch_hi) = farm.batch_interval(3.9);
+    println!(
+        "batch-means 99.99% CI ({} batches over {} replications): [{}, {}]",
+        farm.batches,
+        farm.replications,
+        fmt_unavailability(batch_lo),
+        fmt_unavailability(batch_hi)
+    );
+    let farm_ok = farm.report.agrees(0.15) && farm.batch_agrees(3.9, 0.15);
+
+    // Gate 2: M/M/c/K queue simulator vs the analytic blocking
+    // probability. The load (ρ = 1.5 over 2 servers, buffer 4) keeps the
+    // blocking probability large enough that 1.6M offered requests pin
+    // it to a fraction of a percent.
+    let (alpha, nu, servers, capacity) = (150.0, 100.0, 2, 4);
+    let analytic = BirthDeathQueue::mmck(alpha, nu, servers, capacity)?.full_probability();
+    let qsim = QueueSimulation::new(alpha, nu, servers, capacity)?;
+    let reps = 8usize;
+    let per_rep = 200_000u64;
+    struct QueueAcc {
+        arrivals: u64,
+        losses: u64,
+        reducer: StreamingBatchMeans,
+    }
+    let acc = replicate_fold_threads(
+        20240602,
+        reps,
+        threads,
+        SimContext::new,
+        |ctx, rng, _| qsim.run_with(ctx, rng, per_rep),
+        QueueAcc {
+            arrivals: 0,
+            losses: 0,
+            reducer: StreamingBatchMeans::new(reps, reps)
+                .ok_or(TravelError::Sim(SimError::NoObservations))?,
+        },
+        |acc, obs| {
+            acc.arrivals += obs.arrivals;
+            acc.losses += obs.losses;
+            acc.reducer.push(obs.loss_fraction());
+        },
+    )?;
+    let pooled = Proportion::new(acc.losses, acc.arrivals);
+    let (queue_lo, queue_hi) = pooled.confidence_interval(3.9);
+    let queue_ok = analytic >= queue_lo && analytic <= queue_hi;
+    let queue_stats = acc
+        .reducer
+        .finish()
+        .ok_or(TravelError::Sim(SimError::NoObservations))?;
+
+    let mut t = Table::new(
+        "Simgate — M/M/c/K simulator vs analytic blocking probability",
+        vec!["quantity", "value"],
+    );
+    t.add_row(vec![
+        "model".into(),
+        format!("M/M/{servers}/{capacity}, α = {alpha}, ν = {nu}"),
+    ]);
+    t.add_row(vec![
+        "analytic blocking p_K".into(),
+        format!("{analytic:.6}"),
+    ]);
+    t.add_row(vec![
+        "simulated blocking".into(),
+        format!("{:.6}", pooled.estimate()),
+    ]);
+    t.add_row(vec![
+        "pooled Wilson 99.99% CI".into(),
+        format!("[{queue_lo:.6}, {queue_hi:.6}]"),
+    ]);
+    t.add_row(vec![
+        "per-replication spread (std err)".into(),
+        format!("{:.2e}", queue_stats.standard_error()),
+    ]);
+    t.add_row(vec!["requests simulated".into(), acc.arrivals.to_string()]);
+    t.add_row(vec!["agreement".into(), queue_ok.to_string()]);
+    print!("{}", render(&t, csv));
+
+    if !farm_ok {
+        eprintln!("simgate: farm simulator disagrees with the analytic unavailability");
+    }
+    if !queue_ok {
+        eprintln!("simgate: M/M/c/K simulator disagrees with the analytic blocking probability");
+    }
+    Ok(farm_ok && queue_ok)
 }
 
 fn validation_table(title: &str, report: &ValidationReport, csv: bool) {

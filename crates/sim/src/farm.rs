@@ -1,7 +1,8 @@
 use rand::Rng;
 
+use crate::context::SimContext;
 use crate::error::{check_probability, check_rate};
-use crate::rng::{bernoulli, exponential, weighted_index};
+use crate::rng::{alias_sample, bernoulli, build_alias_into, exponential, weighted_index};
 use crate::stats::Proportion;
 use crate::SimError;
 
@@ -74,6 +75,275 @@ impl FarmObservation {
             .collect();
         out.push(self.reconfiguration_time / self.horizon);
         out
+    }
+}
+
+/// Allocation-free summary of a [`FarmSimulation`] replication — what the
+/// streaming replication path folds, instead of materializing a
+/// [`FarmObservation`] (whose per-state time vector allocates) per
+/// replication.
+///
+/// Produced by the epoch-resolvent kernel
+/// ([`FarmSimulation::run_counts_with`]), the counts are *conditional
+/// expectations* given the simulated failure/repair trajectory — exact
+/// means of the same CTMC functionals `run` estimates by counting
+/// individual requests, with strictly smaller variance — and are
+/// therefore `f64` rather than integers.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FarmCounts {
+    /// Expected requests offered over the replication.
+    pub arrivals: f64,
+    /// Expected requests lost (buffer full, all servers down, or
+    /// reconfiguring).
+    pub losses: f64,
+    /// Total time spent in reconfiguration states.
+    pub reconfiguration_time: f64,
+    /// Total simulated time (the expected-holding-time clock; at least
+    /// the requested horizon, ending on an epoch boundary).
+    pub horizon: f64,
+}
+
+impl FarmCounts {
+    /// Observed fraction of lost requests.
+    pub fn loss_fraction(&self) -> f64 {
+        if self.arrivals == 0.0 {
+            return 0.0;
+        }
+        self.losses / self.arrivals
+    }
+
+    /// Empirical web-service availability `1 - loss_fraction()`.
+    pub fn availability(&self) -> f64 {
+        1.0 - self.loss_fraction()
+    }
+
+    /// The expected counts rounded into a [`Proportion`] (for Wilson
+    /// intervals and pooling across replications). The interval is a
+    /// conservative envelope: the conditional-expectation estimator has
+    /// strictly smaller sampling variance than the binomial counts the
+    /// interval assumes.
+    pub fn proportion(&self) -> Proportion {
+        Proportion::new(self.losses.round() as u64, self.arrivals.round() as u64)
+    }
+}
+
+/// One cached transition race for a fixed `(operational, busy)` pair:
+/// prebuilt Walker/Vose alias rows over the five event outcomes plus the
+/// cached reciprocal of the total rate, so the hot loop samples the next
+/// event with one multiply and one alias draw — no rate-vector rebuild,
+/// no summation, no division.
+#[derive(Debug, Clone, Copy)]
+struct FarmRow {
+    prob: [f64; FARM_OUTCOMES],
+    alias: [u32; FARM_OUTCOMES],
+    inv_total: f64,
+    /// The up-server count the row was built for; rows are keyed on it
+    /// because every slow-event rate depends only on `operational` (and
+    /// the row index `busy`), so an up/down transition invalidates rows
+    /// lazily instead of rebuilding the whole cache.
+    built_for: usize,
+}
+
+const FARM_OUTCOMES: usize = 5;
+/// `built_for` sentinel: the row has never been built.
+const ROW_UNBUILT: usize = usize::MAX;
+
+impl FarmRow {
+    const EMPTY: FarmRow = FarmRow {
+        prob: [0.0; FARM_OUTCOMES],
+        alias: [0; FARM_OUTCOMES],
+        inv_total: 0.0,
+        built_for: ROW_UNBUILT,
+    };
+
+    /// Builds the race for `busy` customers in service with `operational`
+    /// servers up (not reconfiguring), entirely on the stack.
+    fn build(sim: &FarmSimulation, operational: usize, busy: usize) -> FarmRow {
+        debug_assert!(busy <= operational);
+        let rates = if operational > 0 {
+            [
+                sim.arrival_rate,
+                busy as f64 * sim.service_rate,
+                operational as f64 * sim.failure_rate,
+                if operational < sim.servers {
+                    sim.repair_rate
+                } else {
+                    0.0
+                },
+                0.0,
+            ]
+        } else {
+            [sim.arrival_rate, 0.0, 0.0, sim.repair_rate, 0.0]
+        };
+        FarmRow::from_rates(&rates, operational)
+    }
+
+    /// The race while reconfiguring: arrivals (all lost) vs. manual
+    /// reconfiguration completing. Independent of the up-server count.
+    fn build_reconfiguring(sim: &FarmSimulation) -> FarmRow {
+        let rates = [sim.arrival_rate, 0.0, 0.0, 0.0, sim.reconfiguration_rate];
+        FarmRow::from_rates(&rates, 0)
+    }
+
+    fn from_rates(rates: &[f64; FARM_OUTCOMES], built_for: usize) -> FarmRow {
+        let mut prob = [0.0; FARM_OUTCOMES];
+        let mut alias = [0u32; FARM_OUTCOMES];
+        let mut small = [0u32; FARM_OUTCOMES];
+        let mut large = [0u32; FARM_OUTCOMES];
+        let total = build_alias_into(rates, &mut prob, &mut alias, &mut small, &mut large)
+            .expect("validated farm rates are finite with a positive total");
+        FarmRow {
+            prob,
+            alias,
+            inv_total: total.recip(),
+            built_for,
+        }
+    }
+}
+
+/// Per-replication scratch for the fast farm paths, owned by
+/// [`SimContext`]: the alias-row cache (indexed by the number of busy
+/// servers), the reconfiguration race, the per-state occupancy-time
+/// buffer, and the epoch-resolvent tables for
+/// [`FarmSimulation::run_counts_with`]. Reusing it across replications
+/// makes both fast paths allocation-free after the first run and keeps
+/// warm rows valid across replications with identical parameters.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FarmScratch {
+    rows: Vec<FarmRow>,
+    reconfig_row: Option<FarmRow>,
+    /// Parameters the cached rows were built for; any change flushes them.
+    params: Option<FarmSimulation>,
+    operational_time: Vec<f64>,
+    /// Whether the epoch tables for a given up-server count were built —
+    /// the incremental-rebuild key: an up/down transition only ever
+    /// triggers a build for a count not yet visited, never a flush.
+    epoch_built: Vec<bool>,
+    /// `1/θ_o`: expected epoch length with `o` servers up, indexed by `o`.
+    theta_inv: Vec<f64>,
+    /// `o·λf / θ_o`: probability the epoch ends in a failure (vs repair).
+    fail_frac: Vec<f64>,
+    /// `α/θ_o`: expected arrivals offered over one epoch.
+    epoch_arrivals: Vec<f64>,
+    /// `α·r_{j0}[K]`: expected arrivals lost over one epoch starting at
+    /// occupancy `j0`, flat-indexed `o*(K+1) + j0`.
+    epoch_losses: Vec<f64>,
+    /// Walker/Vose alias rows over the epoch end-state distribution
+    /// `θ_o · r_{j0}`, flat-indexed `(o*(K+1) + j0)*(K+1) + k`.
+    end_prob: Vec<f64>,
+    end_alias: Vec<u32>,
+    /// Thomas-factorization and alias-build workspaces (reused per `o`).
+    solve_ws: Vec<f64>,
+    alias_ws: Vec<u32>,
+}
+
+impl FarmScratch {
+    /// Readies the scratch for one run of `sim`: flushes stale rows on a
+    /// parameter change, sizes the row cache and time buffer (allocating
+    /// only when the farm grows), and zeroes the time accumulator.
+    fn prepare(&mut self, sim: &FarmSimulation) {
+        if self.params != Some(*sim) {
+            self.rows.clear();
+            self.rows.resize(sim.servers + 1, FarmRow::EMPTY);
+            self.reconfig_row = Some(FarmRow::build_reconfiguring(sim));
+            let states = sim.capacity + 1;
+            let levels = sim.servers + 1;
+            self.epoch_built.clear();
+            self.epoch_built.resize(levels, false);
+            self.theta_inv.clear();
+            self.theta_inv.resize(levels, 0.0);
+            self.fail_frac.clear();
+            self.fail_frac.resize(levels, 0.0);
+            self.epoch_arrivals.clear();
+            self.epoch_arrivals.resize(levels, 0.0);
+            self.epoch_losses.clear();
+            self.epoch_losses.resize(levels * states, 0.0);
+            self.end_prob.clear();
+            self.end_prob.resize(levels * states * states, 0.0);
+            self.end_alias.clear();
+            self.end_alias.resize(levels * states * states, 0);
+            self.params = Some(*sim);
+        }
+        self.operational_time.clear();
+        self.operational_time.resize(sim.servers + 1, 0.0);
+    }
+
+    /// Builds the epoch tables for `o > 0` servers up, solving the
+    /// tridiagonal resolvent systems `(θ_o I − Q_o)ᵀ r = e_{j0}` for every
+    /// starting occupancy with one shared Thomas factorization, then
+    /// packing the end-state distributions into alias rows.
+    fn build_epoch_tables(&mut self, sim: &FarmSimulation, o: usize) {
+        debug_assert!(o > 0);
+        let states = sim.capacity + 1;
+        let cap = sim.capacity;
+        let theta = o as f64 * sim.failure_rate
+            + if o < sim.servers {
+                sim.repair_rate
+            } else {
+                0.0
+            };
+        self.theta_inv[o] = theta.recip();
+        self.fail_frac[o] = o as f64 * sim.failure_rate / theta;
+        self.epoch_arrivals[o] = sim.arrival_rate / theta;
+
+        // `M = θI − Q_o` for the within-epoch M/M/o/K queue: birth `α`
+        // (j < K), death `min(j, o)·ν`. The rows of `M⁻¹` come from the
+        // transposed systems, and `Mᵀ` is again tridiagonal with
+        // sub-diagonal `−α` and super-diagonal `−min(j+1, o)·ν`.
+        //
+        // solve_ws layout: [diag'; w; rhs/solution] of `states` each.
+        self.solve_ws.clear();
+        self.solve_ws.resize(3 * states, 0.0);
+        let (diag, rest) = self.solve_ws.split_at_mut(states);
+        let (w, x) = rest.split_at_mut(states);
+        for (j, d) in diag.iter_mut().enumerate() {
+            let birth = if j < cap { sim.arrival_rate } else { 0.0 };
+            let death = j.min(o) as f64 * sim.service_rate;
+            *d = theta + birth + death;
+        }
+        // Thomas forward elimination of Mᵀ, shared across right-hand sides.
+        for j in 1..states {
+            let sup_prev = -(j.min(o) as f64 * sim.service_rate); // Mᵀ[j-1][j]
+            w[j] = -sim.arrival_rate / diag[j - 1]; // sub / diag'
+            diag[j] -= w[j] * sup_prev;
+        }
+        self.alias_ws.clear();
+        self.alias_ws.resize(2 * states, 0);
+        for j0 in 0..states {
+            x.fill(0.0);
+            x[j0] = 1.0;
+            for j in 1..states {
+                let carry = w[j] * x[j - 1];
+                x[j] -= carry;
+            }
+            x[states - 1] /= diag[states - 1];
+            for j in (0..states - 1).rev() {
+                let sup = -((j + 1).min(o) as f64 * sim.service_rate);
+                x[j] = (x[j] - sup * x[j + 1]) / diag[j];
+            }
+            // `x` is now the resolvent row r_{j0}: non-negative, summing
+            // to 1/θ. Expected losses are α·r[K]; the end state follows
+            // the (K+1)-way distribution θ·r, sampled via an alias row.
+            // Tolerance matches the conditioning: as θ → 0 the system is
+            // nearly singular and the Thomas pivots cancel to ~1e-4
+            // relative error (see fast_path_pure_queue_matches_formula).
+            debug_assert!({
+                let sum: f64 = x.iter().sum();
+                (sum * theta - 1.0).abs() < 1e-3
+            });
+            self.epoch_losses[o * states + j0] = sim.arrival_rate * x[cap];
+            let base = (o * states + j0) * states;
+            let (small, large) = self.alias_ws.split_at_mut(states);
+            build_alias_into(
+                x,
+                &mut self.end_prob[base..base + states],
+                &mut self.end_alias[base..base + states],
+                small,
+                large,
+            )
+            .expect("resolvent rows are finite, non-negative, positive-sum");
+        }
+        self.epoch_built[o] = true;
     }
 }
 
@@ -249,6 +519,249 @@ impl FarmSimulation {
             horizon,
         })
     }
+
+    /// High-throughput twin of [`FarmSimulation::run`] on a reusable
+    /// [`SimContext`], returning the full observation (the per-state time
+    /// vector is copied out of the scratch).
+    ///
+    /// Same continuous-time model simulated event by event, different
+    /// (still deterministic-per-seed) draw sequence: transition races use
+    /// prebuilt Walker/Vose alias rows cached per busy-server count and
+    /// keyed on the up-server count, and holding times come from the
+    /// ziggurat sampler — so a step costs O(1) with no rate-vector
+    /// rebuild, no `ln`, and no division. Use `run` when a stream must
+    /// replay historical pinned seeds; use
+    /// [`FarmSimulation::run_counts_with`] when only the loss/availability
+    /// summary is needed and replication throughput matters.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`FarmSimulation::run`].
+    pub fn run_with<R: Rng + ?Sized>(
+        &self,
+        ctx: &mut SimContext,
+        rng: &mut R,
+        horizon: f64,
+    ) -> Result<FarmObservation, SimError> {
+        if !(horizon.is_finite() && horizon > 0.0) {
+            return Err(SimError::InvalidParameter {
+                name: "horizon",
+                value: horizon,
+                requirement: "finite and > 0",
+            });
+        }
+        ctx.farm.prepare(self);
+        let zig = ctx.zig;
+        let FarmScratch {
+            rows,
+            reconfig_row,
+            operational_time,
+            ..
+        } = &mut ctx.farm;
+        let reconfig_row = reconfig_row.expect("prepare builds the reconfiguration row");
+
+        let n = self.servers;
+        let mut t = 0.0;
+        let mut operational = n;
+        let mut reconfiguring = false;
+        let mut in_system = 0usize;
+        let mut arrivals = 0u64;
+        let mut losses = 0u64;
+        let mut reconfiguration_time = 0.0;
+
+        const ARRIVAL: usize = 0;
+        const DEPARTURE: usize = 1;
+        const FAILURE: usize = 2;
+        const REPAIR: usize = 3;
+        const RECONFIG_END: usize = 4;
+
+        loop {
+            let row = if reconfiguring {
+                &reconfig_row
+            } else {
+                let busy = in_system.min(operational);
+                let row = &mut rows[busy];
+                if row.built_for != operational {
+                    // Lazy incremental rebuild: only the occupancy levels a
+                    // replication actually visits are rebuilt after an
+                    // up/down transition, and rows stay warm across
+                    // replications with unchanged parameters.
+                    *row = FarmRow::build(self, operational, busy);
+                }
+                &*row
+            };
+            let dt = zig.sample(rng) * row.inv_total;
+            let remaining = horizon - t;
+            if dt >= remaining {
+                if reconfiguring {
+                    reconfiguration_time += remaining;
+                } else {
+                    operational_time[operational] += remaining;
+                }
+                break;
+            }
+            if reconfiguring {
+                reconfiguration_time += dt;
+            } else {
+                operational_time[operational] += dt;
+            }
+            t += dt;
+            match alias_sample(rng, &row.prob, &row.alias) {
+                ARRIVAL => {
+                    arrivals += 1;
+                    let service_up = !reconfiguring && operational > 0;
+                    if !service_up || in_system >= self.capacity {
+                        losses += 1;
+                    } else {
+                        in_system += 1;
+                    }
+                }
+                DEPARTURE => {
+                    debug_assert!(in_system > 0);
+                    in_system -= 1;
+                }
+                FAILURE => {
+                    if bernoulli(rng, self.coverage) {
+                        operational -= 1;
+                    } else {
+                        reconfiguring = true;
+                    }
+                }
+                REPAIR => {
+                    operational += 1;
+                }
+                RECONFIG_END => {
+                    reconfiguring = false;
+                    // The failed server that triggered the reconfiguration
+                    // is disconnected once manual intervention completes.
+                    operational -= 1;
+                }
+                _ => unreachable!("rate race has five outcomes"),
+            }
+        }
+        if arrivals == 0 {
+            return Err(SimError::NoObservations);
+        }
+        Ok(FarmObservation {
+            arrivals,
+            losses,
+            operational_time: operational_time.clone(),
+            reconfiguration_time,
+            horizon,
+        })
+    }
+
+    /// The streaming-replication entry point: the epoch-resolvent kernel.
+    ///
+    /// The farm's failure/repair/reconfiguration chain is *autonomous* —
+    /// none of its rates depend on the request queue — so the joint model
+    /// decomposes exactly into slow epochs (constant up-server count `o`,
+    /// or a reconfiguration period) modulating an M/M/o/K request queue.
+    /// The kernel simulates the slow chain event by event and integrates
+    /// the queue *analytically* within each epoch: with `θ` the epoch's
+    /// total slow rate and `Q_o` the queue generator, the resolvent row
+    /// `r = e_{j0}ᵀ(θI − Q_o)⁻¹` (one tridiagonal solve, cached per
+    /// `(o, j0)` and built lazily keyed on the up-server count) yields
+    /// the expected epoch length `1/θ`, expected losses `α·r[K]`, and the
+    /// exact end-state distribution `θ·r`, sampled with one O(1) alias
+    /// draw. Request-level counts are accumulated as conditional
+    /// expectations given the slow trajectory — unbiased for the same
+    /// quantities `run` estimates, with strictly smaller variance — so a
+    /// replication costs O(slow events), not O(requests).
+    ///
+    /// The clock advances by expected epoch lengths and stops on the
+    /// first epoch boundary at or past `horizon`; [`FarmCounts::horizon`]
+    /// reports the actual accumulated clock so ratios stay consistent.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidParameter`] for a non-positive horizon.
+    pub fn run_counts_with<R: Rng + ?Sized>(
+        &self,
+        ctx: &mut SimContext,
+        rng: &mut R,
+        horizon: f64,
+    ) -> Result<FarmCounts, SimError> {
+        if !(horizon.is_finite() && horizon > 0.0) {
+            return Err(SimError::InvalidParameter {
+                name: "horizon",
+                value: horizon,
+                requirement: "finite and > 0",
+            });
+        }
+        ctx.farm.prepare(self);
+        let farm = &mut ctx.farm;
+        let n = self.servers;
+        let states = self.capacity + 1;
+        let inv_delta = self.reconfiguration_rate.recip();
+        let inv_mu = self.repair_rate.recip();
+
+        let mut t = 0.0;
+        let mut operational = n;
+        let mut reconfiguring = false;
+        let mut in_system = 0usize;
+        let mut arrivals = 0.0;
+        let mut losses = 0.0;
+        let mut reconfiguration_time = 0.0;
+
+        loop {
+            if reconfiguring {
+                // The web service is down and the queue is frozen: every
+                // arrival in the Exp(δ) period is lost. Manual intervention
+                // ends by disconnecting the failed server.
+                reconfiguration_time += inv_delta;
+                t += inv_delta;
+                let offered = self.arrival_rate * inv_delta;
+                arrivals += offered;
+                losses += offered;
+                reconfiguring = false;
+                operational -= 1;
+            } else if operational == 0 {
+                // All servers down: the queue is frozen and every arrival
+                // in the Exp(µ) repair period is lost.
+                farm.operational_time[0] += inv_mu;
+                t += inv_mu;
+                let offered = self.arrival_rate * inv_mu;
+                arrivals += offered;
+                losses += offered;
+                operational = 1;
+            } else {
+                if !farm.epoch_built[operational] {
+                    farm.build_epoch_tables(self, operational);
+                }
+                let dt = farm.theta_inv[operational];
+                farm.operational_time[operational] += dt;
+                t += dt;
+                arrivals += farm.epoch_arrivals[operational];
+                losses += farm.epoch_losses[operational * states + in_system];
+                let base = (operational * states + in_system) * states;
+                in_system = alias_sample(
+                    rng,
+                    &farm.end_prob[base..base + states],
+                    &farm.end_alias[base..base + states],
+                );
+                let failure = operational == n || rng.random::<f64>() < farm.fail_frac[operational];
+                if failure {
+                    if bernoulli(rng, self.coverage) {
+                        operational -= 1;
+                    } else {
+                        reconfiguring = true;
+                    }
+                } else {
+                    operational += 1;
+                }
+            }
+            if t >= horizon {
+                break;
+            }
+        }
+        Ok(FarmCounts {
+            arrivals,
+            losses,
+            reconfiguration_time,
+            horizon: t,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -341,5 +854,182 @@ mod tests {
         let obs = sim.run(&mut rng, 20_000.0).unwrap();
         let total: f64 = obs.state_distribution().iter().sum();
         assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fast_path_validation_matches_run() {
+        let sim = FarmSimulation::new(2, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 2).unwrap();
+        let mut ctx = SimContext::new();
+        assert!(sim
+            .run_counts_with(&mut ctx, &mut StdRng::seed_from_u64(0), -1.0)
+            .is_err());
+        assert!(sim
+            .run_with(&mut ctx, &mut StdRng::seed_from_u64(0), f64::NAN)
+            .is_err());
+    }
+
+    #[test]
+    fn fast_path_state_distribution_matches_birth_death() {
+        // Same analytic twin as the slow path's test: with perfect
+        // coverage the operational-server marginal is the birth-death
+        // distribution Pi_i ∝ (µ/λ)^i / i!.
+        let (n, lambda, mu) = (3usize, 0.2, 1.0);
+        let sim = FarmSimulation::new(n, lambda, mu, 1.0, 10.0, 5.0, 5.0, 6).unwrap();
+        let mut ctx = SimContext::new();
+        let mut rng = StdRng::seed_from_u64(77);
+        let obs = sim.run_with(&mut ctx, &mut rng, 200_000.0).unwrap();
+        let dist = obs.state_distribution();
+        let ratio: f64 = mu / lambda;
+        let mut weights = vec![1.0];
+        let mut fact = 1.0;
+        for i in 1..=n {
+            fact *= i as f64;
+            weights.push(ratio.powi(i as i32) / fact);
+        }
+        let z: f64 = weights.iter().sum();
+        for i in 0..=n {
+            let expected = weights[i] / z;
+            assert!(
+                (dist[i] - expected).abs() < 0.01,
+                "state {i}: sim {} vs analytic {expected}",
+                dist[i]
+            );
+        }
+        assert_eq!(obs.reconfiguration_time, 0.0);
+    }
+
+    #[test]
+    fn fast_path_loss_fraction_agrees_with_slow_path() {
+        // Both paths simulate the same CTMC; pooled over long horizons
+        // their loss fractions must agree within a generous CI. Imperfect
+        // coverage exercises the reconfiguration row and the lazy rebuild
+        // on up/down transitions.
+        let sim = FarmSimulation::new(3, 0.5, 1.0, 0.5, 2.0, 5.0, 5.0, 6).unwrap();
+        let mut ctx = SimContext::new();
+        let slow = sim.run(&mut StdRng::seed_from_u64(13), 50_000.0).unwrap();
+        let fast = sim
+            .run_counts_with(&mut ctx, &mut StdRng::seed_from_u64(13), 50_000.0)
+            .unwrap();
+        assert!(fast.reconfiguration_time > 0.0);
+        let (lo, hi) = slow.loss_confidence_interval(4.0);
+        let (flo, fhi) = fast.proportion().confidence_interval(4.0);
+        // The 4-sigma intervals of two estimates of the same quantity
+        // must overlap.
+        assert!(
+            flo <= hi && lo <= fhi,
+            "slow [{lo}, {hi}] vs fast [{flo}, {fhi}]"
+        );
+    }
+
+    #[test]
+    fn fast_path_is_deterministic_and_context_independent() {
+        let sim = FarmSimulation::new(3, 0.5, 1.0, 0.9, 2.0, 5.0, 5.0, 6).unwrap();
+        let mut warm = SimContext::new();
+        // Warm the context on different parameters first: stale rows must
+        // be flushed, never reused.
+        let other = FarmSimulation::new(4, 0.1, 2.0, 0.7, 1.0, 3.0, 2.0, 8).unwrap();
+        other
+            .run_counts_with(&mut warm, &mut StdRng::seed_from_u64(1), 1_000.0)
+            .unwrap();
+        let a = sim
+            .run_with(&mut warm, &mut StdRng::seed_from_u64(5), 10_000.0)
+            .unwrap();
+        let b = sim
+            .run_with(
+                &mut SimContext::new(),
+                &mut StdRng::seed_from_u64(5),
+                10_000.0,
+            )
+            .unwrap();
+        assert_eq!(a, b, "fresh and warm contexts must agree bit-for-bit");
+        let c = sim
+            .run_with(&mut warm, &mut StdRng::seed_from_u64(5), 10_000.0)
+            .unwrap();
+        assert_eq!(a, c, "reuse must agree bit-for-bit");
+    }
+
+    #[test]
+    fn fast_path_pure_queue_matches_formula() {
+        // Failure rate so small the whole horizon is one epoch: the
+        // resolvent collapses to the stationary M/M/2/4 distribution at
+        // a = 1.5 and the expected loss fraction must hit the blocking
+        // formula almost exactly.
+        let sim = FarmSimulation::new(2, 1e-12, 1.0, 1.0, 1.0, 15.0, 10.0, 4).unwrap();
+        let mut ctx = SimContext::new();
+        let counts = sim
+            .run_counts_with(&mut ctx, &mut StdRng::seed_from_u64(9), 30_000.0)
+            .unwrap();
+        let a: f64 = 1.5;
+        let mut w = 1.0;
+        let mut weights = vec![1.0];
+        for m in 0..4usize {
+            w *= a / ((m + 1).min(2)) as f64;
+            weights.push(w);
+        }
+        let z: f64 = weights.iter().sum();
+        let expected = weights[4] / z;
+        // At θ = 2e-12 the resolvent is nearly singular, so the Thomas
+        // pivots carry ~1e-4 relative error — still orders of magnitude
+        // tighter than any Monte Carlo confidence interval here.
+        assert!(
+            (counts.loss_fraction() - expected).abs() < 1e-3,
+            "expected {expected}, got {}",
+            counts.loss_fraction()
+        );
+    }
+
+    #[test]
+    fn epoch_kernel_state_distribution_matches_birth_death() {
+        // With perfect coverage the epoch kernel's expected per-state
+        // times must converge to the same birth-death marginal the
+        // event-level paths validate against.
+        let (n, lambda, mu) = (3usize, 0.2, 1.0);
+        let sim = FarmSimulation::new(n, lambda, mu, 1.0, 10.0, 5.0, 5.0, 6).unwrap();
+        let mut ctx = SimContext::new();
+        let counts = sim
+            .run_counts_with(&mut ctx, &mut StdRng::seed_from_u64(77), 400_000.0)
+            .unwrap();
+        assert_eq!(counts.reconfiguration_time, 0.0);
+        let ratio: f64 = mu / lambda;
+        let mut weights = vec![1.0];
+        let mut fact = 1.0;
+        for i in 1..=n {
+            fact *= i as f64;
+            weights.push(ratio.powi(i as i32) / fact);
+        }
+        let z: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let expected = w / z;
+            let observed = ctx.farm.operational_time[i] / counts.horizon;
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "state {i}: sim {observed} vs analytic {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn epoch_kernel_is_deterministic_and_context_independent() {
+        let sim = FarmSimulation::new(3, 0.5, 1.0, 0.9, 2.0, 5.0, 5.0, 6).unwrap();
+        let mut warm = SimContext::new();
+        let other = FarmSimulation::new(4, 0.1, 2.0, 0.7, 1.0, 3.0, 2.0, 8).unwrap();
+        other
+            .run_counts_with(&mut warm, &mut StdRng::seed_from_u64(1), 1_000.0)
+            .unwrap();
+        let a = sim
+            .run_counts_with(&mut warm, &mut StdRng::seed_from_u64(5), 10_000.0)
+            .unwrap();
+        let b = sim
+            .run_counts_with(
+                &mut SimContext::new(),
+                &mut StdRng::seed_from_u64(5),
+                10_000.0,
+            )
+            .unwrap();
+        assert_eq!(a, b, "fresh and warm contexts must agree bit-for-bit");
+        let c = sim
+            .run_counts_with(&mut warm, &mut StdRng::seed_from_u64(5), 10_000.0)
+            .unwrap();
+        assert_eq!(a, c, "reuse must agree bit-for-bit");
     }
 }

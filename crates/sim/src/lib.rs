@@ -9,14 +9,20 @@
 //! confidence intervals.
 //!
 //! * [`EventQueue`] — a minimal future-event list (time-ordered heap) for
-//!   event-driven models.
+//!   event-driven models, with arena reuse (`with_capacity`/`reset`) for
+//!   replicated runs.
+//! * [`SimContext`] — preallocated per-replication scratch (event heaps,
+//!   alias-row caches, occupancy buffers) threaded through the `*_with`
+//!   fast paths so steady-state replication runs allocation-free.
 //! * [`stats`] — online statistics: Welford mean/variance, binomial
-//!   confidence intervals, batch means.
-//! * [`rng`] — exponential/geometry sampling helpers on top of any
-//!   [`rand::Rng`].
+//!   confidence intervals, batch means (one-shot and streaming).
+//! * [`rng`] — sampling helpers on top of any [`rand::Rng`]: exponential
+//!   inversion, O(1) Walker/Vose alias tables, and a ziggurat Exp(1)
+//!   sampler for the hot paths.
 //! * [`replicate`] — deterministic independent replications, serially or
 //!   on all cores with bit-for-bit identical results (each replication
-//!   owns an RNG stream derived from the base seed).
+//!   owns an RNG stream derived from the base seed), including streaming
+//!   fold variants that never materialize per-replication histories.
 //! * [`AlternatingRenewal`] — up/down component simulation; validates
 //!   two-state availability `µ/(λ+µ)`.
 //! * [`QueueSimulation`] — M/M/c/K loss simulation; validates the
@@ -44,6 +50,7 @@
 //! # }
 //! ```
 
+mod context;
 mod engine;
 mod error;
 mod farm;
@@ -54,9 +61,10 @@ mod response_sim;
 pub mod rng;
 pub mod stats;
 
+pub use context::SimContext;
 pub use engine::EventQueue;
 pub use error::SimError;
-pub use farm::{FarmObservation, FarmSimulation};
+pub use farm::{FarmCounts, FarmObservation, FarmSimulation};
 pub use queue_sim::{QueueObservation, QueueSimulation};
 pub use renewal::{AlternatingRenewal, RenewalObservation};
 pub use response_sim::{ResponseObservation, ResponseSimulation};

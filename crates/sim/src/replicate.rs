@@ -9,10 +9,18 @@
 //! runs it or in which order. Serial and parallel execution are therefore
 //! **bit-for-bit identical**, and any single replication can be re-run in
 //! isolation for debugging.
+//!
+//! Two API families share those streams: the history-based
+//! [`replicate`] / [`replicate_parallel`] (one `Vec` of observations,
+//! right for small batches that need every value) and the streaming
+//! [`replicate_fold`] / [`replicate_fold_threads`] (observations folded
+//! in index order into online reducers such as
+//! [`crate::stats::StreamingBatchMeans`], right for production-scale
+//! batches where the history itself is the memory bill).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use uavail_core::par::{default_threads, par_map_threads};
+use uavail_core::par::{default_threads, par_fold_threads_with, par_map_threads};
 use uavail_core::FromWorkerPanic;
 
 /// Derives the per-replication seed for replication `index` from a base
@@ -149,6 +157,138 @@ where
     })
 }
 
+/// Streaming [`replicate`]: runs `count` replications serially and folds
+/// each observation into `init` as it is produced, so no per-replication
+/// history vector is ever materialized.
+///
+/// `f` may be a `FnMut` capturing a single reusable workspace (e.g. a
+/// [`crate::SimContext`]) — the serial loop owns it for the whole batch.
+/// The fold sees observations in replication-index order, exactly the
+/// order [`replicate`] would return them, so folding `replicate`'s vector
+/// element by element gives a bit-identical accumulator.
+///
+/// Under fault injection the `sim.replicate.event_drop` /
+/// `sim.replicate.event_dup` sites reshape the schedule exactly as in
+/// [`replicate`]; with injection disabled the path is untouched.
+///
+/// # Errors
+///
+/// Returns the first replication error, in index order; observations
+/// before it were already folded.
+pub fn replicate_fold<A, T, E, F, G>(
+    base_seed: u64,
+    count: usize,
+    mut f: F,
+    init: A,
+    mut fold: G,
+) -> Result<A, E>
+where
+    F: FnMut(&mut StdRng, usize) -> Result<T, E>,
+    G: FnMut(&mut A, T),
+{
+    let _span = uavail_obs::span("sim.replicate_fold");
+    record_batch_metrics(base_seed, count);
+    let mut acc = init;
+    let mut run = |acc: &mut A, i: usize| -> Result<(), E> {
+        let _rep = uavail_obs::Stopwatch::start("sim.replicate.replication_ns");
+        let mut rng = StdRng::seed_from_u64(replication_seed(base_seed, i));
+        fold(acc, f(&mut rng, i)?);
+        Ok(())
+    };
+    match injected_indices(count) {
+        // The common path: injection disabled, no index vector built.
+        None => {
+            for i in 0..count {
+                run(&mut acc, i)?;
+            }
+        }
+        Some(indices) => {
+            for i in indices {
+                run(&mut acc, i)?;
+            }
+        }
+    }
+    Ok(acc)
+}
+
+/// Parallel [`replicate_fold`] on one worker per available core. See
+/// [`replicate_fold_threads`] for the semantics and error contract.
+///
+/// # Errors
+///
+/// Exactly as [`replicate_fold_threads`].
+pub fn replicate_fold_parallel<A, W, T, E, M, F, G>(
+    base_seed: u64,
+    count: usize,
+    make: M,
+    f: F,
+    init: A,
+    fold: G,
+) -> Result<A, E>
+where
+    T: Send,
+    E: Send + FromWorkerPanic,
+    M: Fn() -> W + Sync,
+    F: Fn(&mut W, &mut StdRng, usize) -> Result<T, E> + Sync,
+    G: FnMut(&mut A, T),
+{
+    replicate_fold_threads(base_seed, count, default_threads(), make, f, init, fold)
+}
+
+/// Parallel streaming replication with an explicit worker-thread cap:
+/// workers run replications on private workspaces from `make` (one
+/// [`crate::SimContext`] per worker, built on the worker thread, reused
+/// across all its replications), while the calling thread folds the
+/// observations **in replication-index order** through a bounded ring
+/// (`uavail_core::par::par_fold_threads_with`), so memory stays
+/// `O(threads)` observations regardless of `count`.
+///
+/// Because every replication owns a seed-derived RNG stream and the fold
+/// order is the index order, the final accumulator is **bit-for-bit
+/// identical** to [`replicate_fold`] with the same `f` logic, for any
+/// thread count. `threads <= 1` runs serially on the calling thread.
+///
+/// The fault-injection schedule (`sim.replicate.event_drop` / `event_dup`)
+/// is decided on the calling thread before any worker starts, exactly as
+/// in [`replicate_parallel_threads`].
+///
+/// # Errors
+///
+/// Exactly the error [`replicate_fold`] would return: the one at the
+/// lowest failing replication index.
+pub fn replicate_fold_threads<A, W, T, E, M, F, G>(
+    base_seed: u64,
+    count: usize,
+    threads: usize,
+    make: M,
+    f: F,
+    init: A,
+    fold: G,
+) -> Result<A, E>
+where
+    T: Send,
+    E: Send + FromWorkerPanic,
+    M: Fn() -> W + Sync,
+    F: Fn(&mut W, &mut StdRng, usize) -> Result<T, E> + Sync,
+    G: FnMut(&mut A, T),
+{
+    let _span = uavail_obs::span("sim.replicate_fold_parallel");
+    record_batch_metrics(base_seed, count);
+    let indices: Vec<usize> = injected_indices(count).unwrap_or_else(|| (0..count).collect());
+    par_fold_threads_with(
+        &indices,
+        threads,
+        make,
+        |ws, &i| {
+            let _rep = uavail_obs::Stopwatch::start("sim.replicate.replication_ns");
+            let mut rng = StdRng::seed_from_u64(replication_seed(base_seed, i));
+            f(ws, &mut rng, i)
+        },
+        init,
+        fold,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,6 +342,126 @@ mod tests {
             replicate_parallel_threads(1, 40, 4, f).unwrap_err(),
             SimError::NoObservations
         );
+    }
+
+    #[test]
+    fn fold_matches_history_path_bit_for_bit() {
+        // Folding the streaming way must reproduce exactly what pushing
+        // replicate()'s history vector through the same reducer gives.
+        let f = |rng: &mut StdRng, i: usize| -> Result<f64, SimError> {
+            let mut acc = i as f64;
+            for _ in 0..50 {
+                acc += rng.random::<f64>();
+            }
+            Ok(acc)
+        };
+        let history = replicate(11, 40, f).unwrap();
+        let mut expected = crate::stats::OnlineStats::new();
+        for &x in &history {
+            expected.push(x);
+        }
+        let folded = replicate_fold(11, 40, f, crate::stats::OnlineStats::new(), |acc, x| {
+            acc.push(x)
+        })
+        .unwrap();
+        assert_eq!(folded, expected);
+    }
+
+    #[test]
+    fn fold_parallel_matches_serial_bit_for_bit() {
+        let serial = replicate_fold(
+            23,
+            57,
+            |rng: &mut StdRng, _| -> Result<f64, SimError> { Ok(rng.random::<f64>()) },
+            crate::stats::OnlineStats::new(),
+            |acc, x| acc.push(x),
+        )
+        .unwrap();
+        for threads in [1, 2, 8] {
+            let parallel = replicate_fold_threads(
+                23,
+                57,
+                threads,
+                || (),
+                |(), rng: &mut StdRng, _| -> Result<f64, SimError> { Ok(rng.random::<f64>()) },
+                crate::stats::OnlineStats::new(),
+                |acc, x| acc.push(x),
+            )
+            .unwrap();
+            assert_eq!(parallel, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn fold_paths_surface_first_error_in_index_order() {
+        let fail_from = |i: usize| -> Result<f64, SimError> {
+            if i >= 10 {
+                Err(SimError::NoObservations)
+            } else {
+                Ok(i as f64)
+            }
+        };
+        let mut folded = Vec::new();
+        let err =
+            replicate_fold(1, 40, |_, i| fail_from(i), (), |(), x| folded.push(x)).unwrap_err();
+        assert_eq!(err, SimError::NoObservations);
+        assert_eq!(folded.len(), 10, "prefix before the error is folded");
+        let err = replicate_fold_threads(1, 40, 4, || (), |(), _, i| fail_from(i), (), |(), _| {})
+            .unwrap_err();
+        assert_eq!(err, SimError::NoObservations);
+    }
+
+    #[test]
+    fn farm_streaming_fold_pins_serial_parallel_and_history_agreement() {
+        // The production estimator path end to end: farm replications
+        // through the epoch kernel, loss fractions reduced by streaming
+        // batch means. Serial fold, parallel fold (any thread count), and
+        // the history-based batch_means estimator must agree bit for bit
+        // on a pinned seed.
+        use crate::stats::{batch_means, StreamingBatchMeans};
+        use crate::{FarmSimulation, SimContext};
+        let sim = FarmSimulation::new(3, 0.02, 1.0, 0.9, 6.0, 300.0, 150.0, 8).unwrap();
+        let (seed, reps, batches, horizon) = (2024u64, 48usize, 8usize, 400.0);
+        let history = replicate(seed, reps, |rng, _| {
+            let mut ctx = SimContext::new();
+            sim.run_counts_with(&mut ctx, rng, horizon)
+                .map(|c| c.loss_fraction())
+        })
+        .unwrap();
+        let expected = batch_means(&history, batches).unwrap();
+        let mut ctx = SimContext::new();
+        let serial = replicate_fold(
+            seed,
+            reps,
+            |rng, _| {
+                sim.run_counts_with(&mut ctx, rng, horizon)
+                    .map(|c| c.loss_fraction())
+            },
+            StreamingBatchMeans::new(reps, batches).unwrap(),
+            |acc, x| acc.push(x),
+        )
+        .unwrap()
+        .finish()
+        .unwrap();
+        assert_eq!(serial, expected, "streaming vs history estimator");
+        for threads in [2, 8] {
+            let parallel = replicate_fold_threads(
+                seed,
+                reps,
+                threads,
+                SimContext::new,
+                |ctx, rng, _| {
+                    sim.run_counts_with(ctx, rng, horizon)
+                        .map(|c| c.loss_fraction())
+                },
+                StreamingBatchMeans::new(reps, batches).unwrap(),
+                |acc, x| acc.push(x),
+            )
+            .unwrap()
+            .finish()
+            .unwrap();
+            assert_eq!(parallel, serial, "threads={threads}");
+        }
     }
 
     #[test]

@@ -4,8 +4,10 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use uavail_sim::replicate::{replicate_fold, replicate_fold_threads};
+use uavail_sim::rng::{weighted_index, AliasTable};
 use uavail_sim::stats::{batch_means, OnlineStats, Proportion};
-use uavail_sim::{AlternatingRenewal, EventQueue, QueueSimulation};
+use uavail_sim::{AlternatingRenewal, EventQueue, FarmSimulation, QueueSimulation, SimContext};
 
 proptest! {
     #[test]
@@ -83,6 +85,107 @@ proptest! {
         prop_assert_eq!(start, data.len());
         let total: f64 = data.iter().sum();
         prop_assert!((weighted - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alias_table_matches_linear_scan_chi_square(
+        weights in prop::collection::vec(0.1f64..10.0, 2..10),
+        seed in 0u64..1000
+    ) {
+        // Both samplers target the same categorical law; a chi-square
+        // statistic against the analytic probabilities must stay small
+        // for each. With expected counts >= 5 and at most 9 degrees of
+        // freedom, 80 is far beyond any plausible quantile — failures
+        // mean a biased sampler, not sampling noise.
+        const DRAWS: usize = 5_000;
+        let total: f64 = weights.iter().sum();
+        let expected: Vec<f64> = weights.iter().map(|w| w / total * DRAWS as f64).collect();
+        prop_assume!(expected.iter().all(|&e| e >= 5.0));
+
+        let chi_square = |counts: &[u64]| -> f64 {
+            counts
+                .iter()
+                .zip(&expected)
+                .map(|(&o, &e)| (o as f64 - e).powi(2) / e)
+                .sum()
+        };
+        let table = AliasTable::new(&weights).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut alias_counts = vec![0u64; weights.len()];
+        for _ in 0..DRAWS {
+            alias_counts[table.sample(&mut rng)] += 1;
+        }
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1));
+        let mut scan_counts = vec![0u64; weights.len()];
+        for _ in 0..DRAWS {
+            scan_counts[weighted_index(&mut rng, &weights).unwrap()] += 1;
+        }
+        prop_assert!(chi_square(&alias_counts) < 80.0, "alias sampler biased: {alias_counts:?}");
+        prop_assert!(chi_square(&scan_counts) < 80.0, "linear scan biased: {scan_counts:?}");
+    }
+
+    #[test]
+    fn alias_table_rejection_parity_with_linear_scan(
+        weights in prop::collection::vec(
+            prop_oneof![
+                0.0f64..10.0,
+                0.0f64..10.0,
+                0.0f64..10.0,
+                Just(0.0),
+                Just(f64::NAN),
+                Just(f64::INFINITY),
+            ],
+            0..8
+        ),
+        seed in 0u64..100
+    ) {
+        // On non-negative inputs the two samplers reject identically:
+        // any non-finite weight or a non-positive total. (Negative
+        // weights are the one asymmetry — the alias builder rejects
+        // them outright while the scan documents them away — so the
+        // strategy never generates them.)
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scan = weighted_index(&mut rng, &weights);
+        prop_assert_eq!(AliasTable::new(&weights).is_none(), scan.is_none());
+    }
+
+    #[test]
+    fn streaming_fold_serial_parallel_bit_identical(
+        seed in 0u64..500,
+        reps in 1usize..10,
+        threads in 1usize..5
+    ) {
+        // The streaming replication path must return the same bits no
+        // matter how the replications are scheduled: per-replication RNG
+        // streams are derived from (seed, index) alone and the fold
+        // consumes results in index order.
+        let sim = FarmSimulation::new(3, 0.02, 1.0, 0.9, 6.0, 300.0, 150.0, 8).unwrap();
+        let mut ctx = SimContext::new();
+        let serial = replicate_fold(
+            seed,
+            reps,
+            |rng, _| {
+                sim.run_counts_with(&mut ctx, rng, 200.0)
+                    .map(|c| c.loss_fraction())
+            },
+            OnlineStats::new(),
+            |acc, x| acc.push(x),
+        )
+        .unwrap();
+        let parallel = replicate_fold_threads(
+            seed,
+            reps,
+            threads,
+            SimContext::new,
+            |ctx, rng, _| {
+                sim.run_counts_with(ctx, rng, 200.0)
+                    .map(|c| c.loss_fraction())
+            },
+            OnlineStats::new(),
+            |acc: &mut OnlineStats, x| acc.push(x),
+        )
+        .unwrap();
+        prop_assert_eq!(serial, parallel);
     }
 
     #[test]

@@ -13,8 +13,9 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use uavail_core::par::default_threads;
-use uavail_sim::replicate::{replicate, replicate_parallel_threads};
-use uavail_sim::{FarmObservation, FarmSimulation};
+use uavail_sim::replicate::{replicate, replicate_fold_threads, replicate_parallel_threads};
+use uavail_sim::stats::{OnlineStats, StreamingBatchMeans};
+use uavail_sim::{FarmObservation, FarmSimulation, SimContext};
 
 use crate::{webservice, TaParameters, TravelError};
 
@@ -84,6 +85,18 @@ fn farm_simulation(params: &TaParameters) -> Result<FarmSimulation, TravelError>
     )?)
 }
 
+/// Ratio of the slowest performance rate to the fastest failure/recovery
+/// rate — the time-scale separation the composite model assumes.
+fn separation_ratio(params: &TaParameters) -> f64 {
+    params
+        .arrival_rate_per_second
+        .min(params.service_rate_per_second)
+        / params
+            .failure_rate_per_hour
+            .max(params.repair_rate_per_hour)
+            .max(params.reconfiguration_rate_per_hour)
+}
+
 /// Pools per-replication farm observations into one [`ValidationReport`].
 fn pooled_report(
     params: &TaParameters,
@@ -95,19 +108,12 @@ fn pooled_report(
     uavail_obs::counter_add("travel.validate.arrivals", arrivals);
     uavail_obs::counter_add("travel.validate.losses", losses);
     let pooled = uavail_sim::stats::Proportion::new(losses, arrivals);
-    let separation = params
-        .arrival_rate_per_second
-        .min(params.service_rate_per_second)
-        / params
-            .failure_rate_per_hour
-            .max(params.repair_rate_per_hour)
-            .max(params.reconfiguration_rate_per_hour);
     ValidationReport {
         analytic_unavailability: analytic,
         simulated_unavailability: pooled.estimate(),
         confidence_interval: pooled.confidence_interval(3.9),
         arrivals,
-        separation_ratio: separation,
+        separation_ratio: separation_ratio(params),
     }
 }
 
@@ -164,6 +170,121 @@ pub fn validate_web_service_replicated_threads(
     };
     Ok(pooled_report(params, analytic, &observations))
 }
+/// Result of the streaming analytic-vs-simulation comparison: the pooled
+/// Wilson report plus batch-means statistics over the per-replication
+/// loss fractions, the two interval constructions the CI gate checks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingValidationReport {
+    /// Pooled counts and Wilson interval, as in [`validate_web_service`].
+    /// Arrival/loss totals here are *expected* counts from the epoch
+    /// kernel, rounded — a conservative binomial envelope (the kernel's
+    /// conditional-expectation estimates have strictly smaller variance
+    /// than the realized counts the interval assumes).
+    pub report: ValidationReport,
+    /// Batch means over the per-replication loss fractions.
+    pub batch_stats: OnlineStats,
+    /// Replications folded.
+    pub replications: usize,
+    /// Batch count used by the streaming reducer.
+    pub batches: usize,
+}
+
+impl StreamingValidationReport {
+    /// Batch-means confidence interval on the mean loss fraction at the
+    /// given normal quantile (e.g. 3.9 for 99.99%).
+    pub fn batch_interval(&self, z: f64) -> (f64, f64) {
+        let half = self.batch_stats.confidence_half_width(z);
+        (
+            self.batch_stats.mean() - half,
+            self.batch_stats.mean() + half,
+        )
+    }
+
+    /// Whether the analytic value lies inside the batch-means interval at
+    /// quantile `z`, widened by `slack` (relative) for the residual
+    /// quasi-steady-state error at compressed time scales.
+    pub fn batch_agrees(&self, z: f64, slack: f64) -> bool {
+        let (lo, hi) = self.batch_interval(z);
+        let analytic = self.report.analytic_unavailability;
+        analytic >= lo * (1.0 - slack) && analytic <= hi * (1.0 + slack)
+    }
+}
+
+/// Production-scale streaming validator: replicated farm runs through the
+/// epoch-resolvent counting kernel
+/// ([`FarmSimulation::run_counts_with`][uavail_sim::FarmSimulation]), one
+/// [`SimContext`] per worker thread, observations folded into streaming
+/// reducers ([`StreamingBatchMeans`] plus pooled expected counts) without
+/// ever materializing a per-replication history.
+///
+/// The fold order is the replication-index order, so the resulting report
+/// is **bit-for-bit identical** for any `threads` value, including the
+/// serial `threads <= 1` path.
+///
+/// # Errors
+///
+/// Propagates analytic and simulation failures;
+/// [`uavail_sim::SimError::NoObservations`] when `replications == 0`.
+pub fn validate_web_service_streaming(
+    params: &TaParameters,
+    horizon: f64,
+    base_seed: u64,
+    replications: usize,
+    threads: usize,
+) -> Result<StreamingValidationReport, TravelError> {
+    let _span = uavail_obs::span("travel.validate_streaming");
+    let analytic = 1.0 - webservice::redundant_imperfect_availability(params)?;
+    let sim = farm_simulation(params)?;
+    // At most 10 batches, never more than one replication per batch.
+    let batches = replications.clamp(1, 10);
+    let reducer = StreamingBatchMeans::new(replications, batches)
+        .ok_or(TravelError::Sim(uavail_sim::SimError::NoObservations))?;
+    struct Acc {
+        arrivals: f64,
+        losses: f64,
+        reducer: StreamingBatchMeans,
+    }
+    let acc = replicate_fold_threads(
+        base_seed,
+        replications,
+        threads,
+        SimContext::new,
+        |ctx, rng, _| sim.run_counts_with(ctx, rng, horizon),
+        Acc {
+            arrivals: 0.0,
+            losses: 0.0,
+            reducer,
+        },
+        |acc, counts| {
+            acc.arrivals += counts.arrivals;
+            acc.losses += counts.losses;
+            acc.reducer.push(counts.loss_fraction());
+        },
+    )?;
+    let arrivals = acc.arrivals.round() as u64;
+    let losses = acc.losses.round() as u64;
+    uavail_obs::counter_add("travel.validate.arrivals", arrivals);
+    uavail_obs::counter_add("travel.validate.losses", losses);
+    let pooled = uavail_sim::stats::Proportion::new(losses, arrivals);
+    let batch_stats = acc
+        .reducer
+        .finish()
+        .expect("every replication was folded exactly once");
+    Ok(StreamingValidationReport {
+        report: ValidationReport {
+            analytic_unavailability: analytic,
+            simulated_unavailability: pooled.estimate(),
+            confidence_interval: pooled.confidence_interval(3.9),
+            arrivals,
+            separation_ratio: separation_ratio(params),
+        },
+        batch_stats,
+        replications,
+        batches,
+    })
+}
+
+/// Time-compressed validation parameters for the joint simulation, with
 /// the same structure as the paper's farm, with failure dynamics sped up
 /// so a few hundred thousand time units contain thousands of
 /// failure/repair cycles while the separation ratio stays ≥ 50.
@@ -242,6 +363,50 @@ mod tests {
             report.simulated_unavailability,
             report.confidence_interval
         );
+    }
+
+    #[test]
+    fn streaming_validation_parallel_matches_serial() {
+        let params = compressed_parameters();
+        let serial = validate_web_service_streaming(&params, 2_000.0, 11, 24, 1).unwrap();
+        for threads in [2, 4] {
+            let parallel =
+                validate_web_service_streaming(&params, 2_000.0, 11, 24, threads).unwrap();
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+        assert!(serial.report.arrivals > 1_000_000);
+        assert_eq!(serial.replications, 24);
+        assert_eq!(serial.batch_stats.count(), serial.batches as u64);
+    }
+
+    #[test]
+    fn streaming_validation_agrees_with_analytic() {
+        // The epoch kernel folds out the queue noise, so even a modest
+        // replication budget pins the analytic value tightly: the batch
+        // interval and the (conservative) pooled Wilson interval must
+        // both cover it with the usual quasi-steady-state slack.
+        let params = compressed_parameters();
+        let report = validate_web_service_streaming(&params, 10_000.0, 20240601, 32, 2).unwrap();
+        assert!(
+            report.batch_agrees(3.9, 0.15),
+            "analytic {} vs batch mean {} (interval {:?})",
+            report.report.analytic_unavailability,
+            report.batch_stats.mean(),
+            report.batch_interval(3.9)
+        );
+        assert!(
+            report.report.agrees(0.15),
+            "analytic {} vs pooled {} (CI {:?})",
+            report.report.analytic_unavailability,
+            report.report.simulated_unavailability,
+            report.report.confidence_interval
+        );
+    }
+
+    #[test]
+    fn streaming_validation_rejects_zero_replications() {
+        let params = compressed_parameters();
+        assert!(validate_web_service_streaming(&params, 1_000.0, 1, 0, 1).is_err());
     }
 
     #[test]
