@@ -1,0 +1,73 @@
+//! Telemetry-plane microbenchmarks: the operations the serve evaluator
+//! loop puts on its hot path, each targeted at tens of nanoseconds.
+//!
+//! `record` appends one sample to a [`SlidingWindow`] at 1 ms epochs
+//! (one rotation every ~1024 records at the chosen timestamp step);
+//! `record_rotate` forces a rotation on every record, isolating the
+//! epoch-retirement cost; `summary` merges a warm 60-epoch window into
+//! quantiles; `fold` pushes one pre-aggregated outcome batch through an
+//! [`SloMonitor`]; `snapshot` grades a loaded monitor against the
+//! paper's `A(WS)` target, Wilson interval included.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use uavail_obs::{SlidingWindow, SloConfig, SloMonitor};
+
+/// The paper's headline availability, used as the SLO target so the
+/// grading path (Wilson interval + threshold compare) is exercised.
+const A_WS: f64 = 0.999995587;
+
+fn bench_window(c: &mut Criterion) {
+    let mut w = SlidingWindow::new(1_000_000, 60);
+    let mut now = 0u64;
+    c.bench_function("obs/window/record", |b| {
+        b.iter(|| {
+            now += 977;
+            w.record(now, black_box(now % 4096));
+        })
+    });
+
+    let mut w = SlidingWindow::new(1, 60);
+    let mut now = 0u64;
+    c.bench_function("obs/window/record_rotate", |b| {
+        b.iter(|| {
+            now += 1;
+            w.record(now, black_box(now % 4096));
+        })
+    });
+
+    let mut w = SlidingWindow::new(1_000_000, 60);
+    for i in 0..50_000u64 {
+        w.record(i * 977, i * 31 % 4096);
+    }
+    let now = 50_000 * 977;
+    c.bench_function("obs/window/summary", |b| {
+        b.iter(|| black_box(w.summary(now)))
+    });
+}
+
+fn bench_slo(c: &mut Criterion) {
+    let mut m = SloMonitor::new(SloConfig {
+        target_availability: Some(A_WS),
+        ..SloConfig::default()
+    });
+    let mut now = 0u64;
+    c.bench_function("obs/slo/fold", |b| {
+        b.iter(|| {
+            now += 977_000;
+            m.record_outcomes(now, "farm", 1_000, black_box(1), 0);
+        })
+    });
+
+    let mut m = SloMonitor::new(SloConfig {
+        target_availability: Some(A_WS),
+        ..SloConfig::default()
+    });
+    m.record_outcomes(0, "farm", 1_000_000, 4, 0);
+    m.record_outcomes(0, "queue", 500_000, 2, 1);
+    c.bench_function("obs/slo/snapshot", |b| {
+        b.iter(|| black_box(m.snapshot(black_box(0))))
+    });
+}
+
+criterion_group!(window, bench_window, bench_slo);
+criterion_main!(window);

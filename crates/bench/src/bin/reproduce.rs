@@ -4,10 +4,11 @@
 //! reproduce [ARTIFACT] [--csv] [--parallel] [--batch <n>]
 //!           [--metrics <path>] [--trace <path>] [--bench-json <path>]
 //!           [--inject <spec>] [--inject-seed <n>]
+//!           [--port <p>] [--iterations <n>]
 //!
 //! ARTIFACT: table1 table2 table3 table4 table5 table6 table7 table8
 //!           fig11 fig12 fig13 revenue capacity ablation validate
-//!           speedup bench simgate resilient all
+//!           speedup bench simgate resilient serve all
 //! ```
 //!
 //! `--parallel` routes the artifacts with parallel implementations
@@ -76,8 +77,25 @@
 //! simulator against their analytic twins and exits nonzero unless the
 //! analytic value falls inside every simulation confidence interval —
 //! the pooled Wilson interval at z = 3.9 and, for the farm, the
-//! batch-means interval as well. Like `bench` it is excluded from `all`;
+//! batch-means interval as well. The farm validator also feeds its
+//! pooled request outcomes into the live SLO monitor, whose independent
+//! verdict must agree with the gate's — simgate doubles as the
+//! end-to-end SLO-monitor test. Like `bench` it is excluded from `all`;
 //! CI runs it as a standalone gate.
+//!
+//! `serve` attaches the live telemetry plane: it binds the std-only
+//! `uavail-serve` HTTP listener on `--port <p>` (0 for an ephemeral
+//! port; the bound address is printed as
+//! `uavail-serve listening on http://…`), then runs `--iterations <n>`
+//! evaluation rounds of the paper-parameter farm through the
+//! epoch-resolvent streaming validator — one telemetry-clock second per
+//! round, each round's pooled request outcomes fed into the SLO monitor
+//! against the analytic `A(WS)` target and its wall-clock cost recorded
+//! into a sliding window. After the rounds the logical clock freezes so
+//! the windowed state never rotates out from under a scraper, and the
+//! process serves `/metrics`, `/health`, `/trace` and `/slo` until
+//! `GET /shutdown`. Attaching the plane changes no reproduced number
+//! (pinned by the serve crate's bit-identity test).
 
 use std::process::ExitCode;
 
@@ -112,6 +130,8 @@ fn main() -> ExitCode {
     let mut batch: Option<usize> = None;
     let mut inject: Option<String> = None;
     let mut inject_seed: Option<u64> = None;
+    let mut port: Option<u16> = None;
+    let mut iterations: Option<usize> = None;
     let mut artifact: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -192,6 +212,38 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
+        } else if arg == "--port" {
+            match args.next().map(|v| v.parse::<u16>()) {
+                Some(Ok(p)) => port = Some(p),
+                _ => {
+                    eprintln!("reproduce: --port requires a port number (0 for ephemeral)");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if let Some(p_text) = arg.strip_prefix("--port=") {
+            match p_text.parse::<u16>() {
+                Ok(p) => port = Some(p),
+                Err(_) => {
+                    eprintln!("reproduce: --port requires a port number (0 for ephemeral)");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if arg == "--iterations" {
+            match args.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => iterations = Some(n),
+                _ => {
+                    eprintln!("reproduce: --iterations requires a round count of at least 1");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if let Some(n_text) = arg.strip_prefix("--iterations=") {
+            match n_text.parse::<usize>() {
+                Ok(n) if n >= 1 => iterations = Some(n),
+                _ => {
+                    eprintln!("reproduce: --iterations requires a round count of at least 1");
+                    return ExitCode::FAILURE;
+                }
+            }
         } else if arg.starts_with("--") {
             eprintln!("reproduce: unknown flag {arg:?}");
             return ExitCode::FAILURE;
@@ -218,6 +270,10 @@ fn main() -> ExitCode {
         eprintln!(
             "reproduce: --batch only applies to the fig11, fig12, table8 and capacity artifacts"
         );
+        return ExitCode::FAILURE;
+    }
+    if (port.is_some() || iterations.is_some()) && artifact != "serve" {
+        eprintln!("reproduce: --port and --iterations only apply to the `serve` artifact");
         return ExitCode::FAILURE;
     }
     // Injection runs always record, so the degraded/clean verdict (and any
@@ -313,6 +369,39 @@ fn main() -> ExitCode {
         if !agreed {
             eprintln!("reproduce: simgate: a simulator disagrees with its analytic twin");
             return ExitCode::FAILURE;
+        }
+        return exit_verdict(inject.is_some());
+    }
+    if artifact == "serve" {
+        if bench_json.is_some() {
+            eprintln!("reproduce: --bench-json only applies to the `bench` artifact");
+            return ExitCode::FAILURE;
+        }
+        // The plane records by definition — without the recorder there is
+        // nothing to serve. (`--metrics`/`--inject` already enabled it.)
+        if metrics.is_none() && inject.is_none() {
+            uavail_obs::set_enabled(true);
+            uavail_obs::reset();
+        }
+        let result = {
+            let _run = uavail_obs::span("reproduce");
+            run_serve(port.unwrap_or(0), iterations.unwrap_or(6), csv)
+        };
+        if let Err(e) = result {
+            eprintln!("reproduce: {e}");
+            return ExitCode::FAILURE;
+        }
+        if let Some(path) = metrics {
+            if let Err(e) = write_metrics(&path, &artifact, parallel, inject.as_deref()) {
+                eprintln!("reproduce: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Some(path) = trace {
+            if let Err(e) = write_trace(&path) {
+                eprintln!("reproduce: {e}");
+                return ExitCode::FAILURE;
+            }
         }
         return exit_verdict(inject.is_some());
     }
@@ -464,6 +553,85 @@ fn write_trace(path: &str) -> Result<(), String> {
     } else {
         eprintln!("wrote {events} trace events to {path}");
     }
+    Ok(())
+}
+
+/// Pinned-seed serve scenario: the paper-parameter farm evaluated
+/// through the epoch-resolvent streaming validator. The kernel's
+/// conditional-expectation estimates keep a paper-scale horizon cheap
+/// (the per-replication cost is the slow failure/repair chain, not the
+/// ~10⁷ requests the counters report), and the seed is pinned so the CI
+/// smoke job sees a reproducible measured-vs-analytic comparison.
+const SERVE_SEED: u64 = 20240601;
+const SERVE_HORIZON: f64 = 200_000.0;
+const SERVE_REPLICATIONS: usize = 8;
+
+/// Runs the resident evaluator with the telemetry plane attached: binds
+/// the listener, prints the bound address (machine-parseable by the CI
+/// smoke job), runs `iterations` pinned-seed evaluation rounds feeding
+/// the SLO monitor and the sliding windows — one telemetry-clock second
+/// per round — prints the measured-vs-analytic summary, then serves
+/// until a client requests `/shutdown`.
+fn run_serve(port: u16, iterations: usize, csv: bool) -> Result<(), String> {
+    use std::time::Instant;
+
+    let params = TaParameters::paper_defaults();
+    let analytic =
+        webservice::redundant_imperfect_availability(&params).map_err(|e| e.to_string())?;
+    uavail_obs::slo_configure(uavail_obs::SloConfig {
+        target_availability: Some(analytic),
+        ..uavail_obs::SloConfig::default()
+    });
+    let server =
+        uavail_serve::ObsServer::start(("127.0.0.1", port)).map_err(|e| format!("serve: {e}"))?;
+    println!("uavail-serve listening on http://{}", server.addr());
+    println!("endpoints: /metrics /health /slo /trace /shutdown");
+
+    let threads = default_threads();
+    const EPOCH_NS: u64 = 1_000_000_000;
+    for round in 0..iterations {
+        // The telemetry clock advances one epoch per round; the window
+        // and SLO state are a pure function of this schedule, never of
+        // the wall clock.
+        uavail_obs::clock_advance_to((round as u64 + 1) * EPOCH_NS);
+        let started = Instant::now();
+        validate_web_service_streaming(
+            &params,
+            SERVE_HORIZON,
+            SERVE_SEED.wrapping_add(round as u64),
+            SERVE_REPLICATIONS,
+            threads,
+        )
+        .map_err(|e| e.to_string())?;
+        uavail_obs::window_record("serve.eval_ns", started.elapsed().as_nanos() as u64);
+    }
+
+    let slo = uavail_obs::slo_snapshot().ok_or("serve: the SLO monitor vanished mid-run")?;
+    let mut t = Table::new(
+        "Serve — live SLO estimate vs analytic A(WS), paper parameters",
+        vec!["quantity", "value"],
+    );
+    t.add_row(vec!["analytic A(WS)".into(), format!("{analytic:.9}")]);
+    t.add_row(vec![
+        "measured availability".into(),
+        format!("{:.9}", slo.availability),
+    ]);
+    t.add_row(vec![
+        "Wilson 99.99% CI".into(),
+        format!("[{:.9}, {:.9}]", slo.availability_lo, slo.availability_hi),
+    ]);
+    t.add_row(vec![
+        "divergence".into(),
+        format!("{:+.3e}", slo.divergence),
+    ]);
+    t.add_row(vec!["requests observed".into(), slo.total.to_string()]);
+    t.add_row(vec!["slo state".into(), slo.state.as_str().into()]);
+    print!("{}", render(&t, csv));
+
+    // The rounds are done and the logical clock stays frozen, so the
+    // windowed state a scraper sees is exactly the summary above.
+    println!("serve: evaluation rounds complete; serving until GET /shutdown");
+    server.join();
     Ok(())
 }
 
@@ -686,6 +854,53 @@ fn run_context_benches() -> Result<Vec<BenchMeasurement>, TravelError> {
             Ok(())
         }),
     )?;
+
+    // Telemetry-plane hot paths: the sliding-window record (including
+    // its occasional epoch rotation) and the SLO monitor's outcome fold.
+    // One timed call is a batch of 1024 operations — a single operation
+    // is tens of nanoseconds, far below the calibration loop's
+    // resolution — and the recorded mean is divided back to per
+    // operation. The timestamp steps make each batch cross roughly one
+    // epoch boundary, so rotation cost is inside the measurement.
+    {
+        use uavail_obs::{SlidingWindow, SloConfig, SloMonitor};
+        const BATCH: u64 = 1024;
+        let mut window = SlidingWindow::new(1_000_000, 60);
+        let mut w_now = 0u64;
+        let (mean_ns, iters) = time(|| {
+            for i in 0..BATCH {
+                w_now += 977;
+                window.record(w_now, i * 97 % 4096);
+            }
+            black_box(&mut window);
+            Ok(())
+        })?;
+        out.push(BenchMeasurement {
+            name: "obs.window",
+            mode: "record",
+            mean_ns: mean_ns / BATCH as f64,
+            iters,
+        });
+        let mut monitor = SloMonitor::new(SloConfig {
+            target_availability: Some(PAPER_A_WS),
+            ..SloConfig::default()
+        });
+        let mut s_now = 0u64;
+        let (mean_ns, iters) = time(|| {
+            for i in 0..BATCH {
+                s_now += 977_000;
+                monitor.record_outcomes(s_now, "farm", 1_000, i % 3, 0);
+            }
+            black_box(&mut monitor);
+            Ok(())
+        })?;
+        out.push(BenchMeasurement {
+            name: "obs.slo",
+            mode: "fold",
+            mean_ns: mean_ns / BATCH as f64,
+            iters,
+        });
+    }
     Ok(out)
 }
 
@@ -806,6 +1021,29 @@ fn write_metrics(
     out.push_str(&JsonValue::object(meta).to_string());
     out.push('\n');
     out.push_str(&snap.to_json_lines());
+    // Two telemetry-plane records that live outside the recorder ride
+    // along: the trace ring's drop counter (satellite of the overflow
+    // accounting — also served as `uavail_trace_dropped_total`) and, when
+    // a monitor exists, the graded SLO snapshot.
+    out.push_str(
+        &JsonValue::object(vec![
+            ("type", JsonValue::str("counter")),
+            ("name", JsonValue::str("trace.dropped")),
+            ("value", JsonValue::UInt(uavail_obs::trace::dropped_total())),
+        ])
+        .to_string(),
+    );
+    out.push('\n');
+    if let Some(slo) = uavail_obs::slo_snapshot() {
+        out.push_str(
+            &JsonValue::object(vec![
+                ("type", JsonValue::str("slo")),
+                ("slo", slo.to_json()),
+            ])
+            .to_string(),
+        );
+        out.push('\n');
+    }
     let hits = snap.counter("travel.loss_cache.hits");
     let misses = snap.counter("travel.loss_cache.misses");
     if hits + misses > 0 {
@@ -1728,6 +1966,22 @@ fn run_simgate(csv: bool) -> Result<bool, TravelError> {
 
     let threads = default_threads();
 
+    // The farm validator feeds its pooled outcomes straight into the
+    // live SLO monitor (see `sim_validation`); configuring the monitor
+    // against the same analytic target makes the gate double as an
+    // end-to-end monitor test: the monitor grades the same counts with
+    // the same Wilson/slack convention, so its verdict must agree with
+    // the gate's own check.
+    let target = webservice::redundant_imperfect_availability(&compressed_parameters())?;
+    if !uavail_obs::enabled() {
+        uavail_obs::set_enabled(true);
+    }
+    uavail_obs::slo_configure(uavail_obs::SloConfig {
+        target_availability: Some(target),
+        ..uavail_obs::SloConfig::default()
+    });
+    uavail_obs::clock_advance_to(1_000_000_000);
+
     // Gate 1: farm simulator vs the analytic web-service unavailability.
     let farm =
         validate_web_service_streaming(&compressed_parameters(), 10_000.0, 20240601, 32, threads)?;
@@ -1745,6 +1999,20 @@ fn run_simgate(csv: bool) -> Result<bool, TravelError> {
         fmt_unavailability(batch_hi)
     );
     let farm_ok = farm.report.agrees(0.15) && farm.batch_agrees(3.9, 0.15);
+    let slo = uavail_obs::slo_snapshot();
+    let slo_ok = slo.as_ref().is_some_and(|s| {
+        // Degraded (fallback) events only happen under injection; they
+        // must not flip a *statistical* gate, so they pass here.
+        s.state == uavail_obs::SloState::Ok || s.degraded > 0
+    });
+    if let Some(s) = &slo {
+        println!(
+            "slo monitor: state {}, measured availability {:.9}, divergence {:+.3e}",
+            s.state.as_str(),
+            s.availability,
+            s.divergence
+        );
+    }
 
     // Gate 2: M/M/c/K queue simulator vs the analytic blocking
     // probability. The load (ρ = 1.5 over 2 servers, buffer 4) keeps the
@@ -1820,7 +2088,10 @@ fn run_simgate(csv: bool) -> Result<bool, TravelError> {
     if !queue_ok {
         eprintln!("simgate: M/M/c/K simulator disagrees with the analytic blocking probability");
     }
-    Ok(farm_ok && queue_ok)
+    if !slo_ok {
+        eprintln!("simgate: the SLO monitor's verdict disagrees with the gate");
+    }
+    Ok(farm_ok && queue_ok && slo_ok)
 }
 
 fn validation_table(title: &str, report: &ValidationReport, csv: bool) {

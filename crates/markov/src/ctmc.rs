@@ -352,6 +352,7 @@ impl Ctmc {
                 }
             }
             uavail_obs::counter_add("markov.steady_state.fallbacks", 1);
+            uavail_obs::slo_degraded(1);
         }
         if let Ok(pi) = self.steady_state_lu() {
             if healthy(&pi) {
@@ -359,6 +360,7 @@ impl Ctmc {
             }
         }
         uavail_obs::counter_add("markov.steady_state.fallbacks", 1);
+        uavail_obs::slo_degraded(1);
         if let Ok(pi) = gth_steady_state(&self.q) {
             if healthy(&pi) {
                 uavail_obs::counter_add("markov.steady_state.recovered", 1);
@@ -366,6 +368,7 @@ impl Ctmc {
             }
         }
         uavail_obs::counter_add("markov.steady_state.fallbacks", 1);
+        uavail_obs::slo_degraded(1);
         let scale = (0..self.num_states())
             .map(|i| self.q[(i, i)].abs())
             .fold(0.0f64, f64::max);

@@ -101,30 +101,31 @@ impl Histogram {
             })
             .collect();
         let max = self.max.load(Ordering::Relaxed);
+        let min = if count == 0 {
+            0
+        } else {
+            self.min.load(Ordering::Relaxed)
+        };
         HistogramSummary {
             count,
             sum,
-            min: if count == 0 {
-                0
-            } else {
-                self.min.load(Ordering::Relaxed)
-            },
+            min,
             max,
             mean: if count == 0 {
                 0.0
             } else {
                 sum as f64 / count as f64
             },
-            p50: quantile(&buckets, count, max, 0.50),
-            p90: quantile(&buckets, count, max, 0.90),
-            p99: quantile(&buckets, count, max, 0.99),
+            p50: quantile(&buckets, count, min, max, 0.50),
+            p90: quantile(&buckets, count, min, max, 0.90),
+            p99: quantile(&buckets, count, min, max, 0.99),
             buckets,
         }
     }
 }
 
 /// Inclusive upper bound of bucket `i`: `2^{i+1} − 1`.
-fn bucket_upper_bound(i: usize) -> u64 {
+pub(crate) fn bucket_upper_bound(i: usize) -> u64 {
     if i >= 63 {
         u64::MAX
     } else {
@@ -132,20 +133,46 @@ fn bucket_upper_bound(i: usize) -> u64 {
     }
 }
 
-/// Bucket-resolution quantile: the upper bound of the first bucket whose
-/// cumulative count reaches `q · count`, clamped to the exact observed
-/// maximum (so `p100`-ish queries never overshoot).
-fn quantile(buckets: &[(u64, u64)], count: u64, max: u64, q: f64) -> u64 {
+/// Inclusive lower bound of the bucket whose upper bound is `upper`:
+/// `2^i` for bucket `i ≥ 1`, and 0 for bucket 0 (which also holds the
+/// sample value 0).
+fn bucket_lower_bound(upper: u64) -> u64 {
+    if upper <= 1 {
+        0
+    } else {
+        upper / 2 + 1
+    }
+}
+
+/// Sub-bucket interpolated quantile over `(inclusive upper bound, count)`
+/// pairs in increasing bound order.
+///
+/// The rank `⌈q · count⌉` selects a bucket; within it the mass is assumed
+/// uniform, so rank position `p` of `c` samples maps to the bucket-span
+/// midpoint `lower + span · (p − ½) / c` (integer arithmetic, rounded to
+/// nearest). The result is clamped to the observed `[min, max]`, so exact
+/// extremes are never overshot and a single-sample histogram reports the
+/// sample itself. Against the raw bucket bound (up to 2× off on a log₂
+/// grid) this bounds the error by the within-bucket density mismatch —
+/// a few percent on smooth distributions (pinned by tests).
+pub(crate) fn quantile(buckets: &[(u64, u64)], count: u64, min: u64, max: u64, q: f64) -> u64 {
     if count == 0 {
         return 0;
     }
     let rank = (q * count as f64).ceil().max(1.0) as u64;
     let mut cumulative = 0u64;
     for &(upper, c) in buckets {
-        cumulative += c;
-        if cumulative >= rank {
-            return upper.min(max);
+        if cumulative + c >= rank {
+            let lower = bucket_lower_bound(upper);
+            let span = upper - lower;
+            let pos = rank - cumulative; // 1-based position inside the bucket
+                                         // lower + span · (pos − ½) / c, rounded to nearest (u128: the
+                                         // widest span is 2^63 and counts can be anything).
+            let numer = span as u128 * (2 * pos as u128 - 1) + c as u128;
+            let within = (numer / (2 * c as u128)) as u64;
+            return (lower + within).clamp(min, max);
         }
+        cumulative += c;
     }
     max
 }
@@ -213,22 +240,78 @@ mod tests {
     }
 
     #[test]
-    fn quantiles_are_bucket_resolution_and_clamped() {
+    fn quantiles_interpolate_within_buckets_and_clamp() {
         let h = Histogram::new();
         for _ in 0..99 {
-            h.record(10); // bucket [8, 16), upper bound 15
+            h.record(10); // bucket [8, 15]
         }
-        h.record(1000); // bucket [512, 1024), upper bound 1023
+        h.record(1000); // bucket [512, 1023]
         let s = h.summary();
-        assert_eq!(s.p50, 15);
-        assert_eq!(s.p90, 15);
-        // The tail quantile lands in the last bucket and clamps to the
-        // observed max.
+        // Interpolated positions inside the [8, 15] bucket, clamped below
+        // to the observed min of 10.
+        assert_eq!(s.p50, 12);
+        assert_eq!(s.p90, 14);
         assert_eq!(s.p99, 15);
         let h2 = Histogram::new();
         h2.record(7);
         let s2 = h2.summary();
-        assert_eq!(s2.p50, 7, "single sample clamps to the exact max");
+        assert_eq!(s2.p50, 7, "single sample clamps to the exact extreme");
+        let h3 = Histogram::new();
+        h3.record(0);
+        h3.record(0);
+        assert_eq!(h3.summary().p99, 0, "all-zero samples stay zero");
+    }
+
+    /// Exact empirical quantile of a sorted sample set: the rank-`⌈qn⌉`
+    /// order statistic, matching the histogram's rank convention.
+    fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+        let rank = (q * sorted.len() as f64).ceil().max(1.0) as usize;
+        sorted[rank - 1]
+    }
+
+    #[test]
+    fn interpolated_quantiles_bound_relative_error_on_known_distributions() {
+        // Uniform over [0, 2^16): within every power-of-two bucket the
+        // density really is uniform, so interpolation is near-exact.
+        let h = Histogram::new();
+        let uniform: Vec<u64> = (0..65_536u64).collect();
+        for &v in &uniform {
+            h.record(v);
+        }
+        let s = h.summary();
+        for (q, got) in [(0.50, s.p50), (0.90, s.p90), (0.99, s.p99)] {
+            let exact = exact_quantile(&uniform, q);
+            let rel = (got as f64 - exact as f64).abs() / exact as f64;
+            assert!(
+                rel < 0.01,
+                "uniform q={q}: got {got}, exact {exact}, rel err {rel}"
+            );
+        }
+
+        // Exponential-ish tail (deterministic inverse-CDF sample): the
+        // density decays within each bucket, so uniform interpolation is
+        // biased high, but must stay well below the raw bucket-bound
+        // error (~42% for the p99 here, up to 2× in general).
+        let n = 50_000u64;
+        let exponential: Vec<u64> = (1..=n)
+            .map(|i| {
+                let u = i as f64 / (n as f64 + 1.0);
+                (-(1.0 - u).ln() * 10_000.0).round() as u64
+            })
+            .collect();
+        let h = Histogram::new();
+        for &v in &exponential {
+            h.record(v);
+        }
+        let s = h.summary();
+        for (q, got) in [(0.50, s.p50), (0.90, s.p90), (0.99, s.p99)] {
+            let exact = exact_quantile(&exponential, q);
+            let rel = (got as f64 - exact as f64).abs() / exact as f64;
+            assert!(
+                rel < 0.30,
+                "exponential q={q}: got {got}, exact {exact}, rel err {rel}"
+            );
+        }
     }
 
     #[test]

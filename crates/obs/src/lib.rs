@@ -43,6 +43,14 @@
 //! exported as Chrome/Perfetto timelines ([`trace::TraceData::to_chrome_trace`]),
 //! behind their own [`set_trace_enabled`] flag.
 //!
+//! For resident (serve-loop) use the [`window`] module adds sliding
+//! windows — rings of epochs with a deterministic, injected clock — and
+//! the [`slo`] module folds request outcomes into a rolling
+//! user-perceived availability estimate graded against the analytic
+//! `A(WS)` target ([`SloMonitor`]). Both share the process-wide
+//! telemetry clock ([`clock_advance_to`]) and gate their global entry
+//! points on the same [`enabled`] flag.
+//!
 //! # Example
 //!
 //! ```
@@ -64,15 +72,25 @@
 mod health;
 mod histogram;
 pub mod json;
+pub mod slo;
 mod span;
 pub mod trace;
+pub mod window;
 
 pub use health::{HealthStats, HealthSummary};
 pub use histogram::{Histogram, HistogramSummary, BUCKET_COUNT};
+pub use slo::{
+    slo_configure, slo_degraded, slo_record_outcomes, slo_reset, slo_snapshot, Outcome, SloConfig,
+    SloMonitor, SloSnapshot, SloState,
+};
 pub use span::{SpanGuard, SpanStats, SpanSummary, Stopwatch};
 pub use trace::{
     set_trace_enabled, take_trace, trace_enabled, trace_instant, trace_instant_arg, TraceData,
     TraceEvent, TraceSpan,
+};
+pub use window::{
+    clock_advance_to, clock_now_ns, window_configure, window_record, window_reset,
+    window_summaries, SlidingWindow, WindowCounter, WindowSummary,
 };
 
 use json::JsonValue;

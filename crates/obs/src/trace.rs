@@ -167,6 +167,17 @@ pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
 
 static TRACE_ENABLED: AtomicBool = AtomicBool::new(false);
 static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+/// Running total of events lost to ring overflow since the last
+/// [`reset`], across all threads. Unlike [`TraceData::dropped`] this
+/// survives [`take_trace`] drains, so overflow that happened before an
+/// export is never silently forgotten — the metrics artifact and the
+/// `/metrics` endpoint publish it as the `trace.dropped` counter.
+static DROPPED_TOTAL: AtomicU64 = AtomicU64::new(0);
+
+/// Events lost to ring overflow since the last [`reset`], process-wide.
+pub fn dropped_total() -> u64 {
+    DROPPED_TOTAL.load(Ordering::Relaxed)
+}
 /// Capacity applied to rings created after the last [`reset`]; settable
 /// (before recording) so overflow behaviour is testable.
 static RING_CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_TRACE_CAPACITY);
@@ -232,6 +243,7 @@ impl Ring {
     fn push(&mut self, phase: TracePhase, name: &'static str, arg: Option<(&'static str, f64)>) {
         if self.events.len() >= self.capacity {
             self.dropped += 1;
+            DROPPED_TOTAL.fetch_add(1, Ordering::Relaxed);
             return;
         }
         self.events.push(TraceEvent {
@@ -390,6 +402,7 @@ pub fn reset() {
     sink.events.clear();
     sink.dropped = 0;
     drop(sink);
+    DROPPED_TOTAL.store(0, Ordering::SeqCst);
     let _ = LOCAL_RING.try_with(|cell| {
         // Dropping the ring would flush into the sink; discard instead.
         if let Some(ring) = cell.borrow_mut().as_mut() {
@@ -476,14 +489,17 @@ mod tests {
     fn overflow_drops_newest_and_counts_exactly() {
         const CAP: usize = 8;
         const TOTAL: usize = 30;
-        let data = with_tracing(CAP, || {
+        let (data, total_after_drain) = with_tracing(CAP, || {
             for _ in 0..TOTAL {
                 trace_instant("tick");
             }
-            take_trace()
+            let data = take_trace();
+            // The process-wide total survives the take_trace drain.
+            (data, dropped_total())
         });
         assert_eq!(data.events.len(), CAP);
         assert_eq!(data.dropped, (TOTAL - CAP) as u64);
+        assert_eq!(total_after_drain, (TOTAL - CAP) as u64);
         // The retained prefix is still a valid, monotonic timeline.
         let json = data.to_chrome_trace();
         assert_eq!(validate_chrome_trace(&json).unwrap(), CAP);

@@ -1,0 +1,489 @@
+//! Sliding-window aggregation: rings of per-epoch counters and
+//! histograms with deterministic, clock-injected rotation.
+//!
+//! The one-shot recorder ([`crate::Recorder`]) accumulates forever —
+//! right for end-of-run artifacts, wrong for a resident evaluator where
+//! "availability over the last minute" is the question. A
+//! [`SlidingWindow`] (histogram) or [`WindowCounter`] (sum) keeps a ring
+//! of `epochs` fixed-width epochs of `epoch_ns` nanoseconds each;
+//! recording into epoch `e` clears every epoch the clock skipped since
+//! the last touch, so the window always covers the most recent
+//! `epochs · epoch_ns` of logical time.
+//!
+//! **The clock is injected.** Every mutating call takes `now_ns`
+//! explicitly and nothing here reads `Instant::now()`, so window contents
+//! are a pure function of the (timestamp, value) sequence — tests and
+//! replays are exactly reproducible, and the serve loop can drive the
+//! telemetry clock from its own pinned schedule. Time never moves
+//! backwards: a stale `now_ns` records into the current head epoch.
+//!
+//! The process-wide telemetry clock ([`clock_advance_to`] /
+//! [`clock_now_ns`]) is the single logical "now" shared by the global
+//! window registry ([`window_record`]) and the SLO monitor
+//! ([`crate::slo`]); it only ever ratchets forward.
+
+use crate::histogram::{bucket_upper_bound, quantile, BUCKET_COUNT};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Default epoch width for global windows: one second.
+pub const DEFAULT_EPOCH_NS: u64 = 1_000_000_000;
+/// Default ring length for global windows: a one-minute window.
+pub const DEFAULT_EPOCHS: usize = 60;
+
+/// Ring-of-epochs bookkeeping shared by [`SlidingWindow`] and
+/// [`WindowCounter`]: which slot is the head, how many slots are live,
+/// and which slots a clock advance retires.
+#[derive(Debug, Clone)]
+struct EpochRing<T> {
+    epoch_ns: u64,
+    slots: Vec<T>,
+    /// Epoch index (`now_ns / epoch_ns`) of the newest live slot.
+    head: u64,
+    /// Live (initialized) slots, `0..=slots.len()`; 0 until first touch.
+    live: usize,
+}
+
+impl<T> EpochRing<T> {
+    fn new(epoch_ns: u64, epochs: usize, make: impl Fn() -> T) -> EpochRing<T> {
+        let len = epochs.max(1);
+        EpochRing {
+            epoch_ns: epoch_ns.max(1),
+            slots: (0..len).map(|_| make()).collect(),
+            head: 0,
+            live: 0,
+        }
+    }
+
+    /// Advances the ring to the epoch containing `now_ns`, clearing every
+    /// slot the clock skipped. A `now_ns` before the head is clamped to
+    /// the head (time never rewinds).
+    fn rotate_to(&mut self, now_ns: u64, clear: impl Fn(&mut T)) {
+        let epoch = now_ns / self.epoch_ns;
+        let len = self.slots.len();
+        if self.live == 0 {
+            self.head = epoch;
+            self.live = 1;
+            clear(&mut self.slots[(epoch % len as u64) as usize]);
+            return;
+        }
+        if epoch <= self.head {
+            return;
+        }
+        let advance = (epoch - self.head).min(len as u64) as usize;
+        for step in 1..=advance {
+            let idx = ((self.head + step as u64) % len as u64) as usize;
+            clear(&mut self.slots[idx]);
+        }
+        self.head = epoch;
+        self.live = (self.live + advance).min(len);
+    }
+
+    fn head_slot(&mut self) -> &mut T {
+        let len = self.slots.len() as u64;
+        let idx = (self.head % len) as usize;
+        &mut self.slots[idx]
+    }
+
+    /// The live slots, oldest-first order not guaranteed (merges below
+    /// are commutative, so order is irrelevant).
+    fn live_slots(&self) -> impl Iterator<Item = &T> {
+        let len = self.slots.len() as u64;
+        let head = self.head;
+        let live = self.live;
+        (0..live as u64).map(move |back| {
+            let idx = ((head + len - back) % len) as usize;
+            &self.slots[idx]
+        })
+    }
+
+    /// Nanoseconds of logical time the live slots cover.
+    fn window_ns(&self) -> u64 {
+        self.live as u64 * self.epoch_ns
+    }
+}
+
+/// Per-epoch histogram state: the same log₂ buckets as
+/// [`crate::Histogram`], in plain integers (windows mutate behind `&mut`
+/// or a registry lock, so atomics would buy nothing).
+#[derive(Debug, Clone)]
+struct EpochHist {
+    buckets: [u64; BUCKET_COUNT],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl EpochHist {
+    fn empty() -> EpochHist {
+        EpochHist {
+            buckets: [0; BUCKET_COUNT],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn clear(&mut self) {
+        *self = EpochHist::empty();
+    }
+
+    fn record(&mut self, value: u64) {
+        let idx = if value == 0 {
+            0
+        } else {
+            63 - value.leading_zeros() as usize
+        };
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+}
+
+/// A sliding histogram window: log₂-bucket distribution of the samples
+/// recorded over the most recent `epochs · epoch_ns` of logical time.
+#[derive(Debug, Clone)]
+pub struct SlidingWindow {
+    ring: EpochRing<EpochHist>,
+}
+
+impl SlidingWindow {
+    /// Creates a window of `epochs` epochs of `epoch_ns` nanoseconds
+    /// each; both are clamped to at least 1.
+    pub fn new(epoch_ns: u64, epochs: usize) -> SlidingWindow {
+        SlidingWindow {
+            ring: EpochRing::new(epoch_ns, epochs, EpochHist::empty),
+        }
+    }
+
+    /// Advances the window to `now_ns`, retiring epochs the clock
+    /// skipped, without recording anything.
+    pub fn rotate_to(&mut self, now_ns: u64) {
+        self.ring.rotate_to(now_ns, EpochHist::clear);
+    }
+
+    /// Records one sample at logical time `now_ns`.
+    pub fn record(&mut self, now_ns: u64, value: u64) {
+        self.rotate_to(now_ns);
+        self.ring.head_slot().record(value);
+    }
+
+    /// Merged summary of the live epochs as of `now_ns`.
+    pub fn summary(&mut self, now_ns: u64) -> WindowSummary {
+        self.rotate_to(now_ns);
+        let mut buckets = [0u64; BUCKET_COUNT];
+        let (mut count, mut sum, mut min, mut max) = (0u64, 0u64, u64::MAX, 0u64);
+        for slot in self.ring.live_slots() {
+            for (acc, b) in buckets.iter_mut().zip(&slot.buckets) {
+                *acc += b;
+            }
+            count += slot.count;
+            sum = sum.wrapping_add(slot.sum);
+            min = min.min(slot.min);
+            max = max.max(slot.max);
+        }
+        let min = if count == 0 { 0 } else { min };
+        let pairs: Vec<(u64, u64)> = buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_upper_bound(i), c))
+            .collect();
+        let window_ns = self.ring.window_ns();
+        WindowSummary {
+            window_ns,
+            count,
+            sum,
+            min,
+            max,
+            mean: if count == 0 {
+                0.0
+            } else {
+                sum as f64 / count as f64
+            },
+            p50: quantile(&pairs, count, min, max, 0.50),
+            p90: quantile(&pairs, count, min, max, 0.90),
+            p99: quantile(&pairs, count, min, max, 0.99),
+            rate_per_sec: count as f64 * 1e9 / window_ns as f64,
+        }
+    }
+
+    /// Empties the window (all epochs retired, clock position kept).
+    pub fn clear(&mut self) {
+        for slot in &mut self.ring.slots {
+            slot.clear();
+        }
+        self.ring.live = 0;
+    }
+}
+
+/// A sliding sum: total of the deltas added over the most recent
+/// `epochs · epoch_ns` of logical time.
+#[derive(Debug, Clone)]
+pub struct WindowCounter {
+    ring: EpochRing<u64>,
+}
+
+impl WindowCounter {
+    /// Creates a counter window of `epochs` epochs of `epoch_ns`
+    /// nanoseconds each; both are clamped to at least 1.
+    pub fn new(epoch_ns: u64, epochs: usize) -> WindowCounter {
+        WindowCounter {
+            ring: EpochRing::new(epoch_ns, epochs, || 0),
+        }
+    }
+
+    /// Advances the window to `now_ns` without adding anything.
+    pub fn rotate_to(&mut self, now_ns: u64) {
+        self.ring.rotate_to(now_ns, |slot| *slot = 0);
+    }
+
+    /// Adds `delta` at logical time `now_ns`.
+    pub fn add(&mut self, now_ns: u64, delta: u64) {
+        self.rotate_to(now_ns);
+        *self.ring.head_slot() += delta;
+    }
+
+    /// Sum over the live epochs as of `now_ns`.
+    pub fn total(&mut self, now_ns: u64) -> u64 {
+        self.rotate_to(now_ns);
+        self.ring.live_slots().sum()
+    }
+
+    /// Events per second over the live epochs as of `now_ns`.
+    pub fn rate_per_sec(&mut self, now_ns: u64) -> f64 {
+        let total = self.total(now_ns);
+        total as f64 * 1e9 / self.ring.window_ns() as f64
+    }
+
+    /// Nanoseconds of logical time currently covered.
+    pub fn window_ns(&self) -> u64 {
+        self.ring.window_ns()
+    }
+}
+
+/// Merged point-in-time summary of a [`SlidingWindow`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowSummary {
+    /// Logical time the live epochs cover (≤ `epochs · epoch_ns`; less
+    /// during warm-up so rates never underestimate).
+    pub window_ns: u64,
+    /// Samples in the window.
+    pub count: u64,
+    /// Sum of samples in the window.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Mean sample (0 when empty).
+    pub mean: f64,
+    /// Interpolated median.
+    pub p50: u64,
+    /// Interpolated 90th percentile.
+    pub p90: u64,
+    /// Interpolated 99th percentile.
+    pub p99: u64,
+    /// Samples per second of covered logical time.
+    pub rate_per_sec: f64,
+}
+
+// ---------------------------------------------------------------------
+// Process-wide telemetry clock and window registry.
+// ---------------------------------------------------------------------
+
+static CLOCK_NS: AtomicU64 = AtomicU64::new(0);
+
+/// Ratchets the telemetry clock forward to `now_ns` (monotonic: a stale
+/// value is ignored). The serve evaluator loop drives this; nothing in
+/// `uavail-obs` reads a wall clock for window or SLO state.
+pub fn clock_advance_to(now_ns: u64) {
+    CLOCK_NS.fetch_max(now_ns, Ordering::Relaxed);
+}
+
+/// Current logical telemetry time in nanoseconds.
+pub fn clock_now_ns() -> u64 {
+    CLOCK_NS.load(Ordering::Relaxed)
+}
+
+/// Resets the telemetry clock to 0 (test/reset hook — the clock is
+/// monotonic during normal operation).
+pub fn clock_reset() {
+    CLOCK_NS.store(0, Ordering::SeqCst);
+}
+
+struct WindowRegistry {
+    epoch_ns: u64,
+    epochs: usize,
+    windows: BTreeMap<String, SlidingWindow>,
+}
+
+fn registry() -> MutexGuard<'static, WindowRegistry> {
+    static REGISTRY: OnceLock<Mutex<WindowRegistry>> = OnceLock::new();
+    REGISTRY
+        .get_or_init(|| {
+            Mutex::new(WindowRegistry {
+                epoch_ns: DEFAULT_EPOCH_NS,
+                epochs: DEFAULT_EPOCHS,
+                windows: BTreeMap::new(),
+            })
+        })
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// Sets the epoch geometry for global windows and clears the registry
+/// (existing windows have the old geometry baked in).
+pub fn window_configure(epoch_ns: u64, epochs: usize) {
+    let mut reg = registry();
+    reg.epoch_ns = epoch_ns.max(1);
+    reg.epochs = epochs.max(1);
+    reg.windows.clear();
+}
+
+/// Records `value` into the global sliding window `name` at the current
+/// telemetry clock; no-op while recording is disabled.
+pub fn window_record(name: &str, value: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    let now = clock_now_ns();
+    let mut reg = registry();
+    let (epoch_ns, epochs) = (reg.epoch_ns, reg.epochs);
+    reg.windows
+        .entry(name.to_string())
+        .or_insert_with(|| SlidingWindow::new(epoch_ns, epochs))
+        .record(now, value);
+}
+
+/// Summaries of every global window as of the current telemetry clock.
+pub fn window_summaries() -> BTreeMap<String, WindowSummary> {
+    let now = clock_now_ns();
+    let mut reg = registry();
+    reg.windows
+        .iter_mut()
+        .map(|(name, w)| (name.clone(), w.summary(now)))
+        .collect()
+}
+
+/// Drops every global window (geometry is kept).
+pub fn window_reset() {
+    registry().windows.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S: u64 = 1_000_000_000;
+
+    #[test]
+    fn window_expires_old_epochs_deterministically() {
+        let mut w = SlidingWindow::new(S, 4);
+        w.record(0, 100);
+        w.record(S, 200);
+        w.record(2 * S, 300);
+        let s = w.summary(2 * S);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sum, 600);
+        assert_eq!(s.window_ns, 3 * S);
+        // Advance to epoch 4: epoch 0 (the 100 sample) retires.
+        let s = w.summary(4 * S);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.sum, 500);
+        assert_eq!(s.min, 200);
+        assert_eq!(s.window_ns, 4 * S);
+        // A jump far past everything empties the window.
+        let s = w.summary(100 * S);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.sum, 0);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 0);
+    }
+
+    #[test]
+    fn stale_timestamps_clamp_to_head_epoch() {
+        let mut w = SlidingWindow::new(S, 4);
+        w.record(5 * S, 10);
+        w.record(3 * S, 20); // late sample: lands in epoch 5, not 3
+        let s = w.summary(5 * S);
+        assert_eq!(s.count, 2);
+        let s = w.summary(8 * S); // epoch 5 is the oldest of 4 live epochs
+        assert_eq!(s.count, 2, "both samples retire together");
+        let s = w.summary(9 * S);
+        assert_eq!(s.count, 0);
+    }
+
+    #[test]
+    fn summary_matches_histogram_quantiles() {
+        let mut w = SlidingWindow::new(S, 8);
+        let h = crate::Histogram::new();
+        for v in 0..1000u64 {
+            w.record((v % 8) * S / 2, v * 3);
+            h.record(v * 3);
+        }
+        let hs = h.summary();
+        let ws = w.summary(4 * S);
+        assert_eq!(ws.count, hs.count);
+        assert_eq!(ws.sum, hs.sum);
+        assert_eq!((ws.p50, ws.p90, ws.p99), (hs.p50, hs.p90, hs.p99));
+    }
+
+    #[test]
+    fn counter_rate_tracks_live_span() {
+        let mut c = WindowCounter::new(S, 10);
+        c.add(0, 30);
+        assert_eq!(c.total(0), 30);
+        // One live epoch: 30 events over 1 s.
+        assert!((c.rate_per_sec(0) - 30.0).abs() < 1e-12);
+        c.add(4 * S, 10);
+        // Five live epochs: 40 events over 5 s.
+        assert_eq!(c.total(4 * S), 40);
+        assert!((c.rate_per_sec(4 * S) - 8.0).abs() < 1e-12);
+        // Epoch 0 retires at epoch 10.
+        assert_eq!(c.total(10 * S), 10);
+        assert_eq!(c.total(15 * S), 0);
+    }
+
+    #[test]
+    fn rotation_is_a_pure_function_of_the_timestamp_sequence() {
+        let stamps: Vec<u64> = (0..200).map(|i| (i * 7919) % (30 * S)).collect();
+        let run = || {
+            let mut w = SlidingWindow::new(S, 6);
+            let mut clock = 0u64;
+            for &t in &stamps {
+                clock = clock.max(t);
+                w.record(clock, t % 1000);
+            }
+            w.summary(clock)
+        };
+        assert_eq!(run(), run(), "same inputs, bit-identical window");
+    }
+
+    #[test]
+    fn global_windows_gate_on_enabled_and_use_the_logical_clock() {
+        let _guard = crate::test_support::lock();
+        crate::set_enabled(false);
+        clock_reset();
+        window_configure(S, 4);
+        window_record("w.off", 5);
+        assert!(window_summaries().is_empty(), "disabled records nothing");
+        crate::set_enabled(true);
+        clock_advance_to(2 * S);
+        clock_advance_to(S); // stale: clock never rewinds
+        assert_eq!(clock_now_ns(), 2 * S);
+        window_record("w.on", 5);
+        window_record("w.on", 7);
+        let summaries = window_summaries();
+        assert_eq!(summaries["w.on"].count, 2);
+        assert_eq!(summaries["w.on"].sum, 12);
+        crate::set_enabled(false);
+        window_reset();
+        clock_reset();
+    }
+}

@@ -1,0 +1,243 @@
+//! # uavail-serve
+//!
+//! The std-only HTTP telemetry plane for the resident evaluator: a
+//! minimal blocking HTTP/1.1 listener exposing the live `uavail-obs`
+//! state. No new dependencies — the responses are rendered with the
+//! same hardened in-tree JSON machinery the metrics artifacts use.
+//!
+//! Endpoints:
+//!
+//! * **`GET /metrics`** — Prometheus text exposition: every recorder
+//!   counter/gauge/histogram/span/health channel, the sliding windows,
+//!   the SLO gauges and the `trace.dropped` counter.
+//! * **`GET /health`** — JSON: the PR 4 numerical-health channels plus
+//!   the SLO threshold state (`ok`/`warn`/`breach`).
+//! * **`GET /trace`** — Chrome/Perfetto `trace_event` JSON snapshot of
+//!   the trace rings. **Draining**: like the trace artifact writer, a
+//!   scrape takes the buffered events; two scrapes see disjoint spans.
+//! * **`GET /slo`** — JSON: measured vs analytic availability, Wilson
+//!   bounds, divergence, degraded-event count and per-class breakdown.
+//! * **`GET /shutdown`** — acknowledges, then stops the listener.
+//!
+//! The server only *reads* telemetry (and drains the trace ring, itself
+//! instrumentation-only state), so attaching it cannot change a
+//! reproduced number — the `metrics_identity`-style tests in
+//! `tests/http.rs` pin that, and the whole plane stays inert while
+//! `uavail_obs::set_enabled(false)`.
+//!
+//! Connections are handled serially on one listener thread: every
+//! response is a small in-memory string, so there is nothing to overlap,
+//! and serial handling keeps the server trivially free of locking
+//! against itself.
+
+pub mod render;
+
+pub use render::{render_health, render_prometheus, render_slo};
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Hard cap on an accepted request's header block; plenty for a scrape
+/// `GET`, and it bounds memory against garbage input.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// A running telemetry listener. Dropping the handle without calling
+/// [`ObsServer::shutdown`] leaves the thread serving until the process
+/// exits or a client hits `/shutdown`.
+#[derive(Debug)]
+pub struct ObsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ObsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// starts the listener thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start(addr: impl ToSocketAddrs) -> std::io::Result<ObsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("uavail-serve".to_string())
+            .spawn(move || accept_loop(&listener, &thread_stop))?;
+        Ok(ObsServer {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (with the real port when 0 was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether a stop was requested (a `/shutdown` scrape or
+    /// [`ObsServer::shutdown`]). The evaluator loop polls this.
+    pub fn shutdown_requested(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Stops the listener and joins its thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Poke the blocking accept so the loop observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+
+    /// Blocks until a client requests `/shutdown`, then joins the
+    /// listener thread.
+    pub fn join(mut self) {
+        while !self.shutdown_requested() {
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, stop: &AtomicBool) {
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => continue,
+        };
+        // A shutdown poke connects and immediately disconnects; checking
+        // before handling keeps teardown prompt.
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        handle_connection(stream, stop);
+    }
+}
+
+/// Reads one request, writes one response, closes. Any I/O error just
+/// abandons the connection — the telemetry plane must never take the
+/// evaluator down.
+fn handle_connection(mut stream: TcpStream, stop: &AtomicBool) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    let Some(path) = read_request_path(&mut stream) else {
+        return;
+    };
+    let (status, content_type, body) = respond(&path, stop);
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Parses the request line of an HTTP/1.1 GET and returns the path
+/// (query string stripped). `None` for anything malformed, oversized or
+/// non-GET.
+fn read_request_path(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        // Headers end at the blank line; we never read a body.
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n") {
+            break;
+        }
+        if buf.len() > MAX_REQUEST_BYTES {
+            return None;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => return None,
+        }
+    }
+    let text = String::from_utf8_lossy(&buf);
+    let request_line = text.lines().next()?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next()?;
+    let target = parts.next()?;
+    if !method.eq_ignore_ascii_case("GET") {
+        return None;
+    }
+    let path = target.split('?').next().unwrap_or(target);
+    Some(path.to_string())
+}
+
+/// Routes a path to `(status, content type, body)`.
+fn respond(path: &str, stop: &AtomicBool) -> (&'static str, &'static str, String) {
+    const JSON: &str = "application/json";
+    const TEXT: &str = "text/plain; version=0.0.4; charset=utf-8";
+    match path {
+        "/metrics" => {
+            let snapshot = uavail_obs::snapshot();
+            let slo = uavail_obs::slo_snapshot();
+            let windows = uavail_obs::window_summaries();
+            let body = render_prometheus(
+                &snapshot,
+                slo.as_ref(),
+                &windows,
+                uavail_obs::trace::dropped_total(),
+            );
+            ("200 OK", TEXT, body)
+        }
+        "/health" => {
+            let body = render_health(&uavail_obs::snapshot(), uavail_obs::slo_snapshot().as_ref());
+            ("200 OK", JSON, body)
+        }
+        "/slo" => {
+            let body = render_slo(uavail_obs::slo_snapshot().as_ref());
+            ("200 OK", JSON, body)
+        }
+        "/trace" => {
+            let body = uavail_obs::take_trace().to_chrome_trace();
+            ("200 OK", JSON, body)
+        }
+        "/shutdown" => {
+            stop.store(true, Ordering::SeqCst);
+            (
+                "200 OK",
+                "text/plain; charset=utf-8",
+                "shutting down\n".to_string(),
+            )
+        }
+        "/" => (
+            "200 OK",
+            "text/plain; charset=utf-8",
+            "uavail-serve telemetry plane\nendpoints: /metrics /health /slo /trace /shutdown\n"
+                .to_string(),
+        ),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".to_string(),
+        ),
+    }
+}
+
+impl Drop for ObsServer {
+    fn drop(&mut self) {
+        // Best effort: stop the thread so tests that forget shutdown()
+        // don't leak listeners. The poke unblocks accept; the join is
+        // skipped if the thread already exited.
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}

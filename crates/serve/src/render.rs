@@ -1,0 +1,316 @@
+//! Pure renderers for the telemetry endpoints: Prometheus text
+//! exposition for `/metrics`, JSON bodies for `/health` and `/slo`.
+//!
+//! Everything here is a pure function of obs snapshots, so rendering is
+//! unit-testable without a socket and can never perturb the recorders it
+//! reads — the serve plane observes, it does not participate.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use uavail_obs::json::JsonValue;
+use uavail_obs::{HealthSummary, SloSnapshot, Snapshot, WindowSummary};
+
+/// Maps a metric name onto the Prometheus grammar
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every other character becomes `_`. All
+/// uavail names start with a letter, so no leading-digit fix-up is
+/// needed.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Escapes a Prometheus label value (backslash, quote, newline).
+fn escape_label(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn type_line(out: &mut String, name: &str, kind: &str) {
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+/// Renders the full Prometheus text exposition: the one-shot recorder
+/// state, the sliding windows, the SLO gauges and the trace drop
+/// counter. Windowed quantities are gauges (they can decrease as epochs
+/// retire); recorder counters and span totals are counters.
+pub fn render_prometheus(
+    snapshot: &Snapshot,
+    slo: Option<&SloSnapshot>,
+    windows: &BTreeMap<String, WindowSummary>,
+    trace_dropped: u64,
+) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let name = format!("uavail_{}_total", sanitize(name));
+        type_line(&mut out, &name, "counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let name = format!("uavail_{}", sanitize(name));
+        type_line(&mut out, &name, "gauge");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, summary) in &snapshot.histograms {
+        let name = format!("uavail_{}", sanitize(name));
+        type_line(&mut out, &name, "histogram");
+        let mut cumulative = 0u64;
+        for &(upper, count) in &summary.buckets {
+            cumulative += count;
+            let _ = writeln!(out, "{name}_bucket{{le=\"{upper}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", summary.count);
+        let _ = writeln!(out, "{name}_sum {}", summary.sum);
+        let _ = writeln!(out, "{name}_count {}", summary.count);
+    }
+    for (path, summary) in &snapshot.spans {
+        let name = format!("uavail_span_{}", sanitize(path));
+        type_line(&mut out, &format!("{name}_count"), "counter");
+        let _ = writeln!(out, "{name}_count {}", summary.count);
+        type_line(&mut out, &format!("{name}_total_ns"), "counter");
+        let _ = writeln!(out, "{name}_total_ns {}", summary.total_nanos);
+    }
+    for (name, summary) in &snapshot.health {
+        render_health_channel(&mut out, name, summary);
+    }
+    for (name, values) in &snapshot.labels {
+        let metric = format!("uavail_label_{}", sanitize(name));
+        type_line(&mut out, &metric, "gauge");
+        for value in values {
+            let _ = writeln!(out, "{metric}{{value=\"{}\"}} 1", escape_label(value));
+        }
+    }
+    for (name, summary) in windows {
+        let name = format!("uavail_window_{}", sanitize(name));
+        type_line(&mut out, &name, "gauge");
+        let _ = writeln!(out, "{name}{{stat=\"count\"}} {}", summary.count);
+        let _ = writeln!(
+            out,
+            "{name}{{stat=\"rate_per_sec\"}} {}",
+            summary.rate_per_sec
+        );
+        let _ = writeln!(out, "{name}{{stat=\"mean\"}} {}", summary.mean);
+        let _ = writeln!(out, "{name}{{stat=\"p50\"}} {}", summary.p50);
+        let _ = writeln!(out, "{name}{{stat=\"p90\"}} {}", summary.p90);
+        let _ = writeln!(out, "{name}{{stat=\"p99\"}} {}", summary.p99);
+    }
+    if let Some(slo) = slo {
+        render_slo_gauges(&mut out, slo);
+    }
+    type_line(&mut out, "uavail_trace_dropped_total", "counter");
+    let _ = writeln!(out, "uavail_trace_dropped_total {trace_dropped}");
+    out
+}
+
+fn render_health_channel(out: &mut String, name: &str, summary: &HealthSummary) {
+    let name = format!("uavail_health_{}", sanitize(name));
+    type_line(out, &name, "gauge");
+    let _ = writeln!(out, "{name}{{stat=\"count\"}} {}", summary.count);
+    let _ = writeln!(out, "{name}{{stat=\"min\"}} {}", summary.min);
+    let _ = writeln!(out, "{name}{{stat=\"max\"}} {}", summary.max);
+}
+
+/// SLO block of the exposition: availability, Wilson bounds, divergence
+/// from the analytic target and the threshold state (0 ok / 1 warn /
+/// 2 breach), plus per-class availability.
+fn render_slo_gauges(out: &mut String, slo: &SloSnapshot) {
+    let g = |out: &mut String, name: &str, value: String| {
+        let name = format!("uavail_slo_{name}");
+        type_line(out, &name, "gauge");
+        let _ = writeln!(out, "{name} {value}");
+    };
+    g(out, "availability", format!("{}", slo.availability));
+    g(out, "availability_lo", format!("{}", slo.availability_lo));
+    g(out, "availability_hi", format!("{}", slo.availability_hi));
+    if let Some(target) = slo.target {
+        g(out, "target_availability", format!("{target}"));
+    }
+    g(out, "divergence", format!("{}", slo.divergence));
+    g(out, "requests", format!("{}", slo.total));
+    g(out, "losses", format!("{}", slo.losses));
+    g(out, "timeouts", format!("{}", slo.timeouts));
+    g(out, "degraded", format!("{}", slo.degraded));
+    g(out, "window_ns", format!("{}", slo.window_ns));
+    let state = match slo.state {
+        uavail_obs::SloState::Ok => 0,
+        uavail_obs::SloState::Warn => 1,
+        uavail_obs::SloState::Breach => 2,
+    };
+    g(out, "state", format!("{state}"));
+    type_line(out, "uavail_slo_class_availability", "gauge");
+    for (class, c) in &slo.classes {
+        let _ = writeln!(
+            out,
+            "uavail_slo_class_availability{{class=\"{}\"}} {}",
+            escape_label(class),
+            c.availability
+        );
+    }
+}
+
+/// `/health` body: overall state (the SLO threshold state, `ok` when no
+/// monitor is live), every numerical-health channel, and the SLO
+/// snapshot when present.
+pub fn render_health(snapshot: &Snapshot, slo: Option<&SloSnapshot>) -> String {
+    let channels: Vec<(String, JsonValue)> = snapshot
+        .health
+        .iter()
+        .map(|(name, s)| {
+            (
+                name.clone(),
+                JsonValue::object(vec![
+                    ("count", JsonValue::UInt(s.count)),
+                    ("min", JsonValue::Float(s.min)),
+                    ("max", JsonValue::Float(s.max)),
+                ]),
+            )
+        })
+        .collect();
+    let mut fields = vec![(
+        "state",
+        JsonValue::str(slo.map_or("ok", |s| s.state.as_str())),
+    )];
+    fields.push((
+        "health",
+        JsonValue::object(
+            channels
+                .iter()
+                .map(|(name, value)| (name.as_str(), value.clone()))
+                .collect(),
+        ),
+    ));
+    if let Some(slo) = slo {
+        fields.push(("slo", slo.to_json()));
+    }
+    JsonValue::object(fields).to_string()
+}
+
+/// `/slo` body: the SLO snapshot, or an explicit "not configured" object
+/// so scrapers never have to special-case an empty reply.
+pub fn render_slo(slo: Option<&SloSnapshot>) -> String {
+    match slo {
+        Some(slo) => slo.to_json().to_string(),
+        None => JsonValue::object(vec![("state", JsonValue::str("unconfigured"))]).to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uavail_obs::{Recorder, SloConfig, SloMonitor};
+
+    fn sample_snapshot() -> Snapshot {
+        let r = Recorder::new();
+        r.counter_add("cache.hits", 41);
+        r.gauge_set("cache.size", 7);
+        r.histogram_record("sweep.point_ns", 900);
+        r.histogram_record("sweep.point_ns", 1800);
+        r.record_span("run/phase", 5_000);
+        r.health_record("lu.residual", 3.5e-16);
+        r.label("rng.streams", "seed=\"42\"");
+        r.snapshot()
+    }
+
+    fn sample_slo() -> SloSnapshot {
+        let mut m = SloMonitor::new(SloConfig {
+            target_availability: Some(0.999995587),
+            ..SloConfig::default()
+        });
+        m.record_outcomes(0, "farm", 1_000_000, 4, 1);
+        m.snapshot(0)
+    }
+
+    /// Minimal exposition-format check: every line is a comment or
+    /// `name value` / `name{labels} value` with a parseable f64 value.
+    fn assert_parses_as_exposition(text: &str) {
+        for line in text.lines() {
+            if line.starts_with('#') {
+                let mut parts = line.split_whitespace();
+                assert_eq!(parts.next(), Some("#"));
+                assert_eq!(parts.next(), Some("TYPE"), "only TYPE comments: {line}");
+                continue;
+            }
+            let (name_part, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+                panic!("sample line needs a value: {line}");
+            });
+            assert!(!name_part.is_empty(), "{line}");
+            let bare = name_part.split('{').next().unwrap();
+            assert!(
+                bare.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "metric name must match the grammar: {line}"
+            );
+            value
+                .parse::<f64>()
+                .unwrap_or_else(|e| panic!("unparseable value in {line:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn prometheus_rendering_parses_and_covers_every_kind() {
+        let mut windows = BTreeMap::new();
+        windows.insert(
+            "serve.eval_ns".to_string(),
+            WindowSummary {
+                window_ns: 1_000_000_000,
+                count: 3,
+                sum: 6_000,
+                min: 1_000,
+                max: 3_000,
+                mean: 2_000.0,
+                p50: 2_000,
+                p90: 3_000,
+                p99: 3_000,
+                rate_per_sec: 3.0,
+            },
+        );
+        let slo = sample_slo();
+        let text = render_prometheus(&sample_snapshot(), Some(&slo), &windows, 12);
+        assert_parses_as_exposition(&text);
+        assert!(text.contains("uavail_cache_hits_total 41"), "{text}");
+        assert!(text.contains("uavail_cache_size 7"), "{text}");
+        assert!(text.contains("uavail_sweep_point_ns_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("uavail_sweep_point_ns_count 2"));
+        assert!(text.contains("uavail_span_run_phase_count 1"));
+        assert!(text.contains("uavail_health_lu_residual{stat=\"count\"} 1"));
+        assert!(text.contains("uavail_label_rng_streams{value=\"seed=\\\"42\\\"\"} 1"));
+        assert!(text.contains("uavail_window_serve_eval_ns{stat=\"p99\"} 3000"));
+        assert!(text.contains("uavail_slo_state 0"));
+        assert!(text.contains("uavail_slo_class_availability{class=\"farm\"}"));
+        assert!(text.contains("uavail_trace_dropped_total 12"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let text = render_prometheus(&sample_snapshot(), None, &BTreeMap::new(), 0);
+        // 900 lands in [512,1023], 1800 in [1024,2047]: cumulative 1, 2.
+        assert!(
+            text.contains("uavail_sweep_point_ns_bucket{le=\"1023\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("uavail_sweep_point_ns_bucket{le=\"2047\"} 2"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn health_and_slo_bodies_are_valid_json() {
+        let slo = sample_slo();
+        let health = render_health(&sample_snapshot(), Some(&slo));
+        let parsed = uavail_obs::json::parse(&health).unwrap_or_else(|e| panic!("{e}\n{health}"));
+        assert_eq!(parsed.get("state").unwrap().as_str(), Some("ok"));
+        assert!(parsed.get("health").unwrap().get("lu.residual").is_some());
+        assert!(parsed.get("slo").unwrap().get("availability").is_some());
+
+        let body = render_slo(Some(&slo));
+        let parsed = uavail_obs::json::parse(&body).unwrap();
+        assert_eq!(parsed.get("total").unwrap().as_u64(), Some(1_000_005));
+
+        let empty = render_slo(None);
+        let parsed = uavail_obs::json::parse(&empty).unwrap();
+        assert_eq!(parsed.get("state").unwrap().as_str(), Some("unconfigured"));
+    }
+}

@@ -1,0 +1,210 @@
+//! End-to-end exercises of the telemetry plane over real sockets: bind
+//! an ephemeral port, scrape every endpoint, and pin the project
+//! invariant that attaching the plane changes no reproduced number.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Mutex, MutexGuard};
+use uavail_serve::ObsServer;
+
+/// Obs state is process-global; every test here serializes on this lock
+/// and leaves recording disabled and cleared behind itself.
+fn obs_lock() -> MutexGuard<'static, ()> {
+    static GUARD: Mutex<()> = Mutex::new(());
+    GUARD.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn reset_all() {
+    uavail_obs::set_enabled(false);
+    uavail_obs::set_trace_enabled(false);
+    uavail_obs::reset();
+    uavail_obs::trace::reset();
+    uavail_obs::slo_reset();
+    uavail_obs::window_reset();
+    uavail_obs::window::clock_reset();
+}
+
+/// One blocking HTTP/1.1 GET; returns `(status line, body)`.
+fn get(addr: SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .unwrap_or_else(|| panic!("malformed response: {response:?}"));
+    (
+        head.lines().next().unwrap_or_default().to_string(),
+        body.to_string(),
+    )
+}
+
+#[test]
+fn endpoints_serve_live_obs_state_and_shut_down_cleanly() {
+    let _guard = obs_lock();
+    reset_all();
+    uavail_obs::set_enabled(true);
+    uavail_obs::counter_add("serve.test_counter", 41);
+    uavail_obs::histogram_record("serve.test_latency", 1500);
+    uavail_obs::health_record("serve.test_residual", 2.5e-16);
+    uavail_obs::slo_configure(uavail_obs::SloConfig {
+        target_availability: Some(0.999995587),
+        ..uavail_obs::SloConfig::default()
+    });
+    uavail_obs::clock_advance_to(1_000_000_000);
+    uavail_obs::slo_record_outcomes("farm", 1_000_000, 4, 1);
+    uavail_obs::window_record("serve.eval_ns", 2_000);
+
+    let server = ObsServer::start("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = server.addr();
+
+    let (status, metrics) = get(addr, "/metrics");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert!(
+        metrics.contains("uavail_serve_test_counter_total 41"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("uavail_serve_test_latency_count 1"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("uavail_window_serve_eval_ns{stat=\"count\"} 1"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("uavail_slo_availability"), "{metrics}");
+    assert!(
+        metrics.contains("uavail_trace_dropped_total 0"),
+        "{metrics}"
+    );
+
+    let (status, health) = get(addr, "/health");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let parsed = uavail_obs::json::parse(&health).unwrap_or_else(|e| panic!("{e}\n{health}"));
+    assert_eq!(parsed.get("state").unwrap().as_str(), Some("ok"));
+    assert!(parsed
+        .get("health")
+        .unwrap()
+        .get("serve.test_residual")
+        .is_some());
+
+    let (status, slo) = get(addr, "/slo");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let parsed = uavail_obs::json::parse(&slo).unwrap_or_else(|e| panic!("{e}\n{slo}"));
+    assert_eq!(parsed.get("total").unwrap().as_u64(), Some(1_000_005));
+    assert_eq!(parsed.get("state").unwrap().as_str(), Some("ok"));
+    let target = parsed.get("target").unwrap().as_f64().unwrap();
+    assert!((target - 0.999995587).abs() < 1e-12);
+
+    let (status, index) = get(addr, "/");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert!(index.contains("/metrics"));
+
+    let (status, _) = get(addr, "/no-such-endpoint");
+    assert_eq!(status, "HTTP/1.1 404 Not Found");
+
+    let (status, body) = get(addr, "/shutdown");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert!(body.contains("shutting down"));
+    assert!(server.shutdown_requested());
+    server.join();
+    assert!(
+        TcpStream::connect(addr).is_err(),
+        "listener must be gone after /shutdown"
+    );
+    reset_all();
+}
+
+#[test]
+fn trace_endpoint_drains_like_the_artifact_writer() {
+    let _guard = obs_lock();
+    reset_all();
+    uavail_obs::set_trace_enabled(true);
+    uavail_obs::trace_instant("serve.tick");
+    uavail_obs::trace_instant("serve.tick");
+    // The scrape drains from the listener thread, which sees the global
+    // sink, not live threads' rings — same contract as the artifact
+    // writer, so recording threads flush before a scrape can see them.
+    uavail_obs::trace::flush_current_thread();
+
+    let server = ObsServer::start("127.0.0.1:0").expect("bind");
+    let (_, first) = get(server.addr(), "/trace");
+    let events =
+        uavail_obs::trace::validate_chrome_trace(&first).unwrap_or_else(|e| panic!("{e}\n{first}"));
+    assert_eq!(events, 2);
+    let (_, second) = get(server.addr(), "/trace");
+    assert_eq!(
+        uavail_obs::trace::validate_chrome_trace(&second).unwrap(),
+        0,
+        "a scrape drains the ring"
+    );
+    server.shutdown();
+    reset_all();
+}
+
+#[test]
+fn disabled_plane_serves_inert_state() {
+    let _guard = obs_lock();
+    reset_all();
+    let server = ObsServer::start("127.0.0.1:0").expect("bind");
+    let (status, metrics) = get(server.addr(), "/metrics");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert!(metrics.contains("uavail_trace_dropped_total 0"));
+    assert!(
+        !metrics.contains("uavail_slo_"),
+        "no SLO while unconfigured"
+    );
+    let (_, slo) = get(server.addr(), "/slo");
+    let parsed = uavail_obs::json::parse(&slo).unwrap();
+    assert_eq!(parsed.get("state").unwrap().as_str(), Some("unconfigured"));
+    server.shutdown();
+    reset_all();
+}
+
+/// The acceptance invariant, serve edition: computing a reproduced
+/// number with the full plane attached (recording on, SLO fed, windows
+/// recorded, endpoints scraped mid-run) yields bits identical to the
+/// bare computation.
+#[test]
+fn serving_and_recording_leave_reproduced_numbers_bit_identical() {
+    use uavail_travel::webservice::redundant_imperfect_availability;
+    use uavail_travel::TaParameters;
+
+    let params = TaParameters::paper_defaults();
+    let _guard = obs_lock();
+    reset_all();
+    let bare = redundant_imperfect_availability(&params).expect("analytic A(WS)");
+
+    uavail_obs::set_enabled(true);
+    uavail_obs::slo_configure(uavail_obs::SloConfig {
+        target_availability: Some(bare),
+        ..uavail_obs::SloConfig::default()
+    });
+    let server = ObsServer::start("127.0.0.1:0").expect("bind");
+    let mut observed = Vec::new();
+    for round in 0..3u64 {
+        uavail_obs::clock_advance_to(round * 1_000_000_000);
+        let a = redundant_imperfect_availability(&params).expect("instrumented A(WS)");
+        uavail_obs::slo_record_outcomes("farm", 1_000_000, 4, 0);
+        uavail_obs::window_record("serve.eval_ns", 1000 + round);
+        let _ = get(server.addr(), "/metrics");
+        let _ = get(server.addr(), "/slo");
+        observed.push(a);
+    }
+    server.shutdown();
+    reset_all();
+    let after = redundant_imperfect_availability(&params).expect("post-run A(WS)");
+
+    for (i, a) in observed.iter().enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            bare.to_bits(),
+            "round {i}: serving changed a reproduced number"
+        );
+    }
+    assert_eq!(after.to_bits(), bare.to_bits());
+}

@@ -107,6 +107,10 @@ fn pooled_report(
     let losses: u64 = observations.iter().map(|o| o.losses).sum();
     uavail_obs::counter_add("travel.validate.arrivals", arrivals);
     uavail_obs::counter_add("travel.validate.losses", losses);
+    // Feed the live SLO monitor the same observed outcomes the report is
+    // built from: successes are arrivals that were not lost. Reads only
+    // already-computed counts, so recording cannot perturb the report.
+    uavail_obs::slo_record_outcomes("farm", arrivals.saturating_sub(losses), losses, 0);
     let pooled = uavail_sim::stats::Proportion::new(losses, arrivals);
     ValidationReport {
         analytic_unavailability: analytic,
@@ -265,6 +269,10 @@ pub fn validate_web_service_streaming(
     let losses = acc.losses.round() as u64;
     uavail_obs::counter_add("travel.validate.arrivals", arrivals);
     uavail_obs::counter_add("travel.validate.losses", losses);
+    // Feed the live SLO monitor the same observed outcomes the report is
+    // built from: successes are arrivals that were not lost. Reads only
+    // already-computed counts, so recording cannot perturb the report.
+    uavail_obs::slo_record_outcomes("farm", arrivals.saturating_sub(losses), losses, 0);
     let pooled = uavail_sim::stats::Proportion::new(losses, arrivals);
     let batch_stats = acc
         .reducer

@@ -359,6 +359,7 @@ pub fn farm_distribution_imperfect(
         Ok(pi) if steady_state_mass_drift(&pi) <= STEADY_STATE_DRIFT_TOLERANCE => pi,
         _ => {
             uavail_obs::counter_add("travel.farm.pi_fallbacks", 1);
+            uavail_obs::slo_degraded(1);
             let pi = chain.steady_state_resilient()?;
             uavail_obs::counter_add("travel.farm.pi_recovered", 1);
             pi
@@ -510,6 +511,7 @@ fn farm_distribution_imperfect_compute(
     gth_steady_state_into(&ctx.generator, &mut ctx.gth_scratch, &mut ctx.pi)?;
     if steady_state_mass_drift(&ctx.pi) > STEADY_STATE_DRIFT_TOLERANCE {
         uavail_obs::counter_add("travel.farm.pi_fallbacks", 1);
+        uavail_obs::slo_degraded(1);
         retry_scaled_gth(&ctx.generator, &mut ctx.gth_scratch, &mut ctx.pi)?;
         uavail_obs::counter_add("travel.farm.pi_recovered", 1);
     }

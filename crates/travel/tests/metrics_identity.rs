@@ -9,7 +9,9 @@
 use std::sync::Mutex;
 
 use uavail_travel::evaluation::{figure11, figure12, figure12_parallel, table8};
-use uavail_travel::sim_validation::{compressed_parameters, validate_web_service};
+use uavail_travel::sim_validation::{
+    compressed_parameters, validate_web_service, validate_web_service_streaming,
+};
 use uavail_travel::webservice;
 
 static RECORDER_LOCK: Mutex<()> = Mutex::new(());
@@ -87,4 +89,63 @@ fn simulation_is_bit_identical_with_recording_on() {
     assert_eq!(off, on, "recording must not perturb the RNG stream");
     assert_eq!(snap.counter("travel.validate.arrivals"), on.arrivals);
     assert_eq!(snap.spans["travel.validate"].count, 1);
+}
+
+#[test]
+fn slo_and_window_recording_is_bit_identical_and_fed_by_the_validator() {
+    let params = compressed_parameters();
+    let analytic = webservice::redundant_imperfect_availability(&params).unwrap();
+    let _guard = RECORDER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+
+    // Off: the full telemetry plane configured but recording disabled.
+    uavail_obs::set_enabled(false);
+    uavail_obs::slo_reset();
+    uavail_obs::window_reset();
+    uavail_obs::window::clock_reset();
+    let off = validate_web_service_streaming(&params, 2_000.0, 20240601, 4, 2).unwrap();
+    assert!(
+        uavail_obs::slo_snapshot().is_none(),
+        "disabled: the validator must not create an SLO monitor"
+    );
+
+    // On: the streaming validator feeds the monitor and windows rotate.
+    uavail_obs::set_enabled(true);
+    uavail_obs::reset();
+    uavail_obs::slo_configure(uavail_obs::SloConfig {
+        target_availability: Some(analytic),
+        ..uavail_obs::SloConfig::default()
+    });
+    uavail_obs::clock_advance_to(1_000_000_000);
+    uavail_obs::window_record("validate.run_ns", 1);
+    let on = validate_web_service_streaming(&params, 2_000.0, 20240601, 4, 2).unwrap();
+    let slo = uavail_obs::slo_snapshot().expect("validator fed the monitor");
+    uavail_obs::set_enabled(false);
+
+    // The reproduced numbers are bit-identical, recording on or off.
+    assert_eq!(
+        off.report.simulated_unavailability.to_bits(),
+        on.report.simulated_unavailability.to_bits()
+    );
+    assert_eq!(
+        off.report.confidence_interval.0.to_bits(),
+        on.report.confidence_interval.0.to_bits()
+    );
+    assert_eq!(
+        off.batch_stats.mean().to_bits(),
+        on.batch_stats.mean().to_bits()
+    );
+
+    // And the monitor saw exactly the pooled outcome counts.
+    assert_eq!(slo.total, on.report.arrivals);
+    assert_eq!(
+        slo.losses,
+        on.report.arrivals - slo.successes,
+        "losses + successes partition the arrivals"
+    );
+    assert!((slo.availability - (1.0 - on.report.simulated_unavailability)).abs() < 1e-12);
+    assert_eq!(slo.classes["farm"].total, on.report.arrivals);
+
+    uavail_obs::slo_reset();
+    uavail_obs::window_reset();
+    uavail_obs::window::clock_reset();
 }

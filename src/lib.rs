@@ -19,7 +19,10 @@
 //!   contribution): expressions, interaction diagrams, dual-number
 //!   sensitivities, performability composition, downtime/revenue models.
 //! * [`sim`] — discrete-event simulation substrate.
-//! * [`obs`] — the opt-in metrics recorder behind every instrumented path.
+//! * [`obs`] — the opt-in metrics recorder behind every instrumented path,
+//!   plus sliding windows and the user-perceived availability SLO monitor.
+//! * [`serve`] — the std-only HTTP telemetry plane (`/metrics`, `/health`,
+//!   `/trace`, `/slo`) over the obs state.
 //! * [`travel`] — the travel-agency case study: every table and figure.
 //!
 //! # Quickstart
@@ -50,6 +53,7 @@ pub use uavail_obs as obs;
 pub use uavail_profile as profile;
 pub use uavail_queueing as queueing;
 pub use uavail_rbd as rbd;
+pub use uavail_serve as serve;
 pub use uavail_sim as sim;
 pub use uavail_travel as travel;
 
