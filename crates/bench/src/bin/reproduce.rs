@@ -4,11 +4,13 @@
 //! reproduce [ARTIFACT] [--csv] [--parallel] [--batch <n>]
 //!           [--metrics <path>] [--trace <path>] [--bench-json <path>]
 //!           [--inject <spec>] [--inject-seed <n>]
-//!           [--port <p>] [--iterations <n>]
+//!           [--port <p>] [--iterations <n>] [--workers <n>] [--queue <n>]
+//!           [--addr <host:port>] [--requests <n>] [--clients <n>]
+//!           [--spin-us <n>] [--seed <n>] [--deadline-ms <n>]
 //!
 //! ARTIFACT: table1 table2 table3 table4 table5 table6 table7 table8
 //!           fig11 fig12 fig13 revenue capacity ablation validate
-//!           speedup bench simgate resilient serve all
+//!           speedup bench simgate resilient serve loadgen all
 //! ```
 //!
 //! `--parallel` routes the artifacts with parallel implementations
@@ -93,9 +95,25 @@
 //! against the analytic `A(WS)` target and its wall-clock cost recorded
 //! into a sliding window. After the rounds the logical clock freezes so
 //! the windowed state never rotates out from under a scraper, and the
-//! process serves `/metrics`, `/health`, `/trace` and `/slo` until
-//! `GET /shutdown`. Attaching the plane changes no reproduced number
-//! (pinned by the serve crate's bit-identity test).
+//! process serves `POST /eval` (batched what-if queries through the
+//! overload-safe worker pool, sized by `--workers <c>` and
+//! `--queue <slots>`) plus `/metrics`, `/health`, `/trace` and `/slo`
+//! until `GET /shutdown`. `--iterations 0` skips the evaluation rounds
+//! and goes straight to serving — the overload-smoke configuration.
+//! Attaching the plane changes no reproduced number (pinned by the
+//! serve crate's bit-identity test).
+//!
+//! `loadgen` is the closed-loop flood client for a running `serve`
+//! process: `--clients <n>` threads complete `--requests <n>` logical
+//! `POST /eval` requests against `--addr <host:port>` (each query
+//! busy-spins `--spin-us` server-side, the service-time knob), retrying
+//! sheds with capped exponential backoff + jitter seeded by `--seed`,
+//! optionally attaching `--deadline-ms` as `X-Deadline-Ms`. It prints
+//! the wire-outcome tally plus the server's `/slo` queueing self-model
+//! and exits 1 when the overload contract is violated: any silent
+//! drop, any `503` without `Retry-After`, or a measured shed rate whose
+//! Wilson z = 3.9 band excludes the server's own M/M/c/K predicted
+//! loss.
 
 use std::process::ExitCode;
 
@@ -132,6 +150,14 @@ fn main() -> ExitCode {
     let mut inject_seed: Option<u64> = None;
     let mut port: Option<u16> = None;
     let mut iterations: Option<usize> = None;
+    let mut workers: Option<usize> = None;
+    let mut queue_slots: Option<usize> = None;
+    let mut addr: Option<String> = None;
+    let mut requests: Option<u64> = None;
+    let mut clients: Option<usize> = None;
+    let mut spin_us: Option<u64> = None;
+    let mut load_seed: Option<u64> = None;
+    let mut deadline_ms: Option<u64> = None;
     let mut artifact: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -230,17 +256,139 @@ fn main() -> ExitCode {
             }
         } else if arg == "--iterations" {
             match args.next().map(|v| v.parse::<usize>()) {
-                Some(Ok(n)) if n >= 1 => iterations = Some(n),
+                Some(Ok(n)) => iterations = Some(n),
                 _ => {
-                    eprintln!("reproduce: --iterations requires a round count of at least 1");
+                    eprintln!("reproduce: --iterations requires a round count (0 to skip rounds)");
                     return ExitCode::FAILURE;
                 }
             }
         } else if let Some(n_text) = arg.strip_prefix("--iterations=") {
             match n_text.parse::<usize>() {
-                Ok(n) if n >= 1 => iterations = Some(n),
+                Ok(n) => iterations = Some(n),
                 _ => {
-                    eprintln!("reproduce: --iterations requires a round count of at least 1");
+                    eprintln!("reproduce: --iterations requires a round count (0 to skip rounds)");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if arg == "--workers" {
+            match args.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => workers = Some(n),
+                _ => {
+                    eprintln!("reproduce: --workers requires at least one worker");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if let Some(n_text) = arg.strip_prefix("--workers=") {
+            match n_text.parse::<usize>() {
+                Ok(n) if n >= 1 => workers = Some(n),
+                _ => {
+                    eprintln!("reproduce: --workers requires at least one worker");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if arg == "--queue" {
+            match args.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) => queue_slots = Some(n),
+                _ => {
+                    eprintln!("reproduce: --queue requires a waiting-slot count");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if let Some(n_text) = arg.strip_prefix("--queue=") {
+            match n_text.parse::<usize>() {
+                Ok(n) => queue_slots = Some(n),
+                _ => {
+                    eprintln!("reproduce: --queue requires a waiting-slot count");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if arg == "--addr" {
+            match args.next() {
+                Some(a) => addr = Some(a),
+                None => {
+                    eprintln!("reproduce: --addr requires a host:port");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if let Some(a) = arg.strip_prefix("--addr=") {
+            addr = Some(a.to_string());
+        } else if arg == "--requests" {
+            match args.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(n)) if n >= 1 => requests = Some(n),
+                _ => {
+                    eprintln!("reproduce: --requests requires a request count of at least 1");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if let Some(n_text) = arg.strip_prefix("--requests=") {
+            match n_text.parse::<u64>() {
+                Ok(n) if n >= 1 => requests = Some(n),
+                _ => {
+                    eprintln!("reproduce: --requests requires a request count of at least 1");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if arg == "--clients" {
+            match args.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => clients = Some(n),
+                _ => {
+                    eprintln!("reproduce: --clients requires at least one client thread");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if let Some(n_text) = arg.strip_prefix("--clients=") {
+            match n_text.parse::<usize>() {
+                Ok(n) if n >= 1 => clients = Some(n),
+                _ => {
+                    eprintln!("reproduce: --clients requires at least one client thread");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if arg == "--spin-us" {
+            match args.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(n)) => spin_us = Some(n),
+                _ => {
+                    eprintln!("reproduce: --spin-us requires a microsecond count");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if let Some(n_text) = arg.strip_prefix("--spin-us=") {
+            match n_text.parse::<u64>() {
+                Ok(n) => spin_us = Some(n),
+                _ => {
+                    eprintln!("reproduce: --spin-us requires a microsecond count");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if arg == "--seed" {
+            match args.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(n)) => load_seed = Some(n),
+                _ => {
+                    eprintln!("reproduce: --seed requires an unsigned integer");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if let Some(n_text) = arg.strip_prefix("--seed=") {
+            match n_text.parse::<u64>() {
+                Ok(n) => load_seed = Some(n),
+                _ => {
+                    eprintln!("reproduce: --seed requires an unsigned integer");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if arg == "--deadline-ms" {
+            match args.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(n)) => deadline_ms = Some(n),
+                _ => {
+                    eprintln!("reproduce: --deadline-ms requires a millisecond budget");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if let Some(n_text) = arg.strip_prefix("--deadline-ms=") {
+            match n_text.parse::<u64>() {
+                Ok(n) => deadline_ms = Some(n),
+                _ => {
+                    eprintln!("reproduce: --deadline-ms requires a millisecond budget");
                     return ExitCode::FAILURE;
                 }
             }
@@ -272,8 +420,63 @@ fn main() -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
-    if (port.is_some() || iterations.is_some()) && artifact != "serve" {
-        eprintln!("reproduce: --port and --iterations only apply to the `serve` artifact");
+    if (port.is_some() || iterations.is_some() || workers.is_some() || queue_slots.is_some())
+        && artifact != "serve"
+    {
+        eprintln!(
+            "reproduce: --port, --iterations, --workers and --queue only apply to the `serve` artifact"
+        );
+        return ExitCode::FAILURE;
+    }
+    if (addr.is_some()
+        || requests.is_some()
+        || clients.is_some()
+        || spin_us.is_some()
+        || load_seed.is_some()
+        || deadline_ms.is_some())
+        && artifact != "loadgen"
+    {
+        eprintln!(
+            "reproduce: --addr, --requests, --clients, --spin-us, --seed and --deadline-ms only apply to the `loadgen` artifact"
+        );
+        return ExitCode::FAILURE;
+    }
+    if artifact == "loadgen" {
+        if bench_json.is_some() {
+            eprintln!("reproduce: --bench-json only applies to the `bench` artifact");
+            return ExitCode::FAILURE;
+        }
+        if inject.is_some() || metrics.is_some() || trace.is_some() {
+            eprintln!(
+                "reproduce: loadgen is a pure client; --inject, --metrics and --trace apply to the server process"
+            );
+            return ExitCode::FAILURE;
+        }
+        let Some(addr) = addr else {
+            eprintln!(
+                "reproduce: loadgen requires --addr <host:port> (printed by `reproduce serve` as its listening line)"
+            );
+            return ExitCode::FAILURE;
+        };
+        let cfg = uavail_serve::loadgen::LoadGenConfig {
+            addr,
+            requests: requests.unwrap_or(2000),
+            clients: clients.unwrap_or(16),
+            spin_us: spin_us.unwrap_or(2000),
+            seed: load_seed.unwrap_or(42),
+            deadline_ms,
+            ..uavail_serve::loadgen::LoadGenConfig::default()
+        };
+        let report = uavail_serve::loadgen::run(&cfg);
+        print_loadgen(&report, &cfg, csv);
+        let violations = report.violations();
+        if violations.is_empty() {
+            println!("loadgen: overload contract held");
+            return ExitCode::SUCCESS;
+        }
+        for violation in &violations {
+            eprintln!("reproduce: loadgen: {violation}");
+        }
         return ExitCode::FAILURE;
     }
     // Injection runs always record, so the degraded/clean verdict (and any
@@ -385,7 +588,13 @@ fn main() -> ExitCode {
         }
         let result = {
             let _run = uavail_obs::span("reproduce");
-            run_serve(port.unwrap_or(0), iterations.unwrap_or(6), csv)
+            run_serve(
+                port.unwrap_or(0),
+                iterations.unwrap_or(6),
+                workers,
+                queue_slots,
+                csv,
+            )
         };
         if let Err(e) = result {
             eprintln!("reproduce: {e}");
@@ -572,7 +781,13 @@ const SERVE_REPLICATIONS: usize = 8;
 /// the SLO monitor and the sliding windows — one telemetry-clock second
 /// per round — prints the measured-vs-analytic summary, then serves
 /// until a client requests `/shutdown`.
-fn run_serve(port: u16, iterations: usize, csv: bool) -> Result<(), String> {
+fn run_serve(
+    port: u16,
+    iterations: usize,
+    workers: Option<usize>,
+    queue_slots: Option<usize>,
+    csv: bool,
+) -> Result<(), String> {
     use std::time::Instant;
 
     let params = TaParameters::paper_defaults();
@@ -582,10 +797,20 @@ fn run_serve(port: u16, iterations: usize, csv: bool) -> Result<(), String> {
         target_availability: Some(analytic),
         ..uavail_obs::SloConfig::default()
     });
-    let server =
-        uavail_serve::ObsServer::start(("127.0.0.1", port)).map_err(|e| format!("serve: {e}"))?;
+    let mut plane = uavail_serve::QueryPlaneConfig::default();
+    if let Some(c) = workers {
+        plane.workers = c;
+    }
+    if let Some(slots) = queue_slots {
+        plane.queue_slots = slots;
+    }
+    let server = uavail_serve::ObsServer::start_with(("127.0.0.1", port), plane)
+        .map_err(|e| format!("serve: {e}"))?;
     println!("uavail-serve listening on http://{}", server.addr());
-    println!("endpoints: /metrics /health /slo /trace /shutdown");
+    println!(
+        "endpoints: POST /eval ({} workers, {} queue slots) · GET /metrics /health /slo /trace /shutdown",
+        plane.workers, plane.queue_slots
+    );
 
     let threads = default_threads();
     const EPOCH_NS: u64 = 1_000_000_000;
@@ -606,33 +831,116 @@ fn run_serve(port: u16, iterations: usize, csv: bool) -> Result<(), String> {
         uavail_obs::window_record("serve.eval_ns", started.elapsed().as_nanos() as u64);
     }
 
-    let slo = uavail_obs::slo_snapshot().ok_or("serve: the SLO monitor vanished mid-run")?;
-    let mut t = Table::new(
-        "Serve — live SLO estimate vs analytic A(WS), paper parameters",
-        vec!["quantity", "value"],
-    );
-    t.add_row(vec!["analytic A(WS)".into(), format!("{analytic:.9}")]);
-    t.add_row(vec![
-        "measured availability".into(),
-        format!("{:.9}", slo.availability),
-    ]);
-    t.add_row(vec![
-        "Wilson 99.99% CI".into(),
-        format!("[{:.9}, {:.9}]", slo.availability_lo, slo.availability_hi),
-    ]);
-    t.add_row(vec![
-        "divergence".into(),
-        format!("{:+.3e}", slo.divergence),
-    ]);
-    t.add_row(vec!["requests observed".into(), slo.total.to_string()]);
-    t.add_row(vec!["slo state".into(), slo.state.as_str().into()]);
-    print!("{}", render(&t, csv));
+    if iterations > 0 {
+        let slo = uavail_obs::slo_snapshot().ok_or("serve: the SLO monitor vanished mid-run")?;
+        let mut t = Table::new(
+            "Serve — live SLO estimate vs analytic A(WS), paper parameters",
+            vec!["quantity", "value"],
+        );
+        t.add_row(vec!["analytic A(WS)".into(), format!("{analytic:.9}")]);
+        t.add_row(vec![
+            "measured availability".into(),
+            format!("{:.9}", slo.availability),
+        ]);
+        t.add_row(vec![
+            "Wilson 99.99% CI".into(),
+            format!("[{:.9}, {:.9}]", slo.availability_lo, slo.availability_hi),
+        ]);
+        t.add_row(vec![
+            "divergence".into(),
+            format!("{:+.3e}", slo.divergence),
+        ]);
+        t.add_row(vec!["requests observed".into(), slo.total.to_string()]);
+        t.add_row(vec!["slo state".into(), slo.state.as_str().into()]);
+        print!("{}", render(&t, csv));
+    }
 
-    // The rounds are done and the logical clock stays frozen, so the
-    // windowed state a scraper sees is exactly the summary above.
+    // The rounds (if any) are done and the logical clock stays frozen,
+    // so the windowed state a scraper sees is exactly the summary above.
     println!("serve: evaluation rounds complete; serving until GET /shutdown");
     server.join();
     Ok(())
+}
+
+/// Renders the loadgen flood tally plus the server's post-flood
+/// M/M/c/K self-model scrape; the violation list (the actual gate) is
+/// printed by the caller.
+fn print_loadgen(
+    report: &uavail_serve::loadgen::LoadReport,
+    cfg: &uavail_serve::loadgen::LoadGenConfig,
+    csv: bool,
+) {
+    let mut t = Table::new(
+        "Loadgen — closed-loop /eval flood, wire outcomes",
+        vec!["quantity", "value"],
+    );
+    t.add_row(vec![
+        "target".into(),
+        format!(
+            "{} ({} clients × {} requests, spin {} µs, seed {})",
+            cfg.addr, cfg.clients, cfg.requests, cfg.spin_us, cfg.seed
+        ),
+    ]);
+    t.add_row(vec!["wire attempts".into(), report.attempts.to_string()]);
+    t.add_row(vec![
+        "200 OK (degraded)".into(),
+        format!("{} ({})", report.ok, report.ok_degraded),
+    ]);
+    t.add_row(vec![
+        "503 shed (missing Retry-After)".into(),
+        format!("{} ({})", report.shed, report.shed_without_retry_after),
+    ]);
+    t.add_row(vec![
+        "500 worker panic".into(),
+        report.server_errors.to_string(),
+    ]);
+    t.add_row(vec![
+        "504 deadline".into(),
+        report.deadline_timeouts.to_string(),
+    ]);
+    t.add_row(vec!["other status".into(), report.other_status.to_string()]);
+    t.add_row(vec!["silent drops".into(), report.silent_drops.to_string()]);
+    t.add_row(vec![
+        "retries exhausted".into(),
+        report.retries_exhausted.to_string(),
+    ]);
+    t.add_row(vec![
+        "elapsed".into(),
+        format!("{:.2}s", report.elapsed.as_secs_f64()),
+    ]);
+    match &report.queueing {
+        None => t.add_row(vec!["server /slo scrape".into(), "FAILED".into()]),
+        Some(q) => {
+            t.add_row(vec![
+                "server arrivals / shed / completed".into(),
+                format!("{} / {} / {}", q.arrivals, q.shed, q.completions),
+            ]);
+            t.add_row(vec![
+                "worker panics / restarts".into(),
+                format!("{} / {}", q.worker_panics, q.worker_restarts),
+            ]);
+            t.add_row(vec![
+                "measured shed rate (Wilson z=3.9)".into(),
+                format!(
+                    "{:.4} [{:.4}, {:.4}]",
+                    q.measured_shed_rate, q.shed_lo, q.shed_hi
+                ),
+            ]);
+            t.add_row(vec![
+                "M/M/c/K predicted loss".into(),
+                q.predicted_loss
+                    .map(|p| format!("{p:.4}"))
+                    .unwrap_or_else(|| "unavailable".into()),
+            ]);
+            t.add_row(vec![
+                "self-model agrees".into(),
+                q.agrees
+                    .map(|a| a.to_string())
+                    .unwrap_or_else(|| "n/a".into()),
+            ]);
+        }
+    }
+    print!("{}", render(&t, csv));
 }
 
 /// One in-process benchmark measurement: a named case in `cold_build`,

@@ -79,6 +79,11 @@ pub const SITES: &[(&str, &str, &str)] = &[
         "core.par.worker_panic",
         "panics inside a parallel map worker",
     ),
+    (
+        "wpanic",
+        "serve.worker_panic",
+        "panics an /eval query-plane worker mid-request",
+    ),
 ];
 
 /// Default firing probability when a spec arms a site without a rate.

@@ -1,0 +1,224 @@
+//! A count-based circuit breaker for the `/eval` evaluation path.
+//!
+//! Failures here are *system* failures — a worker panic, a solver
+//! error, or a solver falling back to a degraded path (the existing
+//! `slo_degraded` gauges) — not request-shaped problems like a
+//! malformed body, which are answered `400` without touching the
+//! breaker. The state machine is counted rather than timed so tests
+//! and the CI smoke job are deterministic:
+//!
+//! * **Closed** — serve live evaluations; `failure_threshold`
+//!   *consecutive* failures trip the breaker open.
+//! * **Open** — serve memoized (stale) answers marked
+//!   `degraded: true`; after `probe_after` requests handled open, the
+//!   next request becomes a half-open probe.
+//! * **Half-open** — exactly one request evaluates live; success closes
+//!   the breaker, failure re-opens it.
+
+use std::sync::Mutex;
+
+/// Breaker tuning; the defaults keep a rare injected panic from opening
+/// the breaker during the CI overload flood while still letting the
+/// dedicated breaker test trip it deterministically.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip Closed → Open.
+    pub failure_threshold: u32,
+    /// Requests served stale before a half-open probe is attempted.
+    pub probe_after: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 5,
+            probe_after: 8,
+        }
+    }
+}
+
+/// What the breaker tells a worker to do with the next request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Closed: evaluate live.
+    Live,
+    /// Half-open: evaluate live, and report the outcome as the probe.
+    Probe,
+    /// Open: serve from the stale cache only.
+    Stale,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum State {
+    Closed { consecutive_failures: u32 },
+    Open { handled_while_open: u32 },
+    HalfOpen,
+}
+
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: Mutex<State>,
+    /// Closed → Open transitions, for telemetry.
+    times_opened: Mutex<u64>,
+}
+
+impl CircuitBreaker {
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            state: Mutex::new(State::Closed {
+                consecutive_failures: 0,
+            }),
+            times_opened: Mutex::new(0),
+        }
+    }
+
+    /// Decides how the next request is served, advancing Open toward a
+    /// half-open probe as stale requests are handled.
+    pub fn admit(&self) -> Admission {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        match *state {
+            State::Closed { .. } => Admission::Live,
+            State::HalfOpen => Admission::Stale,
+            State::Open { handled_while_open } => {
+                if handled_while_open >= self.config.probe_after {
+                    *state = State::HalfOpen;
+                    Admission::Probe
+                } else {
+                    *state = State::Open {
+                        handled_while_open: handled_while_open + 1,
+                    };
+                    Admission::Stale
+                }
+            }
+        }
+    }
+
+    /// Records a successful live evaluation. A successful probe closes
+    /// the breaker.
+    pub fn on_success(&self, admission: Admission) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        match (admission, *state) {
+            (Admission::Probe, _) => {
+                *state = State::Closed {
+                    consecutive_failures: 0,
+                };
+            }
+            (Admission::Live, State::Closed { .. }) => {
+                *state = State::Closed {
+                    consecutive_failures: 0,
+                };
+            }
+            // A live evaluation finishing after the breaker already
+            // tripped (or stale service) changes nothing.
+            _ => {}
+        }
+    }
+
+    /// Records a failed live evaluation; a failed probe re-opens.
+    pub fn on_failure(&self, admission: Admission) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        match (admission, *state) {
+            (Admission::Probe, _) => {
+                *state = State::Open {
+                    handled_while_open: 0,
+                };
+                *self.times_opened.lock().unwrap_or_else(|e| e.into_inner()) += 1;
+            }
+            (
+                Admission::Live,
+                State::Closed {
+                    consecutive_failures,
+                },
+            ) => {
+                let failures = consecutive_failures + 1;
+                if failures >= self.config.failure_threshold {
+                    *state = State::Open {
+                        handled_while_open: 0,
+                    };
+                    *self.times_opened.lock().unwrap_or_else(|e| e.into_inner()) += 1;
+                } else {
+                    *state = State::Closed {
+                        consecutive_failures: failures,
+                    };
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Current phase name for the `/slo` snapshot.
+    pub fn phase(&self) -> &'static str {
+        match *self.state.lock().unwrap_or_else(|e| e.into_inner()) {
+            State::Closed { .. } => "closed",
+            State::Open { .. } => "open",
+            State::HalfOpen => "half_open",
+        }
+    }
+
+    /// How many times the breaker has tripped open.
+    pub fn times_opened(&self) -> u64 {
+        *self.times_opened.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 2,
+            probe_after: 3,
+        })
+    }
+
+    #[test]
+    fn trips_after_consecutive_failures_only() {
+        let b = breaker();
+        assert_eq!(b.admit(), Admission::Live);
+        b.on_failure(Admission::Live);
+        // A success resets the consecutive count.
+        b.on_success(Admission::Live);
+        b.on_failure(Admission::Live);
+        assert_eq!(b.admit(), Admission::Live, "one consecutive failure");
+        b.on_failure(Admission::Live);
+        assert_eq!(b.admit(), Admission::Stale, "threshold reached");
+        assert_eq!(b.phase(), "open");
+        assert_eq!(b.times_opened(), 1);
+    }
+
+    #[test]
+    fn probe_after_stale_window_closes_on_success() {
+        let b = breaker();
+        b.on_failure(Admission::Live);
+        b.on_failure(Admission::Live);
+        // probe_after = 3 stale requests, then a probe.
+        assert_eq!(b.admit(), Admission::Stale);
+        assert_eq!(b.admit(), Admission::Stale);
+        assert_eq!(b.admit(), Admission::Stale);
+        assert_eq!(b.admit(), Admission::Probe);
+        // Requests arriving while the probe is in flight stay stale.
+        assert_eq!(b.admit(), Admission::Stale);
+        b.on_success(Admission::Probe);
+        assert_eq!(b.admit(), Admission::Live);
+        assert_eq!(b.phase(), "closed");
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let b = breaker();
+        b.on_failure(Admission::Live);
+        b.on_failure(Admission::Live);
+        for _ in 0..3 {
+            assert_eq!(b.admit(), Admission::Stale);
+        }
+        assert_eq!(b.admit(), Admission::Probe);
+        b.on_failure(Admission::Probe);
+        assert_eq!(b.phase(), "open");
+        assert_eq!(b.times_opened(), 2);
+        // The stale window restarts.
+        assert_eq!(b.admit(), Admission::Stale);
+    }
+}

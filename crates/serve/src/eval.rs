@@ -1,0 +1,465 @@
+//! `/eval` request parsing and evaluation: parameter-vector what-if
+//! queries against the travel-agency model, parsed with the hardened
+//! `uavail-obs` JSON machinery and executed on a worker's warm
+//! [`EvalContext`].
+//!
+//! Request shape:
+//!
+//! ```json
+//! {
+//!   "queries": [
+//!     {"web_servers": 6, "failure_rate_per_hour": 1e-3, "class": "ws"},
+//!     {"coverage": 0.9, "class": "A"}
+//!   ],
+//!   "spin_us": 0
+//! }
+//! ```
+//!
+//! Each query starts from [`TaParameters::paper_defaults`] and applies
+//! the named overrides; unknown keys are rejected (a typo must not
+//! silently evaluate the defaults). `class` selects what is computed:
+//! `"ws"` (default) the web-service availability `A(WS)`, `"A"`/`"B"`
+//! the user-perceived availability of the paper's user classes.
+//! `spin_us` busy-spins per query — the service-time control knob for
+//! overload experiments (`reproduce loadgen`), capped so a hostile
+//! client cannot park a worker.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use uavail_obs::json::JsonValue;
+use uavail_travel::user::{class_a, class_b};
+use uavail_travel::webservice::redundant_imperfect_availability_with;
+use uavail_travel::{functions, services, user, Architecture, Coverage, EvalContext, TaParameters};
+
+/// Most queries a single `/eval` batch may carry.
+pub const MAX_BATCH: usize = 256;
+
+/// Cap on the per-query `spin_us` service-time knob (50 ms).
+pub const MAX_SPIN_US: u64 = 50_000;
+
+/// What a query computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryClass {
+    /// Web-service availability `A(WS)` (equation 9).
+    WebService,
+    /// User-perceived availability of class A (equation 10).
+    ClassA,
+    /// User-perceived availability of class B.
+    ClassB,
+}
+
+impl QueryClass {
+    fn tag(self) -> u64 {
+        match self {
+            QueryClass::WebService => 0,
+            QueryClass::ClassA => 1,
+            QueryClass::ClassB => 2,
+        }
+    }
+
+    /// The wire name, echoed back in results.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryClass::WebService => "ws",
+            QueryClass::ClassA => "A",
+            QueryClass::ClassB => "B",
+        }
+    }
+}
+
+/// One validated what-if query.
+#[derive(Debug, Clone)]
+pub struct EvalQuery {
+    pub params: TaParameters,
+    pub class: QueryClass,
+}
+
+/// A parsed `/eval` batch.
+#[derive(Debug)]
+pub struct EvalRequest {
+    pub queries: Vec<EvalQuery>,
+    pub spin_us: u64,
+}
+
+/// Parses and validates an `/eval` body.
+///
+/// # Errors
+///
+/// A human-readable message naming the offending field or query index;
+/// the caller answers it as a `400`.
+pub fn parse_eval_request(body: &[u8]) -> Result<EvalRequest, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    if text.trim().is_empty() {
+        return Err("empty body; expected a JSON object with \"queries\"".to_string());
+    }
+    let root = uavail_obs::json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let queries_json = root
+        .get("queries")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| "missing \"queries\" array".to_string())?;
+    if queries_json.is_empty() {
+        return Err("\"queries\" is empty".to_string());
+    }
+    if queries_json.len() > MAX_BATCH {
+        return Err(format!(
+            "batch of {} exceeds the {MAX_BATCH}-query limit",
+            queries_json.len()
+        ));
+    }
+    let mut spin_us = 0;
+    if let Some(v) = root.get("spin_us") {
+        spin_us = v
+            .as_u64()
+            .ok_or_else(|| "\"spin_us\" must be a non-negative integer".to_string())?;
+        if spin_us > MAX_SPIN_US {
+            return Err(format!("\"spin_us\" exceeds the {MAX_SPIN_US} µs cap"));
+        }
+    }
+    if let JsonValue::Object(fields) = &root {
+        for (key, _) in fields {
+            if key != "queries" && key != "spin_us" {
+                return Err(format!("unknown top-level field {key:?}"));
+            }
+        }
+    } else {
+        return Err("body must be a JSON object".to_string());
+    }
+    let mut queries = Vec::with_capacity(queries_json.len());
+    for (i, q) in queries_json.iter().enumerate() {
+        queries.push(parse_query(q).map_err(|e| format!("query {i}: {e}"))?);
+    }
+    Ok(EvalRequest { queries, spin_us })
+}
+
+fn parse_query(value: &JsonValue) -> Result<EvalQuery, String> {
+    let JsonValue::Object(fields) = value else {
+        return Err("must be a JSON object".to_string());
+    };
+    let mut params = TaParameters::paper_defaults();
+    let mut class = QueryClass::WebService;
+    for (key, v) in fields {
+        match key.as_str() {
+            "class" => {
+                class = match v.as_str() {
+                    Some("ws") => QueryClass::WebService,
+                    Some("A") => QueryClass::ClassA,
+                    Some("B") => QueryClass::ClassB,
+                    _ => {
+                        return Err(format!(
+                            "\"class\" must be \"ws\", \"A\" or \"B\", got {v:?}"
+                        ))
+                    }
+                };
+            }
+            _ => apply_override(&mut params, key, v)?,
+        }
+    }
+    params
+        .validate()
+        .map_err(|e| format!("invalid parameters: {e}"))?;
+    Ok(EvalQuery { params, class })
+}
+
+fn apply_override(params: &mut TaParameters, key: &str, v: &JsonValue) -> Result<(), String> {
+    let float = |v: &JsonValue| {
+        v.as_f64()
+            .ok_or_else(|| format!("{key:?} must be a number"))
+    };
+    let count = |v: &JsonValue| {
+        v.as_u64()
+            .map(|n| n as usize)
+            .ok_or_else(|| format!("{key:?} must be a non-negative integer"))
+    };
+    match key {
+        "a_net" => params.a_net = float(v)?,
+        "a_lan" => params.a_lan = float(v)?,
+        "a_cas" => params.a_cas = float(v)?,
+        "a_cds" => params.a_cds = float(v)?,
+        "a_disk" => params.a_disk = float(v)?,
+        "a_cws" => params.a_cws = float(v)?,
+        "a_payment" => params.a_payment = float(v)?,
+        "a_flight_system" => params.a_flight_system = float(v)?,
+        "a_hotel_system" => params.a_hotel_system = float(v)?,
+        "a_car_system" => params.a_car_system = float(v)?,
+        "num_flight_systems" => params.num_flight_systems = count(v)?,
+        "num_hotel_systems" => params.num_hotel_systems = count(v)?,
+        "num_car_systems" => params.num_car_systems = count(v)?,
+        "q23" => params.q23 = float(v)?,
+        "q24" => params.q24 = float(v)?,
+        "q45" => params.q45 = float(v)?,
+        "q47" => params.q47 = float(v)?,
+        "web_servers" => params.web_servers = count(v)?,
+        "failure_rate_per_hour" => params.failure_rate_per_hour = float(v)?,
+        "repair_rate_per_hour" => params.repair_rate_per_hour = float(v)?,
+        "coverage" => params.coverage = float(v)?,
+        "reconfiguration_rate_per_hour" => params.reconfiguration_rate_per_hour = float(v)?,
+        "arrival_rate_per_second" => params.arrival_rate_per_second = float(v)?,
+        "service_rate_per_second" => params.service_rate_per_second = float(v)?,
+        "buffer_size" => params.buffer_size = count(v)?,
+        _ => return Err(format!("unknown parameter {key:?}")),
+    }
+    Ok(())
+}
+
+/// A deterministic key over the query's exact parameter bits and class,
+/// for the stale-answer cache. FNV-1a over the field bit patterns: two
+/// queries collide only if every parameter is bit-identical.
+pub fn query_key(query: &EvalQuery) -> u64 {
+    let p = &query.params;
+    let mut h = Fnv::new();
+    for f in [
+        p.a_net,
+        p.a_lan,
+        p.a_cas,
+        p.a_cds,
+        p.a_disk,
+        p.a_cws,
+        p.a_payment,
+        p.a_flight_system,
+        p.a_hotel_system,
+        p.a_car_system,
+        p.q23,
+        p.q24,
+        p.q45,
+        p.q47,
+        p.failure_rate_per_hour,
+        p.repair_rate_per_hour,
+        p.coverage,
+        p.reconfiguration_rate_per_hour,
+        p.arrival_rate_per_second,
+        p.service_rate_per_second,
+    ] {
+        h.write(f.to_bits());
+    }
+    for n in [
+        p.num_flight_systems,
+        p.num_hotel_systems,
+        p.num_car_systems,
+        p.web_servers,
+        p.buffer_size,
+    ] {
+        h.write(n as u64);
+    }
+    h.write(query.class.tag());
+    h.finish()
+}
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, v: u64) {
+        for byte in v.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Evaluates one query on a warm context. `"ws"` queries hit the
+/// context's availability memo directly; class queries additionally
+/// compose the service-level environment (the [`functions`] map) around
+/// the memoized farm solve.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn evaluate_query(
+    query: &EvalQuery,
+    ctx: &mut EvalContext,
+) -> Result<f64, uavail_travel::TravelError> {
+    let p = &query.params;
+    let a_ws = redundant_imperfect_availability_with(p, ctx)?;
+    let class = match query.class {
+        QueryClass::WebService => return Ok(a_ws),
+        QueryClass::ClassA => class_a(),
+        QueryClass::ClassB => class_b(),
+    };
+    let arch = Architecture::Redundant(Coverage::Imperfect);
+    let mut env = HashMap::new();
+    env.insert(functions::SERVICE_NET.to_string(), p.a_net);
+    env.insert(functions::SERVICE_LAN.to_string(), p.a_lan);
+    env.insert(functions::SERVICE_WEB.to_string(), a_ws);
+    env.insert(
+        functions::SERVICE_APP.to_string(),
+        services::application(p, arch)?,
+    );
+    env.insert(
+        functions::SERVICE_DB.to_string(),
+        services::database(p, arch)?,
+    );
+    env.insert(functions::SERVICE_FLIGHT.to_string(), services::flight(p)?);
+    env.insert(functions::SERVICE_HOTEL.to_string(), services::hotel(p)?);
+    env.insert(functions::SERVICE_CAR.to_string(), services::car(p)?);
+    env.insert(functions::SERVICE_PAYMENT.to_string(), services::payment(p));
+    user::user_availability_with(&class, p, &env, ctx)
+}
+
+/// Busy-spins for `spin_us` microseconds — the loadgen's service-time
+/// knob. A plain sleep would park the worker thread without occupying
+/// it, which would break the M/M/c/K self-model's busy-time clock.
+pub fn spin(spin_us: u64) {
+    if spin_us == 0 {
+        return;
+    }
+    let deadline = Instant::now() + Duration::from_micros(spin_us.min(MAX_SPIN_US));
+    while Instant::now() < deadline {
+        std::hint::spin_loop();
+    }
+}
+
+/// The outcome of one query within a batch.
+#[derive(Debug)]
+pub enum QueryResult {
+    Ok {
+        availability: f64,
+        stale: bool,
+    },
+    Err(String),
+    /// Deadline expired before this query ran.
+    Skipped,
+}
+
+/// Renders the `/eval` response body.
+pub fn render_results(
+    queries: &[EvalQuery],
+    results: &[QueryResult],
+    degraded: bool,
+    partial: bool,
+) -> String {
+    let items: Vec<JsonValue> = results
+        .iter()
+        .zip(queries)
+        .map(|(r, q)| match r {
+            QueryResult::Ok {
+                availability,
+                stale,
+            } => JsonValue::object(vec![
+                ("class", JsonValue::str(q.class.name())),
+                ("availability", JsonValue::Float(*availability)),
+                ("unavailability", JsonValue::Float(1.0 - availability)),
+                ("stale", JsonValue::Bool(*stale)),
+            ]),
+            QueryResult::Err(msg) => JsonValue::object(vec![
+                ("class", JsonValue::str(q.class.name())),
+                ("error", JsonValue::str(msg.clone())),
+            ]),
+            QueryResult::Skipped => JsonValue::object(vec![
+                ("class", JsonValue::str(q.class.name())),
+                (
+                    "error",
+                    JsonValue::str("deadline expired before evaluation"),
+                ),
+            ]),
+        })
+        .collect();
+    JsonValue::object(vec![
+        ("results", JsonValue::Array(items)),
+        ("degraded", JsonValue::Bool(degraded)),
+        ("partial", JsonValue::Bool(partial)),
+    ])
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_query_reproduces_paper_defaults() {
+        let req = parse_eval_request(br#"{"queries":[{}]}"#).expect("parse");
+        assert_eq!(req.queries.len(), 1);
+        assert_eq!(req.queries[0].class, QueryClass::WebService);
+        assert_eq!(req.queries[0].params, TaParameters::paper_defaults());
+        assert_eq!(req.spin_us, 0);
+    }
+
+    #[test]
+    fn overrides_and_classes_apply() {
+        let req = parse_eval_request(
+            br#"{"queries":[{"web_servers":7,"coverage":0.9,"class":"A"}],"spin_us":100}"#,
+        )
+        .expect("parse");
+        let q = &req.queries[0];
+        assert_eq!(q.params.web_servers, 7);
+        assert!((q.params.coverage - 0.9).abs() < 1e-15);
+        assert_eq!(q.class, QueryClass::ClassA);
+        assert_eq!(req.spin_us, 100);
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected_loudly() {
+        let err = parse_eval_request(br#"{"queries":[{"web_serverz":7}]}"#).expect_err("typo");
+        assert!(err.contains("web_serverz"), "{err}");
+        let err = parse_eval_request(br#"{"queries":[{}],"spin":1}"#).expect_err("typo");
+        assert!(err.contains("spin"), "{err}");
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected_with_index() {
+        let err =
+            parse_eval_request(br#"{"queries":[{},{"coverage":1.5}]}"#).expect_err("bad coverage");
+        assert!(err.starts_with("query 1:"), "{err}");
+    }
+
+    #[test]
+    fn batch_and_spin_limits_enforced() {
+        let big = format!("{{\"queries\":[{}]}}", vec!["{}"; MAX_BATCH + 1].join(","));
+        assert!(parse_eval_request(big.as_bytes()).is_err());
+        let err = parse_eval_request(br#"{"queries":[{}],"spin_us":999999999}"#).expect_err("cap");
+        assert!(err.contains("cap"), "{err}");
+    }
+
+    #[test]
+    fn query_key_separates_params_and_classes() {
+        let base = EvalQuery {
+            params: TaParameters::paper_defaults(),
+            class: QueryClass::WebService,
+        };
+        let mut other = base.clone();
+        other.params.web_servers += 1;
+        assert_ne!(query_key(&base), query_key(&other));
+        let mut classed = base.clone();
+        classed.class = QueryClass::ClassA;
+        assert_ne!(query_key(&base), query_key(&classed));
+        assert_eq!(query_key(&base), query_key(&base.clone()));
+    }
+
+    #[test]
+    fn ws_eval_matches_direct_computation_bit_for_bit() {
+        let q = EvalQuery {
+            params: TaParameters::paper_defaults(),
+            class: QueryClass::WebService,
+        };
+        let mut ctx = EvalContext::new();
+        let via_plane = evaluate_query(&q, &mut ctx).expect("eval");
+        let direct =
+            uavail_travel::webservice::redundant_imperfect_availability(&q.params).expect("direct");
+        assert_eq!(via_plane.to_bits(), direct.to_bits());
+    }
+
+    #[test]
+    fn class_eval_matches_model_path() {
+        let q = EvalQuery {
+            params: TaParameters::paper_defaults(),
+            class: QueryClass::ClassA,
+        };
+        let mut ctx = EvalContext::new();
+        let via_plane = evaluate_query(&q, &mut ctx).expect("eval");
+        let model = uavail_travel::TravelAgencyModel::new(
+            TaParameters::paper_defaults(),
+            Architecture::Redundant(Coverage::Imperfect),
+        )
+        .expect("model");
+        let direct = model.user_availability(&class_a()).expect("direct");
+        assert_eq!(via_plane.to_bits(), direct.to_bits());
+    }
+}

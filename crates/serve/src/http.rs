@@ -1,0 +1,335 @@
+//! Hardened HTTP/1.1 request reading for the query plane.
+//!
+//! The parser is generic over [`Read`] so tests can drive it with
+//! in-memory streams split at arbitrary chunk boundaries (the proptest
+//! fuzzers in `tests/fuzz_http.rs` do exactly that). Every malformed
+//! input maps to a *typed* error the caller turns into a `400`/`405`
+//! response — a client never gets a silently abandoned connection for
+//! sending garbage. The only silent outcomes are a transport-level I/O
+//! failure (nothing left to write to) and a peer that connects and
+//! closes without sending a byte (the shutdown poke does this).
+
+use std::io::{Read, Write};
+
+/// Hard cap on the request head (request line + headers). Plenty for a
+/// scrape `GET` or an `/eval` POST preamble; bounds memory against
+/// garbage input.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// Hard cap on a request body. An `/eval` batch of maximum size is a
+/// few tens of kilobytes; anything larger is rejected up front.
+pub const MAX_BODY_BYTES: usize = 256 * 1024;
+
+/// Request methods the plane serves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    Get,
+    Post,
+}
+
+/// One parsed request: enough of HTTP/1.1 for the query plane.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Request {
+    pub method: Method,
+    /// Path with any query string stripped.
+    pub path: String,
+    /// Parsed `X-Deadline-Ms` header, if present and valid.
+    pub deadline_ms: Option<u64>,
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be parsed. `BadRequest` and
+/// `MethodNotAllowed` must be answered on the wire; `Closed` and `Io`
+/// have no peer left worth answering.
+#[derive(Debug, PartialEq, Eq)]
+pub enum HttpError {
+    /// Peer closed before sending any byte (e.g. the shutdown poke).
+    Closed,
+    /// Malformed, truncated or oversized request; the payload names the
+    /// offense for the response body.
+    BadRequest(&'static str),
+    /// Parseable request line with a method the plane does not serve.
+    MethodNotAllowed(String),
+    /// Transport error mid-read; the connection is unusable.
+    Io,
+}
+
+/// Reads and parses one request from `stream`.
+///
+/// # Errors
+///
+/// See [`HttpError`] — every non-I/O failure mode is typed so the
+/// caller can answer it.
+pub fn read_request(stream: &mut impl Read) -> Result<Request, HttpError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    let head_end = loop {
+        if let Some(end) = find_head_end(&buf) {
+            break end;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::BadRequest("request head exceeds 8 KiB"));
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) if buf.is_empty() => return Err(HttpError::Closed),
+            Ok(0) => return Err(HttpError::BadRequest("truncated request head")),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return Err(HttpError::Io),
+        }
+    };
+    let (head, rest) = buf.split_at(head_end.terminator_at);
+    let head = String::from_utf8_lossy(head);
+    let mut lines = head.lines();
+    let request_line = lines
+        .next()
+        .ok_or(HttpError::BadRequest("empty request line"))?;
+    let mut parts = request_line.split_whitespace();
+    let method_token = parts
+        .next()
+        .ok_or(HttpError::BadRequest("empty request line"))?;
+    let target = parts
+        .next()
+        .ok_or(HttpError::BadRequest("request line missing target"))?;
+    let method = if method_token.eq_ignore_ascii_case("GET") {
+        Method::Get
+    } else if method_token.eq_ignore_ascii_case("POST") {
+        Method::Post
+    } else {
+        return Err(HttpError::MethodNotAllowed(method_token.to_string()));
+    };
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut content_length: u64 = 0;
+    let mut deadline_ms = None;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse::<u64>()
+                .map_err(|_| HttpError::BadRequest("unparseable Content-Length"))?;
+        } else if name.eq_ignore_ascii_case("x-deadline-ms") {
+            deadline_ms = Some(
+                value
+                    .parse::<u64>()
+                    .map_err(|_| HttpError::BadRequest("unparseable X-Deadline-Ms"))?,
+            );
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            return Err(HttpError::BadRequest("Transfer-Encoding not supported"));
+        }
+    }
+
+    let body = match method {
+        Method::Get => Vec::new(),
+        Method::Post => {
+            if content_length > MAX_BODY_BYTES as u64 {
+                return Err(HttpError::BadRequest("body exceeds 256 KiB"));
+            }
+            let wanted = content_length as usize;
+            let mut body = rest[head_end.body_offset.min(rest.len())..].to_vec();
+            body.truncate(wanted);
+            while body.len() < wanted {
+                match stream.read(&mut chunk) {
+                    Ok(0) => return Err(HttpError::BadRequest("truncated body")),
+                    Ok(n) => {
+                        let take = n.min(wanted - body.len());
+                        body.extend_from_slice(&chunk[..take]);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => return Err(HttpError::Io),
+                }
+            }
+            body
+        }
+    };
+    Ok(Request {
+        method,
+        path,
+        deadline_ms,
+        body,
+    })
+}
+
+struct HeadEnd {
+    /// Byte offset where the head (before the blank line) ends.
+    terminator_at: usize,
+    /// Offset *within the remainder after `terminator_at`* where the
+    /// body starts (length of the blank-line terminator).
+    body_offset: usize,
+}
+
+/// Finds the header/body separator: `\r\n\r\n` or bare `\n\n`.
+fn find_head_end(buf: &[u8]) -> Option<HeadEnd> {
+    for (i, w) in buf.windows(4).enumerate() {
+        if w == b"\r\n\r\n" {
+            return Some(HeadEnd {
+                terminator_at: i,
+                body_offset: 4,
+            });
+        }
+    }
+    for (i, w) in buf.windows(2).enumerate() {
+        if w == b"\n\n" {
+            return Some(HeadEnd {
+                terminator_at: i,
+                body_offset: 2,
+            });
+        }
+    }
+    None
+}
+
+/// Writes one HTTP/1.1 response and flushes. I/O errors are swallowed:
+/// once the peer is gone there is nothing useful left to do.
+pub fn write_response(
+    stream: &mut impl Write,
+    status: &str,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &str,
+) {
+    let mut head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    /// A reader that serves a byte string in fixed-size slices, to
+    /// exercise chunk-boundary handling.
+    struct Chunked<'a> {
+        data: &'a [u8],
+        pos: usize,
+        step: usize,
+    }
+
+    impl Read for Chunked<'_> {
+        fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+            let n = self.step.min(out.len()).min(self.data.len() - self.pos);
+            out[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn parses_get_with_query_string_and_deadline() {
+        let raw = b"GET /slo?verbose=1 HTTP/1.1\r\nHost: x\r\nX-Deadline-Ms: 250\r\n\r\n";
+        for step in [1, 3, 7, 512] {
+            let mut r = Chunked {
+                data: raw,
+                pos: 0,
+                step,
+            };
+            let req = read_request(&mut r).expect("parse");
+            assert_eq!(req.method, Method::Get);
+            assert_eq!(req.path, "/slo");
+            assert_eq!(req.deadline_ms, Some(250));
+            assert!(req.body.is_empty());
+        }
+    }
+
+    #[test]
+    fn parses_post_body_split_across_reads() {
+        let raw = b"POST /eval HTTP/1.1\r\nContent-Length: 11\r\n\r\nhello world";
+        for step in [1, 2, 5, 512] {
+            let mut r = Chunked {
+                data: raw,
+                pos: 0,
+                step,
+            };
+            let req = read_request(&mut r).expect("parse");
+            assert_eq!(req.method, Method::Post);
+            assert_eq!(req.body, b"hello world");
+        }
+    }
+
+    #[test]
+    fn bare_lf_terminator_accepted() {
+        let mut r = Cursor::new(b"GET /health HTTP/1.1\nHost: x\n\n".to_vec());
+        assert_eq!(read_request(&mut r).expect("parse").path, "/health");
+    }
+
+    #[test]
+    fn immediate_close_is_silent_not_bad_request() {
+        let mut r = Cursor::new(Vec::new());
+        assert_eq!(read_request(&mut r), Err(HttpError::Closed));
+    }
+
+    #[test]
+    fn truncated_head_is_bad_request() {
+        let mut r = Cursor::new(b"GET /metrics HTT".to_vec());
+        assert_eq!(
+            read_request(&mut r),
+            Err(HttpError::BadRequest("truncated request head"))
+        );
+    }
+
+    #[test]
+    fn truncated_body_is_bad_request() {
+        let mut r = Cursor::new(b"POST /eval HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort".to_vec());
+        assert_eq!(
+            read_request(&mut r),
+            Err(HttpError::BadRequest("truncated body"))
+        );
+    }
+
+    #[test]
+    fn oversized_head_is_bad_request() {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES + 64));
+        let mut r = Cursor::new(raw);
+        assert_eq!(
+            read_request(&mut r),
+            Err(HttpError::BadRequest("request head exceeds 8 KiB"))
+        );
+    }
+
+    #[test]
+    fn oversized_declared_body_is_bad_request() {
+        let raw = format!(
+            "POST /eval HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        let mut r = Cursor::new(raw.into_bytes());
+        assert_eq!(
+            read_request(&mut r),
+            Err(HttpError::BadRequest("body exceeds 256 KiB"))
+        );
+    }
+
+    #[test]
+    fn unknown_method_is_method_not_allowed() {
+        let mut r = Cursor::new(b"DELETE /metrics HTTP/1.1\r\n\r\n".to_vec());
+        assert_eq!(
+            read_request(&mut r),
+            Err(HttpError::MethodNotAllowed("DELETE".to_string()))
+        );
+    }
+
+    #[test]
+    fn excess_post_bytes_beyond_content_length_are_ignored() {
+        let mut r = Cursor::new(
+            b"POST /eval HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi, trailing garbage".to_vec(),
+        );
+        let req = read_request(&mut r).expect("parse");
+        assert_eq!(req.body, b"hi");
+    }
+}

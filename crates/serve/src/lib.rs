@@ -1,78 +1,135 @@
 //! # uavail-serve
 //!
-//! The std-only HTTP telemetry plane for the resident evaluator: a
-//! minimal blocking HTTP/1.1 listener exposing the live `uavail-obs`
-//! state. No new dependencies — the responses are rendered with the
-//! same hardened in-tree JSON machinery the metrics artifacts use.
+//! The std-only HTTP query + telemetry plane for the resident
+//! evaluator: a blocking HTTP/1.1 listener exposing the live
+//! `uavail-obs` state *and* an overload-safe `POST /eval` endpoint that
+//! answers batched what-if availability queries. No new dependencies —
+//! request and response bodies use the same hardened in-tree JSON
+//! machinery the metrics artifacts use.
 //!
 //! Endpoints:
 //!
+//! * **`POST /eval`** — batched what-if queries: parameter overrides on
+//!   the paper defaults → user-perceived availability (see
+//!   [`eval::parse_eval_request`] for the body shape). Admission is a
+//!   bounded queue drained by a fixed pool of panic-isolated workers,
+//!   each owning a warm `EvalContext`; a full queue sheds the request
+//!   with an immediate `503` + `Retry-After`. A client-supplied
+//!   `X-Deadline-Ms` header bounds the total time budget — the workers
+//!   checkpoint between queries and answer `504` with the partial
+//!   results computed so far. A circuit breaker keyed on the solver
+//!   fallback/degraded gauges serves memoized answers marked
+//!   `degraded: true` while open, with half-open probes to close.
 //! * **`GET /metrics`** — Prometheus text exposition: every recorder
 //!   counter/gauge/histogram/span/health channel, the sliding windows,
-//!   the SLO gauges and the `trace.dropped` counter.
-//! * **`GET /health`** — JSON: the PR 4 numerical-health channels plus
-//!   the SLO threshold state (`ok`/`warn`/`breach`).
+//!   the SLO gauges and the `trace.dropped` counter. The query plane's
+//!   own counters (`serve.eval.*`, `serve.worker.*`) appear here while
+//!   recording is enabled.
+//! * **`GET /health`** — JSON: the numerical-health channels plus the
+//!   SLO threshold state (`ok`/`warn`/`breach`).
 //! * **`GET /trace`** — Chrome/Perfetto `trace_event` JSON snapshot of
 //!   the trace rings. **Draining**: like the trace artifact writer, a
 //!   scrape takes the buffered events; two scrapes see disjoint spans.
 //! * **`GET /slo`** — JSON: measured vs analytic availability, Wilson
-//!   bounds, divergence, degraded-event count and per-class breakdown.
-//! * **`GET /shutdown`** — acknowledges, then stops the listener.
+//!   bounds, divergence, degraded-event count, per-class breakdown —
+//!   plus the query plane's `queueing` block: the admission queue *is*
+//!   an M/M/c/K system (`c` workers, `K - c` waiting slots), so the
+//!   plane reports its measured shed rate next to the in-tree `MMcK`
+//!   predicted loss for the measured `(λ̂, μ̂)` and a Wilson-interval
+//!   (z = 3.9) agreement verdict — the reproduction's own model applied
+//!   to the reproduction's own server.
+//! * **`GET /shutdown`** — acknowledges, then stops the listener and
+//!   drains the worker pool.
 //!
-//! The server only *reads* telemetry (and drains the trace ring, itself
-//! instrumentation-only state), so attaching it cannot change a
-//! reproduced number — the `metrics_identity`-style tests in
-//! `tests/http.rs` pin that, and the whole plane stays inert while
-//! `uavail_obs::set_enabled(false)`.
+//! Robustness contract: a connection that delivers any bytes always
+//! gets a response — malformed, truncated or oversized requests get a
+//! `400` naming the offense, unsupported methods get a `405` with an
+//! `Allow` header, and overload gets an immediate `503`; the only
+//! silently closed connections are zero-byte connects (the shutdown
+//! poke) and transport failures. Worker panics are caught, answered
+//! with a `500`, and the supervisor respawns the worker with a fresh
+//! context — the listener never goes down with a request.
 //!
-//! Connections are handled serially on one listener thread: every
-//! response is a small in-memory string, so there is nothing to overlap,
-//! and serial handling keeps the server trivially free of locking
-//! against itself.
+//! The telemetry endpoints only *read* recorder state, so attaching the
+//! plane cannot change a reproduced number — the `metrics_identity`
+//! tests in `tests/http.rs` pin that, and the recorder-off path stays
+//! inert while `uavail_obs::set_enabled(false)` (the query plane's
+//! `/slo` self-model runs on its own atomics and works either way).
 
+pub mod breaker;
+pub mod eval;
+pub mod http;
+pub mod loadgen;
+mod pool;
+mod queue;
 pub mod render;
 
+pub use breaker::BreakerConfig;
+pub use pool::{QueryPlaneConfig, QueueingSnapshot};
 pub use render::{render_health, render_prometheus, render_slo};
 
-use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// Hard cap on an accepted request's header block; plenty for a scrape
-/// `GET`, and it bounds memory against garbage input.
-const MAX_REQUEST_BYTES: usize = 8 * 1024;
+use http::{read_request, write_response, HttpError, Method, Request};
+use pool::EvalPool;
 
-/// A running telemetry listener. Dropping the handle without calling
-/// [`ObsServer::shutdown`] leaves the thread serving until the process
-/// exits or a client hits `/shutdown`.
+const TEXT: &str = "text/plain; charset=utf-8";
+const JSON: &str = "application/json";
+
+/// A running query + telemetry listener. Dropping the handle without
+/// calling [`ObsServer::shutdown`] stops the listener and pool
+/// best-effort.
 #[derive(Debug)]
 pub struct ObsServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    pool: Arc<EvalPool>,
     thread: Option<JoinHandle<()>>,
 }
 
 impl ObsServer {
     /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
-    /// starts the listener thread.
+    /// starts the listener thread and a default-sized worker pool.
     ///
     /// # Errors
     ///
     /// Propagates the bind failure.
     pub fn start(addr: impl ToSocketAddrs) -> std::io::Result<ObsServer> {
+        Self::start_with(addr, QueryPlaneConfig::default())
+    }
+
+    /// [`ObsServer::start`] with explicit query-plane sizing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start_with(
+        addr: impl ToSocketAddrs,
+        config: QueryPlaneConfig,
+    ) -> std::io::Result<ObsServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let pool = Arc::new(EvalPool::start(config));
         let thread_stop = Arc::clone(&stop);
+        let thread_pool = Arc::clone(&pool);
         let thread = std::thread::Builder::new()
             .name("uavail-serve".to_string())
-            .spawn(move || accept_loop(&listener, &thread_stop))?;
+            .spawn(move || {
+                accept_loop(&listener, &thread_stop, &thread_pool);
+                // The listener is gone; drain and retire the pool so
+                // every admitted request is answered before the process
+                // (or test) moves on.
+                thread_pool.shutdown();
+            })?;
         Ok(ObsServer {
             addr,
             stop,
+            pool,
             thread: Some(thread),
         })
     }
@@ -88,7 +145,12 @@ impl ObsServer {
         self.stop.load(Ordering::SeqCst)
     }
 
-    /// Stops the listener and joins its thread.
+    /// The query plane's live measured + predicted M/M/c/K view.
+    pub fn queueing_snapshot(&self) -> QueueingSnapshot {
+        self.pool.queueing_snapshot()
+    }
+
+    /// Stops the listener, drains the pool and joins the threads.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
         // Poke the blocking accept so the loop observes the flag.
@@ -99,7 +161,7 @@ impl ObsServer {
     }
 
     /// Blocks until a client requests `/shutdown`, then joins the
-    /// listener thread.
+    /// listener thread (which drains the pool on its way out).
     pub fn join(mut self) {
         while !self.shutdown_requested() {
             std::thread::sleep(Duration::from_millis(25));
@@ -110,78 +172,123 @@ impl ObsServer {
     }
 }
 
-fn accept_loop(listener: &TcpListener, stop: &AtomicBool) {
+fn accept_loop(listener: &TcpListener, stop: &AtomicBool, pool: &EvalPool) {
+    // Persistent accept failures (EMFILE, ENFILE…) must not spin the
+    // thread hot: back off geometrically, reset on the next success.
+    const INITIAL_BACKOFF: Duration = Duration::from_millis(10);
+    const MAX_BACKOFF: Duration = Duration::from_millis(500);
+    let mut backoff = INITIAL_BACKOFF;
     loop {
         if stop.load(Ordering::SeqCst) {
             return;
         }
         let stream = match listener.accept() {
-            Ok((stream, _)) => stream,
-            Err(_) => continue,
+            Ok((stream, _)) => {
+                backoff = INITIAL_BACKOFF;
+                stream
+            }
+            Err(_) => {
+                uavail_obs::counter_add("serve.accept_errors", 1);
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(MAX_BACKOFF);
+                continue;
+            }
         };
         // A shutdown poke connects and immediately disconnects; checking
         // before handling keeps teardown prompt.
         if stop.load(Ordering::SeqCst) {
             return;
         }
-        handle_connection(stream, stop);
+        handle_connection(stream, stop, pool);
     }
 }
 
-/// Reads one request, writes one response, closes. Any I/O error just
-/// abandons the connection — the telemetry plane must never take the
-/// evaluator down.
-fn handle_connection(mut stream: TcpStream, stop: &AtomicBool) {
+/// Reads one request and either answers it inline (GETs, protocol
+/// errors) or hands it to the worker pool (`POST /eval`). The
+/// admission decision never blocks the listener.
+fn handle_connection(mut stream: TcpStream, stop: &AtomicBool, pool: &EvalPool) {
+    let accepted_at = Instant::now();
     let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
-    let Some(path) = read_request_path(&mut stream) else {
-        return;
+    let request = match read_request(&mut stream) {
+        Ok(request) => request,
+        // Nothing was sent (shutdown poke) or the transport died:
+        // nobody is listening for an answer.
+        Err(HttpError::Closed) | Err(HttpError::Io) => return,
+        Err(HttpError::BadRequest(reason)) => {
+            uavail_obs::counter_add("serve.http.bad_requests", 1);
+            write_response(
+                &mut stream,
+                "400 Bad Request",
+                TEXT,
+                &[],
+                &format!("bad request: {reason}\n"),
+            );
+            return;
+        }
+        Err(HttpError::MethodNotAllowed(method)) => {
+            uavail_obs::counter_add("serve.http.method_not_allowed", 1);
+            write_response(
+                &mut stream,
+                "405 Method Not Allowed",
+                TEXT,
+                &[("Allow", "GET, POST".to_string())],
+                &format!("method {method} not supported\n"),
+            );
+            return;
+        }
     };
-    let (status, content_type, body) = respond(&path, stop);
-    let response = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
-    );
-    let _ = stream.write_all(response.as_bytes());
-    let _ = stream.flush();
+    route(stream, request, accepted_at, stop, pool);
 }
 
-/// Parses the request line of an HTTP/1.1 GET and returns the path
-/// (query string stripped). `None` for anything malformed, oversized or
-/// non-GET.
-fn read_request_path(stream: &mut TcpStream) -> Option<String> {
-    let mut buf = Vec::with_capacity(512);
-    let mut chunk = [0u8; 512];
-    loop {
-        // Headers end at the blank line; we never read a body.
-        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n") {
-            break;
+fn route(
+    mut stream: TcpStream,
+    request: Request,
+    accepted_at: Instant,
+    stop: &AtomicBool,
+    pool: &EvalPool,
+) {
+    match (request.method, request.path.as_str()) {
+        (Method::Post, "/eval") => {
+            // Ownership of the connection moves to the pool: it either
+            // enqueues the job or sheds it with a 503 — never silence.
+            pool.admit(stream, request, accepted_at);
         }
-        if buf.len() > MAX_REQUEST_BYTES {
-            return None;
+        (Method::Get, "/eval") => {
+            write_response(
+                &mut stream,
+                "405 Method Not Allowed",
+                TEXT,
+                &[("Allow", "POST".to_string())],
+                "use POST for /eval\n",
+            );
         }
-        match stream.read(&mut chunk) {
-            Ok(0) => break,
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(_) => return None,
+        (Method::Post, path) => {
+            if matches!(
+                path,
+                "/metrics" | "/health" | "/slo" | "/trace" | "/shutdown" | "/"
+            ) {
+                write_response(
+                    &mut stream,
+                    "405 Method Not Allowed",
+                    TEXT,
+                    &[("Allow", "GET".to_string())],
+                    &format!("use GET for {path}\n"),
+                );
+            } else {
+                write_response(&mut stream, "404 Not Found", TEXT, &[], "not found\n");
+            }
+        }
+        (Method::Get, path) => {
+            let (status, content_type, body) = respond(path, stop, pool);
+            write_response(&mut stream, status, content_type, &[], &body);
         }
     }
-    let text = String::from_utf8_lossy(&buf);
-    let request_line = text.lines().next()?;
-    let mut parts = request_line.split_whitespace();
-    let method = parts.next()?;
-    let target = parts.next()?;
-    if !method.eq_ignore_ascii_case("GET") {
-        return None;
-    }
-    let path = target.split('?').next().unwrap_or(target);
-    Some(path.to_string())
 }
 
-/// Routes a path to `(status, content type, body)`.
-fn respond(path: &str, stop: &AtomicBool) -> (&'static str, &'static str, String) {
-    const JSON: &str = "application/json";
-    const TEXT: &str = "text/plain; version=0.0.4; charset=utf-8";
+/// Routes a GET path to `(status, content type, body)`.
+fn respond(path: &str, stop: &AtomicBool, pool: &EvalPool) -> (&'static str, &'static str, String) {
+    const PROM: &str = "text/plain; version=0.0.4; charset=utf-8";
     match path {
         "/metrics" => {
             let snapshot = uavail_obs::snapshot();
@@ -193,14 +300,15 @@ fn respond(path: &str, stop: &AtomicBool) -> (&'static str, &'static str, String
                 &windows,
                 uavail_obs::trace::dropped_total(),
             );
-            ("200 OK", TEXT, body)
+            ("200 OK", PROM, body)
         }
         "/health" => {
             let body = render_health(&uavail_obs::snapshot(), uavail_obs::slo_snapshot().as_ref());
             ("200 OK", JSON, body)
         }
         "/slo" => {
-            let body = render_slo(uavail_obs::slo_snapshot().as_ref());
+            let queueing = pool.queueing_snapshot();
+            let body = render_slo(uavail_obs::slo_snapshot().as_ref(), Some(&queueing));
             ("200 OK", JSON, body)
         }
         "/trace" => {
@@ -209,23 +317,15 @@ fn respond(path: &str, stop: &AtomicBool) -> (&'static str, &'static str, String
         }
         "/shutdown" => {
             stop.store(true, Ordering::SeqCst);
-            (
-                "200 OK",
-                "text/plain; charset=utf-8",
-                "shutting down\n".to_string(),
-            )
+            ("200 OK", TEXT, "shutting down\n".to_string())
         }
         "/" => (
             "200 OK",
-            "text/plain; charset=utf-8",
-            "uavail-serve telemetry plane\nendpoints: /metrics /health /slo /trace /shutdown\n"
+            TEXT,
+            "uavail-serve query + telemetry plane\nendpoints: POST /eval · GET /metrics /health /slo /trace /shutdown\n"
                 .to_string(),
         ),
-        _ => (
-            "404 Not Found",
-            "text/plain; charset=utf-8",
-            "not found\n".to_string(),
-        ),
+        _ => ("404 Not Found", TEXT, "not found\n".to_string()),
     }
 }
 
@@ -239,5 +339,6 @@ impl Drop for ObsServer {
         if let Some(thread) = self.thread.take() {
             let _ = thread.join();
         }
+        self.pool.shutdown();
     }
 }

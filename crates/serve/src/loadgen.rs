@@ -1,0 +1,346 @@
+//! The deterministic closed-loop load generator behind
+//! `reproduce loadgen`: floods the query plane's `/eval` endpoint from
+//! a fixed set of client threads, retries sheds with capped exponential
+//! backoff + seeded jitter, and grades the run against the plane's own
+//! M/M/c/K self-model.
+//!
+//! Closed-loop means each client has at most one request in flight —
+//! offered load is `clients / round_trip_time`, so overload is dialed
+//! in with the client count and the server-side `spin_us` service-time
+//! knob rather than open-loop timers. Every wire interaction is
+//! classified; a connection that ends without a complete HTTP response
+//! is a *silent drop*, the one outcome the overload gate forbids
+//! entirely.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Load-generator tuning; all deterministic given `seed`.
+#[derive(Debug, Clone)]
+pub struct LoadGenConfig {
+    /// Server address, e.g. `127.0.0.1:39000`.
+    pub addr: String,
+    /// Total requests to complete (across retries: each logical request
+    /// retries its sheds, then counts once).
+    pub requests: u64,
+    /// Concurrent closed-loop client threads.
+    pub clients: usize,
+    /// Per-query server-side busy-spin, the service-time control.
+    pub spin_us: u64,
+    /// Seed for parameter variation and retry jitter.
+    pub seed: u64,
+    /// Optional `X-Deadline-Ms` header on every request.
+    pub deadline_ms: Option<u64>,
+    /// Most retries after a `503` before giving up on the request.
+    pub max_retries: u32,
+}
+
+impl Default for LoadGenConfig {
+    fn default() -> Self {
+        LoadGenConfig {
+            addr: String::new(),
+            requests: 2000,
+            clients: 16,
+            spin_us: 2000,
+            seed: 42,
+            deadline_ms: None,
+            max_retries: 8,
+        }
+    }
+}
+
+/// Aggregated wire-level outcomes of a load run.
+#[derive(Debug, Default)]
+pub struct LoadReport {
+    /// Individual wire transactions (first tries + retries).
+    pub attempts: u64,
+    pub ok: u64,
+    pub ok_degraded: u64,
+    /// `503` responses (sheds), all of which must carry `Retry-After`.
+    pub shed: u64,
+    /// `503`s missing the `Retry-After` header — a contract violation.
+    pub shed_without_retry_after: u64,
+    /// `500`s: a worker panicked under this request.
+    pub server_errors: u64,
+    /// `504`s: the supplied deadline expired server-side.
+    pub deadline_timeouts: u64,
+    pub other_status: u64,
+    /// Connections that ended without a parseable HTTP response.
+    pub silent_drops: u64,
+    /// Logical requests abandoned after `max_retries` sheds.
+    pub retries_exhausted: u64,
+    pub elapsed: Duration,
+    /// The `queueing` block scraped from `/slo` after the flood.
+    pub queueing: Option<QueueingView>,
+}
+
+/// The subset of the `/slo` `queueing` block the gate needs.
+#[derive(Debug, Clone)]
+pub struct QueueingView {
+    pub arrivals: u64,
+    pub shed: u64,
+    pub completions: u64,
+    pub worker_panics: u64,
+    pub worker_restarts: u64,
+    pub measured_shed_rate: f64,
+    pub shed_lo: f64,
+    pub shed_hi: f64,
+    pub predicted_loss: Option<f64>,
+    pub agrees: Option<bool>,
+}
+
+impl LoadReport {
+    /// The overload-smoke gate: every violated invariant, empty when
+    /// the run passes.
+    pub fn violations(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.silent_drops > 0 {
+            out.push(format!(
+                "{} connection(s) ended without a response (silent drops)",
+                self.silent_drops
+            ));
+        }
+        if self.shed_without_retry_after > 0 {
+            out.push(format!(
+                "{} shed(s) answered 503 without a Retry-After header",
+                self.shed_without_retry_after
+            ));
+        }
+        match &self.queueing {
+            None => out.push("post-flood /slo scrape failed: server not alive".to_string()),
+            Some(q) => match (q.predicted_loss, q.agrees) {
+                (None, _) => out.push(
+                    "self-model produced no predicted loss (rates unmeasurable)".to_string(),
+                ),
+                (Some(p), Some(false)) => out.push(format!(
+                    "measured shed rate {:.4} (Wilson z=3.9 band [{:.4}, {:.4}]) disagrees with M/M/c/K predicted loss {:.4}",
+                    q.measured_shed_rate, q.shed_lo, q.shed_hi, p
+                )),
+                _ => {}
+            },
+        }
+        out
+    }
+}
+
+/// SplitMix64; the same generator the fault-injection plane hashes
+/// with, reused for parameter variation and retry jitter.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Deterministic single-query body for logical request `n`: sweeps a
+/// small grid of what-if points so worker memos stay warm and the
+/// service time is dominated by the `spin_us` knob.
+fn request_body(seed: u64, n: u64, spin_us: u64) -> String {
+    let mut state = seed ^ n.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let h = splitmix64(&mut state);
+    let web_servers = 1 + (h % 8);
+    let failure_scale = [1.0e-4_f64, 5.0e-4, 1.0e-3][(h >> 8) as usize % 3];
+    format!(
+        "{{\"queries\":[{{\"web_servers\":{web_servers},\"failure_rate_per_hour\":{failure_scale}}}],\"spin_us\":{spin_us}}}"
+    )
+}
+
+/// One parsed response: status code, whether `Retry-After` was present,
+/// and the body.
+struct WireResponse {
+    status: u16,
+    retry_after: bool,
+    body: String,
+}
+
+fn post_eval(
+    addr: &str,
+    body: &str,
+    deadline_ms: Option<u64>,
+) -> Result<WireResponse, std::io::Error> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+    let deadline_header = deadline_ms
+        .map(|ms| format!("X-Deadline-Ms: {ms}\r\n"))
+        .unwrap_or_default();
+    write!(
+        stream,
+        "POST /eval HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n{deadline_header}Connection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()?;
+    read_response(&mut stream)
+}
+
+fn read_response(stream: &mut TcpStream) -> Result<WireResponse, std::io::Error> {
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8_lossy(&raw);
+    let (head, body) = text.split_once("\r\n\r\n").ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "no header terminator")
+    })?;
+    let status_line = head.lines().next().unwrap_or_default();
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "unparseable status line")
+        })?;
+    let retry_after = head
+        .lines()
+        .any(|l| l.to_ascii_lowercase().starts_with("retry-after:"));
+    Ok(WireResponse {
+        status,
+        retry_after,
+        body: body.to_string(),
+    })
+}
+
+#[derive(Debug, Default)]
+struct Tally {
+    attempts: u64,
+    ok: u64,
+    ok_degraded: u64,
+    shed: u64,
+    shed_without_retry_after: u64,
+    server_errors: u64,
+    deadline_timeouts: u64,
+    other_status: u64,
+    silent_drops: u64,
+    retries_exhausted: u64,
+}
+
+fn client_loop(cfg: &LoadGenConfig, thread_index: usize, next_request: &AtomicU64) -> Tally {
+    let mut tally = Tally::default();
+    let mut jitter_state = cfg.seed ^ (thread_index as u64).wrapping_mul(0xdead_beef_cafe_f00d);
+    loop {
+        let n = next_request.fetch_add(1, Ordering::Relaxed);
+        if n >= cfg.requests {
+            break;
+        }
+        let body = request_body(cfg.seed, n, cfg.spin_us);
+        let mut attempt = 0u32;
+        loop {
+            tally.attempts += 1;
+            match post_eval(&cfg.addr, &body, cfg.deadline_ms) {
+                Err(_) => {
+                    tally.silent_drops += 1;
+                    break;
+                }
+                Ok(resp) => match resp.status {
+                    200 => {
+                        tally.ok += 1;
+                        if resp.body.contains("\"degraded\":true") {
+                            tally.ok_degraded += 1;
+                        }
+                        break;
+                    }
+                    503 => {
+                        tally.shed += 1;
+                        if !resp.retry_after {
+                            tally.shed_without_retry_after += 1;
+                        }
+                        if attempt >= cfg.max_retries {
+                            tally.retries_exhausted += 1;
+                            break;
+                        }
+                        // Capped exponential backoff with seeded jitter:
+                        // base 2 ms doubling to a 4 ms cap, ±50%. The
+                        // cap stays below the full-queue drain time so a
+                        // synchronized retry storm returns before the
+                        // workers run dry — idle workers would deflate
+                        // utilization and detach the measured shed rate
+                        // from the saturated M/M/c/K prediction.
+                        let base_ms = (2u64 << attempt.min(16)).min(4);
+                        let jitter = splitmix64(&mut jitter_state) % (base_ms.max(1));
+                        let sleep_ms = base_ms / 2 + jitter;
+                        std::thread::sleep(Duration::from_millis(sleep_ms));
+                        attempt += 1;
+                    }
+                    500 => {
+                        tally.server_errors += 1;
+                        break;
+                    }
+                    504 => {
+                        tally.deadline_timeouts += 1;
+                        break;
+                    }
+                    _ => {
+                        tally.other_status += 1;
+                        break;
+                    }
+                },
+            }
+        }
+    }
+    tally
+}
+
+/// Scrapes `/slo` and extracts the `queueing` block.
+pub fn scrape_queueing(addr: &str) -> Option<QueueingView> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    stream.set_read_timeout(Some(Duration::from_secs(5))).ok()?;
+    write!(
+        stream,
+        "GET /slo HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+    )
+    .ok()?;
+    let resp = read_response(&mut stream).ok()?;
+    if resp.status != 200 {
+        return None;
+    }
+    let parsed = uavail_obs::json::parse(&resp.body).ok()?;
+    let q = parsed.get("queueing")?;
+    Some(QueueingView {
+        arrivals: q.get("arrivals")?.as_u64()?,
+        shed: q.get("shed")?.as_u64()?,
+        completions: q.get("completions")?.as_u64()?,
+        worker_panics: q.get("worker_panics")?.as_u64()?,
+        worker_restarts: q.get("worker_restarts")?.as_u64()?,
+        measured_shed_rate: q.get("measured_shed_rate")?.as_f64()?,
+        shed_lo: q.get("shed_lo")?.as_f64()?,
+        shed_hi: q.get("shed_hi")?.as_f64()?,
+        predicted_loss: q.get("predicted_loss").and_then(|v| v.as_f64()),
+        agrees: q.get("agrees").and_then(|v| match v {
+            uavail_obs::json::JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }),
+    })
+}
+
+/// Runs the flood and the post-run `/slo` scrape.
+pub fn run(cfg: &LoadGenConfig) -> LoadReport {
+    let start = Instant::now();
+    let next_request = Arc::new(AtomicU64::new(0));
+    let mut joins = Vec::with_capacity(cfg.clients.max(1));
+    for thread_index in 0..cfg.clients.max(1) {
+        let cfg = cfg.clone();
+        let next_request = Arc::clone(&next_request);
+        joins.push(std::thread::spawn(move || {
+            client_loop(&cfg, thread_index, &next_request)
+        }));
+    }
+    let mut report = LoadReport::default();
+    for join in joins {
+        let tally = join.join().unwrap_or_default();
+        report.attempts += tally.attempts;
+        report.ok += tally.ok;
+        report.ok_degraded += tally.ok_degraded;
+        report.shed += tally.shed;
+        report.shed_without_retry_after += tally.shed_without_retry_after;
+        report.server_errors += tally.server_errors;
+        report.deadline_timeouts += tally.deadline_timeouts;
+        report.other_status += tally.other_status;
+        report.silent_drops += tally.silent_drops;
+        report.retries_exhausted += tally.retries_exhausted;
+    }
+    report.elapsed = start.elapsed();
+    report.queueing = scrape_queueing(&cfg.addr);
+    report
+}

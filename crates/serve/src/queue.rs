@@ -1,0 +1,169 @@
+//! The bounded admission queue in front of the `/eval` worker pool.
+//!
+//! This is the waiting room of the plane's own M/M/c/K model: `c`
+//! workers drain it, and the queue holds at most `K - c` jobs. A full
+//! queue rejects at the door — the caller sheds the request with a
+//! `503` + `Retry-After` instead of letting it hang — so an admitted
+//! request is always eventually answered by a worker.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why [`AdmissionQueue::try_push`] handed an item back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// All `K - c` waiting slots occupied: shed the request.
+    Full,
+    /// The pool is shutting down; nothing will drain the queue.
+    Closed,
+}
+
+/// A rejected item, returned to the caller so it can still answer the
+/// connection it carries.
+#[derive(Debug)]
+pub struct Rejected<T> {
+    pub item: T,
+    pub reason: RejectReason,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A fixed-capacity MPMC queue: non-blocking producers (admission is a
+/// shed decision, never a wait) and blocking consumers (workers park on
+/// the condvar between jobs).
+#[derive(Debug)]
+pub struct AdmissionQueue<T> {
+    inner: Mutex<Inner<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// A queue admitting at most `capacity` waiting items.
+    pub fn new(capacity: usize) -> Self {
+        AdmissionQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Admits `item` if a slot is free; returns the new depth, or hands
+    /// the item back with the rejection reason.
+    ///
+    /// # Errors
+    ///
+    /// [`Rejected`] when the queue is full or closed.
+    pub fn try_push(&self, item: T) -> Result<usize, Rejected<T>> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.closed {
+            return Err(Rejected {
+                item,
+                reason: RejectReason::Closed,
+            });
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(Rejected {
+                item,
+                reason: RejectReason::Full,
+            });
+        }
+        inner.items.push_back(item);
+        let depth = inner.items.len();
+        drop(inner);
+        self.available.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until an item is available or the queue is closed *and*
+    /// drained; `None` means the consumer should exit. Already-admitted
+    /// items are still handed out after [`AdmissionQueue::close`], so an
+    /// admitted request is answered even across shutdown.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .available
+                .wait(inner)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Closes the queue: producers are rejected from now on, consumers
+    /// drain what was admitted and then observe `None`.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.closed = true;
+        drop(inner);
+        self.available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn rejects_when_full_and_hands_item_back() {
+        let q = AdmissionQueue::new(2);
+        assert_eq!(q.try_push(1).expect("slot"), 1);
+        assert_eq!(q.try_push(2).expect("slot"), 2);
+        let rejected = q.try_push(3).expect_err("full");
+        assert_eq!(rejected.reason, RejectReason::Full);
+        assert_eq!(rejected.item, 3);
+        assert_eq!(q.pop(), Some(1), "rejection leaves admitted items intact");
+    }
+
+    #[test]
+    fn close_drains_admitted_items_then_signals_exit() {
+        let q = AdmissionQueue::new(4);
+        q.try_push(10).expect("slot");
+        q.try_push(11).expect("slot");
+        q.close();
+        assert_eq!(
+            q.try_push(12).expect_err("closed").reason,
+            RejectReason::Closed
+        );
+        assert_eq!(q.pop(), Some(10));
+        assert_eq!(q.pop(), Some(11));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocking_pop_wakes_on_push_across_threads() {
+        let q = Arc::new(AdmissionQueue::new(1));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.try_push(7).expect("slot");
+        assert_eq!(consumer.join().expect("join"), Some(7));
+    }
+
+    #[test]
+    fn blocking_pop_wakes_on_close() {
+        let q: Arc<AdmissionQueue<u32>> = Arc::new(AdmissionQueue::new(1));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(consumer.join().expect("join"), None);
+    }
+}

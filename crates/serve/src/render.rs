@@ -10,6 +10,8 @@ use std::fmt::Write as _;
 use uavail_obs::json::JsonValue;
 use uavail_obs::{HealthSummary, SloSnapshot, Snapshot, WindowSummary};
 
+use crate::pool::QueueingSnapshot;
+
 /// Maps a metric name onto the Prometheus grammar
 /// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every other character becomes `_`. All
 /// uavail names start with a letter, so no leading-digit fix-up is
@@ -187,13 +189,24 @@ pub fn render_health(snapshot: &Snapshot, slo: Option<&SloSnapshot>) -> String {
     JsonValue::object(fields).to_string()
 }
 
-/// `/slo` body: the SLO snapshot, or an explicit "not configured" object
-/// so scrapers never have to special-case an empty reply.
-pub fn render_slo(slo: Option<&SloSnapshot>) -> String {
-    match slo {
-        Some(slo) => slo.to_json().to_string(),
-        None => JsonValue::object(vec![("state", JsonValue::str("unconfigured"))]).to_string(),
+/// `/slo` body: the SLO snapshot (or an explicit "not configured"
+/// object so scrapers never have to special-case an empty reply), plus
+/// the query plane's `queueing` self-model block when the plane is
+/// running — the measured admission-queue behavior next to the M/M/c/K
+/// prediction for the same parameters.
+pub fn render_slo(slo: Option<&SloSnapshot>, queueing: Option<&QueueingSnapshot>) -> String {
+    let base = match slo {
+        Some(slo) => slo.to_json(),
+        None => JsonValue::object(vec![("state", JsonValue::str("unconfigured"))]),
+    };
+    let mut fields = match base {
+        JsonValue::Object(fields) => fields,
+        other => vec![("slo".to_string(), other)],
+    };
+    if let Some(q) = queueing {
+        fields.push(("queueing".to_string(), q.to_json()));
     }
+    JsonValue::Object(fields).to_string()
 }
 
 #[cfg(test)]
@@ -305,12 +318,51 @@ mod tests {
         assert!(parsed.get("health").unwrap().get("lu.residual").is_some());
         assert!(parsed.get("slo").unwrap().get("availability").is_some());
 
-        let body = render_slo(Some(&slo));
+        let body = render_slo(Some(&slo), None);
         let parsed = uavail_obs::json::parse(&body).unwrap();
         assert_eq!(parsed.get("total").unwrap().as_u64(), Some(1_000_005));
 
-        let empty = render_slo(None);
+        let empty = render_slo(None, None);
         let parsed = uavail_obs::json::parse(&empty).unwrap();
         assert_eq!(parsed.get("state").unwrap().as_str(), Some("unconfigured"));
+    }
+
+    #[test]
+    fn slo_body_embeds_the_queueing_self_model() {
+        let q = QueueingSnapshot {
+            workers: 2,
+            queue_slots: 6,
+            capacity: 8,
+            arrivals: 1000,
+            admitted: 600,
+            shed: 400,
+            completions: 600,
+            bad_requests: 0,
+            eval_errors: 0,
+            deadline_timeouts: 0,
+            stale_served: 0,
+            breaker_rejected: 0,
+            worker_panics: 1,
+            worker_restarts: 1,
+            breaker_state: "closed",
+            breaker_opened: 0,
+            arrival_rate: 100.0,
+            service_rate: 30.0,
+            measured_shed_rate: 0.4,
+            shed_lo: 0.34,
+            shed_hi: 0.46,
+            predicted_loss: Some(0.4),
+            agrees: Some(true),
+        };
+        let body = render_slo(None, Some(&q));
+        let parsed = uavail_obs::json::parse(&body).unwrap_or_else(|e| panic!("{e}\n{body}"));
+        let queueing = parsed.get("queueing").expect("queueing block");
+        assert_eq!(queueing.get("capacity").unwrap().as_u64(), Some(8));
+        assert_eq!(queueing.get("shed").unwrap().as_u64(), Some(400));
+        assert!((queueing.get("predicted_loss").unwrap().as_f64().unwrap() - 0.4).abs() < 1e-12);
+        assert!(matches!(
+            queueing.get("agrees"),
+            Some(JsonValue::Bool(true))
+        ));
     }
 }

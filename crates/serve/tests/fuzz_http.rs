@@ -1,0 +1,177 @@
+//! Adversarial property tests for the query plane's request parser and
+//! the `/eval` body parser.
+//!
+//! The contract fuzzed here is the robustness satellite of the query
+//! plane: whatever arrives on the socket — reads split at arbitrary
+//! chunk boundaries, non-UTF8 bytes, oversized header blocks, missing
+//! blank lines — [`uavail_serve::http::read_request`] never panics and
+//! always produces either a parsed request or a *typed* error the
+//! listener answers (`400`/`405`); the only silent outcome is a
+//! zero-byte connection. Same for `/eval` bodies: valid-by-construction
+//! batches parse, corrupted ones error, nothing panics.
+
+use proptest::prelude::*;
+use std::io::Read;
+use uavail_serve::eval::parse_eval_request;
+use uavail_serve::http::{read_request, HttpError, Method, MAX_HEAD_BYTES};
+
+/// Serves a byte string in `step`-sized slices so the parser sees every
+/// possible chunk-boundary split.
+struct Chunked {
+    data: Vec<u8>,
+    pos: usize,
+    step: usize,
+}
+
+impl Read for Chunked {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.step.min(out.len()).min(self.data.len() - self.pos);
+        out[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+fn parse_chunked(data: Vec<u8>, step: usize) -> Result<uavail_serve::http::Request, HttpError> {
+    let mut reader = Chunked {
+        data,
+        pos: 0,
+        step: step.max(1),
+    };
+    read_request(&mut reader)
+}
+
+/// Bytes weighted toward HTTP structure (and including non-UTF8 bytes)
+/// so random inputs regularly get past the request line.
+const HTTP_ALPHABET: &[u8] = &[
+    b'G', b'E', b'T', b'P', b'O', b'S', b'/', b'e', b'v', b'a', b'l', b' ', b'H', b'T', b'P', b'1',
+    b'.', b':', b'\r', b'\n', b'C', b'o', b'n', b't', b'-', b'L', b'g', b'h', b'0', b'5', b'X',
+    b'D', b'M', b's', 0x00, 0x80, 0xC3, 0xFF,
+];
+
+fn http_soup(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0usize..HTTP_ALPHABET.len(), len)
+        .prop_map(|picks| picks.into_iter().map(|i| HTTP_ALPHABET[i]).collect())
+}
+
+/// The `/eval` JSON alphabet for corruption soup.
+const JSON_ALPHABET: &[u8] = &[
+    b'{', b'}', b'[', b']', b'"', b':', b',', b'q', b'u', b'e', b'r', b'i', b's', b'w', b'b', b'_',
+    b'v', b'c', b'l', b'a', b'0', b'1', b'9', b'.', b'-', b'e', b' ', 0x80, 0xFF,
+];
+
+proptest! {
+    /// Arbitrary soup at arbitrary chunk sizes: never panics, and the
+    /// outcome is always typed. `Closed` only for zero-byte input and
+    /// `Io` never (the in-memory reader cannot fail), so every non-empty
+    /// connection gets an answer.
+    #[test]
+    fn arbitrary_soup_parses_or_errors_typed(
+        data in http_soup(0..600),
+        step in 1usize..64
+    ) {
+        let empty = data.is_empty();
+        match parse_chunked(data, step) {
+            Ok(_) | Err(HttpError::BadRequest(_)) | Err(HttpError::MethodNotAllowed(_)) => {}
+            Err(HttpError::Closed) => prop_assert!(empty, "Closed for non-empty input"),
+            Err(HttpError::Io) => prop_assert!(false, "in-memory reader cannot produce Io"),
+        }
+    }
+
+    /// A well-formed request survives any chunk split bit-identically.
+    #[test]
+    fn valid_requests_are_chunking_invariant(
+        post in any::<bool>(),
+        body in prop::collection::vec(any::<u8>(), 0..300),
+        with_deadline in any::<bool>(),
+        deadline_ms in 0u64..100_000,
+        step in 1usize..64
+    ) {
+        let deadline = with_deadline.then_some(deadline_ms);
+        let deadline_header = deadline
+            .map(|ms| format!("X-Deadline-Ms: {ms}\r\n"))
+            .unwrap_or_default();
+        let wire = if post {
+            let mut head = format!(
+                "POST /eval HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n{deadline_header}\r\n",
+                body.len()
+            )
+            .into_bytes();
+            head.extend_from_slice(&body);
+            head
+        } else {
+            format!("GET /slo?x=1 HTTP/1.1\r\nHost: x\r\n{deadline_header}\r\n").into_bytes()
+        };
+        let request = parse_chunked(wire, step).expect("well-formed request must parse");
+        if post {
+            prop_assert_eq!(request.method, Method::Post);
+            prop_assert_eq!(&request.path, "/eval");
+            prop_assert_eq!(request.body, body);
+        } else {
+            prop_assert_eq!(request.method, Method::Get);
+            prop_assert_eq!(&request.path, "/slo");
+            prop_assert!(request.body.is_empty());
+        }
+        prop_assert_eq!(request.deadline_ms, deadline);
+    }
+
+    /// A head that never presents its blank line — truncated or endless
+    /// — is a 400, not a hang or a silent drop.
+    #[test]
+    fn missing_blank_line_is_bad_request(
+        pad in 0usize..(2 * MAX_HEAD_BYTES),
+        step in 1usize..512
+    ) {
+        let mut wire = b"GET /metrics HTTP/1.1\r\nHost: x\r\n".to_vec();
+        wire.extend(std::iter::repeat_n(b'h', pad));
+        let result = parse_chunked(wire, step);
+        prop_assert!(
+            matches!(result, Err(HttpError::BadRequest(_))),
+            "expected BadRequest, got {result:?}"
+        );
+    }
+
+    /// Valid-by-construction `/eval` batches always parse, and the
+    /// parsed batch reflects the inputs.
+    #[test]
+    fn eval_bodies_round_trip(
+        // Paper default buffer_size is 10 and validation requires
+        // buffer_size >= web_servers.
+        web_servers in 1usize..=10,
+        coverage in 0.5f64..1.0,
+        spin in 0u64..1000,
+        class_pick in 0usize..3
+    ) {
+        let class = ["ws", "A", "B"][class_pick];
+        let body = format!(
+            "{{\"queries\":[{{\"web_servers\":{web_servers},\"coverage\":{coverage},\"class\":\"{class}\"}},{{}}],\"spin_us\":{spin}}}"
+        );
+        let parsed = parse_eval_request(body.as_bytes())
+            .unwrap_or_else(|e| panic!("constructed body must parse: {e}\n{body}"));
+        prop_assert_eq!(parsed.queries.len(), 2);
+        prop_assert_eq!(parsed.queries[0].params.web_servers, web_servers);
+        prop_assert_eq!(parsed.spin_us, spin);
+        prop_assert_eq!(parsed.queries[0].class.name(), class);
+    }
+
+    /// Corrupted `/eval` bodies — truncations, byte flips, raw soup —
+    /// error with a message instead of panicking.
+    #[test]
+    fn corrupted_eval_bodies_never_panic(
+        soup in prop::collection::vec(0usize..JSON_ALPHABET.len(), 0..300),
+        cut in 0usize..120,
+        flip_at in 0usize..120,
+        flip_to in any::<u8>()
+    ) {
+        let soup_bytes: Vec<u8> = soup.into_iter().map(|i| JSON_ALPHABET[i]).collect();
+        let _ = parse_eval_request(&soup_bytes);
+
+        let valid = br#"{"queries":[{"web_servers":4,"coverage":0.98,"class":"ws"}],"spin_us":5}"#;
+        let _ = parse_eval_request(&valid[..cut.min(valid.len())]);
+
+        let mut flipped = valid.to_vec();
+        let at = flip_at.min(flipped.len() - 1);
+        flipped[at] = flip_to;
+        let _ = parse_eval_request(&flipped);
+    }
+}

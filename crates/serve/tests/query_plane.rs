@@ -1,0 +1,432 @@
+//! End-to-end exercises of the `/eval` query plane over real sockets:
+//! batched what-if queries, protocol-error answering (400/405), load
+//! shedding at the bounded admission queue (503 + Retry-After),
+//! deadline checkpoints (504 with partial results), injected worker
+//! panics with supervisor respawn, and the circuit breaker's
+//! stale-serving path.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+use uavail_serve::{BreakerConfig, ObsServer, QueryPlaneConfig};
+
+/// Obs and faultinject state are process-global; every test here
+/// serializes on this lock and leaves both disabled behind itself.
+fn global_lock() -> MutexGuard<'static, ()> {
+    static GUARD: Mutex<()> = Mutex::new(());
+    GUARD.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn reset_all() {
+    uavail_obs::set_enabled(false);
+    uavail_obs::set_trace_enabled(false);
+    uavail_obs::reset();
+    uavail_obs::trace::reset();
+    uavail_obs::slo_reset();
+    uavail_obs::window_reset();
+    uavail_obs::window::clock_reset();
+    uavail_faultinject::reset();
+    uavail_faultinject::set_enabled(false);
+}
+
+/// One blocking POST /eval; returns `(status line, headers, body)`.
+fn post_eval(addr: SocketAddr, body: &str, deadline_ms: Option<u64>) -> (String, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let deadline = deadline_ms
+        .map(|ms| format!("X-Deadline-Ms: {ms}\r\n"))
+        .unwrap_or_default();
+    write!(
+        stream,
+        "POST /eval HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n{deadline}Connection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+    read_split(stream)
+}
+
+fn send_raw(addr: SocketAddr, raw: &[u8]) -> (String, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw).expect("send");
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    read_split(stream)
+}
+
+fn read_split(mut stream: TcpStream) -> (String, String, String) {
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    // Tolerate a reset after the response: when the server answers 400
+    // to an oversized head and closes, unread request bytes can turn
+    // the close into an RST that read(2) reports after the data.
+    let mut response = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => response.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) if !response.is_empty() => break,
+            Err(e) => panic!("read response: {e}"),
+        }
+    }
+    let text = String::from_utf8_lossy(&response).to_string();
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .unwrap_or_else(|| panic!("malformed response: {text:?}"));
+    (
+        head.lines().next().unwrap_or_default().to_string(),
+        head.to_string(),
+        body.to_string(),
+    )
+}
+
+fn availability_of(body: &str, index: usize) -> f64 {
+    let parsed = uavail_obs::json::parse(body).unwrap_or_else(|e| panic!("{e}\n{body}"));
+    parsed
+        .get("results")
+        .and_then(|r| r.as_array())
+        .and_then(|items| items.get(index))
+        .and_then(|item| item.get("availability"))
+        .and_then(|a| a.as_f64())
+        .unwrap_or_else(|| panic!("no availability at index {index}: {body}"))
+}
+
+#[test]
+fn eval_batch_matches_direct_computation_bit_for_bit() {
+    let _guard = global_lock();
+    reset_all();
+    let server = ObsServer::start("127.0.0.1:0").expect("bind");
+    let (status, _, body) = post_eval(
+        server.addr(),
+        r#"{"queries":[{},{"class":"A"},{"class":"B"},{"web_servers":6}]}"#,
+        None,
+    );
+    assert_eq!(status, "HTTP/1.1 200 OK", "{body}");
+
+    use uavail_travel::webservice::redundant_imperfect_availability;
+    use uavail_travel::{Architecture, Coverage, TaParameters, TravelAgencyModel};
+    let defaults = TaParameters::paper_defaults();
+    let a_ws = redundant_imperfect_availability(&defaults).expect("A(WS)");
+    let model = TravelAgencyModel::new(
+        defaults.clone(),
+        Architecture::Redundant(Coverage::Imperfect),
+    )
+    .expect("model");
+    let a_class_a = model
+        .user_availability(&uavail_travel::user::class_a())
+        .expect("class A");
+    let a_class_b = model
+        .user_availability(&uavail_travel::user::class_b())
+        .expect("class B");
+    let mut six = defaults.clone();
+    six.web_servers = 6;
+    let a_six = redundant_imperfect_availability(&six).expect("A(WS), N_W=6");
+
+    assert_eq!(availability_of(&body, 0).to_bits(), a_ws.to_bits());
+    assert_eq!(availability_of(&body, 1).to_bits(), a_class_a.to_bits());
+    assert_eq!(availability_of(&body, 2).to_bits(), a_class_b.to_bits());
+    assert_eq!(availability_of(&body, 3).to_bits(), a_six.to_bits());
+    assert!(body.contains("\"degraded\":false"), "{body}");
+    assert!(body.contains("\"partial\":false"), "{body}");
+
+    server.shutdown();
+    reset_all();
+}
+
+#[test]
+fn protocol_errors_are_answered_not_dropped() {
+    let _guard = global_lock();
+    reset_all();
+    let server = ObsServer::start("127.0.0.1:0").expect("bind");
+    let addr = server.addr();
+
+    // Malformed JSON body → 400 with the parse error.
+    let (status, _, body) = post_eval(addr, "{\"queries\":[{", None);
+    assert_eq!(status, "HTTP/1.1 400 Bad Request", "{body}");
+    assert!(body.contains("invalid JSON"), "{body}");
+
+    // Unknown parameter → 400 naming it.
+    let (status, _, body) = post_eval(addr, r#"{"queries":[{"web_serverz":3}]}"#, None);
+    assert_eq!(status, "HTTP/1.1 400 Bad Request");
+    assert!(body.contains("web_serverz"), "{body}");
+
+    // Truncated request head (close before blank line) → 400.
+    let (status, _, _) = send_raw(addr, b"GET /metrics HTTP/1.1\r\nHost: x");
+    assert_eq!(status, "HTTP/1.1 400 Bad Request");
+
+    // Unsupported method → 405 with Allow.
+    let (status, head, _) = send_raw(addr, b"DELETE /metrics HTTP/1.1\r\n\r\n");
+    assert_eq!(status, "HTTP/1.1 405 Method Not Allowed");
+    assert!(head.contains("Allow: GET, POST"), "{head}");
+
+    // GET on /eval and POST on a GET endpoint → 405 with the right verb.
+    let (status, head, _) = send_raw(addr, b"GET /eval HTTP/1.1\r\n\r\n");
+    assert_eq!(status, "HTTP/1.1 405 Method Not Allowed");
+    assert!(head.contains("Allow: POST"), "{head}");
+    let (status, head, _) = send_raw(addr, b"POST /metrics HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+    assert_eq!(status, "HTTP/1.1 405 Method Not Allowed");
+    assert!(head.contains("Allow: GET"), "{head}");
+
+    // Oversized header block → 400.
+    let mut oversized = b"GET / HTTP/1.1\r\n".to_vec();
+    oversized.extend(std::iter::repeat_n(b'x', 9000));
+    oversized.extend_from_slice(b"\r\n\r\n");
+    let (status, _, _) = send_raw(addr, &oversized);
+    assert_eq!(status, "HTTP/1.1 400 Bad Request");
+
+    server.shutdown();
+    reset_all();
+}
+
+#[test]
+fn full_admission_queue_sheds_with_503_and_retry_after() {
+    let _guard = global_lock();
+    reset_all();
+    let server = ObsServer::start_with(
+        "127.0.0.1:0",
+        QueryPlaneConfig {
+            workers: 1,
+            queue_slots: 1,
+            ..QueryPlaneConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.addr();
+
+    // Occupy the single worker for ~150 ms, fill the single waiting
+    // slot, then watch the third request shed immediately.
+    let busy = r#"{"queries":[{},{},{}],"spin_us":50000}"#;
+    let hold_worker = spawn_post(addr, busy);
+    std::thread::sleep(Duration::from_millis(60));
+    let hold_queue = spawn_post(addr, busy);
+    std::thread::sleep(Duration::from_millis(30));
+
+    let (status, head, body) = post_eval(addr, r#"{"queries":[{}]}"#, None);
+    assert_eq!(status, "HTTP/1.1 503 Service Unavailable", "{body}");
+    assert!(
+        head.lines()
+            .any(|l| l.to_ascii_lowercase().starts_with("retry-after:")),
+        "503 must carry Retry-After: {head}"
+    );
+
+    let (status, _, _) = hold_worker.join().expect("join");
+    assert_eq!(status, "HTTP/1.1 200 OK", "admitted request must finish");
+    let (status, _, _) = hold_queue.join().expect("join");
+    assert_eq!(status, "HTTP/1.1 200 OK", "queued request must finish");
+
+    let snap = server.queueing_snapshot();
+    assert_eq!(snap.shed, 1);
+    assert_eq!(snap.admitted, 2);
+    assert_eq!(snap.arrivals, 3);
+
+    server.shutdown();
+    reset_all();
+}
+
+fn spawn_post(addr: SocketAddr, body: &str) -> std::thread::JoinHandle<(String, String, String)> {
+    let body = body.to_string();
+    std::thread::spawn(move || post_eval(addr, &body, None))
+}
+
+#[test]
+fn expired_deadline_answers_504_with_partial_results() {
+    let _guard = global_lock();
+    reset_all();
+    let server = ObsServer::start("127.0.0.1:0").expect("bind");
+
+    // Already expired when the worker picks it up: empty partial answer.
+    let (status, _, body) = post_eval(server.addr(), r#"{"queries":[{}]}"#, Some(0));
+    assert_eq!(status, "HTTP/1.1 504 Gateway Timeout", "{body}");
+    assert!(body.contains("\"partial\":true"), "{body}");
+
+    // Expires mid-batch: the checkpoint between queries cuts the batch,
+    // keeping the results computed before the budget ran out.
+    let (status, _, body) = post_eval(
+        server.addr(),
+        r#"{"queries":[{},{},{}],"spin_us":40000}"#,
+        Some(60),
+    );
+    assert_eq!(status, "HTTP/1.1 504 Gateway Timeout", "{body}");
+    assert!(body.contains("\"partial\":true"), "{body}");
+    let parsed = uavail_obs::json::parse(&body).unwrap_or_else(|e| panic!("{e}\n{body}"));
+    let results = parsed.get("results").unwrap().as_array().unwrap();
+    assert_eq!(results.len(), 3);
+    assert!(
+        results[0].get("availability").is_some(),
+        "first query fits the budget: {body}"
+    );
+    assert!(
+        results[2].get("error").is_some(),
+        "last query must be cut: {body}"
+    );
+
+    let snap = server.queueing_snapshot();
+    assert_eq!(snap.deadline_timeouts, 2);
+
+    server.shutdown();
+    reset_all();
+}
+
+/// The satellite-3 contract: with `serve.worker_panic` armed, the
+/// in-flight request gets a `500`, the supervisor respawns the worker,
+/// and subsequent requests succeed on the replacement.
+#[test]
+fn injected_worker_panic_gets_500_and_supervisor_respawns() {
+    let _guard = global_lock();
+    reset_all();
+    let server = ObsServer::start_with(
+        "127.0.0.1:0",
+        QueryPlaneConfig {
+            workers: 1,
+            queue_slots: 4,
+            ..QueryPlaneConfig::default()
+        },
+    )
+    .expect("bind");
+
+    uavail_faultinject::set_enabled(true);
+    uavail_faultinject::set_seed(7);
+    uavail_faultinject::arm_spec("wpanic:1").expect("arm");
+
+    let (status, _, body) = post_eval(server.addr(), r#"{"queries":[{}]}"#, None);
+    assert_eq!(status, "HTTP/1.1 500 Internal Server Error", "{body}");
+    assert!(body.contains("panicked"), "{body}");
+
+    uavail_faultinject::reset();
+    uavail_faultinject::set_enabled(false);
+
+    // The replacement worker (fresh EvalContext) serves correctly.
+    let (status, _, body) = post_eval(server.addr(), r#"{"queries":[{}]}"#, None);
+    assert_eq!(status, "HTTP/1.1 200 OK", "{body}");
+    let direct = uavail_travel::webservice::redundant_imperfect_availability(
+        &uavail_travel::TaParameters::paper_defaults(),
+    )
+    .expect("A(WS)");
+    assert_eq!(availability_of(&body, 0).to_bits(), direct.to_bits());
+
+    let snap = server.queueing_snapshot();
+    assert_eq!(snap.worker_panics, 1);
+    assert_eq!(snap.worker_restarts, 1);
+
+    server.shutdown();
+    reset_all();
+}
+
+/// Breaker lifecycle: consecutive worker panics trip it open, open
+/// serves memoized answers marked degraded (or sheds on a cache miss),
+/// and the half-open probe closes it again.
+#[test]
+fn breaker_opens_serves_stale_and_probe_recloses() {
+    let _guard = global_lock();
+    reset_all();
+    let server = ObsServer::start_with(
+        "127.0.0.1:0",
+        QueryPlaneConfig {
+            workers: 1,
+            queue_slots: 4,
+            breaker: BreakerConfig {
+                failure_threshold: 2,
+                probe_after: 2,
+            },
+            ..QueryPlaneConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.addr();
+    let cached = r#"{"queries":[{}]}"#;
+    let uncached = r#"{"queries":[{"web_servers":9}]}"#;
+
+    // Prime the stale cache with a live answer.
+    let (status, _, _) = post_eval(addr, cached, None);
+    assert_eq!(status, "HTTP/1.1 200 OK");
+
+    // Two consecutive panics reach failure_threshold = 2: breaker opens.
+    uavail_faultinject::set_enabled(true);
+    uavail_faultinject::set_seed(7);
+    uavail_faultinject::arm_spec("wpanic:1").expect("arm");
+    for _ in 0..2 {
+        let (status, _, _) = post_eval(addr, cached, None);
+        assert_eq!(status, "HTTP/1.1 500 Internal Server Error");
+    }
+    uavail_faultinject::reset();
+    uavail_faultinject::set_enabled(false);
+    assert_eq!(server.queueing_snapshot().breaker_state, "open");
+
+    // Open, cache hit: stale answer marked degraded.
+    let (status, _, body) = post_eval(addr, cached, None);
+    assert_eq!(status, "HTTP/1.1 200 OK", "{body}");
+    assert!(body.contains("\"stale\":true"), "{body}");
+    assert!(body.contains("\"degraded\":true"), "{body}");
+
+    // Open, cache miss: shed with Retry-After rather than served wrong.
+    let (status, head, body) = post_eval(addr, uncached, None);
+    assert_eq!(status, "HTTP/1.1 503 Service Unavailable", "{body}");
+    assert!(
+        head.lines()
+            .any(|l| l.to_ascii_lowercase().starts_with("retry-after:")),
+        "{head}"
+    );
+
+    // probe_after = 2 open-handled requests have passed: the next
+    // request is the half-open probe, evaluates live, and closes the
+    // breaker.
+    let (status, _, body) = post_eval(addr, cached, None);
+    assert_eq!(status, "HTTP/1.1 200 OK", "{body}");
+    assert!(body.contains("\"stale\":false"), "{body}");
+    assert_eq!(server.queueing_snapshot().breaker_state, "closed");
+
+    // Closed again: live evaluation for previously uncached points.
+    let (status, _, body) = post_eval(addr, uncached, None);
+    assert_eq!(status, "HTTP/1.1 200 OK", "{body}");
+    assert!(body.contains("\"stale\":false"), "{body}");
+
+    let snap = server.queueing_snapshot();
+    assert_eq!(snap.breaker_opened, 1);
+    assert_eq!(snap.stale_served, 1);
+    assert_eq!(snap.breaker_rejected, 1);
+
+    server.shutdown();
+    reset_all();
+}
+
+/// The `/slo` scrape exposes the queueing self-model, and with no
+/// arrivals the prediction is absent rather than fabricated.
+#[test]
+fn slo_exposes_queueing_block() {
+    let _guard = global_lock();
+    reset_all();
+    let server = ObsServer::start("127.0.0.1:0").expect("bind");
+
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    write!(
+        stream,
+        "GET /slo HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send");
+    let (status, _, body) = read_split(stream);
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let parsed = uavail_obs::json::parse(&body).unwrap_or_else(|e| panic!("{e}\n{body}"));
+    let q = parsed.get("queueing").expect("queueing block");
+    assert_eq!(q.get("arrivals").unwrap().as_u64(), Some(0));
+    assert_eq!(q.get("workers").unwrap().as_u64(), Some(2));
+    assert_eq!(q.get("capacity").unwrap().as_u64(), Some(8));
+    assert!(matches!(
+        q.get("predicted_loss"),
+        Some(uavail_obs::json::JsonValue::Null)
+    ));
+
+    // A few served queries give the self-model rates to work with.
+    for _ in 0..3 {
+        let (status, _, _) = post_eval(server.addr(), r#"{"queries":[{}]}"#, None);
+        assert_eq!(status, "HTTP/1.1 200 OK");
+    }
+    let snap = server.queueing_snapshot();
+    assert_eq!(snap.arrivals, 3);
+    assert_eq!(snap.completions, 3);
+    assert_eq!(snap.shed, 0);
+    assert!(snap.service_rate > 0.0);
+
+    server.shutdown();
+    reset_all();
+}
