@@ -116,6 +116,25 @@ impl CircuitBreaker {
         }
     }
 
+    /// Records that the request holding this admission never evaluated
+    /// anything live — pre-expired deadline, malformed body, empty
+    /// batch. That is neither a success nor a failure of the *system*,
+    /// so a probe hands its slot back: the breaker re-opens with the
+    /// stale window already served, making the next request a fresh
+    /// probe. Without this, an unevaluated probe would strand the
+    /// breaker half-open (admit() serves stale there) forever.
+    pub fn on_not_evaluated(&self, admission: Admission) {
+        if admission != Admission::Probe {
+            return;
+        }
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if matches!(*state, State::HalfOpen) {
+            *state = State::Open {
+                handled_while_open: self.config.probe_after,
+            };
+        }
+    }
+
     /// Records a failed live evaluation; a failed probe re-opens.
     pub fn on_failure(&self, admission: Admission) {
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
@@ -220,5 +239,28 @@ mod tests {
         assert_eq!(b.times_opened(), 2);
         // The stale window restarts.
         assert_eq!(b.admit(), Admission::Stale);
+    }
+
+    #[test]
+    fn unevaluated_probe_hands_slot_back_without_closing() {
+        let b = breaker();
+        b.on_failure(Admission::Live);
+        b.on_failure(Admission::Live);
+        for _ in 0..3 {
+            assert_eq!(b.admit(), Admission::Stale);
+        }
+        assert_eq!(b.admit(), Admission::Probe);
+        // The probe request turned out to be malformed or already past
+        // its deadline: no live evaluation happened.
+        b.on_not_evaluated(Admission::Probe);
+        assert_eq!(b.phase(), "open");
+        assert_eq!(b.times_opened(), 1, "a returned slot is not a trip");
+        assert_eq!(b.admit(), Admission::Probe, "next request re-probes");
+        b.on_success(Admission::Probe);
+        assert_eq!(b.phase(), "closed");
+        // Non-probe admissions are no-ops.
+        b.on_not_evaluated(Admission::Live);
+        b.on_not_evaluated(Admission::Stale);
+        assert_eq!(b.phase(), "closed");
     }
 }

@@ -161,18 +161,20 @@ struct HeadEnd {
     body_offset: usize,
 }
 
-/// Finds the header/body separator: `\r\n\r\n` or bare `\n\n`.
+/// Finds the header/body separator: `\r\n\r\n` or bare `\n\n`. One
+/// left-to-right scan takes the *earliest* terminator of either kind —
+/// scanning the whole buffer for `\r\n\r\n` first would let body bytes
+/// already read past a bare-LF head hijack the split, making the parse
+/// depend on how the stream happened to be chunked.
 fn find_head_end(buf: &[u8]) -> Option<HeadEnd> {
-    for (i, w) in buf.windows(4).enumerate() {
-        if w == b"\r\n\r\n" {
+    for i in 0..buf.len() {
+        if buf[i..].starts_with(b"\r\n\r\n") {
             return Some(HeadEnd {
                 terminator_at: i,
                 body_offset: 4,
             });
         }
-    }
-    for (i, w) in buf.windows(2).enumerate() {
-        if w == b"\n\n" {
+        if buf[i..].starts_with(b"\n\n") {
             return Some(HeadEnd {
                 terminator_at: i,
                 body_offset: 2,
@@ -265,6 +267,24 @@ mod tests {
     fn bare_lf_terminator_accepted() {
         let mut r = Cursor::new(b"GET /health HTTP/1.1\nHost: x\n\n".to_vec());
         assert_eq!(read_request(&mut r).expect("parse").path, "/health");
+    }
+
+    #[test]
+    fn bare_lf_head_with_crlf_in_body_splits_at_the_earlier_terminator() {
+        // The body carries \r\n\r\n; the head ends at the earlier bare
+        // \n\n. The split must land there for every chunking, not drift
+        // into the body when enough of it is already buffered.
+        let raw = b"POST /eval HTTP/1.1\nContent-Length: 12\n\nAB\r\n\r\nCD\r\n\r\n";
+        for step in [1, 2, 5, 512] {
+            let mut r = Chunked {
+                data: raw,
+                pos: 0,
+                step,
+            };
+            let req = read_request(&mut r).expect("parse");
+            assert_eq!(req.method, Method::Post, "step {step}");
+            assert_eq!(req.body, b"AB\r\n\r\nCD\r\n\r\n", "step {step}");
+        }
     }
 
     #[test]

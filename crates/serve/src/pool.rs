@@ -403,6 +403,10 @@ fn supervisor_loop(shared: &Arc<PoolShared>, rx: &mpsc::Receiver<Event>, tx: &mp
 fn worker_loop(shared: &Arc<PoolShared>, index: usize, events: &mpsc::Sender<Event>) {
     let mut ctx = EvalContext::new();
     while let Some(job) = shared.queue.pop() {
+        // Keep the depth gauge honest on the drain side too: a
+        // push-only gauge would stay stuck at its flood-time maximum
+        // after the queue empties.
+        uavail_obs::gauge_set("serve.eval.queue_depth", shared.queue.depth() as u64);
         if serve_job(shared, &mut ctx, job) {
             // The evaluation panicked: the context may hold partially
             // built state, so this thread retires and the supervisor
@@ -484,6 +488,9 @@ fn process(
             .deadline_timeouts
             .fetch_add(1, Ordering::Relaxed);
         uavail_obs::counter_add("serve.eval.deadline_timeouts", 1);
+        // Nothing evaluated: if this request held the half-open probe,
+        // hand the slot back instead of leaking it.
+        shared.breaker.on_not_evaluated(admission);
         return Response {
             status: "504 Gateway Timeout",
             extra: Vec::new(),
@@ -495,6 +502,7 @@ fn process(
         Err(message) => {
             shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
             uavail_obs::counter_add("serve.eval.bad_requests", 1);
+            shared.breaker.on_not_evaluated(admission);
             return Response {
                 status: "400 Bad Request",
                 extra: Vec::new(),
@@ -576,11 +584,13 @@ fn run_live(
     let mut results = Vec::with_capacity(parsed.queries.len());
     let mut partial = false;
     let mut had_error = false;
+    let mut evaluated = 0usize;
     for q in &parsed.queries {
         if deadline_expired(accepted_at, deadline) {
             partial = true;
             break;
         }
+        evaluated += 1;
         match evaluate_query(q, ctx) {
             Ok(availability) => {
                 let mut cache = shared.cache.lock().unwrap_or_else(|e| e.into_inner());
@@ -608,8 +618,14 @@ fn run_live(
     }
     let degraded = degraded_fallback_events() > fallbacks_before;
     // Breaker health tracks *system* failures: solver errors and
-    // degraded fallbacks. A client-imposed deadline is not one.
-    if had_error || degraded {
+    // degraded fallbacks. A client-imposed deadline is not one — and a
+    // batch that evaluated nothing (deadline gone before the first
+    // query, or zero queries) is no health signal at all: a probe in
+    // that position hands its slot back rather than closing the breaker
+    // on zero evidence.
+    if evaluated == 0 {
+        shared.breaker.on_not_evaluated(admission);
+    } else if had_error || degraded {
         shared.breaker.on_failure(admission);
     } else {
         shared.breaker.on_success(admission);

@@ -102,6 +102,16 @@ impl<T> AdmissionQueue<T> {
         }
     }
 
+    /// Items currently waiting — a point-in-time reading for gauges;
+    /// the value can be stale by the time the caller uses it.
+    pub fn depth(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .items
+            .len()
+    }
+
     /// Closes the queue: producers are rejected from now on, consumers
     /// drain what was admitted and then observe `None`.
     pub fn close(&self) {

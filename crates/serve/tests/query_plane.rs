@@ -390,6 +390,74 @@ fn breaker_opens_serves_stale_and_probe_recloses() {
     reset_all();
 }
 
+/// Regression: a half-open probe consumed by a request that never
+/// evaluates anything live (pre-expired deadline, malformed body) must
+/// hand the probe slot back. Before the fix such a request left the
+/// breaker wedged half-open — admit() serves stale there and nothing
+/// could ever close it again.
+#[test]
+fn unevaluated_probe_does_not_wedge_the_breaker_half_open() {
+    let _guard = global_lock();
+    reset_all();
+    let server = ObsServer::start_with(
+        "127.0.0.1:0",
+        QueryPlaneConfig {
+            workers: 1,
+            queue_slots: 4,
+            breaker: BreakerConfig {
+                failure_threshold: 2,
+                probe_after: 2,
+            },
+            ..QueryPlaneConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.addr();
+    let cached = r#"{"queries":[{}]}"#;
+
+    // Prime the cache, then trip the breaker with two panics.
+    let (status, _, _) = post_eval(addr, cached, None);
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    uavail_faultinject::set_enabled(true);
+    uavail_faultinject::set_seed(7);
+    uavail_faultinject::arm_spec("wpanic:1").expect("arm");
+    for _ in 0..2 {
+        let (status, _, _) = post_eval(addr, cached, None);
+        assert_eq!(status, "HTTP/1.1 500 Internal Server Error");
+    }
+    uavail_faultinject::reset();
+    uavail_faultinject::set_enabled(false);
+    assert_eq!(server.queueing_snapshot().breaker_state, "open");
+
+    // Serve out the probe_after = 2 open window on stale answers.
+    for _ in 0..2 {
+        let (status, _, body) = post_eval(addr, cached, None);
+        assert_eq!(status, "HTTP/1.1 200 OK", "{body}");
+        assert!(body.contains("\"stale\":true"), "{body}");
+    }
+
+    // The next request holds the probe, but its deadline is already
+    // gone: 504, zero queries evaluated, slot handed back.
+    let (status, _, body) = post_eval(addr, cached, Some(0));
+    assert_eq!(status, "HTTP/1.1 504 Gateway Timeout", "{body}");
+    assert_eq!(server.queueing_snapshot().breaker_state, "open");
+
+    // The re-issued probe goes to a malformed body: 400, handed back
+    // again.
+    let (status, _, _) = post_eval(addr, "{\"queries\":[{", None);
+    assert_eq!(status, "HTTP/1.1 400 Bad Request");
+    assert_eq!(server.queueing_snapshot().breaker_state, "open");
+
+    // A well-formed request finally probes live and closes the breaker.
+    let (status, _, body) = post_eval(addr, cached, None);
+    assert_eq!(status, "HTTP/1.1 200 OK", "{body}");
+    assert!(body.contains("\"stale\":false"), "{body}");
+    assert_eq!(server.queueing_snapshot().breaker_state, "closed");
+
+    server.shutdown();
+    reset_all();
+}
+
 /// The `/slo` scrape exposes the queueing self-model, and with no
 /// arrivals the prediction is absent rather than fabricated.
 #[test]
